@@ -1,0 +1,389 @@
+//! **CaLiG** (Yang et al., SIGMOD '23) — candidate lighting with
+//! kernel–shell search (backtracking reduction).
+//!
+//! Two signature ideas are reproduced:
+//!
+//! * a **lighting index**: per `(query vertex u, data vertex v)` a LIT/DIM
+//!   state meaning `v`'s 1-hop neighborhood satisfies `u`'s neighbor-label
+//!   requirements (with multiplicities). Updates relight only the two
+//!   endpoints — a shallow, cheap index compared with the recursive
+//!   DCG/DCS structures;
+//! * **kernel–shell search**: degree-1 query vertices (*shells*) are peeled
+//!   off; backtracking enumerates only the *kernel* (paper Table 1's
+//!   `O(|V(G)|^K)` with `K` kernel vertices), and shells are materialized
+//!   afterwards by candidate intersection without further backtracking —
+//!   the "backtracking reduction".
+//!
+//! Per the paper's experimental setup (§5.1), CaLiG does not support edge
+//! labels: [`CsmAlgorithm::ignore_edge_labels`] returns `true` and all
+//! comparisons treat data edge labels as wildcards.
+//!
+//! The lighting states are label-gated (no raw degree term), preserving the
+//! classifier invariant that label-safe updates cannot flip index state
+//! (DESIGN.md §3.2); degree pruning instead happens live during search.
+
+use crate::common::{for_each_candidate_dyn, NlfProfile};
+use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use paracosm_core::kernel::{SearchCtx, SearchStats};
+use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
+
+/// The CaLiG algorithm with its lighting index.
+#[derive(Clone, Debug, Default)]
+pub struct CaLiG {
+    /// Neighbor-label requirement profile per query vertex (edge labels
+    /// ignored).
+    profiles: Vec<NlfProfile>,
+    /// `lit[u][v]`: v's neighborhood lights u's requirements.
+    lit: Vec<Vec<bool>>,
+    /// Query vertices with degree ≥ 2 (the kernel); shells are the rest.
+    kernel: Vec<QVertexId>,
+    /// Degree-1 query vertices (the shell).
+    shells: Vec<QVertexId>,
+}
+
+impl CaLiG {
+    /// Fresh, un-built instance (the framework calls `rebuild`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is `(u, v)` lit?
+    pub fn is_lit(&self, u: QVertexId, v: VertexId) -> bool {
+        self.lit[u.index()][v.index()]
+    }
+
+    /// Number of kernel vertices `K`.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel.len()
+    }
+
+    /// The shell vertices.
+    pub fn shell_vertices(&self) -> &[QVertexId] {
+        &self.shells
+    }
+
+    fn eval_lit(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        g.is_alive(v) && g.label(v) == q.label(u) && self.profiles[u.index()].feasible(g, v)
+    }
+
+    /// Recompute the lighting state of one data vertex for all query
+    /// vertices with a matching label. Returns whether anything flipped.
+    fn relight_vertex(&mut self, g: &DataGraph, q: &QueryGraph, v: VertexId) -> bool {
+        let mut changed = false;
+        for u in q.vertices() {
+            if q.label(u) != g.label(v) {
+                continue;
+            }
+            let new = self.eval_lit(g, q, u, v);
+            if self.lit[u.index()][v.index()] != new {
+                self.lit[u.index()][v.index()] = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Recursive kernel-first enumeration; once the kernel is exhausted the
+    /// shells are materialized by intersection.
+    fn kernel_search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        if !stats.tick(ctx.deadline) {
+            return false;
+        }
+        // Next kernel vertex: unmapped, preferring the one with the most
+        // mapped neighbors (most constrained first).
+        let next = self
+            .kernel
+            .iter()
+            .copied()
+            .filter(|&u| emb.get(u).is_none())
+            .max_by_key(|&u| {
+                let mapped = ctx
+                    .q
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&(nb, _)| emb.get(nb).is_some())
+                    .count();
+                (mapped, ctx.q.degree(u), usize::MAX - u.index())
+            });
+        match next {
+            Some(u) => {
+                let mut keep = true;
+                for_each_candidate_dyn(ctx.g, ctx.q, *emb, u, true, |v| {
+                    if !self.lit[u.index()][v.index()] {
+                        return true;
+                    }
+                    emb.set(u, v);
+                    keep = self.kernel_search(ctx, emb, sink, stats);
+                    emb.unset(u);
+                    keep
+                }) && keep
+            }
+            None => self.shell_search(ctx, emb, 0, sink, stats),
+        }
+    }
+
+    /// Materialize shell assignments (injective) over the remaining
+    /// degree-1 query vertices. Each shell's single neighbor is a mapped
+    /// kernel vertex, so candidates come from one adjacency list — no
+    /// backtracking over kernel choices ever happens here.
+    fn shell_search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        idx: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        // Skip shells that arrived pre-mapped (e.g. seed-edge endpoints).
+        let mut idx = idx;
+        while idx < self.shells.len() && emb.get(self.shells[idx]).is_some() {
+            idx += 1;
+        }
+        if idx == self.shells.len() {
+            return sink.report(emb, ctx.order.len());
+        }
+        if !stats.tick(ctx.deadline) {
+            return false;
+        }
+        let u = self.shells[idx];
+        let mut keep = true;
+        for_each_candidate_dyn(ctx.g, ctx.q, *emb, u, true, |v| {
+            if !self.lit[u.index()][v.index()] {
+                return true;
+            }
+            emb.set(u, v);
+            keep = self.shell_search(ctx, emb, idx + 1, sink, stats);
+            emb.unset(u);
+            keep
+        }) && keep
+    }
+}
+
+impl CsmAlgorithm for CaLiG {
+    fn name(&self) -> &'static str {
+        "CaLiG"
+    }
+
+    fn ignore_edge_labels(&self) -> bool {
+        true
+    }
+
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        let n = q.num_vertices();
+        self.profiles = q.vertices().map(|u| NlfProfile::of(q, u, true)).collect();
+        self.kernel.clear();
+        self.shells.clear();
+        for u in q.vertices() {
+            if q.degree(u) >= 2 || n <= 2 {
+                self.kernel.push(u);
+            } else {
+                self.shells.push(u);
+            }
+        }
+        let slots = g.vertex_slots();
+        self.lit = vec![vec![false; slots]; n];
+        for i in 0..slots {
+            let v = VertexId::from(i);
+            if g.is_alive(v) {
+                self.relight_vertex(g, q, v);
+            }
+        }
+    }
+
+    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+        if self.lit.first().is_some_and(|s| s.len() < g.vertex_slots()) {
+            self.rebuild(g, q);
+            return AdsChange::Changed;
+        }
+        // Lighting is a 1-hop property: only the endpoints can change, and
+        // only if the other endpoint's label occurs in some requirement —
+        // which is exactly the label-relevance condition.
+        let mut changed = false;
+        if self.edge_relevant(g, q, e.src, e.dst) {
+            changed |= self.relight_vertex(g, q, e.src);
+        }
+        if self.edge_relevant(g, q, e.dst, e.src) {
+            changed |= self.relight_vertex(g, q, e.dst);
+        }
+        AdsChange::from_changed(changed)
+    }
+
+    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        self.lit[u.index()][v.index()]
+    }
+
+    /// Kernel-first search with shell materialization (the backtracking
+    /// reduction). The framework's order is ignored beyond the already
+    /// mapped prefix — CaLiG chooses its own kernel order at runtime.
+    fn search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        _depth: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        self.kernel_search(ctx, emb, sink, stats)
+    }
+}
+
+impl CaLiG {
+    /// Can edge `{v, w}` influence `lit(·, v)`? Only if some query vertex
+    /// matches `v`'s label and has a requirement for `w`'s label.
+    fn edge_relevant(&self, g: &DataGraph, q: &QueryGraph, v: VertexId, w: VertexId) -> bool {
+        q.vertices().any(|u| {
+            q.label(u) == g.label(v)
+                && q.neighbors(u).iter().any(|&(nb, _)| q.label(nb) == g.label(w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::{ELabel, VLabel};
+    use paracosm_core::order::SeedOrder;
+    use paracosm_core::{static_match, BufferSink};
+
+    /// Query: star u0(L0) with three leaves u1..u3 (L1, L1, L2) plus the
+    /// edge u1-u2 making u1, u2 kernel.
+    fn star_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(VLabel(0));
+        let u1 = q.add_vertex(VLabel(1));
+        let u2 = q.add_vertex(VLabel(1));
+        let u3 = q.add_vertex(VLabel(2));
+        q.add_edge(u0, u1, ELabel(0)).unwrap();
+        q.add_edge(u0, u2, ELabel(0)).unwrap();
+        q.add_edge(u0, u3, ELabel(0)).unwrap();
+        q.add_edge(u1, u2, ELabel(0)).unwrap();
+        q
+    }
+
+    fn random_graph(seed: u64, n: u32, edges: usize) -> DataGraph {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_vertex(VLabel(i % 3));
+        }
+        let mut added = 0;
+        while added < edges {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if a != b && g.insert_edge(a, b, ELabel(rng.gen_range(0..2))).unwrap() {
+                added += 1;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn kernel_shell_partition() {
+        let q = star_query();
+        let mut c = CaLiG::new();
+        c.rebuild(&DataGraph::new(), &q);
+        assert_eq!(c.kernel_size(), 3); // u0, u1, u2
+        assert_eq!(c.shell_vertices(), &[QVertexId(3)]);
+    }
+
+    #[test]
+    fn single_edge_query_has_no_shells() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        let mut c = CaLiG::new();
+        c.rebuild(&DataGraph::new(), &q);
+        assert_eq!(c.kernel_size(), 2);
+        assert!(c.shell_vertices().is_empty());
+    }
+
+    #[test]
+    fn search_counts_match_elabel_blind_oracle() {
+        let q = star_query();
+        let g = random_graph(11, 18, 60);
+        let mut c = CaLiG::new();
+        c.rebuild(&g, &q);
+        let expected = static_match::count_all_ignoring_elabels(&g, &q);
+        // Full static enumeration through CaLiG's search.
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx =
+            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: true, deadline: None };
+        let mut sink = BufferSink::counting();
+        let mut stats = SearchStats::default();
+        c.search(&ctx, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        assert_eq!(sink.count, expected);
+    }
+
+    #[test]
+    fn lighting_tracks_profile_changes() {
+        let q = star_query();
+        let mut g = DataGraph::new();
+        let c0 = g.add_vertex(VLabel(0));
+        let a = g.add_vertex(VLabel(1));
+        let b = g.add_vertex(VLabel(1));
+        let d = g.add_vertex(VLabel(2));
+        g.insert_edge(c0, a, ELabel(0)).unwrap();
+        g.insert_edge(c0, b, ELabel(0)).unwrap();
+        let mut cal = CaLiG::new();
+        cal.rebuild(&g, &q);
+        // u0 needs two L1 neighbors and one L2 → not lit yet.
+        assert!(!cal.is_lit(QVertexId(0), c0));
+        g.insert_edge(c0, d, ELabel(5)).unwrap(); // edge label irrelevant
+        let ch = cal.update_ads(&g, &q, EdgeUpdate::new(c0, d, ELabel(5)), true);
+        assert_eq!(ch, AdsChange::Changed);
+        assert!(cal.is_lit(QVertexId(0), c0));
+    }
+
+    #[test]
+    fn vertex_label_irrelevant_edge_changes_nothing() {
+        let q = star_query();
+        let mut g = DataGraph::new();
+        let c0 = g.add_vertex(VLabel(0));
+        let x = g.add_vertex(VLabel(9));
+        let mut cal = CaLiG::new();
+        cal.rebuild(&g, &q);
+        g.insert_edge(c0, x, ELabel(0)).unwrap();
+        let ch = cal.update_ads(&g, &q, EdgeUpdate::new(c0, x, ELabel(0)), true);
+        assert_eq!(ch, AdsChange::Unchanged);
+    }
+
+    #[test]
+    fn incremental_lighting_equals_rebuild() {
+        use rand::prelude::*;
+        let q = star_query();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = random_graph(5, 15, 20);
+        let mut inc = CaLiG::new();
+        inc.rebuild(&g, &q);
+        let mut edges: Vec<(VertexId, VertexId)> = g.edges().map(|(a, b, _)| (a, b)).collect();
+        for step in 0..160 {
+            let a = VertexId(rng.gen_range(0..15));
+            let b = VertexId(rng.gen_range(0..15));
+            if a == b {
+                continue;
+            }
+            let insert = edges.is_empty() || rng.gen_bool(0.6);
+            if insert {
+                if g.insert_edge(a, b, ELabel(0)).unwrap() {
+                    edges.push((a, b));
+                    inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), true);
+                }
+            } else {
+                let (a, b) = edges.swap_remove(rng.gen_range(0..edges.len()));
+                g.remove_edge(a, b).unwrap();
+                inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), false);
+            }
+            let mut fresh = CaLiG::new();
+            fresh.rebuild(&g, &q);
+            assert_eq!(inc.lit, fresh.lit, "lighting divergence at step {step}");
+        }
+    }
+}

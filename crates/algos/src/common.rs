@@ -1,0 +1,225 @@
+//! Helpers shared by the algorithm implementations.
+
+use csm_graph::{DataGraph, ELabel, QVertexId, QueryGraph, VLabel, VertexId};
+use paracosm_core::Embedding;
+
+/// A query vertex's neighborhood label-frequency (NLF) requirements:
+/// `(neighbor vertex label, connecting edge label) → multiplicity`.
+///
+/// A data vertex `v` can only match `u` if, for every requirement, `v` has
+/// at least that many neighbors with the same `(vertex label, edge label)`
+/// signature. This is the classic 1-hop profile filter used by NewSP-style
+/// compatible-set computation and by CaLiG's lighting states.
+#[derive(Clone, Debug, Default)]
+pub struct NlfProfile {
+    reqs: Vec<(VLabel, ELabel, u8)>,
+    /// Ignore edge labels when matching signatures (CaLiG mode).
+    ignore_elabels: bool,
+}
+
+impl NlfProfile {
+    /// Build the profile of query vertex `u`.
+    pub fn of(q: &QueryGraph, u: QVertexId, ignore_elabels: bool) -> NlfProfile {
+        let mut reqs: Vec<(VLabel, ELabel, u8)> = Vec::new();
+        for &(nb, el) in q.neighbors(u) {
+            let key = (q.label(nb), if ignore_elabels { ELabel::WILDCARD } else { el });
+            match reqs.iter_mut().find(|(vl, l, _)| (*vl, *l) == key) {
+                Some((_, _, c)) => *c += 1,
+                None => reqs.push((key.0, key.1, 1)),
+            }
+        }
+        NlfProfile { reqs, ignore_elabels }
+    }
+
+    /// Does `v`'s neighborhood satisfy every requirement?
+    pub fn feasible(&self, g: &DataGraph, v: VertexId) -> bool {
+        // Queries are tiny: a linear pass per requirement over v's adjacency
+        // beats building a counting map for the common low-degree case.
+        self.reqs.iter().all(|&(vl, el, need)| {
+            let mut seen = 0u8;
+            for &(w, wl) in g.neighbors(v) {
+                if g.label(w) == vl && (self.ignore_elabels || wl == el) {
+                    seen += 1;
+                    if seen >= need {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+    }
+
+    /// Number of distinct requirements.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// True when the profile has no requirements (isolated query vertex).
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+}
+
+/// Stream the candidates of query vertex `u` under a *dynamic* order: the
+/// backward constraints are derived from whichever neighbors of `u` are
+/// currently mapped in `emb` (rather than from a precomputed order). Used by
+/// algorithms that pick their own vertex order at runtime (CaLiG's
+/// kernel-first search, shell materialization).
+///
+/// `f` returns `false` to stop early; the function returns `false` iff
+/// stopped. If `u` has no mapped neighbors, candidates come from the label
+/// bucket (rare — only for disconnected remainders).
+pub fn for_each_candidate_dyn<F>(
+    g: &DataGraph,
+    q: &QueryGraph,
+    emb: Embedding,
+    u: QVertexId,
+    ignore_elabels: bool,
+    mut f: F,
+) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    let ulabel = q.label(u);
+    let udeg = q.degree(u);
+    // Backward constraints: mapped neighbors of u.
+    let mut pivot: Option<(VertexId, ELabel)> = None;
+    for &(nb, el) in q.neighbors(u) {
+        if let Some(w) = emb.get(nb) {
+            match pivot {
+                Some((pw, _)) if g.degree(pw) <= g.degree(w) => {}
+                _ => pivot = Some((w, el)),
+            }
+        }
+    }
+    let Some((pivot_v, pivot_el)) = pivot else {
+        for &v in g.vertices_with_label(ulabel) {
+            if g.degree(v) >= udeg && !emb.uses(v) && !f(v) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    'cand: for &(v, el) in g.neighbors(pivot_v) {
+        if !ignore_elabels && el != pivot_el {
+            continue;
+        }
+        if g.label(v) != ulabel || g.degree(v) < udeg || emb.uses(v) {
+            continue;
+        }
+        // Verify all other mapped neighbors.
+        for &(nb, nb_el) in q.neighbors(u) {
+            if let Some(w) = emb.get(nb) {
+                if w == pivot_v {
+                    continue;
+                }
+                match g.edge_label(w, v) {
+                    Some(l) if ignore_elabels || l == nb_el => {}
+                    _ => continue 'cand,
+                }
+            }
+        }
+        if !f(v) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> (DataGraph, QueryGraph) {
+        // v0(L0) with neighbors: two L1 (elabel 0), one L2 (elabel 1).
+        let mut g = DataGraph::new();
+        let c = g.add_vertex(VLabel(0));
+        let a = g.add_vertex(VLabel(1));
+        let b = g.add_vertex(VLabel(1));
+        let d = g.add_vertex(VLabel(2));
+        g.insert_edge(c, a, ELabel(0)).unwrap();
+        g.insert_edge(c, b, ELabel(0)).unwrap();
+        g.insert_edge(c, d, ELabel(1)).unwrap();
+        // Query: u0(L0) adjacent to two L1 via elabel 0.
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(VLabel(0));
+        let u1 = q.add_vertex(VLabel(1));
+        let u2 = q.add_vertex(VLabel(1));
+        q.add_edge(u0, u1, ELabel(0)).unwrap();
+        q.add_edge(u0, u2, ELabel(0)).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn nlf_multiplicity_counted() {
+        let (g, q) = star();
+        let p = NlfProfile::of(&q, QVertexId(0), false);
+        assert_eq!(p.len(), 1); // one signature (L1, l0) × 2
+        assert!(p.feasible(&g, VertexId(0)));
+        // v1 has a single L0 neighbor, but u0 needs two L1 neighbors.
+        assert!(!p.feasible(&g, VertexId(1)));
+    }
+
+    #[test]
+    fn nlf_edge_label_sensitivity() {
+        let (g, mut q) = star();
+        // Add a (L2, elabel 0) requirement that v0 cannot meet (its L2
+        // neighbor uses elabel 1).
+        let u3 = q.add_vertex(VLabel(2));
+        q.add_edge(QVertexId(0), u3, ELabel(0)).unwrap();
+        let strict = NlfProfile::of(&q, QVertexId(0), false);
+        assert!(!strict.feasible(&g, VertexId(0)));
+        let lax = NlfProfile::of(&q, QVertexId(0), true);
+        assert!(lax.feasible(&g, VertexId(0)));
+    }
+
+    #[test]
+    fn dyn_candidates_respect_mapped_neighbors() {
+        let (g, q) = star();
+        let mut emb = Embedding::empty();
+        emb.set(QVertexId(0), VertexId(0));
+        // Candidates for u1 given u0→v0: the two L1 neighbors of v0.
+        let mut got = Vec::new();
+        for_each_candidate_dyn(&g, &q, emb, QVertexId(1), false, |v| {
+            got.push(v);
+            true
+        });
+        got.sort();
+        assert_eq!(got, vec![VertexId(1), VertexId(2)]);
+        // With v1 already used, only v2 remains.
+        emb.set(QVertexId(2), VertexId(1));
+        let mut got = Vec::new();
+        for_each_candidate_dyn(&g, &q, emb, QVertexId(1), false, |v| {
+            got.push(v);
+            true
+        });
+        assert_eq!(got, vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn dyn_candidates_unconstrained_falls_back_to_bucket() {
+        let (g, q) = star();
+        let emb = Embedding::empty();
+        let mut got = Vec::new();
+        for_each_candidate_dyn(&g, &q, emb, QVertexId(0), false, |v| {
+            got.push(v);
+            true
+        });
+        assert_eq!(got, vec![VertexId(0)]);
+    }
+
+    #[test]
+    fn dyn_candidates_early_stop() {
+        let (g, q) = star();
+        let mut emb = Embedding::empty();
+        emb.set(QVertexId(0), VertexId(0));
+        let mut seen = 0;
+        let finished = for_each_candidate_dyn(&g, &q, emb, QVertexId(1), false, |_| {
+            seen += 1;
+            false
+        });
+        assert!(!finished);
+        assert_eq!(seen, 1);
+    }
+}

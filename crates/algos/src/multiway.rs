@@ -1,0 +1,200 @@
+//! Multiway sorted-adjacency intersection — the core primitive of
+//! worst-case-optimal (generic) joins, which is how GraphFlow actually
+//! evaluates delta queries: the candidate set of the next query vertex is
+//! the *intersection* of all already-matched neighbors' adjacency lists,
+//! computed attribute-at-a-time.
+//!
+//! Adjacency lists in `csm-graph` are sorted by neighbor id, so the
+//! intersection uses **leapfrog-style galloping**: start from the smallest
+//! list, and advance the others by exponential search. Complexity is
+//! `O(k · min|L| · log(max|L| / min|L|))` for `k` lists — the bound that
+//! makes generic joins worst-case optimal.
+
+use csm_graph::{ELabel, VertexId};
+
+/// One intersection operand: a sorted adjacency slice plus the edge label a
+/// candidate must connect with (`None` = any label, CaLiG mode).
+#[derive(Clone, Copy, Debug)]
+pub struct AdjOperand<'a> {
+    /// Sorted `(neighbor, edge label)` slice.
+    pub list: &'a [(VertexId, ELabel)],
+    /// Required connecting edge label.
+    pub label: Option<ELabel>,
+}
+
+/// Galloping (exponential + binary) search for the first index with
+/// neighbor id ≥ `target`, starting the probe at `from`.
+#[inline]
+fn gallop(list: &[(VertexId, ELabel)], from: usize, target: VertexId) -> usize {
+    let mut lo = from;
+    let mut step = 1;
+    // Exponential phase.
+    while lo + step < list.len() && list[lo + step].0 < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(list.len());
+    // Binary phase over [lo, hi).
+    lo + list[lo..hi].partition_point(|&(v, _)| v < target)
+}
+
+/// Intersect `k ≥ 1` sorted adjacency operands, invoking `f` for every
+/// vertex present in *all* of them with the required edge labels. `f`
+/// returns `false` to stop; the function returns `false` iff stopped.
+///
+/// A vertex "present" in an operand means the operand's list contains an
+/// entry `(v, l)` with a matching label. (Simple graphs: at most one entry
+/// per neighbor.)
+pub fn intersect_foreach<F>(operands: &mut [AdjOperand<'_>], mut f: F) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    debug_assert!(!operands.is_empty());
+    // Drive from the smallest list (fewest candidates).
+    operands.sort_by_key(|o| o.list.len());
+    if operands[0].list.is_empty() {
+        return true;
+    }
+    let mut cursors = vec![0usize; operands.len()];
+    'outer: for i in 0..operands[0].list.len() {
+        let (v, l0) = operands[0].list[i];
+        if let Some(want) = operands[0].label {
+            if l0 != want {
+                continue;
+            }
+        }
+        for (j, op) in operands.iter().enumerate().skip(1) {
+            let pos = gallop(op.list, cursors[j], v);
+            cursors[j] = pos;
+            match op.list.get(pos) {
+                Some(&(w, wl)) if w == v => {
+                    if let Some(want) = op.label {
+                        if wl != want {
+                            continue 'outer;
+                        }
+                    }
+                }
+                _ => continue 'outer,
+            }
+        }
+        if !f(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Collect the intersection into a vector (test/diagnostic convenience).
+pub fn intersect(operands: &mut [AdjOperand<'_>]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    intersect_foreach(operands, |v| {
+        out.push(v);
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(ids: &[(u32, u32)]) -> Vec<(VertexId, ELabel)> {
+        ids.iter().map(|&(v, l)| (VertexId(v), ELabel(l))).collect()
+    }
+
+    #[test]
+    fn two_way_intersection() {
+        let a = list(&[(1, 0), (3, 0), (5, 0), (9, 0)]);
+        let b = list(&[(2, 0), (3, 0), (9, 0), (12, 0)]);
+        let mut ops = [
+            AdjOperand { list: &a, label: Some(ELabel(0)) },
+            AdjOperand { list: &b, label: Some(ELabel(0)) },
+        ];
+        assert_eq!(intersect(&mut ops), vec![VertexId(3), VertexId(9)]);
+    }
+
+    #[test]
+    fn label_mismatch_excludes() {
+        let a = list(&[(3, 0), (9, 1)]);
+        let b = list(&[(3, 0), (9, 0)]);
+        let mut ops = [
+            AdjOperand { list: &a, label: Some(ELabel(0)) },
+            AdjOperand { list: &b, label: Some(ELabel(0)) },
+        ];
+        assert_eq!(intersect(&mut ops), vec![VertexId(3)]);
+        // Wildcard labels admit both.
+        let mut ops = [
+            AdjOperand { list: &a, label: None },
+            AdjOperand { list: &b, label: None },
+        ];
+        assert_eq!(intersect(&mut ops), vec![VertexId(3), VertexId(9)]);
+    }
+
+    #[test]
+    fn three_way_and_empty() {
+        let a = list(&[(1, 0), (4, 0), (7, 0), (10, 0)]);
+        let b = list(&[(4, 0), (7, 0), (11, 0)]);
+        let c = list(&[(0, 0), (7, 0), (10, 0)]);
+        let mut ops = [
+            AdjOperand { list: &a, label: Some(ELabel(0)) },
+            AdjOperand { list: &b, label: Some(ELabel(0)) },
+            AdjOperand { list: &c, label: Some(ELabel(0)) },
+        ];
+        assert_eq!(intersect(&mut ops), vec![VertexId(7)]);
+        let empty: Vec<(VertexId, ELabel)> = Vec::new();
+        let mut ops = [
+            AdjOperand { list: &a, label: Some(ELabel(0)) },
+            AdjOperand { list: &empty, label: Some(ELabel(0)) },
+        ];
+        assert!(intersect(&mut ops).is_empty());
+    }
+
+    #[test]
+    fn single_operand_passes_through_with_label_filter() {
+        let a = list(&[(1, 0), (2, 1), (3, 0)]);
+        let mut ops = [AdjOperand { list: &a, label: Some(ELabel(0)) }];
+        assert_eq!(intersect(&mut ops), vec![VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let a = list(&[(1, 0), (2, 0), (3, 0)]);
+        let mut ops = [AdjOperand { list: &a, label: None }];
+        let mut n = 0;
+        let finished = intersect_foreach(&mut ops, |_| {
+            n += 1;
+            n < 2
+        });
+        assert!(!finished);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn galloping_matches_naive_on_random_lists() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let mk = |rng: &mut StdRng| {
+                let mut v: Vec<u32> =
+                    (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..200)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.into_iter().map(|x| (VertexId(x), ELabel(0))).collect::<Vec<_>>()
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let c = mk(&mut rng);
+            let naive: Vec<VertexId> = a
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| b.iter().any(|&(w, _)| w == *v) && c.iter().any(|&(w, _)| w == *v))
+                .collect();
+            let mut ops = [
+                AdjOperand { list: &a, label: Some(ELabel(0)) },
+                AdjOperand { list: &b, label: Some(ELabel(0)) },
+                AdjOperand { list: &c, label: Some(ELabel(0)) },
+            ];
+            assert_eq!(intersect(&mut ops), naive);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Uniform access to the five baseline algorithms — used by the benchmark
+//! harness, the examples and the integration tests to iterate "for each
+//! algorithm" the way the paper's evaluation does.
+
+use crate::{CaLiG, GraphFlow, NewSP, Symbi, TurboFlux};
+use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use paracosm_core::kernel::{SearchCtx, SearchStats};
+use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
+
+/// The five CSM baselines of the paper's evaluation (§5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// Index-free, join-based search.
+    GraphFlow,
+    /// Spanning-tree DCG index.
+    TurboFlux,
+    /// DCS index with bidirectional DP.
+    Symbi,
+    /// Lighting index with kernel–shell search (edge-label blind).
+    CaLiG,
+    /// Stateless CPT/EXP search.
+    NewSP,
+}
+
+impl AlgoKind {
+    /// All five, in the paper's reporting order.
+    pub const ALL: [AlgoKind; 5] = [
+        AlgoKind::CaLiG,
+        AlgoKind::GraphFlow,
+        AlgoKind::NewSP,
+        AlgoKind::Symbi,
+        AlgoKind::TurboFlux,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::GraphFlow => "GraphFlow",
+            AlgoKind::TurboFlux => "TurboFlux",
+            AlgoKind::Symbi => "Symbi",
+            AlgoKind::CaLiG => "CaLiG",
+            AlgoKind::NewSP => "NewSP",
+        }
+    }
+
+    /// Parse a case-insensitive name.
+    pub fn parse(s: &str) -> Option<AlgoKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Build (offline stage) an instance for `(g, q)`.
+    pub fn build(self, g: &DataGraph, q: &QueryGraph) -> AnyAlgorithm {
+        let mut a = match self {
+            AlgoKind::GraphFlow => AnyAlgorithm::GraphFlow(GraphFlow::new()),
+            AlgoKind::TurboFlux => AnyAlgorithm::TurboFlux(TurboFlux::new()),
+            AlgoKind::Symbi => AnyAlgorithm::Symbi(Symbi::new()),
+            AlgoKind::CaLiG => AnyAlgorithm::CaLiG(CaLiG::new()),
+            AlgoKind::NewSP => AnyAlgorithm::NewSP(NewSP::new()),
+        };
+        a.rebuild(g, q);
+        a
+    }
+
+    /// Does this algorithm ignore edge labels?
+    pub fn ignores_edge_labels(self) -> bool {
+        matches!(self, AlgoKind::CaLiG)
+    }
+}
+
+impl std::fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A type-erased baseline instance: `ParaCosm<AnyAlgorithm>` lets harnesses
+/// loop over algorithms without generics at every call site.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub enum AnyAlgorithm {
+    GraphFlow(GraphFlow),
+    TurboFlux(TurboFlux),
+    Symbi(Symbi),
+    CaLiG(CaLiG),
+    NewSP(NewSP),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $a:ident => $body:expr) => {
+        match $self {
+            AnyAlgorithm::GraphFlow($a) => $body,
+            AnyAlgorithm::TurboFlux($a) => $body,
+            AnyAlgorithm::Symbi($a) => $body,
+            AnyAlgorithm::CaLiG($a) => $body,
+            AnyAlgorithm::NewSP($a) => $body,
+        }
+    };
+}
+
+impl CsmAlgorithm for AnyAlgorithm {
+    fn name(&self) -> &'static str {
+        dispatch!(self, a => a.name())
+    }
+
+    fn ignore_edge_labels(&self) -> bool {
+        dispatch!(self, a => a.ignore_edge_labels())
+    }
+
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        dispatch!(self, a => a.rebuild(g, q))
+    }
+
+    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, ins: bool) -> AdsChange {
+        dispatch!(self, a => a.update_ads(g, q, e, ins))
+    }
+
+    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        dispatch!(self, a => a.is_candidate(g, q, u, v))
+    }
+
+    fn search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        depth: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        dispatch!(self, a => a.search(ctx, emb, depth, sink, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for k in AlgoKind::ALL {
+            assert_eq!(AlgoKind::parse(k.name()), Some(k));
+            assert_eq!(AlgoKind::parse(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(AlgoKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_variant() {
+        let g = DataGraph::new();
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(csm_graph::VLabel(0));
+        let b = q.add_vertex(csm_graph::VLabel(0));
+        q.add_edge(a, b, csm_graph::ELabel(0)).unwrap();
+        for k in AlgoKind::ALL {
+            let alg = k.build(&g, &q);
+            assert_eq!(alg.name(), k.name());
+            assert_eq!(alg.ignore_edge_labels(), k.ignores_edge_labels());
+        }
+    }
+}

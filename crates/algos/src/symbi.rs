@@ -1,0 +1,368 @@
+//! **Symbi** (Min et al., VLDB '21) — DCS index with bidirectional dynamic
+//! programming.
+//!
+//! Symbi organizes the query as a rooted DAG and maintains, per
+//! `(query vertex u, data vertex v)`:
+//!
+//! * `D1[u][v]` — the sub-DAG rooted at `u` embeds at `v` (weak candidate),
+//!   computed **bottom-up** over DAG children;
+//! * `D2[u][v]` — `D1[u][v]` *and* every DAG parent of `u` has a `D2`
+//!   neighbor at `v` (strong candidate), computed **top-down**.
+//!
+//! `D2` is the candidate set used during enumeration. Updates propagate
+//! incrementally along the DAG: a single edge update flips each state at
+//! most once (insertions turn states on, deletions off), giving the
+//! `O(|E(G)| · |E(Q)|)` bound of paper Table 1.
+//!
+//! Like the other indices, states are **label-gated**: label-safe updates
+//! cannot flip any state (DESIGN.md §3.2).
+
+use csm_graph::{DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use paracosm_core::{AdsChange, CsmAlgorithm};
+
+/// The Symbi algorithm with its DCS index.
+#[derive(Clone, Debug, Default)]
+pub struct Symbi {
+    /// DAG children of each query vertex (edges directed away from root).
+    dag_children: Vec<Vec<(QVertexId, ELabel)>>,
+    /// DAG parents of each query vertex.
+    dag_parents: Vec<Vec<(QVertexId, ELabel)>>,
+    /// Topological order (roots first).
+    topo: Vec<QVertexId>,
+    /// Bottom-up weak-candidate flags.
+    d1: Vec<Vec<bool>>,
+    /// Top-down strong-candidate flags (`D2 ⊆ D1`).
+    d2: Vec<Vec<bool>>,
+}
+
+impl Symbi {
+    /// Fresh, un-built instance (the framework calls `rebuild`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is `v` a strong (D2) candidate for `u`?
+    pub fn is_d2(&self, u: QVertexId, v: VertexId) -> bool {
+        self.d2[u.index()][v.index()]
+    }
+
+    /// Is `v` a weak (D1) candidate for `u`?
+    pub fn is_d1(&self, u: QVertexId, v: VertexId) -> bool {
+        self.d1[u.index()][v.index()]
+    }
+
+    /// Build the query DAG by BFS from the highest-degree vertex; every
+    /// query edge is directed from the endpoint closer to the root (ties:
+    /// smaller id), making the orientation acyclic.
+    fn build_dag(&mut self, q: &QueryGraph) {
+        let n = q.num_vertices();
+        self.dag_children = vec![Vec::new(); n];
+        self.dag_parents = vec![Vec::new(); n];
+        self.topo.clear();
+        if n == 0 {
+            return;
+        }
+        let root = q
+            .vertices()
+            .max_by_key(|&u| (q.degree(u), usize::MAX - u.index()))
+            .unwrap();
+        let mut level = vec![usize::MAX; n];
+        level[root.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in q.neighbors(u) {
+                if level[v.index()] == usize::MAX {
+                    level[v.index()] = level[u.index()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Disconnected queries: remaining vertices get fresh levels.
+        for i in 0..n {
+            if level[i] == usize::MAX {
+                level[i] = 0;
+            }
+        }
+        let rank = |u: QVertexId| (level[u.index()], u.index());
+        for e in q.edges() {
+            let (p, c) = if rank(e.u) <= rank(e.v) { (e.u, e.v) } else { (e.v, e.u) };
+            self.dag_children[p.index()].push((c, e.label));
+            self.dag_parents[c.index()].push((p, e.label));
+        }
+        let mut order: Vec<QVertexId> = q.vertices().collect();
+        order.sort_by_key(|&u| rank(u));
+        self.topo = order;
+    }
+
+    fn eval_d1(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        if !g.is_alive(v) || g.label(v) != q.label(u) {
+            return false;
+        }
+        self.dag_children[u.index()].iter().all(|&(uc, el)| {
+            g.neighbors(v)
+                .iter()
+                .any(|&(w, wl)| wl == el && self.d1[uc.index()][w.index()])
+        })
+    }
+
+    fn eval_d2(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        if !self.d1[u.index()][v.index()] {
+            return false;
+        }
+        let _ = q;
+        self.dag_parents[u.index()].iter().all(|&(up, el)| {
+            g.neighbors(v)
+                .iter()
+                .any(|&(w, wl)| wl == el && self.d2[up.index()][w.index()])
+        })
+    }
+
+    /// Re-evaluate `D1(u, v)` and propagate: D1 changes flow to DAG parents
+    /// (their D1 depends on children) and trigger a D2 re-evaluation of the
+    /// same pair (D2 has a D1 conjunct).
+    fn refresh_d1(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        let new = self.eval_d1(g, q, u, v);
+        if self.d1[u.index()][v.index()] == new {
+            return false;
+        }
+        self.d1[u.index()][v.index()] = new;
+        let parents = self.dag_parents[u.index()].clone();
+        for (up, el) in parents {
+            let ws: Vec<VertexId> = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, wl)| wl == el && g.label(w) == q.label(up))
+                .map(|&(w, _)| w)
+                .collect();
+            for w in ws {
+                self.refresh_d1(g, q, up, w);
+            }
+        }
+        self.refresh_d2(g, q, u, v);
+        true
+    }
+
+    /// Re-evaluate `D2(u, v)` and propagate to DAG children.
+    fn refresh_d2(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        let new = self.eval_d2(g, q, u, v);
+        if self.d2[u.index()][v.index()] == new {
+            return false;
+        }
+        self.d2[u.index()][v.index()] = new;
+        let children = self.dag_children[u.index()].clone();
+        for (uc, el) in children {
+            let ws: Vec<VertexId> = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, wl)| wl == el && g.label(w) == q.label(uc))
+                .map(|&(w, _)| w)
+                .collect();
+            for w in ws {
+                self.refresh_d2(g, q, uc, w);
+            }
+        }
+        true
+    }
+}
+
+impl CsmAlgorithm for Symbi {
+    fn name(&self) -> &'static str {
+        "Symbi"
+    }
+
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        self.build_dag(q);
+        let slots = g.vertex_slots();
+        let n = q.num_vertices();
+        self.d1 = vec![vec![false; slots]; n];
+        self.d2 = vec![vec![false; slots]; n];
+        // D1 bottom-up (reverse topological), D2 top-down (topological).
+        let topo = self.topo.clone();
+        for &u in topo.iter().rev() {
+            for i in 0..slots {
+                let v = VertexId::from(i);
+                self.d1[u.index()][i] = self.eval_d1(g, q, u, v);
+            }
+        }
+        for &u in &topo {
+            for i in 0..slots {
+                let v = VertexId::from(i);
+                self.d2[u.index()][i] = self.eval_d2(g, q, u, v);
+            }
+        }
+    }
+
+    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+        if self.d1.first().is_some_and(|s| s.len() < g.vertex_slots()) {
+            self.rebuild(g, q);
+            return AdsChange::Changed;
+        }
+        let mut changed = false;
+        // The edge affects D1 of the parent endpoint and D2 of the child
+        // endpoint of every label-compatible DAG edge, in both orientations.
+        for u in q.vertices() {
+            let lu = q.label(u);
+            for &(src, dst) in &[(e.src, e.dst), (e.dst, e.src)] {
+                if lu != g.label(src) {
+                    continue;
+                }
+                let as_parent = self.dag_children[u.index()]
+                    .iter()
+                    .any(|&(uc, el)| el == e.label && q.label(uc) == g.label(dst));
+                if as_parent {
+                    changed |= self.refresh_d1(g, q, u, src);
+                }
+                let as_child = self.dag_parents[u.index()]
+                    .iter()
+                    .any(|&(up, el)| el == e.label && q.label(up) == g.label(dst));
+                if as_child {
+                    changed |= self.refresh_d2(g, q, u, src);
+                }
+            }
+        }
+        AdsChange::from_changed(changed)
+    }
+
+    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        self.d2[u.index()][v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::VLabel;
+
+    /// Query: triangle u0(L0), u1(L1), u2(L2).
+    fn tri_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        let c = q.add_vertex(VLabel(2));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        q.add_edge(a, c, ELabel(0)).unwrap();
+        q
+    }
+
+    fn tri_graph() -> (DataGraph, [VertexId; 3]) {
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        g.insert_edge(v1, v2, ELabel(0)).unwrap();
+        g.insert_edge(v0, v2, ELabel(0)).unwrap();
+        (g, [v0, v1, v2])
+    }
+
+    #[test]
+    fn full_triangle_is_d2_everywhere() {
+        let q = tri_query();
+        let (g, [v0, v1, v2]) = tri_graph();
+        let mut s = Symbi::new();
+        s.rebuild(&g, &q);
+        assert!(s.is_d2(QVertexId(0), v0));
+        assert!(s.is_d2(QVertexId(1), v1));
+        assert!(s.is_d2(QVertexId(2), v2));
+        assert!(!s.is_d2(QVertexId(0), v1)); // label mismatch
+    }
+
+    #[test]
+    fn missing_edge_blocks_d_states() {
+        let q = tri_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        g.insert_edge(v1, v2, ELabel(0)).unwrap();
+        // v0-v2 missing: nothing can be a strong candidate for the triangle.
+        let mut s = Symbi::new();
+        s.rebuild(&g, &q);
+        assert!(!s.is_d2(QVertexId(0), v0) || !s.is_d2(QVertexId(2), v2));
+        // Insert the closing edge incrementally.
+        g.insert_edge(v0, v2, ELabel(0)).unwrap();
+        let ch = s.update_ads(&g, &q, EdgeUpdate::new(v0, v2, ELabel(0)), true);
+        assert_eq!(ch, AdsChange::Changed);
+        assert!(s.is_d2(QVertexId(0), v0));
+        assert!(s.is_d2(QVertexId(1), v1));
+        assert!(s.is_d2(QVertexId(2), v2));
+    }
+
+    #[test]
+    fn label_irrelevant_edge_is_invisible() {
+        let q = tri_query();
+        let (mut g, [_, v1, _]) = tri_graph();
+        let x = g.add_vertex(VLabel(9));
+        let mut s = Symbi::new();
+        s.rebuild(&g, &q);
+        g.insert_edge(v1, x, ELabel(0)).unwrap();
+        let ch = s.update_ads(&g, &q, EdgeUpdate::new(v1, x, ELabel(0)), true);
+        assert_eq!(ch, AdsChange::Unchanged);
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_on_random_updates() {
+        use rand::prelude::*;
+        let q = tri_query();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = DataGraph::new();
+        let n = 21;
+        for i in 0..n {
+            g.add_vertex(VLabel(i % 3));
+        }
+        let mut inc = Symbi::new();
+        inc.rebuild(&g, &q);
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for step in 0..240 {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if a == b {
+                continue;
+            }
+            let insert = edges.is_empty() || rng.gen_bool(0.6);
+            if insert {
+                if g.insert_edge(a, b, ELabel(0)).unwrap() {
+                    edges.push((a, b));
+                    inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), true);
+                }
+            } else {
+                let (a, b) = edges.swap_remove(rng.gen_range(0..edges.len()));
+                g.remove_edge(a, b).unwrap();
+                inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), false);
+            }
+            let mut fresh = Symbi::new();
+            fresh.rebuild(&g, &q);
+            assert_eq!(inc.d1, fresh.d1, "D1 divergence at step {step}");
+            assert_eq!(inc.d2, fresh.d2, "D2 divergence at step {step}");
+        }
+    }
+
+    #[test]
+    fn d2_subset_of_d1() {
+        use rand::prelude::*;
+        let q = tri_query();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = DataGraph::new();
+        for i in 0..15 {
+            g.add_vertex(VLabel(i % 3));
+        }
+        for _ in 0..40 {
+            let a = VertexId(rng.gen_range(0..15));
+            let b = VertexId(rng.gen_range(0..15));
+            if a != b {
+                let _ = g.insert_edge(a, b, ELabel(0));
+            }
+        }
+        let mut s = Symbi::new();
+        s.rebuild(&g, &q);
+        for u in q.vertices() {
+            for v in g.vertices() {
+                if s.is_d2(u, v) {
+                    assert!(s.is_d1(u, v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Differential-testing harness: every algorithm, sequential or parallel,
+//! must report exactly the `ΔM` a brute-force recomputation predicts.
+//!
+//! Exposed publicly (not `#[cfg(test)]`) so the workspace's integration
+//! tests and property tests share one oracle.
+
+use crate::registry::{AlgoKind, AnyAlgorithm};
+use csm_graph::{DataGraph, QueryGraph, Update, UpdateStream};
+use paracosm_core::{static_match, ParaCosm, ParaCosmConfig};
+
+/// Count all matches with the right edge-label semantics for `kind`.
+pub fn oracle_count(g: &DataGraph, q: &QueryGraph, kind: AlgoKind) -> u64 {
+    if kind.ignores_edge_labels() {
+        static_match::count_all_ignoring_elabels(g, q)
+    } else {
+        static_match::count_all(g, q)
+    }
+}
+
+/// Expected `(positives, negatives)` of one update, by recomputation on a
+/// shadow graph (which this function also advances).
+pub fn oracle_delta(
+    shadow: &mut DataGraph,
+    q: &QueryGraph,
+    kind: AlgoKind,
+    upd: Update,
+) -> (u64, u64) {
+    let before = oracle_count(shadow, q, kind);
+    match upd {
+        Update::InsertEdge(e) => {
+            shadow.insert_edge(e.src, e.dst, e.label).unwrap();
+        }
+        Update::DeleteEdge(e) => {
+            shadow.remove_edge(e.src, e.dst).unwrap();
+        }
+        Update::InsertVertex { id, label } => shadow.ensure_vertex(id, label),
+        Update::DeleteVertex { id } => shadow.delete_vertex(id, true).unwrap(),
+    }
+    let after = oracle_count(shadow, q, kind);
+    if after >= before {
+        (after - before, 0)
+    } else {
+        (0, before - after)
+    }
+}
+
+/// Run `kind` over the stream update-by-update and assert each reported
+/// `ΔM` equals the oracle's. Panics with a diagnostic on divergence.
+/// Returns the total `(positives, negatives)`.
+pub fn check_stream(
+    g0: &DataGraph,
+    q: &QueryGraph,
+    stream: &UpdateStream,
+    kind: AlgoKind,
+    cfg: ParaCosmConfig,
+) -> (u64, u64) {
+    let algo = kind.build(g0, q);
+    let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(g0.clone(), q.clone(), algo, cfg);
+    let mut shadow = g0.clone();
+    let (mut tp, mut tn) = (0u64, 0u64);
+    for (i, &upd) in stream.updates().iter().enumerate() {
+        let (want_pos, want_neg) = oracle_delta(&mut shadow, q, kind, upd);
+        let out = engine
+            .process_update(upd)
+            .unwrap_or_else(|e| panic!("{kind} failed on update {i} ({upd:?}): {e}"));
+        assert_eq!(
+            (out.positives, out.negatives),
+            (want_pos, want_neg),
+            "{kind}: ΔM mismatch at update {i} ({upd:?})"
+        );
+        tp += out.positives;
+        tn += out.negatives;
+    }
+    (tp, tn)
+}
+
+/// Run the whole stream through `process_stream` (exercising the batch
+/// executor when configured) and assert the stream-level totals match the
+/// oracle. Returns `(positives, negatives)`.
+pub fn check_stream_totals(
+    g0: &DataGraph,
+    q: &QueryGraph,
+    stream: &UpdateStream,
+    kind: AlgoKind,
+    cfg: ParaCosmConfig,
+) -> (u64, u64) {
+    let algo = kind.build(g0, q);
+    let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(g0.clone(), q.clone(), algo, cfg);
+    let mut shadow = g0.clone();
+    let (mut want_pos, mut want_neg) = (0u64, 0u64);
+    for &upd in stream.updates() {
+        let (p, n) = oracle_delta(&mut shadow, q, kind, upd);
+        want_pos += p;
+        want_neg += n;
+    }
+    let out = engine.process_stream(stream).expect("stream processing failed");
+    assert!(!out.timed_out, "{kind}: unexpected timeout");
+    assert_eq!(
+        (out.positives, out.negatives),
+        (want_pos, want_neg),
+        "{kind}: stream total mismatch"
+    );
+    (out.positives, out.negatives)
+}
+
+/// A deterministic random workload: labeled Erdős–Rényi-ish base graph plus
+/// a mixed insert/delete stream. Shared by unit, integration and property
+/// tests.
+pub fn random_workload(
+    seed: u64,
+    n_vertices: u32,
+    n_vlabels: u32,
+    n_elabels: u32,
+    base_edges: usize,
+    stream_len: usize,
+    delete_ratio: f64,
+) -> (DataGraph, UpdateStream) {
+    use csm_graph::{EdgeUpdate, VLabel, VertexId};
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DataGraph::new();
+    for i in 0..n_vertices {
+        g.add_vertex(VLabel(i % n_vlabels));
+    }
+    let mut present: Vec<(VertexId, VertexId, csm_graph::ELabel)> = Vec::new();
+    let mut tries = 0;
+    while present.len() < base_edges && tries < base_edges * 20 {
+        tries += 1;
+        let a = VertexId(rng.gen_range(0..n_vertices));
+        let b = VertexId(rng.gen_range(0..n_vertices));
+        if a == b {
+            continue;
+        }
+        let l = csm_graph::ELabel(rng.gen_range(0..n_elabels));
+        if g.insert_edge(a, b, l).unwrap() {
+            present.push((a, b, l));
+        }
+    }
+    let mut stream = UpdateStream::default();
+    // Attempt guard: a small dense graph can saturate (no insertable pair
+    // left); without it an insert-only request would spin forever.
+    let mut attempts = 0usize;
+    let max_attempts = stream_len * 50 + 100;
+    while stream.len() < stream_len && attempts < max_attempts {
+        attempts += 1;
+        let delete = !present.is_empty() && rng.gen_bool(delete_ratio);
+        if delete {
+            let (a, b, l) = present.swap_remove(rng.gen_range(0..present.len()));
+            stream.push(Update::DeleteEdge(EdgeUpdate::new(a, b, l)));
+        } else {
+            let a = VertexId(rng.gen_range(0..n_vertices));
+            let b = VertexId(rng.gen_range(0..n_vertices));
+            if a == b {
+                continue;
+            }
+            let l = csm_graph::ELabel(rng.gen_range(0..n_elabels));
+            if present.iter().any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a)) {
+                continue;
+            }
+            present.push((a, b, l));
+            stream.push(Update::InsertEdge(EdgeUpdate::new(a, b, l)));
+        }
+    }
+    // The stream must be applied against the *base* graph: deletions above
+    // were drawn from `present`, which includes stream-inserted edges, so
+    // replay is consistent by construction. But edges deleted from the base
+    // graph must exist there — they do, since `present` started as the base
+    // edge set.
+    (g, stream)
+}
+
+/// A small random query extracted by random walk from the graph (mirrors
+/// the paper's query generation, §5.1).
+pub fn random_walk_query(g: &DataGraph, seed: u64, size: usize) -> Option<QueryGraph> {
+    use csm_graph::{QVertexId, VertexId};
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alive: Vec<VertexId> = g.vertices().collect();
+    if alive.is_empty() {
+        return None;
+    }
+    for _attempt in 0..32 {
+        let start = alive[rng.gen_range(0..alive.len())];
+        let mut chosen: Vec<VertexId> = vec![start];
+        let mut cur = start;
+        let mut guard = 0;
+        while chosen.len() < size && guard < size * 50 {
+            guard += 1;
+            let nbrs = g.neighbors(cur);
+            if nbrs.is_empty() {
+                break;
+            }
+            let (nxt, _) = nbrs[rng.gen_range(0..nbrs.len())];
+            if !chosen.contains(&nxt) {
+                chosen.push(nxt);
+            }
+            cur = nxt;
+        }
+        if chosen.len() < size {
+            continue;
+        }
+        // Induced subgraph over the walked vertices.
+        let mut q = QueryGraph::new();
+        for &v in &chosen {
+            q.add_vertex(g.label(v));
+        }
+        for (i, &a) in chosen.iter().enumerate() {
+            for (j, &b) in chosen.iter().enumerate().skip(i + 1) {
+                if let Some(l) = g.edge_label(a, b) {
+                    q.add_edge(QVertexId::from(i), QVertexId::from(j), l).unwrap();
+                }
+            }
+        }
+        if q.is_connected() && q.num_edges() >= size - 1 {
+            return Some(q);
+        }
+    }
+    None
+}

@@ -1,0 +1,317 @@
+//! **TurboFlux** (Kim et al., SIGMOD '18) — spanning-tree DCG index.
+//!
+//! TurboFlux maintains the *data-centric graph* (DCG): a per
+//! `(query vertex u, data vertex v)` state machine with values
+//! `NULL / IMPLICIT / EXPLICIT`, organized around a spanning tree of the
+//! query. `EXPLICIT(u, v)` means the query subtree rooted at `u` can be
+//! embedded at `v` — i.e. `v` is a candidate for `u`. Edge updates drive
+//! incremental state transitions that propagate bottom-up along the tree
+//! (`O(|E(G)| · |V(Q)|)` worst case, paper Table 1).
+//!
+//! Index-state invariant (relied on by the safe-update classifier, see
+//! DESIGN.md §3.2): states depend **only on label-gated adjacency** — an
+//! edge whose label triple matches no query edge can never flip a state, so
+//! label-safe updates may skip `update_ads` entirely.
+
+use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use paracosm_core::{AdsChange, CsmAlgorithm};
+
+const NULL: u8 = 0;
+const IMPLICIT: u8 = 1;
+const EXPLICIT: u8 = 2;
+
+/// The TurboFlux algorithm with its DCG index.
+#[derive(Clone, Debug, Default)]
+pub struct TurboFlux {
+    /// Tree parent of each query vertex (`None` for the root).
+    parent: Vec<Option<(QVertexId, csm_graph::ELabel)>>,
+    /// Tree children of each query vertex with the tree-edge label.
+    children: Vec<Vec<(QVertexId, csm_graph::ELabel)>>,
+    /// `states[u][v]`: NULL / IMPLICIT / EXPLICIT.
+    states: Vec<Vec<u8>>,
+    /// Query vertices in post-order (children before parents).
+    postorder: Vec<QVertexId>,
+}
+
+impl TurboFlux {
+    /// Fresh, un-built instance (the framework calls `rebuild`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is `v` in the EXPLICIT state for `u` (i.e. a DCG candidate)?
+    pub fn is_explicit(&self, u: QVertexId, v: VertexId) -> bool {
+        self.states[u.index()][v.index()] == EXPLICIT
+    }
+
+    /// Count of EXPLICIT states for query vertex `u` (diagnostics).
+    pub fn explicit_count(&self, u: QVertexId) -> usize {
+        self.states[u.index()].iter().filter(|&&s| s == EXPLICIT).count()
+    }
+
+    fn build_tree(&mut self, q: &QueryGraph) {
+        let n = q.num_vertices();
+        self.parent = vec![None; n];
+        self.children = vec![Vec::new(); n];
+        self.postorder.clear();
+        if n == 0 {
+            return;
+        }
+        // Root: highest-degree query vertex (most selective subtree root).
+        let root = q
+            .vertices()
+            .max_by_key(|&u| (q.degree(u), usize::MAX - u.index()))
+            .unwrap();
+        // BFS spanning tree.
+        let mut visited = vec![false; n];
+        visited[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut bfs_order = vec![root];
+        while let Some(u) = queue.pop_front() {
+            for &(v, el) in q.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    self.parent[v.index()] = Some((u, el));
+                    self.children[u.index()].push((v, el));
+                    queue.push_back(v);
+                    bfs_order.push(v);
+                }
+            }
+        }
+        // Post-order = reverse BFS order (children always after parents in
+        // BFS, so the reverse evaluates children first).
+        self.postorder = bfs_order.into_iter().rev().collect();
+    }
+
+    /// Evaluate the state of `(u, v)` from current child states.
+    fn eval(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> u8 {
+        if !g.is_alive(v) || g.label(v) != q.label(u) {
+            return NULL;
+        }
+        for &(uc, el) in &self.children[u.index()] {
+            let covered = g.neighbors(v).iter().any(|&(w, wl)| {
+                wl == el && self.states[uc.index()][w.index()] == EXPLICIT
+            });
+            if !covered {
+                return IMPLICIT;
+            }
+        }
+        EXPLICIT
+    }
+
+    /// Re-evaluate `(u, v)`; on change, propagate to the parent level.
+    fn refresh(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        let new = self.eval(g, q, u, v);
+        let slot = &mut self.states[u.index()][v.index()];
+        if *slot == new {
+            return false;
+        }
+        *slot = new;
+        if let Some((p, pel)) = self.parent[u.index()] {
+            // The explicit-coverage of v's neighbors for p may have changed.
+            let neighbors: Vec<VertexId> = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, wl)| wl == pel && g.label(w) == q.label(p))
+                .map(|&(w, _)| w)
+                .collect();
+            for w in neighbors {
+                self.refresh(g, q, p, w);
+            }
+        }
+        true
+    }
+}
+
+impl CsmAlgorithm for TurboFlux {
+    fn name(&self) -> &'static str {
+        "TurboFlux"
+    }
+
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        self.build_tree(q);
+        let slots = g.vertex_slots();
+        self.states = vec![vec![NULL; slots]; q.num_vertices()];
+        let order = self.postorder.clone();
+        for u in order {
+            for i in 0..slots {
+                let v = VertexId::from(i);
+                if g.is_alive(v) && g.label(v) == q.label(u) {
+                    self.states[u.index()][i] = self.eval(g, q, u, v);
+                }
+            }
+        }
+    }
+
+    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+        if self
+            .states
+            .first()
+            .is_some_and(|s| s.len() < g.vertex_slots())
+        {
+            self.rebuild(g, q);
+            return AdsChange::Changed;
+        }
+        let mut changed = false;
+        // The edge (v1, v2) can only affect the coverage of a tree edge
+        // (u_p, u_c) whose labels match one of its orientations.
+        for u in q.vertices() {
+            let lu = q.label(u);
+            for &(src, dst) in &[(e.src, e.dst), (e.dst, e.src)] {
+                if lu != g.label(src) {
+                    continue;
+                }
+                let relevant = self.children[u.index()]
+                    .iter()
+                    .any(|&(uc, el)| el == e.label && q.label(uc) == g.label(dst));
+                if relevant {
+                    changed |= self.refresh(g, q, u, src);
+                }
+            }
+        }
+        AdsChange::from_changed(changed)
+    }
+
+    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        self.states[u.index()][v.index()] == EXPLICIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::{ELabel, VLabel};
+
+    /// Query: path u0(L0) - u1(L1) - u2(L2).
+    fn path_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        let c = q.add_vertex(VLabel(2));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        q
+    }
+
+    #[test]
+    fn rebuild_computes_explicit_states() {
+        let q = path_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        g.insert_edge(v1, v2, ELabel(0)).unwrap();
+        let mut tf = TurboFlux::new();
+        tf.rebuild(&g, &q);
+        // Root is u1 (degree 2); leaves u0, u2 are explicit by label.
+        assert!(tf.is_explicit(QVertexId(0), v0));
+        assert!(tf.is_explicit(QVertexId(2), v2));
+        assert!(tf.is_explicit(QVertexId(1), v1));
+        assert!(!tf.is_explicit(QVertexId(1), v0)); // wrong label → NULL
+    }
+
+    #[test]
+    fn insert_propagates_up_the_tree() {
+        let q = path_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        let mut tf = TurboFlux::new();
+        tf.rebuild(&g, &q);
+        // u1 at v1 lacks the L2 child → implicit, not explicit.
+        assert!(!tf.is_explicit(QVertexId(1), v1));
+        // Insert the missing edge; state must flip to explicit.
+        g.insert_edge(v1, v2, ELabel(0)).unwrap();
+        let e = EdgeUpdate::new(v1, v2, ELabel(0));
+        assert_eq!(tf.update_ads(&g, &q, e, true), AdsChange::Changed);
+        assert!(tf.is_explicit(QVertexId(1), v1));
+    }
+
+    #[test]
+    fn delete_propagates_down_to_null_coverage() {
+        let q = path_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        g.insert_edge(v1, v2, ELabel(0)).unwrap();
+        let mut tf = TurboFlux::new();
+        tf.rebuild(&g, &q);
+        assert!(tf.is_explicit(QVertexId(1), v1));
+        g.remove_edge(v1, v2).unwrap();
+        let e = EdgeUpdate::new(v1, v2, ELabel(0));
+        assert_eq!(tf.update_ads(&g, &q, e, false), AdsChange::Changed);
+        assert!(!tf.is_explicit(QVertexId(1), v1));
+    }
+
+    #[test]
+    fn label_irrelevant_edge_leaves_states_unchanged() {
+        let q = path_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v3 = g.add_vertex(VLabel(7));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        let mut tf = TurboFlux::new();
+        tf.rebuild(&g, &q);
+        // (L1, L7) matches no query edge → index invariant.
+        g.insert_edge(v1, v3, ELabel(0)).unwrap();
+        let e = EdgeUpdate::new(v1, v3, ELabel(0));
+        assert_eq!(tf.update_ads(&g, &q, e, true), AdsChange::Unchanged);
+    }
+
+    #[test]
+    fn wrong_edge_label_does_not_cover() {
+        let q = path_query();
+        let mut g = DataGraph::new();
+        let v0 = g.add_vertex(VLabel(0));
+        let v1 = g.add_vertex(VLabel(1));
+        let v2 = g.add_vertex(VLabel(2));
+        g.insert_edge(v0, v1, ELabel(0)).unwrap();
+        g.insert_edge(v1, v2, ELabel(9)).unwrap(); // wrong edge label
+        let mut tf = TurboFlux::new();
+        tf.rebuild(&g, &q);
+        assert!(!tf.is_explicit(QVertexId(1), v1));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_on_random_updates() {
+        use rand::prelude::*;
+        let q = path_query();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = DataGraph::new();
+        let n = 24;
+        for i in 0..n {
+            g.add_vertex(VLabel(i % 3));
+        }
+        let mut inc = TurboFlux::new();
+        inc.rebuild(&g, &q);
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for step in 0..240 {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if a == b {
+                continue;
+            }
+            let insert = edges.is_empty() || rng.gen_bool(0.65);
+            if insert {
+                if g.insert_edge(a, b, ELabel(0)).unwrap() {
+                    edges.push((a, b));
+                    inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), true);
+                }
+            } else {
+                let (a, b) = edges.swap_remove(rng.gen_range(0..edges.len()));
+                g.remove_edge(a, b).unwrap();
+                inc.update_ads(&g, &q, EdgeUpdate::new(a, b, ELabel(0)), false);
+            }
+            // Compare against a from-scratch rebuild.
+            let mut fresh = TurboFlux::new();
+            fresh.rebuild(&g, &q);
+            assert_eq!(inc.states, fresh.states, "divergence at step {step}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Micro-benchmark: per-algorithm ADS maintenance cost (`Update_ADS`) —
+//! the index-update column of paper Table 1, measured on a
+//! LiveJournal-like stream without any search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algos::AlgoKind;
+use csm_datagen::{DatasetKind, Scale, WorkloadConfig};
+use paracosm_core::CsmAlgorithm;
+
+fn bench_ads_update(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::LiveJournal, Scale::Xs, 6);
+    cfg.n_queries = 1;
+    cfg.max_stream_len = 200;
+    let w = csm_datagen::build_workload(&cfg);
+    let q = &w.queries[0];
+
+    let mut group = c.benchmark_group("ads_update");
+    group.sample_size(10);
+    for kind in AlgoKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut g = w.initial.clone();
+                let mut algo = kind.build(&g, q);
+                let mut changes = 0u64;
+                for u in &w.stream {
+                    if let csm_graph::Update::InsertEdge(e) = *u {
+                        if g.insert_edge(e.src, e.dst, e.label).unwrap()
+                            && algo.update_ads(&g, q, e, true)
+                                == paracosm_core::AdsChange::Changed
+                        {
+                            changes += 1;
+                        }
+                    }
+                }
+                changes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::LiveJournal, Scale::Xs, 6);
+    cfg.n_queries = 1;
+    let w = csm_datagen::build_workload(&cfg);
+    let q = &w.queries[0];
+
+    let mut group = c.benchmark_group("ads_rebuild");
+    group.sample_size(10);
+    for kind in [AlgoKind::TurboFlux, AlgoKind::Symbi, AlgoKind::CaLiG] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| kind.build(&w.initial, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ads_update, bench_rebuild);
+criterion_main!(benches);

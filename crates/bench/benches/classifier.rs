@@ -1,0 +1,47 @@
+//! Micro-benchmark: throughput of the three-stage safe-update classifier
+//! (paper §4.2) — the per-update cost inter-update parallelism pays to
+//! skip `Find_Matches`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csm_algos::AlgoKind;
+use csm_datagen::{DatasetKind, Scale, WorkloadConfig};
+use paracosm_core::inter;
+
+fn bench_classifier_stages(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::Orkut, Scale::Xs, 6);
+    cfg.n_queries = 1;
+    cfg.max_stream_len = 1000;
+    let w = csm_datagen::build_workload(&cfg);
+    let q = &w.queries[0];
+    let g = &w.initial;
+    let edges: Vec<_> = w.stream.updates().iter().filter_map(|u| u.edge()).collect();
+
+    let mut group = c.benchmark_group("classifier");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+
+    group.bench_function("stage1_label", |b| {
+        b.iter(|| edges.iter().filter(|e| inter::label_safe(g, q, e, false)).count())
+    });
+    group.bench_function("stage2_degree", |b| {
+        b.iter(|| edges.iter().filter(|e| inter::degree_safe(g, q, e, true, false)).count())
+    });
+    for kind in [AlgoKind::TurboFlux, AlgoKind::Symbi, AlgoKind::CaLiG] {
+        let algo = kind.build(g, q);
+        group.bench_with_input(
+            BenchmarkId::new("stage3_candidates", kind.name()),
+            &algo,
+            |b, algo| {
+                b.iter(|| {
+                    edges
+                        .iter()
+                        .filter(|e| inter::candidates_safe(g, q, algo, e))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier_stages);
+criterion_main!(benches);

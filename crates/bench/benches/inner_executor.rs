@@ -1,0 +1,147 @@
+//! Micro-benchmark + ablation: the inner-update executor (paper §4.1).
+//!
+//! * real threaded executor vs the algorithm's sequential search;
+//! * `SPLIT_DEPTH` ablation (the adaptive-splitting design knob of
+//!   Algorithm 2);
+//! * virtual-scheduler decomposition overhead across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algos::GraphFlow;
+use csm_datagen::{synth, SynthConfig};
+use csm_graph::{QueryGraph, VLabel, VertexId};
+use paracosm_core::order::MatchingOrders;
+use paracosm_core::{inner, CsmAlgorithm, Embedding, InnerConfig, SeedTask};
+
+struct Setup {
+    g: csm_graph::DataGraph,
+    q: QueryGraph,
+    orders: MatchingOrders,
+    algo: GraphFlow,
+}
+
+fn setup() -> Setup {
+    // Dense-ish unlabeled graph: one update fans out into a large tree.
+    let g = synth::generate(&SynthConfig {
+        n_vertices: 300,
+        n_edges: 4500,
+        n_vlabels: 1,
+        n_elabels: 1,
+        alpha: 0.4,
+        seed: 3,
+    });
+    let mut q = QueryGraph::new();
+    let us: Vec<_> = (0..4).map(|_| q.add_vertex(VLabel(0))).collect();
+    for i in 0..4 {
+        q.add_edge(us[i], us[(i + 1) % 4], csm_graph::ELabel(0)).unwrap();
+    }
+    let orders = MatchingOrders::build(&q);
+    let mut algo = GraphFlow::new();
+    algo.rebuild(&g, &q);
+    Setup { g, q, orders, algo }
+}
+
+fn seeds(s: &Setup) -> Vec<SeedTask> {
+    let (a, b) = (VertexId(0), VertexId(1));
+    let el = s.g.edge_label(a, b).unwrap_or(csm_graph::ELabel(0));
+    s.q
+        .seed_edges(s.g.label(a), s.g.label(b), el, false)
+        .map(|(ua, ub)| {
+            let mut emb = Embedding::empty();
+            emb.set(ua, a);
+            emb.set(ub, b);
+            SeedTask { order_idx: s.orders.seed_index(ua, ub), depth: 2, emb }
+        })
+        .collect()
+}
+
+fn cfg(threads: usize, split_depth: usize, lb: bool) -> InnerConfig {
+    InnerConfig { split_depth, load_balance: lb, ..InnerConfig::fine(threads) }
+}
+
+fn bench_fine_vs_coarse(c: &mut Criterion) {
+    // Ablation for the paper's Challenge 1: fine-grained adaptive splitting
+    // vs Mnemonic-granularity coarse tasks.
+    let s = setup();
+    let mut group = c.benchmark_group("fine_vs_coarse");
+    group.sample_size(10);
+    group.bench_function("fine", |b| {
+        b.iter(|| {
+            inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), InnerConfig::fine(4))
+                .sink
+                .count
+        })
+    });
+    group.bench_function("coarse", |b| {
+        b.iter(|| {
+            inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), InnerConfig::coarse(4))
+                .sink
+                .count
+        })
+    });
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("inner_executor_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), cfg(t, 3, true))
+                    .sink
+                    .count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_depth_ablation(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("split_depth_ablation");
+    group.sample_size(10);
+    for depth in [0usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), cfg(4, d, true))
+                    .sink
+                    .count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulated_overhead(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("virtual_scheduler");
+    group.sample_size(10);
+    for workers in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                inner::run_simulated(
+                    &s.g,
+                    &s.q,
+                    &s.orders,
+                    &s.algo,
+                    None,
+                    seeds(&s),
+                    cfg(w, 3, true),
+                )
+                .sink
+                .count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threaded,
+    bench_split_depth_ablation,
+    bench_simulated_overhead,
+    bench_fine_vs_coarse
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: the seeded enumeration kernel (`Find_Matches` for one
+//! update) across the five algorithms on the Amazon stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algos::AlgoKind;
+use csm_datagen::{DatasetKind, Scale, WorkloadConfig};
+use paracosm_core::{ParaCosm, ParaCosmConfig};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 5);
+    cfg.n_queries = 1;
+    cfg.max_stream_len = 40;
+    let w = csm_datagen::build_workload(&cfg);
+    let q = &w.queries[0];
+
+    let mut group = c.benchmark_group("seeded_enumeration");
+    group.sample_size(10);
+    for kind in AlgoKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let algo = kind.build(&w.initial, q);
+                let mut engine =
+                    ParaCosm::new(w.initial.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+                let out = engine.process_stream(&w.stream).unwrap();
+                out.positives
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Shared single-threaded sweep over (algorithm × query size) on the
+//! LiveJournal stand-in — the data behind paper **Table 3** (time breakdown
+//! + success rate) and **Figure 4** (computing time vs query size).
+
+use crate::report::{fmt_dur, fmt_pct, Table};
+use crate::runner::{CellResult, ExpOptions};
+use csm_algos::AlgoKind;
+use csm_datagen::DatasetKind;
+
+/// One (algorithm, size) cell of the sweep.
+pub struct SweepCell {
+    /// Algorithm.
+    pub kind: AlgoKind,
+    /// Query size.
+    pub qsize: usize,
+    /// Per-query sequential runs.
+    pub cell: CellResult,
+}
+
+/// The full sweep (cached so `table3` and `fig4` share one run).
+pub struct Sweep {
+    /// All cells, algorithm-major.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Run the sweep: every algorithm × every query size, sequentially.
+pub fn run_sweep(opts: &ExpOptions) -> Sweep {
+    let mut cells = Vec::new();
+    for &qsize in &opts.qsizes {
+        let w = opts.workload(DatasetKind::LiveJournal, qsize);
+        for kind in AlgoKind::ALL {
+            eprintln!("  [singlethread] {kind} size={qsize} ({} queries)", w.queries.len());
+            let cell = CellResult::collect(&w, kind, &opts.seq_cfg());
+            cells.push(SweepCell { kind, qsize, cell });
+        }
+    }
+    Sweep { cells }
+}
+
+impl Sweep {
+    fn get(&self, kind: AlgoKind, qsize: usize) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.kind == kind && c.qsize == qsize)
+    }
+
+    /// Paper Table 3: ADS-update %, Find_Matches %, success rate per
+    /// (algorithm, query size).
+    pub fn table3(&self, opts: &ExpOptions) -> Table {
+        let mut headers = vec!["Algorithm".to_string()];
+        for &s in &opts.qsizes {
+            headers.push(format!("ADS%({s})"));
+            headers.push(format!("Find%({s})"));
+            headers.push(format!("Succ({s})"));
+        }
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            "Table 3: time share of ADS update / Find_Matches and success rate (single-threaded, LiveJournal)",
+            &hdr_refs,
+        );
+        t.note(format!(
+            "timeout {:?} per query, {} queries/cell (paper: 1h, 100 queries)",
+            opts.timeout, opts.queries_per_cell
+        ));
+        for kind in AlgoKind::ALL {
+            let mut row = vec![kind.name().to_string()];
+            for &s in &opts.qsizes {
+                match self.get(kind, s) {
+                    Some(c) => {
+                        if kind == AlgoKind::GraphFlow || kind == AlgoKind::NewSP {
+                            row.push("N/A".into());
+                        } else {
+                            row.push(fmt_pct(c.cell.ads_pct()));
+                        }
+                        row.push(fmt_pct(c.cell.find_pct()));
+                        row.push(format!("{:.0}", c.cell.success_rate()));
+                    }
+                    None => row.extend(["-".into(), "-".into(), "-".into()]),
+                }
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Paper Figure 4: mean incremental matching time vs query size.
+    pub fn fig4(&self, opts: &ExpOptions) -> Table {
+        let mut headers = vec!["Algorithm".to_string()];
+        for &s in &opts.qsizes {
+            headers.push(format!("size {s}"));
+        }
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            "Figure 4: single-threaded incremental matching time vs query size (LiveJournal)",
+            &hdr_refs,
+        );
+        t.note("mean stream time over successful queries; TO = all queries timed out");
+        for kind in AlgoKind::ALL {
+            let mut row = vec![kind.name().to_string()];
+            for &s in &opts.qsizes {
+                let cell = self.get(kind, s);
+                row.push(match cell.and_then(|c| c.cell.mean_elapsed()) {
+                    Some(d) => fmt_dur(d),
+                    None => "TO".into(),
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+}

@@ -1,0 +1,16 @@
+//! # paracosm-bench — the benchmark harness regenerating the paper's
+//! evaluation
+//!
+//! * `bin/repro` — one subcommand per table/figure (`repro table3`,
+//!   `repro fig7`, … or `repro all`);
+//! * `benches/` — Criterion micro-benchmarks (kernel, ADS maintenance,
+//!   classifier, inner executor, end-to-end);
+//! * [`experiments`] — the experiment implementations;
+//! * [`runner`]/[`report`] — measurement plumbing and table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,309 @@
+//! Shared measurement plumbing for the experiment harness.
+
+use csm_algos::{AlgoKind, AnyAlgorithm};
+use csm_datagen::{DatasetKind, Scale, Workload, WorkloadConfig};
+use csm_graph::{DataGraph, QueryGraph, UpdateStream};
+use paracosm_core::{ClassifierStats, ParaCosm, ParaCosmConfig};
+use std::time::Duration;
+
+/// Global experiment options (CLI-controlled).
+#[derive(Clone, Debug)]
+pub struct ExpOptions {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// The "ParaCOSM thread count" — virtual workers in the simulated
+    /// scheduler (the paper's headline configuration is 32).
+    pub threads: usize,
+    /// Queries per (dataset, size) cell (paper: 100; scaled down).
+    pub queries_per_cell: usize,
+    /// Cap on stream length per query run (0 = full 10 % sample).
+    pub stream_cap: usize,
+    /// Per-query time limit (the paper's 1-hour timeout, scaled).
+    pub timeout: Duration,
+    /// Query sizes to sweep (paper: 6–10).
+    pub qsizes: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: Scale::Xs,
+            threads: 32,
+            queries_per_cell: 5,
+            stream_cap: 250,
+            timeout: Duration::from_secs(5),
+            qsizes: vec![6, 7, 8, 9, 10],
+            seed: 1,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Build the workload for one `(dataset, query size)` cell. The
+    /// underlying full graph is cached per `(dataset, scale)` — generation
+    /// is deterministic and several experiments sweep the same dataset many
+    /// times.
+    pub fn workload(&self, dataset: DatasetKind, qsize: usize) -> Workload {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(DatasetKind, &'static str), csm_graph::DataGraph>>> =
+            OnceLock::new();
+        let full = {
+            let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+            let mut map = cache.lock().unwrap();
+            map.entry((dataset, self.scale.suffix()))
+                .or_insert_with(|| dataset.generate(self.scale))
+                .clone()
+        };
+        let mut cfg = WorkloadConfig::paper_cell(dataset, self.scale, qsize);
+        cfg.n_queries = self.queries_per_cell;
+        cfg.max_stream_len = self.stream_cap;
+        cfg.query_seed ^= self.seed;
+        let queries =
+            csm_datagen::generate_queries(&full, cfg.query_size, cfg.n_queries, cfg.query_seed);
+        let (initial, mut stream) = csm_datagen::split_stream(&full, &cfg.stream);
+        if cfg.max_stream_len > 0 && stream.len() > cfg.max_stream_len {
+            stream = stream.truncated(cfg.max_stream_len);
+        }
+        Workload {
+            name: format!("{}-{}", dataset.name(), self.scale.suffix()),
+            initial,
+            queries,
+            stream,
+        }
+    }
+
+    /// Sequential baseline configuration.
+    pub fn seq_cfg(&self) -> ParaCosmConfig {
+        ParaCosmConfig::sequential().with_time_limit(self.timeout)
+    }
+
+    /// Full ParaCOSM configuration (virtual scheduler + inter-update).
+    pub fn para_cfg(&self) -> ParaCosmConfig {
+        ParaCosmConfig::simulated(self.threads).with_time_limit(self.timeout)
+    }
+
+    /// ParaCOSM at a specific worker count.
+    pub fn para_cfg_at(&self, threads: usize) -> ParaCosmConfig {
+        ParaCosmConfig::simulated(threads).with_time_limit(self.timeout)
+    }
+}
+
+/// Result of one (query, stream) run.
+#[derive(Clone, Debug)]
+pub struct QueryRun {
+    /// Wall-clock time of the stream run on this host.
+    pub elapsed: Duration,
+    /// Projected parallel time (`wall − find_time + find_span`); equals
+    /// `elapsed` for sequential runs.
+    pub projected: Duration,
+    /// ADS maintenance time.
+    pub ads_time: Duration,
+    /// Enumeration (work) time.
+    pub find_time: Duration,
+    /// Batch-executor data-parallel time (stage-1 + bulk apply).
+    pub bulk_time: Duration,
+    /// Positive matches.
+    pub positives: u64,
+    /// Negative matches.
+    pub negatives: u64,
+    /// The run exceeded its time limit (a failed run).
+    pub timed_out: bool,
+    /// Classifier verdict counters.
+    pub classifier: ClassifierStats,
+    /// Accumulated per-worker busy time.
+    pub thread_busy: Vec<Duration>,
+}
+
+impl QueryRun {
+    /// Projected time with the batch executor's data-parallel phases spread
+    /// over `k` threads (paper Fig. 6: safe updates handled by k workers).
+    pub fn projected_with_bulk(&self, k: usize) -> Duration {
+        let k = k.max(1) as u32;
+        self.projected.saturating_sub(self.bulk_time) + self.bulk_time / k
+    }
+}
+
+/// Run one query's stream through a fresh engine.
+pub fn run_query(
+    initial: &DataGraph,
+    q: &QueryGraph,
+    stream: &UpdateStream,
+    kind: AlgoKind,
+    cfg: ParaCosmConfig,
+) -> QueryRun {
+    let algo = kind.build(initial, q);
+    let mut engine: ParaCosm<AnyAlgorithm> =
+        ParaCosm::new(initial.clone(), q.clone(), algo, cfg);
+    let out = engine.process_stream(stream).expect("well-formed stream");
+    let stats = &engine.stats;
+    QueryRun {
+        elapsed: out.elapsed,
+        projected: stats.projected_time(out.elapsed),
+        ads_time: stats.ads_time,
+        find_time: stats.find_time,
+        bulk_time: stats.bulk_time,
+        positives: out.positives,
+        negatives: out.negatives,
+        timed_out: out.timed_out,
+        classifier: stats.classifier,
+        thread_busy: stats.thread_busy.clone(),
+    }
+}
+
+/// Aggregate over a cell's queries.
+#[derive(Clone, Debug, Default)]
+pub struct CellResult {
+    /// Per-query runs.
+    pub runs: Vec<QueryRun>,
+}
+
+impl CellResult {
+    /// Run every query of a workload under `cfg`.
+    pub fn collect(w: &Workload, kind: AlgoKind, cfg: &ParaCosmConfig) -> CellResult {
+        let runs = w
+            .queries
+            .iter()
+            .map(|q| run_query(&w.initial, q, &w.stream, kind, cfg.clone()))
+            .collect();
+        CellResult { runs }
+    }
+
+    /// Fraction of runs that finished within the time limit, in percent.
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let ok = self.runs.iter().filter(|r| !r.timed_out).count();
+        100.0 * ok as f64 / self.runs.len() as f64
+    }
+
+    /// Mean wall time over successful runs.
+    pub fn mean_elapsed(&self) -> Option<Duration> {
+        mean_dur(self.runs.iter().filter(|r| !r.timed_out).map(|r| r.elapsed))
+    }
+
+    /// Mean projected (parallel) time over successful runs.
+    pub fn mean_projected(&self) -> Option<Duration> {
+        mean_dur(self.runs.iter().filter(|r| !r.timed_out).map(|r| r.projected))
+    }
+
+    /// Mean ADS-update share of total time, in percent.
+    pub fn ads_pct(&self) -> f64 {
+        share(self.runs.iter().filter(|r| !r.timed_out), |r| r.ads_time)
+    }
+
+    /// Mean Find_Matches share of total time, in percent.
+    pub fn find_pct(&self) -> f64 {
+        share(self.runs.iter().filter(|r| !r.timed_out), |r| r.find_time)
+    }
+
+    /// Merged classifier stats across runs.
+    pub fn classifier(&self) -> ClassifierStats {
+        let mut c = ClassifierStats::default();
+        for r in &self.runs {
+            c.merge(&r.classifier);
+        }
+        c
+    }
+}
+
+fn mean_dur(iter: impl Iterator<Item = Duration>) -> Option<Duration> {
+    let v: Vec<Duration> = iter.collect();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<Duration>() / v.len() as u32)
+    }
+}
+
+fn share<'a>(
+    runs: impl Iterator<Item = &'a QueryRun>,
+    f: impl Fn(&QueryRun) -> Duration,
+) -> f64 {
+    let (mut part, mut total) = (Duration::ZERO, Duration::ZERO);
+    for r in runs {
+        part += f(r);
+        total += r.elapsed;
+    }
+    if total.is_zero() {
+        0.0
+    } else {
+        100.0 * part.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+/// Geometric-mean speedup of `base` over `fast`, paired by query index and
+/// restricted to runs successful in both.
+pub fn speedup(base: &CellResult, fast: &CellResult, use_projected: bool) -> Option<f64> {
+    let mut logs = Vec::new();
+    for (b, f) in base.runs.iter().zip(&fast.runs) {
+        if b.timed_out || f.timed_out {
+            continue;
+        }
+        let tb = b.elapsed.as_secs_f64();
+        let tf = if use_projected { f.projected.as_secs_f64() } else { f.elapsed.as_secs_f64() };
+        if tb > 0.0 && tf > 0.0 {
+            logs.push((tb / tf).ln());
+        }
+    }
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        let mut cfg = WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 4);
+        cfg.n_queries = 2;
+        cfg.max_stream_len = 30;
+        csm_datagen::build_workload(&cfg)
+    }
+
+    #[test]
+    fn cell_collect_and_aggregates() {
+        let w = tiny_workload();
+        let opts = ExpOptions::default();
+        let cell = CellResult::collect(&w, AlgoKind::GraphFlow, &opts.seq_cfg());
+        assert_eq!(cell.runs.len(), 2);
+        assert_eq!(cell.success_rate(), 100.0);
+        assert!(cell.mean_elapsed().is_some());
+        // Shares must be sane percentages.
+        assert!(cell.find_pct() >= 0.0 && cell.find_pct() <= 100.0);
+    }
+
+    #[test]
+    fn sequential_and_simulated_agree_on_results() {
+        let w = tiny_workload();
+        let opts = ExpOptions::default();
+        for kind in [AlgoKind::Symbi, AlgoKind::GraphFlow] {
+            let seq = CellResult::collect(&w, kind, &opts.seq_cfg());
+            let par = CellResult::collect(&w, kind, &opts.para_cfg());
+            for (s, p) in seq.runs.iter().zip(&par.runs) {
+                assert_eq!(
+                    (s.positives, s.negatives),
+                    (p.positives, p.negatives),
+                    "{kind} parallel/sequential result divergence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_pairs_runs() {
+        let w = tiny_workload();
+        let opts = ExpOptions::default();
+        let seq = CellResult::collect(&w, AlgoKind::TurboFlux, &opts.seq_cfg());
+        let par = CellResult::collect(&w, AlgoKind::TurboFlux, &opts.para_cfg());
+        let s = speedup(&seq, &par, true);
+        assert!(s.is_some());
+        assert!(s.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The algorithm plug-in interface — the paper's "two user functions".
+//!
+//! ParaCOSM (Fig. 5) parallelizes any CSM algorithm that fits the general
+//! two-stage model of §2.2: maintain an auxiliary data structure (ADS) per
+//! update, then enumerate incremental matches over a search tree. To plug
+//! into the framework an algorithm provides:
+//!
+//! 1. a **traversal routine** — [`CsmAlgorithm::search`] (defaults to the
+//!    shared backtracking kernel driven by the algorithm's candidate test);
+//! 2. a **filtering rule** — [`CsmAlgorithm::is_candidate`] plus the ADS
+//!    maintenance in [`CsmAlgorithm::update_ads`], whose change-report feeds
+//!    the stage-3 candidate filter of the update classifier.
+//!
+//! # Soundness contract
+//!
+//! * `is_candidate(u, v) == false` must imply `v` participates in **no**
+//!   match at query position `u` in the current graph — filters prune, never
+//!   decide.
+//! * `update_ads` must return [`AdsChange::Changed`] whenever any internal
+//!   state changed; returning `Unchanged` spuriously breaks the safe-update
+//!   classifier.
+//!
+//! Both contracts are enforced by the workspace's differential tests.
+
+use crate::embedding::{Embedding, MatchSink};
+use crate::kernel::{self, CandidateFilter, SearchCtx, SearchStats};
+use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+
+/// Did an ADS update mutate any internal state?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdsChange {
+    /// No state changed; the update is invisible to the index.
+    Unchanged,
+    /// At least one state changed.
+    Changed,
+}
+
+impl AdsChange {
+    /// Combine two change reports.
+    #[inline]
+    pub fn or(self, other: AdsChange) -> AdsChange {
+        if self == AdsChange::Changed || other == AdsChange::Changed {
+            AdsChange::Changed
+        } else {
+            AdsChange::Unchanged
+        }
+    }
+
+    /// Convenience constructor from a boolean "changed" flag.
+    #[inline]
+    pub fn from_changed(changed: bool) -> AdsChange {
+        if changed {
+            AdsChange::Changed
+        } else {
+            AdsChange::Unchanged
+        }
+    }
+}
+
+/// A continuous-subgraph-matching algorithm hosted by ParaCOSM.
+///
+/// The framework owns the data graph and the processing loop; the algorithm
+/// owns its ADS and candidate semantics. See the module docs for the
+/// soundness contract.
+pub trait CsmAlgorithm: Send + Sync {
+    /// Human-readable algorithm name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Does this algorithm ignore edge labels? (CaLiG does, per the paper's
+    /// experimental setup §5.1 — edge labels are stripped for it.)
+    fn ignore_edge_labels(&self) -> bool {
+        false
+    }
+
+    /// Rebuild the ADS from scratch for the current graph (offline stage,
+    /// and fallback after structural events like vertex-table growth).
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph);
+
+    /// Maintain the ADS for one edge update (online stage).
+    ///
+    /// Call convention (mirrors paper Algorithm 1): for an **insertion**,
+    /// `g` already contains the edge; for a **deletion**, `g` no longer
+    /// contains it. Must report whether any internal state changed.
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        is_insert: bool,
+    ) -> AdsChange;
+
+    /// The ADS candidate test: may `v` be matched to `u` given the current
+    /// index state? The kernel additionally enforces label equality, the
+    /// degree prune, backward-edge checks and injectivity, so this only
+    /// needs to express the algorithm's *extra* pruning.
+    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
+
+    /// The algorithm's sequential enumeration from a partial embedding at
+    /// `depth` along `ctx.order`. The default is the shared backtracking
+    /// kernel filtered by [`Self::is_candidate`]; algorithms with their own
+    /// traversal shape (GraphFlow's join-style frontier, NewSP's CPT/EXP)
+    /// override this — exactly the "traversal routine" of paper Fig. 5.
+    ///
+    /// Returns `false` iff enumeration was stopped early (deadline or sink).
+    fn search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        depth: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        kernel::extend(ctx, &AdsCandidates(self), emb, depth, sink, stats)
+    }
+}
+
+/// Adapter exposing an algorithm's candidate test as a [`CandidateFilter`].
+pub struct AdsCandidates<'a, A: CsmAlgorithm + ?Sized>(pub &'a A);
+
+impl<A: CsmAlgorithm + ?Sized> CandidateFilter for AdsCandidates<'_, A> {
+    #[inline]
+    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        self.0.is_candidate(g, q, u, v)
+    }
+}
+
+/// A factory for algorithm instances, used by harnesses that run the same
+/// algorithm over many (graph, query) pairs.
+pub trait AlgorithmFactory {
+    /// The constructed algorithm type.
+    type Algo: CsmAlgorithm;
+    /// Build (offline stage) an instance for `(g, q)`.
+    fn build(&self, g: &DataGraph, q: &QueryGraph) -> Self::Algo;
+    /// The algorithm's display name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ads_change_combinators() {
+        use AdsChange::*;
+        assert_eq!(Unchanged.or(Unchanged), Unchanged);
+        assert_eq!(Unchanged.or(Changed), Changed);
+        assert_eq!(Changed.or(Unchanged), Changed);
+        assert_eq!(AdsChange::from_changed(true), Changed);
+        assert_eq!(AdsChange::from_changed(false), Unchanged);
+    }
+}

@@ -1,0 +1,219 @@
+//! Automorphism handling: counting *distinct subgraphs* instead of
+//! mappings.
+//!
+//! CSM engines (this reproduction included, matching the literature) count
+//! *mappings*: a triangle query over an unlabeled triangle reports 6
+//! results, one per automorphic image. Applications usually want each
+//! subgraph once. Because every injective mapping's automorphic orbit has
+//! size exactly `|Aut(Q)|` (the stabilizer of an injective mapping is
+//! trivial), two exact dedup strategies exist:
+//!
+//! * divide mapping counts by [`AutomorphismGroup::order`] — `O(1)`;
+//! * keep only the *canonical* representative of each orbit during
+//!   enumeration via [`CanonicalSink`] — needed when materializing.
+
+use crate::embedding::{Embedding, MatchSink};
+use csm_graph::{QVertexId, QueryGraph};
+
+/// The automorphism group of a query graph, as explicit permutations.
+#[derive(Clone, Debug)]
+pub struct AutomorphismGroup {
+    /// Each permutation maps query-vertex index → query-vertex index.
+    /// The identity is always present (index 0 by construction).
+    perms: Vec<Vec<u8>>,
+    n: usize,
+}
+
+impl AutomorphismGroup {
+    /// Compute the group by brute-force backtracking (queries are tiny;
+    /// label and degree pruning keep this immediate for CSM-scale patterns).
+    pub fn of(q: &QueryGraph) -> AutomorphismGroup {
+        let n = q.num_vertices();
+        let mut perms = Vec::new();
+        let mut mapping = vec![u8::MAX; n];
+        let mut used = vec![false; n];
+        collect(q, 0, &mut mapping, &mut used, &mut perms);
+        // Put the identity first for the fast path.
+        if let Some(pos) = perms.iter().position(|p| p.iter().enumerate().all(|(i, &v)| v as usize == i))
+        {
+            perms.swap(0, pos);
+        }
+        AutomorphismGroup { perms, n }
+    }
+
+    /// `|Aut(Q)|`.
+    pub fn order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Number of query vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Is this complete embedding the canonical (lexicographically minimal)
+    /// representative of its automorphic orbit?
+    ///
+    /// The image of `M` under automorphism `σ` is `M∘σ`; `M` is canonical
+    /// iff the vector `(M(u₀), …, M(u_{n−1}))` is ≤ every
+    /// `(M(σ(u₀)), …, M(σ(u_{n−1})))`.
+    pub fn is_canonical(&self, emb: &Embedding) -> bool {
+        for perm in &self.perms[1..] {
+            for i in 0..self.n {
+                let a = emb.get_unchecked(QVertexId::from(i));
+                let b = emb.get_unchecked(QVertexId::from(perm[i] as usize));
+                if b < a {
+                    return false; // the image is smaller — not canonical
+                }
+                if a < b {
+                    break; // this image is larger; next permutation
+                }
+            }
+        }
+        true
+    }
+
+    /// Exact distinct-subgraph count from a mapping count.
+    pub fn distinct(&self, mappings: u64) -> u64 {
+        debug_assert_eq!(mappings % self.order() as u64, 0, "orbits are full-size");
+        mappings / self.order() as u64
+    }
+}
+
+fn collect(
+    q: &QueryGraph,
+    depth: usize,
+    mapping: &mut Vec<u8>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Vec<u8>>,
+) {
+    let n = q.num_vertices();
+    if depth == n {
+        out.push(mapping.clone());
+        return;
+    }
+    let u = QVertexId::from(depth);
+    for cand in 0..n {
+        if used[cand] {
+            continue;
+        }
+        let c = QVertexId::from(cand);
+        if q.label(c) != q.label(u) || q.degree(c) != q.degree(u) {
+            continue;
+        }
+        let ok = (0..depth).all(|p| {
+            let pu = QVertexId::from(p);
+            match q.edge_label(u, pu) {
+                Some(l) => q.edge_label(c, QVertexId::from(mapping[p] as usize)) == Some(l),
+                None => !q.has_edge(c, QVertexId::from(mapping[p] as usize)),
+            }
+        });
+        if !ok {
+            continue;
+        }
+        mapping[depth] = cand as u8;
+        used[cand] = true;
+        collect(q, depth + 1, mapping, used, out);
+        used[cand] = false;
+    }
+}
+
+/// A sink adapter that forwards only orbit-canonical embeddings.
+pub struct CanonicalSink<'a, S: MatchSink> {
+    /// The wrapped sink.
+    pub inner: &'a mut S,
+    /// The query's automorphism group.
+    pub group: &'a AutomorphismGroup,
+}
+
+impl<S: MatchSink> MatchSink for CanonicalSink<'_, S> {
+    #[inline]
+    fn report(&mut self, emb: &Embedding, n: usize) -> bool {
+        if self.group.is_canonical(emb) {
+            self.inner.report(emb, n)
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::BufferSink;
+    use crate::kernel::{self, NoFilter, SearchCtx, SearchStats};
+    use crate::order::SeedOrder;
+    use csm_graph::{DataGraph, ELabel, VLabel};
+
+    fn triangle_query(labels: [u32; 3]) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let u: Vec<_> = labels.iter().map(|&l| q.add_vertex(VLabel(l))).collect();
+        q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+        q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+        q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+        q
+    }
+
+    #[test]
+    fn group_orders() {
+        assert_eq!(AutomorphismGroup::of(&triangle_query([0, 0, 0])).order(), 6);
+        assert_eq!(AutomorphismGroup::of(&triangle_query([0, 0, 1])).order(), 2);
+        assert_eq!(AutomorphismGroup::of(&triangle_query([0, 1, 2])).order(), 1);
+    }
+
+    #[test]
+    fn canonical_filter_keeps_one_per_orbit() {
+        // K4 data graph, unlabeled triangle query: 4 distinct triangles,
+        // 24 mappings.
+        let mut g = DataGraph::new();
+        let vs: Vec<_> = (0..4).map(|_| g.add_vertex(VLabel(0))).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.insert_edge(vs[i], vs[j], ELabel(0)).unwrap();
+            }
+        }
+        let q = triangle_query([0, 0, 0]);
+        let group = AutomorphismGroup::of(&q);
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx =
+            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+
+        let mut all = BufferSink::counting();
+        let mut stats = SearchStats::default();
+        kernel::extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut all, &mut stats);
+        assert_eq!(all.count, 24);
+        assert_eq!(group.distinct(all.count), 4);
+
+        let mut unique = BufferSink::collecting();
+        let mut canon = CanonicalSink { inner: &mut unique, group: &group };
+        let mut stats = SearchStats::default();
+        kernel::extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut canon, &mut stats);
+        assert_eq!(unique.count, 4);
+        // Each canonical match is sorted ascending (minimal orbit image of
+        // a fully symmetric pattern).
+        for m in &unique.matches {
+            let s = m.as_slice();
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "non-canonical {m:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_query_passes_everything() {
+        let q = triangle_query([0, 1, 2]);
+        let group = AutomorphismGroup::of(&q);
+        assert_eq!(group.order(), 1);
+        let mut emb = Embedding::empty();
+        emb.set(QVertexId(0), csm_graph::VertexId(9));
+        emb.set(QVertexId(1), csm_graph::VertexId(3));
+        emb.set(QVertexId(2), csm_graph::VertexId(7));
+        assert!(group.is_canonical(&emb));
+    }
+
+    #[test]
+    fn group_order_matches_query_automorphisms() {
+        for labels in [[0, 0, 0], [0, 0, 1], [0, 1, 2]] {
+            let q = triangle_query(labels);
+            assert_eq!(AutomorphismGroup::of(&q).order(), q.count_automorphisms());
+        }
+    }
+}

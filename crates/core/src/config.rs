@@ -1,0 +1,155 @@
+//! Runtime configuration of the ParaCOSM framework.
+
+use std::time::Duration;
+
+/// Tunables for a ParaCOSM run (paper §4; Algorithm 2 globals).
+#[derive(Clone, Debug)]
+pub struct ParaCosmConfig {
+    /// Worker threads for the inner-update executor. `1` selects the pure
+    /// sequential path (the single-threaded baseline of the paper's
+    /// experiments).
+    pub num_threads: usize,
+    /// `SPLIT_DEPTH` from Algorithm 2: search-tree levels (counted from the
+    /// root) within which a worker may donate subtrees to the concurrent
+    /// queue when idle threads are observed.
+    pub split_depth: usize,
+    /// Adaptive task-sharing on/off. Disabling reproduces the "unbalanced"
+    /// condition of paper Fig. 10: the initial BFS decomposition is still
+    /// performed, but workers never re-split afterwards.
+    pub load_balance: bool,
+    /// Inter-update parallelism (safe-update batching, paper §4.2) on/off.
+    pub inter_update: bool,
+    /// Batch size `k` for the batch executor.
+    pub batch_size: usize,
+    /// Stop enumerating after this many matches per update (guards against
+    /// combinatorial blow-ups in stress tests; `None` = unbounded, as in the
+    /// paper).
+    pub match_cap: Option<u64>,
+    /// Wall-clock budget for one query run; exceeding it marks the run as a
+    /// timeout (the paper's one-hour success-rate criterion, scaled).
+    pub time_limit: Option<Duration>,
+    /// Collect full embeddings (tests / applications) instead of counting
+    /// only (benchmarks).
+    pub collect_matches: bool,
+    /// The BFS initialization phase keeps decomposing until the task queue
+    /// holds at least `seed_task_factor × num_threads` subtrees.
+    pub seed_task_factor: usize,
+    /// Record per-update latency into `RunStats::latency` (adds one clock
+    /// read per update; off by default for benchmark purity).
+    pub track_latency: bool,
+    /// Virtual-scheduler mode: when `Some(n)`, `Find_Matches` runs through
+    /// `inner::run_simulated` with `n` virtual workers instead of real
+    /// threads, and [`crate::RunStats::find_span`] accumulates the simulated
+    /// parallel makespan. Used for thread-scaling experiments on hosts with
+    /// fewer cores than the paper's testbed (see DESIGN.md substitutions).
+    pub sim_threads: Option<usize>,
+}
+
+impl Default for ParaCosmConfig {
+    fn default() -> Self {
+        ParaCosmConfig {
+            num_threads: 1,
+            split_depth: 4,
+            load_balance: true,
+            inter_update: false,
+            batch_size: 1024,
+            match_cap: None,
+            time_limit: None,
+            collect_matches: false,
+            seed_task_factor: 4,
+            track_latency: false,
+            sim_threads: None,
+        }
+    }
+}
+
+impl ParaCosmConfig {
+    /// The single-threaded baseline configuration.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// The full ParaCOSM configuration with `n` threads: inner-update
+    /// parallelism with load balancing plus inter-update batching.
+    pub fn parallel(n: usize) -> Self {
+        ParaCosmConfig {
+            num_threads: n.max(1),
+            inter_update: n > 1,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the time limit.
+    pub fn with_time_limit(mut self, d: Duration) -> Self {
+        self.time_limit = Some(d);
+        self
+    }
+
+    /// Builder-style setter for match collection.
+    pub fn collecting(mut self) -> Self {
+        self.collect_matches = true;
+        self
+    }
+
+    /// Builder-style setter for the batch size.
+    pub fn with_batch_size(mut self, k: usize) -> Self {
+        self.batch_size = k.max(1);
+        self
+    }
+
+    /// Is the inner-update executor in play?
+    pub fn is_parallel(&self) -> bool {
+        self.num_threads > 1
+    }
+
+    /// Should `process_stream` route through the batch executor?
+    /// True when inter-update parallelism is enabled and the run is
+    /// parallel — with real threads or virtual (simulated) workers.
+    pub fn use_batch_executor(&self) -> bool {
+        self.inter_update && (self.is_parallel() || self.sim_threads.map_or(false, |n| n > 1))
+    }
+
+    /// Virtual-scheduler preset: `n` simulated workers, single real thread,
+    /// inter-update batching enabled (its wins are classifier-driven and
+    /// host-independent).
+    pub fn simulated(n: usize) -> Self {
+        ParaCosmConfig {
+            num_threads: 1,
+            sim_threads: Some(n.max(1)),
+            inter_update: n > 1,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_preset_enables_both_levels() {
+        let c = ParaCosmConfig::parallel(8);
+        assert_eq!(c.num_threads, 8);
+        assert!(c.inter_update);
+        assert!(c.load_balance);
+        assert!(c.is_parallel());
+    }
+
+    #[test]
+    fn parallel_of_one_is_sequential() {
+        let c = ParaCosmConfig::parallel(1);
+        assert!(!c.inter_update);
+        assert!(!c.is_parallel());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ParaCosmConfig::sequential()
+            .with_time_limit(Duration::from_millis(5))
+            .with_batch_size(0)
+            .collecting();
+        assert_eq!(c.time_limit, Some(Duration::from_millis(5)));
+        assert_eq!(c.batch_size, 1); // clamped
+        assert!(c.collect_matches);
+    }
+}

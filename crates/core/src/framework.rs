@@ -1,0 +1,843 @@
+//! The ParaCOSM orchestrator (paper Fig. 5): owns the evolving data graph,
+//! the query, the hosted algorithm's ADS, and drives the two executors.
+//!
+//! * [`ParaCosm::process_update`] — the single-update pipeline of paper
+//!   Algorithm 1 (apply → maintain ADS → enumerate), using the inner-update
+//!   executor when configured with > 1 thread;
+//! * [`ParaCosm::process_stream`] — the online loop; with `inter_update`
+//!   enabled it runs the batch executor of §4.2 (parallel stage-1
+//!   classification, bulk application of label-safe updates, in-order
+//!   residual handling with first-unsafe deferral — paper Fig. 6).
+
+use crate::algorithm::{AdsCandidates, AdsChange, CsmAlgorithm};
+use crate::config::ParaCosmConfig;
+use crate::embedding::{BufferSink, Embedding, Match, MAX_PATTERN_VERTICES};
+use crate::inner::{self, InnerConfig, SeedTask};
+use crate::inter::{self, Classified, ClassifierStats, SafeStage};
+use crate::kernel::{SearchCtx, SearchStats};
+use crate::order::MatchingOrders;
+use crate::static_match::{self, StaticResult};
+use csm_graph::{
+    DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId,
+};
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Cumulative run statistics (feeds paper Tables 3/4 and Figs. 10/12).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Time spent maintaining the ADS (`Update_ADS`).
+    pub ads_time: Duration,
+    /// Time spent enumerating matches (`Find_Matches`) — wall clock of the
+    /// work actually performed on this host.
+    pub find_time: Duration,
+    /// Parallel makespan of `Find_Matches`: equal to `find_time` for real
+    /// (sequential or threaded) runs; in virtual-scheduler mode
+    /// (`sim_threads`), the simulated N-worker critical path instead.
+    pub find_span: Duration,
+    /// Time spent applying updates to `G` (incl. parallel bulk phases).
+    pub apply_time: Duration,
+    /// Time spent in the batch executor's data-parallel phases (stage-1
+    /// classification + bulk application of label-safe updates). On the
+    /// paper's testbed this work is spread over `k` worker threads; the
+    /// harness projects it accordingly on smaller hosts.
+    pub bulk_time: Duration,
+    /// Edge/vertex updates processed.
+    pub updates: u64,
+    /// Positive (appearing) matches reported.
+    pub positives: u64,
+    /// Negative (disappearing) matches reported.
+    pub negatives: u64,
+    /// Classifier verdict counters (inter-update runs).
+    pub classifier: ClassifierStats,
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+    /// Per-worker busy time accumulated over inner-update runs (Fig. 10).
+    pub thread_busy: Vec<Duration>,
+    /// Donation events in the inner executor.
+    pub tasks_split: u64,
+    /// Subtree tasks executed by the inner executor.
+    pub tasks_executed: u64,
+    /// A deadline fired during processing.
+    pub timed_out: bool,
+    /// Per-update latency distribution (only when
+    /// `ParaCosmConfig::track_latency` is set; batched runs record the
+    /// sequentially processed residual updates).
+    pub latency: crate::metrics::LatencyHistogram,
+}
+
+impl RunStats {
+    /// Projected stream time had `Find_Matches` run at its parallel
+    /// makespan: `wall − find_time + find_span`. For non-simulated runs this
+    /// equals `wall`.
+    pub fn projected_time(&self, wall: Duration) -> Duration {
+        wall.saturating_sub(self.find_time) + self.find_span
+    }
+
+    fn absorb_busy(&mut self, busy: &[Duration]) {
+        if self.thread_busy.len() < busy.len() {
+            self.thread_busy.resize(busy.len(), Duration::ZERO);
+        }
+        for (acc, b) in self.thread_busy.iter_mut().zip(busy) {
+            *acc += *b;
+        }
+    }
+}
+
+/// Result of processing one update.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateOutcome {
+    /// Matches that appeared (insertions).
+    pub positives: u64,
+    /// Matches that disappeared (deletions).
+    pub negatives: u64,
+    /// Materialized matches (if `collect_matches`).
+    pub matches: Vec<Match>,
+    /// The update was a structural no-op (duplicate insert / missing edge).
+    pub noop: bool,
+    /// The enumeration hit the deadline.
+    pub timed_out: bool,
+}
+
+/// Result of processing a whole stream.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOutcome {
+    /// Total positive matches across the stream.
+    pub positives: u64,
+    /// Total negative matches across the stream.
+    pub negatives: u64,
+    /// Updates fully processed before any timeout.
+    pub updates_applied: u64,
+    /// The run exceeded its time limit (a "failed" run in the paper's
+    /// success-rate metric).
+    pub timed_out: bool,
+    /// Wall-clock time of the stream run.
+    pub elapsed: Duration,
+}
+
+/// A ParaCOSM instance hosting algorithm `A` over one `(G, Q)` pair.
+pub struct ParaCosm<A: CsmAlgorithm> {
+    g: DataGraph,
+    q: QueryGraph,
+    algo: A,
+    orders: MatchingOrders,
+    cfg: ParaCosmConfig,
+    deadline: Option<Instant>,
+    run_start: Option<Instant>,
+    /// `(find_time, find_span)` snapshot at stream start, so projected-time
+    /// deadline checks use this run's deltas only.
+    run_find_base: (Duration, Duration),
+    /// Cumulative statistics; reset with [`ParaCosm::reset_stats`].
+    pub stats: RunStats,
+}
+
+impl<A: CsmAlgorithm> ParaCosm<A> {
+    /// Offline stage: take ownership of the graph and query, build matching
+    /// orders, and (re)build the algorithm's ADS.
+    ///
+    /// # Panics
+    /// If the query exceeds [`MAX_PATTERN_VERTICES`] or is empty.
+    pub fn new(g: DataGraph, q: QueryGraph, mut algo: A, cfg: ParaCosmConfig) -> Self {
+        assert!(
+            q.num_vertices() >= 1 && q.num_vertices() <= MAX_PATTERN_VERTICES,
+            "query must have 1..={MAX_PATTERN_VERTICES} vertices"
+        );
+        algo.rebuild(&g, &q);
+        let orders = MatchingOrders::build(&q);
+        ParaCosm {
+            g,
+            q,
+            algo,
+            orders,
+            cfg,
+            deadline: None,
+            run_start: None,
+            run_find_base: (Duration::ZERO, Duration::ZERO),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.g
+    }
+
+    /// The query pattern.
+    pub fn query(&self) -> &QueryGraph {
+        &self.q
+    }
+
+    /// The hosted algorithm (e.g. to inspect its ADS in tests).
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ParaCosmConfig {
+        &self.cfg
+    }
+
+    /// Clear cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// `Find_Initial_Matches`: enumerate the matches already present in `G`
+    /// (through the algorithm's candidate filter).
+    pub fn initial_matches(&self, collect: bool) -> StaticResult {
+        static_match::enumerate_with_filter(
+            &self.g,
+            &self.q,
+            &AdsCandidates(&self.algo),
+            self.algo.ignore_edge_labels(),
+            collect,
+            self.deadline,
+        )
+    }
+
+    /// Set (or clear) the cooperative deadline used by subsequent calls.
+    pub fn set_deadline(&mut self, d: Option<Instant>) {
+        self.deadline = d;
+    }
+
+    // ---------------------------------------------------------------- single update
+
+    /// Process one update through the standard pipeline (paper Algorithm 1).
+    /// Uses the inner-update executor when `num_threads > 1`.
+    pub fn process_update(&mut self, upd: Update) -> Result<UpdateOutcome, GraphError> {
+        self.stats.updates += 1;
+        match upd {
+            Update::InsertEdge(e) => self.process_insert(e),
+            Update::DeleteEdge(e) => self.process_delete(e),
+            Update::InsertVertex { id, label } => {
+                let t0 = Instant::now();
+                let grew = !self.g.is_alive(id);
+                self.g.ensure_vertex(id, label);
+                self.stats.apply_time += t0.elapsed();
+                if grew {
+                    let t1 = Instant::now();
+                    self.algo.rebuild(&self.g, &self.q);
+                    self.stats.ads_time += t1.elapsed();
+                }
+                Ok(UpdateOutcome { noop: !grew, ..Default::default() })
+            }
+            Update::DeleteVertex { id } => {
+                if !self.g.is_alive(id) {
+                    return Ok(UpdateOutcome { noop: true, ..Default::default() });
+                }
+                // Cascade: each incident edge is a deletion update of its own
+                // (negative matches are reported per removed edge).
+                let incident: Vec<EdgeUpdate> = self
+                    .g
+                    .neighbors(id)
+                    .iter()
+                    .map(|&(v, l)| EdgeUpdate::new(id, v, l))
+                    .collect();
+                let mut total = UpdateOutcome::default();
+                for e in incident {
+                    let out = self.process_delete(e)?;
+                    total.negatives += out.negatives;
+                    total.matches.extend(out.matches);
+                    total.timed_out |= out.timed_out;
+                }
+                let t0 = Instant::now();
+                self.g.delete_vertex(id, false)?;
+                self.stats.apply_time += t0.elapsed();
+                let t1 = Instant::now();
+                self.algo.rebuild(&self.g, &self.q);
+                self.stats.ads_time += t1.elapsed();
+                Ok(total)
+            }
+        }
+    }
+
+    fn process_insert(&mut self, e: EdgeUpdate) -> Result<UpdateOutcome, GraphError> {
+        let t0 = Instant::now();
+        let inserted = self.g.insert_edge(e.src, e.dst, e.label)?;
+        self.stats.apply_time += t0.elapsed();
+        if !inserted {
+            return Ok(UpdateOutcome { noop: true, ..Default::default() });
+        }
+        let t1 = Instant::now();
+        self.algo.update_ads(&self.g, &self.q, e, true);
+        self.stats.ads_time += t1.elapsed();
+
+        let (count, matches, timed_out) = self.find_matches(&e);
+        self.stats.positives += count;
+        self.stats.timed_out |= timed_out;
+        Ok(UpdateOutcome { positives: count, matches, timed_out, ..Default::default() })
+    }
+
+    fn process_delete(&mut self, e: EdgeUpdate) -> Result<UpdateOutcome, GraphError> {
+        // Deletions enumerate first: negative matches exist only while the
+        // edge is still present (paper Algorithm 1).
+        let Some(actual_label) = self.g.edge_label(e.src, e.dst) else {
+            return Ok(UpdateOutcome { noop: true, ..Default::default() });
+        };
+        let e = EdgeUpdate::new(e.src, e.dst, actual_label);
+        let (count, matches, timed_out) = self.find_matches(&e);
+        self.stats.negatives += count;
+        self.stats.timed_out |= timed_out;
+
+        let t0 = Instant::now();
+        self.g.remove_edge(e.src, e.dst)?;
+        self.stats.apply_time += t0.elapsed();
+        let t1 = Instant::now();
+        self.algo.update_ads(&self.g, &self.q, e, false);
+        self.stats.ads_time += t1.elapsed();
+        Ok(UpdateOutcome { negatives: count, matches, timed_out, ..Default::default() })
+    }
+
+    /// Root-level seed tasks for the update's search tree: one per
+    /// compatible oriented query edge whose endpoints pass the degree prune
+    /// and the algorithm's candidate test.
+    fn seeds_for(&self, e: &EdgeUpdate) -> Vec<SeedTask> {
+        let (la, lb) = (self.g.label(e.src), self.g.label(e.dst));
+        let ignore = self.algo.ignore_edge_labels();
+        self.q
+            .seed_edges(la, lb, e.label, ignore)
+            .filter(|&(u1, u2)| {
+                self.g.degree(e.src) >= self.q.degree(u1)
+                    && self.g.degree(e.dst) >= self.q.degree(u2)
+                    && self.algo.is_candidate(&self.g, &self.q, u1, e.src)
+                    && self.algo.is_candidate(&self.g, &self.q, u2, e.dst)
+            })
+            .map(|(u1, u2)| {
+                let mut emb = Embedding::empty();
+                emb.set(u1, e.src);
+                emb.set(u2, e.dst);
+                SeedTask { order_idx: self.orders.seed_index(u1, u2), depth: 2, emb }
+            })
+            .collect()
+    }
+
+    /// `Find_Matches`: enumerate all matches using the updated edge.
+    /// Returns `(count, matches, timed_out)`.
+    fn find_matches(&mut self, e: &EdgeUpdate) -> (u64, Vec<Match>, bool) {
+        let seeds = self.seeds_for(e);
+        if seeds.is_empty() {
+            return (0, Vec::new(), false);
+        }
+        let t0 = Instant::now();
+        let result = if let Some(sim) = self.cfg.sim_threads {
+            let out = inner::run_simulated(
+                &self.g,
+                &self.q,
+                &self.orders,
+                &self.algo,
+                self.deadline,
+                seeds,
+                InnerConfig {
+                    num_threads: sim,
+                    split_depth: self.cfg.split_depth,
+                    load_balance: self.cfg.load_balance,
+                    seed_task_factor: self.cfg.seed_task_factor,
+                    collect: self.cfg.collect_matches,
+                    cap: self.cfg.match_cap,
+                    decompose: true,
+                },
+            );
+            self.stats.nodes += out.nodes;
+            self.stats.absorb_busy(&out.worker_busy);
+            self.stats.tasks_executed += out.tasks;
+            self.stats.find_span += out.span;
+            self.stats.find_time += t0.elapsed();
+            return (out.sink.count, out.sink.matches, out.timed_out);
+        } else if self.cfg.is_parallel() {
+            let out = inner::run(
+                &self.g,
+                &self.q,
+                &self.orders,
+                &self.algo,
+                self.deadline,
+                seeds,
+                InnerConfig {
+                    num_threads: self.cfg.num_threads,
+                    split_depth: self.cfg.split_depth,
+                    load_balance: self.cfg.load_balance,
+                    seed_task_factor: self.cfg.seed_task_factor,
+                    collect: self.cfg.collect_matches,
+                    cap: self.cfg.match_cap,
+                    decompose: true,
+                },
+            );
+            self.stats.nodes += out.nodes;
+            self.stats.absorb_busy(&out.thread_busy);
+            self.stats.tasks_split += out.tasks_split;
+            self.stats.tasks_executed += out.tasks_executed;
+            (out.sink.count, out.sink.matches, out.timed_out)
+        } else {
+            let mut sink = if self.cfg.collect_matches {
+                BufferSink::collecting()
+            } else {
+                BufferSink::counting()
+            }
+            .with_cap(self.cfg.match_cap);
+            let mut stats = SearchStats::default();
+            for task in seeds {
+                let ctx = SearchCtx {
+                    g: &self.g,
+                    q: &self.q,
+                    order: self.orders.by_index(task.order_idx),
+                    ignore_elabels: self.algo.ignore_edge_labels(),
+                    deadline: self.deadline,
+                };
+                let mut emb = task.emb;
+                if !self.algo.search(&ctx, &mut emb, task.depth as usize, &mut sink, &mut stats)
+                {
+                    break;
+                }
+            }
+            self.stats.nodes += stats.nodes;
+            (sink.count, sink.matches, stats.timed_out)
+        };
+        let elapsed = t0.elapsed();
+        self.stats.find_time += elapsed;
+        self.stats.find_span += elapsed;
+        result
+    }
+
+    // ---------------------------------------------------------------- stream
+
+    /// Online stage: process a whole update stream. Uses the inter-update
+    /// batch executor when configured; otherwise processes updates one by
+    /// one. A time limit (if configured) covers the *entire* stream run,
+    /// matching the paper's per-query timeout metric.
+    pub fn process_stream(&mut self, stream: &UpdateStream) -> Result<StreamOutcome, GraphError> {
+        let start = Instant::now();
+        // Virtual-scheduler runs execute all search work sequentially, so a
+        // wall-clock deadline would misjudge them: give the kernel a relaxed
+        // hard stop (limit x workers, bounded) and judge success against
+        // *projected* time (DESIGN.md substitutions). Real runs use the
+        // wall-clock limit directly.
+        self.run_start = Some(start);
+        self.run_find_base = (self.stats.find_time, self.stats.find_span);
+        self.deadline = match (self.cfg.time_limit, self.cfg.sim_threads) {
+            (Some(d), Some(n)) => Some(start + d.saturating_mul(n.clamp(1, 64) as u32)),
+            (Some(d), None) => Some(start + d),
+            _ => None,
+        };
+        let mut out = StreamOutcome::default();
+
+        if self.cfg.use_batch_executor() {
+            self.run_batched(stream.updates(), &mut out)?;
+        } else {
+            for &u in stream.updates() {
+                if self.deadline_passed() {
+                    out.timed_out = true;
+                    break;
+                }
+                let t_upd = self.cfg.track_latency.then(Instant::now);
+                let r = self.process_update(u)?;
+                if let Some(t) = t_upd {
+                    self.stats.latency.record(t.elapsed());
+                }
+                out.positives += r.positives;
+                out.negatives += r.negatives;
+                out.updates_applied += 1;
+                if r.timed_out {
+                    out.timed_out = true;
+                    break;
+                }
+            }
+        }
+        out.elapsed = start.elapsed();
+        if self.cfg.sim_threads.is_some() {
+            if let Some(limit) = self.cfg.time_limit {
+                out.timed_out |= self.run_projected(out.elapsed) > limit;
+            }
+        }
+        self.deadline = None;
+        self.run_start = None;
+        Ok(out)
+    }
+
+    fn deadline_passed(&self) -> bool {
+        if self.cfg.sim_threads.is_some() {
+            // Judge against projected time so far.
+            if let (Some(limit), Some(start)) = (self.cfg.time_limit, self.run_start) {
+                return self.run_projected(start.elapsed()) >= limit;
+            }
+            return false;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Projected time of the *current stream run*: wall minus this run's
+    /// enumeration work plus its simulated makespan.
+    fn run_projected(&self, wall: Duration) -> Duration {
+        let find = self.stats.find_time.saturating_sub(self.run_find_base.0);
+        let span = self.stats.find_span.saturating_sub(self.run_find_base.1);
+        wall.saturating_sub(find) + span
+    }
+
+    /// The batch executor (paper §4.2, Fig. 6).
+    fn run_batched(&mut self, updates: &[Update], out: &mut StreamOutcome) -> Result<(), GraphError> {
+        let k = self.cfg.batch_size;
+        let mut idx = 0;
+        'outer: while idx < updates.len() {
+            if self.deadline_passed() {
+                out.timed_out = true;
+                break;
+            }
+            let batch = &updates[idx..(idx + k).min(updates.len())];
+
+            // Stage-1 classification of the whole batch in parallel: a pure
+            // function of Q and endpoint labels, hence order-independent.
+            let ignore = self.algo.ignore_edge_labels();
+            let stage1_start = Instant::now();
+            let label_flags: Vec<bool> = {
+                let (g, q) = (&self.g, &self.q);
+                batch
+                    .par_iter()
+                    .map(|u| match u.edge() {
+                        Some(e) => inter::label_safe(g, q, &e, ignore),
+                        None => false,
+                    })
+                    .collect()
+            };
+            self.stats.bulk_time += stage1_start.elapsed();
+
+            // Walk the batch in order; label-safe edge runs are buffered and
+            // applied in parallel, everything else is handled sequentially.
+            let mut buffer: Vec<(VertexId, VertexId, csm_graph::ELabel)> = Vec::new();
+            let mut buffer_kind_insert = true;
+            let mut pending: HashSet<(VertexId, VertexId)> = HashSet::new();
+
+            for (off, u) in batch.iter().enumerate() {
+                let is_edge_insert = matches!(u, Update::InsertEdge(_));
+                if label_flags[off] {
+                    let e = u.edge().expect("label-safe implies edge update");
+                    let key = {
+                        let (a, b, _) = e.canonical();
+                        (a, b)
+                    };
+                    // Flush on kind change or intra-buffer duplicate.
+                    if (!buffer.is_empty() && buffer_kind_insert != is_edge_insert)
+                        || pending.contains(&key)
+                    {
+                        self.flush_buffer(&mut buffer, &mut pending, buffer_kind_insert);
+                    }
+                    buffer_kind_insert = is_edge_insert;
+                    // Structural validation against the current graph.
+                    let exists = self.g.has_edge(e.src, e.dst);
+                    let noop = if is_edge_insert { exists } else { !exists };
+                    self.stats.updates += 1;
+                    if !noop {
+                        buffer.push((e.src, e.dst, e.label));
+                        pending.insert(key);
+                    }
+                    self.stats.classifier.record(Classified::Safe(SafeStage::Label));
+                    out.updates_applied += 1;
+                    continue;
+                }
+
+                // State-dependent path: bring the graph up to date first.
+                self.flush_buffer(&mut buffer, &mut pending, buffer_kind_insert);
+                if self.deadline_passed() {
+                    out.timed_out = true;
+                    break 'outer;
+                }
+                let t_upd = self.cfg.track_latency.then(Instant::now);
+                let (was_unsafe, timed_out) = self.process_residual(u, out)?;
+                if let Some(t) = t_upd {
+                    self.stats.latency.record(t.elapsed());
+                }
+                out.updates_applied += 1;
+                if timed_out {
+                    out.timed_out = true;
+                    break 'outer;
+                }
+                if was_unsafe {
+                    // Paper Fig. 6: an unsafe update invalidates the safety
+                    // assumptions of the rest of the batch — defer it.
+                    idx += off + 1;
+                    continue 'outer;
+                }
+            }
+            self.flush_buffer(&mut buffer, &mut pending, buffer_kind_insert);
+            idx += batch.len();
+        }
+        Ok(())
+    }
+
+    fn flush_buffer(
+        &mut self,
+        buffer: &mut Vec<(VertexId, VertexId, csm_graph::ELabel)>,
+        pending: &mut HashSet<(VertexId, VertexId)>,
+        insert: bool,
+    ) {
+        if buffer.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        if insert {
+            self.g.apply_inserts_parallel(buffer);
+        } else {
+            self.g.apply_deletes_parallel(buffer);
+        }
+        let dt = t0.elapsed();
+        self.stats.apply_time += dt;
+        self.stats.bulk_time += dt;
+        buffer.clear();
+        pending.clear();
+    }
+
+    /// Handle an update that survived the label filter: stages 2–3 of the
+    /// classifier plus full processing when unsafe.
+    ///
+    /// Returns `(was_unsafe, timed_out)`.
+    fn process_residual(
+        &mut self,
+        u: &Update,
+        out: &mut StreamOutcome,
+    ) -> Result<(bool, bool), GraphError> {
+        let Some(e) = u.edge() else {
+            // Vertex updates take the ordinary pipeline and conservatively
+            // count as unsafe (they are rare structural events).
+            self.stats.classifier.record(Classified::Unsafe);
+            let r = self.process_update(*u)?;
+            out.positives += r.positives;
+            out.negatives += r.negatives;
+            return Ok((true, r.timed_out));
+        };
+        let is_insert = u.is_insertion();
+        let ignore = self.algo.ignore_edge_labels();
+
+        // Structural no-ops are skipped without classification.
+        if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
+            return Err(GraphError::UnknownVertex(if self.g.is_alive(e.src) {
+                e.dst
+            } else {
+                e.src
+            }));
+        }
+        let exists = self.g.has_edge(e.src, e.dst);
+        if is_insert == exists {
+            self.stats.updates += 1;
+            return Ok((false, false));
+        }
+
+        // Stage 2: degree filter (no match possible; ADS still maintained).
+        if inter::degree_safe(&self.g, &self.q, &e, is_insert, ignore) {
+            self.stats.classifier.record(Classified::Safe(SafeStage::Degree));
+            self.apply_and_maintain(e, is_insert)?;
+            return Ok((false, false));
+        }
+
+        // Stage 3: candidate/ADS filter.
+        if is_insert {
+            let t0 = Instant::now();
+            self.g.insert_edge(e.src, e.dst, e.label)?;
+            self.stats.apply_time += t0.elapsed();
+            let t1 = Instant::now();
+            let change = self.algo.update_ads(&self.g, &self.q, e, true);
+            self.stats.ads_time += t1.elapsed();
+            self.stats.updates += 1;
+            if change == AdsChange::Unchanged
+                && inter::candidates_safe(&self.g, &self.q, &self.algo, &e)
+            {
+                self.stats.classifier.record(Classified::Safe(SafeStage::Ads));
+                return Ok((false, false));
+            }
+            self.stats.classifier.record(Classified::Unsafe);
+            let (count, _matches, timed_out) = self.find_matches(&e);
+            self.stats.positives += count;
+            self.stats.timed_out |= timed_out;
+            out.positives += count;
+            Ok((true, timed_out))
+        } else {
+            // Deletion: negative matches are judged on the pre-deletion
+            // state, so the candidate check comes first.
+            let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
+            if inter::candidates_safe(&self.g, &self.q, &self.algo, &e) {
+                self.stats.classifier.record(Classified::Safe(SafeStage::Ads));
+                self.apply_and_maintain(e, false)?;
+                return Ok((false, false));
+            }
+            self.stats.classifier.record(Classified::Unsafe);
+            let (count, _matches, timed_out) = self.find_matches(&e);
+            self.stats.negatives += count;
+            self.stats.timed_out |= timed_out;
+            out.negatives += count;
+            self.apply_and_maintain(e, false)?;
+            Ok((true, timed_out))
+        }
+    }
+
+    /// Apply an edge update to `G` and maintain the ADS without searching.
+    fn apply_and_maintain(&mut self, e: EdgeUpdate, is_insert: bool) -> Result<(), GraphError> {
+        let t0 = Instant::now();
+        if is_insert {
+            self.g.insert_edge(e.src, e.dst, e.label)?;
+        } else {
+            self.g.remove_edge(e.src, e.dst)?;
+        }
+        self.stats.apply_time += t0.elapsed();
+        let t1 = Instant::now();
+        self.algo.update_ads(&self.g, &self.q, e, is_insert);
+        self.stats.ads_time += t1.elapsed();
+        self.stats.updates += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::AdsChange;
+    use csm_graph::{ELabel, QVertexId, VLabel};
+
+    struct Plain;
+    impl CsmAlgorithm for Plain {
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+        fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+            AdsChange::Unchanged
+        }
+        fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+            true
+        }
+    }
+
+    /// Path graph + triangle query; closing edges create matches.
+    fn setup() -> (DataGraph, QueryGraph, Vec<VertexId>) {
+        let mut g = DataGraph::new();
+        let v: Vec<_> = (0..4).map(|_| g.add_vertex(VLabel(0))).collect();
+        g.insert_edge(v[0], v[1], ELabel(0)).unwrap();
+        g.insert_edge(v[1], v[2], ELabel(0)).unwrap();
+        let mut q = QueryGraph::new();
+        let u: Vec<_> = (0..3).map(|_| q.add_vertex(VLabel(0))).collect();
+        q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+        q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+        q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+        (g, q, v)
+    }
+
+    fn ins(a: VertexId, b: VertexId) -> Update {
+        Update::InsertEdge(EdgeUpdate::new(a, b, ELabel(0)))
+    }
+
+    #[test]
+    fn insert_and_delete_report_symmetric_deltas() {
+        let (g, q, v) = setup();
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        let out = e.process_update(ins(v[0], v[2])).unwrap();
+        assert_eq!(out.positives, 6);
+        let out = e
+            .process_update(Update::DeleteEdge(EdgeUpdate::new(v[0], v[2], ELabel(0))))
+            .unwrap();
+        assert_eq!(out.negatives, 6);
+        assert_eq!(e.stats.positives, 6);
+        assert_eq!(e.stats.negatives, 6);
+        assert_eq!(e.stats.updates, 2);
+    }
+
+    #[test]
+    fn duplicate_insert_and_phantom_delete_are_noops() {
+        let (g, q, v) = setup();
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        assert!(e.process_update(ins(v[0], v[1])).unwrap().noop);
+        let out = e
+            .process_update(Update::DeleteEdge(EdgeUpdate::new(v[0], v[3], ELabel(0))))
+            .unwrap();
+        assert!(out.noop);
+    }
+
+    #[test]
+    fn delete_uses_recorded_edge_label() {
+        // Stream deletions may carry a stale label; the engine must match
+        // against the label actually stored in G.
+        let (mut g, q, v) = setup();
+        g.insert_edge(v[0], v[2], ELabel(0)).unwrap();
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        let out = e
+            .process_update(Update::DeleteEdge(EdgeUpdate::new(v[0], v[2], ELabel(9))))
+            .unwrap();
+        assert_eq!(out.negatives, 6);
+    }
+
+    #[test]
+    fn vertex_lifecycle_through_updates() {
+        let (g, q, v) = setup();
+        let slots = g.vertex_slots() as u32;
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        let nv = VertexId(slots);
+        assert!(!e.process_update(Update::InsertVertex { id: nv, label: VLabel(0) }).unwrap().noop);
+        // Wire the new vertex into a triangle with v1, v2.
+        e.process_update(ins(nv, v[1])).unwrap();
+        let out = e.process_update(ins(nv, v[2])).unwrap();
+        assert_eq!(out.positives, 6);
+        // Deleting the vertex cascades and reports the negatives.
+        let out = e.process_update(Update::DeleteVertex { id: nv }).unwrap();
+        assert_eq!(out.negatives, 6);
+        assert!(!e.graph().is_alive(nv));
+    }
+
+    #[test]
+    fn initial_matches_reflect_current_graph() {
+        let (mut g, q, v) = setup();
+        g.insert_edge(v[0], v[2], ELabel(0)).unwrap();
+        let e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        assert_eq!(e.initial_matches(false).count, 6);
+    }
+
+    #[test]
+    fn collect_matches_materializes_embeddings() {
+        let (g, q, v) = setup();
+        let cfg = ParaCosmConfig::sequential().collecting();
+        let mut e = ParaCosm::new(g, q, Plain, cfg);
+        let out = e.process_update(ins(v[0], v[2])).unwrap();
+        assert_eq!(out.matches.len(), 6);
+        for m in &out.matches {
+            let set: std::collections::BTreeSet<_> = m.as_slice().iter().collect();
+            assert_eq!(set.len(), 3, "injective mapping expected");
+        }
+    }
+
+    #[test]
+    fn batch_executor_equals_per_update_on_same_stream() {
+        let (g, q, v) = setup();
+        let stream: UpdateStream = vec![
+            ins(v[0], v[2]), // closes triangle (6)
+            ins(v[2], v[3]),
+            ins(v[1], v[3]), // closes another (6)
+            Update::DeleteEdge(EdgeUpdate::new(v[0], v[1], ELabel(0))), // removes one
+        ]
+        .into_iter()
+        .collect();
+
+        let mut seq = ParaCosm::new(g.clone(), q.clone(), Plain, ParaCosmConfig::sequential());
+        let a = seq.process_stream(&stream).unwrap();
+
+        let mut par =
+            ParaCosm::new(g, q, Plain, ParaCosmConfig::parallel(2).with_batch_size(2));
+        let b = par.process_stream(&stream).unwrap();
+        assert_eq!((a.positives, a.negatives), (b.positives, b.negatives));
+        assert_eq!(b.updates_applied, 4);
+        assert!(par.stats.classifier.total > 0);
+    }
+
+    #[test]
+    fn projected_time_is_identity_without_simulation() {
+        let (g, q, v) = setup();
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        e.process_update(ins(v[0], v[2])).unwrap();
+        let wall = Duration::from_millis(10) + e.stats.find_time;
+        assert_eq!(e.stats.projected_time(wall), wall);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let (g, q, v) = setup();
+        let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        e.process_update(ins(v[0], v[2])).unwrap();
+        assert!(e.stats.updates > 0);
+        e.reset_stats();
+        assert_eq!(e.stats.updates, 0);
+        assert_eq!(e.stats.positives, 0);
+    }
+}

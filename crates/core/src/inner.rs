@@ -1,0 +1,807 @@
+//! The **inner-update executor** (paper §4.1, Algorithm 2).
+//!
+//! Within one graph update, the dynamic search tree is decomposed into
+//! independent subtrees and explored by a pool of worker threads:
+//!
+//! * **Initialization phase** — the seed tasks (one per compatible oriented
+//!   query edge) are expanded breadth-first until the concurrent queue holds
+//!   at least `seed_task_factor × num_threads` subtrees;
+//! * **Parallel execution phase** — workers pop subtrees and run the
+//!   algorithm's own sequential enumeration on them; while above
+//!   `SPLIT_DEPTH`, a worker that observes idle peers and an empty queue
+//!   donates its children instead of recursing (adaptive task sharing —
+//!   the load-balancing mechanism evaluated in paper Fig. 10).
+//!
+//! Synchronization is deliberately minimal (per the session's atomics
+//! guide): one `crossbeam_deque::Injector` for tasks, one `AtomicUsize`
+//! active-worker count for both idleness detection and termination, one
+//! `AtomicBool` abort flag, and thread-local sinks merged after the scope
+//! joins. The graph, query and ADS are shared immutably — the search phase
+//! takes no locks.
+
+use crate::algorithm::{AdsCandidates, CsmAlgorithm};
+use crate::embedding::{BufferSink, Embedding, MatchSink};
+use crate::kernel::{self, SearchCtx, SearchStats};
+use crate::order::MatchingOrders;
+use csm_graph::{DataGraph, QueryGraph};
+use crossbeam_deque::{Injector, Steal};
+use crossbeam_utils::Backoff;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A search-tree subtree: a partial embedding plus the order it extends.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedTask {
+    /// Index into [`MatchingOrders`] identifying the seed order.
+    pub order_idx: u16,
+    /// Depth already matched (`emb.len()`).
+    pub depth: u8,
+    /// The partial embedding.
+    pub emb: Embedding,
+}
+
+/// Executor tuning knobs (a projection of `ParaCosmConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct InnerConfig {
+    /// Worker thread count (≥ 1).
+    pub num_threads: usize,
+    /// `SPLIT_DEPTH`: donation allowed strictly below this depth.
+    pub split_depth: usize,
+    /// Adaptive task sharing on/off (off = paper Fig. 10 "unbalanced").
+    pub load_balance: bool,
+    /// Initialization targets `seed_task_factor × num_threads` tasks.
+    pub seed_task_factor: usize,
+    /// Collect embeddings instead of counting.
+    pub collect: bool,
+    /// Global match cap across all workers.
+    pub cap: Option<u64>,
+    /// `false` selects the **coarse-grained baseline** (Mnemonic-style
+    /// granularity, paper §1/§6): whole root subtrees are handed to threads
+    /// with no BFS decomposition and no adaptive sharing. Kept for ablation
+    /// — this is the load-imbalance strawman the fine-grained executor
+    /// fixes (Challenge 1).
+    pub decompose: bool,
+}
+
+impl InnerConfig {
+    /// Fine-grained defaults matching `ParaCosmConfig::default()`.
+    pub fn fine(num_threads: usize) -> Self {
+        InnerConfig {
+            num_threads,
+            split_depth: 4,
+            load_balance: true,
+            seed_task_factor: 4,
+            collect: false,
+            cap: None,
+            decompose: true,
+        }
+    }
+
+    /// The coarse-grained (Mnemonic-granularity) baseline.
+    pub fn coarse(num_threads: usize) -> Self {
+        InnerConfig { load_balance: false, decompose: false, ..Self::fine(num_threads) }
+    }
+}
+
+/// Result of one inner-update run.
+#[derive(Debug, Default)]
+pub struct InnerOutcome {
+    /// Merged match results.
+    pub sink: BufferSink,
+    /// Summed search-tree nodes across workers.
+    pub nodes: u64,
+    /// Any worker hit the deadline.
+    pub timed_out: bool,
+    /// Busy time per worker thread (paper Fig. 10's per-thread execution
+    /// time distribution).
+    pub thread_busy: Vec<Duration>,
+    /// Subtree tasks executed by workers.
+    pub tasks_executed: u64,
+    /// Donation events (tasks re-split onto the queue).
+    pub tasks_split: u64,
+}
+
+/// Shared read-only state for one run.
+struct RunCtx<'a> {
+    g: &'a DataGraph,
+    q: &'a QueryGraph,
+    orders: &'a MatchingOrders,
+    algo: &'a dyn CsmAlgorithm,
+    deadline: Option<Instant>,
+    injector: Injector<SeedTask>,
+    active: AtomicUsize,
+    aborted: AtomicBool,
+    reported: AtomicU64,
+    cfg: InnerConfig,
+}
+
+impl<'a> RunCtx<'a> {
+    fn search_ctx(&self, order_idx: u16) -> SearchCtx<'a> {
+        SearchCtx {
+            g: self.g,
+            q: self.q,
+            order: self.orders.by_index(order_idx),
+            ignore_elabels: self.algo.ignore_edge_labels(),
+            deadline: self.deadline,
+        }
+    }
+
+    #[inline]
+    fn has_idle_threads(&self) -> bool {
+        self.active.load(Ordering::Relaxed) < self.cfg.num_threads
+    }
+}
+
+/// Per-worker sink enforcing the *global* cap and abort flag.
+struct WorkerSink<'a> {
+    local: BufferSink,
+    shared: &'a RunCtx<'a>,
+}
+
+impl MatchSink for WorkerSink<'_> {
+    #[inline]
+    fn report(&mut self, emb: &Embedding, n: usize) -> bool {
+        if self.shared.aborted.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.local.report(emb, n);
+        if let Some(cap) = self.shared.cfg.cap {
+            let total = self.shared.reported.fetch_add(1, Ordering::Relaxed) + 1;
+            if total >= cap {
+                self.shared.aborted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Run the inner-update executor over the given seed tasks.
+///
+/// `seeds` are the root-level tasks of the update's search tree — one per
+/// compatible oriented query edge, each a 2-vertex partial embedding (or a
+/// deeper partial state when resuming). Completed embeddings among the
+/// seeds are reported directly.
+pub fn run(
+    g: &DataGraph,
+    q: &QueryGraph,
+    orders: &MatchingOrders,
+    algo: &dyn CsmAlgorithm,
+    deadline: Option<Instant>,
+    seeds: Vec<SeedTask>,
+    cfg: InnerConfig,
+) -> InnerOutcome {
+    let mut outcome = InnerOutcome {
+        sink: if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        ..Default::default()
+    };
+    if seeds.is_empty() {
+        return outcome;
+    }
+    outcome.sink.cap = cfg.cap;
+
+    let ctx = RunCtx {
+        g,
+        q,
+        orders,
+        algo,
+        deadline,
+        injector: Injector::new(),
+        active: AtomicUsize::new(0),
+        aborted: AtomicBool::new(false),
+        reported: AtomicU64::new(0),
+        cfg,
+    };
+
+    // ---- Initialization phase (main thread): BFS-decompose until the queue
+    // holds enough independent subtrees for the pool. The coarse baseline
+    // (`decompose = false`) skips decomposition entirely.
+    let target = if cfg.decompose {
+        cfg.seed_task_factor.max(1) * cfg.num_threads.max(1)
+    } else {
+        0
+    };
+    let mut frontier: std::collections::VecDeque<SeedTask> = seeds.into();
+    let mut init_stats = SearchStats::default();
+    let mut expansions = 0usize;
+    let expansion_budget = target * 8;
+    while frontier.len() < target && expansions < expansion_budget {
+        let Some(task) = frontier.pop_front() else { break };
+        expansions += 1;
+        let sctx = ctx.search_ctx(task.order_idx);
+        let n = sctx.order.len();
+        if task.depth as usize == n {
+            if !outcome.sink.report(&task.emb, n) {
+                return finish_init(outcome, init_stats);
+            }
+            continue;
+        }
+        if !init_stats.tick(deadline) {
+            outcome.timed_out = true;
+            return finish_init(outcome, init_stats);
+        }
+        let mut children = Vec::new();
+        kernel::expand_one_layer(
+            &sctx,
+            &AdsCandidates(algo),
+            &task.emb,
+            task.depth as usize,
+            &mut children,
+        );
+        for child in children {
+            frontier.push_back(SeedTask {
+                order_idx: task.order_idx,
+                depth: task.depth + 1,
+                emb: child,
+            });
+        }
+    }
+    if frontier.is_empty() {
+        return finish_init(outcome, init_stats);
+    }
+
+    // Sequential fast path: no pool to coordinate.
+    if cfg.num_threads <= 1 {
+        let local = if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() };
+        let mut sink = WorkerSink { local, shared: &ctx };
+        let mut stats = init_stats;
+        for task in frontier {
+            let sctx = ctx.search_ctx(task.order_idx);
+            if !run_task_sequential(&sctx, algo, task, &mut sink, &mut stats) {
+                break;
+            }
+        }
+        outcome.sink.absorb(sink.local);
+        outcome.nodes += stats.nodes;
+        outcome.timed_out |= stats.timed_out;
+        outcome.tasks_executed += 1;
+        return outcome;
+    }
+
+    for task in frontier {
+        ctx.injector.push(task);
+    }
+
+    // ---- Parallel execution phase.
+    let nthreads = cfg.num_threads;
+    let mut locals: Vec<(BufferSink, SearchStats, Duration, u64, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|_| scope.spawn(|| worker_loop(&ctx)))
+            .collect();
+        for h in handles {
+            locals.push(h.join().expect("inner-update worker panicked"));
+        }
+    });
+
+    outcome.nodes += init_stats.nodes;
+    for (sink, stats, busy, executed, split) in locals {
+        outcome.sink.absorb(sink);
+        outcome.nodes += stats.nodes;
+        outcome.timed_out |= stats.timed_out;
+        outcome.thread_busy.push(busy);
+        outcome.tasks_executed += executed;
+        outcome.tasks_split += split;
+    }
+    outcome
+}
+
+fn finish_init(mut outcome: InnerOutcome, stats: SearchStats) -> InnerOutcome {
+    outcome.nodes += stats.nodes;
+    outcome.timed_out |= stats.timed_out;
+    outcome
+}
+
+fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64) {
+    let mut sink = WorkerSink {
+        local: if ctx.cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        shared: ctx,
+    };
+    let mut stats = SearchStats::default();
+    let mut busy = Duration::ZERO;
+    let mut executed = 0u64;
+    let mut split = 0u64;
+    let backoff = Backoff::new();
+    loop {
+        match ctx.injector.steal() {
+            Steal::Success(task) => {
+                backoff.reset();
+                ctx.active.fetch_add(1, Ordering::AcqRel);
+                let t0 = Instant::now();
+                if !ctx.aborted.load(Ordering::Relaxed) {
+                    executed += 1;
+                    let sctx = ctx.search_ctx(task.order_idx);
+                    parallel_find_matches(ctx, &sctx, task, &mut sink, &mut stats, &mut split);
+                    if stats.timed_out {
+                        ctx.aborted.store(true, Ordering::Relaxed);
+                    }
+                }
+                busy += t0.elapsed();
+                ctx.active.fetch_sub(1, Ordering::AcqRel);
+            }
+            Steal::Retry => {}
+            Steal::Empty => {
+                if ctx.active.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                backoff.snooze();
+            }
+        }
+    }
+    (sink.local, stats, busy, executed, split)
+}
+
+/// `Parallel_Find_Matches` from paper Algorithm 2: above `SPLIT_DEPTH`,
+/// expand one layer at a time and donate children when idle peers are
+/// observed with an empty queue; otherwise recurse. At or below
+/// `SPLIT_DEPTH`, hand the subtree to the algorithm's own sequential search.
+fn parallel_find_matches(
+    ctx: &RunCtx<'_>,
+    sctx: &SearchCtx<'_>,
+    task: SeedTask,
+    sink: &mut WorkerSink<'_>,
+    stats: &mut SearchStats,
+    split: &mut u64,
+) {
+    if ctx.aborted.load(Ordering::Relaxed) {
+        return;
+    }
+    let n = sctx.order.len();
+    let depth = task.depth as usize;
+    if depth == n {
+        sink.report(&task.emb, n);
+        return;
+    }
+    let may_split = ctx.cfg.load_balance && depth < ctx.cfg.split_depth;
+    if !may_split {
+        let mut emb = task.emb;
+        ctx.algo.search(sctx, &mut emb, depth, sink, stats);
+        return;
+    }
+    let mut children = Vec::new();
+    kernel::expand_one_layer(sctx, &AdsCandidates(ctx.algo), &task.emb, depth, &mut children);
+    if !stats.tick(sctx.deadline) {
+        return;
+    }
+    let donate = ctx.injector.is_empty() && ctx.has_idle_threads();
+    if donate {
+        *split += 1;
+        for child in children {
+            ctx.injector.push(SeedTask {
+                order_idx: task.order_idx,
+                depth: task.depth + 1,
+                emb: child,
+            });
+        }
+    } else {
+        for child in children {
+            parallel_find_matches(
+                ctx,
+                sctx,
+                SeedTask { order_idx: task.order_idx, depth: task.depth + 1, emb: child },
+                sink,
+                stats,
+                split,
+            );
+            if ctx.aborted.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+    }
+}
+
+/// Outcome of a [`run_simulated`] virtual-scheduler run.
+#[derive(Debug, Default)]
+pub struct SimOutcome {
+    /// Merged match results.
+    pub sink: BufferSink,
+    /// Total search-tree nodes.
+    pub nodes: u64,
+    /// Deadline fired during task execution.
+    pub timed_out: bool,
+    /// Total sequential work (sum of task durations + decomposition).
+    pub work: Duration,
+    /// Simulated parallel makespan (longest virtual-worker schedule).
+    pub span: Duration,
+    /// Simulated per-worker busy time (Fig. 10's distribution).
+    pub worker_busy: Vec<Duration>,
+    /// Number of subtree tasks scheduled.
+    pub tasks: u64,
+}
+
+/// Virtual-scheduler counterpart of [`run`]: decompose the search tree with
+/// the same policy as Algorithm 2, execute every subtree sequentially with
+/// wall-clock timing, then **list-schedule** the measured durations onto
+/// `cfg.num_threads` virtual workers (each task goes to the currently
+/// least-loaded worker, in queue order — the steady-state behavior of the
+/// work-stealing pool).
+///
+/// Motivation: thread-scaling experiments need more cores than a host may
+/// have (the paper uses up to 128 threads on 80 cores). The virtual
+/// scheduler preserves the real task sizes, queue order and splitting
+/// policy, so speedup *shape* and load-balance distributions reproduce
+/// deterministically on any machine. See DESIGN.md (substitutions).
+pub fn run_simulated(
+    g: &DataGraph,
+    q: &QueryGraph,
+    orders: &MatchingOrders,
+    algo: &dyn CsmAlgorithm,
+    deadline: Option<Instant>,
+    seeds: Vec<SeedTask>,
+    cfg: InnerConfig,
+) -> SimOutcome {
+    let mut out = SimOutcome {
+        sink: if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        ..Default::default()
+    };
+    out.sink.cap = cfg.cap;
+    if seeds.is_empty() {
+        return out;
+    }
+    let n_workers = cfg.num_threads.max(1);
+    let decomp_start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mk_ctx = |order_idx: u16| SearchCtx {
+        g,
+        q,
+        order: orders.by_index(order_idx),
+        ignore_elabels: algo.ignore_edge_labels(),
+        deadline,
+    };
+
+    // Phase 1 — BFS decomposition, exactly as the threaded initializer.
+    // With load balancing on, refinement continues (down to SPLIT_DEPTH) to
+    // the finer granularity adaptive splitting would reach; with it off,
+    // only the initial coarse decomposition is kept (Fig. 10 "unbalanced").
+    let coarse_target = cfg.seed_task_factor.max(1) * n_workers;
+    let fine_target = if !cfg.decompose {
+        0
+    } else if cfg.load_balance {
+        coarse_target.max(16 * n_workers)
+    } else {
+        coarse_target
+    };
+    let expansion_budget = fine_target * 8;
+    let mut expansions = 0usize;
+    let mut frontier: std::collections::VecDeque<SeedTask> = seeds.into();
+    let mut ready: Vec<SeedTask> = Vec::new();
+    while let Some(task) = frontier.pop_front() {
+        let sctx = mk_ctx(task.order_idx);
+        let n = sctx.order.len();
+        if task.depth as usize == n {
+            if !out.sink.report(&task.emb, n) {
+                break;
+            }
+            continue;
+        }
+        let deep_enough = task.depth as usize >= cfg.split_depth;
+        let have_enough =
+            ready.len() + frontier.len() + 1 >= fine_target || expansions >= expansion_budget;
+        if deep_enough || have_enough {
+            ready.push(task);
+            continue;
+        }
+        expansions += 1;
+        if !stats.tick(deadline) {
+            out.timed_out = true;
+            break;
+        }
+        let mut children = Vec::new();
+        kernel::expand_one_layer(
+            &sctx,
+            &AdsCandidates(algo),
+            &task.emb,
+            task.depth as usize,
+            &mut children,
+        );
+        for c in children {
+            frontier.push_back(SeedTask {
+                order_idx: task.order_idx,
+                depth: task.depth + 1,
+                emb: c,
+            });
+        }
+    }
+    let decomp_time = decomp_start.elapsed();
+
+    // Phase 2 — execute every subtree sequentially, timing each task.
+    let mut durations: Vec<Duration> = Vec::with_capacity(ready.len());
+    if !out.timed_out {
+        for task in &ready {
+            let sctx = mk_ctx(task.order_idx);
+            let n = sctx.order.len();
+            let t0 = Instant::now();
+            let keep = if task.depth as usize == n {
+                out.sink.report(&task.emb, n)
+            } else {
+                let mut emb = task.emb;
+                algo.search(&sctx, &mut emb, task.depth as usize, &mut out.sink, &mut stats)
+            };
+            durations.push(t0.elapsed());
+            if stats.timed_out {
+                out.timed_out = true;
+                break;
+            }
+            if !keep {
+                break;
+            }
+        }
+    }
+    out.nodes = stats.nodes;
+    out.timed_out |= stats.timed_out;
+    out.tasks = durations.len() as u64;
+    out.work = decomp_time + durations.iter().sum::<Duration>();
+
+    // Phase 3 — list-schedule measured durations onto virtual workers:
+    // each task goes to the least-loaded worker, in queue order.
+    let mut busy = vec![Duration::ZERO; n_workers];
+    for d in &durations {
+        let min = busy
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, b)| *b)
+            .map(|(i, _)| i)
+            .expect("n_workers >= 1");
+        busy[min] += *d;
+    }
+    out.span = decomp_time + busy.iter().max().copied().unwrap_or_default();
+    out.worker_busy = busy;
+    out
+}
+
+fn run_task_sequential(
+    sctx: &SearchCtx<'_>,
+    algo: &dyn CsmAlgorithm,
+    task: SeedTask,
+    sink: &mut WorkerSink<'_>,
+    stats: &mut SearchStats,
+) -> bool {
+    let n = sctx.order.len();
+    if task.depth as usize == n {
+        return sink.report(&task.emb, n);
+    }
+    let mut emb = task.emb;
+    algo.search(sctx, &mut emb, task.depth as usize, sink, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::AdsChange;
+    use crate::static_match;
+    use csm_graph::{ELabel, EdgeUpdate, QVertexId, VLabel, VertexId};
+
+    /// A no-ADS algorithm for exercising the executor.
+    struct Plain;
+    impl CsmAlgorithm for Plain {
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+        fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+            AdsChange::Unchanged
+        }
+        fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+            true
+        }
+    }
+
+    /// Dense bipartite-ish graph where a triangle query fans out widely.
+    fn big_graph() -> (DataGraph, QueryGraph) {
+        let mut g = DataGraph::new();
+        let n = 60;
+        let vs: Vec<_> = (0..n).map(|_| g.add_vertex(VLabel(0))).collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                if (i + j) % 3 != 0 {
+                    g.insert_edge(vs[i], vs[j], ELabel(0)).unwrap();
+                }
+            }
+        }
+        let mut q = QueryGraph::new();
+        let u: Vec<_> = (0..4).map(|_| q.add_vertex(VLabel(0))).collect();
+        q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+        q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+        q.add_edge(u[2], u[3], ELabel(0)).unwrap();
+        q.add_edge(u[3], u[0], ELabel(0)).unwrap();
+        (g, q)
+    }
+
+    fn seeds_for_edge(
+        q: &QueryGraph,
+        orders: &MatchingOrders,
+        g: &DataGraph,
+        a: VertexId,
+        b: VertexId,
+    ) -> Vec<SeedTask> {
+        let el = g.edge_label(a, b).unwrap();
+        q.seed_edges(g.label(a), g.label(b), el, false)
+            .map(|(ua, ub)| {
+                let mut emb = Embedding::empty();
+                emb.set(ua, a);
+                emb.set(ub, b);
+                SeedTask { order_idx: orders.seed_index(ua, ub), depth: 2, emb }
+            })
+            .collect()
+    }
+
+    fn cfg(threads: usize) -> InnerConfig {
+        InnerConfig { split_depth: 3, ..InnerConfig::fine(threads) }
+    }
+
+    /// Matches through one specific data edge, counted by brute force:
+    /// total matches minus matches of the graph without the edge.
+    fn oracle_through_edge(g: &mut DataGraph, q: &QueryGraph, a: VertexId, b: VertexId) -> u64 {
+        let with = static_match::count_all(g, q);
+        let l = g.remove_edge(a, b).unwrap().unwrap();
+        let without = static_match::count_all(g, q);
+        g.insert_edge(a, b, l).unwrap();
+        with - without
+    }
+
+    #[test]
+    fn parallel_count_matches_oracle_across_thread_counts() {
+        let (mut g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let (a, b) = (VertexId(0), VertexId(1));
+        let expected = oracle_through_edge(&mut g, &q, a, b);
+        assert!(expected > 0, "test graph must have matches through the edge");
+        for threads in [1, 2, 4, 8] {
+            let seeds = seeds_for_edge(&q, &orders, &g, a, b);
+            let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(threads));
+            assert_eq!(out.sink.count, expected, "threads={threads}");
+            assert!(!out.timed_out);
+        }
+    }
+
+    #[test]
+    fn load_balance_off_still_correct() {
+        let (mut g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let (a, b) = (VertexId(2), VertexId(3));
+        let expected = oracle_through_edge(&mut g, &q, a, b);
+        let seeds = seeds_for_edge(&q, &orders, &g, a, b);
+        let mut c = cfg(4);
+        c.load_balance = false;
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        assert_eq!(out.sink.count, expected);
+    }
+
+    #[test]
+    fn empty_seeds_return_zero() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let out = run(&g, &q, &orders, &Plain, None, Vec::new(), cfg(4));
+        assert_eq!(out.sink.count, 0);
+        assert_eq!(out.nodes, 0);
+    }
+
+    #[test]
+    fn cap_stops_enumeration_early() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+        let mut c = cfg(4);
+        c.cap = Some(10);
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        // Worker-local pre-abort reports can slightly exceed the cap, but
+        // never by more than one per worker.
+        assert!(out.sink.count >= 10 && out.sink.count <= 10 + 4);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+        let past = Instant::now() - Duration::from_secs(1);
+        let out = run(&g, &q, &orders, &Plain, Some(past), seeds, cfg(2));
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn collect_mode_materializes_valid_matches() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+        let mut c = cfg(4);
+        c.collect = true;
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        assert_eq!(out.sink.matches.len() as u64, out.sink.count);
+        for m in &out.sink.matches {
+            // Every match must be a genuine embedding containing the edge.
+            for e in q.edges() {
+                assert_eq!(
+                    g.edge_label(m.get(e.u), m.get(e.v)),
+                    Some(e.label),
+                    "reported non-match {m:?}"
+                );
+            }
+            let uses_edge = q.edges().iter().any(|e| {
+                let (x, y) = (m.get(e.u), m.get(e.v));
+                (x == VertexId(0) && y == VertexId(1)) || (x == VertexId(1) && y == VertexId(0))
+            });
+            assert!(uses_edge, "match does not use the updated edge: {m:?}");
+        }
+    }
+
+    #[test]
+    fn coarse_baseline_is_exact_but_undecomposed() {
+        let (mut g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let (a, b) = (VertexId(0), VertexId(1));
+        let expected = oracle_through_edge(&mut g, &q, a, b);
+        let seeds = seeds_for_edge(&q, &orders, &g, a, b);
+        let n_seeds = seeds.len() as u64;
+        let out = run(&g, &q, &orders, &Plain, None, seeds, InnerConfig::coarse(4));
+        assert_eq!(out.sink.count, expected);
+        // No decomposition: exactly one task per seed, no donations.
+        assert_eq!(out.tasks_executed, n_seeds);
+        assert_eq!(out.tasks_split, 0);
+    }
+
+    #[test]
+    fn simulated_coarse_schedules_seed_granularity() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+        let n_seeds = seeds.len() as u64;
+        let out = run_simulated(&g, &q, &orders, &Plain, None, seeds, InnerConfig::coarse(8));
+        assert_eq!(out.tasks, n_seeds);
+    }
+
+    #[test]
+    fn simulated_count_matches_oracle_across_worker_counts() {
+        let (mut g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let (a, b) = (VertexId(0), VertexId(1));
+        let expected = oracle_through_edge(&mut g, &q, a, b);
+        for workers in [1, 2, 8, 32, 128] {
+            let seeds = seeds_for_edge(&q, &orders, &g, a, b);
+            let out = run_simulated(&g, &q, &orders, &Plain, None, seeds, cfg(workers));
+            assert_eq!(out.sink.count, expected, "workers={workers}");
+            assert!(!out.timed_out);
+            assert!(out.span <= out.work + Duration::from_millis(1));
+            assert_eq!(out.worker_busy.len(), workers);
+        }
+    }
+
+    #[test]
+    fn simulated_span_shrinks_with_more_workers() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let span_of = |workers: usize| {
+            let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+            run_simulated(&g, &q, &orders, &Plain, None, seeds, cfg(workers)).span
+        };
+        let s1 = span_of(1);
+        let s16 = span_of(16);
+        assert!(
+            s16 < s1,
+            "16 virtual workers should beat 1: s1={s1:?} s16={s16:?}"
+        );
+    }
+
+    #[test]
+    fn simulated_lb_off_uses_coarser_tasks() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let tasks_of = |lb: bool| {
+            let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+            let mut c = cfg(8);
+            c.load_balance = lb;
+            run_simulated(&g, &q, &orders, &Plain, None, seeds, c).tasks
+        };
+        assert!(tasks_of(true) > tasks_of(false));
+    }
+
+    #[test]
+    fn thread_busy_times_recorded_per_worker() {
+        let (g, q) = big_graph();
+        let orders = MatchingOrders::build(&q);
+        let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
+        let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(4));
+        assert_eq!(out.thread_busy.len(), 4);
+        assert!(out.tasks_executed > 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The **update type classifier** of inter-update parallelism (paper §4.2).
+//!
+//! The classifier decides whether a graph update is *safe* — provably unable
+//! to create or remove matches — via the paper's three-stage filter:
+//!
+//! 1. **Label filtering** — the update edge's `(L(v₁), L(v₂), L(e))` triple
+//!    matches no query edge. Such an edge can never appear in a match
+//!    (non-induced semantics) and never flips a label-gated ADS state, so it
+//!    is safe *independently of graph state*: label-safe updates are the
+//!    ones the batch executor classifies in parallel and applies to `G` in
+//!    bulk with no ADS work.
+//! 2. **Degree filtering** — for every compatible oriented query edge
+//!    `(u₁, u₂)`, the endpoint degrees fail `d(v₁) ≥ d(u₁) ∧ d(v₂) ≥ d(u₂)`
+//!    (post-insertion degrees for inserts, pre-deletion degrees for
+//!    deletes). No match can use the edge, so `Find_Matches` is skipped —
+//!    but the ADS may still need maintenance, which the executor performs
+//!    sequentially (cheap: paper Table 3 shows ADS updates are ≤ a few
+//!    percent of runtime).
+//! 3. **Candidate (ADS) filtering** — evaluated by the batch executor after
+//!    ADS maintenance: the update neither changed any ADS state nor
+//!    connects two ADS candidates of a compatible query edge.
+//!
+//! Stage 2/3 verdicts depend on graph state and are therefore evaluated in
+//! batch order; stage 1 is a pure function of `Q` and the edge labels, which
+//! is what makes parallel classification sound (see DESIGN.md §3.2).
+
+use crate::algorithm::CsmAlgorithm;
+use csm_graph::{DataGraph, EdgeUpdate, QueryGraph};
+
+/// Which filtering stage classified an update as safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SafeStage {
+    /// Stage 1: label triple matches no query edge.
+    Label,
+    /// Stage 2: endpoint degrees cannot support any compatible query edge.
+    Degree,
+    /// Stage 3: ADS unchanged and no candidate seed pair.
+    Ads,
+}
+
+/// Classifier verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Classified {
+    /// The update cannot affect `ΔM`; `Find_Matches` may be skipped.
+    Safe(SafeStage),
+    /// The update may produce matches — full sequential processing.
+    Unsafe,
+}
+
+impl Classified {
+    /// Is this a safe verdict (any stage)?
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Classified::Safe(_))
+    }
+}
+
+/// Running totals for the classifier — the data behind paper Table 4
+/// (unsafe-update percentage) and Fig. 12 (per-stage pruning effectiveness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassifierStats {
+    /// Edge updates examined.
+    pub total: u64,
+    /// Classified safe at stage 1 (label).
+    pub safe_label: u64,
+    /// Classified safe at stage 2 (degree).
+    pub safe_degree: u64,
+    /// Classified safe at stage 3 (ADS/candidate).
+    pub safe_ads: u64,
+    /// Classified unsafe (full processing).
+    pub unsafe_count: u64,
+}
+
+impl ClassifierStats {
+    /// Record one verdict.
+    pub fn record(&mut self, c: Classified) {
+        self.total += 1;
+        match c {
+            Classified::Safe(SafeStage::Label) => self.safe_label += 1,
+            Classified::Safe(SafeStage::Degree) => self.safe_degree += 1,
+            Classified::Safe(SafeStage::Ads) => self.safe_ads += 1,
+            Classified::Unsafe => self.unsafe_count += 1,
+        }
+    }
+
+    /// Total safe updates.
+    pub fn safe_total(&self) -> u64 {
+        self.safe_label + self.safe_degree + self.safe_ads
+    }
+
+    /// Percentage of unsafe updates (paper Table 4 metric).
+    pub fn unsafe_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.unsafe_count as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of updates surviving stage 1+2 (i.e. reaching the ADS
+    /// filter) — the complement of Fig. 12's "label+degree" pruning rate.
+    pub fn reaching_ads_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * (self.safe_ads + self.unsafe_count) as f64 / self.total as f64
+        }
+    }
+
+    /// Of the updates that reached stage 3, the fraction the ADS filter
+    /// pruned (Fig. 12's second bar).
+    pub fn ads_prune_pct(&self) -> f64 {
+        let reached = self.safe_ads + self.unsafe_count;
+        if reached == 0 {
+            0.0
+        } else {
+            100.0 * self.safe_ads as f64 / reached as f64
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, o: &ClassifierStats) {
+        self.total += o.total;
+        self.safe_label += o.safe_label;
+        self.safe_degree += o.safe_degree;
+        self.safe_ads += o.safe_ads;
+        self.unsafe_count += o.unsafe_count;
+    }
+}
+
+/// **Stage 1** — label filtering. Pure in `(Q, edge labels)`: safe ⟹ the
+/// edge is invisible to both matching and the ADS, regardless of any other
+/// concurrent update. Requires both endpoints alive (unknown endpoints are
+/// conservatively not label-safe and fall through to sequential handling).
+pub fn label_safe(g: &DataGraph, q: &QueryGraph, e: &EdgeUpdate, ignore_elabels: bool) -> bool {
+    if !g.is_alive(e.src) || !g.is_alive(e.dst) {
+        return false;
+    }
+    !q.matches_any_edge(g.label(e.src), g.label(e.dst), e.label, ignore_elabels)
+}
+
+/// **Stage 2** — degree filtering, evaluated against the *current* graph
+/// state (must be called in batch order). For inserts, the edge has not yet
+/// been applied, so prospective degrees are `d(v)+1`; for deletes the edge
+/// is still present, so current degrees are the degrees any existing
+/// (negative) match would see.
+pub fn degree_safe(
+    g: &DataGraph,
+    q: &QueryGraph,
+    e: &EdgeUpdate,
+    is_insert: bool,
+    ignore_elabels: bool,
+) -> bool {
+    let extra = usize::from(is_insert);
+    let d_src = g.degree(e.src) + extra;
+    let d_dst = g.degree(e.dst) + extra;
+    let (la, lb) = (g.label(e.src), g.label(e.dst));
+    for (u1, u2) in q.seed_edges(la, lb, e.label, ignore_elabels) {
+        if d_src >= q.degree(u1) && d_dst >= q.degree(u2) {
+            return false; // some compatible query edge is degree-feasible
+        }
+    }
+    true
+}
+
+/// **Stage 3** — candidate filtering against the current ADS state: no
+/// compatible oriented query edge has both endpoints in its candidate sets.
+/// For inserts call *after* `update_ads` (post-state); for deletes call
+/// *before* (negative matches live in the pre-deletion state).
+pub fn candidates_safe(
+    g: &DataGraph,
+    q: &QueryGraph,
+    algo: &dyn CsmAlgorithm,
+    e: &EdgeUpdate,
+) -> bool {
+    let (la, lb) = (g.label(e.src), g.label(e.dst));
+    for (u1, u2) in q.seed_edges(la, lb, e.label, algo.ignore_edge_labels()) {
+        if algo.is_candidate(g, q, u1, e.src) && algo.is_candidate(g, q, u2, e.dst) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::AdsChange;
+    use csm_graph::{ELabel, QVertexId, VLabel, VertexId};
+
+    struct Plain;
+    impl CsmAlgorithm for Plain {
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+        fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+            AdsChange::Unchanged
+        }
+        fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+            true
+        }
+    }
+
+    /// Query: u0(L0) - u1(L1) - u2(L1), edge labels 0.
+    fn setup() -> (DataGraph, QueryGraph) {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        let c = q.add_vertex(VLabel(1));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        let mut g = DataGraph::new();
+        g.add_vertex(VLabel(0)); // v0
+        g.add_vertex(VLabel(1)); // v1
+        g.add_vertex(VLabel(1)); // v2
+        g.add_vertex(VLabel(2)); // v3
+        (g, q)
+    }
+
+    #[test]
+    fn label_filter_catches_incompatible_triples() {
+        let (g, q) = setup();
+        // (L2, L0): no query edge has these labels.
+        let e = EdgeUpdate::new(VertexId(3), VertexId(0), ELabel(0));
+        assert!(label_safe(&g, &q, &e, false));
+        // (L0, L1) with wrong edge label: safe unless labels ignored.
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(9));
+        assert!(label_safe(&g, &q, &e, false));
+        assert!(!label_safe(&g, &q, &e, true));
+        // (L0, L1) with right edge label: not label-safe.
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        assert!(!label_safe(&g, &q, &e, false));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_never_label_safe() {
+        let (g, q) = setup();
+        let e = EdgeUpdate::new(VertexId(0), VertexId(99), ELabel(0));
+        assert!(!label_safe(&g, &q, &e, false));
+    }
+
+    #[test]
+    fn degree_filter_uses_prospective_degrees_for_insert() {
+        let (mut g, q) = setup();
+        // Inserting v0-v1: post-degrees are (1,1). u0 needs deg ≥ 1 and u1
+        // needs deg ≥ 2 → infeasible → degree-safe.
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        assert!(degree_safe(&g, &q, &e, true, false));
+        // Give v1 another edge so its post-degree reaches 2 → unsafe.
+        g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
+        assert!(!degree_safe(&g, &q, &e, true, false));
+    }
+
+    #[test]
+    fn degree_filter_for_delete_uses_current_degrees() {
+        let (mut g, q) = setup();
+        g.insert_edge(VertexId(0), VertexId(1), ELabel(0)).unwrap();
+        // Deleting v0-v1: current degrees (1, 1); u1 needs 2 → safe.
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        assert!(degree_safe(&g, &q, &e, false, false));
+        g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
+        // Now v1 has degree 2 → a negative match could exist → unsafe.
+        assert!(!degree_safe(&g, &q, &e, false, false));
+    }
+
+    #[test]
+    fn candidate_filter_consults_algorithm() {
+        let (mut g, q) = setup();
+        g.insert_edge(VertexId(0), VertexId(1), ELabel(0)).unwrap();
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        // Plain says every vertex is a candidate → seed pair exists → unsafe.
+        assert!(!candidates_safe(&g, &q, &Plain, &e));
+
+        struct Never;
+        impl CsmAlgorithm for Never {
+            fn name(&self) -> &'static str {
+                "never"
+            }
+            fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+            fn update_ads(
+                &mut self,
+                _: &DataGraph,
+                _: &QueryGraph,
+                _: EdgeUpdate,
+                _: bool,
+            ) -> AdsChange {
+                AdsChange::Unchanged
+            }
+            fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+                false
+            }
+        }
+        assert!(candidates_safe(&g, &q, &Never, &e));
+    }
+
+    #[test]
+    fn stats_percentages() {
+        let mut s = ClassifierStats::default();
+        for _ in 0..97 {
+            s.record(Classified::Safe(SafeStage::Label));
+        }
+        s.record(Classified::Safe(SafeStage::Degree));
+        s.record(Classified::Safe(SafeStage::Ads));
+        s.record(Classified::Unsafe);
+        assert_eq!(s.total, 100);
+        assert_eq!(s.safe_total(), 99);
+        assert!((s.unsafe_pct() - 1.0).abs() < 1e-9);
+        assert!((s.reaching_ads_pct() - 2.0).abs() < 1e-9);
+        assert!((s.ads_prune_pct() - 50.0).abs() < 1e-9);
+        let mut t = ClassifierStats::default();
+        t.merge(&s);
+        assert_eq!(t, s);
+    }
+}

@@ -1,0 +1,355 @@
+//! The generic enumeration kernel: seeded backtracking over compatible sets
+//! (paper Algorithm 1, `Find_Matches` / `Traverse`).
+//!
+//! The kernel is shared by all five baselines; an algorithm customizes it
+//! through its [`CandidateFilter`] (ADS candidacy) and, if it wants a
+//! different traversal shape entirely (NewSP, GraphFlow), by overriding
+//! `CsmAlgorithm::search`. The kernel itself performs the universal
+//! correctness checks — vertex label, degree prune, backward-edge
+//! verification, injectivity — so filters only add pruning, never
+//! correctness.
+//!
+//! Everything here is allocation-free per search node: candidates are
+//! streamed from adjacency slices, and the embedding is a fixed-size inline
+//! array mutated in place.
+
+use crate::embedding::{Embedding, MatchSink};
+use crate::order::SeedOrder;
+use csm_graph::{DataGraph, QVertexId, QueryGraph, VertexId};
+use std::time::Instant;
+
+/// Pluggable candidate test (the ADS hook). Must be conservative: returning
+/// `false` for a vertex that participates in a genuine match loses results;
+/// returning `true` only costs search effort.
+pub trait CandidateFilter: Sync {
+    /// May data vertex `v` be matched to query vertex `u`?
+    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
+}
+
+/// The trivial filter: every label/degree-feasible vertex is a candidate.
+pub struct NoFilter;
+
+impl CandidateFilter for NoFilter {
+    #[inline]
+    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+        true
+    }
+}
+
+/// Immutable context shared by one enumeration (one update × one seed order,
+/// or one static run).
+pub struct SearchCtx<'a> {
+    /// The data graph (post-insertion / pre-deletion state).
+    pub g: &'a DataGraph,
+    /// The query pattern.
+    pub q: &'a QueryGraph,
+    /// The matching order being followed.
+    pub order: &'a SeedOrder,
+    /// Waive edge-label equality (CaLiG mode).
+    pub ignore_elabels: bool,
+    /// Cooperative wall-clock deadline; checked every few hundred nodes.
+    pub deadline: Option<Instant>,
+}
+
+/// Per-enumeration counters; `aborted` is sticky once the deadline passes or
+/// a sink stops the search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+    /// Deadline was exceeded (distinguishes timeout from sink-requested stop).
+    pub timed_out: bool,
+}
+
+const DEADLINE_CHECK_MASK: u64 = 0x1FF;
+
+impl SearchStats {
+    /// Returns `false` (abort) when the deadline has passed. Amortized: only
+    /// probes the clock every 512 nodes.
+    #[inline]
+    pub fn tick(&mut self, deadline: Option<Instant>) -> bool {
+        self.nodes += 1;
+        if self.nodes & DEADLINE_CHECK_MASK == 0 {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Stream the candidate set `C(u, M)` for the query vertex at `depth` given
+/// the partial embedding, invoking `f` for each candidate. `f` returns
+/// `false` to stop early; the function returns `false` iff stopped.
+///
+/// Candidate generation (paper `Compatible_Set_Enum` + `Valid`):
+/// * depth 0 (static matching): scan the label bucket of `u`;
+/// * depth ≥ 1: pick the *pivot* — the already-matched backward neighbor
+///   whose image has the smallest degree — and stream its label/edge-label
+///   filtered adjacency, verifying the remaining backward edges by `O(log d)`
+///   probes (smallest-first intersection).
+#[inline]
+pub fn for_each_candidate<F>(
+    ctx: &SearchCtx<'_>,
+    filter: &(impl CandidateFilter + ?Sized),
+    emb: Embedding,
+    depth: usize,
+    mut f: F,
+) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    let u = ctx.order.order[depth];
+    let ulabel = ctx.q.label(u);
+    let udeg = ctx.q.degree(u);
+    let backward = &ctx.order.backward[depth];
+
+    if backward.is_empty() {
+        for &v in ctx.g.vertices_with_label(ulabel) {
+            if ctx.g.degree(v) < udeg
+                || emb.uses(v)
+                || !filter.is_candidate(ctx.g, ctx.q, u, v)
+            {
+                continue;
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    // Pivot: matched backward neighbor with the smallest image adjacency.
+    let (pivot_idx, _) = backward
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &(nb, _))| ctx.g.degree(emb.get_unchecked(nb)))
+        .expect("non-empty backward set");
+    let (pivot_q, pivot_el) = backward[pivot_idx];
+    let pivot_v = emb.get_unchecked(pivot_q);
+
+    'cand: for &(v, el) in ctx.g.neighbors(pivot_v) {
+        if !ctx.ignore_elabels && el != pivot_el {
+            continue;
+        }
+        if ctx.g.label(v) != ulabel || ctx.g.degree(v) < udeg || emb.uses(v) {
+            continue;
+        }
+        for (i, &(nb, nb_el)) in backward.iter().enumerate() {
+            if i == pivot_idx {
+                continue;
+            }
+            match ctx.g.edge_label(emb.get_unchecked(nb), v) {
+                Some(l) if ctx.ignore_elabels || l == nb_el => {}
+                _ => continue 'cand,
+            }
+        }
+        if !filter.is_candidate(ctx.g, ctx.q, u, v) {
+            continue;
+        }
+        if !f(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Recursive backtracking from `depth` to full matches (paper `Traverse`).
+///
+/// Returns `false` iff the search was stopped (deadline or sink); a `false`
+/// propagates all the way out so callers can distinguish complete from
+/// truncated enumerations via [`SearchStats::timed_out`] and the sink state.
+pub fn extend(
+    ctx: &SearchCtx<'_>,
+    filter: &(impl CandidateFilter + ?Sized),
+    emb: &mut Embedding,
+    depth: usize,
+    sink: &mut dyn MatchSink,
+    stats: &mut SearchStats,
+) -> bool {
+    if !stats.tick(ctx.deadline) {
+        return false;
+    }
+    let n = ctx.order.len();
+    if depth == n {
+        return sink.report(emb, n);
+    }
+    let u = ctx.order.order[depth];
+    let mut keep_going = true;
+    for_each_candidate(ctx, filter, *emb, depth, |v| {
+        emb.set(u, v);
+        keep_going = extend(ctx, filter, emb, depth + 1, sink, stats);
+        emb.unset(u);
+        keep_going
+    }) && keep_going
+}
+
+/// Expand a partial embedding by exactly one order level, materializing the
+/// child tasks (paper Algorithm 2, `Traverse_Next_Layer`). Used by the
+/// inner-update executor's BFS decomposition and adaptive splitting.
+pub fn expand_one_layer(
+    ctx: &SearchCtx<'_>,
+    filter: &(impl CandidateFilter + ?Sized),
+    emb: &Embedding,
+    depth: usize,
+    out: &mut Vec<Embedding>,
+) {
+    debug_assert!(depth < ctx.order.len());
+    let u = ctx.order.order[depth];
+    for_each_candidate(ctx, filter, *emb, depth, |v| {
+        let mut child = *emb;
+        child.set(u, v);
+        out.push(child);
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::BufferSink;
+    use csm_graph::{ELabel, VLabel};
+
+    /// Data: a 4-cycle v0-v1-v2-v3 plus chord v0-v2, all label 0.
+    /// Query: triangle, all label 0.
+    fn setup() -> (DataGraph, QueryGraph) {
+        let mut g = DataGraph::new();
+        let v: Vec<_> = (0..4).map(|_| g.add_vertex(VLabel(0))).collect();
+        for &(a, b) in &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            g.insert_edge(v[a], v[b], ELabel(0)).unwrap();
+        }
+        let mut q = QueryGraph::new();
+        let u: Vec<_> = (0..3).map(|_| q.add_vertex(VLabel(0))).collect();
+        q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+        q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+        q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+        (g, q)
+    }
+
+    fn run_all(g: &DataGraph, q: &QueryGraph) -> u64 {
+        // Enumerate everything from a single-vertex order (static style).
+        let order = SeedOrder::build(q, &[QVertexId(0)]);
+        let ctx = SearchCtx { g, q, order: &order, ignore_elabels: false, deadline: None };
+        let mut sink = BufferSink::counting();
+        let mut stats = SearchStats::default();
+        extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        sink.count
+    }
+
+    #[test]
+    fn triangle_mappings_counted_with_automorphisms() {
+        let (g, q) = setup();
+        // Two triangles {v0,v1,v2} and {v0,v2,v3}, × 6 automorphisms each.
+        assert_eq!(run_all(&g, &q), 12);
+    }
+
+    #[test]
+    fn label_mismatch_prunes() {
+        let (g, mut_q) = setup();
+        let mut q = mut_q.clone();
+        drop(mut_q);
+        // Query with an impossible vertex label.
+        let u3 = q.add_vertex(VLabel(9));
+        q.add_edge(QVertexId(0), u3, ELabel(0)).unwrap();
+        assert_eq!(run_all(&g, &q), 0);
+    }
+
+    #[test]
+    fn edge_label_mismatch_prunes_unless_ignored() {
+        let (mut g, q) = setup();
+        // Relabel one triangle edge: v0-v1 becomes label 5.
+        g.remove_edge(VertexId(0), VertexId(1)).unwrap();
+        g.insert_edge(VertexId(0), VertexId(1), ELabel(5)).unwrap();
+        // Triangle {v0,v1,v2} no longer edge-label-consistent: only
+        // {v0,v2,v3} remains → 6 mappings.
+        assert_eq!(run_all(&g, &q), 6);
+
+        // Ignoring edge labels restores both triangles.
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx =
+            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: true, deadline: None };
+        let mut sink = BufferSink::counting();
+        let mut stats = SearchStats::default();
+        extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        assert_eq!(sink.count, 12);
+    }
+
+    #[test]
+    fn seeded_extension_from_partial_embedding() {
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0), QVertexId(1)]);
+        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        // Seed u0→v0, u1→v1: completions are u2→v2 only.
+        let mut emb = Embedding::empty();
+        emb.set(QVertexId(0), VertexId(0));
+        emb.set(QVertexId(1), VertexId(1));
+        let mut sink = BufferSink::collecting();
+        let mut stats = SearchStats::default();
+        extend(&ctx, &NoFilter, &mut emb, 2, &mut sink, &mut stats);
+        assert_eq!(sink.count, 1);
+        assert_eq!(sink.matches[0].get(QVertexId(2)), VertexId(2));
+    }
+
+    #[test]
+    fn expand_one_layer_produces_children() {
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let mut out = Vec::new();
+        expand_one_layer(&ctx, &NoFilter, &Embedding::empty(), 0, &mut out);
+        // Depth 0 candidates: all degree-≥2 vertices with label 0 = v0..v3.
+        assert_eq!(out.len(), 4);
+        for child in &out {
+            assert_eq!(child.len(), 1);
+        }
+    }
+
+    #[test]
+    fn filter_can_prune_candidates() {
+        struct OnlyEven;
+        impl CandidateFilter for OnlyEven {
+            fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, v: VertexId) -> bool {
+                v.0 % 2 == 0
+            }
+        }
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let mut sink = BufferSink::counting();
+        let mut stats = SearchStats::default();
+        extend(&ctx, &OnlyEven, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        // No triangle on only-even vertices exists ({v0,v2} plus nothing).
+        assert_eq!(sink.count, 0);
+    }
+
+    #[test]
+    fn sink_can_stop_enumeration() {
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let mut sink = BufferSink::counting().with_cap(Some(3));
+        let mut stats = SearchStats::default();
+        let finished = extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        assert!(!finished);
+        assert!(!stats.timed_out);
+        assert_eq!(sink.count, 3);
+    }
+
+    #[test]
+    fn deadline_aborts_search() {
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let ctx =
+            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: Some(past) };
+        let mut sink = BufferSink::counting();
+        // Force a deadline probe on the first tick.
+        let mut stats = SearchStats { nodes: DEADLINE_CHECK_MASK, timed_out: false };
+        let finished = extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        assert!(!finished);
+        assert!(stats.timed_out);
+    }
+}

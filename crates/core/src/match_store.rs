@@ -1,0 +1,214 @@
+//! Maintaining the live match set `M` across a stream.
+//!
+//! CSM engines report *deltas* (`ΔM`); most applications (fraud dashboards,
+//! recommendation candidates) also want the current materialized match set.
+//! [`MatchStore`] folds the per-update deltas into a set and checks the
+//! bookkeeping invariants the deltas must satisfy (a reported negative match
+//! must exist; a reported positive must be new).
+
+use crate::embedding::Match;
+use crate::framework::UpdateOutcome;
+use std::collections::HashSet;
+
+/// The materialized set of current matches.
+///
+/// ```
+/// use paracosm_core::{Match, MatchStore};
+/// use csm_graph::VertexId;
+/// let mut store = MatchStore::new();
+/// let m: Match = vec![VertexId(3), VertexId(7)].into();
+/// store.add_positives([m.clone()]).unwrap();
+/// assert!(store.contains(&m));
+/// store.remove_negatives([m]).unwrap();
+/// assert!(store.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MatchStore {
+    set: HashSet<Match>,
+}
+
+/// Errors surfaced when a delta contradicts the store — these indicate an
+/// engine bug (or deltas applied out of order), never a user error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A positive match was reported that already exists.
+    DuplicatePositive(Match),
+    /// A negative match was reported that does not exist.
+    MissingNegative(Match),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::DuplicatePositive(m) => write!(f, "duplicate positive match {m:?}"),
+            StoreError::MissingNegative(m) => write!(f, "missing negative match {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl MatchStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed the store with the initial matches (offline stage; use a
+    /// collecting [`crate::static_match::enumerate_all`] /
+    /// `ParaCosm::initial_matches(true)` result).
+    pub fn bootstrap(&mut self, initial: impl IntoIterator<Item = Match>) {
+        self.set.extend(initial);
+    }
+
+    /// Number of live matches.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Does the store currently contain `m`?
+    pub fn contains(&self, m: &Match) -> bool {
+        self.set.contains(m)
+    }
+
+    /// Iterate over the live matches (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Match> {
+        self.set.iter()
+    }
+
+    /// Add positive matches. Fails on duplicates (engine-bug detector).
+    pub fn add_positives(&mut self, matches: impl IntoIterator<Item = Match>) -> Result<(), StoreError> {
+        for m in matches {
+            if !self.set.insert(m.clone()) {
+                return Err(StoreError::DuplicatePositive(m));
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove negative matches. Fails on unknown matches.
+    pub fn remove_negatives(
+        &mut self,
+        matches: impl IntoIterator<Item = Match>,
+    ) -> Result<(), StoreError> {
+        for m in matches {
+            if !self.set.remove(&m) {
+                return Err(StoreError::MissingNegative(m));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold one engine outcome into the store. The outcome must come from an
+    /// engine configured with `collect_matches`; its `matches` are positive
+    /// for insertions and negative for deletions (an edge update never
+    /// produces both).
+    pub fn apply(&mut self, out: &UpdateOutcome) -> Result<(), StoreError> {
+        debug_assert!(
+            out.positives == 0 || out.negatives == 0,
+            "an update outcome carries one delta direction"
+        );
+        if out.negatives > 0 {
+            self.remove_negatives(out.matches.iter().cloned())
+        } else {
+            self.add_positives(out.matches.iter().cloned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::AdsChange;
+    use crate::config::ParaCosmConfig;
+    use crate::framework::ParaCosm;
+    use crate::static_match;
+    use crate::CsmAlgorithm;
+    use csm_graph::{
+        DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, Update, VLabel, VertexId,
+    };
+
+    struct Plain;
+    impl CsmAlgorithm for Plain {
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+        fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+            AdsChange::Unchanged
+        }
+        fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn store_tracks_engine_through_stream() {
+        // Random small graph + triangle query; after every update the store
+        // must equal a fresh static enumeration.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = DataGraph::new();
+        for i in 0..14 {
+            g.add_vertex(VLabel(i % 2));
+        }
+        let mut q = QueryGraph::new();
+        let u: Vec<_> = (0..3).map(|i| q.add_vertex(VLabel(i % 2))).collect();
+        q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+        q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+        q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+
+        let mut engine = ParaCosm::new(
+            g,
+            q.clone(),
+            Plain,
+            ParaCosmConfig::sequential().collecting(),
+        );
+        let mut store = MatchStore::new();
+        store.bootstrap(engine.initial_matches(true).matches);
+
+        let mut present: Vec<(VertexId, VertexId)> = Vec::new();
+        for _ in 0..120 {
+            let a = VertexId(rng.gen_range(0..14));
+            let b = VertexId(rng.gen_range(0..14));
+            if a == b {
+                continue;
+            }
+            let upd = if !present.is_empty() && rng.gen_bool(0.35) {
+                let (a, b) = present.swap_remove(rng.gen_range(0..present.len()));
+                Update::DeleteEdge(EdgeUpdate::new(a, b, ELabel(0)))
+            } else if !engine.graph().has_edge(a, b) {
+                present.push((a, b));
+                Update::InsertEdge(EdgeUpdate::new(a, b, ELabel(0)))
+            } else {
+                continue;
+            };
+            let out = engine.process_update(upd).unwrap();
+            store.apply(&out).unwrap();
+            let truth = static_match::enumerate_all(engine.graph(), engine.query(), true);
+            assert_eq!(store.len() as u64, truth.count);
+            for m in &truth.matches {
+                assert!(store.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn bookkeeping_violations_are_detected() {
+        let mut store = MatchStore::new();
+        let m: Match = vec![VertexId(1), VertexId(2)].into();
+        store.add_positives([m.clone()]).unwrap();
+        assert_eq!(
+            store.add_positives([m.clone()]),
+            Err(StoreError::DuplicatePositive(m.clone()))
+        );
+        store.remove_negatives([m.clone()]).unwrap();
+        assert_eq!(store.remove_negatives([m.clone()]), Err(StoreError::MissingNegative(m)));
+        assert!(store.is_empty());
+    }
+}

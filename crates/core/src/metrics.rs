@@ -1,0 +1,221 @@
+//! Lightweight latency metrics for streaming runs.
+//!
+//! Real-time CSM deployments (the paper's §3.1 motivation: financial risk
+//! control with "real-time responsiveness") care about per-update latency
+//! *percentiles*, not just totals. [`LatencyHistogram`] is a log-bucketed
+//! histogram — constant memory, O(1) record, ~4 % worst-case relative error
+//! per bucket — suitable for the hot path.
+
+use std::time::Duration;
+
+/// Number of log₂ major buckets (covers 1 ns .. ~512 s).
+const MAJORS: usize = 40;
+/// Linear sub-buckets per major (4 % resolution).
+const MINORS: usize = 16;
+
+/// A log-bucketed latency histogram.
+///
+/// ```
+/// use paracosm_core::LatencyHistogram;
+/// use std::time::Duration;
+/// let mut h = LatencyHistogram::new();
+/// for us in [120, 95, 400, 210, 3800] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(50.0) <= h.percentile(99.0));
+/// assert_eq!(h.max(), Duration::from_micros(3800));
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; MAJORS * MINORS]>,
+    count: u64,
+    max: Duration,
+    sum: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; MAJORS * MINORS]),
+            count: 0,
+            max: Duration::ZERO,
+            sum: Duration::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < MINORS as u64 {
+        return nanos as usize;
+    }
+    let major = 63 - nanos.leading_zeros() as usize; // floor(log2)
+    let shift = major.saturating_sub(4); // keep 4 significant bits
+    let minor = ((nanos >> shift) as usize) & (MINORS - 1);
+    let idx = (major - 3) * MINORS + minor;
+    idx.min(MAJORS * MINORS - 1)
+}
+
+/// Representative (upper-bound) value of a bucket, inverse of [`bucket_of`].
+fn bucket_value(idx: usize) -> u64 {
+    if idx < MINORS {
+        return idx as u64;
+    }
+    let major = idx / MINORS + 3;
+    let minor = (idx % MINORS) as u64;
+    let shift = major.saturating_sub(4);
+    ((1u64 << 4) | minor) << shift
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum += d;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Mean latency (exact).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+
+    /// The `p`-th percentile (0–100), within bucket resolution.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_value(i));
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:?} p50={:?} p90={:?} p99={:?} max={:?}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for exp in 0..50u32 {
+            let v = 3u64.saturating_mul(7u64.saturating_pow(exp / 7)) + exp as u64;
+            let b = bucket_of(v);
+            let rep = bucket_value(b);
+            // Representative within ~7% of the sample (upper bound of bucket).
+            assert!(
+                rep as f64 >= v as f64 * 0.93 && rep as f64 <= v as f64 * 1.07 + 1.0,
+                "v={v} rep={rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_value(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // p50 of uniform 1..1000 µs ≈ 500 µs, within bucket error.
+        let p50_us = p50.as_micros() as f64;
+        assert!((430.0..=580.0).contains(&p50_us), "p50 = {p50_us}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_millis(100));
+        assert!(a.mean() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert!(h.summary().contains("n=0"));
+    }
+}

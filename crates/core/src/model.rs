@@ -1,0 +1,131 @@
+//! The paper's theoretical analysis (§4.3): the speedup model of Eq. (1)–(3)
+//! and the label-filter safe-update probability estimate.
+//!
+//! These closed forms let a deployment predict ParaCOSM's benefit from
+//! workload statistics before running anything — the harness compares the
+//! prediction against measured classifier ratios.
+
+/// Parameters of the Eq. (1) cost model.
+///
+/// ```
+/// use paracosm_core::model::CostModel;
+/// // The paper's worked example: N = M = 10, γ = 0.4 reduces the runtime
+/// // to |ΔG|·(0.64·T_ADS + 0.06·T_FM)  — Eq. (3).
+/// let m = CostModel { updates: 1, gamma: 0.4, t_ads: 1.0, t_fm: 1.0, m: 10, n: 10 };
+/// assert!((m.parallel_time() - 0.70).abs() < 1e-12);
+/// assert!(m.predicted_speedup() > 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Number of updates `|ΔG|`.
+    pub updates: u64,
+    /// Ratio of safe updates `γ ∈ [0, 1]`.
+    pub gamma: f64,
+    /// Per-update auxiliary-structure maintenance time `T_ADS` (seconds).
+    pub t_ads: f64,
+    /// Per-update match-enumeration time `T_FM` (seconds).
+    pub t_fm: f64,
+    /// Threads devoted to ADS maintenance `M`.
+    pub m: usize,
+    /// Threads devoted to match search `N`.
+    pub n: usize,
+}
+
+impl CostModel {
+    /// Total parallel runtime `T_csm` per Eq. (1)/(2):
+    ///
+    /// ```text
+    /// T = |ΔG| · [ (1 − γ)(T_ADS + T_FM/N) + γ·T_ADS/M ]
+    /// ```
+    ///
+    /// Unsafe updates pay full ADS maintenance plus `N`-way parallel search;
+    /// safe updates pay only `M`-way parallel ADS maintenance.
+    pub fn parallel_time(&self) -> f64 {
+        let g = self.gamma.clamp(0.0, 1.0);
+        let unsafe_cost = (1.0 - g) * (self.t_ads + self.t_fm / self.n.max(1) as f64);
+        let safe_cost = g * self.t_ads / self.m.max(1) as f64;
+        self.updates as f64 * (unsafe_cost + safe_cost)
+    }
+
+    /// Single-threaded runtime: every update pays `T_ADS`, and the
+    /// `(1 − γ)` unsafe fraction pays `T_FM` (safe updates produce no
+    /// matches, so their enumeration is trivially empty in the baseline
+    /// too — the baseline's win-less seed check).
+    pub fn sequential_time(&self) -> f64 {
+        let g = self.gamma.clamp(0.0, 1.0);
+        self.updates as f64 * (self.t_ads + (1.0 - g) * self.t_fm)
+    }
+
+    /// Predicted speedup of ParaCOSM over the single-threaded baseline.
+    pub fn predicted_speedup(&self) -> f64 {
+        let p = self.parallel_time();
+        if p <= 0.0 {
+            1.0
+        } else {
+            self.sequential_time() / p
+        }
+    }
+}
+
+/// The §4.3 label-filter estimate of the *unsafe* probability under uniform
+/// labels: inserting an edge is unsafe only if its label triple matches one
+/// of the `|E(Q)|` query edges, each with probability
+/// `1 / (|L(E)| · |L(V)|²)`.
+///
+/// Worked example from the paper: LiveJournal (`|L(V)| = 30`, `|L(E)| = 1`)
+/// with a 6-edge query gives `P(unsafe) = 6/900 ≈ 0.667 %` (the paper prints
+/// 0.677 % for the same expression) and `P(safe) ≥ 99.33 %`.
+pub fn unsafe_probability(query_edges: usize, n_vlabels: usize, n_elabels: usize) -> f64 {
+    let denom = (n_elabels.max(1) as f64) * (n_vlabels.max(1) as f64).powi(2);
+    (query_edges as f64 / denom).min(1.0)
+}
+
+/// `P(safe) = 1 − P(unsafe)` under the same model.
+pub fn safe_probability(query_edges: usize, n_vlabels: usize, n_elabels: usize) -> f64 {
+    1.0 - unsafe_probability(query_edges, n_vlabels, n_elabels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_worked_example_eq3() {
+        // N = M = 10, γ = 0.4 → T = |ΔG|(0.64·T_ADS + 0.06·T_FM) (Eq. 3).
+        let m = CostModel { updates: 1, gamma: 0.4, t_ads: 1.0, t_fm: 0.0, m: 10, n: 10 };
+        assert!((m.parallel_time() - 0.64).abs() < 1e-12);
+        let m = CostModel { updates: 1, gamma: 0.4, t_ads: 0.0, t_fm: 1.0, m: 10, n: 10 };
+        assert!((m.parallel_time() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn papers_livejournal_safe_ratio() {
+        // 6-edge query, |L(V)| = 30, |L(E)| = 1 → P(unsafe) = 6/900.
+        let p = unsafe_probability(6, 30, 1);
+        assert!((p - 6.0 / 900.0).abs() < 1e-12);
+        assert!(safe_probability(6, 30, 1) > 0.993);
+    }
+
+    #[test]
+    fn more_safe_updates_help_more() {
+        let base = CostModel { updates: 100, gamma: 0.5, t_ads: 0.1, t_fm: 1.0, m: 8, n: 8 };
+        let safer = CostModel { gamma: 0.99, ..base };
+        assert!(safer.predicted_speedup() > base.predicted_speedup());
+    }
+
+    #[test]
+    fn more_threads_never_hurt() {
+        let few = CostModel { updates: 10, gamma: 0.9, t_ads: 0.1, t_fm: 1.0, m: 2, n: 2 };
+        let many = CostModel { m: 32, n: 32, ..few };
+        assert!(many.parallel_time() < few.parallel_time());
+        assert!(many.predicted_speedup() > few.predicted_speedup());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert_eq!(unsafe_probability(1000, 1, 1), 1.0);
+        let m = CostModel { updates: 0, gamma: 2.0, t_ads: 1.0, t_fm: 1.0, m: 0, n: 0 };
+        assert_eq!(m.parallel_time(), 0.0);
+        assert_eq!(m.predicted_speedup(), 1.0);
+    }
+}

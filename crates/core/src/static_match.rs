@@ -1,0 +1,157 @@
+//! Static (whole-graph) subgraph matching — `Find_Initial_Matches` in paper
+//! Algorithm 1, and the brute-force oracle behind the workspace's
+//! differential tests.
+
+use crate::embedding::{BufferSink, Embedding, Match};
+use crate::kernel::{self, CandidateFilter, NoFilter, SearchCtx, SearchStats};
+use crate::order::SeedOrder;
+use csm_graph::{DataGraph, QVertexId, QueryGraph};
+use std::time::Instant;
+
+/// Outcome of a static enumeration.
+#[derive(Debug)]
+pub struct StaticResult {
+    /// Number of matches (mappings, counting automorphic variants).
+    pub count: u64,
+    /// Materialized matches, if requested.
+    pub matches: Vec<Match>,
+    /// Search statistics (node count, timeout flag).
+    pub stats: SearchStats,
+}
+
+/// Pick the start query vertex minimizing the initial candidate frontier:
+/// fewest same-labeled data vertices, ties broken by higher query degree.
+fn pick_start(g: &DataGraph, q: &QueryGraph) -> QVertexId {
+    q.vertices()
+        .min_by_key(|&u| (g.vertices_with_label(q.label(u)).len(), usize::MAX - q.degree(u)))
+        .expect("non-empty query")
+}
+
+/// Enumerate all matches of `q` in `g` through an arbitrary candidate
+/// filter. Core of both initial-match computation and the test oracle.
+pub fn enumerate_with_filter(
+    g: &DataGraph,
+    q: &QueryGraph,
+    filter: &(impl CandidateFilter + ?Sized),
+    ignore_elabels: bool,
+    collect: bool,
+    deadline: Option<Instant>,
+) -> StaticResult {
+    if q.num_vertices() == 0 {
+        return StaticResult { count: 0, matches: Vec::new(), stats: SearchStats::default() };
+    }
+    let order = SeedOrder::build(q, &[pick_start(g, q)]);
+    let ctx = SearchCtx { g, q, order: &order, ignore_elabels, deadline };
+    let mut sink = if collect { BufferSink::collecting() } else { BufferSink::counting() };
+    let mut stats = SearchStats::default();
+    kernel::extend(&ctx, filter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+    StaticResult { count: sink.count, matches: sink.matches, stats }
+}
+
+/// Enumerate all matches of `q` in `g` (no ADS filtering).
+pub fn enumerate_all(g: &DataGraph, q: &QueryGraph, collect: bool) -> StaticResult {
+    enumerate_with_filter(g, q, &NoFilter, false, collect, None)
+}
+
+/// Count all matches of `q` in `g`.
+pub fn count_all(g: &DataGraph, q: &QueryGraph) -> u64 {
+    enumerate_all(g, q, false).count
+}
+
+/// Count all matches ignoring edge labels (CaLiG-mode oracle).
+pub fn count_all_ignoring_elabels(g: &DataGraph, q: &QueryGraph) -> u64 {
+    enumerate_with_filter(g, q, &NoFilter, true, false, None).count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::{ELabel, VLabel, VertexId};
+
+    fn clique(n: usize, label: u32) -> DataGraph {
+        let mut g = DataGraph::new();
+        let vs: Vec<_> = (0..n).map(|_| g.add_vertex(VLabel(label))).collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                g.insert_edge(vs[i], vs[j], ELabel(0)).unwrap();
+            }
+        }
+        g
+    }
+
+    fn path_query(n: usize, label: u32) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let us: Vec<_> = (0..n).map(|_| q.add_vertex(VLabel(label))).collect();
+        for w in us.windows(2) {
+            q.add_edge(w[0], w[1], ELabel(0)).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn paths_in_clique_counted_exactly() {
+        // #injective mappings of P3 into K4 = 4 × 3 × 2 = 24.
+        let g = clique(4, 0);
+        let q = path_query(3, 0);
+        assert_eq!(count_all(&g, &q), 24);
+    }
+
+    #[test]
+    fn triangles_in_clique() {
+        // #mappings of K3 into K5 = 5 × 4 × 3 = 60.
+        let g = clique(5, 0);
+        let mut q = path_query(3, 0);
+        q.add_edge(QVertexId(0), QVertexId(2), ELabel(0)).unwrap();
+        assert_eq!(count_all(&g, &q), 60);
+    }
+
+    #[test]
+    fn label_restriction_prunes_start() {
+        let mut g = clique(3, 0);
+        let x = g.add_vertex(VLabel(1));
+        g.insert_edge(VertexId(0), x, ELabel(0)).unwrap();
+        // Query: edge with labels (1, 0) → matches only (x, v0).
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(1));
+        let b = q.add_vertex(VLabel(0));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        let r = enumerate_all(&g, &q, true);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.matches[0].get(a), x);
+        assert_eq!(r.matches[0].get(b), VertexId(0));
+    }
+
+    #[test]
+    fn empty_graph_and_empty_query() {
+        let g = DataGraph::new();
+        let q = path_query(2, 0);
+        assert_eq!(count_all(&g, &q), 0);
+        let q0 = QueryGraph::new();
+        assert_eq!(count_all(&clique(3, 0), &q0), 0);
+    }
+
+    #[test]
+    fn elabel_sensitivity() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(0));
+        g.insert_edge(a, b, ELabel(7)).unwrap();
+        let q = path_query(2, 0); // wants ELabel(0)
+        assert_eq!(count_all(&g, &q), 0);
+        assert_eq!(count_all_ignoring_elabels(&g, &q), 2); // both orientations
+    }
+
+    #[test]
+    fn start_vertex_prefers_rare_label() {
+        let mut g = DataGraph::new();
+        for _ in 0..10 {
+            g.add_vertex(VLabel(0));
+        }
+        g.add_vertex(VLabel(1));
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        assert_eq!(pick_start(&g, &q), b);
+    }
+}

@@ -1,0 +1,93 @@
+//! `gen-dataset` — materialize a scaled synthetic dataset to the standard
+//! CSM text formats (initial graph, update stream, query files), the same
+//! artifact layout the original CSM benchmark suites use.
+//!
+//! ```text
+//! gen-dataset --dataset amazon|livejournal|lsbench|orkut [options] --out DIR
+//!
+//!   --scale xs|s|m           generation scale            (default: s)
+//!   --query-sizes a,b,c      query sizes to extract      (default: 6,7,8,9,10)
+//!   --queries N              queries per size            (default: 100)
+//!   --insert-fraction F      stream sampling fraction    (default: 0.10)
+//!   --delete-fraction F      deletion tail fraction      (default: 0.0)
+//!   --seed N                 RNG seed                    (default: 7)
+//! ```
+//!
+//! Output: `DIR/data_graph.txt`, `DIR/insertion_stream.txt`,
+//! `DIR/queries/query_<size>_<idx>.txt`.
+
+use csm_datagen::{generate_queries, split_stream, DatasetKind, Scale, StreamConfig};
+use csm_graph::{io, GraphStats};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gen-dataset --dataset <name> --out <dir> [--scale xs|s|m] \
+         [--query-sizes a,b,c] [--queries N] [--insert-fraction F] \
+         [--delete-fraction F] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dataset = None;
+    let mut out: Option<PathBuf> = None;
+    let mut scale = Scale::S;
+    let mut sizes = vec![6usize, 7, 8, 9, 10];
+    let mut queries = 100usize;
+    let mut stream_cfg = StreamConfig::default();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--dataset" => dataset = DatasetKind::parse(&val()),
+            "--out" => out = Some(PathBuf::from(val())),
+            "--scale" => scale = Scale::parse(&val()).unwrap_or_else(|| usage()),
+            "--query-sizes" => {
+                sizes = val().split(',').map(|s| s.trim().parse().unwrap_or_else(|_| usage())).collect()
+            }
+            "--queries" => queries = val().parse().unwrap_or_else(|_| usage()),
+            "--insert-fraction" => {
+                stream_cfg.insert_fraction = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--delete-fraction" => {
+                stream_cfg.delete_fraction = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => stream_cfg.seed = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(dataset), Some(out)) = (dataset, out) else { usage() };
+
+    eprintln!("generating {dataset}-{} ...", scale.suffix());
+    let full = dataset.generate(scale);
+    eprintln!("  full graph: {}", GraphStats::of(&full));
+
+    std::fs::create_dir_all(out.join("queries")).expect("create output dir");
+
+    let (initial, stream) = split_stream(&full, &stream_cfg);
+    io::write_data_graph(&initial, std::fs::File::create(out.join("data_graph.txt")).unwrap())
+        .expect("write graph");
+    io::write_update_stream(
+        &stream,
+        std::fs::File::create(out.join("insertion_stream.txt")).unwrap(),
+    )
+    .expect("write stream");
+    eprintln!(
+        "  initial graph: {} edges; stream: {} updates",
+        initial.num_edges(),
+        stream.len()
+    );
+
+    for &size in &sizes {
+        let qs = generate_queries(&full, size, queries, stream_cfg.seed ^ size as u64);
+        for (i, q) in qs.iter().enumerate() {
+            let path = out.join("queries").join(format!("query_{size}_{i}.txt"));
+            io::write_query_graph(q, std::fs::File::create(path).unwrap())
+                .expect("write query");
+        }
+        eprintln!("  queries of size {size}: {}", qs.len());
+    }
+    eprintln!("done: {}", out.display());
+}

@@ -1,0 +1,186 @@
+//! The four evaluation datasets of paper Table 5, as scaled synthetic
+//! stand-ins.
+//!
+//! | Dataset | \|V\| | \|E\| | \|L(V)\| | \|L(E)\| | d(G) |
+//! |---|---|---|---|---|---|
+//! | Amazon | 403,394 | 2,433,408 | 6 | 1 | 12.06 |
+//! | LiveJournal | 4,847,571 | 42,841,237 | 30 | 1 | 17.68 |
+//! | LSBench | 5,210,099 | 20,270,676 | 1 | 44 | 7.78 |
+//! | Orkut | 3,072,441 | 117,185,083 | 20 | 20 | 20 |
+//!
+//! Scaling keeps the **label alphabets and average degree exact** and
+//! shrinks `|V|` (so absolute runtimes drop while selectivity and fan-out —
+//! the drivers of CSM cost — are preserved). The power-law exponent models
+//! each graph's character: product co-purchase networks are flatter than
+//! social networks.
+
+use crate::synth::{generate, SynthConfig};
+use csm_graph::DataGraph;
+
+/// The four paper datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Product co-purchasing network (6 vertex labels, unlabeled edges).
+    Amazon,
+    /// Large online community network (30 vertex labels).
+    LiveJournal,
+    /// Linked Stream Benchmark synthetic social graph (44 *edge* labels,
+    /// single vertex label — the edge-label-heavy outlier).
+    LSBench,
+    /// Social network (20 vertex and 20 edge labels, densest of the four).
+    Orkut,
+}
+
+/// Generation scale. `S` is the default benchmarking scale; `Xs` is for
+/// CI-speed runs; `M` stresses larger instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1/10 of `S`.
+    Xs,
+    /// Default benchmark scale (thousands of vertices).
+    S,
+    /// 4× the default scale.
+    M,
+}
+
+impl DatasetKind {
+    /// All four, in the paper's order.
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Amazon,
+        DatasetKind::LiveJournal,
+        DatasetKind::LSBench,
+        DatasetKind::Orkut,
+    ];
+
+    /// Display name (suffixed with the scale at generation time).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Amazon => "Amazon",
+            DatasetKind::LiveJournal => "LiveJournal",
+            DatasetKind::LSBench => "LSBench",
+            DatasetKind::Orkut => "Orkut",
+        }
+    }
+
+    /// Parse a case-insensitive name.
+    pub fn parse(s: &str) -> Option<DatasetKind> {
+        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// The paper's Table-5 row: `(|V|, |E|, |L(V)|, |L(E)|)` at full size.
+    pub fn paper_dims(self) -> (u64, u64, u32, u32) {
+        match self {
+            DatasetKind::Amazon => (403_394, 2_433_408, 6, 1),
+            DatasetKind::LiveJournal => (4_847_571, 42_841_237, 30, 1),
+            DatasetKind::LSBench => (5_210_099, 20_270_676, 1, 44),
+            DatasetKind::Orkut => (3_072_441, 117_185_083, 20, 20),
+        }
+    }
+
+    /// Synthetic generation parameters at the given scale.
+    pub fn config(self, scale: Scale) -> SynthConfig {
+        let (v_full, e_full, lv, le) = self.paper_dims();
+        // Per-dataset divisor at scale S, chosen so every dataset's full
+        // benchmark run takes seconds, not hours, while d(G) is preserved.
+        let div_s: u64 = match self {
+            DatasetKind::Amazon => 100,
+            DatasetKind::LiveJournal => 400,
+            DatasetKind::LSBench => 400,
+            DatasetKind::Orkut => 600,
+        };
+        let div = match scale {
+            Scale::Xs => div_s * 10,
+            Scale::S => div_s,
+            Scale::M => div_s / 4,
+        };
+        // Social networks are hubbier than the co-purchase graph.
+        let alpha = match self {
+            DatasetKind::Amazon => 0.55,
+            DatasetKind::LiveJournal => 0.75,
+            DatasetKind::LSBench => 0.65,
+            DatasetKind::Orkut => 0.75,
+        };
+        SynthConfig {
+            n_vertices: (v_full / div).max(50) as usize,
+            n_edges: (e_full / div).max(100) as usize,
+            n_vlabels: lv,
+            n_elabels: le,
+            alpha,
+            seed: 0x9e3779b9 ^ (div.wrapping_mul(31)) ^ self.name().len() as u64,
+        }
+    }
+
+    /// Generate the scaled dataset.
+    pub fn generate(self, scale: Scale) -> DataGraph {
+        generate(&self.config(scale))
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Scale {
+    /// Parse a case-insensitive scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "xs" => Some(Scale::Xs),
+            "s" => Some(Scale::S),
+            "m" => Some(Scale::M),
+            _ => None,
+        }
+    }
+
+    /// Display suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Scale::Xs => "xs",
+            Scale::S => "s",
+            Scale::M => "m",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::GraphStats;
+
+    #[test]
+    fn scaled_datasets_preserve_density_and_alphabets() {
+        for kind in DatasetKind::ALL {
+            let (v_full, e_full, lv, le) = kind.paper_dims();
+            let d_paper = 2.0 * e_full as f64 / v_full as f64;
+            let g = kind.generate(Scale::Xs);
+            let s = GraphStats::of(&g);
+            assert!(
+                (s.avg_degree - d_paper).abs() / d_paper < 0.25,
+                "{kind}: d(G)={} vs paper {d_paper}",
+                s.avg_degree
+            );
+            assert!(s.num_vertex_labels as u32 <= lv);
+            assert!(s.num_edge_labels as u32 <= le);
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(DatasetKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(DatasetKind::parse("amazon"), Some(DatasetKind::Amazon));
+        assert_eq!(DatasetKind::parse("unknown"), None);
+        assert_eq!(Scale::parse("XS"), Some(Scale::Xs));
+        assert_eq!(Scale::parse("q"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let xs = DatasetKind::Amazon.config(Scale::Xs);
+        let s = DatasetKind::Amazon.config(Scale::S);
+        let m = DatasetKind::Amazon.config(Scale::M);
+        assert!(xs.n_vertices < s.n_vertices && s.n_vertices < m.n_vertices);
+    }
+}

@@ -1,0 +1,30 @@
+//! # csm-datagen — synthetic datasets, queries and update streams
+//!
+//! The ParaCOSM evaluation (paper §5.1) runs on four real/benchmark graphs
+//! (Amazon, LiveJournal, LSBench, Orkut), random-walk-extracted query
+//! graphs of sizes 6–10, and insertion streams obtained by sampling 10 % of
+//! each graph's edges. This crate reproduces the whole pipeline with
+//! deterministic synthetic stand-ins:
+//!
+//! * [`synth`] — Chung–Lu power-law labeled graph generator;
+//! * [`datasets`] — the four Table-5 datasets, scaled with exact label
+//!   alphabets and average degree;
+//! * [`query_gen`] — random-walk query extraction (+ hand-built shapes);
+//! * [`stream`] — 10 % edge-sampling stream construction with optional
+//!   deletion tails;
+//! * [`workload`] — one-call assembly of (initial graph, queries, stream).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod query_gen;
+pub mod stream;
+pub mod synth;
+pub mod workload;
+
+pub use datasets::{DatasetKind, Scale};
+pub use query_gen::{generate_queries, random_walk_query, shapes};
+pub use stream::{split_stream, StreamConfig};
+pub use synth::{generate, SynthConfig};
+pub use workload::{build as build_workload, Workload, WorkloadConfig};

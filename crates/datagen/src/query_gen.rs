@@ -1,0 +1,199 @@
+//! Query-graph generation (paper §5.1): queries are extracted from the data
+//! graph by random walks from random seed vertices, so every generated
+//! query is guaranteed to have at least one embedding in the full graph.
+
+use csm_graph::{DataGraph, QVertexId, QueryGraph, VertexId};
+use rand::prelude::*;
+
+/// Extract one connected query of exactly `size` vertices by random walk
+/// from a random seed, taking the induced subgraph over the visited
+/// vertices. Returns `None` if the graph is too small/sparse to yield one
+/// within the attempt budget.
+pub fn random_walk_query(g: &DataGraph, size: usize, rng: &mut StdRng) -> Option<QueryGraph> {
+    debug_assert!(size >= 2);
+    let slots = g.vertex_slots();
+    if slots == 0 {
+        return None;
+    }
+    'attempt: for _ in 0..64 {
+        // Rejection-sample an alive seed.
+        let mut seed = None;
+        for _ in 0..64 {
+            let v = VertexId::from(rng.gen_range(0..slots));
+            if g.is_alive(v) && g.degree(v) > 0 {
+                seed = Some(v);
+                break;
+            }
+        }
+        let Some(start) = seed else { continue 'attempt };
+        let mut chosen: Vec<VertexId> = vec![start];
+        let mut cur = start;
+        let mut steps = 0;
+        while chosen.len() < size {
+            steps += 1;
+            if steps > size * 60 {
+                continue 'attempt;
+            }
+            let nbrs = g.neighbors(cur);
+            if nbrs.is_empty() {
+                continue 'attempt;
+            }
+            let (nxt, _) = nbrs[rng.gen_range(0..nbrs.len())];
+            if !chosen.contains(&nxt) {
+                chosen.push(nxt);
+            }
+            cur = nxt;
+        }
+        // Induced subgraph over the walked vertex set.
+        let mut q = QueryGraph::new();
+        for &v in &chosen {
+            q.add_vertex(g.label(v));
+        }
+        for (i, &a) in chosen.iter().enumerate() {
+            for (j, &b) in chosen.iter().enumerate().skip(i + 1) {
+                if let Some(l) = g.edge_label(a, b) {
+                    q.add_edge(QVertexId::from(i), QVertexId::from(j), l)
+                        .expect("fresh query edge");
+                }
+            }
+        }
+        if q.is_connected() {
+            return Some(q);
+        }
+    }
+    None
+}
+
+/// Generate up to `count` queries of `size` vertices (paper: 100 queries per
+/// size). Deterministic in `seed`.
+pub fn generate_queries(g: &DataGraph, size: usize, count: usize, seed: u64) -> Vec<QueryGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut failures = 0;
+    while out.len() < count && failures < count * 4 {
+        match random_walk_query(g, size, &mut rng) {
+            Some(q) => out.push(q),
+            None => failures += 1,
+        }
+    }
+    out
+}
+
+/// Hand-built query shapes for examples and micro-benchmarks.
+pub mod shapes {
+    use csm_graph::{ELabel, QueryGraph, VLabel};
+
+    /// A path `u0 - u1 - … - u_{n-1}` with the given vertex labels.
+    pub fn path(labels: &[u32], elabel: u32) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let us: Vec<_> = labels.iter().map(|&l| q.add_vertex(VLabel(l))).collect();
+        for w in us.windows(2) {
+            q.add_edge(w[0], w[1], ELabel(elabel)).unwrap();
+        }
+        q
+    }
+
+    /// A cycle over the given vertex labels.
+    pub fn cycle(labels: &[u32], elabel: u32) -> QueryGraph {
+        let mut q = path(labels, elabel);
+        let n = labels.len();
+        if n > 2 {
+            q.add_edge(
+                csm_graph::QVertexId(0),
+                csm_graph::QVertexId((n - 1) as u8),
+                ELabel(elabel),
+            )
+            .unwrap();
+        }
+        q
+    }
+
+    /// A clique over the given vertex labels.
+    pub fn clique(labels: &[u32], elabel: u32) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let us: Vec<_> = labels.iter().map(|&l| q.add_vertex(VLabel(l))).collect();
+        for i in 0..us.len() {
+            for j in i + 1..us.len() {
+                q.add_edge(us[i], us[j], ELabel(elabel)).unwrap();
+            }
+        }
+        q
+    }
+
+    /// A star: hub labeled `hub`, leaves labeled per `leaves`.
+    pub fn star(hub: u32, leaves: &[u32], elabel: u32) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let h = q.add_vertex(VLabel(hub));
+        for &l in leaves {
+            let leaf = q.add_vertex(VLabel(l));
+            q.add_edge(h, leaf, ELabel(elabel)).unwrap();
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use paracosm_core::static_match;
+
+    fn sample_graph() -> DataGraph {
+        generate(&SynthConfig {
+            n_vertices: 300,
+            n_edges: 1500,
+            n_vlabels: 4,
+            n_elabels: 2,
+            alpha: 0.6,
+            seed: 13,
+        })
+    }
+
+    #[test]
+    fn extracted_queries_are_connected_and_sized() {
+        let g = sample_graph();
+        let qs = generate_queries(&g, 6, 20, 99);
+        assert_eq!(qs.len(), 20);
+        for q in &qs {
+            assert_eq!(q.num_vertices(), 6);
+            assert!(q.is_connected());
+            assert!(q.num_edges() >= 5);
+        }
+    }
+
+    #[test]
+    fn extracted_queries_have_embeddings() {
+        // Induced-subgraph extraction guarantees at least one match in the
+        // source graph.
+        let g = sample_graph();
+        for q in generate_queries(&g, 5, 5, 7) {
+            assert!(static_match::count_all(&g, &q) > 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = sample_graph();
+        let a = generate_queries(&g, 6, 5, 3);
+        let b = generate_queries(&g, 6, 5, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges(), y.edges());
+        }
+    }
+
+    #[test]
+    fn shapes_are_well_formed() {
+        let p = shapes::path(&[0, 1, 2], 0);
+        assert_eq!((p.num_vertices(), p.num_edges()), (3, 2));
+        let c = shapes::cycle(&[0, 1, 2, 3], 0);
+        assert_eq!((c.num_vertices(), c.num_edges()), (4, 4));
+        let k = shapes::clique(&[0, 0, 0, 0], 0);
+        assert_eq!(k.num_edges(), 6);
+        let s = shapes::star(1, &[0, 0, 2], 0);
+        assert_eq!((s.num_vertices(), s.num_edges()), (4, 3));
+        for q in [p, c, k, s] {
+            assert!(q.is_connected());
+        }
+    }
+}

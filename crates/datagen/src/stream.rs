@@ -1,0 +1,127 @@
+//! Update-stream construction (paper §5.1): "insertion graphs are sampled
+//! by randomly sampling 10 % of edges from the original graphs" — the
+//! sampled edges are removed from the initial graph and replayed as the
+//! insertion stream. Optionally, a deletion tail re-deletes a fraction of
+//! the inserted edges to exercise negative matches.
+
+use csm_graph::{DataGraph, EdgeUpdate, Update, UpdateStream, VertexId};
+use rand::prelude::*;
+
+/// Parameters of stream construction.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Fraction of edges removed from the full graph and replayed as
+    /// insertions (the paper uses 0.10).
+    pub insert_fraction: f64,
+    /// Fraction *of the sampled insertions* re-deleted afterwards
+    /// (0 = insert-only stream, as in the paper's main experiments).
+    pub delete_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { insert_fraction: 0.10, delete_fraction: 0.0, seed: 7 }
+    }
+}
+
+/// Split a full graph into `(initial graph, update stream)`.
+///
+/// The returned graph is the input minus the sampled edges; replaying the
+/// stream reconstructs the full graph (then applies the deletion tail, if
+/// any). Sampling is deterministic in the seed.
+pub fn split_stream(full: &DataGraph, cfg: &StreamConfig) -> (DataGraph, UpdateStream) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges: Vec<(VertexId, VertexId, csm_graph::ELabel)> = full.edges().collect();
+    let n_sample = ((edges.len() as f64) * cfg.insert_fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..edges.len()).collect();
+    idx.shuffle(&mut rng);
+    let sampled = &idx[..n_sample.min(edges.len())];
+
+    let mut initial = full.clone();
+    let mut stream = UpdateStream::default();
+    for &i in sampled {
+        let (a, b, l) = edges[i];
+        initial.remove_edge(a, b).expect("edge sampled from graph");
+        stream.push(Update::InsertEdge(EdgeUpdate::new(a, b, l)));
+    }
+    // Optional deletion tail over a suffix-sample of inserted edges.
+    if cfg.delete_fraction > 0.0 {
+        let n_del = ((sampled.len() as f64) * cfg.delete_fraction).round() as usize;
+        let mut del: Vec<usize> = sampled.to_vec();
+        del.shuffle(&mut rng);
+        for &i in del.iter().take(n_del) {
+            let (a, b, l) = edges[i];
+            stream.push(Update::DeleteEdge(EdgeUpdate::new(a, b, l)));
+        }
+    }
+    (initial, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn full() -> DataGraph {
+        generate(&SynthConfig { n_vertices: 200, n_edges: 1000, ..Default::default() })
+    }
+
+    #[test]
+    fn split_preserves_edge_accounting() {
+        let g = full();
+        let (initial, stream) = split_stream(&g, &StreamConfig::default());
+        assert_eq!(stream.num_edge_insertions(), 100);
+        assert_eq!(initial.num_edges(), 900);
+        initial.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replay_reconstructs_full_graph() {
+        let g = full();
+        let (mut initial, stream) = split_stream(&g, &StreamConfig::default());
+        for u in &stream {
+            match *u {
+                Update::InsertEdge(e) => {
+                    assert!(initial.insert_edge(e.src, e.dst, e.label).unwrap());
+                }
+                _ => panic!("insert-only stream expected"),
+            }
+        }
+        assert_eq!(initial.num_edges(), g.num_edges());
+        for (a, b, l) in g.edges() {
+            assert_eq!(initial.edge_label(a, b), Some(l));
+        }
+    }
+
+    #[test]
+    fn deletion_tail_targets_inserted_edges() {
+        let g = full();
+        let cfg = StreamConfig { delete_fraction: 0.5, ..Default::default() };
+        let (mut initial, stream) = split_stream(&g, &cfg);
+        assert_eq!(stream.num_edge_deletions(), 50);
+        // Replay must be structurally valid end to end.
+        for u in &stream {
+            match *u {
+                Update::InsertEdge(e) => {
+                    assert!(initial.insert_edge(e.src, e.dst, e.label).unwrap());
+                }
+                Update::DeleteEdge(e) => {
+                    assert!(initial.remove_edge(e.src, e.dst).unwrap().is_some());
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = full();
+        let (_, s1) = split_stream(&g, &StreamConfig::default());
+        let (_, s2) = split_stream(&g, &StreamConfig::default());
+        assert_eq!(s1, s2);
+        let (_, s3) = split_stream(&g, &StreamConfig { seed: 8, ..Default::default() });
+        assert_ne!(s1, s3);
+    }
+}

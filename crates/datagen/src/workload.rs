@@ -1,0 +1,106 @@
+//! End-to-end workload assembly: dataset → initial graph + queries + stream,
+//! the unit every experiment in the benchmark harness consumes.
+
+use crate::datasets::{DatasetKind, Scale};
+use crate::query_gen::generate_queries;
+use crate::stream::{split_stream, StreamConfig};
+use csm_graph::{DataGraph, QueryGraph, UpdateStream};
+
+/// A fully assembled CSM workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable name, e.g. `LiveJournal-s`.
+    pub name: String,
+    /// The initial data graph (full graph minus the sampled stream edges).
+    pub initial: DataGraph,
+    /// Query patterns (paper: 100 random-walk queries per size).
+    pub queries: Vec<QueryGraph>,
+    /// The update stream.
+    pub stream: UpdateStream,
+}
+
+/// Workload assembly parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Which dataset to synthesize.
+    pub dataset: DatasetKind,
+    /// Generation scale.
+    pub scale: Scale,
+    /// Query size `|V(Q)|` (paper: 6–10).
+    pub query_size: usize,
+    /// Number of queries to extract.
+    pub n_queries: usize,
+    /// Stream construction (sampling fractions).
+    pub stream: StreamConfig,
+    /// Cap the stream length (0 = no cap) so per-query experiment time
+    /// stays bounded.
+    pub max_stream_len: usize,
+    /// Seed for query extraction.
+    pub query_seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Paper-style defaults for one `(dataset, query size)` cell.
+    pub fn paper_cell(dataset: DatasetKind, scale: Scale, query_size: usize) -> Self {
+        WorkloadConfig {
+            dataset,
+            scale,
+            query_size,
+            n_queries: 20,
+            stream: StreamConfig::default(),
+            max_stream_len: 0,
+            query_seed: 0xC0FFEE ^ query_size as u64,
+        }
+    }
+}
+
+/// Build the workload: generate the dataset, extract queries from the
+/// *full* graph (so each query has embeddings), then split off the stream.
+pub fn build(cfg: &WorkloadConfig) -> Workload {
+    let full = cfg.dataset.generate(cfg.scale);
+    let queries = generate_queries(&full, cfg.query_size, cfg.n_queries, cfg.query_seed);
+    let (initial, mut stream) = split_stream(&full, &cfg.stream);
+    if cfg.max_stream_len > 0 && stream.len() > cfg.max_stream_len {
+        stream = stream.truncated(cfg.max_stream_len);
+    }
+    Workload {
+        name: format!("{}-{}", cfg.dataset.name(), cfg.scale.suffix()),
+        initial,
+        queries,
+        stream,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_builds_complete_workload() {
+        let cfg = WorkloadConfig {
+            n_queries: 5,
+            max_stream_len: 50,
+            ..WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 5)
+        };
+        let w = build(&cfg);
+        assert_eq!(w.name, "Amazon-xs");
+        assert_eq!(w.queries.len(), 5);
+        assert_eq!(w.stream.len(), 50);
+        assert!(w.initial.num_edges() > 0);
+        for q in &w.queries {
+            assert_eq!(q.num_vertices(), 5);
+        }
+    }
+
+    #[test]
+    fn uncapped_stream_is_ten_percent() {
+        let cfg = WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::paper_cell(DatasetKind::LSBench, Scale::Xs, 4)
+        };
+        let w = build(&cfg);
+        let total = w.initial.num_edges() + w.stream.num_edge_insertions();
+        let frac = w.stream.num_edge_insertions() as f64 / total as f64;
+        assert!((frac - 0.10).abs() < 0.01, "sampled fraction {frac}");
+    }
+}

@@ -1,0 +1,666 @@
+//! The dynamic labeled data graph `G`.
+//!
+//! Design notes (following the session's HPC guides):
+//!
+//! * adjacency is a per-vertex **sorted** `Vec<(VertexId, ELabel)>` — edge
+//!   existence tests are `O(log d)` binary searches and neighbor scans are
+//!   cache-friendly sequential reads; updates are `O(d)` vector shifts, which
+//!   is the right trade-off because CSM spends > 90 % of its time in
+//!   `Find_Matches` (paper Table 3), i.e. *reading* the graph;
+//! * the search phase only ever holds `&DataGraph`, so multi-threaded
+//!   enumeration is data-race-free by construction (no locks on the hot
+//!   path);
+//! * batched *safe* insertions (inter-update parallelism, paper §4.2) are
+//!   applied in parallel by grouping operations per endpoint and mutating
+//!   each adjacency list from exactly one rayon task — disjoint `&mut`
+//!   borrows, no locks, no unsafe.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{ELabel, VLabel, VertexId};
+use rayon::prelude::*;
+
+/// A single endpoint-local adjacency operation used by the parallel bulk
+/// application path.
+#[derive(Clone, Copy, Debug)]
+enum AdjOp {
+    Insert(VertexId, ELabel),
+    Remove(VertexId),
+}
+
+/// The dynamic, labeled, undirected data graph `G = (V, E, L)`.
+///
+/// Vertices are dense `u32` ids. Deleted vertices leave a dead slot so that
+/// ids in a pre-recorded update stream stay stable.
+///
+/// ```
+/// use csm_graph::{DataGraph, VLabel, ELabel, VertexId};
+/// let mut g = DataGraph::new();
+/// let a = g.add_vertex(VLabel(0));
+/// let b = g.add_vertex(VLabel(1));
+/// g.insert_edge(a, b, ELabel(0)).unwrap();
+/// assert!(g.has_edge(a, b));
+/// assert_eq!(g.degree(a), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DataGraph {
+    labels: Vec<VLabel>,
+    alive: Vec<bool>,
+    adj: Vec<Vec<(VertexId, ELabel)>>,
+    /// Alive vertices grouped by label; order within a bucket is unspecified.
+    by_label: Vec<Vec<VertexId>>,
+    n_edges: usize,
+    n_alive: usize,
+    max_elabel: u32,
+}
+
+impl DataGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with vertex capacity reserved up front.
+    pub fn with_capacity(vertices: usize) -> Self {
+        DataGraph {
+            labels: Vec::with_capacity(vertices),
+            alive: Vec::with_capacity(vertices),
+            adj: Vec::with_capacity(vertices),
+            ..Self::default()
+        }
+    }
+
+    /// Number of *alive* vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Number of vertex slots ever allocated (alive + dead). Valid ids are
+    /// `0..vertex_slots()`.
+    #[inline]
+    pub fn vertex_slots(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Largest edge label value seen so far (0 if none).
+    #[inline]
+    pub fn max_edge_label(&self) -> u32 {
+        self.max_elabel
+    }
+
+    /// Number of distinct vertex-label buckets allocated (an upper bound on
+    /// `|Σ_V|` actually in use).
+    #[inline]
+    pub fn num_vertex_label_buckets(&self) -> usize {
+        self.by_label.len()
+    }
+
+    /// Append a fresh vertex with the given label, returning its id.
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let id = VertexId::from(self.labels.len());
+        self.labels.push(label);
+        self.alive.push(true);
+        self.adj.push(Vec::new());
+        self.bucket_mut(label).push(id);
+        self.n_alive += 1;
+        id
+    }
+
+    /// Ensure slot `id` exists and is alive with `label`, growing the slot
+    /// table as needed. Used by the text loader, where vertex ids are
+    /// explicit. Growing creates intermediate *dead* slots.
+    pub fn ensure_vertex(&mut self, id: VertexId, label: VLabel) {
+        while self.labels.len() <= id.index() {
+            self.labels.push(VLabel(0));
+            self.alive.push(false);
+            self.adj.push(Vec::new());
+        }
+        if !self.alive[id.index()] {
+            self.alive[id.index()] = true;
+            self.labels[id.index()] = label;
+            self.bucket_mut(label).push(id);
+            self.n_alive += 1;
+        }
+    }
+
+    /// Delete a vertex. With `cascade = false` the vertex must be isolated;
+    /// with `cascade = true` all incident edges are removed first (this is
+    /// how vertex deletions in an update stream decompose into edge
+    /// deletions, paper Def. 2.3).
+    pub fn delete_vertex(&mut self, id: VertexId, cascade: bool) -> Result<()> {
+        self.check_alive(id)?;
+        let d = self.adj[id.index()].len();
+        if d > 0 {
+            if !cascade {
+                return Err(GraphError::VertexNotIsolated(id, d));
+            }
+            let neighbors: Vec<VertexId> =
+                self.adj[id.index()].iter().map(|&(v, _)| v).collect();
+            for v in neighbors {
+                self.remove_edge(id, v)?;
+            }
+        }
+        self.alive[id.index()] = false;
+        let label = self.labels[id.index()];
+        let bucket = self.bucket_mut(label);
+        if let Some(pos) = bucket.iter().position(|&v| v == id) {
+            bucket.swap_remove(pos);
+        }
+        self.n_alive -= 1;
+        Ok(())
+    }
+
+    /// Insert the undirected edge `{a, b}` with label `l`.
+    ///
+    /// Returns `Ok(true)` if the edge was inserted, `Ok(false)` if an edge
+    /// between `a` and `b` already existed (the insert is then a no-op —
+    /// this matches the simple-graph model; streams replaying an existing
+    /// edge are tolerated rather than corrupting adjacency).
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId, l: ELabel) -> Result<bool> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        self.check_alive(a)?;
+        self.check_alive(b)?;
+        let list = &mut self.adj[a.index()];
+        match list.binary_search_by_key(&b, |&(v, _)| v) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                list.insert(pos, (b, l));
+                let list_b = &mut self.adj[b.index()];
+                let pos_b = list_b
+                    .binary_search_by_key(&a, |&(v, _)| v)
+                    .expect_err("adjacency symmetric invariant violated");
+                list_b.insert(pos_b, (a, l));
+                self.n_edges += 1;
+                self.max_elabel = self.max_elabel.max(l.0);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Remove the undirected edge `{a, b}`, returning its label, or `None`
+    /// if no such edge existed.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> Result<Option<ELabel>> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        self.check_alive(a)?;
+        self.check_alive(b)?;
+        let list = &mut self.adj[a.index()];
+        match list.binary_search_by_key(&b, |&(v, _)| v) {
+            Err(_) => Ok(None),
+            Ok(pos) => {
+                let (_, label) = list.remove(pos);
+                let list_b = &mut self.adj[b.index()];
+                let pos_b = list_b
+                    .binary_search_by_key(&a, |&(v, _)| v)
+                    .expect("adjacency symmetric invariant violated");
+                list_b.remove(pos_b);
+                self.n_edges -= 1;
+                Ok(Some(label))
+            }
+        }
+    }
+
+    /// Does the undirected edge `{a, b}` exist?
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edge_label(a, b).is_some()
+    }
+
+    /// Label of edge `{a, b}`, if present. `O(log d(a))`.
+    #[inline]
+    pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<ELabel> {
+        let list = self.adj.get(a.index())?;
+        // Probe the smaller endpoint list: both sides hold the edge.
+        let (list, key) = match self.adj.get(b.index()) {
+            Some(lb) if lb.len() < list.len() => (lb, a),
+            _ => (list, b),
+        };
+        list.binary_search_by_key(&key, |&(v, _)| v)
+            .ok()
+            .map(|pos| list[pos].1)
+    }
+
+    /// Sorted neighbor list of `v` (empty for dead/unknown vertices).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, ELabel)] {
+        self.adj.get(v.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Degree of `v` (0 for dead/unknown vertices).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj.get(v.index()).map_or(0, Vec::len)
+    }
+
+    /// Vertex label of `v`. Panics in debug builds on dead vertices.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> VLabel {
+        debug_assert!(self.is_alive(v), "label() on dead vertex {v:?}");
+        self.labels[v.index()]
+    }
+
+    /// Is slot `v` an alive vertex?
+    #[inline]
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Iterator over all alive vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| VertexId::from(i))
+    }
+
+    /// Alive vertices carrying `label` (unsorted).
+    #[inline]
+    pub fn vertices_with_label(&self, label: VLabel) -> &[VertexId] {
+        self.by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterator over all undirected edges `(a, b, label)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, ELabel)> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(i, list)| {
+            let a = VertexId::from(i);
+            list.iter()
+                .filter(move |&&(b, _)| a < b)
+                .map(move |&(b, l)| (a, b, l))
+        })
+    }
+
+    /// Neighbors of `v` whose vertex label is `vl` and connecting edge label
+    /// is `el` (`el = None` matches any edge label — CaLiG mode).
+    pub fn neighbors_filtered<'a>(
+        &'a self,
+        v: VertexId,
+        vl: VLabel,
+        el: Option<ELabel>,
+    ) -> impl Iterator<Item = VertexId> + 'a {
+        self.neighbors(v).iter().filter_map(move |&(n, l)| {
+            if self.labels[n.index()] == vl && el.map_or(true, |e| e == l) {
+                Some(n)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Apply a batch of pre-validated edge insertions in parallel.
+    ///
+    /// This is the *batch executor* fast path for safe updates (paper §4.2):
+    /// operations are grouped per endpoint, then every adjacency list is
+    /// mutated by exactly one rayon task. The caller must guarantee that
+    /// within the batch no edge is duplicated and none already exists in the
+    /// graph, and that all endpoints are alive, non-equal vertices (the
+    /// classifier validates this sequentially in `O(log d)` per edge).
+    ///
+    /// Returns the number of edges inserted.
+    pub fn apply_inserts_parallel(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
+        self.apply_ops_parallel(edges, true)
+    }
+
+    /// Parallel counterpart of [`DataGraph::apply_inserts_parallel`] for
+    /// deletions. Same preconditions, except every edge must *exist*.
+    pub fn apply_deletes_parallel(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
+        self.apply_ops_parallel(edges, false)
+    }
+
+    fn apply_ops_parallel(
+        &mut self,
+        edges: &[(VertexId, VertexId, ELabel)],
+        insert: bool,
+    ) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        // Small batches: the grouping overhead exceeds the parallel win.
+        if edges.len() < 64 {
+            let mut applied = 0;
+            for &(a, b, l) in edges {
+                let changed = if insert {
+                    self.insert_edge(a, b, l).unwrap_or(false)
+                } else {
+                    self.remove_edge(a, b).map(|r| r.is_some()).unwrap_or(false)
+                };
+                applied += usize::from(changed);
+            }
+            return applied;
+        }
+
+        // Group the per-endpoint operations, sorted by endpoint id so we can
+        // hand each rayon task a contiguous run.
+        let mut ops: Vec<(VertexId, AdjOp)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b, l) in edges {
+            debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
+            if insert {
+                ops.push((a, AdjOp::Insert(b, l)));
+                ops.push((b, AdjOp::Insert(a, l)));
+            } else {
+                ops.push((a, AdjOp::Remove(b)));
+                ops.push((b, AdjOp::Remove(a)));
+            }
+        }
+        ops.sort_unstable_by_key(|&(v, _)| v);
+
+        // Split into per-vertex runs and pair each with its adjacency list.
+        let mut runs: Vec<(usize, &[(VertexId, AdjOp)])> = Vec::new();
+        let mut start = 0;
+        while start < ops.len() {
+            let v = ops[start].0;
+            let mut end = start + 1;
+            while end < ops.len() && ops[end].0 == v {
+                end += 1;
+            }
+            runs.push((v.index(), &ops[start..end]));
+            start = end;
+        }
+
+        let adj = &mut self.adj;
+        // Disjoint mutable access: each run owns a distinct vertex index.
+        // We walk `adj` with par_iter_mut zipped against the run list via a
+        // per-index lookup (runs are sorted by index).
+        let applied: usize = {
+            let run_index: Vec<usize> = runs.iter().map(|&(i, _)| i).collect();
+            adj.par_iter_mut()
+                .enumerate()
+                .filter_map(|(i, list)| {
+                    let r = run_index.binary_search(&i).ok()?;
+                    Some((list, runs[r].1))
+                })
+                .map(|(list, run)| {
+                    let mut changed = 0usize;
+                    for &(_, op) in run {
+                        match op {
+                            AdjOp::Insert(n, l) => {
+                                if let Err(pos) = list.binary_search_by_key(&n, |&(v, _)| v) {
+                                    list.insert(pos, (n, l));
+                                    changed += 1;
+                                }
+                            }
+                            AdjOp::Remove(n) => {
+                                if let Ok(pos) = list.binary_search_by_key(&n, |&(v, _)| v) {
+                                    list.remove(pos);
+                                    changed += 1;
+                                }
+                            }
+                        }
+                    }
+                    changed
+                })
+                .sum()
+        };
+
+        // Each undirected edge contributed two endpoint ops.
+        debug_assert!(applied % 2 == 0, "asymmetric parallel application");
+        let n = applied / 2;
+        if insert {
+            self.n_edges += n;
+            for &(_, _, l) in edges {
+                self.max_elabel = self.max_elabel.max(l.0);
+            }
+        } else {
+            self.n_edges -= n;
+        }
+        n
+    }
+
+    #[inline]
+    fn check_alive(&self, v: VertexId) -> Result<()> {
+        if self.is_alive(v) {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(v))
+        }
+    }
+
+    fn bucket_mut(&mut self, label: VLabel) -> &mut Vec<VertexId> {
+        if self.by_label.len() <= label.index() {
+            self.by_label.resize_with(label.index() + 1, Vec::new);
+        }
+        &mut self.by_label[label.index()]
+    }
+
+    /// Debug-only structural invariant check: adjacency symmetry, sortedness,
+    /// consistent edge count and label buckets. Used by property tests.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut dir_edges = 0usize;
+        for (i, list) in self.adj.iter().enumerate() {
+            let a = VertexId::from(i);
+            if !self.alive[i] && !list.is_empty() {
+                return Err(GraphError::VertexNotIsolated(a, list.len()));
+            }
+            for w in list.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err(GraphError::Io(format!("adjacency of {a:?} not sorted")));
+                }
+            }
+            for &(b, l) in list {
+                let back = self
+                    .adj
+                    .get(b.index())
+                    .and_then(|lb| lb.binary_search_by_key(&a, |&(v, _)| v).ok().map(|p| lb[p].1));
+                if back != Some(l) {
+                    return Err(GraphError::Io(format!("edge {a:?}-{b:?} not symmetric")));
+                }
+            }
+            dir_edges += list.len();
+        }
+        if dir_edges != self.n_edges * 2 {
+            return Err(GraphError::Io(format!(
+                "edge count mismatch: counted {dir_edges} directed, recorded {}",
+                self.n_edges
+            )));
+        }
+        let bucket_total: usize = self.by_label.iter().map(Vec::len).sum();
+        if bucket_total != self.n_alive {
+            return Err(GraphError::Io("label buckets out of sync".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_path(n: usize) -> (DataGraph, Vec<VertexId>) {
+        let mut g = DataGraph::new();
+        let vs: Vec<_> = (0..n).map(|i| g.add_vertex(VLabel(i as u32 % 3))).collect();
+        for w in vs.windows(2) {
+            g.insert_edge(w[0], w[1], ELabel(0)).unwrap();
+        }
+        (g, vs)
+    }
+
+    #[test]
+    fn insert_and_query_edges() {
+        let (g, vs) = labeled_path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(vs[0], vs[1]));
+        assert!(g.has_edge(vs[1], vs[0]));
+        assert!(!g.has_edge(vs[0], vs[2]));
+        assert_eq!(g.degree(vs[1]), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let (mut g, vs) = labeled_path(2);
+        assert!(!g.insert_edge(vs[0], vs[1], ELabel(5)).unwrap());
+        assert_eq!(g.num_edges(), 1);
+        // Original label preserved.
+        assert_eq!(g.edge_label(vs[0], vs[1]), Some(ELabel(0)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut g, vs) = labeled_path(1);
+        assert_eq!(
+            g.insert_edge(vs[0], vs[0], ELabel(0)),
+            Err(GraphError::SelfLoop(vs[0]))
+        );
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let (mut g, vs) = labeled_path(3);
+        assert_eq!(g.remove_edge(vs[0], vs[1]).unwrap(), Some(ELabel(0)));
+        assert_eq!(g.remove_edge(vs[0], vs[1]).unwrap(), None);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(vs[0], vs[1]));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edge_label_lookup() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(0));
+        g.insert_edge(a, b, ELabel(7)).unwrap();
+        assert_eq!(g.edge_label(a, b), Some(ELabel(7)));
+        assert_eq!(g.edge_label(b, a), Some(ELabel(7)));
+        assert_eq!(g.max_edge_label(), 7);
+    }
+
+    #[test]
+    fn label_buckets_track_vertices() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(2));
+        let b = g.add_vertex(VLabel(2));
+        let c = g.add_vertex(VLabel(1));
+        assert_eq!(g.vertices_with_label(VLabel(2)), &[a, b]);
+        assert_eq!(g.vertices_with_label(VLabel(1)), &[c]);
+        assert!(g.vertices_with_label(VLabel(9)).is_empty());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_vertex_requires_isolation_unless_cascade() {
+        let (mut g, vs) = labeled_path(3);
+        assert!(matches!(
+            g.delete_vertex(vs[1], false),
+            Err(GraphError::VertexNotIsolated(_, 2))
+        ));
+        g.delete_vertex(vs[1], true).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.is_alive(vs[1]));
+        assert_eq!(g.num_vertices(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ensure_vertex_grows_with_dead_slots() {
+        let mut g = DataGraph::new();
+        g.ensure_vertex(VertexId(5), VLabel(1));
+        assert_eq!(g.vertex_slots(), 6);
+        assert_eq!(g.num_vertices(), 1);
+        assert!(g.is_alive(VertexId(5)));
+        assert!(!g.is_alive(VertexId(0)));
+        // Re-ensuring is a no-op.
+        g.ensure_vertex(VertexId(5), VLabel(2));
+        assert_eq!(g.label(VertexId(5)), VLabel(1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let (g, _) = labeled_path(5);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (a, b, _) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn neighbors_filtered_respects_both_labels() {
+        let mut g = DataGraph::new();
+        let c = g.add_vertex(VLabel(0));
+        let x = g.add_vertex(VLabel(1));
+        let y = g.add_vertex(VLabel(1));
+        let z = g.add_vertex(VLabel(2));
+        g.insert_edge(c, x, ELabel(0)).unwrap();
+        g.insert_edge(c, y, ELabel(1)).unwrap();
+        g.insert_edge(c, z, ELabel(0)).unwrap();
+        let hits: Vec<_> = g.neighbors_filtered(c, VLabel(1), Some(ELabel(0))).collect();
+        assert_eq!(hits, vec![x]);
+        let any_elabel: Vec<_> = g.neighbors_filtered(c, VLabel(1), None).collect();
+        assert_eq!(any_elabel, vec![x, y]);
+    }
+
+    #[test]
+    fn parallel_insert_matches_sequential() {
+        let mut seq = DataGraph::new();
+        let mut par = DataGraph::new();
+        for i in 0..200 {
+            seq.add_vertex(VLabel(i % 4));
+            par.add_vertex(VLabel(i % 4));
+        }
+        let mut edges = Vec::new();
+        for i in 0..199u32 {
+            edges.push((VertexId(i), VertexId(i + 1), ELabel(i % 3)));
+        }
+        // A star to stress one hot vertex.
+        for i in 2..150u32 {
+            if i != 1 {
+                edges.push((VertexId(0), VertexId(i), ELabel(1)));
+            }
+        }
+        for &(a, b, l) in &edges {
+            seq.insert_edge(a, b, l).unwrap();
+        }
+        let n = par.apply_inserts_parallel(&edges);
+        assert_eq!(n, edges.len());
+        assert_eq!(par.num_edges(), seq.num_edges());
+        for &(a, b, l) in &edges {
+            assert_eq!(par.edge_label(a, b), Some(l));
+        }
+        par.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_delete_matches_sequential() {
+        let mut g = DataGraph::new();
+        for i in 0..300 {
+            g.add_vertex(VLabel(i % 2));
+        }
+        let mut edges = Vec::new();
+        for i in 0..299u32 {
+            edges.push((VertexId(i), VertexId(i + 1), ELabel(0)));
+        }
+        for &(a, b, l) in &edges {
+            g.insert_edge(a, b, l).unwrap();
+        }
+        let doomed: Vec<_> = edges.iter().copied().step_by(2).collect();
+        let n = g.apply_deletes_parallel(&doomed);
+        assert_eq!(n, doomed.len());
+        assert_eq!(g.num_edges(), edges.len() - doomed.len());
+        for &(a, b, _) in &doomed {
+            assert!(!g.has_edge(a, b));
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn small_parallel_batch_takes_sequential_path() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(0));
+        let n = g.apply_inserts_parallel(&[(a, b, ELabel(3))]);
+        assert_eq!(n, 1);
+        assert_eq!(g.edge_label(a, b), Some(ELabel(3)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Strongly-typed identifiers and labels.
+//!
+//! Data-graph vertices, query-graph vertices, vertex labels and edge labels
+//! are all small integers at runtime, but mixing them up is a classic source
+//! of subtle matching bugs. Newtypes keep the APIs honest at zero cost.
+
+use std::fmt;
+
+/// Identifier of a vertex in the *data* graph `G`.
+///
+/// Backed by `u32`: the paper's largest dataset (Orkut) has ~3M vertices and
+/// our scaled stand-ins are far smaller, so 32 bits is ample and keeps
+/// adjacency lists compact (guide: smaller working set → fewer cache misses).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a vertex in the *query* graph `Q` (paper: `u ∈ V(Q)`).
+///
+/// Query graphs in the CSM literature are tiny (6–10 vertices in the
+/// evaluation); we support up to [`crate::query::MAX_QUERY_VERTICES`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QVertexId(pub u8);
+
+/// A vertex label drawn from `Σ_V`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VLabel(pub u32);
+
+/// An edge label drawn from `Σ_E`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ELabel(pub u32);
+
+impl VertexId {
+    /// The numeric id as a slice index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QVertexId {
+    /// The numeric id as a slice index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VLabel {
+    /// The numeric label as a slice index (labels are dense `0..|Σ_V|`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ELabel {
+    /// The wildcard edge label used by datasets with `|Σ_E| = 1`
+    /// (Amazon, LiveJournal in the paper) and by CaLiG, which ignores edge
+    /// labels entirely.
+    pub const WILDCARD: ELabel = ELabel(0);
+
+    /// The numeric label as a slice index (labels are dense `0..|Σ_E|`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        VertexId(v as u32)
+    }
+}
+
+impl From<u8> for QVertexId {
+    #[inline]
+    fn from(v: u8) -> Self {
+        QVertexId(v)
+    }
+}
+
+impl From<usize> for QVertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u8::MAX as usize);
+        QVertexId(v as u8)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for QVertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for QVertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for VLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Debug for ELabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+    }
+
+    #[test]
+    fn qvertex_id_roundtrip() {
+        let u = QVertexId::from(7usize);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u, QVertexId(7));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(QVertexId(0) < QVertexId(1));
+    }
+
+    #[test]
+    fn wildcard_is_zero() {
+        assert_eq!(ELabel::WILDCARD, ELabel(0));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", QVertexId(1)), "u1");
+        assert_eq!(format!("{:?}", VLabel(5)), "L5");
+        assert_eq!(format!("{:?}", ELabel(2)), "l2");
+    }
+}

@@ -1,0 +1,289 @@
+//! Text readers/writers for the standard CSM benchmark formats.
+//!
+//! The formats follow Sun et al.'s continuous-subgraph-matching study (the
+//! dataset format ParaCOSM's evaluation uses):
+//!
+//! **Graph file** (data or query graph):
+//! ```text
+//! v <id> <vertex-label> [degree]     # degree is optional and ignored
+//! e <src> <dst> [<edge-label>]       # missing label = 0 (wildcard)
+//! ```
+//!
+//! **Update stream file**:
+//! ```text
+//! e <src> <dst> <label>      # prefix '-' for deletion: "-e 1 2 0"
+//! +e <src> <dst> <label>
+//! -v <id>
+//! +v <id> <label>
+//! ```
+//! Lines starting with `#` or `%` and blank lines are skipped.
+
+use crate::error::{GraphError, Result};
+use crate::graph::DataGraph;
+use crate::ids::{ELabel, VLabel, VertexId};
+use crate::query::QueryGraph;
+use crate::update::{EdgeUpdate, Update, UpdateStream};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse { line, message: message.into() }
+}
+
+fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32> {
+    tok.ok_or_else(|| parse_err(line, format!("missing {what}")))?
+        .parse::<u32>()
+        .map_err(|e| parse_err(line, format!("bad {what}: {e}")))
+}
+
+/// Parse a data graph from a reader in the `v`/`e` text format.
+pub fn read_data_graph<R: Read>(r: R) -> Result<DataGraph> {
+    let mut g = DataGraph::new();
+    for_each_line(r, |lineno, parts| {
+        match parts[0] {
+            "v" => {
+                let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
+                let label = parse_u32(parts.get(2).copied(), lineno, "vertex label")?;
+                g.ensure_vertex(VertexId(id), VLabel(label));
+            }
+            "e" => {
+                let src = parse_u32(parts.get(1).copied(), lineno, "edge src")?;
+                let dst = parse_u32(parts.get(2).copied(), lineno, "edge dst")?;
+                let label = match parts.get(3) {
+                    Some(t) => parse_u32(Some(t), lineno, "edge label")?,
+                    None => 0,
+                };
+                g.insert_edge(VertexId(src), VertexId(dst), ELabel(label))?;
+            }
+            other => return Err(parse_err(lineno, format!("unknown record '{other}'"))),
+        }
+        Ok(())
+    })?;
+    Ok(g)
+}
+
+/// Parse a query graph (same `v`/`e` format; vertex ids must be dense
+/// `0..n` in file order).
+pub fn read_query_graph<R: Read>(r: R) -> Result<QueryGraph> {
+    let mut q = QueryGraph::new();
+    for_each_line(r, |lineno, parts| {
+        match parts[0] {
+            "v" => {
+                let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
+                let label = parse_u32(parts.get(2).copied(), lineno, "vertex label")?;
+                if id as usize != q.num_vertices() {
+                    return Err(parse_err(lineno, "query vertex ids must be dense and in order"));
+                }
+                q.add_vertex(VLabel(label));
+            }
+            "e" => {
+                let src = parse_u32(parts.get(1).copied(), lineno, "edge src")?;
+                let dst = parse_u32(parts.get(2).copied(), lineno, "edge dst")?;
+                let label = match parts.get(3) {
+                    Some(t) => parse_u32(Some(t), lineno, "edge label")?,
+                    None => 0,
+                };
+                q.add_edge(
+                    crate::ids::QVertexId::from(src as usize),
+                    crate::ids::QVertexId::from(dst as usize),
+                    ELabel(label),
+                )?;
+            }
+            other => return Err(parse_err(lineno, format!("unknown record '{other}'"))),
+        }
+        Ok(())
+    })?;
+    Ok(q)
+}
+
+/// Parse an update stream.
+pub fn read_update_stream<R: Read>(r: R) -> Result<UpdateStream> {
+    let mut s = UpdateStream::default();
+    for_each_line(r, |lineno, parts| {
+        let (op, deletion) = match parts[0] {
+            "e" | "+e" => ("e", false),
+            "-e" => ("e", true),
+            "v" | "+v" => ("v", false),
+            "-v" => ("v", true),
+            other => return Err(parse_err(lineno, format!("unknown record '{other}'"))),
+        };
+        match (op, deletion) {
+            ("e", del) => {
+                let src = parse_u32(parts.get(1).copied(), lineno, "edge src")?;
+                let dst = parse_u32(parts.get(2).copied(), lineno, "edge dst")?;
+                let label = match parts.get(3) {
+                    Some(t) => parse_u32(Some(t), lineno, "edge label")?,
+                    None => 0,
+                };
+                let e = EdgeUpdate::new(VertexId(src), VertexId(dst), ELabel(label));
+                s.push(if del { Update::DeleteEdge(e) } else { Update::InsertEdge(e) });
+            }
+            ("v", true) => {
+                let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
+                s.push(Update::DeleteVertex { id: VertexId(id) });
+            }
+            ("v", false) => {
+                let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
+                let label = parse_u32(parts.get(2).copied(), lineno, "vertex label")?;
+                s.push(Update::InsertVertex { id: VertexId(id), label: VLabel(label) });
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    })?;
+    Ok(s)
+}
+
+fn for_each_line<R: Read>(
+    r: R,
+    mut f: impl FnMut(usize, &[&str]) -> Result<()>,
+) -> Result<()> {
+    let reader = BufReader::new(r);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        f(lineno, &parts)?;
+    }
+    Ok(())
+}
+
+/// Serialize a data graph in the `v`/`e` format. Dead slots are skipped.
+pub fn write_data_graph<W: Write>(g: &DataGraph, mut w: W) -> Result<()> {
+    for v in g.vertices() {
+        writeln!(w, "v {} {} {}", v.0, g.label(v).0, g.degree(v))?;
+    }
+    for (a, b, l) in g.edges() {
+        writeln!(w, "e {} {} {}", a.0, b.0, l.0)?;
+    }
+    Ok(())
+}
+
+/// Serialize a query graph in the `v`/`e` format.
+pub fn write_query_graph<W: Write>(q: &QueryGraph, mut w: W) -> Result<()> {
+    for u in q.vertices() {
+        writeln!(w, "v {} {} {}", u.0, q.label(u).0, q.degree(u))?;
+    }
+    for e in q.edges() {
+        writeln!(w, "e {} {} {}", e.u.0, e.v.0, e.label.0)?;
+    }
+    Ok(())
+}
+
+/// Serialize an update stream.
+pub fn write_update_stream<W: Write>(s: &UpdateStream, mut w: W) -> Result<()> {
+    for u in s {
+        match u {
+            Update::InsertEdge(e) => writeln!(w, "e {} {} {}", e.src.0, e.dst.0, e.label.0)?,
+            Update::DeleteEdge(e) => writeln!(w, "-e {} {} {}", e.src.0, e.dst.0, e.label.0)?,
+            Update::InsertVertex { id, label } => writeln!(w, "v {} {}", id.0, label.0)?,
+            Update::DeleteVertex { id } => writeln!(w, "-v {}", id.0)?,
+        }
+    }
+    Ok(())
+}
+
+/// Load a data graph from a file path.
+pub fn load_data_graph(path: impl AsRef<Path>) -> Result<DataGraph> {
+    read_data_graph(std::fs::File::open(path)?)
+}
+
+/// Load a query graph from a file path.
+pub fn load_query_graph(path: impl AsRef<Path>) -> Result<QueryGraph> {
+    read_query_graph(std::fs::File::open(path)?)
+}
+
+/// Load an update stream from a file path.
+pub fn load_update_stream(path: impl AsRef<Path>) -> Result<UpdateStream> {
+    read_update_stream(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAPH: &str = "\
+# a comment
+v 0 1 2
+v 1 2 1
+v 2 1 1
+
+e 0 1 3
+e 0 2
+";
+
+    #[test]
+    fn parse_data_graph() {
+        let g = read_data_graph(GRAPH.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.label(VertexId(1)), VLabel(2));
+        assert_eq!(g.edge_label(VertexId(0), VertexId(1)), Some(ELabel(3)));
+        // Missing edge label defaults to wildcard 0.
+        assert_eq!(g.edge_label(VertexId(0), VertexId(2)), Some(ELabel(0)));
+    }
+
+    #[test]
+    fn parse_query_graph() {
+        let q = read_query_graph(GRAPH.as_bytes()).unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 2);
+    }
+
+    #[test]
+    fn query_requires_dense_ids() {
+        let bad = "v 1 0 0\n";
+        assert!(matches!(
+            read_query_graph(bad.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_stream_all_ops() {
+        let s = read_update_stream(
+            "e 0 1 2\n+e 1 2 0\n-e 0 1 2\nv 7 3\n+v 8 1\n-v 7\n".as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.num_edge_insertions(), 2);
+        assert_eq!(s.num_edge_deletions(), 1);
+        assert!(matches!(s.updates()[3], Update::InsertVertex { .. }));
+        assert!(matches!(s.updates()[5], Update::DeleteVertex { .. }));
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = read_data_graph(GRAPH.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_data_graph(&g, &mut buf).unwrap();
+        let g2 = read_data_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let s = read_update_stream("e 0 1 2\n-e 3 4 1\nv 9 0\n-v 9\n".as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_update_stream(&s, &mut buf).unwrap();
+        let s2 = read_update_stream(buf.as_slice()).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn bad_tokens_report_line_numbers() {
+        let bad = "v 0 1\ne zero 1 0\n";
+        match read_data_graph(bad.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

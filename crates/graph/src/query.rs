@@ -1,0 +1,375 @@
+//! The query graph `Q` and its static analysis.
+//!
+//! Query graphs in CSM are tiny (the paper evaluates sizes 6–10), so this
+//! module favors simple dense representations: `u8` vertex ids, `u64`
+//! adjacency bitmasks, and linear scans over the edge list. Everything here
+//! is immutable after construction — `Q` never changes during a CSM run.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{ELabel, QVertexId, VLabel};
+
+/// Maximum number of query vertices, bounded by the `u64` adjacency bitmask.
+pub const MAX_QUERY_VERTICES: usize = 64;
+
+/// An undirected labeled query edge, stored with `u < v`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QEdge {
+    /// Smaller endpoint.
+    pub u: QVertexId,
+    /// Larger endpoint.
+    pub v: QVertexId,
+    /// Edge label.
+    pub label: ELabel,
+}
+
+/// The immutable query graph `Q` (paper Def. 2.1/2.2).
+///
+/// ```
+/// use csm_graph::{QueryGraph, VLabel, ELabel};
+/// // A labeled triangle.
+/// let mut q = QueryGraph::new();
+/// let a = q.add_vertex(VLabel(0));
+/// let b = q.add_vertex(VLabel(1));
+/// let c = q.add_vertex(VLabel(2));
+/// q.add_edge(a, b, ELabel(0)).unwrap();
+/// q.add_edge(b, c, ELabel(0)).unwrap();
+/// q.add_edge(a, c, ELabel(0)).unwrap();
+/// assert!(q.is_connected());
+/// assert_eq!(q.num_edges(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QueryGraph {
+    labels: Vec<VLabel>,
+    adj: Vec<Vec<(QVertexId, ELabel)>>,
+    adj_mask: Vec<u64>,
+    edges: Vec<QEdge>,
+}
+
+impl QueryGraph {
+    /// An empty query graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of query vertices `|V(Q)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of query edges `|E(Q)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a query vertex with the given label.
+    ///
+    /// # Panics
+    /// If the query would exceed [`MAX_QUERY_VERTICES`].
+    pub fn add_vertex(&mut self, label: VLabel) -> QVertexId {
+        assert!(
+            self.labels.len() < MAX_QUERY_VERTICES,
+            "query graphs are limited to {MAX_QUERY_VERTICES} vertices"
+        );
+        let id = QVertexId::from(self.labels.len());
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        self.adj_mask.push(0);
+        id
+    }
+
+    /// Add the undirected edge `{u, v}` with label `l`.
+    ///
+    /// Returns `Ok(true)` on insertion, `Ok(false)` if the edge existed.
+    pub fn add_edge(&mut self, u: QVertexId, v: QVertexId, l: ELabel) -> Result<bool> {
+        if u == v {
+            return Err(GraphError::SelfLoop(crate::ids::VertexId(u.0 as u32)));
+        }
+        let n = self.labels.len();
+        if u.index() >= n || v.index() >= n {
+            return Err(GraphError::UnknownVertex(crate::ids::VertexId(
+                u.index().max(v.index()) as u32,
+            )));
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        self.adj[u.index()].push((v, l));
+        self.adj[v.index()].push((u, l));
+        self.adj_mask[u.index()] |= 1 << v.index();
+        self.adj_mask[v.index()] |= 1 << u.index();
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(QEdge { u: a, v: b, label: l });
+        Ok(true)
+    }
+
+    /// Vertex label of `u`.
+    #[inline]
+    pub fn label(&self, u: QVertexId) -> VLabel {
+        self.labels[u.index()]
+    }
+
+    /// Degree of `u` in `Q`.
+    #[inline]
+    pub fn degree(&self, u: QVertexId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Neighbor list of `u` with edge labels, in insertion order.
+    #[inline]
+    pub fn neighbors(&self, u: QVertexId) -> &[(QVertexId, ELabel)] {
+        &self.adj[u.index()]
+    }
+
+    /// Bitmask of `u`'s neighbors (bit `i` set ⇔ `u_i ∈ N(u)`).
+    #[inline]
+    pub fn neighbor_mask(&self, u: QVertexId) -> u64 {
+        self.adj_mask[u.index()]
+    }
+
+    /// Adjacency test, `O(1)`.
+    #[inline]
+    pub fn has_edge(&self, u: QVertexId, v: QVertexId) -> bool {
+        self.adj_mask[u.index()] >> v.index() & 1 == 1
+    }
+
+    /// Label of edge `{u, v}` if present.
+    pub fn edge_label(&self, u: QVertexId, v: QVertexId) -> Option<ELabel> {
+        self.adj[u.index()]
+            .iter()
+            .find(|&&(n, _)| n == v)
+            .map(|&(_, l)| l)
+    }
+
+    /// All query edges (each once, with `u < v`).
+    #[inline]
+    pub fn edges(&self) -> &[QEdge] {
+        &self.edges
+    }
+
+    /// Iterator over all query vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = QVertexId> {
+        (0..self.labels.len()).map(QVertexId::from)
+    }
+
+    /// Is `Q` connected? CSM matching orders require connectivity (every
+    /// vertex reachable from the updated edge's endpoints).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = 1u64;
+        let mut stack = vec![QVertexId(0)];
+        while let Some(u) = stack.pop() {
+            for &(v, _) in self.neighbors(u) {
+                if seen >> v.index() & 1 == 0 {
+                    seen |= 1 << v.index();
+                    stack.push(v);
+                }
+            }
+        }
+        seen.count_ones() as usize == n
+    }
+
+    /// Minimum degree over all query vertices (0 for the empty query).
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|u| self.degree(u)).min().unwrap_or(0)
+    }
+
+    /// Query edges whose label triple is compatible with a data edge
+    /// `(la, lb, el)`, yielded as *oriented* seeds `(u_a, u_b)` meaning
+    /// "map `u_a → the endpoint labeled la` and `u_b → the endpoint labeled
+    /// lb`". Both orientations of each query edge are considered; for a data
+    /// edge this is exactly the set of ways the new edge can appear in a
+    /// match. With `ignore_elabel` the edge-label condition is waived
+    /// (CaLiG mode, paper §5.1).
+    pub fn seed_edges(
+        &self,
+        la: VLabel,
+        lb: VLabel,
+        el: ELabel,
+        ignore_elabel: bool,
+    ) -> impl Iterator<Item = (QVertexId, QVertexId)> + '_ {
+        self.edges.iter().flat_map(move |e| {
+            let elabel_ok = ignore_elabel || e.label == el;
+            let fwd = (elabel_ok && self.label(e.u) == la && self.label(e.v) == lb)
+                .then_some((e.u, e.v));
+            let bwd = (elabel_ok && self.label(e.v) == la && self.label(e.u) == lb)
+                .then_some((e.v, e.u));
+            fwd.into_iter().chain(bwd)
+        })
+    }
+
+    /// Does any query edge match the label triple `(la, lb, el)`? This is
+    /// the classifier's **stage-1 label filter** (paper §4.2): if no query
+    /// edge matches, the update can never participate in a match nor flip a
+    /// label-gated ADS state, hence is *safe*.
+    #[inline]
+    pub fn matches_any_edge(&self, la: VLabel, lb: VLabel, el: ELabel, ignore_elabel: bool) -> bool {
+        self.seed_edges(la, lb, el, ignore_elabel).next().is_some()
+    }
+
+    /// Count the automorphisms of `Q` by brute-force permutation search.
+    /// Exponential — test/diagnostic use only (queries are ≤ 10 vertices in
+    /// the evaluation, and automorphism counts explain match multiplicities).
+    pub fn count_automorphisms(&self) -> usize {
+        let n = self.num_vertices();
+        let mut mapping = vec![usize::MAX; n];
+        let mut used = vec![false; n];
+        self.automorphism_rec(0, &mut mapping, &mut used)
+    }
+
+    fn automorphism_rec(&self, depth: usize, mapping: &mut [usize], used: &mut [bool]) -> usize {
+        let n = self.num_vertices();
+        if depth == n {
+            return 1;
+        }
+        let u = QVertexId::from(depth);
+        let mut count = 0;
+        for cand in 0..n {
+            if used[cand] {
+                continue;
+            }
+            let c = QVertexId::from(cand);
+            if self.label(c) != self.label(u) || self.degree(c) != self.degree(u) {
+                continue;
+            }
+            // All already-mapped neighbors must be preserved with labels.
+            let ok = (0..depth).all(|p| {
+                let pu = QVertexId::from(p);
+                match self.edge_label(u, pu) {
+                    Some(l) => self.edge_label(c, QVertexId::from(mapping[p])) == Some(l),
+                    None => !self.has_edge(c, QVertexId::from(mapping[p])),
+                }
+            });
+            if !ok {
+                continue;
+            }
+            mapping[depth] = cand;
+            used[cand] = true;
+            count += self.automorphism_rec(depth + 1, mapping, used);
+            used[cand] = false;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(0));
+        let c = q.add_vertex(VLabel(0));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        q.add_edge(a, c, ELabel(0)).unwrap();
+        q
+    }
+
+    #[test]
+    fn basic_structure() {
+        let q = triangle();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.degree(QVertexId(1)), 2);
+        assert!(q.has_edge(QVertexId(0), QVertexId(2)));
+        assert!(q.is_connected());
+        assert_eq!(q.min_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_quietly() {
+        let mut q = triangle();
+        assert!(!q.add_edge(QVertexId(0), QVertexId(1), ELabel(9)).unwrap());
+        assert_eq!(q.num_edges(), 3);
+    }
+
+    #[test]
+    fn self_loop_and_unknown_vertex_errors() {
+        let mut q = triangle();
+        assert!(q.add_edge(QVertexId(1), QVertexId(1), ELabel(0)).is_err());
+        assert!(q.add_edge(QVertexId(0), QVertexId(9), ELabel(0)).is_err());
+    }
+
+    #[test]
+    fn disconnected_query_detected() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(0));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_vertex(VLabel(1));
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn seed_edges_yields_both_orientations() {
+        // Path u0(L0) - u1(L1): data edge with (L0, L1) seeds (u0,u1) only in
+        // the forward orientation; (L1, L0) only backward.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        q.add_edge(a, b, ELabel(2)).unwrap();
+        let fwd: Vec<_> = q.seed_edges(VLabel(0), VLabel(1), ELabel(2), false).collect();
+        assert_eq!(fwd, vec![(a, b)]);
+        let bwd: Vec<_> = q.seed_edges(VLabel(1), VLabel(0), ELabel(2), false).collect();
+        assert_eq!(bwd, vec![(b, a)]);
+        // Wrong edge label: no seeds unless ignored.
+        assert!(q.seed_edges(VLabel(0), VLabel(1), ELabel(0), false).next().is_none());
+        assert!(q.seed_edges(VLabel(0), VLabel(1), ELabel(0), true).next().is_some());
+    }
+
+    #[test]
+    fn same_label_edge_seeds_twice() {
+        // Edge with equal endpoint labels matches a same-labeled data edge
+        // in both orientations.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(3));
+        let b = q.add_vertex(VLabel(3));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        let seeds: Vec<_> = q.seed_edges(VLabel(3), VLabel(3), ELabel(0), false).collect();
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn label_filter_matches_any_edge() {
+        let q = triangle();
+        assert!(q.matches_any_edge(VLabel(0), VLabel(0), ELabel(0), false));
+        assert!(!q.matches_any_edge(VLabel(0), VLabel(1), ELabel(0), false));
+        assert!(!q.matches_any_edge(VLabel(0), VLabel(0), ELabel(1), false));
+        assert!(q.matches_any_edge(VLabel(0), VLabel(0), ELabel(1), true));
+    }
+
+    #[test]
+    fn automorphisms_of_unlabeled_triangle() {
+        assert_eq!(triangle().count_automorphisms(), 6);
+    }
+
+    #[test]
+    fn automorphisms_broken_by_labels() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        let c = q.add_vertex(VLabel(2));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        q.add_edge(a, c, ELabel(0)).unwrap();
+        assert_eq!(q.count_automorphisms(), 1);
+    }
+
+    #[test]
+    fn automorphisms_of_path() {
+        // Unlabeled path of 3: one nontrivial automorphism (reversal).
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(0));
+        let c = q.add_vertex(VLabel(0));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(0)).unwrap();
+        assert_eq!(q.count_automorphisms(), 2);
+    }
+}

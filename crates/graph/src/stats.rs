@@ -1,0 +1,91 @@
+//! Dataset summary statistics — the columns of the paper's Table 5.
+
+use crate::graph::DataGraph;
+
+/// Summary of a data graph: `|V|`, `|E|`, `|L(V)|`, `|L(E)|`, `d(G) = 2|E|/|V|`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Alive vertex count `|V|`.
+    pub num_vertices: usize,
+    /// Undirected edge count `|E|`.
+    pub num_edges: usize,
+    /// Number of *distinct vertex labels in use*.
+    pub num_vertex_labels: usize,
+    /// Number of *distinct edge labels in use*.
+    pub num_edge_labels: usize,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Compute the summary for `g`. One pass over vertices and edges.
+    pub fn of(g: &DataGraph) -> GraphStats {
+        let mut vlabels = std::collections::BTreeSet::new();
+        let mut max_degree = 0;
+        for v in g.vertices() {
+            vlabels.insert(g.label(v).0);
+            max_degree = max_degree.max(g.degree(v));
+        }
+        let mut elabels = std::collections::BTreeSet::new();
+        for (_, _, l) in g.edges() {
+            elabels.insert(l.0);
+        }
+        let nv = g.num_vertices();
+        let ne = g.num_edges();
+        GraphStats {
+            num_vertices: nv,
+            num_edges: ne,
+            num_vertex_labels: vlabels.len(),
+            num_edge_labels: elabels.len(),
+            avg_degree: if nv == 0 { 0.0 } else { 2.0 * ne as f64 / nv as f64 },
+            max_degree,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |L(V)|={} |L(E)|={} d(G)={:.2} dmax={}",
+            self.num_vertices,
+            self.num_edges,
+            self.num_vertex_labels,
+            self.num_edge_labels,
+            self.avg_degree,
+            self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ELabel, VLabel};
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(1));
+        let c = g.add_vertex(VLabel(1));
+        g.insert_edge(a, b, ELabel(0)).unwrap();
+        g.insert_edge(a, c, ELabel(2)).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 3);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.num_vertex_labels, 2);
+        assert_eq!(s.num_edge_labels, 2);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&DataGraph::new());
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Graph update streams `ΔG` (paper Def. 2.3).
+//!
+//! Each update is a single edge/vertex insertion or deletion. Edge updates
+//! carry their label so a stream is self-contained and replayable.
+
+use crate::ids::{ELabel, VLabel, VertexId};
+
+/// An edge-level update payload: the undirected edge `{src, dst}` with label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeUpdate {
+    /// One endpoint.
+    pub src: VertexId,
+    /// The other endpoint.
+    pub dst: VertexId,
+    /// Edge label.
+    pub label: ELabel,
+}
+
+impl EdgeUpdate {
+    /// Construct an edge update.
+    pub fn new(src: VertexId, dst: VertexId, label: ELabel) -> Self {
+        EdgeUpdate { src, dst, label }
+    }
+
+    /// The edge as a canonical `(min, max, label)` triple.
+    #[inline]
+    pub fn canonical(&self) -> (VertexId, VertexId, ELabel) {
+        if self.src <= self.dst {
+            (self.src, self.dst, self.label)
+        } else {
+            (self.dst, self.src, self.label)
+        }
+    }
+}
+
+/// A single graph update `ΔG = (±, e/v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Edge insertion.
+    InsertEdge(EdgeUpdate),
+    /// Edge deletion.
+    DeleteEdge(EdgeUpdate),
+    /// Isolated-vertex insertion — trivial for CSM (paper §2.2) but part of
+    /// the stream model.
+    InsertVertex {
+        /// Explicit vertex id (slot).
+        id: VertexId,
+        /// Vertex label.
+        label: VLabel,
+    },
+    /// Vertex deletion; incident edges are deleted first (cascade), each an
+    /// implicit edge deletion for matching purposes.
+    DeleteVertex {
+        /// Vertex to remove.
+        id: VertexId,
+    },
+}
+
+impl Update {
+    /// Is this an insertion (edge or vertex)?
+    pub fn is_insertion(&self) -> bool {
+        matches!(self, Update::InsertEdge(_) | Update::InsertVertex { .. })
+    }
+
+    /// The edge payload, if this is an edge update.
+    pub fn edge(&self) -> Option<EdgeUpdate> {
+        match self {
+            Update::InsertEdge(e) | Update::DeleteEdge(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+/// A sequence of updates `ΔG = (ΔG₁, ΔG₂, …)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStream {
+    updates: Vec<Update>,
+}
+
+impl UpdateStream {
+    /// Wrap a vector of updates.
+    pub fn new(updates: Vec<Update>) -> Self {
+        UpdateStream { updates }
+    }
+
+    /// Number of updates `|ΔG|`.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The updates in order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Append an update.
+    pub fn push(&mut self, u: Update) {
+        self.updates.push(u);
+    }
+
+    /// Iterate over the updates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Update> {
+        self.updates.iter()
+    }
+
+    /// Count of edge insertions in the stream.
+    pub fn num_edge_insertions(&self) -> usize {
+        self.updates
+            .iter()
+            .filter(|u| matches!(u, Update::InsertEdge(_)))
+            .count()
+    }
+
+    /// Count of edge deletions in the stream.
+    pub fn num_edge_deletions(&self) -> usize {
+        self.updates
+            .iter()
+            .filter(|u| matches!(u, Update::DeleteEdge(_)))
+            .count()
+    }
+
+    /// Truncate to the first `n` updates (used to scale experiments).
+    pub fn truncated(&self, n: usize) -> UpdateStream {
+        UpdateStream {
+            updates: self.updates.iter().take(n).copied().collect(),
+        }
+    }
+}
+
+impl IntoIterator for UpdateStream {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateStream {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+impl FromIterator<Update> for UpdateStream {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        UpdateStream { updates: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_orders_endpoints() {
+        let e = EdgeUpdate::new(VertexId(5), VertexId(2), ELabel(1));
+        assert_eq!(e.canonical(), (VertexId(2), VertexId(5), ELabel(1)));
+        let e = EdgeUpdate::new(VertexId(2), VertexId(5), ELabel(1));
+        assert_eq!(e.canonical(), (VertexId(2), VertexId(5), ELabel(1)));
+    }
+
+    #[test]
+    fn stream_counting() {
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        let s: UpdateStream = vec![
+            Update::InsertEdge(e),
+            Update::DeleteEdge(e),
+            Update::InsertEdge(e),
+            Update::InsertVertex { id: VertexId(9), label: VLabel(1) },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.num_edge_insertions(), 2);
+        assert_eq!(s.num_edge_deletions(), 1);
+        assert_eq!(s.truncated(2).len(), 2);
+    }
+
+    #[test]
+    fn update_kind_helpers() {
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        assert!(Update::InsertEdge(e).is_insertion());
+        assert!(!Update::DeleteEdge(e).is_insertion());
+        assert_eq!(Update::DeleteEdge(e).edge(), Some(e));
+        assert_eq!(Update::DeleteVertex { id: VertexId(1) }.edge(), None);
+    }
+}

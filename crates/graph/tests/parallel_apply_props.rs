@@ -1,0 +1,123 @@
+//! Property tests: the parallel bulk-application fast path of the batch
+//! executor must be observationally identical to sequential application,
+//! for arbitrary valid batches.
+
+use csm_graph::{DataGraph, ELabel, VLabel, VertexId};
+use proptest::prelude::*;
+
+/// Generate a base graph plus a valid batch of *new* edges (no duplicates,
+/// no existing edges, no self-loops).
+fn base_and_batch() -> impl Strategy<Value = (u32, Vec<(u32, u32, u32)>, Vec<(u32, u32, u32)>)> {
+    (24u32..120).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0u32..4);
+        (
+            Just(n),
+            proptest::collection::vec(edge.clone(), 0..160),
+            proptest::collection::vec(edge, 0..160),
+        )
+    })
+}
+
+fn build(n: u32, base: &[(u32, u32, u32)]) -> DataGraph {
+    let mut g = DataGraph::new();
+    for i in 0..n {
+        g.add_vertex(VLabel(i % 5));
+    }
+    for &(a, b, l) in base {
+        if a != b {
+            let _ = g.insert_edge(VertexId(a), VertexId(b), ELabel(l));
+        }
+    }
+    g
+}
+
+/// Deduplicate a candidate batch into a valid insert batch for `g`.
+fn valid_inserts(g: &DataGraph, cand: &[(u32, u32, u32)]) -> Vec<(VertexId, VertexId, ELabel)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &(a, b, l) in cand {
+        if a == b {
+            continue;
+        }
+        let (x, y) = (a.min(b), a.max(b));
+        if g.has_edge(VertexId(x), VertexId(y)) || !seen.insert((x, y)) {
+            continue;
+        }
+        out.push((VertexId(a), VertexId(b), ELabel(l)));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_insert_equals_sequential((n, base, cand) in base_and_batch()) {
+        let g0 = build(n, &base);
+        let batch = valid_inserts(&g0, &cand);
+
+        let mut seq = g0.clone();
+        for &(a, b, l) in &batch {
+            prop_assert!(seq.insert_edge(a, b, l).unwrap());
+        }
+        let mut par = g0.clone();
+        let applied = par.apply_inserts_parallel(&batch);
+        prop_assert_eq!(applied, batch.len());
+        prop_assert_eq!(par.num_edges(), seq.num_edges());
+        for (a, b, l) in seq.edges() {
+            prop_assert_eq!(par.edge_label(a, b), Some(l));
+        }
+        par.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_delete_equals_sequential((n, base, _c) in base_and_batch(), pick in any::<u64>()) {
+        let g0 = build(n, &base);
+        // Choose a pseudo-random subset of existing edges to delete.
+        let doomed: Vec<_> = g0
+            .edges()
+            .enumerate()
+            .filter(|(i, _)| (pick >> (i % 64)) & 1 == 1)
+            .map(|(_, e)| e)
+            .collect();
+
+        let mut seq = g0.clone();
+        for &(a, b, _) in &doomed {
+            prop_assert!(seq.remove_edge(a, b).unwrap().is_some());
+        }
+        let mut par = g0.clone();
+        let applied = par.apply_deletes_parallel(&doomed);
+        prop_assert_eq!(applied, doomed.len());
+        prop_assert_eq!(par.num_edges(), seq.num_edges());
+        for (a, b, l) in seq.edges() {
+            prop_assert_eq!(par.edge_label(a, b), Some(l));
+        }
+        par.check_invariants().unwrap();
+    }
+
+    /// Mixed interleavings of single-edge ops keep every public counter
+    /// consistent with a reference recomputation.
+    #[test]
+    fn counters_stay_consistent(
+        n in 4u32..40,
+        ops in proptest::collection::vec((0u32..40, 0u32..40, any::<bool>()), 0..120),
+    ) {
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_vertex(VLabel(i % 3));
+        }
+        for (a, b, ins) in ops {
+            let (a, b) = (VertexId(a % n), VertexId(b % n));
+            if a == b { continue; }
+            if ins {
+                let _ = g.insert_edge(a, b, ELabel(0));
+            } else {
+                let _ = g.remove_edge(a, b);
+            }
+        }
+        let recount = g.edges().count();
+        prop_assert_eq!(recount, g.num_edges());
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+}

@@ -1,0 +1,172 @@
+//! Plugging a *custom* CSM algorithm into ParaCOSM — the paper's headline
+//! usability claim (§4, Fig. 5): provide a traversal routine and a
+//! filtering rule, and the framework parallelizes the rest.
+//!
+//! We implement a tiny label-index algorithm ("LabelCount"): its ADS is a
+//! per-label degree histogram per vertex — weaker than DCS/DCG but enough
+//! to show the full plug-in surface: `rebuild`, `update_ads` with honest
+//! change reporting, `is_candidate`, and the default traversal.
+//!
+//! The example then verifies the custom algorithm against a built-in
+//! baseline on the same stream and shows it riding both executors.
+//!
+//! Run with: `cargo run --release --example custom_algorithm`
+
+use paracosm::core::kernel::{SearchCtx, SearchStats};
+use paracosm::core::{Embedding, MatchSink};
+use paracosm::datagen::{synth, SynthConfig};
+use paracosm::prelude::*;
+
+/// The custom ADS: `counts[v][label]` = number of v's neighbors per label.
+struct LabelCount {
+    counts: Vec<Vec<u32>>,
+    /// Per query vertex: required neighbor-label multiset, as counts.
+    required: Vec<Vec<u32>>,
+    n_labels: usize,
+}
+
+impl LabelCount {
+    fn new() -> Self {
+        LabelCount { counts: Vec::new(), required: Vec::new(), n_labels: 0 }
+    }
+}
+
+impl CsmAlgorithm for LabelCount {
+    fn name(&self) -> &'static str {
+        "LabelCount"
+    }
+
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        self.n_labels = (0..g.vertex_slots())
+            .filter(|&i| g.is_alive(VertexId::from(i)))
+            .map(|i| g.label(VertexId::from(i)).0 as usize + 1)
+            .max()
+            .unwrap_or(1)
+            .max(q.vertices().map(|u| q.label(u).0 as usize + 1).max().unwrap_or(1));
+        self.counts = vec![vec![0; self.n_labels]; g.vertex_slots()];
+        for v in g.vertices() {
+            for &(w, _) in g.neighbors(v) {
+                self.counts[v.index()][g.label(w).0 as usize] += 1;
+            }
+        }
+        self.required = q
+            .vertices()
+            .map(|u| {
+                let mut req = vec![0u32; self.n_labels];
+                for &(nb, _) in q.neighbors(u) {
+                    req[q.label(nb).0 as usize] += 1;
+                }
+                req
+            })
+            .collect();
+    }
+
+    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, is_insert: bool) -> AdsChange {
+        if self.counts.len() < g.vertex_slots() {
+            self.rebuild(g, q);
+            return AdsChange::Changed;
+        }
+        // The histogram only matters where a query vertex could care:
+        // labels outside every `required` set never flip a candidacy.
+        let mut changed = false;
+        for (v, w) in [(e.src, e.dst), (e.dst, e.src)] {
+            let wl = g.label(w).0 as usize;
+            if wl >= self.n_labels {
+                continue;
+            }
+            let relevant = self
+                .required
+                .iter()
+                .zip(q.vertices())
+                .any(|(req, u)| req[wl] > 0 && q.label(u) == g.label(v));
+            let c = &mut self.counts[v.index()][wl];
+            let before_ok = *c; // track the raw count, report honest change
+            if is_insert {
+                *c += 1;
+            } else {
+                *c = c.saturating_sub(1);
+            }
+            if relevant && *c != before_ok {
+                changed = true;
+            }
+        }
+        AdsChange::from_changed(changed)
+    }
+
+    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        let req = &self.required[u.index()];
+        let have = &self.counts[v.index()];
+        req.iter().zip(have).all(|(r, h)| h >= r)
+    }
+
+    /// Traversal routine: reuse the shared kernel (the framework default),
+    /// shown here explicitly to illustrate the override point.
+    fn search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        depth: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        paracosm::core::kernel::extend(
+            ctx,
+            &paracosm::core::AdsCandidates(self),
+            emb,
+            depth,
+            sink,
+            stats,
+        )
+    }
+}
+
+fn main() {
+    let g = synth::generate(&SynthConfig {
+        n_vertices: 800,
+        n_edges: 4000,
+        n_vlabels: 4,
+        n_elabels: 1,
+        alpha: 0.6,
+        seed: 77,
+    });
+    // A labeled path query.
+    let q = paracosm::datagen::shapes::path(&[0, 1, 2, 1], 0);
+
+    // Build a small stream of random insertions.
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut stream = UpdateStream::default();
+    let n = g.vertex_slots() as u32;
+    while stream.len() < 500 {
+        let a = VertexId(rng.gen_range(0..n));
+        let b = VertexId(rng.gen_range(0..n));
+        if a != b && !g.has_edge(a, b) {
+            stream.push(Update::InsertEdge(EdgeUpdate::new(a, b, ELabel(0))));
+        }
+    }
+
+    // The custom algorithm under full ParaCOSM (both parallelism levels).
+    let mut custom = ParaCosm::new(
+        g.clone(),
+        q.clone(),
+        LabelCount::new(),
+        ParaCosmConfig::parallel(4).with_batch_size(64),
+    );
+    let custom_out = custom.process_stream(&stream).expect("stream");
+
+    // Reference: built-in Symbi, sequential.
+    let mut reference = ParaCosm::new(g, q, Symbi::new(), ParaCosmConfig::sequential());
+    let ref_out = reference.process_stream(&stream).expect("stream");
+
+    println!(
+        "custom LabelCount: +{} matches   (classifier: {:.2}% safe)",
+        custom_out.positives,
+        100.0 - custom.stats.classifier.unsafe_pct()
+    );
+    println!("built-in Symbi:    +{} matches", ref_out.positives);
+    assert_eq!(
+        custom_out.positives, ref_out.positives,
+        "a correct plug-in must agree with the baselines"
+    );
+    println!("\nagreement verified — the plug-in contract holds.");
+}

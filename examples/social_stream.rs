@@ -1,0 +1,95 @@
+//! Real-time recommendation motifs on a social stream (the paper's §1
+//! motivation, after Twitter's online motif detection): watch for
+//! *wedge-closing* diamond motifs over a high-rate follow stream, and
+//! compare ParaCOSM's batch executor against naive per-update processing.
+//!
+//! This example exercises the **inter-update** machinery end to end: the
+//! LiveJournal-like stand-in dataset, the 10 % edge-sampled stream, the
+//! three-stage safe-update classifier, and the deferral semantics.
+//!
+//! Run with: `cargo run --release --example social_stream`
+
+use paracosm::datagen::{self, DatasetKind, Scale, StreamConfig, WorkloadConfig};
+use paracosm::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // Amazon stand-in at XS scale (6 labels — motifs actually recur), with
+    // a 10 % insertion stream and a 20 % deletion tail (churn: people
+    // unfollow too).
+    let mut wcfg = WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 4);
+    wcfg.stream = StreamConfig { insert_fraction: 0.10, delete_fraction: 0.2, seed: 11 };
+    wcfg.n_queries = 1; // one 4-vertex motif extracted from the graph itself
+    let w = datagen::build_workload(&wcfg);
+
+    // The motif: a 4-vertex pattern extracted from the live graph (so it is
+    // guaranteed to occur), e.g. a co-purchase wedge/diamond.
+    let q = w.queries.first().expect("extracted motif").clone();
+
+    println!(
+        "graph: |V|={} |E|={}  stream: {} updates ({} inserts, {} deletes)",
+        w.initial.num_vertices(),
+        w.initial.num_edges(),
+        w.stream.len(),
+        w.stream.num_edge_insertions(),
+        w.stream.num_edge_deletions()
+    );
+
+    // ---- Naive: one update at a time, no classifier.
+    let mut naive = ParaCosm::new(
+        w.initial.clone(),
+        q.clone(),
+        NewSP::new(),
+        ParaCosmConfig::sequential(),
+    );
+    let t0 = Instant::now();
+    let naive_out = naive.process_stream(&w.stream).expect("stream");
+    let naive_time = t0.elapsed();
+
+    // ---- ParaCOSM: batch executor + inner-update parallelism.
+    let mut para = ParaCosm::new(
+        w.initial.clone(),
+        q.clone(),
+        NewSP::new(),
+        ParaCosmConfig::parallel(4).with_batch_size(256),
+    );
+    let t1 = Instant::now();
+    let para_out = para.process_stream(&w.stream).expect("stream");
+    let para_time = t1.elapsed();
+
+    assert_eq!(
+        (naive_out.positives, naive_out.negatives),
+        (para_out.positives, para_out.negatives),
+        "both engines must report identical motif deltas"
+    );
+
+    println!(
+        "\nmotifs appeared: {}   motifs expired: {}",
+        para_out.positives, para_out.negatives
+    );
+    println!("naive per-update processing: {naive_time:?}");
+    println!("ParaCOSM batch executor:     {para_time:?}");
+    println!(
+        "(wall-clock comparison is host-dependent: the batch executor's wins \
+         come from spreading classification/application over cores and \
+         skipping Find_Matches at scale — see `repro fig11` for the measured \
+         inter-update speedup on the Orkut workload)"
+    );
+
+    let c = para.stats.classifier;
+    println!(
+        "\nclassifier: {} updates -> {:.2}% label-safe, {:.2}% degree-safe, \
+         {:.2}% ADS-safe, {:.2}% unsafe",
+        c.total,
+        100.0 * c.safe_label as f64 / c.total.max(1) as f64,
+        100.0 * c.safe_degree as f64 / c.total.max(1) as f64,
+        100.0 * c.safe_ads as f64 / c.total.max(1) as f64,
+        c.unsafe_pct()
+    );
+    println!(
+        "Find_Matches was skipped for {} of {} updates — the paper's \
+         inter-update win (§4.2)",
+        c.safe_total(),
+        c.total
+    );
+}

@@ -1,0 +1,144 @@
+//! `paracosm-cli` — run continuous subgraph matching from files, the way the
+//! original CSM benchmark suites are driven.
+//!
+//! ```text
+//! paracosm-cli --graph G.txt --query Q.txt --stream S.txt [options]
+//!
+//!   --algo NAME        graphflow|turboflux|symbi|calig|newsp   (default: symbi)
+//!   --threads N        worker threads (1 = sequential)         (default: all cores)
+//!   --batch N          inter-update batch size                 (default: 1024)
+//!   --no-inter         disable inter-update parallelism
+//!   --timeout-ms N     per-run time limit
+//!   --initial          also count initial matches before streaming
+//!   --per-update       print a line per update with its ΔM
+//! ```
+
+use paracosm::algos::{AlgoKind, AnyAlgorithm};
+use paracosm::core::{ParaCosm, ParaCosmConfig};
+use paracosm::graph::io;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paracosm-cli --graph G.txt --query Q.txt --stream S.txt \
+         [--algo name] [--threads N] [--batch N] [--no-inter] \
+         [--timeout-ms N] [--initial] [--per-update]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let (mut graph, mut query, mut stream) = (None, None, None);
+    let mut kind = AlgoKind::Symbi;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut batch = 1024usize;
+    let mut inter = true;
+    let mut timeout = None;
+    let mut initial = false;
+    let mut per_update = false;
+    let mut latency = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--graph" => graph = Some(val()),
+            "--query" => query = Some(val()),
+            "--stream" => stream = Some(val()),
+            "--algo" => kind = AlgoKind::parse(&val()).unwrap_or_else(|| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = val().parse().unwrap_or_else(|_| usage()),
+            "--no-inter" => inter = false,
+            "--timeout-ms" => {
+                timeout = Some(Duration::from_millis(val().parse().unwrap_or_else(|_| usage())))
+            }
+            "--initial" => initial = true,
+            "--per-update" => per_update = true,
+            "--latency" => latency = true,
+            _ => usage(),
+        }
+    }
+    let (Some(gp), Some(qp), Some(sp)) = (graph, query, stream) else { usage() };
+
+    let g = io::load_data_graph(&gp).unwrap_or_else(|e| {
+        eprintln!("failed to load graph {gp}: {e}");
+        std::process::exit(1);
+    });
+    let q = io::load_query_graph(&qp).unwrap_or_else(|e| {
+        eprintln!("failed to load query {qp}: {e}");
+        std::process::exit(1);
+    });
+    let s = io::load_update_stream(&sp).unwrap_or_else(|e| {
+        eprintln!("failed to load stream {sp}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut cfg = ParaCosmConfig::parallel(threads).with_batch_size(batch);
+    cfg.inter_update = inter && threads > 1;
+    cfg.track_latency = latency;
+    if let Some(t) = timeout {
+        cfg = cfg.with_time_limit(t);
+    }
+    eprintln!(
+        "paracosm-cli: algo={} |V|={} |E|={} |V(Q)|={} stream={} threads={threads} inter={}",
+        kind.name(),
+        g.num_vertices(),
+        g.num_edges(),
+        q.num_vertices(),
+        s.len(),
+        cfg.inter_update,
+    );
+
+    let algo = kind.build(&g, &q);
+    let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
+
+    if initial {
+        let t0 = std::time::Instant::now();
+        let r = engine.initial_matches(false);
+        println!("initial matches: {} ({:?})", r.count, t0.elapsed());
+    }
+
+    if per_update {
+        let (mut tp, mut tn) = (0u64, 0u64);
+        for (i, &u) in s.updates().iter().enumerate() {
+            match engine.process_update(u) {
+                Ok(out) => {
+                    tp += out.positives;
+                    tn += out.negatives;
+                    if out.positives + out.negatives > 0 {
+                        println!("update {i}: +{} -{}", out.positives, out.negatives);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("update {i} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("total: +{tp} -{tn}");
+    } else {
+        let out = engine.process_stream(&s).unwrap_or_else(|e| {
+            eprintln!("stream failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "positives={} negatives={} applied={} timed_out={} elapsed={:?}",
+            out.positives, out.negatives, out.updates_applied, out.timed_out, out.elapsed
+        );
+    }
+
+    let st = &engine.stats;
+    eprintln!(
+        "stats: ads={:?} find={:?} apply={:?} nodes={} safe={}/{} unsafe={}",
+        st.ads_time,
+        st.find_time,
+        st.apply_time,
+        st.nodes,
+        st.classifier.safe_total(),
+        st.classifier.total,
+        st.classifier.unsafe_count,
+    );
+    if latency {
+        eprintln!("latency: {}", st.latency.summary());
+    }
+}

@@ -1,0 +1,33 @@
+//! # paracosm — facade crate for the ParaCOSM reproduction
+//!
+//! Re-exports the subsystem crates under one roof:
+//!
+//! * [`graph`] — dynamic labeled graphs, query graphs, update streams, IO;
+//! * [`core`] — the ParaCOSM framework (inner-/inter-update executors,
+//!   matching kernel, `CsmAlgorithm` plug-in trait);
+//! * [`algos`] — the five CSM baselines (GraphFlow, TurboFlux, Symbi,
+//!   CaLiG, NewSP);
+//! * [`datagen`] — synthetic datasets, query extraction, update streams.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `paracosm-bench` crate for the full paper-evaluation harness.
+
+#![forbid(unsafe_code)]
+
+pub use csm_algos as algos;
+pub use csm_datagen as datagen;
+pub use csm_graph as graph;
+pub use paracosm_core as core;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use csm_algos::{AlgoKind, AnyAlgorithm, CaLiG, GraphFlow, NewSP, Symbi, TurboFlux};
+    pub use csm_datagen::{DatasetKind, Scale, StreamConfig, WorkloadConfig};
+    pub use csm_graph::{
+        DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, Update, UpdateStream, VLabel,
+        VertexId,
+    };
+    pub use paracosm_core::{
+        AdsChange, CsmAlgorithm, Match, ParaCosm, ParaCosmConfig, StreamOutcome, UpdateOutcome,
+    };
+}

@@ -1,0 +1,68 @@
+//! Cross-algorithm agreement: all five baselines must report identical
+//! incremental matches on identical streams (CaLiG under edge-label-blind
+//! semantics, per the paper's §5.1 setup), each additionally checked
+//! against the brute-force recomputation oracle per update.
+
+use paracosm::algos::{testing, AlgoKind};
+use paracosm::core::ParaCosmConfig;
+
+#[test]
+fn all_algorithms_agree_on_insert_only_streams() {
+    for seed in [2, 9, 77] {
+        let (g, stream) = testing::random_workload(seed, 40, 3, 1, 90, 50, 0.0);
+        let q = testing::random_walk_query(&g, seed + 1, 4).expect("query");
+        let mut totals = Vec::new();
+        for kind in AlgoKind::ALL {
+            let t = testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+            totals.push((kind, t));
+        }
+        // Single edge label ⇒ CaLiG agrees with everyone else too.
+        let first = totals[0].1;
+        for (kind, t) in &totals {
+            assert_eq!(*t, first, "{kind} disagrees on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_mixed_streams() {
+    let (g, stream) = testing::random_workload(4, 36, 4, 1, 80, 70, 0.35);
+    let q = testing::random_walk_query(&g, 6, 5).expect("query");
+    let mut totals = Vec::new();
+    for kind in AlgoKind::ALL {
+        let t = testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+        totals.push(t);
+    }
+    assert!(totals.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn edge_labels_separate_calig_from_the_rest() {
+    // With 3 edge labels, CaLiG (label-blind) must see *at least* as many
+    // matches as the label-respecting algorithms; both are oracle-checked.
+    let (g, stream) = testing::random_workload(11, 30, 2, 3, 70, 40, 0.2);
+    let q = testing::random_walk_query(&g, 3, 4).expect("query");
+    let strict =
+        testing::check_stream(&g, &q, &stream, AlgoKind::Symbi, ParaCosmConfig::sequential());
+    let blind =
+        testing::check_stream(&g, &q, &stream, AlgoKind::CaLiG, ParaCosmConfig::sequential());
+    assert!(blind.0 >= strict.0, "label-blind positives must dominate");
+}
+
+#[test]
+fn larger_queries_still_agree() {
+    let (g, stream) = testing::random_workload(21, 50, 4, 1, 110, 20, 0.2);
+    if let Some(q) = testing::random_walk_query(&g, 23, 6) {
+        let mut totals = Vec::new();
+        for kind in AlgoKind::ALL {
+            totals.push(testing::check_stream(
+                &g,
+                &q,
+                &stream,
+                kind,
+                ParaCosmConfig::sequential(),
+            ));
+        }
+        assert!(totals.windows(2).all(|w| w[0] == w[1]));
+    }
+}

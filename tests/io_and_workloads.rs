@@ -1,0 +1,83 @@
+//! End-to-end IO: serialize a generated workload to the standard CSM text
+//! formats, reload it, and verify the engine produces identical results.
+
+use paracosm::algos::{AlgoKind, AnyAlgorithm};
+use paracosm::core::{ParaCosm, ParaCosmConfig};
+use paracosm::datagen::{DatasetKind, Scale, WorkloadConfig};
+use paracosm::graph::io;
+
+#[test]
+fn workload_roundtrips_through_text_files() {
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 4);
+    cfg.n_queries = 2;
+    cfg.max_stream_len = 60;
+    let w = paracosm::datagen::build_workload(&cfg);
+
+    // Serialize all three artifacts.
+    let mut gbuf = Vec::new();
+    io::write_data_graph(&w.initial, &mut gbuf).unwrap();
+    let mut qbuf = Vec::new();
+    io::write_query_graph(&w.queries[0], &mut qbuf).unwrap();
+    let mut sbuf = Vec::new();
+    io::write_update_stream(&w.stream, &mut sbuf).unwrap();
+
+    // Reload.
+    let g2 = io::read_data_graph(gbuf.as_slice()).unwrap();
+    let q2 = io::read_query_graph(qbuf.as_slice()).unwrap();
+    let s2 = io::read_update_stream(sbuf.as_slice()).unwrap();
+    assert_eq!(g2.num_edges(), w.initial.num_edges());
+    assert_eq!(q2.num_edges(), w.queries[0].num_edges());
+    assert_eq!(s2, w.stream);
+
+    // Both copies must produce identical stream results.
+    let run = |g: &paracosm::graph::DataGraph,
+               q: &paracosm::graph::QueryGraph,
+               s: &paracosm::graph::UpdateStream| {
+        let algo = AlgoKind::TurboFlux.build(g, q);
+        let mut e: ParaCosm<AnyAlgorithm> =
+            ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+        let out = e.process_stream(s).unwrap();
+        (out.positives, out.negatives)
+    };
+    assert_eq!(run(&w.initial, &w.queries[0], &w.stream), run(&g2, &q2, &s2));
+}
+
+#[test]
+fn files_on_disk_roundtrip() {
+    let dir = std::env::temp_dir().join("paracosm_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = WorkloadConfig::paper_cell(DatasetKind::LSBench, Scale::Xs, 3);
+    cfg.n_queries = 1;
+    cfg.max_stream_len = 20;
+    let w = paracosm::datagen::build_workload(&cfg);
+
+    let gpath = dir.join("graph.txt");
+    let spath = dir.join("stream.txt");
+    io::write_data_graph(&w.initial, std::fs::File::create(&gpath).unwrap()).unwrap();
+    io::write_update_stream(&w.stream, std::fs::File::create(&spath).unwrap()).unwrap();
+    let g2 = io::load_data_graph(&gpath).unwrap();
+    let s2 = io::load_update_stream(&spath).unwrap();
+    assert_eq!(g2.num_vertices(), w.initial.num_vertices());
+    assert_eq!(s2.len(), w.stream.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_dataset_builds_and_runs_a_tiny_stream() {
+    for dataset in DatasetKind::ALL {
+        let mut cfg = WorkloadConfig::paper_cell(dataset, Scale::Xs, 4);
+        cfg.n_queries = 1;
+        cfg.max_stream_len = 25;
+        let w = paracosm::datagen::build_workload(&cfg);
+        assert!(!w.queries.is_empty(), "{dataset}: no queries extracted");
+        let algo = AlgoKind::NewSP.build(&w.initial, &w.queries[0]);
+        let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(
+            w.initial.clone(),
+            w.queries[0].clone(),
+            algo,
+            ParaCosmConfig::parallel(2).with_batch_size(8),
+        );
+        let out = e.process_stream(&w.stream).unwrap();
+        assert_eq!(out.updates_applied as usize, w.stream.len());
+    }
+}

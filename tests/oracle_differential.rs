@@ -1,0 +1,146 @@
+//! Differential tests against brute-force recomputation, covering the full
+//! update model: edge insertions/deletions, isolated-vertex insertions,
+//! and cascading vertex deletions.
+
+use csm_graph::{EdgeUpdate, Update, UpdateStream, VLabel, VertexId};
+use paracosm::algos::{testing, AlgoKind, AnyAlgorithm};
+use paracosm::core::{static_match, ParaCosm, ParaCosmConfig};
+
+#[test]
+fn initial_matches_equal_static_count() {
+    let (g, _) = testing::random_workload(3, 40, 3, 2, 100, 0, 0.0);
+    let q = testing::random_walk_query(&g, 4, 5).expect("query");
+    for kind in AlgoKind::ALL {
+        let algo = kind.build(&g, &q);
+        let engine: ParaCosm<AnyAlgorithm> =
+            ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+        let got = engine.initial_matches(false).count;
+        let want = testing::oracle_count(&g, &q, kind);
+        assert_eq!(got, want, "{kind} initial matches");
+    }
+}
+
+#[test]
+fn vertex_insertions_are_trivial_for_matching() {
+    let (g, _) = testing::random_workload(5, 25, 3, 1, 60, 0, 0.0);
+    let q = testing::random_walk_query(&g, 6, 4).expect("query");
+    let slots = g.vertex_slots() as u32;
+    let stream: UpdateStream = vec![
+        Update::InsertVertex { id: VertexId(slots + 2), label: VLabel(1) },
+        Update::InsertVertex { id: VertexId(slots + 3), label: VLabel(0) },
+        // And an edge wiring the new vertices in.
+        Update::InsertEdge(EdgeUpdate::new(
+            VertexId(slots + 2),
+            VertexId(slots + 3),
+            csm_graph::ELabel(0),
+        )),
+    ]
+    .into_iter()
+    .collect();
+    for kind in [AlgoKind::Symbi, AlgoKind::TurboFlux, AlgoKind::GraphFlow] {
+        testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+    }
+}
+
+#[test]
+fn vertex_deletion_cascades_and_counts_negatives() {
+    let (g, _) = testing::random_workload(8, 25, 2, 1, 70, 0, 0.0);
+    let q = testing::random_walk_query(&g, 9, 3).expect("query");
+    // Delete the highest-degree vertex — maximum cascade.
+    let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
+    assert!(g.degree(hub) > 0);
+    let stream: UpdateStream =
+        vec![Update::DeleteVertex { id: hub }].into_iter().collect();
+    for kind in AlgoKind::ALL {
+        testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+    }
+}
+
+#[test]
+fn duplicate_and_missing_edges_are_noops() {
+    let (g, _) = testing::random_workload(12, 20, 2, 1, 50, 0, 0.0);
+    let q = testing::random_walk_query(&g, 13, 3).expect("query");
+    let (a, b, l) = g.edges().next().expect("an edge");
+    let absent = {
+        // Find a non-edge pair.
+        let mut found = None;
+        'outer: for x in g.vertices() {
+            for y in g.vertices() {
+                if x < y && !g.has_edge(x, y) {
+                    found = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        found.expect("a non-edge")
+    };
+    let stream: UpdateStream = vec![
+        Update::InsertEdge(EdgeUpdate::new(a, b, l)), // duplicate insert
+        Update::DeleteEdge(EdgeUpdate::new(absent.0, absent.1, l)), // missing delete
+    ]
+    .into_iter()
+    .collect();
+    for kind in [AlgoKind::Symbi, AlgoKind::NewSP] {
+        let algo = kind.build(&g, &q);
+        let mut engine: ParaCosm<AnyAlgorithm> =
+            ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+        for &u in stream.updates() {
+            let out = engine.process_update(u).unwrap();
+            assert!(out.noop, "{kind}: {u:?} should be a no-op");
+            assert_eq!(out.positives + out.negatives, 0);
+        }
+    }
+}
+
+#[test]
+fn insert_delete_insert_roundtrip_restores_counts() {
+    let (g, _) = testing::random_workload(17, 30, 2, 1, 80, 0, 0.0);
+    let q = testing::random_walk_query(&g, 18, 4).expect("query");
+    let (a, b, l) = g.edges().next().expect("an edge");
+    let e = EdgeUpdate::new(a, b, l);
+    for kind in AlgoKind::ALL {
+        let algo = kind.build(&g, &q);
+        let mut engine: ParaCosm<AnyAlgorithm> =
+            ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+        let del = engine.process_update(Update::DeleteEdge(e)).unwrap();
+        let ins = engine.process_update(Update::InsertEdge(e)).unwrap();
+        assert_eq!(
+            del.negatives, ins.positives,
+            "{kind}: delete/insert of the same edge must be symmetric"
+        );
+        let total = engine.initial_matches(false).count;
+        assert_eq!(total, testing::oracle_count(&g, &q, kind), "{kind} final state");
+    }
+}
+
+#[test]
+fn deep_deletion_streams_stay_consistent() {
+    // Delete many edges in a row — exercises downward ADS propagation.
+    let (g, _) = testing::random_workload(23, 30, 2, 1, 90, 0, 0.0);
+    let q = testing::random_walk_query(&g, 24, 4).expect("query");
+    let stream: UpdateStream = g
+        .edges()
+        .take(40)
+        .map(|(a, b, l)| Update::DeleteEdge(EdgeUpdate::new(a, b, l)))
+        .collect();
+    for kind in AlgoKind::ALL {
+        testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+    }
+}
+
+#[test]
+fn engine_survives_unknown_vertices_with_error() {
+    let (g, _) = testing::random_workload(27, 10, 2, 1, 20, 0, 0.0);
+    let q = testing::random_walk_query(&g, 28, 3).expect("query");
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let mut engine: ParaCosm<AnyAlgorithm> =
+        ParaCosm::new(g, q, algo, ParaCosmConfig::sequential());
+    let bogus = Update::InsertEdge(EdgeUpdate::new(
+        VertexId(0),
+        VertexId(10_000),
+        csm_graph::ELabel(0),
+    ));
+    assert!(engine.process_update(bogus).is_err());
+    // The engine must remain usable afterwards.
+    assert!(static_match::count_all(engine.graph(), engine.query()) == engine.initial_matches(false).count);
+}

@@ -1,0 +1,83 @@
+//! Parallel configurations must be result-equivalent to the sequential
+//! baseline: real threads (inner executor), virtual workers (simulated
+//! scheduler), batch executor, and every tuning knob in between.
+
+use paracosm::algos::{testing, AlgoKind};
+use paracosm::core::ParaCosmConfig;
+
+fn workload() -> (csm_graph::DataGraph, csm_graph::UpdateStream, csm_graph::QueryGraph) {
+    let (g, stream) = testing::random_workload(31, 45, 3, 1, 110, 60, 0.25);
+    let q = testing::random_walk_query(&g, 32, 5).expect("query");
+    (g, stream, q)
+}
+
+#[test]
+fn real_threads_match_sequential_per_update() {
+    let (g, stream, q) = workload();
+    for kind in AlgoKind::ALL {
+        let mut cfg = ParaCosmConfig::parallel(4);
+        cfg.inter_update = false;
+        testing::check_stream(&g, &q, &stream, kind, cfg);
+    }
+}
+
+#[test]
+fn simulated_workers_match_sequential_per_update() {
+    let (g, stream, q) = workload();
+    for kind in [AlgoKind::GraphFlow, AlgoKind::Symbi, AlgoKind::CaLiG] {
+        let mut cfg = ParaCosmConfig::simulated(32);
+        cfg.inter_update = false;
+        testing::check_stream(&g, &q, &stream, kind, cfg);
+    }
+}
+
+#[test]
+fn batch_executor_matches_sequential_totals() {
+    let (g, stream, q) = workload();
+    for kind in AlgoKind::ALL {
+        for batch in [1, 3, 17, 4096] {
+            let cfg = ParaCosmConfig::parallel(4).with_batch_size(batch);
+            testing::check_stream_totals(&g, &q, &stream, kind, cfg);
+        }
+    }
+}
+
+#[test]
+fn load_balance_off_is_still_exact() {
+    let (g, stream, q) = workload();
+    let mut cfg = ParaCosmConfig::parallel(4);
+    cfg.load_balance = false;
+    testing::check_stream_totals(&g, &q, &stream, AlgoKind::TurboFlux, cfg);
+}
+
+#[test]
+fn split_depth_extremes_are_exact() {
+    let (g, stream, q) = workload();
+    for split_depth in [0, 1, 16] {
+        let mut cfg = ParaCosmConfig::parallel(3);
+        cfg.split_depth = split_depth;
+        cfg.inter_update = false;
+        testing::check_stream_totals(&g, &q, &stream, AlgoKind::NewSP, cfg);
+    }
+}
+
+#[test]
+fn seed_task_factor_extremes_are_exact() {
+    let (g, stream, q) = workload();
+    for factor in [1, 64] {
+        let mut cfg = ParaCosmConfig::parallel(2);
+        cfg.seed_task_factor = factor;
+        cfg.inter_update = false;
+        testing::check_stream_totals(&g, &q, &stream, AlgoKind::GraphFlow, cfg);
+    }
+}
+
+#[test]
+fn high_thread_counts_are_exact_on_small_work() {
+    // More threads than tasks: termination and counting must still hold.
+    let (g, stream) = testing::random_workload(41, 20, 2, 1, 30, 20, 0.0);
+    let q = testing::random_walk_query(&g, 42, 3).expect("query");
+    let mut cfg = ParaCosmConfig::parallel(16);
+    cfg.inter_update = false;
+    testing::check_stream(&g, &q, &stream, AlgoKind::Symbi, cfg);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: random workloads, random queries, random engine
+//! configurations — every configuration must agree with the brute-force
+//! oracle, and the graph's structural invariants must survive any stream.
+
+use csm_graph::{DataGraph, EdgeUpdate, Update, UpdateStream, VLabel, VertexId};
+use paracosm::algos::{testing, AlgoKind};
+use paracosm::core::ParaCosmConfig;
+use proptest::prelude::*;
+
+/// A compact generator: (seed, vertices, labels, base edges, stream len,
+/// delete ratio, query size).
+fn workload_params() -> impl Strategy<Value = (u64, u32, u32, usize, usize, f64, usize)> {
+    // Labels start at 2: single-label graphs are effectively unlabeled and
+    // make the brute-force oracle blow up combinatorially.
+    (
+        any::<u64>(),
+        10u32..34,
+        2u32..5,
+        12usize..60,
+        8usize..30,
+        0.0f64..0.5,
+        3usize..6,
+    )
+}
+
+fn algo_strategy() -> impl Strategy<Value = AlgoKind> {
+    prop_oneof![
+        Just(AlgoKind::GraphFlow),
+        Just(AlgoKind::TurboFlux),
+        Just(AlgoKind::Symbi),
+        Just(AlgoKind::CaLiG),
+        Just(AlgoKind::NewSP),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Sequential engines always agree with recomputation, per update.
+    #[test]
+    fn sequential_matches_oracle(
+        (seed, n, labels, base, len, del, qsize) in workload_params(),
+        kind in algo_strategy(),
+    ) {
+        let (g, stream) = testing::random_workload(seed, n, labels, 2, base, len, del);
+        if let Some(q) = testing::random_walk_query(&g, seed ^ 0xABCD, qsize) {
+            testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
+        }
+    }
+
+    /// The batch executor agrees with the oracle for arbitrary batch sizes.
+    #[test]
+    fn batch_executor_matches_oracle(
+        (seed, n, labels, base, len, del, qsize) in workload_params(),
+        kind in algo_strategy(),
+        batch in 1usize..32,
+    ) {
+        let (g, stream) = testing::random_workload(seed, n, labels, 2, base, len, del);
+        if let Some(q) = testing::random_walk_query(&g, seed ^ 0xBEEF, qsize) {
+            let cfg = ParaCosmConfig::parallel(3).with_batch_size(batch);
+            testing::check_stream_totals(&g, &q, &stream, kind, cfg);
+        }
+    }
+
+    /// Graph invariants (sorted symmetric adjacency, exact edge counts,
+    /// label buckets) survive arbitrary update streams.
+    #[test]
+    fn graph_invariants_hold_under_streams(
+        seed in any::<u64>(),
+        n in 4u32..40,
+        ops in proptest::collection::vec((0u32..40, 0u32..40, 0u32..3, any::<bool>()), 1..80),
+    ) {
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_vertex(VLabel(i % 3));
+        }
+        let _ = seed;
+        for (a, b, l, ins) in ops {
+            let (a, b) = (VertexId(a % n), VertexId(b % n));
+            if a == b { continue; }
+            if ins {
+                let _ = g.insert_edge(a, b, csm_graph::ELabel(l));
+            } else {
+                let _ = g.remove_edge(a, b);
+            }
+        }
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// Replaying a stream and then undoing its effect restores the initial
+    /// match count (engine state has no hysteresis).
+    #[test]
+    fn stream_then_inverse_restores_match_count(
+        (seed, n, labels, base, len, _del, qsize) in workload_params(),
+    ) {
+        // Insert-only stream, then delete everything in reverse.
+        let (g, stream) = testing::random_workload(seed, n, labels, 1, base, len, 0.0);
+        let Some(q) = testing::random_walk_query(&g, seed ^ 0xF00D, qsize) else { return Ok(()); };
+        let kind = AlgoKind::Symbi;
+        let algo = kind.build(&g, &q);
+        let mut engine: paracosm::core::ParaCosm<paracosm::algos::AnyAlgorithm> =
+            paracosm::core::ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::sequential());
+        let before = engine.initial_matches(false).count;
+        let mut inverse: Vec<Update> = Vec::new();
+        for &u in stream.updates() {
+            engine.process_update(u).unwrap();
+            if let Update::InsertEdge(e) = u {
+                inverse.push(Update::DeleteEdge(e));
+            }
+        }
+        for u in inverse.into_iter().rev() {
+            engine.process_update(u).unwrap();
+        }
+        let after = engine.initial_matches(false).count;
+        prop_assert_eq!(before, after);
+    }
+
+    /// Positive and negative deltas are symmetric: deleting an edge right
+    /// after inserting it reports exactly the matches the insert created.
+    #[test]
+    fn insert_delete_symmetry(
+        (seed, n, labels, base, _len, _del, qsize) in workload_params(),
+        kind in algo_strategy(),
+        a in 0u32..36,
+        b in 0u32..36,
+    ) {
+        let (g, _) = testing::random_workload(seed, n, labels, 1, base, 0, 0.0);
+        let (a, b) = (VertexId(a % n), VertexId(b % n));
+        if a == b || g.has_edge(a, b) { return Ok(()); }
+        let Some(q) = testing::random_walk_query(&g, seed ^ 0xCAFE, qsize) else { return Ok(()); };
+        let e = EdgeUpdate::new(a, b, csm_graph::ELabel(0));
+        let stream: UpdateStream =
+            vec![Update::InsertEdge(e), Update::DeleteEdge(e)].into_iter().collect();
+        let algo = kind.build(&g, &q);
+        let mut engine: paracosm::core::ParaCosm<paracosm::algos::AnyAlgorithm> =
+            paracosm::core::ParaCosm::new(g, q, algo, ParaCosmConfig::sequential());
+        let ins = engine.process_update(stream.updates()[0]).unwrap();
+        let del = engine.process_update(stream.updates()[1]).unwrap();
+        prop_assert_eq!(ins.positives, del.negatives);
+    }
+}

@@ -1,0 +1,96 @@
+//! Time-limit (success-rate) and match-cap semantics.
+
+use csm_graph::{DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId};
+use paracosm::algos::{AlgoKind, AnyAlgorithm};
+use paracosm::core::{ParaCosm, ParaCosmConfig};
+use std::time::Duration;
+
+/// A dense unlabeled graph where a 5-cycle query explodes combinatorially.
+fn explosive() -> (DataGraph, QueryGraph, UpdateStream) {
+    let mut g = DataGraph::new();
+    let n = 64u32;
+    for _ in 0..n {
+        g.add_vertex(VLabel(0));
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            // Keep ~2/3 of all pairs; unlike a parity split this stays one
+            // dense component, so cycles through any edge abound.
+            if (i + j) % 3 != 0 {
+                g.insert_edge(VertexId(i), VertexId(j), ELabel(0)).unwrap();
+            }
+        }
+    }
+    let mut q = QueryGraph::new();
+    let us: Vec<_> = (0..5).map(|_| q.add_vertex(VLabel(0))).collect();
+    for i in 0..5 {
+        q.add_edge(us[i], us[(i + 1) % 5], ELabel(0)).unwrap();
+    }
+    // One update that triggers a huge enumeration.
+    let stream: UpdateStream =
+        vec![Update::InsertEdge(EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0)))]
+            .into_iter()
+            .collect();
+    // Ensure the edge is absent initially.
+    let mut g = g;
+    let _ = g.remove_edge(VertexId(0), VertexId(1));
+    (g, q, stream)
+}
+
+#[test]
+fn zero_time_limit_times_out_sequential_and_parallel() {
+    let (g, q, stream) = explosive();
+    for cfg in [
+        ParaCosmConfig::sequential().with_time_limit(Duration::ZERO),
+        ParaCosmConfig::parallel(4).with_time_limit(Duration::ZERO),
+        ParaCosmConfig::simulated(8).with_time_limit(Duration::ZERO),
+    ] {
+        let algo = AlgoKind::GraphFlow.build(&g, &q);
+        let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g.clone(), q.clone(), algo, cfg);
+        let out = e.process_stream(&stream).unwrap();
+        assert!(out.timed_out, "expected timeout");
+    }
+}
+
+#[test]
+fn generous_time_limit_succeeds() {
+    let (g, q, stream) = explosive();
+    let algo = AlgoKind::NewSP.build(&g, &q);
+    let cfg = ParaCosmConfig::sequential().with_time_limit(Duration::from_secs(120));
+    let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+    assert!(!out.timed_out);
+    assert!(out.positives > 1000, "dense graph must fan out");
+}
+
+#[test]
+fn match_cap_bounds_enumeration() {
+    let (g, q, stream) = explosive();
+    let mut cfg = ParaCosmConfig::sequential();
+    cfg.match_cap = Some(100);
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g.clone(), q.clone(), algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+    assert_eq!(out.positives, 100);
+
+    // Parallel cap is approximate (workers may overshoot by up to one
+    // report each) but must stay tightly bounded.
+    let mut cfg = ParaCosmConfig::parallel(4);
+    cfg.match_cap = Some(100);
+    cfg.inter_update = false;
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+    assert!(out.positives >= 100 && out.positives <= 104, "got {}", out.positives);
+}
+
+#[test]
+fn timeout_flag_propagates_from_stats() {
+    let (g, q, stream) = explosive();
+    let algo = AlgoKind::Symbi.build(&g, &q);
+    let cfg = ParaCosmConfig::sequential().with_time_limit(Duration::from_nanos(1));
+    let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+    assert!(out.timed_out);
+    assert!(out.updates_applied <= 1);
+}
