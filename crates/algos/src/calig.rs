@@ -196,7 +196,13 @@ impl CsmAlgorithm for CaLiG {
         }
     }
 
-    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        _is_insert: bool,
+    ) -> AdsChange {
         if self.lit.first().is_some_and(|s| s.len() < g.vertex_slots()) {
             self.rebuild(g, q);
             return AdsChange::Changed;
@@ -239,7 +245,9 @@ impl CaLiG {
     fn edge_relevant(&self, g: &DataGraph, q: &QueryGraph, v: VertexId, w: VertexId) -> bool {
         q.vertices().any(|u| {
             q.label(u) == g.label(v)
-                && q.neighbors(u).iter().any(|&(nb, _)| q.label(nb) == g.label(w))
+                && q.neighbors(u)
+                    .iter()
+                    .any(|&(nb, _)| q.label(nb) == g.label(w))
         })
     }
 }
@@ -314,8 +322,13 @@ mod tests {
         let expected = static_match::count_all_ignoring_elabels(&g, &q);
         // Full static enumeration through CaLiG's search.
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx =
-            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: true, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: true,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
         c.search(&ctx, &mut Embedding::empty(), 0, &mut sink, &mut stats);

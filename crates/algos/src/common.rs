@@ -22,30 +22,30 @@ impl NlfProfile {
     pub fn of(q: &QueryGraph, u: QVertexId, ignore_elabels: bool) -> NlfProfile {
         let mut reqs: Vec<(VLabel, ELabel, u8)> = Vec::new();
         for &(nb, el) in q.neighbors(u) {
-            let key = (q.label(nb), if ignore_elabels { ELabel::WILDCARD } else { el });
+            let key = (
+                q.label(nb),
+                if ignore_elabels { ELabel::WILDCARD } else { el },
+            );
             match reqs.iter_mut().find(|(vl, l, _)| (*vl, *l) == key) {
                 Some((_, _, c)) => *c += 1,
                 None => reqs.push((key.0, key.1, 1)),
             }
         }
-        NlfProfile { reqs, ignore_elabels }
+        NlfProfile {
+            reqs,
+            ignore_elabels,
+        }
     }
 
     /// Does `v`'s neighborhood satisfy every requirement?
+    ///
+    /// Each requirement maps to one partition-index lookup: the count of
+    /// `(vertex label, edge label)` neighbors is the length of the
+    /// corresponding adjacency group, `O(log #groups)` with no scan.
     pub fn feasible(&self, g: &DataGraph, v: VertexId) -> bool {
-        // Queries are tiny: a linear pass per requirement over v's adjacency
-        // beats building a counting map for the common low-degree case.
         self.reqs.iter().all(|&(vl, el, need)| {
-            let mut seen = 0u8;
-            for &(w, wl) in g.neighbors(v) {
-                if g.label(w) == vl && (self.ignore_elabels || wl == el) {
-                    seen += 1;
-                    if seen >= need {
-                        return true;
-                    }
-                }
-            }
-            false
+            let el = (!self.ignore_elabels).then_some(el);
+            g.count_neighbors_with(v, vl, el) >= need as usize
         })
     }
 
@@ -66,6 +66,12 @@ impl NlfProfile {
 /// algorithms that pick their own vertex order at runtime (CaLiG's
 /// kernel-first search, shell materialization).
 ///
+/// Like the static kernel, candidates come from the mapped neighbors'
+/// *exact partition slices*: the smallest `(L(u), elabel)` run is streamed
+/// and the remaining constraints verified by `O(log)` probes of their own
+/// runs (under `ignore_elabels` the vlabel-range slice is streamed and
+/// verified by adjacency probes, since range slices aren't id-sorted).
+///
 /// `f` returns `false` to stop early; the function returns `false` iff
 /// stopped. If `u` has no mapped neighbors, candidates come from the label
 /// bucket (rare — only for disconnected remainders).
@@ -82,42 +88,66 @@ where
 {
     let ulabel = q.label(u);
     let udeg = q.degree(u);
-    // Backward constraints: mapped neighbors of u.
-    let mut pivot: Option<(VertexId, ELabel)> = None;
+    // Backward constraints: mapped neighbors of u (queries are tiny, the
+    // constraint list fits on the stack in practice).
+    let mut mapped: Vec<(VertexId, ELabel)> = Vec::new();
     for &(nb, el) in q.neighbors(u) {
         if let Some(w) = emb.get(nb) {
-            match pivot {
-                Some((pw, _)) if g.degree(pw) <= g.degree(w) => {}
-                _ => pivot = Some((w, el)),
-            }
+            mapped.push((w, el));
         }
     }
-    let Some((pivot_v, pivot_el)) = pivot else {
+    if mapped.is_empty() {
         for &v in g.vertices_with_label(ulabel) {
             if g.degree(v) >= udeg && !emb.uses(v) && !f(v) {
                 return false;
             }
         }
         return true;
-    };
+    }
 
-    'cand: for &(v, el) in g.neighbors(pivot_v) {
-        if !ignore_elabels && el != pivot_el {
+    if ignore_elabels {
+        let (pi, &(pivot_v, _)) = mapped
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(w, _))| g.neighbors_with_vlabel(w, ulabel).len())
+            .expect("non-empty mapped set");
+        'wild: for &(v, _) in g.neighbors_with_vlabel(pivot_v, ulabel) {
+            if g.degree(v) < udeg || emb.uses(v) {
+                continue;
+            }
+            for (j, &(w, _)) in mapped.iter().enumerate() {
+                if j != pi && g.edge_label(w, v).is_none() {
+                    continue 'wild;
+                }
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    // Exact mode: one id-sorted slice per constraint; empty ⇒ no candidate.
+    let mut slices: Vec<&[(VertexId, ELabel)]> = Vec::with_capacity(mapped.len());
+    for &(w, el) in &mapped {
+        let s = g.neighbors_with(w, ulabel, el);
+        if s.is_empty() {
+            return true;
+        }
+        slices.push(s);
+    }
+    let (si, smallest) = slices
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.len())
+        .expect("non-empty slice set");
+    'cand: for &(v, _) in *smallest {
+        if g.degree(v) < udeg || emb.uses(v) {
             continue;
         }
-        if g.label(v) != ulabel || g.degree(v) < udeg || emb.uses(v) {
-            continue;
-        }
-        // Verify all other mapped neighbors.
-        for &(nb, nb_el) in q.neighbors(u) {
-            if let Some(w) = emb.get(nb) {
-                if w == pivot_v {
-                    continue;
-                }
-                match g.edge_label(w, v) {
-                    Some(l) if ignore_elabels || l == nb_el => {}
-                    _ => continue 'cand,
-                }
+        for (j, s) in slices.iter().enumerate() {
+            if j != si && s.binary_search_by_key(&v, |&(w, _)| w).is_err() {
+                continue 'cand;
             }
         }
         if !f(v) {

@@ -20,39 +20,24 @@
 //! back to depth-first enumeration (the same hybrid real join systems use
 //! for final, high-multiplicity attributes).
 
-use crate::multiway::{intersect_foreach, AdjOperand};
 use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
 use paracosm_core::kernel::{self, NoFilter, SearchCtx, SearchStats};
 use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 
 /// Stream the candidates of the order position `depth` the generic-join
-/// way: when ≥ 2 backward neighbors are mapped, their adjacency lists are
-/// intersected by multiway galloping (worst-case-optimal join); otherwise
-/// the kernel's pivot-probe generator is equivalent and used directly.
-fn wco_candidates<F>(ctx: &SearchCtx<'_>, emb: Embedding, depth: usize, mut f: F) -> bool
+/// way. Since the data graph went label-partitioned, the shared kernel's
+/// candidate generator *is* the WCO intersection — it gallops over the
+/// exact `(vertex label, edge label)` partition slices of every mapped
+/// backward neighbor ([`csm_graph::intersect`]) — so GraphFlow reuses it
+/// directly; what distinguishes GraphFlow is the level-synchronous
+/// (attribute-at-a-time) frontier in [`GraphFlow::search`], not the
+/// per-level candidate computation. The standalone labeled-operand
+/// primitive survives in [`crate::multiway`].
+fn wco_candidates<F>(ctx: &SearchCtx<'_>, emb: Embedding, depth: usize, f: F) -> bool
 where
     F: FnMut(VertexId) -> bool,
 {
-    let backward = &ctx.order.backward[depth];
-    if backward.len() < 2 {
-        return kernel::for_each_candidate(ctx, &NoFilter, emb, depth, f);
-    }
-    let u = ctx.order.order[depth];
-    let ulabel = ctx.q.label(u);
-    let udeg = ctx.q.degree(u);
-    let mut operands: Vec<AdjOperand<'_>> = backward
-        .iter()
-        .map(|&(nb, el)| AdjOperand {
-            list: ctx.g.neighbors(emb.get_unchecked(nb)),
-            label: (!ctx.ignore_elabels).then_some(el),
-        })
-        .collect();
-    intersect_foreach(&mut operands, |v| {
-        if ctx.g.label(v) != ulabel || ctx.g.degree(v) < udeg || emb.uses(v) {
-            return true;
-        }
-        f(v)
-    })
+    kernel::for_each_candidate(ctx, &NoFilter, emb, depth, f)
 }
 
 /// The GraphFlow algorithm instance. Stateless apart from tuning.
@@ -65,7 +50,9 @@ pub struct GraphFlow {
 
 impl Default for GraphFlow {
     fn default() -> Self {
-        GraphFlow { frontier_cap: 1 << 14 }
+        GraphFlow {
+            frontier_cap: 1 << 14,
+        }
     }
 }
 
@@ -179,7 +166,13 @@ mod tests {
 
     fn count_bfs(gf: &GraphFlow, g: &DataGraph, q: &QueryGraph) -> u64 {
         let order = SeedOrder::build(q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g, q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g,
+            q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
         gf.search(&ctx, &mut Embedding::empty(), 0, &mut sink, &mut stats);
@@ -219,7 +212,13 @@ mod tests {
         let g = clique(8);
         let q = cycle_query(4);
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting().with_cap(Some(5));
         let mut stats = SearchStats::default();
         let finished =

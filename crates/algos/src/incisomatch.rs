@@ -136,10 +136,17 @@ mod tests {
         let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
         let mut engine = IncIsoMatch::new(g.clone(), q.clone());
         let before = engine.current_matches();
-        let (_, neg) = engine.process_update(Update::DeleteVertex { id: hub }).unwrap();
+        let (_, neg) = engine
+            .process_update(Update::DeleteVertex { id: hub })
+            .unwrap();
         assert_eq!(engine.current_matches(), before - neg);
         assert!(engine.audit());
         // Re-delete is a no-op.
-        assert_eq!(engine.process_update(Update::DeleteVertex { id: hub }).unwrap(), (0, 0));
+        assert_eq!(
+            engine
+                .process_update(Update::DeleteVertex { id: hub })
+                .unwrap(),
+            (0, 0)
+        );
     }
 }

@@ -1,15 +1,23 @@
-//! Multiway sorted-adjacency intersection — the core primitive of
-//! worst-case-optimal (generic) joins, which is how GraphFlow actually
-//! evaluates delta queries: the candidate set of the next query vertex is
-//! the *intersection* of all already-matched neighbors' adjacency lists,
-//! computed attribute-at-a-time.
+//! Multiway sorted-list intersection with per-operand edge-label filters —
+//! the labeled-operand flavor of the worst-case-optimal join primitive.
 //!
-//! Adjacency lists in `csm-graph` are sorted by neighbor id, so the
-//! intersection uses **leapfrog-style galloping**: start from the smallest
-//! list, and advance the others by exponential search. Complexity is
-//! `O(k · min|L| · log(max|L| / min|L|))` for `k` lists — the bound that
-//! makes generic joins worst-case optimal.
+//! The enumeration kernel's hot path now intersects the *exact*
+//! `(vertex label, edge label)` partition slices served by
+//! [`csm_graph::DataGraph::neighbors_with`] via the label-free primitive
+//! in [`csm_graph::intersect`] (labels are structural there, so no
+//! per-entry checks remain). This module keeps the general form — any
+//! id-sorted `(vertex, edge label)` lists, with an optional required label
+//! per operand — for callers that assemble their own operand lists.
+//!
+//! **Caution:** since the adjacency refactor, `DataGraph::neighbors` is
+//! sorted by `(neighbor label, elabel, id)` — *not* globally by id — and
+//! must not be fed to this intersection. Use label-exact partition slices
+//! (id-sorted by construction) or any other strictly id-sorted list.
+//!
+//! Galloping gives `O(k · min|L| · log(max|L| / min|L|))` for `k` lists —
+//! the bound that makes generic joins worst-case optimal.
 
+use csm_graph::intersect::gallop;
 use csm_graph::{ELabel, VertexId};
 
 /// One intersection operand: a sorted adjacency slice plus the edge label a
@@ -20,22 +28,6 @@ pub struct AdjOperand<'a> {
     pub list: &'a [(VertexId, ELabel)],
     /// Required connecting edge label.
     pub label: Option<ELabel>,
-}
-
-/// Galloping (exponential + binary) search for the first index with
-/// neighbor id ≥ `target`, starting the probe at `from`.
-#[inline]
-fn gallop(list: &[(VertexId, ELabel)], from: usize, target: VertexId) -> usize {
-    let mut lo = from;
-    let mut step = 1;
-    // Exponential phase.
-    while lo + step < list.len() && list[lo + step].0 < target {
-        lo += step;
-        step <<= 1;
-    }
-    let hi = (lo + step + 1).min(list.len());
-    // Binary phase over [lo, hi).
-    lo + list[lo..hi].partition_point(|&(v, _)| v < target)
 }
 
 /// Intersect `k ≥ 1` sorted adjacency operands, invoking `f` for every
@@ -107,8 +99,14 @@ mod tests {
         let a = list(&[(1, 0), (3, 0), (5, 0), (9, 0)]);
         let b = list(&[(2, 0), (3, 0), (9, 0), (12, 0)]);
         let mut ops = [
-            AdjOperand { list: &a, label: Some(ELabel(0)) },
-            AdjOperand { list: &b, label: Some(ELabel(0)) },
+            AdjOperand {
+                list: &a,
+                label: Some(ELabel(0)),
+            },
+            AdjOperand {
+                list: &b,
+                label: Some(ELabel(0)),
+            },
         ];
         assert_eq!(intersect(&mut ops), vec![VertexId(3), VertexId(9)]);
     }
@@ -118,14 +116,26 @@ mod tests {
         let a = list(&[(3, 0), (9, 1)]);
         let b = list(&[(3, 0), (9, 0)]);
         let mut ops = [
-            AdjOperand { list: &a, label: Some(ELabel(0)) },
-            AdjOperand { list: &b, label: Some(ELabel(0)) },
+            AdjOperand {
+                list: &a,
+                label: Some(ELabel(0)),
+            },
+            AdjOperand {
+                list: &b,
+                label: Some(ELabel(0)),
+            },
         ];
         assert_eq!(intersect(&mut ops), vec![VertexId(3)]);
         // Wildcard labels admit both.
         let mut ops = [
-            AdjOperand { list: &a, label: None },
-            AdjOperand { list: &b, label: None },
+            AdjOperand {
+                list: &a,
+                label: None,
+            },
+            AdjOperand {
+                list: &b,
+                label: None,
+            },
         ];
         assert_eq!(intersect(&mut ops), vec![VertexId(3), VertexId(9)]);
     }
@@ -136,15 +146,30 @@ mod tests {
         let b = list(&[(4, 0), (7, 0), (11, 0)]);
         let c = list(&[(0, 0), (7, 0), (10, 0)]);
         let mut ops = [
-            AdjOperand { list: &a, label: Some(ELabel(0)) },
-            AdjOperand { list: &b, label: Some(ELabel(0)) },
-            AdjOperand { list: &c, label: Some(ELabel(0)) },
+            AdjOperand {
+                list: &a,
+                label: Some(ELabel(0)),
+            },
+            AdjOperand {
+                list: &b,
+                label: Some(ELabel(0)),
+            },
+            AdjOperand {
+                list: &c,
+                label: Some(ELabel(0)),
+            },
         ];
         assert_eq!(intersect(&mut ops), vec![VertexId(7)]);
         let empty: Vec<(VertexId, ELabel)> = Vec::new();
         let mut ops = [
-            AdjOperand { list: &a, label: Some(ELabel(0)) },
-            AdjOperand { list: &empty, label: Some(ELabel(0)) },
+            AdjOperand {
+                list: &a,
+                label: Some(ELabel(0)),
+            },
+            AdjOperand {
+                list: &empty,
+                label: Some(ELabel(0)),
+            },
         ];
         assert!(intersect(&mut ops).is_empty());
     }
@@ -152,14 +177,20 @@ mod tests {
     #[test]
     fn single_operand_passes_through_with_label_filter() {
         let a = list(&[(1, 0), (2, 1), (3, 0)]);
-        let mut ops = [AdjOperand { list: &a, label: Some(ELabel(0)) }];
+        let mut ops = [AdjOperand {
+            list: &a,
+            label: Some(ELabel(0)),
+        }];
         assert_eq!(intersect(&mut ops), vec![VertexId(1), VertexId(3)]);
     }
 
     #[test]
     fn early_stop_propagates() {
         let a = list(&[(1, 0), (2, 0), (3, 0)]);
-        let mut ops = [AdjOperand { list: &a, label: None }];
+        let mut ops = [AdjOperand {
+            list: &a,
+            label: None,
+        }];
         let mut n = 0;
         let finished = intersect_foreach(&mut ops, |_| {
             n += 1;
@@ -175,11 +206,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..200 {
             let mk = |rng: &mut StdRng| {
-                let mut v: Vec<u32> =
-                    (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..200)).collect();
+                let mut v: Vec<u32> = (0..rng.gen_range(0..60))
+                    .map(|_| rng.gen_range(0..200))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
-                v.into_iter().map(|x| (VertexId(x), ELabel(0))).collect::<Vec<_>>()
+                v.into_iter()
+                    .map(|x| (VertexId(x), ELabel(0)))
+                    .collect::<Vec<_>>()
             };
             let a = mk(&mut rng);
             let b = mk(&mut rng);
@@ -190,9 +224,18 @@ mod tests {
                 .filter(|v| b.iter().any(|&(w, _)| w == *v) && c.iter().any(|&(w, _)| w == *v))
                 .collect();
             let mut ops = [
-                AdjOperand { list: &a, label: Some(ELabel(0)) },
-                AdjOperand { list: &b, label: Some(ELabel(0)) },
-                AdjOperand { list: &c, label: Some(ELabel(0)) },
+                AdjOperand {
+                    list: &a,
+                    label: Some(ELabel(0)),
+                },
+                AdjOperand {
+                    list: &b,
+                    label: Some(ELabel(0)),
+                },
+                AdjOperand {
+                    list: &c,
+                    label: Some(ELabel(0)),
+                },
             ];
             assert_eq!(intersect(&mut ops), naive);
         }

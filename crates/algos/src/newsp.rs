@@ -97,7 +97,11 @@ impl NewSP {
                 feasible = true;
                 false
             });
-            let keep = if feasible { self.cpt_exp(ctx, emb, depth + 1, sink, stats) } else { true };
+            let keep = if feasible {
+                self.cpt_exp(ctx, emb, depth + 1, sink, stats)
+            } else {
+                true
+            };
             emb.unset(u);
             if !keep {
                 return false;
@@ -179,7 +183,13 @@ mod tests {
         let mut alg = NewSP::new();
         alg.rebuild(g, q);
         let order = SeedOrder::build(q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g, q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g,
+            q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
         alg.search(&ctx, &mut Embedding::empty(), 0, &mut sink, &mut stats);
@@ -240,7 +250,13 @@ mod tests {
         let mut alg = NewSP::new();
         alg.rebuild(&g, &q);
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting().with_cap(Some(2));
         let mut stats = SearchStats::default();
         let finished = alg.search(&ctx, &mut Embedding::empty(), 0, &mut sink, &mut stats);

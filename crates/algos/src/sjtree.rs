@@ -52,8 +52,12 @@ impl SjTreeEngine {
         assert!(q.num_edges() >= 1, "SJ-Tree requires a non-empty query");
         assert!(q.is_connected(), "SJ-Tree requires a connected query");
         let join_order = left_deep_order(&q);
-        let mut engine =
-            SjTreeEngine { g, q, join_order, levels: Vec::new() };
+        let mut engine = SjTreeEngine {
+            g,
+            q,
+            join_order,
+            levels: Vec::new(),
+        };
         engine.rebuild();
         engine
     }
@@ -67,7 +71,10 @@ impl SjTreeEngine {
         let e0 = self.join_order[0];
         let mut level0 = Vec::new();
         for (a, b, l) in self.g.edges() {
-            for (ua, ub) in self.q.seed_edges(self.g.label(a), self.g.label(b), l, false) {
+            for (ua, ub) in self
+                .q
+                .seed_edges(self.g.label(a), self.g.label(b), l, false)
+            {
                 if (ua, ub) == (e0.u, e0.v) || (ua, ub) == (e0.v, e0.u) {
                     let mut emb = Embedding::empty();
                     emb.set(ua, a);
@@ -100,8 +107,10 @@ impl SjTreeEngine {
         let e = self.join_order[i];
         let mut grow = |anchor: VertexId, free: csm_graph::QVertexId| {
             let want = self.q.label(free);
-            for &(v, l) in self.g.neighbors(anchor) {
-                if l == e.label && self.g.label(v) == want && !p.uses(v) {
+            // The exact (label, elabel) partition slice is the single-edge
+            // join operand — no per-neighbor label checks remain.
+            for &(v, _) in self.g.neighbors_with(anchor, want, e.label) {
+                if !p.uses(v) {
                     let mut child = p;
                     child.set(free, v);
                     out.push(child);
@@ -164,7 +173,13 @@ impl SjTreeEngine {
 
     /// Does query edge `join_order[i]`'s label triple match data edge
     /// `(x, y, l)` in either orientation?
-    fn edge_label_compatible(&self, i: usize, x: VertexId, y: VertexId, l: csm_graph::ELabel) -> bool {
+    fn edge_label_compatible(
+        &self,
+        i: usize,
+        x: VertexId,
+        y: VertexId,
+        l: csm_graph::ELabel,
+    ) -> bool {
         let e = self.join_order[i];
         if e.label != l {
             return false;
@@ -213,7 +228,8 @@ impl SjTreeEngine {
         {
             let e0 = self.join_order[0];
             for (ua, ub) in
-                self.q.seed_edges(self.g.label(e.src), self.g.label(e.dst), e.label, false)
+                self.q
+                    .seed_edges(self.g.label(e.src), self.g.label(e.dst), e.label, false)
             {
                 if (ua, ub) == (e0.u, e0.v) || (ua, ub) == (e0.v, e0.u) {
                     let mut emb = Embedding::empty();
@@ -318,13 +334,9 @@ fn left_deep_order(q: &QueryGraph) -> Vec<QEdge> {
         let next = remaining
             .iter()
             .enumerate()
-            .filter(|(_, e)| {
-                covered >> e.u.index() & 1 == 1 || covered >> e.v.index() & 1 == 1
-            })
+            .filter(|(_, e)| covered >> e.u.index() & 1 == 1 || covered >> e.v.index() & 1 == 1)
             // Prefer closing edges (both endpoints covered) — cheapest joins.
-            .max_by_key(|(_, e)| {
-                (covered >> e.u.index() & 1) + (covered >> e.v.index() & 1)
-            })
+            .max_by_key(|(_, e)| (covered >> e.u.index() & 1) + (covered >> e.v.index() & 1))
             .map(|(i, _)| i)
             .expect("connected query");
         let e = remaining.swap_remove(next);
@@ -362,7 +374,10 @@ mod tests {
         let (g, _) = testing::random_workload(7, 24, 3, 2, 60, 0, 0.0);
         let q = testing::random_walk_query(&g, 8, 4).expect("query");
         let engine = SjTreeEngine::new(g.clone(), q.clone());
-        assert_eq!(engine.stats().full_matches as u64, static_match::count_all(&g, &q));
+        assert_eq!(
+            engine.stats().full_matches as u64,
+            static_match::count_all(&g, &q)
+        );
     }
 
     #[test]
@@ -396,7 +411,11 @@ mod tests {
         let ub = q.add_vertex(VLabel(0));
         q.add_edge(ua, ub, ELabel(0)).unwrap();
         let mut e = SjTreeEngine::new(g, q);
-        assert_eq!(e.process_update(Update::InsertEdge(EdgeUpdate::new(a, b, ELabel(0)))).unwrap(), (0, 0));
+        assert_eq!(
+            e.process_update(Update::InsertEdge(EdgeUpdate::new(a, b, ELabel(0))))
+                .unwrap(),
+            (0, 0)
+        );
     }
 
     #[test]
@@ -412,7 +431,9 @@ mod tests {
             crate::AlgoKind::Symbi,
             Update::DeleteVertex { id: hub },
         );
-        let (pos, neg) = engine.process_update(Update::DeleteVertex { id: hub }).unwrap();
+        let (pos, neg) = engine
+            .process_update(Update::DeleteVertex { id: hub })
+            .unwrap();
         assert_eq!((pos, neg), (want_pos, want_neg));
     }
 

@@ -78,14 +78,18 @@ impl Symbi {
             }
         }
         // Disconnected queries: remaining vertices get fresh levels.
-        for i in 0..n {
-            if level[i] == usize::MAX {
-                level[i] = 0;
+        for l in level.iter_mut().take(n) {
+            if *l == usize::MAX {
+                *l = 0;
             }
         }
         let rank = |u: QVertexId| (level[u.index()], u.index());
         for e in q.edges() {
-            let (p, c) = if rank(e.u) <= rank(e.v) { (e.u, e.v) } else { (e.v, e.u) };
+            let (p, c) = if rank(e.u) <= rank(e.v) {
+                (e.u, e.v)
+            } else {
+                (e.v, e.u)
+            };
             self.dag_children[p.index()].push((c, e.label));
             self.dag_parents[c.index()].push((p, e.label));
         }
@@ -98,10 +102,12 @@ impl Symbi {
         if !g.is_alive(v) || g.label(v) != q.label(u) {
             return false;
         }
+        // D1(uc, w) implies L(w) = L(uc), so only the exact (L(uc), el)
+        // partition slice of v can contain witnesses.
         self.dag_children[u.index()].iter().all(|&(uc, el)| {
-            g.neighbors(v)
+            g.neighbors_with(v, q.label(uc), el)
                 .iter()
-                .any(|&(w, wl)| wl == el && self.d1[uc.index()][w.index()])
+                .any(|&(w, _)| self.d1[uc.index()][w.index()])
         })
     }
 
@@ -109,11 +115,10 @@ impl Symbi {
         if !self.d1[u.index()][v.index()] {
             return false;
         }
-        let _ = q;
         self.dag_parents[u.index()].iter().all(|&(up, el)| {
-            g.neighbors(v)
+            g.neighbors_with(v, q.label(up), el)
                 .iter()
-                .any(|&(w, wl)| wl == el && self.d2[up.index()][w.index()])
+                .any(|&(w, _)| self.d2[up.index()][w.index()])
         })
     }
 
@@ -129,9 +134,8 @@ impl Symbi {
         let parents = self.dag_parents[u.index()].clone();
         for (up, el) in parents {
             let ws: Vec<VertexId> = g
-                .neighbors(v)
+                .neighbors_with(v, q.label(up), el)
                 .iter()
-                .filter(|&&(w, wl)| wl == el && g.label(w) == q.label(up))
                 .map(|&(w, _)| w)
                 .collect();
             for w in ws {
@@ -152,9 +156,8 @@ impl Symbi {
         let children = self.dag_children[u.index()].clone();
         for (uc, el) in children {
             let ws: Vec<VertexId> = g
-                .neighbors(v)
+                .neighbors_with(v, q.label(uc), el)
                 .iter()
-                .filter(|&&(w, wl)| wl == el && g.label(w) == q.label(uc))
                 .map(|&(w, _)| w)
                 .collect();
             for w in ws {
@@ -192,7 +195,13 @@ impl CsmAlgorithm for Symbi {
         }
     }
 
-    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        _is_insert: bool,
+    ) -> AdsChange {
         if self.d1.first().is_some_and(|s| s.len() < g.vertex_slots()) {
             self.rebuild(g, q);
             return AdsChange::Changed;

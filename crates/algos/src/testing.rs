@@ -93,7 +93,9 @@ pub fn check_stream_totals(
         want_pos += p;
         want_neg += n;
     }
-    let out = engine.process_stream(stream).expect("stream processing failed");
+    let out = engine
+        .process_stream(stream)
+        .expect("stream processing failed");
     assert!(!out.timed_out, "{kind}: unexpected timeout");
     assert_eq!(
         (out.positives, out.negatives),
@@ -154,7 +156,10 @@ pub fn random_workload(
                 continue;
             }
             let l = csm_graph::ELabel(rng.gen_range(0..n_elabels));
-            if present.iter().any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a)) {
+            if present
+                .iter()
+                .any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a))
+            {
                 continue;
             }
             present.push((a, b, l));
@@ -207,7 +212,8 @@ pub fn random_walk_query(g: &DataGraph, seed: u64, size: usize) -> Option<QueryG
         for (i, &a) in chosen.iter().enumerate() {
             for (j, &b) in chosen.iter().enumerate().skip(i + 1) {
                 if let Some(l) = g.edge_label(a, b) {
-                    q.add_edge(QVertexId::from(i), QVertexId::from(j), l).unwrap();
+                    q.add_edge(QVertexId::from(i), QVertexId::from(j), l)
+                        .unwrap();
                 }
             }
         }

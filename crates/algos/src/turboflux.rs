@@ -46,7 +46,10 @@ impl TurboFlux {
 
     /// Count of EXPLICIT states for query vertex `u` (diagnostics).
     pub fn explicit_count(&self, u: QVertexId) -> usize {
-        self.states[u.index()].iter().filter(|&&s| s == EXPLICIT).count()
+        self.states[u.index()]
+            .iter()
+            .filter(|&&s| s == EXPLICIT)
+            .count()
     }
 
     fn build_tree(&mut self, q: &QueryGraph) {
@@ -89,9 +92,12 @@ impl TurboFlux {
             return NULL;
         }
         for &(uc, el) in &self.children[u.index()] {
-            let covered = g.neighbors(v).iter().any(|&(w, wl)| {
-                wl == el && self.states[uc.index()][w.index()] == EXPLICIT
-            });
+            // EXPLICIT(uc, w) implies L(w) = L(uc): only the exact
+            // (L(uc), el) partition slice can hold a covering child.
+            let covered = g
+                .neighbors_with(v, q.label(uc), el)
+                .iter()
+                .any(|&(w, _)| self.states[uc.index()][w.index()] == EXPLICIT);
             if !covered {
                 return IMPLICIT;
             }
@@ -110,9 +116,8 @@ impl TurboFlux {
         if let Some((p, pel)) = self.parent[u.index()] {
             // The explicit-coverage of v's neighbors for p may have changed.
             let neighbors: Vec<VertexId> = g
-                .neighbors(v)
+                .neighbors_with(v, q.label(p), pel)
                 .iter()
-                .filter(|&&(w, wl)| wl == pel && g.label(w) == q.label(p))
                 .map(|&(w, _)| w)
                 .collect();
             for w in neighbors {
@@ -143,7 +148,13 @@ impl CsmAlgorithm for TurboFlux {
         }
     }
 
-    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        _is_insert: bool,
+    ) -> AdsChange {
         if self
             .states
             .first()

@@ -17,24 +17,28 @@ fn bench_ads_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("ads_update");
     group.sample_size(10);
     for kind in AlgoKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut g = w.initial.clone();
-                let mut algo = kind.build(&g, q);
-                let mut changes = 0u64;
-                for u in &w.stream {
-                    if let csm_graph::Update::InsertEdge(e) = *u {
-                        if g.insert_edge(e.src, e.dst, e.label).unwrap()
-                            && algo.update_ads(&g, q, e, true)
-                                == paracosm_core::AdsChange::Changed
-                        {
-                            changes += 1;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut g = w.initial.clone();
+                    let mut algo = kind.build(&g, q);
+                    let mut changes = 0u64;
+                    for u in &w.stream {
+                        if let csm_graph::Update::InsertEdge(e) = *u {
+                            if g.insert_edge(e.src, e.dst, e.label).unwrap()
+                                && algo.update_ads(&g, q, e, true)
+                                    == paracosm_core::AdsChange::Changed
+                            {
+                                changes += 1;
+                            }
                         }
                     }
-                }
-                changes
-            })
-        });
+                    changes
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -48,9 +52,11 @@ fn bench_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("ads_rebuild");
     group.sample_size(10);
     for kind in [AlgoKind::TurboFlux, AlgoKind::Symbi, AlgoKind::CaLiG] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| kind.build(&w.initial, q))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| kind.build(&w.initial, q)),
+        );
     }
     group.finish();
 }

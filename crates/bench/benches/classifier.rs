@@ -20,10 +20,20 @@ fn bench_classifier_stages(c: &mut Criterion) {
     group.throughput(Throughput::Elements(edges.len() as u64));
 
     group.bench_function("stage1_label", |b| {
-        b.iter(|| edges.iter().filter(|e| inter::label_safe(g, q, e, false)).count())
+        b.iter(|| {
+            edges
+                .iter()
+                .filter(|e| inter::label_safe(g, q, e, false))
+                .count()
+        })
     });
     group.bench_function("stage2_degree", |b| {
-        b.iter(|| edges.iter().filter(|e| inter::degree_safe(g, q, e, true, false)).count())
+        b.iter(|| {
+            edges
+                .iter()
+                .filter(|e| inter::degree_safe(g, q, e, true, false))
+                .count()
+        })
     });
     for kind in [AlgoKind::TurboFlux, AlgoKind::Symbi, AlgoKind::CaLiG] {
         let algo = kind.build(g, q);

@@ -20,18 +20,22 @@ fn bench_sequential(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_sequential");
     group.sample_size(10);
     for kind in AlgoKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let algo = kind.build(&w.initial, q);
-                let mut e = ParaCosm::new(
-                    w.initial.clone(),
-                    q.clone(),
-                    algo,
-                    ParaCosmConfig::sequential(),
-                );
-                e.process_stream(&w.stream).unwrap().positives
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let algo = kind.build(&w.initial, q);
+                    let mut e = ParaCosm::new(
+                        w.initial.clone(),
+                        q.clone(),
+                        algo,
+                        ParaCosmConfig::sequential(),
+                    );
+                    e.process_stream(&w.stream).unwrap().positives
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,18 +46,22 @@ fn bench_paracosm(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_paracosm");
     group.sample_size(10);
     for kind in AlgoKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let algo = kind.build(&w.initial, q);
-                let mut e = ParaCosm::new(
-                    w.initial.clone(),
-                    q.clone(),
-                    algo,
-                    ParaCosmConfig::parallel(2).with_batch_size(256),
-                );
-                e.process_stream(&w.stream).unwrap().positives
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let algo = kind.build(&w.initial, q);
+                    let mut e = ParaCosm::new(
+                        w.initial.clone(),
+                        q.clone(),
+                        algo,
+                        ParaCosmConfig::parallel(2).with_batch_size(256),
+                    );
+                    e.process_stream(&w.stream).unwrap().positives
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -90,5 +98,10 @@ fn bench_stateful_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sequential, bench_paracosm, bench_stateful_baselines);
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_paracosm,
+    bench_stateful_baselines
+);
 criterion_main!(benches);

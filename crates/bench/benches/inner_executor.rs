@@ -32,7 +32,8 @@ fn setup() -> Setup {
     let mut q = QueryGraph::new();
     let us: Vec<_> = (0..4).map(|_| q.add_vertex(VLabel(0))).collect();
     for i in 0..4 {
-        q.add_edge(us[i], us[(i + 1) % 4], csm_graph::ELabel(0)).unwrap();
+        q.add_edge(us[i], us[(i + 1) % 4], csm_graph::ELabel(0))
+            .unwrap();
     }
     let orders = MatchingOrders::build(&q);
     let mut algo = GraphFlow::new();
@@ -43,19 +44,26 @@ fn setup() -> Setup {
 fn seeds(s: &Setup) -> Vec<SeedTask> {
     let (a, b) = (VertexId(0), VertexId(1));
     let el = s.g.edge_label(a, b).unwrap_or(csm_graph::ELabel(0));
-    s.q
-        .seed_edges(s.g.label(a), s.g.label(b), el, false)
+    s.q.seed_edges(s.g.label(a), s.g.label(b), el, false)
         .map(|(ua, ub)| {
             let mut emb = Embedding::empty();
             emb.set(ua, a);
             emb.set(ub, b);
-            SeedTask { order_idx: s.orders.seed_index(ua, ub), depth: 2, emb }
+            SeedTask {
+                order_idx: s.orders.seed_index(ua, ub),
+                depth: 2,
+                emb,
+            }
         })
         .collect()
 }
 
 fn cfg(threads: usize, split_depth: usize, lb: bool) -> InnerConfig {
-    InnerConfig { split_depth, load_balance: lb, ..InnerConfig::fine(threads) }
+    InnerConfig {
+        split_depth,
+        load_balance: lb,
+        ..InnerConfig::fine(threads)
+    }
 }
 
 fn bench_fine_vs_coarse(c: &mut Criterion) {
@@ -66,16 +74,32 @@ fn bench_fine_vs_coarse(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fine", |b| {
         b.iter(|| {
-            inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), InnerConfig::fine(4))
-                .sink
-                .count
+            inner::run(
+                &s.g,
+                &s.q,
+                &s.orders,
+                &s.algo,
+                None,
+                seeds(&s),
+                InnerConfig::fine(4),
+            )
+            .sink
+            .count
         })
     });
     group.bench_function("coarse", |b| {
         b.iter(|| {
-            inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), InnerConfig::coarse(4))
-                .sink
-                .count
+            inner::run(
+                &s.g,
+                &s.q,
+                &s.orders,
+                &s.algo,
+                None,
+                seeds(&s),
+                InnerConfig::coarse(4),
+            )
+            .sink
+            .count
         })
     });
     group.finish();
@@ -88,9 +112,17 @@ fn bench_threaded(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {
-                inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), cfg(t, 3, true))
-                    .sink
-                    .count
+                inner::run(
+                    &s.g,
+                    &s.q,
+                    &s.orders,
+                    &s.algo,
+                    None,
+                    seeds(&s),
+                    cfg(t, 3, true),
+                )
+                .sink
+                .count
             })
         });
     }
@@ -104,9 +136,17 @@ fn bench_split_depth_ablation(c: &mut Criterion) {
     for depth in [0usize, 2, 3, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             b.iter(|| {
-                inner::run(&s.g, &s.q, &s.orders, &s.algo, None, seeds(&s), cfg(4, d, true))
-                    .sink
-                    .count
+                inner::run(
+                    &s.g,
+                    &s.q,
+                    &s.orders,
+                    &s.algo,
+                    None,
+                    seeds(&s),
+                    cfg(4, d, true),
+                )
+                .sink
+                .count
             })
         });
     }

@@ -87,8 +87,16 @@ pub fn fig10(opts: &ExpOptions) -> Table {
 /// peaking at 7.39×).
 pub fn fig11(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
-        format!("Figure 11: inter-update mechanism speedup (Orkut, {} threads)", opts.threads),
-        &["Algorithm", "inter-update OFF", "inter-update ON", "speedup"],
+        format!(
+            "Figure 11: inter-update mechanism speedup (Orkut, {} threads)",
+            opts.threads
+        ),
+        &[
+            "Algorithm",
+            "inter-update OFF",
+            "inter-update ON",
+            "speedup",
+        ],
     );
     t.note("times are projected stream times; the ON run skips Find_Matches for safe updates and parallelizes classification + application");
     let qsize = opts.qsizes.first().copied().unwrap_or(6);
@@ -112,7 +120,11 @@ pub fn fig11(opts: &ExpOptions) -> Table {
             .filter(|r| !r.timed_out)
             .map(|r| r.projected_with_bulk(opts.threads))
             .sum();
-        let speedup = if t_on.is_zero() { None } else { Some(t_off.as_secs_f64() / t_on.as_secs_f64()) };
+        let speedup = if t_on.is_zero() {
+            None
+        } else {
+            Some(t_off.as_secs_f64() / t_on.as_secs_f64())
+        };
         t.row(vec![
             kind.name().to_string(),
             fmt_dur(t_off),

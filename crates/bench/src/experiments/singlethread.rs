@@ -29,7 +29,10 @@ pub fn run_sweep(opts: &ExpOptions) -> Sweep {
     for &qsize in &opts.qsizes {
         let w = opts.workload(DatasetKind::LiveJournal, qsize);
         for kind in AlgoKind::ALL {
-            eprintln!("  [singlethread] {kind} size={qsize} ({} queries)", w.queries.len());
+            eprintln!(
+                "  [singlethread] {kind} size={qsize} ({} queries)",
+                w.queries.len()
+            );
             let cell = CellResult::collect(&w, kind, &opts.seq_cfg());
             cells.push(SweepCell { kind, qsize, cell });
         }
@@ -39,7 +42,9 @@ pub fn run_sweep(opts: &ExpOptions) -> Sweep {
 
 impl Sweep {
     fn get(&self, kind: AlgoKind, qsize: usize) -> Option<&SweepCell> {
-        self.cells.iter().find(|c| c.kind == kind && c.qsize == qsize)
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind && c.qsize == qsize)
     }
 
     /// Paper Table 3: ADS-update %, Find_Matches %, success rate per

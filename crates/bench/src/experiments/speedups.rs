@@ -47,7 +47,10 @@ pub fn fig7(opts: &ExpOptions) -> Table {
     }
     let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(
-        format!("Figure 7: ParaCOSM speedup with {} threads vs single-threaded", opts.threads),
+        format!(
+            "Figure 7: ParaCOSM speedup with {} threads vs single-threaded",
+            opts.threads
+        ),
         &hdr_refs,
     );
     t.note("geometric mean over queries successful in both runs; TO = no comparable run");
@@ -79,7 +82,10 @@ pub fn fig8(opts: &ExpOptions) -> Table {
     }
     let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(
-        format!("Figure 8: ParaCOSM speedup on large query graphs (LiveJournal, {} threads)", opts.threads),
+        format!(
+            "Figure 8: ParaCOSM speedup on large query graphs (LiveJournal, {} threads)",
+            opts.threads
+        ),
         &hdr_refs,
     );
     let mut rows: Vec<Vec<String>> = AlgoKind::ALL

@@ -37,7 +37,17 @@ pub fn table4(opts: &ExpOptions) -> Table {
 pub fn table5(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "Table 5: summary of datasets (scaled synthetic stand-ins)",
-        &["Dataset", "|V|", "|E|", "L(V)", "L(E)", "d(G)", "paper |V|", "paper |E|", "paper d(G)"],
+        &[
+            "Dataset",
+            "|V|",
+            "|E|",
+            "L(V)",
+            "L(E)",
+            "d(G)",
+            "paper |V|",
+            "paper |E|",
+            "paper d(G)",
+        ],
     );
     t.note(format!("scale = {}", opts.scale.suffix()));
     for dataset in DatasetKind::ALL {
@@ -103,7 +113,14 @@ pub fn table6(opts: &ExpOptions, seq: Option<&super::singlethread::Sweep>) -> Ta
 pub fn analysis(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "Analysis (paper 4.3): predicted vs measured safe-update ratio",
-        &["Dataset", "|E(Q)|", "L(V)", "L(E)", "predicted safe", "measured safe"],
+        &[
+            "Dataset",
+            "|E(Q)|",
+            "L(V)",
+            "L(E)",
+            "predicted safe",
+            "measured safe",
+        ],
     );
     t.note("prediction: P(safe) = 1 - |E(Q)| / (|L(E)| |L(V)|^2), uniform labels");
     let qsize = opts.qsizes.first().copied().unwrap_or(6);
@@ -136,7 +153,13 @@ pub fn analysis(opts: &ExpOptions) -> Table {
 pub fn fig12(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "Figure 12: three-stage filtering pruning effectiveness (Orkut)",
-        &["Algorithm", "label+degree safe", "reach ADS filter", "ADS prunes (of reached)", "unsafe overall"],
+        &[
+            "Algorithm",
+            "label+degree safe",
+            "reach ADS filter",
+            "ADS prunes (of reached)",
+            "unsafe overall",
+        ],
     );
     t.note("paper: label+degree classify >99.6% safe; ADS prunes >99.7% of the rest");
     let qsize = opts.qsizes.first().copied().unwrap_or(6);

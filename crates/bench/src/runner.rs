@@ -135,8 +135,7 @@ pub fn run_query(
     cfg: ParaCosmConfig,
 ) -> QueryRun {
     let algo = kind.build(initial, q);
-    let mut engine: ParaCosm<AnyAlgorithm> =
-        ParaCosm::new(initial.clone(), q.clone(), algo, cfg);
+    let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(initial.clone(), q.clone(), algo, cfg);
     let out = engine.process_stream(stream).expect("well-formed stream");
     let stats = &engine.stats;
     QueryRun {
@@ -187,7 +186,12 @@ impl CellResult {
 
     /// Mean projected (parallel) time over successful runs.
     pub fn mean_projected(&self) -> Option<Duration> {
-        mean_dur(self.runs.iter().filter(|r| !r.timed_out).map(|r| r.projected))
+        mean_dur(
+            self.runs
+                .iter()
+                .filter(|r| !r.timed_out)
+                .map(|r| r.projected),
+        )
     }
 
     /// Mean ADS-update share of total time, in percent.
@@ -219,10 +223,7 @@ fn mean_dur(iter: impl Iterator<Item = Duration>) -> Option<Duration> {
     }
 }
 
-fn share<'a>(
-    runs: impl Iterator<Item = &'a QueryRun>,
-    f: impl Fn(&QueryRun) -> Duration,
-) -> f64 {
+fn share<'a>(runs: impl Iterator<Item = &'a QueryRun>, f: impl Fn(&QueryRun) -> Duration) -> f64 {
     let (mut part, mut total) = (Duration::ZERO, Duration::ZERO);
     for r in runs {
         part += f(r);
@@ -244,7 +245,11 @@ pub fn speedup(base: &CellResult, fast: &CellResult, use_projected: bool) -> Opt
             continue;
         }
         let tb = b.elapsed.as_secs_f64();
-        let tf = if use_projected { f.projected.as_secs_f64() } else { f.elapsed.as_secs_f64() };
+        let tf = if use_projected {
+            f.projected.as_secs_f64()
+        } else {
+            f.elapsed.as_secs_f64()
+        };
         if tb > 0.0 && tf > 0.0 {
             logs.push((tb / tf).ln());
         }

@@ -34,7 +34,9 @@ impl AutomorphismGroup {
         let mut used = vec![false; n];
         collect(q, 0, &mut mapping, &mut used, &mut perms);
         // Put the identity first for the fast path.
-        if let Some(pos) = perms.iter().position(|p| p.iter().enumerate().all(|(i, &v)| v as usize == i))
+        if let Some(pos) = perms
+            .iter()
+            .position(|p| p.iter().enumerate().all(|(i, &v)| v as usize == i))
         {
             perms.swap(0, pos);
         }
@@ -59,9 +61,9 @@ impl AutomorphismGroup {
     /// `(M(σ(u₀)), …, M(σ(u_{n−1})))`.
     pub fn is_canonical(&self, emb: &Embedding) -> bool {
         for perm in &self.perms[1..] {
-            for i in 0..self.n {
+            for (i, &pi) in perm.iter().enumerate().take(self.n) {
                 let a = emb.get_unchecked(QVertexId::from(i));
-                let b = emb.get_unchecked(QVertexId::from(perm[i] as usize));
+                let b = emb.get_unchecked(QVertexId::from(pi as usize));
                 if b < a {
                     return false; // the image is smaller — not canonical
                 }
@@ -175,19 +177,41 @@ mod tests {
         let q = triangle_query([0, 0, 0]);
         let group = AutomorphismGroup::of(&q);
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx =
-            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
 
         let mut all = BufferSink::counting();
         let mut stats = SearchStats::default();
-        kernel::extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut all, &mut stats);
+        kernel::extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut all,
+            &mut stats,
+        );
         assert_eq!(all.count, 24);
         assert_eq!(group.distinct(all.count), 4);
 
         let mut unique = BufferSink::collecting();
-        let mut canon = CanonicalSink { inner: &mut unique, group: &group };
+        let mut canon = CanonicalSink {
+            inner: &mut unique,
+            group: &group,
+        };
         let mut stats = SearchStats::default();
-        kernel::extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut canon, &mut stats);
+        kernel::extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut canon,
+            &mut stats,
+        );
         assert_eq!(unique.count, 4);
         // Each canonical match is sorted ascending (minimal orbit image of
         // a fully symmetric pattern).

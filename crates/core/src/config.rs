@@ -106,7 +106,7 @@ impl ParaCosmConfig {
     /// True when inter-update parallelism is enabled and the run is
     /// parallel — with real threads or virtual (simulated) workers.
     pub fn use_batch_executor(&self) -> bool {
-        self.inter_update && (self.is_parallel() || self.sim_threads.map_or(false, |n| n > 1))
+        self.inter_update && (self.is_parallel() || self.sim_threads.is_some_and(|n| n > 1))
     }
 
     /// Virtual-scheduler preset: `n` simulated workers, single real thread,

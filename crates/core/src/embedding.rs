@@ -23,7 +23,10 @@ impl Embedding {
     /// The empty mapping.
     #[inline]
     pub fn empty() -> Self {
-        Embedding { map: [VertexId(u32::MAX); MAX_PATTERN_VERTICES], mask: 0 }
+        Embedding {
+            map: [VertexId(u32::MAX); MAX_PATTERN_VERTICES],
+            mask: 0,
+        }
     }
 
     /// Number of mapped query vertices `|M|`.
@@ -101,7 +104,9 @@ impl Embedding {
     /// match record.
     pub fn to_match(&self, n: usize) -> Match {
         debug_assert_eq!(self.len(), n, "to_match on partial embedding");
-        Match { map: (0..n).map(|i| self.map[i]).collect() }
+        Match {
+            map: (0..n).map(|i| self.map[i]).collect(),
+        }
     }
 }
 
@@ -133,7 +138,9 @@ impl Match {
 
 impl From<Vec<VertexId>> for Match {
     fn from(v: Vec<VertexId>) -> Self {
-        Match { map: v.into_boxed_slice() }
+        Match {
+            map: v.into_boxed_slice(),
+        }
     }
 }
 
@@ -168,7 +175,10 @@ impl BufferSink {
 
     /// A sink that materializes every match.
     pub fn collecting() -> Self {
-        BufferSink { collect: true, ..Self::default() }
+        BufferSink {
+            collect: true,
+            ..Self::default()
+        }
     }
 
     /// Apply a cap to this sink.

@@ -17,10 +17,7 @@ use crate::inter::{self, Classified, ClassifierStats, SafeStage};
 use crate::kernel::{SearchCtx, SearchStats};
 use crate::order::MatchingOrders;
 use crate::static_match::{self, StaticResult};
-use csm_graph::{
-    DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId,
-};
-use rayon::prelude::*;
+use csm_graph::{DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -220,11 +217,17 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     self.algo.rebuild(&self.g, &self.q);
                     self.stats.ads_time += t1.elapsed();
                 }
-                Ok(UpdateOutcome { noop: !grew, ..Default::default() })
+                Ok(UpdateOutcome {
+                    noop: !grew,
+                    ..Default::default()
+                })
             }
             Update::DeleteVertex { id } => {
                 if !self.g.is_alive(id) {
-                    return Ok(UpdateOutcome { noop: true, ..Default::default() });
+                    return Ok(UpdateOutcome {
+                        noop: true,
+                        ..Default::default()
+                    });
                 }
                 // Cascade: each incident edge is a deletion update of its own
                 // (negative matches are reported per removed edge).
@@ -257,7 +260,10 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let inserted = self.g.insert_edge(e.src, e.dst, e.label)?;
         self.stats.apply_time += t0.elapsed();
         if !inserted {
-            return Ok(UpdateOutcome { noop: true, ..Default::default() });
+            return Ok(UpdateOutcome {
+                noop: true,
+                ..Default::default()
+            });
         }
         let t1 = Instant::now();
         self.algo.update_ads(&self.g, &self.q, e, true);
@@ -266,14 +272,22 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let (count, matches, timed_out) = self.find_matches(&e);
         self.stats.positives += count;
         self.stats.timed_out |= timed_out;
-        Ok(UpdateOutcome { positives: count, matches, timed_out, ..Default::default() })
+        Ok(UpdateOutcome {
+            positives: count,
+            matches,
+            timed_out,
+            ..Default::default()
+        })
     }
 
     fn process_delete(&mut self, e: EdgeUpdate) -> Result<UpdateOutcome, GraphError> {
         // Deletions enumerate first: negative matches exist only while the
         // edge is still present (paper Algorithm 1).
         let Some(actual_label) = self.g.edge_label(e.src, e.dst) else {
-            return Ok(UpdateOutcome { noop: true, ..Default::default() });
+            return Ok(UpdateOutcome {
+                noop: true,
+                ..Default::default()
+            });
         };
         let e = EdgeUpdate::new(e.src, e.dst, actual_label);
         let (count, matches, timed_out) = self.find_matches(&e);
@@ -286,7 +300,12 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let t1 = Instant::now();
         self.algo.update_ads(&self.g, &self.q, e, false);
         self.stats.ads_time += t1.elapsed();
-        Ok(UpdateOutcome { negatives: count, matches, timed_out, ..Default::default() })
+        Ok(UpdateOutcome {
+            negatives: count,
+            matches,
+            timed_out,
+            ..Default::default()
+        })
     }
 
     /// Root-level seed tasks for the update's search tree: one per
@@ -307,7 +326,11 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 let mut emb = Embedding::empty();
                 emb.set(u1, e.src);
                 emb.set(u2, e.dst);
-                SeedTask { order_idx: self.orders.seed_index(u1, u2), depth: 2, emb }
+                SeedTask {
+                    order_idx: self.orders.seed_index(u1, u2),
+                    depth: 2,
+                    emb,
+                }
             })
             .collect()
     }
@@ -384,7 +407,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     deadline: self.deadline,
                 };
                 let mut emb = task.emb;
-                if !self.algo.search(&ctx, &mut emb, task.depth as usize, &mut sink, &mut stats)
+                if !self
+                    .algo
+                    .search(&ctx, &mut emb, task.depth as usize, &mut sink, &mut stats)
                 {
                     break;
                 }
@@ -473,7 +498,11 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
     }
 
     /// The batch executor (paper §4.2, Fig. 6).
-    fn run_batched(&mut self, updates: &[Update], out: &mut StreamOutcome) -> Result<(), GraphError> {
+    fn run_batched(
+        &mut self,
+        updates: &[Update],
+        out: &mut StreamOutcome,
+    ) -> Result<(), GraphError> {
         let k = self.cfg.batch_size;
         let mut idx = 0;
         'outer: while idx < updates.len() {
@@ -489,13 +518,10 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             let stage1_start = Instant::now();
             let label_flags: Vec<bool> = {
                 let (g, q) = (&self.g, &self.q);
-                batch
-                    .par_iter()
-                    .map(|u| match u.edge() {
-                        Some(e) => inter::label_safe(g, q, &e, ignore),
-                        None => false,
-                    })
-                    .collect()
+                csm_graph::par::map_slice(batch, |u| match u.edge() {
+                    Some(e) => inter::label_safe(g, q, &e, ignore),
+                    None => false,
+                })
             };
             self.stats.bulk_time += stage1_start.elapsed();
 
@@ -528,7 +554,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                         buffer.push((e.src, e.dst, e.label));
                         pending.insert(key);
                     }
-                    self.stats.classifier.record(Classified::Safe(SafeStage::Label));
+                    self.stats
+                        .classifier
+                        .record(Classified::Safe(SafeStage::Label));
                     out.updates_applied += 1;
                     continue;
                 }
@@ -621,7 +649,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
 
         // Stage 2: degree filter (no match possible; ADS still maintained).
         if inter::degree_safe(&self.g, &self.q, &e, is_insert, ignore) {
-            self.stats.classifier.record(Classified::Safe(SafeStage::Degree));
+            self.stats
+                .classifier
+                .record(Classified::Safe(SafeStage::Degree));
             self.apply_and_maintain(e, is_insert)?;
             return Ok((false, false));
         }
@@ -638,7 +668,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             if change == AdsChange::Unchanged
                 && inter::candidates_safe(&self.g, &self.q, &self.algo, &e)
             {
-                self.stats.classifier.record(Classified::Safe(SafeStage::Ads));
+                self.stats
+                    .classifier
+                    .record(Classified::Safe(SafeStage::Ads));
                 return Ok((false, false));
             }
             self.stats.classifier.record(Classified::Unsafe);
@@ -652,7 +684,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             // state, so the candidate check comes first.
             let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
             if inter::candidates_safe(&self.g, &self.q, &self.algo, &e) {
-                self.stats.classifier.record(Classified::Safe(SafeStage::Ads));
+                self.stats
+                    .classifier
+                    .record(Classified::Safe(SafeStage::Ads));
                 self.apply_and_maintain(e, false)?;
                 return Ok((false, false));
             }
@@ -695,7 +729,13 @@ mod tests {
             "plain"
         }
         fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
-        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+        fn update_ads(
+            &mut self,
+            _: &DataGraph,
+            _: &QueryGraph,
+            _: EdgeUpdate,
+            _: bool,
+        ) -> AdsChange {
             AdsChange::Unchanged
         }
         fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
@@ -766,7 +806,14 @@ mod tests {
         let slots = g.vertex_slots() as u32;
         let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
         let nv = VertexId(slots);
-        assert!(!e.process_update(Update::InsertVertex { id: nv, label: VLabel(0) }).unwrap().noop);
+        assert!(
+            !e.process_update(Update::InsertVertex {
+                id: nv,
+                label: VLabel(0)
+            })
+            .unwrap()
+            .noop
+        );
         // Wire the new vertex into a triangle with v1, v2.
         e.process_update(ins(nv, v[1])).unwrap();
         let out = e.process_update(ins(nv, v[2])).unwrap();
@@ -813,8 +860,7 @@ mod tests {
         let mut seq = ParaCosm::new(g.clone(), q.clone(), Plain, ParaCosmConfig::sequential());
         let a = seq.process_stream(&stream).unwrap();
 
-        let mut par =
-            ParaCosm::new(g, q, Plain, ParaCosmConfig::parallel(2).with_batch_size(2));
+        let mut par = ParaCosm::new(g, q, Plain, ParaCosmConfig::parallel(2).with_batch_size(2));
         let b = par.process_stream(&stream).unwrap();
         assert_eq!((a.positives, a.negatives), (b.positives, b.negatives));
         assert_eq!(b.updates_applied, 4);

@@ -23,9 +23,9 @@ use crate::algorithm::{AdsCandidates, CsmAlgorithm};
 use crate::embedding::{BufferSink, Embedding, MatchSink};
 use crate::kernel::{self, SearchCtx, SearchStats};
 use crate::order::MatchingOrders;
-use csm_graph::{DataGraph, QueryGraph};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
+use csm_graph::{DataGraph, QueryGraph};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -79,7 +79,11 @@ impl InnerConfig {
 
     /// The coarse-grained (Mnemonic-granularity) baseline.
     pub fn coarse(num_threads: usize) -> Self {
-        InnerConfig { load_balance: false, decompose: false, ..Self::fine(num_threads) }
+        InnerConfig {
+            load_balance: false,
+            decompose: false,
+            ..Self::fine(num_threads)
+        }
     }
 }
 
@@ -172,7 +176,11 @@ pub fn run(
     cfg: InnerConfig,
 ) -> InnerOutcome {
     let mut outcome = InnerOutcome {
-        sink: if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        sink: if cfg.collect {
+            BufferSink::collecting()
+        } else {
+            BufferSink::counting()
+        },
         ..Default::default()
     };
     if seeds.is_empty() {
@@ -206,7 +214,9 @@ pub fn run(
     let mut expansions = 0usize;
     let expansion_budget = target * 8;
     while frontier.len() < target && expansions < expansion_budget {
-        let Some(task) = frontier.pop_front() else { break };
+        let Some(task) = frontier.pop_front() else {
+            break;
+        };
         expansions += 1;
         let sctx = ctx.search_ctx(task.order_idx);
         let n = sctx.order.len();
@@ -216,18 +226,18 @@ pub fn run(
             }
             continue;
         }
-        if !init_stats.tick(deadline) {
-            outcome.timed_out = true;
-            return finish_init(outcome, init_stats);
-        }
         let mut children = Vec::new();
-        kernel::expand_one_layer(
+        if !kernel::expand_one_layer(
             &sctx,
             &AdsCandidates(algo),
             &task.emb,
             task.depth as usize,
             &mut children,
-        );
+            &mut init_stats,
+        ) {
+            outcome.timed_out = true;
+            return finish_init(outcome, init_stats);
+        }
         for child in children {
             frontier.push_back(SeedTask {
                 order_idx: task.order_idx,
@@ -242,8 +252,15 @@ pub fn run(
 
     // Sequential fast path: no pool to coordinate.
     if cfg.num_threads <= 1 {
-        let local = if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() };
-        let mut sink = WorkerSink { local, shared: &ctx };
+        let local = if cfg.collect {
+            BufferSink::collecting()
+        } else {
+            BufferSink::counting()
+        };
+        let mut sink = WorkerSink {
+            local,
+            shared: &ctx,
+        };
         let mut stats = init_stats;
         for task in frontier {
             let sctx = ctx.search_ctx(task.order_idx);
@@ -294,7 +311,11 @@ fn finish_init(mut outcome: InnerOutcome, stats: SearchStats) -> InnerOutcome {
 
 fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64) {
     let mut sink = WorkerSink {
-        local: if ctx.cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        local: if ctx.cfg.collect {
+            BufferSink::collecting()
+        } else {
+            BufferSink::counting()
+        },
         shared: ctx,
     };
     let mut stats = SearchStats::default();
@@ -359,8 +380,14 @@ fn parallel_find_matches(
         return;
     }
     let mut children = Vec::new();
-    kernel::expand_one_layer(sctx, &AdsCandidates(ctx.algo), &task.emb, depth, &mut children);
-    if !stats.tick(sctx.deadline) {
+    if !kernel::expand_one_layer(
+        sctx,
+        &AdsCandidates(ctx.algo),
+        &task.emb,
+        depth,
+        &mut children,
+        stats,
+    ) {
         return;
     }
     let donate = ctx.injector.is_empty() && ctx.has_idle_threads();
@@ -378,7 +405,11 @@ fn parallel_find_matches(
             parallel_find_matches(
                 ctx,
                 sctx,
-                SeedTask { order_idx: task.order_idx, depth: task.depth + 1, emb: child },
+                SeedTask {
+                    order_idx: task.order_idx,
+                    depth: task.depth + 1,
+                    emb: child,
+                },
                 sink,
                 stats,
                 split,
@@ -431,7 +462,11 @@ pub fn run_simulated(
     cfg: InnerConfig,
 ) -> SimOutcome {
     let mut out = SimOutcome {
-        sink: if cfg.collect { BufferSink::collecting() } else { BufferSink::counting() },
+        sink: if cfg.collect {
+            BufferSink::collecting()
+        } else {
+            BufferSink::counting()
+        },
         ..Default::default()
     };
     out.sink.cap = cfg.cap;
@@ -482,18 +517,18 @@ pub fn run_simulated(
             continue;
         }
         expansions += 1;
-        if !stats.tick(deadline) {
-            out.timed_out = true;
-            break;
-        }
         let mut children = Vec::new();
-        kernel::expand_one_layer(
+        if !kernel::expand_one_layer(
             &sctx,
             &AdsCandidates(algo),
             &task.emb,
             task.depth as usize,
             &mut children,
-        );
+            &mut stats,
+        ) {
+            out.timed_out = true;
+            break;
+        }
         for c in children {
             frontier.push_back(SeedTask {
                 order_idx: task.order_idx,
@@ -515,7 +550,13 @@ pub fn run_simulated(
                 out.sink.report(&task.emb, n)
             } else {
                 let mut emb = task.emb;
-                algo.search(&sctx, &mut emb, task.depth as usize, &mut out.sink, &mut stats)
+                algo.search(
+                    &sctx,
+                    &mut emb,
+                    task.depth as usize,
+                    &mut out.sink,
+                    &mut stats,
+                )
             };
             durations.push(t0.elapsed());
             if stats.timed_out {
@@ -578,7 +619,13 @@ mod tests {
             "plain"
         }
         fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
-        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+        fn update_ads(
+            &mut self,
+            _: &DataGraph,
+            _: &QueryGraph,
+            _: EdgeUpdate,
+            _: bool,
+        ) -> AdsChange {
             AdsChange::Unchanged
         }
         fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
@@ -620,13 +667,20 @@ mod tests {
                 let mut emb = Embedding::empty();
                 emb.set(ua, a);
                 emb.set(ub, b);
-                SeedTask { order_idx: orders.seed_index(ua, ub), depth: 2, emb }
+                SeedTask {
+                    order_idx: orders.seed_index(ua, ub),
+                    depth: 2,
+                    emb,
+                }
             })
             .collect()
     }
 
     fn cfg(threads: usize) -> InnerConfig {
-        InnerConfig { split_depth: 3, ..InnerConfig::fine(threads) }
+        InnerConfig {
+            split_depth: 3,
+            ..InnerConfig::fine(threads)
+        }
     }
 
     /// Matches through one specific data edge, counted by brute force:
@@ -645,7 +699,10 @@ mod tests {
         let orders = MatchingOrders::build(&q);
         let (a, b) = (VertexId(0), VertexId(1));
         let expected = oracle_through_edge(&mut g, &q, a, b);
-        assert!(expected > 0, "test graph must have matches through the edge");
+        assert!(
+            expected > 0,
+            "test graph must have matches through the edge"
+        );
         for threads in [1, 2, 4, 8] {
             let seeds = seeds_for_edge(&q, &orders, &g, a, b);
             let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(threads));

@@ -25,7 +25,7 @@
 //! is what makes parallel classification sound (see DESIGN.md §3.2).
 
 use crate::algorithm::CsmAlgorithm;
-use csm_graph::{DataGraph, EdgeUpdate, QueryGraph};
+use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
 
 /// Which filtering stage classified an update as safe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,19 +162,44 @@ pub fn degree_safe(
     true
 }
 
+/// One-hop structural feasibility of mapping `u → v`: every query edge
+/// incident to `u` needs at least one `(neighbor label, edge label)`-
+/// compatible data edge at `v`. This is a *necessary* condition for `v` to
+/// appear in any match at position `u` and is answered straight off the
+/// partition index in `O(deg_Q(u) · log)` — no adjacency scan.
+pub fn endpoint_feasible(
+    g: &DataGraph,
+    q: &QueryGraph,
+    u: QVertexId,
+    v: VertexId,
+    ignore_elabels: bool,
+) -> bool {
+    q.neighbors(u).iter().all(|&(nb, el)| {
+        g.count_neighbors_with(v, q.label(nb), (!ignore_elabels).then_some(el)) > 0
+    })
+}
+
 /// **Stage 3** — candidate filtering against the current ADS state: no
-/// compatible oriented query edge has both endpoints in its candidate sets.
-/// For inserts call *after* `update_ads` (post-state); for deletes call
-/// *before* (negative matches live in the pre-deletion state).
+/// compatible oriented query edge has both endpoints structurally feasible
+/// ([`endpoint_feasible`], a partition-index lookup) *and* in the
+/// algorithm's candidate sets. For inserts call *after* `update_ads`
+/// (post-state, edge applied); for deletes call *before* (negative matches
+/// live in the pre-deletion state) — in both cases the evaluated graph
+/// contains the edge, which is what makes the structural check sound.
 pub fn candidates_safe(
     g: &DataGraph,
     q: &QueryGraph,
     algo: &dyn CsmAlgorithm,
     e: &EdgeUpdate,
 ) -> bool {
+    let ignore = algo.ignore_edge_labels();
     let (la, lb) = (g.label(e.src), g.label(e.dst));
-    for (u1, u2) in q.seed_edges(la, lb, e.label, algo.ignore_edge_labels()) {
-        if algo.is_candidate(g, q, u1, e.src) && algo.is_candidate(g, q, u2, e.dst) {
+    for (u1, u2) in q.seed_edges(la, lb, e.label, ignore) {
+        if endpoint_feasible(g, q, u1, e.src, ignore)
+            && endpoint_feasible(g, q, u2, e.dst, ignore)
+            && algo.is_candidate(g, q, u1, e.src)
+            && algo.is_candidate(g, q, u2, e.dst)
+        {
             return false;
         }
     }
@@ -193,7 +218,13 @@ mod tests {
             "plain"
         }
         fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
-        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+        fn update_ads(
+            &mut self,
+            _: &DataGraph,
+            _: &QueryGraph,
+            _: EdgeUpdate,
+            _: bool,
+        ) -> AdsChange {
             AdsChange::Unchanged
         }
         fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
@@ -267,6 +298,9 @@ mod tests {
     fn candidate_filter_consults_algorithm() {
         let (mut g, q) = setup();
         g.insert_edge(VertexId(0), VertexId(1), ELabel(0)).unwrap();
+        // Make both endpoints one-hop feasible (v1 needs an L1 neighbor for
+        // u1's second query edge) so the verdict hinges on the algorithm.
+        g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
         let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
         // Plain says every vertex is a candidate → seed pair exists → unsafe.
         assert!(!candidates_safe(&g, &q, &Plain, &e));
@@ -286,11 +320,32 @@ mod tests {
             ) -> AdsChange {
                 AdsChange::Unchanged
             }
-            fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+            fn is_candidate(
+                &self,
+                _: &DataGraph,
+                _: &QueryGraph,
+                _: QVertexId,
+                _: VertexId,
+            ) -> bool {
                 false
             }
         }
         assert!(candidates_safe(&g, &q, &Never, &e));
+    }
+
+    #[test]
+    fn structural_prefilter_catches_infeasible_endpoints() {
+        let (mut g, q) = setup();
+        // Only v0-v1 exists: u1 ↦ v1 needs an L1 neighbor (for u2) that v1
+        // lacks, so even the all-accepting ADS classifies the edge safe.
+        g.insert_edge(VertexId(0), VertexId(1), ELabel(0)).unwrap();
+        let e = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        assert!(!endpoint_feasible(&g, &q, QVertexId(1), VertexId(1), false));
+        assert!(endpoint_feasible(&g, &q, QVertexId(0), VertexId(0), false));
+        assert!(candidates_safe(&g, &q, &Plain, &e));
+        // Adding the missing L1-L1 edge flips the verdict to unsafe.
+        g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
+        assert!(!candidates_safe(&g, &q, &Plain, &e));
     }
 
     #[test]

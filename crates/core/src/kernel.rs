@@ -13,9 +13,9 @@
 //! streamed from adjacency slices, and the embedding is a fixed-size inline
 //! array mutated in place.
 
-use crate::embedding::{Embedding, MatchSink};
+use crate::embedding::{Embedding, MatchSink, MAX_PATTERN_VERTICES};
 use crate::order::SeedOrder;
-use csm_graph::{DataGraph, QVertexId, QueryGraph, VertexId};
+use csm_graph::{intersect, DataGraph, ELabel, QVertexId, QueryGraph, VertexId};
 use std::time::Instant;
 
 /// Pluggable candidate test (the ADS hook). Must be conservative: returning
@@ -81,18 +81,159 @@ impl SearchStats {
     }
 }
 
+/// Below this driver-slice length, per-candidate binary-search probes of
+/// the other backward slices beat setting up the galloping merge (the
+/// merge's cursor bookkeeping only amortizes once the driver is longer
+/// than a cache line or two of entries). Micro-benchmarked on the kernel
+/// bench's skewed workload; see DESIGN.md for the measurement.
+pub const PROBE_THRESHOLD: usize = 8;
+
 /// Stream the candidate set `C(u, M)` for the query vertex at `depth` given
 /// the partial embedding, invoking `f` for each candidate. `f` returns
 /// `false` to stop early; the function returns `false` iff stopped.
 ///
 /// Candidate generation (paper `Compatible_Set_Enum` + `Valid`):
 /// * depth 0 (static matching): scan the label bucket of `u`;
-/// * depth ≥ 1: pick the *pivot* — the already-matched backward neighbor
-///   whose image has the smallest degree — and stream its label/edge-label
-///   filtered adjacency, verifying the remaining backward edges by `O(log d)`
-///   probes (smallest-first intersection).
+/// * depth ≥ 1: fetch, for every backward edge `(u', el)`, the exact
+///   `(L(u), el)` partition slice of the image of `u'` (`O(log)` each; any
+///   empty slice prunes the whole node). One backward edge streams its
+///   slice directly — zero per-neighbor label branches, the labels are
+///   structural. Several backward edges intersect their id-sorted slices:
+///   smallest-first galloping merge ([`csm_graph::intersect`]), or, when
+///   the driver slice is at most [`PROBE_THRESHOLD`] long, per-candidate
+///   binary-search probes of the remaining slices;
+/// * `ignore_elabels` (CaLiG mode): the label-range slices span several
+///   elabel groups and are not id-sorted, so the pivot's range slice is
+///   streamed and the remaining backward edges verified by adjacency
+///   probes.
 #[inline]
 pub fn for_each_candidate<F>(
+    ctx: &SearchCtx<'_>,
+    filter: &(impl CandidateFilter + ?Sized),
+    emb: Embedding,
+    depth: usize,
+    mut f: F,
+) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    let u = ctx.order.order[depth];
+    let ulabel = ctx.order.target_label[depth];
+    let udeg = ctx.order.target_degree[depth];
+    let backward = &ctx.order.backward[depth];
+
+    if backward.is_empty() {
+        for &v in ctx.g.vertices_with_label(ulabel) {
+            if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
+                continue;
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    if ctx.ignore_elabels {
+        // Wildcard edge labels: the vlabel-range slices are (elabel, id)-
+        // sorted, not id-sorted, so merging is invalid. Stream the smallest
+        // range and verify the rest by `O(log)` adjacency probes.
+        let (pivot_idx, _) = backward
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(nb, _))| {
+                ctx.g
+                    .neighbors_with_vlabel(emb.get_unchecked(nb), ulabel)
+                    .len()
+            })
+            .expect("non-empty backward set");
+        let pivot_v = emb.get_unchecked(backward[pivot_idx].0);
+        'wild: for &(v, _) in ctx.g.neighbors_with_vlabel(pivot_v, ulabel) {
+            if ctx.g.degree(v) < udeg || emb.uses(v) {
+                continue;
+            }
+            for (i, &(nb, _)) in backward.iter().enumerate() {
+                if i != pivot_idx && ctx.g.edge_label(emb.get_unchecked(nb), v).is_none() {
+                    continue 'wild;
+                }
+            }
+            if !filter.is_candidate(ctx.g, ctx.q, u, v) {
+                continue;
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    // Exact mode: one id-sorted partition slice per backward edge.
+    let mut slices: [&[(VertexId, ELabel)]; MAX_PATTERN_VERTICES] = [&[]; MAX_PATTERN_VERTICES];
+    for (i, &(nb, el)) in backward.iter().enumerate() {
+        let s = ctx.g.neighbors_with(emb.get_unchecked(nb), ulabel, el);
+        if s.is_empty() {
+            return true;
+        }
+        slices[i] = s;
+    }
+    let slices = &slices[..backward.len()];
+
+    if slices.len() == 1 {
+        // Branch-free stream: every entry already has the right vertex and
+        // edge label by construction.
+        for &(v, _) in slices[0] {
+            if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
+                continue;
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    let (min_idx, min_slice) = slices
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.len())
+        .expect("at least two slices");
+    if min_slice.len() <= PROBE_THRESHOLD {
+        // Tiny driver: probing each other slice directly is cheaper than
+        // the galloping merge's setup.
+        'probe: for &(v, _) in *min_slice {
+            if ctx.g.degree(v) < udeg || emb.uses(v) {
+                continue;
+            }
+            for (j, s) in slices.iter().enumerate() {
+                if j != min_idx && s.binary_search_by_key(&v, |&(w, _)| w).is_err() {
+                    continue 'probe;
+                }
+            }
+            if !filter.is_candidate(ctx.g, ctx.q, u, v) {
+                continue;
+            }
+            if !f(v) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    intersect::intersect_foreach(slices, |v| {
+        if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
+            return true;
+        }
+        f(v)
+    })
+}
+
+/// The pre-partition-index candidate generator, retained verbatim as the
+/// differential-testing and benchmarking reference: pick the backward
+/// neighbor with the smallest image degree as pivot, linearly scan its
+/// *full* adjacency with per-neighbor label checks, and verify the other
+/// backward edges by edge probes. Semantically identical candidate sets to
+/// [`for_each_candidate`] (and, in exact-label mode, the same order).
+pub fn for_each_candidate_naive<F>(
     ctx: &SearchCtx<'_>,
     filter: &(impl CandidateFilter + ?Sized),
     emb: Embedding,
@@ -109,10 +250,7 @@ where
 
     if backward.is_empty() {
         for &v in ctx.g.vertices_with_label(ulabel) {
-            if ctx.g.degree(v) < udeg
-                || emb.uses(v)
-                || !filter.is_candidate(ctx.g, ctx.q, u, v)
-            {
+            if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
                 continue;
             }
             if !f(v) {
@@ -190,21 +328,34 @@ pub fn extend(
 /// Expand a partial embedding by exactly one order level, materializing the
 /// child tasks (paper Algorithm 2, `Traverse_Next_Layer`). Used by the
 /// inner-update executor's BFS decomposition and adaptive splitting.
+///
+/// Counts one node per materialized child and honors the cooperative
+/// deadline like [`extend`]: a dense level (a hub image with thousands of
+/// neighbors) can no longer stall a timed run inside a single expansion.
+/// Returns `false` iff aborted by the deadline; `out` then holds the
+/// children materialized so far (fine to discard — the run is over).
+#[must_use]
 pub fn expand_one_layer(
     ctx: &SearchCtx<'_>,
     filter: &(impl CandidateFilter + ?Sized),
     emb: &Embedding,
     depth: usize,
     out: &mut Vec<Embedding>,
-) {
+    stats: &mut SearchStats,
+) -> bool {
     debug_assert!(depth < ctx.order.len());
+    if !stats.tick(ctx.deadline) {
+        return false;
+    }
     let u = ctx.order.order[depth];
     for_each_candidate(ctx, filter, *emb, depth, |v| {
         let mut child = *emb;
         child.set(u, v);
         out.push(child);
-        true
-    });
+        // The only early stop in this closure is the deadline, so the
+        // generator's return value is exactly "not timed out".
+        stats.tick(ctx.deadline)
+    })
 }
 
 #[cfg(test)]
@@ -232,10 +383,23 @@ mod tests {
     fn run_all(g: &DataGraph, q: &QueryGraph) -> u64 {
         // Enumerate everything from a single-vertex order (static style).
         let order = SeedOrder::build(q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g, q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g,
+            q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
-        extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut sink,
+            &mut stats,
+        );
         sink.count
     }
 
@@ -269,11 +433,23 @@ mod tests {
 
         // Ignoring edge labels restores both triangles.
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx =
-            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: true, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: true,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
-        extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut sink,
+            &mut stats,
+        );
         assert_eq!(sink.count, 12);
     }
 
@@ -281,7 +457,13 @@ mod tests {
     fn seeded_extension_from_partial_embedding() {
         let (g, q) = setup();
         let order = SeedOrder::build(&q, &[QVertexId(0), QVertexId(1)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         // Seed u0→v0, u1→v1: completions are u2→v2 only.
         let mut emb = Embedding::empty();
         emb.set(QVertexId(0), VertexId(0));
@@ -297,13 +479,95 @@ mod tests {
     fn expand_one_layer_produces_children() {
         let (g, q) = setup();
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut out = Vec::new();
-        expand_one_layer(&ctx, &NoFilter, &Embedding::empty(), 0, &mut out);
+        let mut stats = SearchStats::default();
+        assert!(expand_one_layer(
+            &ctx,
+            &NoFilter,
+            &Embedding::empty(),
+            0,
+            &mut out,
+            &mut stats
+        ));
         // Depth 0 candidates: all degree-≥2 vertices with label 0 = v0..v3.
         assert_eq!(out.len(), 4);
         for child in &out {
             assert_eq!(child.len(), 1);
+        }
+        assert!(stats.nodes > 0);
+    }
+
+    #[test]
+    fn expand_one_layer_honors_deadline() {
+        let (g, q) = setup();
+        let order = SeedOrder::build(&q, &[QVertexId(0)]);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: Some(past),
+        };
+        let mut out = Vec::new();
+        // Force a deadline probe on the first tick.
+        let mut stats = SearchStats {
+            nodes: DEADLINE_CHECK_MASK,
+            timed_out: false,
+        };
+        let alive = expand_one_layer(
+            &ctx,
+            &NoFilter,
+            &Embedding::empty(),
+            0,
+            &mut out,
+            &mut stats,
+        );
+        assert!(!alive);
+        assert!(stats.timed_out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn naive_and_partitioned_candidates_agree() {
+        let (g, q) = setup();
+        for seed in [&[QVertexId(0)][..], &[QVertexId(0), QVertexId(1)][..]] {
+            let order = SeedOrder::build(&q, seed);
+            for ignore in [false, true] {
+                let ctx = SearchCtx {
+                    g: &g,
+                    q: &q,
+                    order: &order,
+                    ignore_elabels: ignore,
+                    deadline: None,
+                };
+                let mut emb = Embedding::empty();
+                emb.set(QVertexId(0), VertexId(0));
+                if seed.len() == 2 {
+                    emb.set(QVertexId(1), VertexId(1));
+                }
+                let depth = seed.len();
+                let mut new_c = Vec::new();
+                for_each_candidate(&ctx, &NoFilter, emb, depth, |v| {
+                    new_c.push(v);
+                    true
+                });
+                let mut old_c = Vec::new();
+                for_each_candidate_naive(&ctx, &NoFilter, emb, depth, |v| {
+                    old_c.push(v);
+                    true
+                });
+                new_c.sort_unstable();
+                old_c.sort_unstable();
+                assert_eq!(new_c, old_c, "seed {seed:?} ignore {ignore}");
+            }
         }
     }
 
@@ -311,16 +575,35 @@ mod tests {
     fn filter_can_prune_candidates() {
         struct OnlyEven;
         impl CandidateFilter for OnlyEven {
-            fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, v: VertexId) -> bool {
-                v.0 % 2 == 0
+            fn is_candidate(
+                &self,
+                _: &DataGraph,
+                _: &QueryGraph,
+                _: QVertexId,
+                v: VertexId,
+            ) -> bool {
+                v.0.is_multiple_of(2)
             }
         }
         let (g, q) = setup();
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
-        extend(&ctx, &OnlyEven, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        extend(
+            &ctx,
+            &OnlyEven,
+            &mut Embedding::empty(),
+            0,
+            &mut sink,
+            &mut stats,
+        );
         // No triangle on only-even vertices exists ({v0,v2} plus nothing).
         assert_eq!(sink.count, 0);
     }
@@ -329,10 +612,23 @@ mod tests {
     fn sink_can_stop_enumeration() {
         let (g, q) = setup();
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
-        let ctx = SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: None };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: None,
+        };
         let mut sink = BufferSink::counting().with_cap(Some(3));
         let mut stats = SearchStats::default();
-        let finished = extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        let finished = extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut sink,
+            &mut stats,
+        );
         assert!(!finished);
         assert!(!stats.timed_out);
         assert_eq!(sink.count, 3);
@@ -343,12 +639,27 @@ mod tests {
         let (g, q) = setup();
         let order = SeedOrder::build(&q, &[QVertexId(0)]);
         let past = Instant::now() - std::time::Duration::from_secs(1);
-        let ctx =
-            SearchCtx { g: &g, q: &q, order: &order, ignore_elabels: false, deadline: Some(past) };
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: false,
+            deadline: Some(past),
+        };
         let mut sink = BufferSink::counting();
         // Force a deadline probe on the first tick.
-        let mut stats = SearchStats { nodes: DEADLINE_CHECK_MASK, timed_out: false };
-        let finished = extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
+        let mut stats = SearchStats {
+            nodes: DEADLINE_CHECK_MASK,
+            timed_out: false,
+        };
+        let finished = extend(
+            &ctx,
+            &NoFilter,
+            &mut Embedding::empty(),
+            0,
+            &mut sink,
+            &mut stats,
+        );
         assert!(!finished);
         assert!(stats.timed_out);
     }

@@ -82,7 +82,10 @@ impl MatchStore {
     }
 
     /// Add positive matches. Fails on duplicates (engine-bug detector).
-    pub fn add_positives(&mut self, matches: impl IntoIterator<Item = Match>) -> Result<(), StoreError> {
+    pub fn add_positives(
+        &mut self,
+        matches: impl IntoIterator<Item = Match>,
+    ) -> Result<(), StoreError> {
         for m in matches {
             if !self.set.insert(m.clone()) {
                 return Err(StoreError::DuplicatePositive(m));
@@ -139,7 +142,13 @@ mod tests {
             "plain"
         }
         fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
-        fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+        fn update_ads(
+            &mut self,
+            _: &DataGraph,
+            _: &QueryGraph,
+            _: EdgeUpdate,
+            _: bool,
+        ) -> AdsChange {
             AdsChange::Unchanged
         }
         fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
@@ -208,7 +217,10 @@ mod tests {
             Err(StoreError::DuplicatePositive(m.clone()))
         );
         store.remove_negatives([m.clone()]).unwrap();
-        assert_eq!(store.remove_negatives([m.clone()]), Err(StoreError::MissingNegative(m)));
+        assert_eq!(
+            store.remove_negatives([m.clone()]),
+            Err(StoreError::MissingNegative(m))
+        );
         assert!(store.is_empty());
     }
 }

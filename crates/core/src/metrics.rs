@@ -121,7 +121,9 @@ impl LatencyHistogram {
         if self.count == 0 {
             return Duration::ZERO;
         }
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64)
+            .ceil()
+            .max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;

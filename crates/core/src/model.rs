@@ -92,9 +92,23 @@ mod tests {
     #[test]
     fn papers_worked_example_eq3() {
         // N = M = 10, γ = 0.4 → T = |ΔG|(0.64·T_ADS + 0.06·T_FM) (Eq. 3).
-        let m = CostModel { updates: 1, gamma: 0.4, t_ads: 1.0, t_fm: 0.0, m: 10, n: 10 };
+        let m = CostModel {
+            updates: 1,
+            gamma: 0.4,
+            t_ads: 1.0,
+            t_fm: 0.0,
+            m: 10,
+            n: 10,
+        };
         assert!((m.parallel_time() - 0.64).abs() < 1e-12);
-        let m = CostModel { updates: 1, gamma: 0.4, t_ads: 0.0, t_fm: 1.0, m: 10, n: 10 };
+        let m = CostModel {
+            updates: 1,
+            gamma: 0.4,
+            t_ads: 0.0,
+            t_fm: 1.0,
+            m: 10,
+            n: 10,
+        };
         assert!((m.parallel_time() - 0.06).abs() < 1e-12);
     }
 
@@ -108,15 +122,36 @@ mod tests {
 
     #[test]
     fn more_safe_updates_help_more() {
-        let base = CostModel { updates: 100, gamma: 0.5, t_ads: 0.1, t_fm: 1.0, m: 8, n: 8 };
-        let safer = CostModel { gamma: 0.99, ..base };
+        let base = CostModel {
+            updates: 100,
+            gamma: 0.5,
+            t_ads: 0.1,
+            t_fm: 1.0,
+            m: 8,
+            n: 8,
+        };
+        let safer = CostModel {
+            gamma: 0.99,
+            ..base
+        };
         assert!(safer.predicted_speedup() > base.predicted_speedup());
     }
 
     #[test]
     fn more_threads_never_hurt() {
-        let few = CostModel { updates: 10, gamma: 0.9, t_ads: 0.1, t_fm: 1.0, m: 2, n: 2 };
-        let many = CostModel { m: 32, n: 32, ..few };
+        let few = CostModel {
+            updates: 10,
+            gamma: 0.9,
+            t_ads: 0.1,
+            t_fm: 1.0,
+            m: 2,
+            n: 2,
+        };
+        let many = CostModel {
+            m: 32,
+            n: 32,
+            ..few
+        };
         assert!(many.parallel_time() < few.parallel_time());
         assert!(many.predicted_speedup() > few.predicted_speedup());
     }
@@ -124,7 +159,14 @@ mod tests {
     #[test]
     fn degenerate_inputs_are_clamped() {
         assert_eq!(unsafe_probability(1000, 1, 1), 1.0);
-        let m = CostModel { updates: 0, gamma: 2.0, t_ads: 1.0, t_fm: 1.0, m: 0, n: 0 };
+        let m = CostModel {
+            updates: 0,
+            gamma: 2.0,
+            t_ads: 1.0,
+            t_fm: 1.0,
+            m: 0,
+            n: 0,
+        };
         assert_eq!(m.parallel_time(), 0.0);
         assert_eq!(m.predicted_speedup(), 1.0);
     }

@@ -10,7 +10,7 @@
 //! online phase does zero order computation.
 
 use crate::embedding::MAX_PATTERN_VERTICES;
-use csm_graph::{ELabel, QVertexId, QueryGraph};
+use csm_graph::{ELabel, QVertexId, QueryGraph, VLabel};
 
 /// A matching order rooted at one oriented seed edge (or, for the static
 /// matcher, at a single start vertex).
@@ -22,6 +22,14 @@ pub struct SeedOrder {
     /// pairs of `order[d]` — every data candidate at depth `d` must be
     /// adjacent (with the right edge label) to the images of all of them.
     pub backward: Vec<Vec<(QVertexId, ELabel)>>,
+    /// `target_label[d]` = label of `order[d]`. Together with each backward
+    /// edge's elabel this forms the exact partition key the kernel hands to
+    /// `DataGraph::neighbors_with` at depth `d` — precomputed so candidate
+    /// generation does zero query-side lookups per node.
+    pub target_label: Vec<VLabel>,
+    /// `target_degree[d]` = query degree of `order[d]` (the degree-prune
+    /// threshold at depth `d`).
+    pub target_degree: Vec<usize>,
     /// Position of each query vertex in `order`.
     pub pos: [u8; MAX_PATTERN_VERTICES],
 }
@@ -52,9 +60,7 @@ impl SeedOrder {
                 let key = (matched_nbrs, q.degree(u));
                 let better = match best {
                     None => true,
-                    Some((mn, d, bu)) => {
-                        key > (mn, d) || (key == (mn, d) && u < bu)
-                    }
+                    Some((mn, d, bu)) => key > (mn, d) || (key == (mn, d) && u < bu),
                 };
                 if better {
                     best = Some((key.0, key.1, u));
@@ -80,7 +86,15 @@ impl SeedOrder {
                     .collect()
             })
             .collect();
-        SeedOrder { order, backward, pos }
+        let target_label = order.iter().map(|&u| q.label(u)).collect();
+        let target_degree = order.iter().map(|&u| q.degree(u)).collect();
+        SeedOrder {
+            order,
+            backward,
+            target_label,
+            target_degree,
+            pos,
+        }
     }
 
     /// Number of query vertices (= full-match depth).

@@ -23,7 +23,12 @@ pub struct StaticResult {
 /// fewest same-labeled data vertices, ties broken by higher query degree.
 fn pick_start(g: &DataGraph, q: &QueryGraph) -> QVertexId {
     q.vertices()
-        .min_by_key(|&u| (g.vertices_with_label(q.label(u)).len(), usize::MAX - q.degree(u)))
+        .min_by_key(|&u| {
+            (
+                g.vertices_with_label(q.label(u)).len(),
+                usize::MAX - q.degree(u),
+            )
+        })
         .expect("non-empty query")
 }
 
@@ -38,14 +43,39 @@ pub fn enumerate_with_filter(
     deadline: Option<Instant>,
 ) -> StaticResult {
     if q.num_vertices() == 0 {
-        return StaticResult { count: 0, matches: Vec::new(), stats: SearchStats::default() };
+        return StaticResult {
+            count: 0,
+            matches: Vec::new(),
+            stats: SearchStats::default(),
+        };
     }
     let order = SeedOrder::build(q, &[pick_start(g, q)]);
-    let ctx = SearchCtx { g, q, order: &order, ignore_elabels, deadline };
-    let mut sink = if collect { BufferSink::collecting() } else { BufferSink::counting() };
+    let ctx = SearchCtx {
+        g,
+        q,
+        order: &order,
+        ignore_elabels,
+        deadline,
+    };
+    let mut sink = if collect {
+        BufferSink::collecting()
+    } else {
+        BufferSink::counting()
+    };
     let mut stats = SearchStats::default();
-    kernel::extend(&ctx, filter, &mut Embedding::empty(), 0, &mut sink, &mut stats);
-    StaticResult { count: sink.count, matches: sink.matches, stats }
+    kernel::extend(
+        &ctx,
+        filter,
+        &mut Embedding::empty(),
+        0,
+        &mut sink,
+        &mut stats,
+    );
+    StaticResult {
+        count: sink.count,
+        matches: sink.matches,
+        stats,
+    }
 }
 
 /// Enumerate all matches of `q` in `g` (no ADS filtering).

@@ -86,7 +86,9 @@ fn small_graph() -> impl Strategy<Value = (DataGraph, QueryGraph)> {
             }
             (g, q)
         })
-        .prop_filter("connected query", |(_, q)| q.num_vertices() > 0 && q.is_connected())
+        .prop_filter("connected query", |(_, q)| {
+            q.num_vertices() > 0 && q.is_connected()
+        })
 }
 
 proptest! {

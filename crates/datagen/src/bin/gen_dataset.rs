@@ -45,7 +45,10 @@ fn main() {
             "--out" => out = Some(PathBuf::from(val())),
             "--scale" => scale = Scale::parse(&val()).unwrap_or_else(|| usage()),
             "--query-sizes" => {
-                sizes = val().split(',').map(|s| s.trim().parse().unwrap_or_else(|_| usage())).collect()
+                sizes = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect()
             }
             "--queries" => queries = val().parse().unwrap_or_else(|_| usage()),
             "--insert-fraction" => {
@@ -58,7 +61,9 @@ fn main() {
             _ => usage(),
         }
     }
-    let (Some(dataset), Some(out)) = (dataset, out) else { usage() };
+    let (Some(dataset), Some(out)) = (dataset, out) else {
+        usage()
+    };
 
     eprintln!("generating {dataset}-{} ...", scale.suffix());
     let full = dataset.generate(scale);
@@ -67,8 +72,11 @@ fn main() {
     std::fs::create_dir_all(out.join("queries")).expect("create output dir");
 
     let (initial, stream) = split_stream(&full, &stream_cfg);
-    io::write_data_graph(&initial, std::fs::File::create(out.join("data_graph.txt")).unwrap())
-        .expect("write graph");
+    io::write_data_graph(
+        &initial,
+        std::fs::File::create(out.join("data_graph.txt")).unwrap(),
+    )
+    .expect("write graph");
     io::write_update_stream(
         &stream,
         std::fs::File::create(out.join("insertion_stream.txt")).unwrap(),
@@ -84,8 +92,7 @@ fn main() {
         let qs = generate_queries(&full, size, queries, stream_cfg.seed ^ size as u64);
         for (i, q) in qs.iter().enumerate() {
             let path = out.join("queries").join(format!("query_{size}_{i}.txt"));
-            io::write_query_graph(q, std::fs::File::create(path).unwrap())
-                .expect("write query");
+            io::write_query_graph(q, std::fs::File::create(path).unwrap()).expect("write query");
         }
         eprintln!("  queries of size {size}: {}", qs.len());
     }

@@ -64,7 +64,9 @@ impl DatasetKind {
 
     /// Parse a case-insensitive name.
     pub fn parse(s: &str) -> Option<DatasetKind> {
-        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
     }
 
     /// The paper's Table-5 row: `(|V|, |E|, |L(V)|, |L(E)|)` at full size.

@@ -22,7 +22,11 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { insert_fraction: 0.10, delete_fraction: 0.0, seed: 7 }
+        StreamConfig {
+            insert_fraction: 0.10,
+            delete_fraction: 0.0,
+            seed: 7,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ mod tests {
     use crate::synth::{generate, SynthConfig};
 
     fn full() -> DataGraph {
-        generate(&SynthConfig { n_vertices: 200, n_edges: 1000, ..Default::default() })
+        generate(&SynthConfig {
+            n_vertices: 200,
+            n_edges: 1000,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -98,7 +106,10 @@ mod tests {
     #[test]
     fn deletion_tail_targets_inserted_edges() {
         let g = full();
-        let cfg = StreamConfig { delete_fraction: 0.5, ..Default::default() };
+        let cfg = StreamConfig {
+            delete_fraction: 0.5,
+            ..Default::default()
+        };
         let (mut initial, stream) = split_stream(&g, &cfg);
         assert_eq!(stream.num_edge_deletions(), 50);
         // Replay must be structurally valid end to end.
@@ -121,7 +132,13 @@ mod tests {
         let (_, s1) = split_stream(&g, &StreamConfig::default());
         let (_, s2) = split_stream(&g, &StreamConfig::default());
         assert_eq!(s1, s2);
-        let (_, s3) = split_stream(&g, &StreamConfig { seed: 8, ..Default::default() });
+        let (_, s3) = split_stream(
+            &g,
+            &StreamConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        );
         assert_ne!(s1, s3);
     }
 }

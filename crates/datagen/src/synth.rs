@@ -125,8 +125,16 @@ mod tests {
 
     #[test]
     fn power_law_skews_degrees() {
-        let skewed = generate(&SynthConfig { alpha: 1.0, seed: 4, ..Default::default() });
-        let flat = generate(&SynthConfig { alpha: 0.0, seed: 4, ..Default::default() });
+        let skewed = generate(&SynthConfig {
+            alpha: 1.0,
+            seed: 4,
+            ..Default::default()
+        });
+        let flat = generate(&SynthConfig {
+            alpha: 0.0,
+            seed: 4,
+            ..Default::default()
+        });
         let max_skewed = GraphStats::of(&skewed).max_degree;
         let max_flat = GraphStats::of(&flat).max_degree;
         assert!(
@@ -137,9 +145,17 @@ mod tests {
 
     #[test]
     fn degenerate_sizes_do_not_panic() {
-        let g = generate(&SynthConfig { n_vertices: 0, n_edges: 10, ..Default::default() });
+        let g = generate(&SynthConfig {
+            n_vertices: 0,
+            n_edges: 10,
+            ..Default::default()
+        });
         assert_eq!(g.num_vertices(), 0);
-        let g = generate(&SynthConfig { n_vertices: 1, n_edges: 10, ..Default::default() });
+        let g = generate(&SynthConfig {
+            n_vertices: 1,
+            n_edges: 10,
+            ..Default::default()
+        });
         assert_eq!(g.num_edges(), 0);
     }
 }

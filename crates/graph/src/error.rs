@@ -34,7 +34,9 @@ impl fmt::Display for GraphError {
             GraphError::VertexNotIsolated(v, d) => {
                 write!(f, "vertex {v:?} still has {d} incident edges")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -59,7 +61,10 @@ mod tests {
     fn display_is_informative() {
         let e = GraphError::SelfLoop(VertexId(3));
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 }

@@ -1,30 +1,213 @@
 //! The dynamic labeled data graph `G`.
 //!
-//! Design notes (following the session's HPC guides):
+//! Design notes:
 //!
-//! * adjacency is a per-vertex **sorted** `Vec<(VertexId, ELabel)>` — edge
-//!   existence tests are `O(log d)` binary searches and neighbor scans are
-//!   cache-friendly sequential reads; updates are `O(d)` vector shifts, which
-//!   is the right trade-off because CSM spends > 90 % of its time in
-//!   `Find_Matches` (paper Table 3), i.e. *reading* the graph;
+//! * adjacency is **label-partitioned**: each vertex's neighbor list is a
+//!   single `Vec<(VertexId, ELabel)>` sorted by `(L(neighbor), elabel,
+//!   neighbor id)` plus a small per-vertex partition index mapping each
+//!   distinct `(L(neighbor), elabel)` pair to its contiguous run. The
+//!   enumeration kernel asks "neighbors of `v` with vertex label `X` over
+//!   edge label `y`" — with this layout that is an `O(log #groups)` index
+//!   probe returning a contiguous, id-sorted slice, with zero per-neighbor
+//!   label branches. CSM spends > 90 % of its time in `Find_Matches`
+//!   (paper Table 3), i.e. *reading* the graph, which justifies paying
+//!   `O(d)` vector shifts on update;
 //! * the search phase only ever holds `&DataGraph`, so multi-threaded
 //!   enumeration is data-race-free by construction (no locks on the hot
 //!   path);
 //! * batched *safe* insertions (inter-update parallelism, paper §4.2) are
-//!   applied in parallel by grouping operations per endpoint and mutating
-//!   each adjacency list from exactly one rayon task — disjoint `&mut`
-//!   borrows, no locks, no unsafe.
+//!   applied in parallel by grouping operations per endpoint and handing
+//!   each scoped-thread task a disjoint sub-slice of the adjacency table —
+//!   disjoint `&mut` borrows, no locks, no unsafe.
+//!
+//! **Ordering contract:** `neighbors(v)` is sorted by `(L(neighbor),
+//! elabel, id)`, *not* globally by id. Within one `(vlabel, elabel)` group
+//! the slice is strictly id-sorted — that is what makes galloping
+//! multi-way intersections over [`DataGraph::neighbors_with`] slices
+//! valid. A vlabel-range slice ([`DataGraph::neighbors_with_vlabel`])
+//! spans several elabel groups and is therefore *not* id-sorted; callers
+//! that ignore edge labels must probe, not merge.
 
 use crate::error::{GraphError, Result};
 use crate::ids::{ELabel, VLabel, VertexId};
-use rayon::prelude::*;
+use crate::par;
+
+/// Packed partition key: vertex label in the high 32 bits, edge label in
+/// the low 32. Lexicographic `u64` order == `(VLabel, ELabel)` order.
+#[inline]
+fn group_key(vl: VLabel, el: ELabel) -> u64 {
+    ((vl.0 as u64) << 32) | el.0 as u64
+}
+
+/// One vertex's label-partitioned neighbor list.
+///
+/// `entries` is sorted by `(L(neighbor), elabel, neighbor id)`; `groups`
+/// holds one `(packed key, start offset)` per distinct `(L(neighbor),
+/// elabel)` pair present, sorted by key. A group's run ends where the
+/// next group starts (or at `entries.len()` for the last).
+///
+/// Invariants (checked by [`DataGraph::check_invariants`]):
+/// * `groups` keys strictly increase; starts strictly increase from 0;
+/// * every entry's `(neighbor label, elabel)` equals its group's key;
+/// * within a group, neighbor ids strictly increase;
+/// * a neighbor id appears in at most one group (simple graph).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct AdjList {
+    entries: Vec<(VertexId, ELabel)>,
+    groups: Vec<(u64, u32)>,
+}
+
+impl AdjList {
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(VertexId, ELabel)] {
+        &self.entries
+    }
+
+    /// End offset (exclusive) of group `gi`.
+    #[inline]
+    fn group_end(&self, gi: usize) -> usize {
+        self.groups
+            .get(gi + 1)
+            .map_or(self.entries.len(), |&(_, s)| s as usize)
+    }
+
+    /// Group-index range `[lo, hi)` covering vertex label `vl`.
+    #[inline]
+    fn vlabel_bounds(&self, vl: VLabel) -> (usize, usize) {
+        let lo = self
+            .groups
+            .partition_point(|&(k, _)| (k >> 32) < vl.0 as u64);
+        let hi = self
+            .groups
+            .partition_point(|&(k, _)| (k >> 32) <= vl.0 as u64);
+        (lo, hi)
+    }
+
+    /// The id-sorted run of neighbors with label `vl` over elabel `el`.
+    #[inline]
+    fn slice(&self, vl: VLabel, el: ELabel) -> &[(VertexId, ELabel)] {
+        match self
+            .groups
+            .binary_search_by_key(&group_key(vl, el), |&(k, _)| k)
+        {
+            Ok(gi) => &self.entries[self.groups[gi].1 as usize..self.group_end(gi)],
+            Err(_) => &[],
+        }
+    }
+
+    /// All neighbors with label `vl`, any elabel (sorted by `(elabel, id)`).
+    #[inline]
+    fn slice_vlabel(&self, vl: VLabel) -> &[(VertexId, ELabel)] {
+        let (lo, hi) = self.vlabel_bounds(vl);
+        if lo == hi {
+            return &[];
+        }
+        &self.entries[self.groups[lo].1 as usize..self.group_end(hi - 1)]
+    }
+
+    /// Elabel of the edge to neighbor `n` (whose label is `nl`), if present.
+    fn find(&self, n: VertexId, nl: VLabel) -> Option<ELabel> {
+        let (lo, hi) = self.vlabel_bounds(nl);
+        for gi in lo..hi {
+            let s = self.groups[gi].1 as usize;
+            let e = self.group_end(gi);
+            if self.entries[s..e]
+                .binary_search_by_key(&n, |&(v, _)| v)
+                .is_ok()
+            {
+                return Some(ELabel(self.groups[gi].0 as u32));
+            }
+        }
+        None
+    }
+
+    /// Insert neighbor `n` (label `nl`) over elabel `el`. Returns `false`
+    /// if an edge to `n` already exists under *any* elabel (simple graph).
+    fn insert(&mut self, n: VertexId, el: ELabel, nl: VLabel) -> bool {
+        let (lo, hi) = self.vlabel_bounds(nl);
+        for gi in lo..hi {
+            let s = self.groups[gi].1 as usize;
+            let e = self.group_end(gi);
+            if self.entries[s..e]
+                .binary_search_by_key(&n, |&(v, _)| v)
+                .is_ok()
+            {
+                return false;
+            }
+        }
+        let key = group_key(nl, el);
+        match self.groups[lo..hi].binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(rel) => {
+                let gi = lo + rel;
+                let s = self.groups[gi].1 as usize;
+                let e = self.group_end(gi);
+                let off = self.entries[s..e]
+                    .binary_search_by_key(&n, |&(v, _)| v)
+                    .expect_err("duplicate neighbor passed the group scan");
+                self.entries.insert(s + off, (n, el));
+                for g in &mut self.groups[gi + 1..] {
+                    g.1 += 1;
+                }
+            }
+            Err(rel) => {
+                let gi = lo + rel;
+                let pos = if gi == self.groups.len() {
+                    self.entries.len()
+                } else {
+                    self.groups[gi].1 as usize
+                };
+                self.entries.insert(pos, (n, el));
+                self.groups.insert(gi, (key, pos as u32));
+                for g in &mut self.groups[gi + 1..] {
+                    g.1 += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove the edge to neighbor `n` (label `nl`), returning its elabel.
+    fn remove(&mut self, n: VertexId, nl: VLabel) -> Option<ELabel> {
+        let (lo, hi) = self.vlabel_bounds(nl);
+        for gi in lo..hi {
+            let s = self.groups[gi].1 as usize;
+            let e = self.group_end(gi);
+            if let Ok(off) = self.entries[s..e].binary_search_by_key(&n, |&(v, _)| v) {
+                let (_, label) = self.entries.remove(s + off);
+                if e - s == 1 {
+                    self.groups.remove(gi);
+                    for g in &mut self.groups[gi..] {
+                        g.1 -= 1;
+                    }
+                } else {
+                    for g in &mut self.groups[gi + 1..] {
+                        g.1 -= 1;
+                    }
+                }
+                return Some(label);
+            }
+        }
+        None
+    }
+}
 
 /// A single endpoint-local adjacency operation used by the parallel bulk
-/// application path.
+/// application path. Carries the *neighbor's* vertex label so each task
+/// can maintain the partition index without touching shared state.
 #[derive(Clone, Copy, Debug)]
 enum AdjOp {
-    Insert(VertexId, ELabel),
-    Remove(VertexId),
+    Insert(VertexId, ELabel, VLabel),
+    Remove(VertexId, VLabel),
 }
 
 /// The dynamic, labeled, undirected data graph `G = (V, E, L)`.
@@ -40,12 +223,13 @@ enum AdjOp {
 /// g.insert_edge(a, b, ELabel(0)).unwrap();
 /// assert!(g.has_edge(a, b));
 /// assert_eq!(g.degree(a), 1);
+/// assert_eq!(g.neighbors_with(a, VLabel(1), ELabel(0)), &[(b, ELabel(0))]);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DataGraph {
     labels: Vec<VLabel>,
     alive: Vec<bool>,
-    adj: Vec<Vec<(VertexId, ELabel)>>,
+    adj: Vec<AdjList>,
     /// Alive vertices grouped by label; order within a bucket is unspecified.
     by_label: Vec<Vec<VertexId>>,
     n_edges: usize,
@@ -106,7 +290,7 @@ impl DataGraph {
         let id = VertexId::from(self.labels.len());
         self.labels.push(label);
         self.alive.push(true);
-        self.adj.push(Vec::new());
+        self.adj.push(AdjList::default());
         self.bucket_mut(label).push(id);
         self.n_alive += 1;
         id
@@ -115,13 +299,19 @@ impl DataGraph {
     /// Ensure slot `id` exists and is alive with `label`, growing the slot
     /// table as needed. Used by the text loader, where vertex ids are
     /// explicit. Growing creates intermediate *dead* slots.
+    ///
+    /// Reviving a dead slot may change its label: that is safe for the
+    /// partition index because dead vertices are always isolated
+    /// ([`DataGraph::delete_vertex`] requires isolation or cascades), so no
+    /// neighbor list holds an entry keyed by the stale label.
     pub fn ensure_vertex(&mut self, id: VertexId, label: VLabel) {
         while self.labels.len() <= id.index() {
             self.labels.push(VLabel(0));
             self.alive.push(false);
-            self.adj.push(Vec::new());
+            self.adj.push(AdjList::default());
         }
         if !self.alive[id.index()] {
+            debug_assert!(self.adj[id.index()].is_empty(), "dead slot with edges");
             self.alive[id.index()] = true;
             self.labels[id.index()] = label;
             self.bucket_mut(label).push(id);
@@ -133,6 +323,10 @@ impl DataGraph {
     /// with `cascade = true` all incident edges are removed first (this is
     /// how vertex deletions in an update stream decompose into edge
     /// deletions, paper Def. 2.3).
+    ///
+    /// The dead slot is also removed from its `by_label` bucket, so
+    /// [`DataGraph::vertices_with_label`] never yields dead vertices to
+    /// depth-0 candidate scans.
     pub fn delete_vertex(&mut self, id: VertexId, cascade: bool) -> Result<()> {
         self.check_alive(id)?;
         let d = self.adj[id.index()].len();
@@ -140,8 +334,11 @@ impl DataGraph {
             if !cascade {
                 return Err(GraphError::VertexNotIsolated(id, d));
             }
-            let neighbors: Vec<VertexId> =
-                self.adj[id.index()].iter().map(|&(v, _)| v).collect();
+            let neighbors: Vec<VertexId> = self.adj[id.index()]
+                .as_slice()
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             for v in neighbors {
                 self.remove_edge(id, v)?;
             }
@@ -149,9 +346,11 @@ impl DataGraph {
         self.alive[id.index()] = false;
         let label = self.labels[id.index()];
         let bucket = self.bucket_mut(label);
-        if let Some(pos) = bucket.iter().position(|&v| v == id) {
-            bucket.swap_remove(pos);
-        }
+        let pos = bucket
+            .iter()
+            .position(|&v| v == id)
+            .expect("alive vertex missing from its label bucket");
+        bucket.swap_remove(pos);
         self.n_alive -= 1;
         Ok(())
     }
@@ -168,21 +367,15 @@ impl DataGraph {
         }
         self.check_alive(a)?;
         self.check_alive(b)?;
-        let list = &mut self.adj[a.index()];
-        match list.binary_search_by_key(&b, |&(v, _)| v) {
-            Ok(_) => Ok(false),
-            Err(pos) => {
-                list.insert(pos, (b, l));
-                let list_b = &mut self.adj[b.index()];
-                let pos_b = list_b
-                    .binary_search_by_key(&a, |&(v, _)| v)
-                    .expect_err("adjacency symmetric invariant violated");
-                list_b.insert(pos_b, (a, l));
-                self.n_edges += 1;
-                self.max_elabel = self.max_elabel.max(l.0);
-                Ok(true)
-            }
+        let (la, lb) = (self.labels[a.index()], self.labels[b.index()]);
+        if !self.adj[a.index()].insert(b, l, lb) {
+            return Ok(false);
         }
+        let inserted = self.adj[b.index()].insert(a, l, la);
+        debug_assert!(inserted, "adjacency symmetric invariant violated");
+        self.n_edges += 1;
+        self.max_elabel = self.max_elabel.max(l.0);
+        Ok(true)
     }
 
     /// Remove the undirected edge `{a, b}`, returning its label, or `None`
@@ -193,16 +386,16 @@ impl DataGraph {
         }
         self.check_alive(a)?;
         self.check_alive(b)?;
-        let list = &mut self.adj[a.index()];
-        match list.binary_search_by_key(&b, |&(v, _)| v) {
-            Err(_) => Ok(None),
-            Ok(pos) => {
-                let (_, label) = list.remove(pos);
-                let list_b = &mut self.adj[b.index()];
-                let pos_b = list_b
-                    .binary_search_by_key(&a, |&(v, _)| v)
-                    .expect("adjacency symmetric invariant violated");
-                list_b.remove(pos_b);
+        let (la, lb) = (self.labels[a.index()], self.labels[b.index()]);
+        match self.adj[a.index()].remove(b, lb) {
+            None => Ok(None),
+            Some(label) => {
+                let removed = self.adj[b.index()].remove(a, la);
+                debug_assert_eq!(
+                    removed,
+                    Some(label),
+                    "adjacency symmetric invariant violated"
+                );
                 self.n_edges -= 1;
                 Ok(Some(label))
             }
@@ -215,30 +408,85 @@ impl DataGraph {
         self.edge_label(a, b).is_some()
     }
 
-    /// Label of edge `{a, b}`, if present. `O(log d(a))`.
+    /// Label of edge `{a, b}`, if present. `O(#groups + log d)` via the
+    /// smaller endpoint's partition index.
     #[inline]
     pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<ELabel> {
-        let list = self.adj.get(a.index())?;
-        // Probe the smaller endpoint list: both sides hold the edge.
-        let (list, key) = match self.adj.get(b.index()) {
-            Some(lb) if lb.len() < list.len() => (lb, a),
-            _ => (list, b),
+        let (la, lb) = match (self.adj.get(a.index()), self.adj.get(b.index())) {
+            (Some(la), Some(lb)) => (la, lb),
+            _ => return None,
         };
-        list.binary_search_by_key(&key, |&(v, _)| v)
-            .ok()
-            .map(|pos| list[pos].1)
+        if !self.is_alive(a) || !self.is_alive(b) {
+            return None;
+        }
+        // Probe the smaller endpoint list: both sides hold the edge.
+        if lb.len() < la.len() {
+            lb.find(a, self.labels[a.index()])
+        } else {
+            la.find(b, self.labels[b.index()])
+        }
     }
 
-    /// Sorted neighbor list of `v` (empty for dead/unknown vertices).
+    /// Does `{v, n}` exist with elabel exactly `el`? A targeted `O(log)`
+    /// probe of one partition group — the kernel's backward-edge check.
+    #[inline]
+    pub fn has_edge_with(&self, v: VertexId, n: VertexId, el: ELabel) -> bool {
+        let Some(list) = self.adj.get(v.index()) else {
+            return false;
+        };
+        let Some(&nl) = self.labels.get(n.index()) else {
+            return false;
+        };
+        list.slice(nl, el)
+            .binary_search_by_key(&n, |&(w, _)| w)
+            .is_ok()
+    }
+
+    /// Neighbor list of `v` (empty for dead/unknown vertices), sorted by
+    /// `(L(neighbor), elabel, id)` — see the module-level ordering contract.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[(VertexId, ELabel)] {
-        self.adj.get(v.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.adj
+            .get(v.index())
+            .map(AdjList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Neighbors of `v` with vertex label `vl` over edge label `el`, as a
+    /// contiguous slice sorted by neighbor id. `O(log #groups)`.
+    ///
+    /// Id-sortedness makes these slices directly mergeable: the kernel's
+    /// multi-way galloping intersection operates on them.
+    #[inline]
+    pub fn neighbors_with(&self, v: VertexId, vl: VLabel, el: ELabel) -> &[(VertexId, ELabel)] {
+        self.adj.get(v.index()).map_or(&[][..], |l| l.slice(vl, el))
+    }
+
+    /// Neighbors of `v` with vertex label `vl` under *any* edge label, as a
+    /// contiguous slice sorted by `(elabel, id)`. **Not** id-sorted across
+    /// elabel groups — callers ignoring edge labels (CaLiG mode) must probe
+    /// rather than merge.
+    #[inline]
+    pub fn neighbors_with_vlabel(&self, v: VertexId, vl: VLabel) -> &[(VertexId, ELabel)] {
+        self.adj
+            .get(v.index())
+            .map_or(&[][..], |l| l.slice_vlabel(vl))
+    }
+
+    /// Count of neighbors of `v` with label `vl` (and elabel `el`, unless
+    /// `None`). `O(log #groups)` — the NLF filter's building block.
+    #[inline]
+    pub fn count_neighbors_with(&self, v: VertexId, vl: VLabel, el: Option<ELabel>) -> usize {
+        match el {
+            Some(el) => self.neighbors_with(v, vl, el).len(),
+            None => self.neighbors_with_vlabel(v, vl).len(),
+        }
     }
 
     /// Degree of `v` (0 for dead/unknown vertices).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj.get(v.index()).map_or(0, Vec::len)
+        self.adj.get(v.index()).map_or(0, AdjList::len)
     }
 
     /// Vertex label of `v`. Panics in debug builds on dead vertices.
@@ -263,7 +511,8 @@ impl DataGraph {
             .map(|(i, _)| VertexId::from(i))
     }
 
-    /// Alive vertices carrying `label` (unsorted).
+    /// Alive vertices carrying `label` (unsorted). Buckets are maintained
+    /// eagerly on vertex deletion, so the slice never contains dead slots.
     #[inline]
     pub fn vertices_with_label(&self, label: VLabel) -> &[VertexId] {
         self.by_label
@@ -276,37 +525,37 @@ impl DataGraph {
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, ELabel)> + '_ {
         self.adj.iter().enumerate().flat_map(move |(i, list)| {
             let a = VertexId::from(i);
-            list.iter()
+            list.as_slice()
+                .iter()
                 .filter(move |&&(b, _)| a < b)
                 .map(move |&(b, l)| (a, b, l))
         })
     }
 
     /// Neighbors of `v` whose vertex label is `vl` and connecting edge label
-    /// is `el` (`el = None` matches any edge label — CaLiG mode).
-    pub fn neighbors_filtered<'a>(
-        &'a self,
+    /// is `el` (`el = None` matches any edge label — CaLiG mode). `O(log)`
+    /// partition lookup plus a branch-free slice walk.
+    pub fn neighbors_filtered(
+        &self,
         v: VertexId,
         vl: VLabel,
         el: Option<ELabel>,
-    ) -> impl Iterator<Item = VertexId> + 'a {
-        self.neighbors(v).iter().filter_map(move |&(n, l)| {
-            if self.labels[n.index()] == vl && el.map_or(true, |e| e == l) {
-                Some(n)
-            } else {
-                None
-            }
-        })
+    ) -> impl Iterator<Item = VertexId> + '_ {
+        let slice = match el {
+            Some(e) => self.neighbors_with(v, vl, e),
+            None => self.neighbors_with_vlabel(v, vl),
+        };
+        slice.iter().map(|&(n, _)| n)
     }
 
     /// Apply a batch of pre-validated edge insertions in parallel.
     ///
     /// This is the *batch executor* fast path for safe updates (paper §4.2):
     /// operations are grouped per endpoint, then every adjacency list is
-    /// mutated by exactly one rayon task. The caller must guarantee that
-    /// within the batch no edge is duplicated and none already exists in the
-    /// graph, and that all endpoints are alive, non-equal vertices (the
-    /// classifier validates this sequentially in `O(log d)` per edge).
+    /// mutated by exactly one scoped-thread task. The caller must guarantee
+    /// that within the batch no edge is duplicated and none already exists
+    /// in the graph, and that all endpoints are alive, non-equal vertices
+    /// (the classifier validates this sequentially in `O(log d)` per edge).
     ///
     /// Returns the number of edges inserted.
     pub fn apply_inserts_parallel(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
@@ -342,21 +591,23 @@ impl DataGraph {
         }
 
         // Group the per-endpoint operations, sorted by endpoint id so we can
-        // hand each rayon task a contiguous run.
+        // hand each task a contiguous run. Neighbor labels are resolved here,
+        // while we still hold `&self` coherently.
         let mut ops: Vec<(VertexId, AdjOp)> = Vec::with_capacity(edges.len() * 2);
         for &(a, b, l) in edges {
             debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
+            let (la, lb) = (self.labels[a.index()], self.labels[b.index()]);
             if insert {
-                ops.push((a, AdjOp::Insert(b, l)));
-                ops.push((b, AdjOp::Insert(a, l)));
+                ops.push((a, AdjOp::Insert(b, l, lb)));
+                ops.push((b, AdjOp::Insert(a, l, la)));
             } else {
-                ops.push((a, AdjOp::Remove(b)));
-                ops.push((b, AdjOp::Remove(a)));
+                ops.push((a, AdjOp::Remove(b, lb)));
+                ops.push((b, AdjOp::Remove(a, la)));
             }
         }
         ops.sort_unstable_by_key(|&(v, _)| v);
 
-        // Split into per-vertex runs and pair each with its adjacency list.
+        // Split into per-vertex runs (runs are sorted by vertex index).
         let mut runs: Vec<(usize, &[(VertexId, AdjOp)])> = Vec::new();
         let mut start = 0;
         while start < ops.len() {
@@ -369,43 +620,46 @@ impl DataGraph {
             start = end;
         }
 
-        let adj = &mut self.adj;
-        // Disjoint mutable access: each run owns a distinct vertex index.
-        // We walk `adj` with par_iter_mut zipped against the run list via a
-        // per-index lookup (runs are sorted by index).
-        let applied: usize = {
-            let run_index: Vec<usize> = runs.iter().map(|&(i, _)| i).collect();
-            adj.par_iter_mut()
-                .enumerate()
-                .filter_map(|(i, list)| {
-                    let r = run_index.binary_search(&i).ok()?;
-                    Some((list, runs[r].1))
-                })
-                .map(|(list, run)| {
+        // Disjoint mutable access: chunk the run list contiguously, then
+        // carve `adj` into per-chunk sub-slices at the chunk boundaries.
+        // Runs within a chunk touch only indices inside its sub-slice.
+        let nthreads = par::threads().min(runs.len());
+        let chunk_size = runs.len().div_ceil(nthreads);
+        let applied: usize = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nthreads);
+            let mut rest: &mut [AdjList] = self.adj.as_mut_slice();
+            let mut offset = 0usize;
+            for chunk in runs.chunks(chunk_size) {
+                let first = chunk[0].0;
+                let last = chunk[chunk.len() - 1].0;
+                let tail = std::mem::take(&mut rest);
+                let (_skip, tail) = tail.split_at_mut(first - offset);
+                let (mine, tail) = tail.split_at_mut(last - first + 1);
+                rest = tail;
+                offset = last + 1;
+                handles.push(s.spawn(move || {
                     let mut changed = 0usize;
-                    for &(_, op) in run {
-                        match op {
-                            AdjOp::Insert(n, l) => {
-                                if let Err(pos) = list.binary_search_by_key(&n, |&(v, _)| v) {
-                                    list.insert(pos, (n, l));
-                                    changed += 1;
-                                }
-                            }
-                            AdjOp::Remove(n) => {
-                                if let Ok(pos) = list.binary_search_by_key(&n, |&(v, _)| v) {
-                                    list.remove(pos);
-                                    changed += 1;
-                                }
-                            }
+                    for &(idx, run) in chunk {
+                        let list = &mut mine[idx - first];
+                        for &(_, op) in run {
+                            let did = match op {
+                                AdjOp::Insert(n, l, nl) => list.insert(n, l, nl),
+                                AdjOp::Remove(n, nl) => list.remove(n, nl).is_some(),
+                            };
+                            changed += usize::from(did);
                         }
                     }
                     changed
-                })
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bulk-apply worker panicked"))
                 .sum()
-        };
+        });
 
         // Each undirected edge contributed two endpoint ops.
-        debug_assert!(applied % 2 == 0, "asymmetric parallel application");
+        debug_assert!(applied.is_multiple_of(2), "asymmetric parallel application");
         let n = applied / 2;
         if insert {
             self.n_edges += n;
@@ -434,8 +688,10 @@ impl DataGraph {
         &mut self.by_label[label.index()]
     }
 
-    /// Debug-only structural invariant check: adjacency symmetry, sortedness,
-    /// consistent edge count and label buckets. Used by property tests.
+    /// Debug-only structural invariant check: partition-index integrity,
+    /// adjacency symmetry, consistent edge counts, and label-bucket
+    /// hygiene (alive-only, label-consistent, duplicate-free). Used by
+    /// property tests.
     pub fn check_invariants(&self) -> Result<()> {
         let mut dir_edges = 0usize;
         for (i, list) in self.adj.iter().enumerate() {
@@ -443,16 +699,75 @@ impl DataGraph {
             if !self.alive[i] && !list.is_empty() {
                 return Err(GraphError::VertexNotIsolated(a, list.len()));
             }
-            for w in list.windows(2) {
+            // Partition index: keys strictly increasing, starts strictly
+            // increasing from 0, all in range, no empty groups.
+            for w in list.groups.windows(2) {
                 if w[0].0 >= w[1].0 {
-                    return Err(GraphError::Io(format!("adjacency of {a:?} not sorted")));
+                    return Err(GraphError::Io(format!("group keys of {a:?} not sorted")));
+                }
+                if w[0].1 >= w[1].1 {
+                    return Err(GraphError::Io(format!(
+                        "group starts of {a:?} not increasing"
+                    )));
                 }
             }
-            for &(b, l) in list {
+            match list.groups.first() {
+                Some(&(_, s)) if s != 0 => {
+                    return Err(GraphError::Io(format!("first group of {a:?} not at 0")));
+                }
+                None if !list.entries.is_empty() => {
+                    return Err(GraphError::Io(format!("entries of {a:?} with no groups")));
+                }
+                _ => {}
+            }
+            if let Some(&(_, s)) = list.groups.last() {
+                if (s as usize) >= list.entries.len() {
+                    return Err(GraphError::Io(format!("empty trailing group on {a:?}")));
+                }
+            }
+            // Entries agree with their group key; ids strictly increase
+            // within a group; no neighbor appears twice overall.
+            let mut seen: Vec<VertexId> = Vec::with_capacity(list.len());
+            for gi in 0..list.groups.len() {
+                let (key, s) = list.groups[gi];
+                let e = list.group_end(gi);
+                let (gvl, gel) = (VLabel((key >> 32) as u32), ELabel(key as u32));
+                let run = &list.entries[s as usize..e];
+                for w in run.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(GraphError::Io(format!(
+                            "group {gvl:?}/{gel:?} of {a:?} not id-sorted"
+                        )));
+                    }
+                }
+                for &(b, l) in run {
+                    if l != gel {
+                        return Err(GraphError::Io(format!(
+                            "entry {a:?}->{b:?} elabel {l:?} in group {gel:?}"
+                        )));
+                    }
+                    if !self.is_alive(b) {
+                        return Err(GraphError::Io(format!("edge {a:?}-{b:?} to dead vertex")));
+                    }
+                    if self.labels[b.index()] != gvl {
+                        return Err(GraphError::Io(format!(
+                            "entry {a:?}->{b:?} labeled {:?} in group {gvl:?}",
+                            self.labels[b.index()]
+                        )));
+                    }
+                    seen.push(b);
+                }
+            }
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::Io(format!("duplicate neighbor in {a:?}")));
+            }
+            // Symmetry.
+            for &(b, l) in list.as_slice() {
                 let back = self
                     .adj
                     .get(b.index())
-                    .and_then(|lb| lb.binary_search_by_key(&a, |&(v, _)| v).ok().map(|p| lb[p].1));
+                    .and_then(|lb| lb.find(a, self.labels[a.index()]));
                 if back != Some(l) {
                     return Err(GraphError::Io(format!("edge {a:?}-{b:?} not symmetric")));
                 }
@@ -465,9 +780,26 @@ impl DataGraph {
                 self.n_edges
             )));
         }
+        // Label buckets: total matches the alive count, and every member is
+        // an alive vertex filed under its own label, exactly once.
         let bucket_total: usize = self.by_label.iter().map(Vec::len).sum();
         if bucket_total != self.n_alive {
             return Err(GraphError::Io("label buckets out of sync".into()));
+        }
+        for (li, bucket) in self.by_label.iter().enumerate() {
+            let mut members = bucket.clone();
+            members.sort_unstable();
+            if members.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::Io(format!("duplicate vertex in bucket {li}")));
+            }
+            for &v in bucket {
+                if !self.is_alive(v) {
+                    return Err(GraphError::Io(format!("dead vertex {v:?} in bucket {li}")));
+                }
+                if self.labels[v.index()].index() != li {
+                    return Err(GraphError::Io(format!("vertex {v:?} in wrong bucket {li}")));
+                }
+            }
         }
         Ok(())
     }
@@ -562,6 +894,42 @@ mod tests {
         g.check_invariants().unwrap();
     }
 
+    /// Regression test: label buckets must never retain dead slots — a dead
+    /// vertex surviving in `by_label` would leak into depth-0 candidate
+    /// scans via `vertices_with_label` and fabricate matches.
+    #[test]
+    fn deleted_vertices_leave_label_buckets() {
+        let mut g = DataGraph::new();
+        let a = g.add_vertex(VLabel(1));
+        let b = g.add_vertex(VLabel(1));
+        let c = g.add_vertex(VLabel(1));
+        g.insert_edge(a, b, ELabel(0)).unwrap();
+        g.insert_edge(b, c, ELabel(0)).unwrap();
+
+        g.delete_vertex(b, true).unwrap();
+        assert_eq!(g.vertices_with_label(VLabel(1)).len(), 2);
+        assert!(g
+            .vertices_with_label(VLabel(1))
+            .iter()
+            .all(|&v| g.is_alive(v)));
+        g.check_invariants().unwrap();
+
+        // Revive the slot under a *different* label: it must appear in the
+        // new bucket only, and never twice.
+        g.ensure_vertex(b, VLabel(7));
+        assert_eq!(g.vertices_with_label(VLabel(7)), &[b]);
+        assert_eq!(g.vertices_with_label(VLabel(1)).len(), 2);
+        g.check_invariants().unwrap();
+
+        // Delete again from the new bucket; repeated churn stays clean.
+        g.delete_vertex(b, false).unwrap();
+        assert!(g.vertices_with_label(VLabel(7)).is_empty());
+        for &v in g.vertices_with_label(VLabel(1)) {
+            assert!(g.is_alive(v));
+        }
+        g.check_invariants().unwrap();
+    }
+
     #[test]
     fn ensure_vertex_grows_with_dead_slots() {
         let mut g = DataGraph::new();
@@ -595,10 +963,63 @@ mod tests {
         g.insert_edge(c, x, ELabel(0)).unwrap();
         g.insert_edge(c, y, ELabel(1)).unwrap();
         g.insert_edge(c, z, ELabel(0)).unwrap();
-        let hits: Vec<_> = g.neighbors_filtered(c, VLabel(1), Some(ELabel(0))).collect();
+        let hits: Vec<_> = g
+            .neighbors_filtered(c, VLabel(1), Some(ELabel(0)))
+            .collect();
         assert_eq!(hits, vec![x]);
         let any_elabel: Vec<_> = g.neighbors_filtered(c, VLabel(1), None).collect();
         assert_eq!(any_elabel, vec![x, y]);
+    }
+
+    #[test]
+    fn neighbors_with_returns_exact_sorted_slices() {
+        let mut g = DataGraph::new();
+        let c = g.add_vertex(VLabel(0));
+        // Neighbors across two vlabels and two elabels, inserted out of
+        // order to exercise partition maintenance.
+        let n_1_0a = g.add_vertex(VLabel(1));
+        let n_1_0b = g.add_vertex(VLabel(1));
+        let n_1_1 = g.add_vertex(VLabel(1));
+        let n_2_0 = g.add_vertex(VLabel(2));
+        g.insert_edge(c, n_2_0, ELabel(0)).unwrap();
+        g.insert_edge(c, n_1_1, ELabel(1)).unwrap();
+        g.insert_edge(c, n_1_0b, ELabel(0)).unwrap();
+        g.insert_edge(c, n_1_0a, ELabel(0)).unwrap();
+
+        assert_eq!(
+            g.neighbors_with(c, VLabel(1), ELabel(0)),
+            &[(n_1_0a, ELabel(0)), (n_1_0b, ELabel(0))]
+        );
+        assert_eq!(
+            g.neighbors_with(c, VLabel(1), ELabel(1)),
+            &[(n_1_1, ELabel(1))]
+        );
+        assert_eq!(
+            g.neighbors_with(c, VLabel(2), ELabel(0)),
+            &[(n_2_0, ELabel(0))]
+        );
+        assert!(g.neighbors_with(c, VLabel(2), ELabel(1)).is_empty());
+        assert!(g.neighbors_with(c, VLabel(9), ELabel(0)).is_empty());
+
+        let all_l1 = g.neighbors_with_vlabel(c, VLabel(1));
+        assert_eq!(
+            all_l1,
+            &[(n_1_0a, ELabel(0)), (n_1_0b, ELabel(0)), (n_1_1, ELabel(1))]
+        );
+        assert_eq!(g.count_neighbors_with(c, VLabel(1), None), 3);
+        assert_eq!(g.count_neighbors_with(c, VLabel(1), Some(ELabel(0))), 2);
+
+        // The full list concatenates the groups in key order.
+        assert_eq!(g.neighbors(c).len(), 4);
+        assert!(g.has_edge_with(c, n_1_1, ELabel(1)));
+        assert!(!g.has_edge_with(c, n_1_1, ELabel(0)));
+        g.check_invariants().unwrap();
+
+        // Removal keeps partitions tight (empty groups vanish).
+        g.remove_edge(c, n_1_1).unwrap();
+        assert!(g.neighbors_with(c, VLabel(1), ELabel(1)).is_empty());
+        assert_eq!(g.count_neighbors_with(c, VLabel(1), None), 2);
+        g.check_invariants().unwrap();
     }
 
     #[test]

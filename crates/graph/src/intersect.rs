@@ -1,0 +1,164 @@
+//! Galloping multi-way intersection over id-sorted adjacency slices.
+//!
+//! [`DataGraph::neighbors_with`](crate::DataGraph::neighbors_with) returns
+//! contiguous runs sorted by neighbor id, which makes the candidate set of
+//! a query vertex with several matched backward neighbors a *sorted-list
+//! intersection* — the primitive behind worst-case-optimal (generic)
+//! joins. The enumeration kernel drives the smallest slice and advances
+//! the rest by exponential + binary ("galloping") search, giving
+//! `O(k · min|L| · log(max|L| / min|L|))` for `k` lists.
+//!
+//! Inputs **must** be strictly id-sorted; label-exact partition slices are,
+//! vlabel-range slices ([`DataGraph::neighbors_with_vlabel`]
+//! (crate::DataGraph::neighbors_with_vlabel)) are **not** — callers in
+//! ignore-edge-label mode must verify by probing instead of merging.
+
+use crate::ids::{ELabel, VertexId};
+
+/// Index of the first entry in `list[from..]` with neighbor id ≥ `target`
+/// (plus `from`), found by exponential search then binary refinement.
+/// `O(log gap)` where `gap` is the distance advanced — the property that
+/// makes repeated forward seeks over one list linear overall.
+#[inline]
+pub fn gallop(list: &[(VertexId, ELabel)], from: usize, target: VertexId) -> usize {
+    let mut lo = from;
+    let mut step = 1;
+    while lo + step < list.len() && list[lo + step].0 < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(list.len());
+    lo + list[lo..hi].partition_point(|&(v, _)| v < target)
+}
+
+/// Intersect `k ≥ 1` strictly id-sorted slices, invoking `f` for every
+/// vertex id present in all of them, in ascending id order. `f` returns
+/// `false` to stop early; the function returns `false` iff stopped.
+///
+/// The driver is the smallest slice (fewest candidate ids); each remaining
+/// slice keeps a monotone cursor advanced by [`gallop`].
+pub fn intersect_foreach<F>(slices: &[&[(VertexId, ELabel)]], mut f: F) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    debug_assert!(!slices.is_empty());
+    let smallest = slices
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.len())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    if slices[smallest].is_empty() {
+        return true;
+    }
+    let mut cursors = vec![0usize; slices.len()];
+    'outer: for &(v, _) in slices[smallest] {
+        for (j, s) in slices.iter().enumerate() {
+            if j == smallest {
+                continue;
+            }
+            let pos = gallop(s, cursors[j], v);
+            cursors[j] = pos;
+            match s.get(pos) {
+                Some(&(w, _)) if w == v => {}
+                _ => continue 'outer,
+            }
+        }
+        if !f(v) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(ids: &[u32]) -> Vec<(VertexId, ELabel)> {
+        ids.iter().map(|&v| (VertexId(v), ELabel(0))).collect()
+    }
+
+    fn run(slices: &[&[(VertexId, ELabel)]]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        intersect_foreach(slices, |v| {
+            out.push(v);
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn two_and_three_way() {
+        let a = list(&[1, 3, 5, 9]);
+        let b = list(&[2, 3, 9, 12]);
+        let c = list(&[3, 4, 9, 10]);
+        assert_eq!(run(&[&a, &b]), vec![VertexId(3), VertexId(9)]);
+        assert_eq!(run(&[&a, &b, &c]), vec![VertexId(3), VertexId(9)]);
+    }
+
+    #[test]
+    fn empty_operand_short_circuits() {
+        let a = list(&[1, 2, 3]);
+        let empty = list(&[]);
+        assert!(run(&[&a, &empty]).is_empty());
+    }
+
+    #[test]
+    fn single_slice_streams_all() {
+        let a = list(&[4, 8]);
+        assert_eq!(run(&[&a]), vec![VertexId(4), VertexId(8)]);
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let a = list(&[1, 2, 3]);
+        let mut n = 0;
+        let finished = intersect_foreach(&[&a], |_| {
+            n += 1;
+            n < 2
+        });
+        assert!(!finished);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn gallop_lands_on_lower_bound() {
+        let a = list(&[2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(gallop(&a, 0, VertexId(0)), 0);
+        assert_eq!(gallop(&a, 0, VertexId(7)), 3);
+        assert_eq!(gallop(&a, 2, VertexId(7)), 3);
+        assert_eq!(gallop(&a, 0, VertexId(14)), 6);
+        assert_eq!(gallop(&a, 0, VertexId(99)), 7);
+    }
+
+    #[test]
+    fn matches_naive_on_random_lists() {
+        // Deterministic pseudo-random lists (no external RNG needed here).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mk = |next: &mut dyn FnMut() -> u64| {
+                let len = (next() % 60) as usize;
+                let mut v: Vec<u32> = (0..len).map(|_| (next() % 200) as u32).collect();
+                v.sort_unstable();
+                v.dedup();
+                list(&v)
+            };
+            let a = mk(&mut next);
+            let b = mk(&mut next);
+            let c = mk(&mut next);
+            let naive: Vec<VertexId> = a
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| b.iter().any(|&(w, _)| w == *v) && c.iter().any(|&(w, _)| w == *v))
+                .collect();
+            assert_eq!(run(&[&a, &b, &c]), naive);
+        }
+    }
+}

@@ -27,7 +27,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::Parse { line, message: message.into() }
+    GraphError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32> {
@@ -72,7 +75,10 @@ pub fn read_query_graph<R: Read>(r: R) -> Result<QueryGraph> {
                 let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
                 let label = parse_u32(parts.get(2).copied(), lineno, "vertex label")?;
                 if id as usize != q.num_vertices() {
-                    return Err(parse_err(lineno, "query vertex ids must be dense and in order"));
+                    return Err(parse_err(
+                        lineno,
+                        "query vertex ids must be dense and in order",
+                    ));
                 }
                 q.add_vertex(VLabel(label));
             }
@@ -116,7 +122,11 @@ pub fn read_update_stream<R: Read>(r: R) -> Result<UpdateStream> {
                     None => 0,
                 };
                 let e = EdgeUpdate::new(VertexId(src), VertexId(dst), ELabel(label));
-                s.push(if del { Update::DeleteEdge(e) } else { Update::InsertEdge(e) });
+                s.push(if del {
+                    Update::DeleteEdge(e)
+                } else {
+                    Update::InsertEdge(e)
+                });
             }
             ("v", true) => {
                 let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
@@ -125,7 +135,10 @@ pub fn read_update_stream<R: Read>(r: R) -> Result<UpdateStream> {
             ("v", false) => {
                 let id = parse_u32(parts.get(1).copied(), lineno, "vertex id")?;
                 let label = parse_u32(parts.get(2).copied(), lineno, "vertex label")?;
-                s.push(Update::InsertVertex { id: VertexId(id), label: VLabel(label) });
+                s.push(Update::InsertVertex {
+                    id: VertexId(id),
+                    label: VLabel(label),
+                });
             }
             _ => unreachable!(),
         }
@@ -134,10 +147,7 @@ pub fn read_update_stream<R: Read>(r: R) -> Result<UpdateStream> {
     Ok(s)
 }
 
-fn for_each_line<R: Read>(
-    r: R,
-    mut f: impl FnMut(usize, &[&str]) -> Result<()>,
-) -> Result<()> {
+fn for_each_line<R: Read>(r: R, mut f: impl FnMut(usize, &[&str]) -> Result<()>) -> Result<()> {
     let reader = BufReader::new(r);
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
@@ -245,10 +255,8 @@ e 0 2
 
     #[test]
     fn parse_stream_all_ops() {
-        let s = read_update_stream(
-            "e 0 1 2\n+e 1 2 0\n-e 0 1 2\nv 7 3\n+v 8 1\n-v 7\n".as_bytes(),
-        )
-        .unwrap();
+        let s = read_update_stream("e 0 1 2\n+e 1 2 0\n-e 0 1 2\nv 7 3\n+v 8 1\n-v 7\n".as_bytes())
+            .unwrap();
         assert_eq!(s.len(), 6);
         assert_eq!(s.num_edge_insertions(), 2);
         assert_eq!(s.num_edge_deletions(), 1);

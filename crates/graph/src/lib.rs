@@ -23,7 +23,9 @@
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod intersect;
 pub mod io;
+pub mod par;
 pub mod query;
 pub mod stats;
 pub mod update;

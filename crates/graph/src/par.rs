@@ -1,0 +1,65 @@
+//! Scoped-thread data-parallel helpers.
+//!
+//! The workspace previously delegated its two data-parallel loops (bulk
+//! adjacency application, batch stage-1 classification) to rayon; with
+//! the build offline, this module provides the same fork-join shape on
+//! `std::thread::scope`. Both helpers split the input into one
+//! contiguous chunk per thread — the workloads are per-item uniform
+//! enough that static partitioning matches a work-stealing pool, and a
+//! contiguous split preserves output ordering for free.
+
+/// Worker count for data-parallel loops (≥ 1).
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Inputs per thread below which spawning costs more than it saves.
+const MIN_CHUNK: usize = 16;
+
+/// Parallel ordered map: `items.iter().map(f).collect()`, fanned out
+/// over [`threads`] scoped threads in contiguous chunks. Falls back to
+/// the sequential loop for small inputs or single-core hosts.
+pub fn map_slice<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let nthreads = threads().min(items.len().div_ceil(MIN_CHUNK));
+    if nthreads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(nthreads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out = map_slice(&input, |&x| x * 3);
+        assert_eq!(out, input.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_slice_small_input() {
+        let out = map_slice(&[1u32, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_slice_empty() {
+        let out: Vec<u32> = map_slice(&[], |x: &u32| *x);
+        assert!(out.is_empty());
+    }
+}

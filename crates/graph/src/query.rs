@@ -100,7 +100,11 @@ impl QueryGraph {
         self.adj_mask[u.index()] |= 1 << v.index();
         self.adj_mask[v.index()] |= 1 << u.index();
         let (a, b) = if u < v { (u, v) } else { (v, u) };
-        self.edges.push(QEdge { u: a, v: b, label: l });
+        self.edges.push(QEdge {
+            u: a,
+            v: b,
+            label: l,
+        });
         Ok(true)
     }
 
@@ -194,10 +198,10 @@ impl QueryGraph {
     ) -> impl Iterator<Item = (QVertexId, QVertexId)> + '_ {
         self.edges.iter().flat_map(move |e| {
             let elabel_ok = ignore_elabel || e.label == el;
-            let fwd = (elabel_ok && self.label(e.u) == la && self.label(e.v) == lb)
-                .then_some((e.u, e.v));
-            let bwd = (elabel_ok && self.label(e.v) == la && self.label(e.u) == lb)
-                .then_some((e.v, e.u));
+            let fwd =
+                (elabel_ok && self.label(e.u) == la && self.label(e.v) == lb).then_some((e.u, e.v));
+            let bwd =
+                (elabel_ok && self.label(e.v) == la && self.label(e.u) == lb).then_some((e.v, e.u));
             fwd.into_iter().chain(bwd)
         })
     }
@@ -207,7 +211,13 @@ impl QueryGraph {
     /// edge matches, the update can never participate in a match nor flip a
     /// label-gated ADS state, hence is *safe*.
     #[inline]
-    pub fn matches_any_edge(&self, la: VLabel, lb: VLabel, el: ELabel, ignore_elabel: bool) -> bool {
+    pub fn matches_any_edge(
+        &self,
+        la: VLabel,
+        lb: VLabel,
+        el: ELabel,
+        ignore_elabel: bool,
+    ) -> bool {
         self.seed_edges(la, lb, el, ignore_elabel).next().is_some()
     }
 
@@ -314,13 +324,23 @@ mod tests {
         let a = q.add_vertex(VLabel(0));
         let b = q.add_vertex(VLabel(1));
         q.add_edge(a, b, ELabel(2)).unwrap();
-        let fwd: Vec<_> = q.seed_edges(VLabel(0), VLabel(1), ELabel(2), false).collect();
+        let fwd: Vec<_> = q
+            .seed_edges(VLabel(0), VLabel(1), ELabel(2), false)
+            .collect();
         assert_eq!(fwd, vec![(a, b)]);
-        let bwd: Vec<_> = q.seed_edges(VLabel(1), VLabel(0), ELabel(2), false).collect();
+        let bwd: Vec<_> = q
+            .seed_edges(VLabel(1), VLabel(0), ELabel(2), false)
+            .collect();
         assert_eq!(bwd, vec![(b, a)]);
         // Wrong edge label: no seeds unless ignored.
-        assert!(q.seed_edges(VLabel(0), VLabel(1), ELabel(0), false).next().is_none());
-        assert!(q.seed_edges(VLabel(0), VLabel(1), ELabel(0), true).next().is_some());
+        assert!(q
+            .seed_edges(VLabel(0), VLabel(1), ELabel(0), false)
+            .next()
+            .is_none());
+        assert!(q
+            .seed_edges(VLabel(0), VLabel(1), ELabel(0), true)
+            .next()
+            .is_some());
     }
 
     #[test]
@@ -331,7 +351,9 @@ mod tests {
         let a = q.add_vertex(VLabel(3));
         let b = q.add_vertex(VLabel(3));
         q.add_edge(a, b, ELabel(0)).unwrap();
-        let seeds: Vec<_> = q.seed_edges(VLabel(3), VLabel(3), ELabel(0), false).collect();
+        let seeds: Vec<_> = q
+            .seed_edges(VLabel(3), VLabel(3), ELabel(0), false)
+            .collect();
         assert_eq!(seeds.len(), 2);
     }
 

@@ -39,7 +39,11 @@ impl GraphStats {
             num_edges: ne,
             num_vertex_labels: vlabels.len(),
             num_edge_labels: elabels.len(),
-            avg_degree: if nv == 0 { 0.0 } else { 2.0 * ne as f64 / nv as f64 },
+            avg_degree: if nv == 0 {
+                0.0
+            } else {
+                2.0 * ne as f64 / nv as f64
+            },
             max_degree,
         }
     }

@@ -150,7 +150,9 @@ impl<'a> IntoIterator for &'a UpdateStream {
 
 impl FromIterator<Update> for UpdateStream {
     fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
-        UpdateStream { updates: iter.into_iter().collect() }
+        UpdateStream {
+            updates: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -173,7 +175,10 @@ mod tests {
             Update::InsertEdge(e),
             Update::DeleteEdge(e),
             Update::InsertEdge(e),
-            Update::InsertVertex { id: VertexId(9), label: VLabel(1) },
+            Update::InsertVertex {
+                id: VertexId(9),
+                label: VLabel(1),
+            },
         ]
         .into_iter()
         .collect();

@@ -5,9 +5,12 @@
 use csm_graph::{DataGraph, ELabel, VLabel, VertexId};
 use proptest::prelude::*;
 
+/// A candidate edge as raw generator output: `(src, dst, elabel)`.
+type RawEdge = (u32, u32, u32);
+
 /// Generate a base graph plus a valid batch of *new* edges (no duplicates,
 /// no existing edges, no self-loops).
-fn base_and_batch() -> impl Strategy<Value = (u32, Vec<(u32, u32, u32)>, Vec<(u32, u32, u32)>)> {
+fn base_and_batch() -> impl Strategy<Value = (u32, Vec<RawEdge>, Vec<RawEdge>)> {
     (24u32..120).prop_flat_map(|n| {
         let edge = (0..n, 0..n, 0u32..4);
         (

@@ -27,7 +27,11 @@ struct LabelCount {
 
 impl LabelCount {
     fn new() -> Self {
-        LabelCount { counts: Vec::new(), required: Vec::new(), n_labels: 0 }
+        LabelCount {
+            counts: Vec::new(),
+            required: Vec::new(),
+            n_labels: 0,
+        }
     }
 }
 
@@ -42,7 +46,12 @@ impl CsmAlgorithm for LabelCount {
             .map(|i| g.label(VertexId::from(i)).0 as usize + 1)
             .max()
             .unwrap_or(1)
-            .max(q.vertices().map(|u| q.label(u).0 as usize + 1).max().unwrap_or(1));
+            .max(
+                q.vertices()
+                    .map(|u| q.label(u).0 as usize + 1)
+                    .max()
+                    .unwrap_or(1),
+            );
         self.counts = vec![vec![0; self.n_labels]; g.vertex_slots()];
         for v in g.vertices() {
             for &(w, _) in g.neighbors(v) {
@@ -61,7 +70,13 @@ impl CsmAlgorithm for LabelCount {
             .collect();
     }
 
-    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, is_insert: bool) -> AdsChange {
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        is_insert: bool,
+    ) -> AdsChange {
         if self.counts.len() < g.vertex_slots() {
             self.rebuild(g, q);
             return AdsChange::Changed;

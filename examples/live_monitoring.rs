@@ -37,12 +37,7 @@ fn main() {
         aut.order()
     );
 
-    let mut engine = ParaCosm::new(
-        g,
-        q,
-        Symbi::new(),
-        ParaCosmConfig::parallel(2).collecting(),
-    );
+    let mut engine = ParaCosm::new(g, q, Symbi::new(), ParaCosmConfig::parallel(2).collecting());
 
     // Materialize the initial match set.
     let mut store = MatchStore::new();

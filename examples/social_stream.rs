@@ -18,7 +18,11 @@ fn main() {
     // a 10 % insertion stream and a 20 % deletion tail (churn: people
     // unfollow too).
     let mut wcfg = WorkloadConfig::paper_cell(DatasetKind::Amazon, Scale::Xs, 4);
-    wcfg.stream = StreamConfig { insert_fraction: 0.10, delete_fraction: 0.2, seed: 11 };
+    wcfg.stream = StreamConfig {
+        insert_fraction: 0.10,
+        delete_fraction: 0.2,
+        seed: 11,
+    };
     wcfg.n_queries = 1; // one 4-vertex motif extracted from the graph itself
     let w = datagen::build_workload(&wcfg);
 

@@ -1,0 +1,289 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Implements the bench-definition surface the workspace's benches use
+//! — `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! throughput, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! wall-clock measurement loop (calibrated iteration batches, median of
+//! samples) instead of criterion's statistical machinery. Results print
+//! as one line per benchmark:
+//!
+//! ```text
+//! bench group/id ... median 12.345 µs/iter (n=10, min 11.8, max 13.1)
+//! ```
+//!
+//! Supports `cargo bench -- <substring>` filtering like the original.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock spent measuring one benchmark (all samples).
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name prefixes it at print time).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (reported alongside the time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing collector handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times and record the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Run one closure under the calibrated sampling loop; returns the
+/// median per-iteration time.
+fn measure<F: FnMut(&mut Bencher)>(samples: u64, mut f: F) -> (Duration, Duration, Duration) {
+    // Calibration: one iteration to estimate the per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let est = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = TARGET_MEASURE / (samples as u32).max(1);
+    let iters = (per_sample.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters as u32);
+    }
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    (median, per_iter[0], *per_iter.last().unwrap())
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let (median, min, max) = measure(self.sample_size, f);
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                format!(", {:.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                format!(", {:.0} B/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {full} ... median {}/iter (n={}, min {}, max {}{tp})",
+            fmt_duration(median),
+            self.sample_size,
+            fmt_duration(min),
+            fmt_duration(max),
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id.clone(), |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters; flag-style args (e.g. the
+        // `--bench` cargo appends) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(BenchmarkId { id: id.to_string() }, f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_and_orders() {
+        let (median, min, max) = measure(4, |b| b.iter(|| black_box(1 + 1)));
+        assert!(min <= median && median <= max);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("a", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

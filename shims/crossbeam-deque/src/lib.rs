@@ -1,0 +1,137 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Provides the [`Injector`] / [`Steal`] surface the inner-update
+//! executor uses. The real crate's injector is a lock-free Michael–Scott
+//! style FIFO; this shim is a `Mutex<VecDeque>`. That is a *throughput*
+//! downgrade under heavy contention, not a *semantics* change: `steal`
+//! still returns each pushed task exactly once, and `Steal::Retry` is
+//! reported when the lock is contended so callers' backoff loops behave
+//! as written.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was dequeued.
+    Success(T),
+    /// Transient contention; try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Convert to `Option`, mapping both `Empty` and `Retry` to `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A FIFO task injector shared by all workers.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue a task.
+    pub fn push(&self, task: T) {
+        self.q.lock().unwrap().push_back(task);
+    }
+
+    /// Attempt to dequeue a task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                let mut q = e.into_inner();
+                match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                }
+            }
+        }
+    }
+
+    /// Is the queue empty right now? (Racy, like the original.)
+    pub fn is_empty(&self) -> bool {
+        match self.q.try_lock() {
+            Ok(q) => q.is_empty(),
+            // Contended ⇒ someone is pushing or stealing; report non-empty
+            // so idle workers keep polling rather than parking early.
+            Err(_) => false,
+        }
+    }
+
+    /// Approximate queue length.
+    pub fn len(&self) -> usize {
+        match self.q.try_lock() {
+            Ok(q) => q.len(),
+            Err(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let inj = Injector::new();
+        assert_eq!(inj.steal(), Steal::<u32>::Empty);
+        inj.push(1);
+        inj.push(2);
+        assert!(!inj.is_empty());
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_steals_partition_tasks() {
+        let inj = Arc::new(Injector::new());
+        const N: usize = 10_000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match inj.steal() {
+                        Steal::Success(t) => got.push(t),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+}

@@ -30,7 +30,9 @@ fn usage() -> ! {
 fn main() {
     let (mut graph, mut query, mut stream) = (None, None, None);
     let mut kind = AlgoKind::Symbi;
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut batch = 1024usize;
     let mut inter = true;
     let mut timeout = None;
@@ -50,7 +52,9 @@ fn main() {
             "--batch" => batch = val().parse().unwrap_or_else(|_| usage()),
             "--no-inter" => inter = false,
             "--timeout-ms" => {
-                timeout = Some(Duration::from_millis(val().parse().unwrap_or_else(|_| usage())))
+                timeout = Some(Duration::from_millis(
+                    val().parse().unwrap_or_else(|_| usage()),
+                ))
             }
             "--initial" => initial = true,
             "--per-update" => per_update = true,
@@ -58,7 +62,9 @@ fn main() {
             _ => usage(),
         }
     }
-    let (Some(gp), Some(qp), Some(sp)) = (graph, query, stream) else { usage() };
+    let (Some(gp), Some(qp), Some(sp)) = (graph, query, stream) else {
+        usage()
+    };
 
     let g = io::load_data_graph(&gp).unwrap_or_else(|e| {
         eprintln!("failed to load graph {gp}: {e}");

@@ -2,18 +2,20 @@
 //! soundness, per-stage accounting, deferral, and tricky same-batch
 //! interactions (duplicates, insert/delete flips, vertex ops mid-batch).
 
-use csm_graph::{DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId};
+use csm_graph::{
+    DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId,
+};
 use paracosm::algos::{testing, AlgoKind, AnyAlgorithm};
 use paracosm::core::{ParaCosm, ParaCosmConfig};
 
-fn engine(
-    g: &DataGraph,
-    q: &QueryGraph,
-    kind: AlgoKind,
-    batch: usize,
-) -> ParaCosm<AnyAlgorithm> {
+fn engine(g: &DataGraph, q: &QueryGraph, kind: AlgoKind, batch: usize) -> ParaCosm<AnyAlgorithm> {
     let algo = kind.build(g, q);
-    ParaCosm::new(g.clone(), q.clone(), algo, ParaCosmConfig::parallel(4).with_batch_size(batch))
+    ParaCosm::new(
+        g.clone(),
+        q.clone(),
+        algo,
+        ParaCosmConfig::parallel(4).with_batch_size(batch),
+    )
 }
 
 /// Two-label setup where label-safety is easy to stage.
@@ -41,9 +43,7 @@ fn label_safe_updates_skip_everything() {
     let (g, q) = setup();
     // Edges between two label-2 vertices can never matter.
     let stream: UpdateStream = (0..8)
-        .map(|i| {
-            Update::InsertEdge(EdgeUpdate::new(v(2 + 3 * i), v(2 + 3 * (i + 1)), ELabel(0)))
-        })
+        .map(|i| Update::InsertEdge(EdgeUpdate::new(v(2 + 3 * i), v(2 + 3 * (i + 1)), ELabel(0))))
         .collect();
     let mut e = engine(&g, &q, AlgoKind::Symbi, 64);
     let out = e.process_stream(&stream).unwrap();
@@ -115,7 +115,10 @@ fn vertex_ops_mid_batch_flush_and_apply_in_order() {
     let nv = g.vertex_slots() as u32;
     let stream: UpdateStream = vec![
         Update::InsertEdge(EdgeUpdate::new(v(2), v(5), ELabel(0))), // label-safe
-        Update::InsertVertex { id: VertexId(nv), label: VLabel(2) },
+        Update::InsertVertex {
+            id: VertexId(nv),
+            label: VLabel(2),
+        },
         Update::InsertEdge(EdgeUpdate::new(v(2), VertexId(nv), ELabel(0))), // uses new vertex
     ]
     .into_iter()

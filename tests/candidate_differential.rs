@@ -1,0 +1,199 @@
+//! Differential tests for the partition-index candidate generator: on
+//! random workloads, [`kernel::for_each_candidate`] (exact-slice galloping
+//! intersection / probe hybrid) must produce exactly the same candidate
+//! *sets* at every search-tree node — and therefore the same match counts —
+//! as the retained linear-scan reference [`kernel::for_each_candidate_naive`].
+
+use csm_graph::QVertexId;
+use paracosm::algos::testing;
+use paracosm::core::kernel::{self, NoFilter, SearchCtx, SearchStats};
+use paracosm::core::{static_match, BufferSink, Embedding, MatchSink, SeedOrder};
+use proptest::prelude::*;
+
+/// Walk the search tree rooted at (`emb`, `depth`), asserting at every node
+/// that the two generators agree on the candidate set, and counting the full
+/// matches found. Recursion follows the shared (sorted) candidate set, so a
+/// divergence is caught at the *first* node where it appears.
+fn walk_and_compare(ctx: &SearchCtx<'_>, emb: &mut Embedding, depth: usize) -> u64 {
+    if depth == ctx.order.len() {
+        return 1;
+    }
+    let mut fast = Vec::new();
+    kernel::for_each_candidate(ctx, &NoFilter, *emb, depth, |v| {
+        fast.push(v);
+        true
+    });
+    let mut naive = Vec::new();
+    kernel::for_each_candidate_naive(ctx, &NoFilter, *emb, depth, |v| {
+        naive.push(v);
+        true
+    });
+    fast.sort_unstable();
+    naive.sort_unstable();
+    assert_eq!(
+        fast, naive,
+        "candidate sets diverge at depth {depth} (ignore_elabels={}, emb={emb:?})",
+        ctx.ignore_elabels
+    );
+    let u = ctx.order.order[depth];
+    let mut count = 0;
+    for v in fast {
+        emb.set(u, v);
+        count += walk_and_compare(ctx, emb, depth + 1);
+        emb.unset(u);
+    }
+    count
+}
+
+/// Full-tree comparison for one workload/query pair, in both edge-label
+/// modes, cross-checked against the static-match oracle.
+fn check_workload(seed: u64, n: u32, vlabels: u32, elabels: u32, edges: usize, qsize: usize) {
+    let (g, _) = testing::random_workload(seed, n, vlabels, elabels, edges, 0, 0.0);
+    let Some(q) = testing::random_walk_query(&g, seed ^ 0x5EED, qsize) else {
+        return;
+    };
+    let start = q
+        .vertices()
+        .max_by_key(|&u| q.degree(u))
+        .expect("non-empty query");
+    let order = SeedOrder::build(&q, &[start]);
+    for ignore in [false, true] {
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: ignore,
+            deadline: None,
+        };
+        let matches = walk_and_compare(&ctx, &mut Embedding::empty(), 0);
+        let oracle = if ignore {
+            static_match::count_all_ignoring_elabels(&g, &q)
+        } else {
+            static_match::count_all(&g, &q)
+        };
+        assert_eq!(
+            matches, oracle,
+            "match count diverges from oracle (seed={seed}, ignore={ignore})"
+        );
+    }
+}
+
+#[test]
+fn skewed_labels_agree_with_naive_reference() {
+    // Few vertex labels over many vertices → big label buckets, long
+    // partition slices, exercises the galloping-merge path.
+    for seed in 0..12u64 {
+        check_workload(seed, 36, 2, 2, 140, 4);
+    }
+}
+
+#[test]
+fn uniform_labels_agree_with_naive_reference() {
+    // Many labels → tiny slices, exercises the probe fallback.
+    for seed in 100..112u64 {
+        check_workload(seed, 36, 6, 3, 120, 4);
+    }
+}
+
+#[test]
+fn single_elabel_agree_with_naive_reference() {
+    // One edge label: exact mode degenerates close to CaLiG mode, both
+    // paths must still agree node-for-node.
+    for seed in 200..208u64 {
+        check_workload(seed, 30, 3, 1, 110, 5);
+    }
+}
+
+#[test]
+fn seeded_two_vertex_orders_agree() {
+    // Orders seeded on an edge (the CSM inner-update shape): both endpoints
+    // pre-mapped, every deeper level has ≥1 backward edge.
+    let (g, _) = testing::random_workload(77, 32, 3, 2, 120, 0, 0.0);
+    let Some(q) = testing::random_walk_query(&g, 78, 4) else {
+        return;
+    };
+    let e0 = q.edges().first().expect("query has an edge");
+    let (u0, u1) = (e0.u, e0.v);
+    let order = SeedOrder::build(&q, &[u0, u1]);
+    for ignore in [false, true] {
+        let ctx = SearchCtx {
+            g: &g,
+            q: &q,
+            order: &order,
+            ignore_elabels: ignore,
+            deadline: None,
+        };
+        // Try every label-compatible image of the seed edge.
+        for (a, b, _) in g.edges() {
+            for (x, y) in [(a, b), (b, a)] {
+                if g.label(x) != q.label(u0) || g.label(y) != q.label(u1) {
+                    continue;
+                }
+                let mut emb = Embedding::empty();
+                emb.set(u0, x);
+                emb.set(u1, y);
+                walk_and_compare(&ctx, &mut emb, 2);
+            }
+        }
+    }
+}
+
+/// The kernel's own `extend` (which routes through the new generator) must
+/// count exactly what a naive-generator recursion counts.
+fn naive_extend(ctx: &SearchCtx<'_>, emb: &mut Embedding, depth: usize, sink: &mut BufferSink) {
+    if depth == ctx.order.len() {
+        sink.report(emb, depth);
+        return;
+    }
+    let u = ctx.order.order[depth];
+    kernel::for_each_candidate_naive(ctx, &NoFilter, *emb, depth, |v| {
+        emb.set(u, v);
+        naive_extend(ctx, emb, depth + 1, sink);
+        emb.unset(u);
+        true
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Property form: arbitrary workload parameters, full-tree agreement.
+    #[test]
+    fn candidate_streams_agree_on_random_workloads(
+        seed in any::<u64>(),
+        n in 12u32..34,
+        vlabels in 2u32..5,
+        elabels in 1u32..4,
+        edges in 30usize..110,
+        qsize in 3usize..6,
+    ) {
+        check_workload(seed, n, vlabels, elabels, edges, qsize);
+    }
+
+    /// The production `extend` and a naive-generator recursion agree on
+    /// total match counts.
+    #[test]
+    fn extend_matches_naive_recursion(
+        seed in any::<u64>(),
+        n in 12u32..30,
+        vlabels in 2u32..5,
+        edges in 30usize..100,
+        qsize in 3usize..5,
+    ) {
+        let (g, _) = testing::random_workload(seed, n, vlabels, 2, edges, 0, 0.0);
+        if let Some(q) = testing::random_walk_query(&g, seed ^ 0xD1FF, qsize) {
+            let order = SeedOrder::build(&q, &[QVertexId(0)]);
+            for ignore in [false, true] {
+                let ctx = SearchCtx {
+                    g: &g, q: &q, order: &order, ignore_elabels: ignore, deadline: None,
+                };
+                let mut fast_sink = BufferSink::counting();
+                let mut stats = SearchStats::default();
+                kernel::extend(&ctx, &NoFilter, &mut Embedding::empty(), 0, &mut fast_sink, &mut stats);
+                let mut naive_sink = BufferSink::counting();
+                naive_extend(&ctx, &mut Embedding::empty(), 0, &mut naive_sink);
+                prop_assert_eq!(fast_sink.count, naive_sink.count, "ignore={}", ignore);
+            }
+        }
+    }
+}

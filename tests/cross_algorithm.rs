@@ -42,10 +42,20 @@ fn edge_labels_separate_calig_from_the_rest() {
     // matches as the label-respecting algorithms; both are oracle-checked.
     let (g, stream) = testing::random_workload(11, 30, 2, 3, 70, 40, 0.2);
     let q = testing::random_walk_query(&g, 3, 4).expect("query");
-    let strict =
-        testing::check_stream(&g, &q, &stream, AlgoKind::Symbi, ParaCosmConfig::sequential());
-    let blind =
-        testing::check_stream(&g, &q, &stream, AlgoKind::CaLiG, ParaCosmConfig::sequential());
+    let strict = testing::check_stream(
+        &g,
+        &q,
+        &stream,
+        AlgoKind::Symbi,
+        ParaCosmConfig::sequential(),
+    );
+    let blind = testing::check_stream(
+        &g,
+        &q,
+        &stream,
+        AlgoKind::CaLiG,
+        ParaCosmConfig::sequential(),
+    );
     assert!(blind.0 >= strict.0, "label-blind positives must dominate");
 }
 

@@ -39,7 +39,10 @@ fn workload_roundtrips_through_text_files() {
         let out = e.process_stream(s).unwrap();
         (out.positives, out.negatives)
     };
-    assert_eq!(run(&w.initial, &w.queries[0], &w.stream), run(&g2, &q2, &s2));
+    assert_eq!(
+        run(&w.initial, &w.queries[0], &w.stream),
+        run(&g2, &q2, &s2)
+    );
 }
 
 #[test]

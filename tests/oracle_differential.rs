@@ -26,8 +26,14 @@ fn vertex_insertions_are_trivial_for_matching() {
     let q = testing::random_walk_query(&g, 6, 4).expect("query");
     let slots = g.vertex_slots() as u32;
     let stream: UpdateStream = vec![
-        Update::InsertVertex { id: VertexId(slots + 2), label: VLabel(1) },
-        Update::InsertVertex { id: VertexId(slots + 3), label: VLabel(0) },
+        Update::InsertVertex {
+            id: VertexId(slots + 2),
+            label: VLabel(1),
+        },
+        Update::InsertVertex {
+            id: VertexId(slots + 3),
+            label: VLabel(0),
+        },
         // And an edge wiring the new vertices in.
         Update::InsertEdge(EdgeUpdate::new(
             VertexId(slots + 2),
@@ -49,8 +55,7 @@ fn vertex_deletion_cascades_and_counts_negatives() {
     // Delete the highest-degree vertex — maximum cascade.
     let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
     assert!(g.degree(hub) > 0);
-    let stream: UpdateStream =
-        vec![Update::DeleteVertex { id: hub }].into_iter().collect();
+    let stream: UpdateStream = vec![Update::DeleteVertex { id: hub }].into_iter().collect();
     for kind in AlgoKind::ALL {
         testing::check_stream(&g, &q, &stream, kind, ParaCosmConfig::sequential());
     }
@@ -109,7 +114,11 @@ fn insert_delete_insert_roundtrip_restores_counts() {
             "{kind}: delete/insert of the same edge must be symmetric"
         );
         let total = engine.initial_matches(false).count;
-        assert_eq!(total, testing::oracle_count(&g, &q, kind), "{kind} final state");
+        assert_eq!(
+            total,
+            testing::oracle_count(&g, &q, kind),
+            "{kind} final state"
+        );
     }
 }
 
@@ -142,5 +151,8 @@ fn engine_survives_unknown_vertices_with_error() {
     ));
     assert!(engine.process_update(bogus).is_err());
     // The engine must remain usable afterwards.
-    assert!(static_match::count_all(engine.graph(), engine.query()) == engine.initial_matches(false).count);
+    assert!(
+        static_match::count_all(engine.graph(), engine.query())
+            == engine.initial_matches(false).count
+    );
 }

@@ -5,7 +5,11 @@
 use paracosm::algos::{testing, AlgoKind};
 use paracosm::core::ParaCosmConfig;
 
-fn workload() -> (csm_graph::DataGraph, csm_graph::UpdateStream, csm_graph::QueryGraph) {
+fn workload() -> (
+    csm_graph::DataGraph,
+    csm_graph::UpdateStream,
+    csm_graph::QueryGraph,
+) {
     let (g, stream) = testing::random_workload(31, 45, 3, 1, 110, 60, 0.25);
     let q = testing::random_walk_query(&g, 32, 5).expect("query");
     (g, stream, q)

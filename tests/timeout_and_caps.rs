@@ -1,6 +1,8 @@
 //! Time-limit (success-rate) and match-cap semantics.
 
-use csm_graph::{DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId};
+use csm_graph::{
+    DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId,
+};
 use paracosm::algos::{AlgoKind, AnyAlgorithm};
 use paracosm::core::{ParaCosm, ParaCosmConfig};
 use std::time::Duration;
@@ -27,12 +29,14 @@ fn explosive() -> (DataGraph, QueryGraph, UpdateStream) {
         q.add_edge(us[i], us[(i + 1) % 5], ELabel(0)).unwrap();
     }
     // One update that triggers a huge enumeration.
-    let stream: UpdateStream =
-        vec![Update::InsertEdge(EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0)))]
-            .into_iter()
-            .collect();
+    let stream: UpdateStream = vec![Update::InsertEdge(EdgeUpdate::new(
+        VertexId(0),
+        VertexId(1),
+        ELabel(0),
+    ))]
+    .into_iter()
+    .collect();
     // Ensure the edge is absent initially.
-    let mut g = g;
     let _ = g.remove_edge(VertexId(0), VertexId(1));
     (g, q, stream)
 }
@@ -81,7 +85,11 @@ fn match_cap_bounds_enumeration() {
     let algo = AlgoKind::GraphFlow.build(&g, &q);
     let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
     let out = e.process_stream(&stream).unwrap();
-    assert!(out.positives >= 100 && out.positives <= 104, "got {}", out.positives);
+    assert!(
+        out.positives >= 100 && out.positives <= 104,
+        "got {}",
+        out.positives
+    );
 }
 
 #[test]
