@@ -10,7 +10,7 @@ use csm_algos::GraphFlow;
 use csm_datagen::{synth, SynthConfig};
 use csm_graph::{QueryGraph, VLabel, VertexId};
 use paracosm_core::order::MatchingOrders;
-use paracosm_core::{inner, CsmAlgorithm, Embedding, InnerConfig, SeedTask};
+use paracosm_core::{inner, CsmAlgorithm, Embedding, InnerConfig, SeedTask, Tracer};
 
 struct Setup {
     g: csm_graph::DataGraph,
@@ -82,6 +82,7 @@ fn bench_fine_vs_coarse(c: &mut Criterion) {
                 None,
                 seeds(&s),
                 InnerConfig::fine(4),
+                &Tracer::off(),
             )
             .sink
             .count
@@ -97,6 +98,7 @@ fn bench_fine_vs_coarse(c: &mut Criterion) {
                 None,
                 seeds(&s),
                 InnerConfig::coarse(4),
+                &Tracer::off(),
             )
             .sink
             .count
@@ -120,6 +122,7 @@ fn bench_threaded(c: &mut Criterion) {
                     None,
                     seeds(&s),
                     cfg(t, 3, true),
+                    &Tracer::off(),
                 )
                 .sink
                 .count
@@ -144,6 +147,7 @@ fn bench_split_depth_ablation(c: &mut Criterion) {
                     None,
                     seeds(&s),
                     cfg(4, d, true),
+                    &Tracer::off(),
                 )
                 .sink
                 .count
@@ -168,6 +172,7 @@ fn bench_simulated_overhead(c: &mut Criterion) {
                     None,
                     seeds(&s),
                     cfg(w, 3, true),
+                    &Tracer::off(),
                 )
                 .sink
                 .count

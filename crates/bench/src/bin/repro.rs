@@ -4,7 +4,8 @@
 //! ```text
 //! repro <experiment ...> [options]
 //!
-//! experiments: table3 table4 table5 table6 fig4 fig7 fig8 fig9 fig10 fig11 fig12 analysis all
+//! experiments: table3 table4 table5 table6 fig4 fig7 fig8 fig9 fig10 fig11 fig12 analysis
+//!              observe all
 //!
 //! options:
 //!   --scale xs|s|m       dataset scale                  (default: xs)
@@ -14,23 +15,26 @@
 //!   --timeout-ms N       per-query time limit           (default: 5000)
 //!   --sizes a,b,c        query sizes                    (default: 6,7,8,9,10)
 //!   --seed N             base RNG seed                  (default: 1)
+//!   --trace-out PATH     observe: write Chrome/Perfetto trace JSON
+//!   --report-json PATH   observe: write machine-readable run report
 //! ```
 
 use csm_datagen::Scale;
-use paracosm_bench::experiments::{breakdown, singlethread, speedups, tables};
+use paracosm_bench::experiments::{breakdown, observe, singlethread, speedups, tables};
 use paracosm_bench::report::Table;
 use paracosm_bench::runner::ExpOptions;
 use std::time::Duration;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table3", "table4", "table5", "table6", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "analysis",
+    "fig12", "analysis", "observe",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment ...> [--scale xs|s|m] [--threads N] [--queries N] \
-         [--stream N] [--timeout-ms N] [--sizes a,b,c] [--seed N]\n\
+         [--stream N] [--timeout-ms N] [--sizes a,b,c] [--seed N] \
+         [--trace-out PATH] [--report-json PATH]\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -44,6 +48,8 @@ fn main() {
     }
     let mut opts = ExpOptions::default();
     let mut selected: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut report_json: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
@@ -76,6 +82,8 @@ fn main() {
                     .collect()
             }
             "--seed" => opts.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--trace-out" => trace_out = Some(val("--trace-out")),
+            "--report-json" => report_json = Some(val("--report-json")),
             "all" => selected = EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
             e if EXPERIMENTS.contains(&e) => selected.push(e.to_string()),
             other => {
@@ -124,6 +132,11 @@ fn main() {
             "fig11" => outputs.push(breakdown::fig11(&opts)),
             "fig12" => outputs.push(tables::fig12(&opts)),
             "analysis" => outputs.push(tables::analysis(&opts)),
+            "observe" => outputs.push(observe::observe(
+                &opts,
+                trace_out.as_deref(),
+                report_json.as_deref(),
+            )),
             _ => unreachable!(),
         }
     }

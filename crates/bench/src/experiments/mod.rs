@@ -3,6 +3,7 @@
 //! returns printable [`crate::report::Table`]s.
 
 pub mod breakdown;
+pub mod observe;
 pub mod singlethread;
 pub mod speedups;
 pub mod tables;

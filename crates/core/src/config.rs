@@ -1,5 +1,6 @@
 //! Runtime configuration of the ParaCOSM framework.
 
+use crate::trace::TraceLevel;
 use std::time::Duration;
 
 /// Tunables for a ParaCOSM run (paper §4; Algorithm 2 globals).
@@ -37,6 +38,13 @@ pub struct ParaCosmConfig {
     /// Record per-update latency into `RunStats::latency` (adds one clock
     /// read per update; off by default for benchmark purity).
     pub track_latency: bool,
+    /// Observability level (see [`crate::trace`]): `Off` costs one branch
+    /// per instrumentation site, `Counters` keeps the sharded registry
+    /// live, `Full` also records per-worker structured events.
+    pub trace: TraceLevel,
+    /// Capture the `k` slowest updates (with stage breakdown and nodes
+    /// visited) into `RunStats::slowest`. `0` disables the capture.
+    pub slow_k: usize,
     /// Virtual-scheduler mode: when `Some(n)`, `Find_Matches` runs through
     /// `inner::run_simulated` with `n` virtual workers instead of real
     /// threads, and [`crate::RunStats::find_span`] accumulates the simulated
@@ -58,6 +66,8 @@ impl Default for ParaCosmConfig {
             collect_matches: false,
             seed_task_factor: 4,
             track_latency: false,
+            trace: TraceLevel::Off,
+            slow_k: 0,
             sim_threads: None,
         }
     }
@@ -94,6 +104,18 @@ impl ParaCosmConfig {
     /// Builder-style setter for the batch size.
     pub fn with_batch_size(mut self, k: usize) -> Self {
         self.batch_size = k.max(1);
+        self
+    }
+
+    /// Builder-style setter for the observability level.
+    pub fn tracing(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Builder-style setter for the slowest-updates capture depth.
+    pub fn with_slow_k(mut self, k: usize) -> Self {
+        self.slow_k = k;
         self
     }
 
@@ -151,5 +173,15 @@ mod tests {
         assert_eq!(c.time_limit, Some(Duration::from_millis(5)));
         assert_eq!(c.batch_size, 1); // clamped
         assert!(c.collect_matches);
+    }
+
+    #[test]
+    fn tracing_builder_sets_level() {
+        let c = ParaCosmConfig::parallel(4)
+            .tracing(TraceLevel::Full)
+            .with_slow_k(5);
+        assert_eq!(c.trace, TraceLevel::Full);
+        assert_eq!(c.slow_k, 5);
+        assert_eq!(ParaCosmConfig::default().trace, TraceLevel::Off);
     }
 }

@@ -17,6 +17,9 @@ use crate::inter::{self, Classified, ClassifierStats, SafeStage};
 use crate::kernel::{SearchCtx, SearchStats};
 use crate::order::MatchingOrders;
 use crate::static_match::{self, StaticResult};
+use crate::trace::{
+    self, Counter, EventKind, Gauge, RunReport, StreamObserver, Tracer, UpdateObservation,
+};
 use csm_graph::{DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -62,6 +65,44 @@ pub struct RunStats {
     /// `ParaCosmConfig::track_latency` is set; batched runs record the
     /// sequentially processed residual updates).
     pub latency: crate::metrics::LatencyHistogram,
+    /// The `ParaCosmConfig::slow_k` slowest updates, latency-descending,
+    /// each with its stage breakdown. Bulk-applied label-safe updates are
+    /// not eligible (their per-update latency is ~zero by construction).
+    pub slowest: Vec<SlowUpdate>,
+}
+
+/// One entry of the top-K slowest-updates capture
+/// (`ParaCosmConfig::slow_k`): the update, its end-to-end latency, and
+/// where that time went.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowUpdate {
+    /// Zero-based position in the stream.
+    pub index: u64,
+    /// The update itself.
+    pub update: Update,
+    /// End-to-end latency.
+    pub latency: Duration,
+    /// `Update_ADS` time within this update.
+    pub ads: Duration,
+    /// Graph-application time within this update.
+    pub apply: Duration,
+    /// `Find_Matches` time within this update.
+    pub find: Duration,
+    /// Search-tree nodes visited by this update.
+    pub nodes: u64,
+}
+
+impl SlowUpdate {
+    /// Compact human/JSON-friendly description of the update, e.g.
+    /// `+e 3-17 l0` (insert edge), `-v 12` (delete vertex).
+    pub fn describe(&self) -> String {
+        match self.update {
+            Update::InsertEdge(e) => format!("+e {}-{} l{}", e.src.0, e.dst.0, e.label.0),
+            Update::DeleteEdge(e) => format!("-e {}-{} l{}", e.src.0, e.dst.0, e.label.0),
+            Update::InsertVertex { id, label } => format!("+v {} l{}", id.0, label.0),
+            Update::DeleteVertex { id } => format!("-v {}", id.0),
+        }
+    }
 }
 
 impl RunStats {
@@ -79,6 +120,19 @@ impl RunStats {
         for (acc, b) in self.thread_busy.iter_mut().zip(busy) {
             *acc += *b;
         }
+    }
+
+    /// Keep the `k` slowest updates, latency-descending.
+    fn note_slow(&mut self, k: usize, su: SlowUpdate) {
+        if k == 0 {
+            return;
+        }
+        let pos = self.slowest.partition_point(|s| s.latency >= su.latency);
+        if pos >= k {
+            return;
+        }
+        self.slowest.insert(pos, su);
+        self.slowest.truncate(k);
     }
 }
 
@@ -125,8 +179,26 @@ pub struct ParaCosm<A: CsmAlgorithm> {
     /// `(find_time, find_span)` snapshot at stream start, so projected-time
     /// deadline checks use this run's deltas only.
     run_find_base: (Duration, Duration),
+    /// Telemetry handle (inert unless `ParaCosmConfig::tracing` is set).
+    tracer: Tracer,
     /// Cumulative statistics; reset with [`ParaCosm::reset_stats`].
     pub stats: RunStats,
+}
+
+/// Stages 2–3 verdict for one residual update of the batch executor.
+struct ResidualOutcome {
+    /// Classifier verdict (`None` for structural no-ops).
+    verdict: Option<Classified>,
+    noop: bool,
+    timed_out: bool,
+    positives: u64,
+    negatives: u64,
+}
+
+impl ResidualOutcome {
+    fn was_unsafe(&self) -> bool {
+        matches!(self.verdict, Some(Classified::Unsafe))
+    }
 }
 
 impl<A: CsmAlgorithm> ParaCosm<A> {
@@ -142,6 +214,8 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         );
         algo.rebuild(&g, &q);
         let orders = MatchingOrders::build(&q);
+        let tracer = Tracer::new(cfg.trace, cfg.num_threads);
+        tracer.gauge(Gauge::BatchSize, cfg.batch_size as u64);
         ParaCosm {
             g,
             q,
@@ -151,7 +225,29 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             deadline: None,
             run_start: None,
             run_find_base: (Duration::ZERO, Duration::ZERO),
+            tracer,
             stats: RunStats::default(),
+        }
+    }
+
+    /// The telemetry handle (inert when tracing is off). Snapshot or export
+    /// after a run: [`Tracer::metrics`], [`Tracer::perfetto_json`],
+    /// [`Tracer::prometheus_text`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Build a machine-readable [`RunReport`] from the current statistics
+    /// and registry snapshot; `outcome` is the stream result to embed, if
+    /// the report follows a [`ParaCosm::process_stream`] run.
+    pub fn run_report(&self, outcome: Option<StreamOutcome>) -> RunReport {
+        RunReport {
+            algo: self.algo.name().to_string(),
+            threads: self.cfg.num_threads,
+            outcome,
+            stats: self.stats.clone(),
+            metrics: self.tracer.metrics(),
+            dropped_events: self.tracer.dropped_events(),
         }
     }
 
@@ -204,6 +300,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
     /// Uses the inner-update executor when `num_threads > 1`.
     pub fn process_update(&mut self, upd: Update) -> Result<UpdateOutcome, GraphError> {
         self.stats.updates += 1;
+        self.tracer.count(0, Counter::Updates, 1);
         match upd {
             Update::InsertEdge(e) => self.process_insert(e),
             Update::DeleteEdge(e) => self.process_delete(e),
@@ -265,12 +362,11 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 ..Default::default()
             });
         }
-        let t1 = Instant::now();
-        self.algo.update_ads(&self.g, &self.q, e, true);
-        self.stats.ads_time += t1.elapsed();
+        self.ads_update(e, true);
 
         let (count, matches, timed_out) = self.find_matches(&e);
         self.stats.positives += count;
+        self.tracer.count(0, Counter::MatchesPos, count);
         self.stats.timed_out |= timed_out;
         Ok(UpdateOutcome {
             positives: count,
@@ -292,20 +388,101 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let e = EdgeUpdate::new(e.src, e.dst, actual_label);
         let (count, matches, timed_out) = self.find_matches(&e);
         self.stats.negatives += count;
+        self.tracer.count(0, Counter::MatchesNeg, count);
         self.stats.timed_out |= timed_out;
 
         let t0 = Instant::now();
         self.g.remove_edge(e.src, e.dst)?;
         self.stats.apply_time += t0.elapsed();
-        let t1 = Instant::now();
-        self.algo.update_ads(&self.g, &self.q, e, false);
-        self.stats.ads_time += t1.elapsed();
+        self.ads_update(e, false);
         Ok(UpdateOutcome {
             negatives: count,
             matches,
             timed_out,
             ..Default::default()
         })
+    }
+
+    /// `Update_ADS` wrapper: timed, with the resulting delta mirrored to
+    /// the tracer (event payload `b` is the running update ordinal).
+    fn ads_update(&mut self, e: EdgeUpdate, is_insert: bool) -> AdsChange {
+        let t = Instant::now();
+        let change = self.algo.update_ads(&self.g, &self.q, e, is_insert);
+        self.stats.ads_time += t.elapsed();
+        if change == AdsChange::Changed {
+            self.tracer.count(0, Counter::AdsChanged, 1);
+            self.tracer
+                .event(0, EventKind::AdsDelta, 1, self.stats.updates);
+        }
+        change
+    }
+
+    /// Record a classifier verdict in both `RunStats` and the tracer.
+    fn record_verdict(&mut self, c: Classified, idx: u64) {
+        self.stats.classifier.record(c);
+        self.tracer.count(0, trace::verdict_counter(c), 1);
+        self.tracer
+            .event(0, EventKind::Classify, trace::verdict_code(c), idx);
+    }
+
+    /// Record a structural no-op in both `RunStats` and the tracer.
+    fn record_noop_verdict(&mut self, idx: u64) {
+        self.stats.classifier.record_noop();
+        self.tracer.count(0, Counter::ClassNoop, 1);
+        self.tracer.event(0, EventKind::Classify, 4, idx);
+    }
+
+    /// `(ads_time, apply_time, find_time, nodes)` — diffed around one
+    /// update for the slowest-K stage breakdown.
+    fn stage_snapshot(&self) -> (Duration, Duration, Duration, u64) {
+        (
+            self.stats.ads_time,
+            self.stats.apply_time,
+            self.stats.find_time,
+            self.stats.nodes,
+        )
+    }
+
+    /// Per-update epilogue: slowest-K capture, `UpdateDone` event, and the
+    /// observer callback.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_update_obs(
+        &mut self,
+        index: u64,
+        upd: Update,
+        verdict: Option<Classified>,
+        noop: bool,
+        latency: Duration,
+        positives: u64,
+        negatives: u64,
+        pre: (Duration, Duration, Duration, u64),
+        observer: &mut Option<&mut dyn StreamObserver>,
+    ) {
+        if latency > Duration::ZERO {
+            let su = SlowUpdate {
+                index,
+                update: upd,
+                latency,
+                ads: self.stats.ads_time.saturating_sub(pre.0),
+                apply: self.stats.apply_time.saturating_sub(pre.1),
+                find: self.stats.find_time.saturating_sub(pre.2),
+                nodes: self.stats.nodes - pre.3,
+            };
+            let k = self.cfg.slow_k;
+            self.stats.note_slow(k, su);
+        }
+        self.tracer
+            .event(0, EventKind::UpdateDone, index, positives + negatives);
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_update(&UpdateObservation {
+                index,
+                verdict,
+                noop,
+                latency,
+                positives,
+                negatives,
+            });
+        }
     }
 
     /// Root-level seed tasks for the update's search tree: one per
@@ -360,6 +537,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     cap: self.cfg.match_cap,
                     decompose: true,
                 },
+                &self.tracer,
             );
             self.stats.nodes += out.nodes;
             self.stats.absorb_busy(&out.worker_busy);
@@ -384,6 +562,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     cap: self.cfg.match_cap,
                     decompose: true,
                 },
+                &self.tracer,
             );
             self.stats.nodes += out.nodes;
             self.stats.absorb_busy(&out.thread_busy);
@@ -415,6 +594,13 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 }
             }
             self.stats.nodes += stats.nodes;
+            self.tracer.count(0, Counter::Nodes, stats.nodes);
+            if stats.deadline_hits > 0 {
+                self.tracer
+                    .count(0, Counter::DeadlineFires, stats.deadline_hits);
+                self.tracer
+                    .event(0, EventKind::DeadlineFired, stats.nodes, 0);
+            }
             (sink.count, sink.matches, stats.timed_out)
         };
         let elapsed = t0.elapsed();
@@ -430,6 +616,25 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
     /// one. A time limit (if configured) covers the *entire* stream run,
     /// matching the paper's per-query timeout metric.
     pub fn process_stream(&mut self, stream: &UpdateStream) -> Result<StreamOutcome, GraphError> {
+        self.process_stream_impl(stream, None)
+    }
+
+    /// As [`ParaCosm::process_stream`], additionally invoking `observer`
+    /// once per update — in stream order, on the orchestrator thread — with
+    /// the verdict, end-to-end latency and ΔM size of that update.
+    pub fn process_stream_observed(
+        &mut self,
+        stream: &UpdateStream,
+        observer: &mut dyn StreamObserver,
+    ) -> Result<StreamOutcome, GraphError> {
+        self.process_stream_impl(stream, Some(observer))
+    }
+
+    fn process_stream_impl(
+        &mut self,
+        stream: &UpdateStream,
+        mut observer: Option<&mut dyn StreamObserver>,
+    ) -> Result<StreamOutcome, GraphError> {
         let start = Instant::now();
         // Virtual-scheduler runs execute all search work sequentially, so a
         // wall-clock deadline would misjudge them: give the kernel a relaxed
@@ -446,18 +651,32 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let mut out = StreamOutcome::default();
 
         if self.cfg.use_batch_executor() {
-            self.run_batched(stream.updates(), &mut out)?;
+            self.run_batched(stream.updates(), &mut out, observer)?;
         } else {
-            for &u in stream.updates() {
+            let want_timing = self.per_update_timing(observer.is_some());
+            for (i, &u) in stream.updates().iter().enumerate() {
                 if self.deadline_passed() {
                     out.timed_out = true;
                     break;
                 }
-                let t_upd = self.cfg.track_latency.then(Instant::now);
+                let t_upd = want_timing.then(Instant::now);
+                let pre = self.stage_snapshot();
                 let r = self.process_update(u)?;
-                if let Some(t) = t_upd {
-                    self.stats.latency.record(t.elapsed());
+                let lat = t_upd.map_or(Duration::ZERO, |t| t.elapsed());
+                if self.cfg.track_latency {
+                    self.stats.latency.record(lat);
                 }
+                self.finish_update_obs(
+                    i as u64,
+                    u,
+                    None,
+                    r.noop,
+                    lat,
+                    r.positives,
+                    r.negatives,
+                    pre,
+                    &mut observer,
+                );
                 out.positives += r.positives;
                 out.negatives += r.negatives;
                 out.updates_applied += 1;
@@ -475,7 +694,19 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         }
         self.deadline = None;
         self.run_start = None;
+        debug_assert!(
+            self.stats.classifier.is_consistent(),
+            "classifier verdict counters must add up to total"
+        );
         Ok(out)
+    }
+
+    /// Should each sequentially processed update be individually timed?
+    fn per_update_timing(&self, has_observer: bool) -> bool {
+        self.cfg.track_latency
+            || self.cfg.slow_k > 0
+            || has_observer
+            || self.tracer.events_enabled()
     }
 
     fn deadline_passed(&self) -> bool {
@@ -502,6 +733,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         &mut self,
         updates: &[Update],
         out: &mut StreamOutcome,
+        mut observer: Option<&mut dyn StreamObserver>,
     ) -> Result<(), GraphError> {
         let k = self.cfg.batch_size;
         let mut idx = 0;
@@ -550,13 +782,32 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     let exists = self.g.has_edge(e.src, e.dst);
                     let noop = if is_edge_insert { exists } else { !exists };
                     self.stats.updates += 1;
+                    self.tracer.count(0, Counter::Updates, 1);
                     if !noop {
                         buffer.push((e.src, e.dst, e.label));
                         pending.insert(key);
                     }
-                    self.stats
-                        .classifier
-                        .record(Classified::Safe(SafeStage::Label));
+                    let gidx = (idx + off) as u64;
+                    if noop {
+                        self.record_noop_verdict(gidx);
+                    } else {
+                        self.record_verdict(Classified::Safe(SafeStage::Label), gidx);
+                    }
+                    if observer.is_some() || self.tracer.events_enabled() {
+                        let verdict = (!noop).then_some(Classified::Safe(SafeStage::Label));
+                        let pre = self.stage_snapshot();
+                        self.finish_update_obs(
+                            gidx,
+                            *u,
+                            verdict,
+                            noop,
+                            Duration::ZERO,
+                            0,
+                            0,
+                            pre,
+                            &mut observer,
+                        );
+                    }
                     out.updates_applied += 1;
                     continue;
                 }
@@ -567,17 +818,32 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     out.timed_out = true;
                     break 'outer;
                 }
-                let t_upd = self.cfg.track_latency.then(Instant::now);
-                let (was_unsafe, timed_out) = self.process_residual(u, out)?;
-                if let Some(t) = t_upd {
-                    self.stats.latency.record(t.elapsed());
+                let want_timing = self.per_update_timing(observer.is_some());
+                let t_upd = want_timing.then(Instant::now);
+                let pre = self.stage_snapshot();
+                let gidx = (idx + off) as u64;
+                let r = self.process_residual(u, out, gidx)?;
+                let lat = t_upd.map_or(Duration::ZERO, |t| t.elapsed());
+                if self.cfg.track_latency {
+                    self.stats.latency.record(lat);
                 }
+                self.finish_update_obs(
+                    gidx,
+                    *u,
+                    r.verdict,
+                    r.noop,
+                    lat,
+                    r.positives,
+                    r.negatives,
+                    pre,
+                    &mut observer,
+                );
                 out.updates_applied += 1;
-                if timed_out {
+                if r.timed_out {
                     out.timed_out = true;
                     break 'outer;
                 }
-                if was_unsafe {
+                if r.was_unsafe() {
                     // Paper Fig. 6: an unsafe update invalidates the safety
                     // assumptions of the rest of the batch — defer it.
                     idx += off + 1;
@@ -608,32 +874,45 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let dt = t0.elapsed();
         self.stats.apply_time += dt;
         self.stats.bulk_time += dt;
+        self.tracer.count(0, Counter::BulkFlushes, 1);
         buffer.clear();
         pending.clear();
     }
 
     /// Handle an update that survived the label filter: stages 2–3 of the
-    /// classifier plus full processing when unsafe.
-    ///
-    /// Returns `(was_unsafe, timed_out)`.
+    /// classifier plus full processing when unsafe. `idx` is the update's
+    /// position in the stream (event/observer payloads).
     fn process_residual(
         &mut self,
         u: &Update,
         out: &mut StreamOutcome,
-    ) -> Result<(bool, bool), GraphError> {
+        idx: u64,
+    ) -> Result<ResidualOutcome, GraphError> {
+        let safe = |verdict: Classified| ResidualOutcome {
+            verdict: Some(verdict),
+            noop: false,
+            timed_out: false,
+            positives: 0,
+            negatives: 0,
+        };
         let Some(e) = u.edge() else {
             // Vertex updates take the ordinary pipeline and conservatively
             // count as unsafe (they are rare structural events).
-            self.stats.classifier.record(Classified::Unsafe);
+            self.record_verdict(Classified::Unsafe, idx);
             let r = self.process_update(*u)?;
             out.positives += r.positives;
             out.negatives += r.negatives;
-            return Ok((true, r.timed_out));
+            return Ok(ResidualOutcome {
+                verdict: Some(Classified::Unsafe),
+                noop: r.noop,
+                timed_out: r.timed_out,
+                positives: r.positives,
+                negatives: r.negatives,
+            });
         };
         let is_insert = u.is_insertion();
         let ignore = self.algo.ignore_edge_labels();
 
-        // Structural no-ops are skipped without classification.
         if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
             return Err(GraphError::UnknownVertex(if self.g.is_alive(e.src) {
                 e.dst
@@ -641,19 +920,26 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 e.src
             }));
         }
+        // Structural no-ops are counted as such, not as a safety verdict.
         let exists = self.g.has_edge(e.src, e.dst);
         if is_insert == exists {
             self.stats.updates += 1;
-            return Ok((false, false));
+            self.tracer.count(0, Counter::Updates, 1);
+            self.record_noop_verdict(idx);
+            return Ok(ResidualOutcome {
+                verdict: None,
+                noop: true,
+                timed_out: false,
+                positives: 0,
+                negatives: 0,
+            });
         }
 
         // Stage 2: degree filter (no match possible; ADS still maintained).
         if inter::degree_safe(&self.g, &self.q, &e, is_insert, ignore) {
-            self.stats
-                .classifier
-                .record(Classified::Safe(SafeStage::Degree));
+            self.record_verdict(Classified::Safe(SafeStage::Degree), idx);
             self.apply_and_maintain(e, is_insert)?;
-            return Ok((false, false));
+            return Ok(safe(Classified::Safe(SafeStage::Degree)));
         }
 
         // Stage 3: candidate/ADS filter.
@@ -661,42 +947,51 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             let t0 = Instant::now();
             self.g.insert_edge(e.src, e.dst, e.label)?;
             self.stats.apply_time += t0.elapsed();
-            let t1 = Instant::now();
-            let change = self.algo.update_ads(&self.g, &self.q, e, true);
-            self.stats.ads_time += t1.elapsed();
+            let change = self.ads_update(e, true);
             self.stats.updates += 1;
+            self.tracer.count(0, Counter::Updates, 1);
             if change == AdsChange::Unchanged
                 && inter::candidates_safe(&self.g, &self.q, &self.algo, &e)
             {
-                self.stats
-                    .classifier
-                    .record(Classified::Safe(SafeStage::Ads));
-                return Ok((false, false));
+                self.record_verdict(Classified::Safe(SafeStage::Ads), idx);
+                return Ok(safe(Classified::Safe(SafeStage::Ads)));
             }
-            self.stats.classifier.record(Classified::Unsafe);
+            self.record_verdict(Classified::Unsafe, idx);
             let (count, _matches, timed_out) = self.find_matches(&e);
             self.stats.positives += count;
+            self.tracer.count(0, Counter::MatchesPos, count);
             self.stats.timed_out |= timed_out;
             out.positives += count;
-            Ok((true, timed_out))
+            Ok(ResidualOutcome {
+                verdict: Some(Classified::Unsafe),
+                noop: false,
+                timed_out,
+                positives: count,
+                negatives: 0,
+            })
         } else {
             // Deletion: negative matches are judged on the pre-deletion
             // state, so the candidate check comes first.
             let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
             if inter::candidates_safe(&self.g, &self.q, &self.algo, &e) {
-                self.stats
-                    .classifier
-                    .record(Classified::Safe(SafeStage::Ads));
+                self.record_verdict(Classified::Safe(SafeStage::Ads), idx);
                 self.apply_and_maintain(e, false)?;
-                return Ok((false, false));
+                return Ok(safe(Classified::Safe(SafeStage::Ads)));
             }
-            self.stats.classifier.record(Classified::Unsafe);
+            self.record_verdict(Classified::Unsafe, idx);
             let (count, _matches, timed_out) = self.find_matches(&e);
             self.stats.negatives += count;
+            self.tracer.count(0, Counter::MatchesNeg, count);
             self.stats.timed_out |= timed_out;
             out.negatives += count;
             self.apply_and_maintain(e, false)?;
-            Ok((true, timed_out))
+            Ok(ResidualOutcome {
+                verdict: Some(Classified::Unsafe),
+                noop: false,
+                timed_out,
+                positives: 0,
+                negatives: count,
+            })
         }
     }
 
@@ -709,10 +1004,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             self.g.remove_edge(e.src, e.dst)?;
         }
         self.stats.apply_time += t0.elapsed();
-        let t1 = Instant::now();
-        self.algo.update_ads(&self.g, &self.q, e, is_insert);
-        self.stats.ads_time += t1.elapsed();
+        self.ads_update(e, is_insert);
         self.stats.updates += 1;
+        self.tracer.count(0, Counter::Updates, 1);
         Ok(())
     }
 }

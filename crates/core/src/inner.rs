@@ -23,6 +23,7 @@ use crate::algorithm::{AdsCandidates, CsmAlgorithm};
 use crate::embedding::{BufferSink, Embedding, MatchSink};
 use crate::kernel::{self, SearchCtx, SearchStats};
 use crate::order::MatchingOrders;
+use crate::trace::{Counter, EventKind, LocalTrace, Tracer};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
 use csm_graph::{DataGraph, QueryGraph};
@@ -103,6 +104,8 @@ pub struct InnerOutcome {
     pub tasks_executed: u64,
     /// Donation events (tasks re-split onto the queue).
     pub tasks_split: u64,
+    /// Deadline-fire transitions observed across init phase and workers.
+    pub deadline_hits: u64,
 }
 
 /// Shared read-only state for one run.
@@ -166,6 +169,12 @@ impl MatchSink for WorkerSink<'_> {
 /// compatible oriented query edge, each a 2-vertex partial embedding (or a
 /// deeper partial state when resuming). Completed embeddings among the
 /// seeds are reported directly.
+///
+/// `tracer` records per-worker counters/events (shard 0 = this thread's
+/// init phase, shard `w + 1` = worker `w`); pass [`Tracer::off`] for an
+/// untraced run. Workers accumulate into [`LocalTrace`]s and merge once
+/// before joining, so tracing adds no shared-state traffic to the search.
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     g: &DataGraph,
     q: &QueryGraph,
@@ -174,6 +183,7 @@ pub fn run(
     deadline: Option<Instant>,
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
+    tracer: &Tracer,
 ) -> InnerOutcome {
     let mut outcome = InnerOutcome {
         sink: if cfg.collect {
@@ -211,6 +221,7 @@ pub fn run(
     };
     let mut frontier: std::collections::VecDeque<SeedTask> = seeds.into();
     let mut init_stats = SearchStats::default();
+    let mut init_trace = tracer.local(0);
     let mut expansions = 0usize;
     let expansion_budget = target * 8;
     while frontier.len() < target && expansions < expansion_budget {
@@ -222,7 +233,7 @@ pub fn run(
         let n = sctx.order.len();
         if task.depth as usize == n {
             if !outcome.sink.report(&task.emb, n) {
-                return finish_init(outcome, init_stats);
+                return finish_init(outcome, init_stats, init_trace, tracer);
             }
             continue;
         }
@@ -236,8 +247,14 @@ pub fn run(
             &mut init_stats,
         ) {
             outcome.timed_out = true;
-            return finish_init(outcome, init_stats);
+            return finish_init(outcome, init_stats, init_trace, tracer);
         }
+        init_trace.count(Counter::SeedExpansions, 1);
+        init_trace.event(
+            EventKind::SeedExpand,
+            task.depth as u64,
+            children.len() as u64,
+        );
         for child in children {
             frontier.push_back(SeedTask {
                 order_idx: task.order_idx,
@@ -247,7 +264,7 @@ pub fn run(
         }
     }
     if frontier.is_empty() {
-        return finish_init(outcome, init_stats);
+        return finish_init(outcome, init_stats, init_trace, tracer);
     }
 
     // Sequential fast path: no pool to coordinate.
@@ -263,15 +280,24 @@ pub fn run(
         };
         let mut stats = init_stats;
         for task in frontier {
+            init_trace.count(Counter::TasksPopped, 1);
+            init_trace.event(EventKind::TaskPop, task.order_idx as u64, task.depth as u64);
+            let (n0, m0) = (stats.nodes, sink.local.count);
             let sctx = ctx.search_ctx(task.order_idx);
-            if !run_task_sequential(&sctx, algo, task, &mut sink, &mut stats) {
+            let keep = run_task_sequential(&sctx, algo, task, &mut sink, &mut stats);
+            init_trace.count(Counter::TasksCompleted, 1);
+            init_trace.event(EventKind::TaskDone, stats.nodes - n0, sink.local.count - m0);
+            if !keep {
                 break;
             }
         }
+        init_trace.count(Counter::Nodes, stats.nodes - init_stats.nodes);
         outcome.sink.absorb(sink.local);
         outcome.nodes += stats.nodes;
         outcome.timed_out |= stats.timed_out;
+        outcome.deadline_hits += stats.deadline_hits;
         outcome.tasks_executed += 1;
+        finish_trace(init_trace, &stats, tracer);
         return outcome;
     }
 
@@ -282,20 +308,25 @@ pub fn run(
     // ---- Parallel execution phase.
     let nthreads = cfg.num_threads;
     let mut locals: Vec<(BufferSink, SearchStats, Duration, u64, u64)> = Vec::new();
+    let ctx_ref = &ctx;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nthreads)
-            .map(|_| scope.spawn(|| worker_loop(&ctx)))
+            .map(|wid| scope.spawn(move || worker_loop(ctx_ref, wid, tracer)))
             .collect();
         for h in handles {
             locals.push(h.join().expect("inner-update worker panicked"));
         }
     });
 
+    init_trace.count(Counter::Nodes, init_stats.nodes);
+    tracer.merge(init_trace);
     outcome.nodes += init_stats.nodes;
+    outcome.deadline_hits += init_stats.deadline_hits;
     for (sink, stats, busy, executed, split) in locals {
         outcome.sink.absorb(sink);
         outcome.nodes += stats.nodes;
         outcome.timed_out |= stats.timed_out;
+        outcome.deadline_hits += stats.deadline_hits;
         outcome.thread_busy.push(busy);
         outcome.tasks_executed += executed;
         outcome.tasks_split += split;
@@ -303,13 +334,34 @@ pub fn run(
     outcome
 }
 
-fn finish_init(mut outcome: InnerOutcome, stats: SearchStats) -> InnerOutcome {
+fn finish_init(
+    mut outcome: InnerOutcome,
+    stats: SearchStats,
+    mut lt: LocalTrace,
+    tracer: &Tracer,
+) -> InnerOutcome {
+    lt.count(Counter::Nodes, stats.nodes);
+    finish_trace(lt, &stats, tracer);
     outcome.nodes += stats.nodes;
     outcome.timed_out |= stats.timed_out;
+    outcome.deadline_hits += stats.deadline_hits;
     outcome
 }
 
-fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64) {
+/// Flush deadline-fire accounting into a local trace and merge it.
+fn finish_trace(mut lt: LocalTrace, stats: &SearchStats, tracer: &Tracer) {
+    if stats.deadline_hits > 0 {
+        lt.count(Counter::DeadlineFires, stats.deadline_hits);
+        lt.event(EventKind::DeadlineFired, stats.nodes, 0);
+    }
+    tracer.merge(lt);
+}
+
+fn worker_loop(
+    ctx: &RunCtx<'_>,
+    wid: usize,
+    tracer: &Tracer,
+) -> (BufferSink, SearchStats, Duration, u64, u64) {
     let mut sink = WorkerSink {
         local: if ctx.cfg.collect {
             BufferSink::collecting()
@@ -319,6 +371,7 @@ fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64
         shared: ctx,
     };
     let mut stats = SearchStats::default();
+    let mut lt = tracer.local(wid + 1);
     let mut busy = Duration::ZERO;
     let mut executed = 0u64;
     let mut split = 0u64;
@@ -331,8 +384,15 @@ fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64
                 let t0 = Instant::now();
                 if !ctx.aborted.load(Ordering::Relaxed) {
                     executed += 1;
+                    lt.count(Counter::TasksPopped, 1);
+                    lt.event(EventKind::TaskPop, task.order_idx as u64, task.depth as u64);
+                    let (n0, m0) = (stats.nodes, sink.local.count);
                     let sctx = ctx.search_ctx(task.order_idx);
-                    parallel_find_matches(ctx, &sctx, task, &mut sink, &mut stats, &mut split);
+                    parallel_find_matches(
+                        ctx, &sctx, task, &mut sink, &mut stats, &mut split, &mut lt,
+                    );
+                    lt.count(Counter::TasksCompleted, 1);
+                    lt.event(EventKind::TaskDone, stats.nodes - n0, sink.local.count - m0);
                     if stats.timed_out {
                         ctx.aborted.store(true, Ordering::Relaxed);
                     }
@@ -340,7 +400,10 @@ fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64
                 busy += t0.elapsed();
                 ctx.active.fetch_sub(1, Ordering::AcqRel);
             }
-            Steal::Retry => {}
+            Steal::Retry => {
+                lt.count(Counter::StealRetries, 1);
+                lt.event(EventKind::StealRetry, 0, 0);
+            }
             Steal::Empty => {
                 if ctx.active.load(Ordering::Acquire) == 0 {
                     break;
@@ -349,6 +412,8 @@ fn worker_loop(ctx: &RunCtx<'_>) -> (BufferSink, SearchStats, Duration, u64, u64
             }
         }
     }
+    lt.count(Counter::Nodes, stats.nodes);
+    finish_trace(lt, &stats, tracer);
     (sink.local, stats, busy, executed, split)
 }
 
@@ -363,6 +428,7 @@ fn parallel_find_matches(
     sink: &mut WorkerSink<'_>,
     stats: &mut SearchStats,
     split: &mut u64,
+    lt: &mut LocalTrace,
 ) {
     if ctx.aborted.load(Ordering::Relaxed) {
         return;
@@ -393,6 +459,8 @@ fn parallel_find_matches(
     let donate = ctx.injector.is_empty() && ctx.has_idle_threads();
     if donate {
         *split += 1;
+        lt.count(Counter::TasksSplit, 1);
+        lt.event(EventKind::Split, children.len() as u64, depth as u64);
         for child in children {
             ctx.injector.push(SeedTask {
                 order_idx: task.order_idx,
@@ -413,6 +481,7 @@ fn parallel_find_matches(
                 sink,
                 stats,
                 split,
+                lt,
             );
             if ctx.aborted.load(Ordering::Relaxed) {
                 return;
@@ -452,6 +521,7 @@ pub struct SimOutcome {
 /// scheduler preserves the real task sizes, queue order and splitting
 /// policy, so speedup *shape* and load-balance distributions reproduce
 /// deterministically on any machine. See DESIGN.md (substitutions).
+#[allow(clippy::too_many_arguments)]
 pub fn run_simulated(
     g: &DataGraph,
     q: &QueryGraph,
@@ -460,6 +530,7 @@ pub fn run_simulated(
     deadline: Option<Instant>,
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
+    tracer: &Tracer,
 ) -> SimOutcome {
     let mut out = SimOutcome {
         sink: if cfg.collect {
@@ -572,6 +643,13 @@ pub fn run_simulated(
     out.timed_out |= stats.timed_out;
     out.tasks = durations.len() as u64;
     out.work = decomp_time + durations.iter().sum::<Duration>();
+    // Virtual workers share one real thread: everything lands on shard 0.
+    let mut lt = tracer.local(0);
+    lt.count(Counter::SeedExpansions, expansions as u64);
+    lt.count(Counter::TasksPopped, out.tasks);
+    lt.count(Counter::TasksCompleted, out.tasks);
+    lt.count(Counter::Nodes, stats.nodes);
+    finish_trace(lt, &stats, tracer);
 
     // Phase 3 — list-schedule measured durations onto virtual workers:
     // each task goes to the least-loaded worker, in queue order.
@@ -705,7 +783,16 @@ mod tests {
         );
         for threads in [1, 2, 4, 8] {
             let seeds = seeds_for_edge(&q, &orders, &g, a, b);
-            let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(threads));
+            let out = run(
+                &g,
+                &q,
+                &orders,
+                &Plain,
+                None,
+                seeds,
+                cfg(threads),
+                &Tracer::off(),
+            );
             assert_eq!(out.sink.count, expected, "threads={threads}");
             assert!(!out.timed_out);
         }
@@ -720,7 +807,7 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, a, b);
         let mut c = cfg(4);
         c.load_balance = false;
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
         assert_eq!(out.sink.count, expected);
     }
 
@@ -728,7 +815,16 @@ mod tests {
     fn empty_seeds_return_zero() {
         let (g, q) = big_graph();
         let orders = MatchingOrders::build(&q);
-        let out = run(&g, &q, &orders, &Plain, None, Vec::new(), cfg(4));
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            Vec::new(),
+            cfg(4),
+            &Tracer::off(),
+        );
         assert_eq!(out.sink.count, 0);
         assert_eq!(out.nodes, 0);
     }
@@ -740,7 +836,7 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let mut c = cfg(4);
         c.cap = Some(10);
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
         // Worker-local pre-abort reports can slightly exceed the cap, but
         // never by more than one per worker.
         assert!(out.sink.count >= 10 && out.sink.count <= 10 + 4);
@@ -752,7 +848,16 @@ mod tests {
         let orders = MatchingOrders::build(&q);
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let past = Instant::now() - Duration::from_secs(1);
-        let out = run(&g, &q, &orders, &Plain, Some(past), seeds, cfg(2));
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            Some(past),
+            seeds,
+            cfg(2),
+            &Tracer::off(),
+        );
         assert!(out.timed_out);
     }
 
@@ -763,7 +868,7 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let mut c = cfg(4);
         c.collect = true;
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c);
+        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
         assert_eq!(out.sink.matches.len() as u64, out.sink.count);
         for m in &out.sink.matches {
             // Every match must be a genuine embedding containing the edge.
@@ -790,7 +895,16 @@ mod tests {
         let expected = oracle_through_edge(&mut g, &q, a, b);
         let seeds = seeds_for_edge(&q, &orders, &g, a, b);
         let n_seeds = seeds.len() as u64;
-        let out = run(&g, &q, &orders, &Plain, None, seeds, InnerConfig::coarse(4));
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            InnerConfig::coarse(4),
+            &Tracer::off(),
+        );
         assert_eq!(out.sink.count, expected);
         // No decomposition: exactly one task per seed, no donations.
         assert_eq!(out.tasks_executed, n_seeds);
@@ -803,7 +917,16 @@ mod tests {
         let orders = MatchingOrders::build(&q);
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let n_seeds = seeds.len() as u64;
-        let out = run_simulated(&g, &q, &orders, &Plain, None, seeds, InnerConfig::coarse(8));
+        let out = run_simulated(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            InnerConfig::coarse(8),
+            &Tracer::off(),
+        );
         assert_eq!(out.tasks, n_seeds);
     }
 
@@ -815,7 +938,16 @@ mod tests {
         let expected = oracle_through_edge(&mut g, &q, a, b);
         for workers in [1, 2, 8, 32, 128] {
             let seeds = seeds_for_edge(&q, &orders, &g, a, b);
-            let out = run_simulated(&g, &q, &orders, &Plain, None, seeds, cfg(workers));
+            let out = run_simulated(
+                &g,
+                &q,
+                &orders,
+                &Plain,
+                None,
+                seeds,
+                cfg(workers),
+                &Tracer::off(),
+            );
             assert_eq!(out.sink.count, expected, "workers={workers}");
             assert!(!out.timed_out);
             assert!(out.span <= out.work + Duration::from_millis(1));
@@ -829,7 +961,17 @@ mod tests {
         let orders = MatchingOrders::build(&q);
         let span_of = |workers: usize| {
             let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
-            run_simulated(&g, &q, &orders, &Plain, None, seeds, cfg(workers)).span
+            run_simulated(
+                &g,
+                &q,
+                &orders,
+                &Plain,
+                None,
+                seeds,
+                cfg(workers),
+                &Tracer::off(),
+            )
+            .span
         };
         let s1 = span_of(1);
         let s16 = span_of(16);
@@ -847,7 +989,7 @@ mod tests {
             let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
             let mut c = cfg(8);
             c.load_balance = lb;
-            run_simulated(&g, &q, &orders, &Plain, None, seeds, c).tasks
+            run_simulated(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off()).tasks
         };
         assert!(tasks_of(true) > tasks_of(false));
     }
@@ -857,7 +999,7 @@ mod tests {
         let (g, q) = big_graph();
         let orders = MatchingOrders::build(&q);
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
-        let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(4));
+        let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(4), &Tracer::off());
         assert_eq!(out.thread_busy.len(), 4);
         assert!(out.tasks_executed > 0);
     }

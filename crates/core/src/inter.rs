@@ -52,6 +52,16 @@ impl Classified {
     pub fn is_safe(&self) -> bool {
         matches!(self, Classified::Safe(_))
     }
+
+    /// Short human-readable name of the verdict.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Classified::Safe(SafeStage::Label) => "safe:label",
+            Classified::Safe(SafeStage::Degree) => "safe:degree",
+            Classified::Safe(SafeStage::Ads) => "safe:ads",
+            Classified::Unsafe => "unsafe",
+        }
+    }
 }
 
 /// Running totals for the classifier — the data behind paper Table 4
@@ -68,6 +78,10 @@ pub struct ClassifierStats {
     pub safe_ads: u64,
     /// Classified unsafe (full processing).
     pub unsafe_count: u64,
+    /// Structural no-ops (duplicate insert / phantom delete): never reach
+    /// the three-stage filter but still count toward `total`, so the
+    /// consistency invariant ([`ClassifierStats::is_consistent`]) holds.
+    pub noops: u64,
 }
 
 impl ClassifierStats {
@@ -82,9 +96,37 @@ impl ClassifierStats {
         }
     }
 
+    /// Record a structural no-op (examined, but no verdict applies).
+    pub fn record_noop(&mut self) {
+        self.total += 1;
+        self.noops += 1;
+    }
+
     /// Total safe updates.
     pub fn safe_total(&self) -> u64 {
         self.safe_label + self.safe_degree + self.safe_ads
+    }
+
+    /// Consistency invariant: every examined update got exactly one
+    /// verdict, i.e. stage-wise safe counts + unsafe + no-ops == `total`.
+    pub fn is_consistent(&self) -> bool {
+        self.safe_label + self.safe_degree + self.safe_ads + self.unsafe_count + self.noops
+            == self.total
+    }
+
+    /// One-line verdict mix for end-of-run logs, e.g.
+    /// `classified=100 label=97 degree=1 ads=1 unsafe=1 noop=0 (1.0% unsafe)`.
+    pub fn verdict_mix(&self) -> String {
+        format!(
+            "classified={} label={} degree={} ads={} unsafe={} noop={} ({:.1}% unsafe)",
+            self.total,
+            self.safe_label,
+            self.safe_degree,
+            self.safe_ads,
+            self.unsafe_count,
+            self.noops,
+            self.unsafe_pct()
+        )
     }
 
     /// Percentage of unsafe updates (paper Table 4 metric).
@@ -124,6 +166,7 @@ impl ClassifierStats {
         self.safe_degree += o.safe_degree;
         self.safe_ads += o.safe_ads;
         self.unsafe_count += o.unsafe_count;
+        self.noops += o.noops;
     }
 }
 
@@ -365,5 +408,25 @@ mod tests {
         let mut t = ClassifierStats::default();
         t.merge(&s);
         assert_eq!(t, s);
+    }
+
+    #[test]
+    fn consistency_invariant_tracks_noops() {
+        let mut s = ClassifierStats::default();
+        assert!(s.is_consistent());
+        s.record(Classified::Safe(SafeStage::Label));
+        s.record(Classified::Unsafe);
+        s.record_noop();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.noops, 1);
+        assert!(s.is_consistent());
+        let mix = s.verdict_mix();
+        assert!(
+            mix.contains("classified=3") && mix.contains("noop=1"),
+            "{mix}"
+        );
+        // A hand-corrupted block is detected.
+        s.total += 1;
+        assert!(!s.is_consistent());
     }
 }

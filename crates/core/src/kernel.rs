@@ -59,6 +59,10 @@ pub struct SearchStats {
     pub nodes: u64,
     /// Deadline was exceeded (distinguishes timeout from sink-requested stop).
     pub timed_out: bool,
+    /// Deadline-fire transitions observed (0 or 1 per enumeration; summed
+    /// across enumerations by [`SearchStats::absorb`] for the tracer's
+    /// `deadline_fires` counter).
+    pub deadline_hits: u64,
 }
 
 const DEADLINE_CHECK_MASK: u64 = 0x1FF;
@@ -72,12 +76,22 @@ impl SearchStats {
         if self.nodes & DEADLINE_CHECK_MASK == 0 {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
+                    if !self.timed_out {
+                        self.deadline_hits += 1;
+                    }
                     self.timed_out = true;
                     return false;
                 }
             }
         }
         true
+    }
+
+    /// Fold another enumeration's counters into this one.
+    pub fn absorb(&mut self, o: &SearchStats) {
+        self.nodes += o.nodes;
+        self.timed_out |= o.timed_out;
+        self.deadline_hits += o.deadline_hits;
     }
 }
 
@@ -520,7 +534,7 @@ mod tests {
         // Force a deadline probe on the first tick.
         let mut stats = SearchStats {
             nodes: DEADLINE_CHECK_MASK,
-            timed_out: false,
+            ..SearchStats::default()
         };
         let alive = expand_one_layer(
             &ctx,
@@ -650,7 +664,7 @@ mod tests {
         // Force a deadline probe on the first tick.
         let mut stats = SearchStats {
             nodes: DEADLINE_CHECK_MASK,
-            timed_out: false,
+            ..SearchStats::default()
         };
         let finished = extend(
             &ctx,
@@ -662,5 +676,13 @@ mod tests {
         );
         assert!(!finished);
         assert!(stats.timed_out);
+        // The transition is counted exactly once, even though subsequent
+        // enumerations would keep observing the expired deadline.
+        assert_eq!(stats.deadline_hits, 1);
+        let mut total = SearchStats::default();
+        total.absorb(&stats);
+        total.absorb(&stats);
+        assert_eq!(total.deadline_hits, 2);
+        assert!(total.timed_out);
     }
 }

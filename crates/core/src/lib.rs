@@ -71,12 +71,13 @@ pub mod metrics;
 pub mod model;
 pub mod order;
 pub mod static_match;
+pub mod trace;
 
 pub use algorithm::{AdsCandidates, AdsChange, AlgorithmFactory, CsmAlgorithm};
 pub use canonical::{AutomorphismGroup, CanonicalSink};
 pub use config::ParaCosmConfig;
 pub use embedding::{BufferSink, Embedding, Match, MatchSink, MAX_PATTERN_VERTICES};
-pub use framework::{ParaCosm, RunStats, StreamOutcome, UpdateOutcome};
+pub use framework::{ParaCosm, RunStats, SlowUpdate, StreamOutcome, UpdateOutcome};
 pub use inner::{InnerConfig, InnerOutcome, SeedTask, SimOutcome};
 pub use inter::{Classified, ClassifierStats, SafeStage};
 pub use kernel::{CandidateFilter, NoFilter, SearchCtx, SearchStats};
@@ -84,3 +85,7 @@ pub use match_store::{MatchStore, StoreError};
 pub use metrics::LatencyHistogram;
 pub use order::{MatchingOrders, SeedOrder};
 pub use static_match::StaticResult;
+pub use trace::{
+    Counter, EventKind, EventRing, Gauge, LocalTrace, MetricsRegistry, MetricsSnapshot,
+    NoopObserver, RunReport, StreamObserver, TraceEvent, TraceLevel, Tracer, UpdateObservation,
+};

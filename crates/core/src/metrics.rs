@@ -107,12 +107,14 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Mean latency (exact).
+    /// Mean latency (exact). The division happens in `u128` nanoseconds:
+    /// `Duration / u32` would wrap the divisor for counts ≥ 2³², which a
+    /// long-lived streaming deployment will reach.
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
             Duration::ZERO
         } else {
-            self.sum / self.count as u32
+            Duration::from_nanos((self.sum.as_nanos() / self.count as u128) as u64)
         }
     }
 
@@ -132,6 +134,16 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+
+    /// Occupied buckets as `(upper_bound_ns, count)` pairs, ascending —
+    /// the exporter-facing view used by `RunReport` JSON.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_value(i), c))
     }
 
     /// Merge another histogram into this one.
@@ -211,6 +223,34 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), Duration::from_millis(100));
         assert!(a.mean() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn mean_survives_counts_beyond_u32() {
+        // Build the state a >4-billion-sample run would reach without
+        // looping that long: same-module access to the private fields.
+        let count = (u32::MAX as u64) + 5_000;
+        let per_sample = Duration::from_nanos(250);
+        let mut h = LatencyHistogram::new();
+        h.count = count;
+        h.sum =
+            per_sample * 1_000 * ((count / 1_000) as u32) + per_sample * ((count % 1_000) as u32);
+        h.buckets[bucket_of(250)] = count;
+        // The old `sum / count as u32` wrapped the divisor to 4999 here,
+        // reporting a mean ~860000× too large.
+        assert_eq!(h.mean(), per_sample);
+    }
+
+    #[test]
+    fn nonzero_buckets_roundtrip_count() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 10, 500, 70_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        assert_eq!(buckets.len(), 3);
     }
 
     #[test]

@@ -1,18 +1,79 @@
-//! Live pattern monitoring: maintain the *materialized* match set, count
-//! distinct subgraphs (not mappings), and track per-update latency
-//! percentiles — the application-side plumbing around a CSM engine.
+//! Live pattern monitoring: drive a churn stream through the engine with a
+//! [`StreamObserver`] hooked into `process_stream_observed`, printing a
+//! rolling dashboard — windowed p50/p99 latency, ΔM throughput, verdict
+//! mix — and a final per-worker utilization breakdown from `RunStats`.
 //!
 //! Run with: `cargo run --release --example live_monitoring`
 
-use paracosm::core::{AutomorphismGroup, LatencyHistogram, MatchStore};
+use paracosm::core::{Classified, LatencyHistogram, StreamObserver, TraceLevel, UpdateObservation};
 use paracosm::datagen::{synth, SynthConfig};
 use paracosm::prelude::*;
 use rand::prelude::*;
 use std::time::Instant;
 
+/// Rolling dashboard: aggregates a window of updates, prints one line per
+/// window, and keeps whole-run totals.
+struct Dashboard {
+    window: LatencyHistogram,
+    window_size: u64,
+    window_delta_m: u64,
+    window_start: Instant,
+    total: LatencyHistogram,
+    total_delta_m: u64,
+    seen: u64,
+    unsafe_seen: u64,
+    noops: u64,
+}
+
+impl Dashboard {
+    fn new(window_size: u64) -> Dashboard {
+        Dashboard {
+            window: LatencyHistogram::new(),
+            window_size,
+            window_delta_m: 0,
+            window_start: Instant::now(),
+            total: LatencyHistogram::new(),
+            total_delta_m: 0,
+            seen: 0,
+            unsafe_seen: 0,
+            noops: 0,
+        }
+    }
+}
+
+impl StreamObserver for Dashboard {
+    fn on_update(&mut self, obs: &UpdateObservation) {
+        self.seen += 1;
+        self.window.record(obs.latency);
+        self.total.record(obs.latency);
+        self.window_delta_m += obs.delta_m();
+        self.total_delta_m += obs.delta_m();
+        if matches!(obs.verdict, Some(Classified::Unsafe)) {
+            self.unsafe_seen += 1;
+        }
+        if obs.noop {
+            self.noops += 1;
+        }
+        if self.window.count() >= self.window_size {
+            let dt = self.window_start.elapsed();
+            println!(
+                "[{:>6}] p50={:>9?} p99={:>9?} max={:>9?}  ΔM={:<5} ({:>8.0} upd/s)",
+                self.seen,
+                self.window.percentile(50.0),
+                self.window.percentile(99.0),
+                self.window.max(),
+                self.window_delta_m,
+                self.window.count() as f64 / dt.as_secs_f64().max(1e-9),
+            );
+            self.window = LatencyHistogram::new();
+            self.window_delta_m = 0;
+            self.window_start = Instant::now();
+        }
+    }
+}
+
 fn main() {
-    // A mid-size labeled graph and an unlabeled-triangle-ish pattern with
-    // nontrivial automorphisms (so mappings ≠ subgraphs).
+    // A mid-size labeled graph and a triangle pattern over its two labels.
     let g = synth::generate(&SynthConfig {
         n_vertices: 2_000,
         n_edges: 9_000,
@@ -29,63 +90,79 @@ fn main() {
     q.add_edge(b, c, ELabel(0)).unwrap();
     q.add_edge(a, c, ELabel(0)).unwrap();
 
-    let aut = AutomorphismGroup::of(&q);
-    println!(
-        "pattern: {} vertices, |Aut(Q)| = {} (each subgraph appears as {} mappings)",
-        q.num_vertices(),
-        aut.order(),
-        aut.order()
-    );
-
-    let mut engine = ParaCosm::new(g, q, Symbi::new(), ParaCosmConfig::parallel(2).collecting());
-
-    // Materialize the initial match set.
-    let mut store = MatchStore::new();
-    store.bootstrap(engine.initial_matches(true).matches);
-    println!(
-        "initially: {} mappings = {} distinct subgraphs",
-        store.len(),
-        aut.distinct(store.len() as u64)
-    );
-
-    // Stream random churn, folding deltas into the store and timing each
-    // update end-to-end (engine + store maintenance).
+    // Pre-build a churn stream: inserts of fresh edges, deletions of edges
+    // the stream itself created (always structurally valid).
     let mut rng = StdRng::seed_from_u64(4);
-    let mut latency = LatencyHistogram::new();
-    let n = engine.graph().vertex_slots() as u32;
+    let n = g.vertex_slots() as u32;
     let mut present: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut processed = 0;
-    while processed < 3_000 {
+    let mut updates: Vec<Update> = Vec::new();
+    while updates.len() < 3_000 {
         let x = VertexId(rng.gen_range(0..n));
         let y = VertexId(rng.gen_range(0..n));
         if x == y {
             continue;
         }
-        let upd = if !present.is_empty() && rng.gen_bool(0.4) {
+        if !present.is_empty() && rng.gen_bool(0.4) {
             let (x, y) = present.swap_remove(rng.gen_range(0..present.len()));
-            Update::DeleteEdge(EdgeUpdate::new(x, y, ELabel(0)))
-        } else if !engine.graph().has_edge(x, y) {
+            updates.push(Update::DeleteEdge(EdgeUpdate::new(x, y, ELabel(0))));
+        } else if !g.has_edge(x, y) && !present.contains(&(x, y)) && !present.contains(&(y, x)) {
             present.push((x, y));
-            Update::InsertEdge(EdgeUpdate::new(x, y, ELabel(0)))
-        } else {
-            continue;
-        };
-        let t0 = Instant::now();
-        let out = engine.process_update(upd).expect("valid update");
-        store.apply(&out).expect("consistent deltas");
-        latency.record(t0.elapsed());
-        processed += 1;
+            updates.push(Update::InsertEdge(EdgeUpdate::new(x, y, ELabel(0))));
+        }
     }
+    let stream: UpdateStream = updates.into_iter().collect();
+
+    let cfg = ParaCosmConfig::parallel(2)
+        .tracing(TraceLevel::Counters)
+        .with_slow_k(3);
+    let mut engine = ParaCosm::new(g, q, Symbi::new(), cfg);
+    let initial = engine.initial_matches(false).count;
+    println!(
+        "initially: {initial} mappings live; streaming {} updates...",
+        stream.len()
+    );
+
+    let mut dash = Dashboard::new(500);
+    let out = engine
+        .process_stream_observed(&stream, &mut dash)
+        .expect("valid stream");
 
     println!(
-        "after {processed} updates: {} mappings = {} distinct subgraphs live",
-        store.len(),
-        aut.distinct(store.len() as u64)
+        "\nstream done: +{} -{} in {:?} ({} updates)",
+        out.positives, out.negatives, out.elapsed, out.updates_applied
     );
-    println!("update latency: {}", latency.summary());
+    println!(
+        "overall latency: {} | ΔM total = {} | unsafe = {} | noops = {}",
+        dash.total.summary(),
+        dash.total_delta_m,
+        dash.unsafe_seen,
+        dash.noops
+    );
+    println!("verdicts: {}", engine.stats.classifier.verdict_mix());
 
-    // The store must agree with a from-scratch enumeration.
+    // Worker utilization: busy time per inner-executor worker against the
+    // stream's wall clock (idle workers ⇒ the inner executor was rarely
+    // engaged — most updates were classified safe).
+    for (w, busy) in engine.stats.thread_busy.iter().enumerate() {
+        let pct = 100.0 * busy.as_secs_f64() / out.elapsed.as_secs_f64().max(1e-9);
+        println!("worker {w}: busy {busy:?} ({pct:.1}% of wall)");
+    }
+    for su in &engine.stats.slowest {
+        println!(
+            "slowest #{}: {} latency={:?} nodes={}",
+            su.index,
+            su.describe(),
+            su.latency,
+            su.nodes
+        );
+    }
+
+    // Audit: the running ΔM must reconcile with a from-scratch enumeration.
     let truth = engine.initial_matches(false).count;
-    assert_eq!(store.len() as u64, truth, "store drifted from the engine");
-    println!("store audit: OK ({truth} mappings recomputed)");
+    assert_eq!(
+        initial + out.positives - out.negatives,
+        truth,
+        "incremental deltas drifted from the ground truth"
+    );
+    println!("audit: OK ({truth} mappings recomputed)");
 }

@@ -11,10 +11,15 @@
 //!   --timeout-ms N     per-run time limit
 //!   --initial          also count initial matches before streaming
 //!   --per-update       print a line per update with its ΔM
+//!   --trace LEVEL      off|counters|full                       (default: off)
+//!   --trace-out PATH   write a Chrome/Perfetto trace JSON (implies --trace full)
+//!   --report-json PATH write a machine-readable run report (implies counters)
+//!   --slow-k N         capture the N slowest updates in the report
+//!   --quiet            suppress the end-of-run latency/verdict summary
 //! ```
 
 use paracosm::algos::{AlgoKind, AnyAlgorithm};
-use paracosm::core::{ParaCosm, ParaCosmConfig};
+use paracosm::core::{ParaCosm, ParaCosmConfig, TraceLevel};
 use paracosm::graph::io;
 use std::time::Duration;
 
@@ -22,9 +27,18 @@ fn usage() -> ! {
     eprintln!(
         "usage: paracosm-cli --graph G.txt --query Q.txt --stream S.txt \
          [--algo name] [--threads N] [--batch N] [--no-inter] \
-         [--timeout-ms N] [--initial] [--per-update]"
+         [--timeout-ms N] [--initial] [--per-update] [--trace off|counters|full] \
+         [--trace-out PATH] [--report-json PATH] [--slow-k N] [--quiet]"
     );
     std::process::exit(2);
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {what} {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("{what} written to {path}");
 }
 
 fn main() {
@@ -38,7 +52,11 @@ fn main() {
     let mut timeout = None;
     let mut initial = false;
     let mut per_update = false;
-    let mut latency = false;
+    let mut trace = TraceLevel::Off;
+    let mut trace_out: Option<String> = None;
+    let mut report_json: Option<String> = None;
+    let mut slow_k = 0usize;
+    let mut quiet = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,13 +76,26 @@ fn main() {
             }
             "--initial" => initial = true,
             "--per-update" => per_update = true,
-            "--latency" => latency = true,
+            "--trace" => trace = TraceLevel::parse(&val()).unwrap_or_else(|| usage()),
+            "--trace-out" => trace_out = Some(val()),
+            "--report-json" => report_json = Some(val()),
+            "--slow-k" => slow_k = val().parse().unwrap_or_else(|_| usage()),
+            "--quiet" => quiet = true,
+            // Kept for compatibility: latency tracking is now on by default.
+            "--latency" => {}
             _ => usage(),
         }
     }
     let (Some(gp), Some(qp), Some(sp)) = (graph, query, stream) else {
         usage()
     };
+    // Exporters need the corresponding telemetry level to have anything
+    // to say; upgrade quietly rather than emitting empty files.
+    if trace_out.is_some() {
+        trace = TraceLevel::Full;
+    } else if report_json.is_some() && trace == TraceLevel::Off {
+        trace = TraceLevel::Counters;
+    }
 
     let g = io::load_data_graph(&gp).unwrap_or_else(|e| {
         eprintln!("failed to load graph {gp}: {e}");
@@ -79,9 +110,12 @@ fn main() {
         std::process::exit(1);
     });
 
-    let mut cfg = ParaCosmConfig::parallel(threads).with_batch_size(batch);
+    let mut cfg = ParaCosmConfig::parallel(threads)
+        .with_batch_size(batch)
+        .tracing(trace)
+        .with_slow_k(slow_k);
     cfg.inter_update = inter && threads > 1;
-    cfg.track_latency = latency;
+    cfg.track_latency = !quiet;
     if let Some(t) = timeout {
         cfg = cfg.with_time_limit(t);
     }
@@ -104,6 +138,7 @@ fn main() {
         println!("initial matches: {} ({:?})", r.count, t0.elapsed());
     }
 
+    let mut outcome = None;
     if per_update {
         let (mut tp, mut tn) = (0u64, 0u64);
         for (i, &u) in s.updates().iter().enumerate() {
@@ -131,20 +166,34 @@ fn main() {
             "positives={} negatives={} applied={} timed_out={} elapsed={:?}",
             out.positives, out.negatives, out.updates_applied, out.timed_out, out.elapsed
         );
+        outcome = Some(out);
     }
 
-    let st = &engine.stats;
-    eprintln!(
-        "stats: ads={:?} find={:?} apply={:?} nodes={} safe={}/{} unsafe={}",
-        st.ads_time,
-        st.find_time,
-        st.apply_time,
-        st.nodes,
-        st.classifier.safe_total(),
-        st.classifier.total,
-        st.classifier.unsafe_count,
-    );
-    if latency {
+    if !quiet {
+        let st = &engine.stats;
+        eprintln!(
+            "stats: ads={:?} find={:?} apply={:?} nodes={}",
+            st.ads_time, st.find_time, st.apply_time, st.nodes,
+        );
         eprintln!("latency: {}", st.latency.summary());
+        eprintln!("verdicts: {}", st.classifier.verdict_mix());
+        for su in &st.slowest {
+            eprintln!(
+                "slow #{}: {} latency={:?} (ads={:?} apply={:?} find={:?} nodes={})",
+                su.index,
+                su.describe(),
+                su.latency,
+                su.ads,
+                su.apply,
+                su.find,
+                su.nodes
+            );
+        }
+    }
+    if let Some(path) = &trace_out {
+        write_or_die(path, &engine.tracer().perfetto_json(), "trace");
+    }
+    if let Some(path) = &report_json {
+        write_or_die(path, &engine.run_report(outcome).to_json(), "report");
     }
 }

@@ -1,0 +1,204 @@
+//! Trace correctness: a real 2-thread inner-executor run at
+//! `TraceLevel::Full`, with the drained event log checked for
+//! well-formedness (pop/complete pairing per worker shard, split events
+//! bounded by the split counter, monotone timestamps per shard) and for
+//! agreement with the `RunStats` the engine reports through its ordinary
+//! accounting. Also covers the classifier-consistency invariant after a
+//! batched `process_stream` run and the exporter surfaces.
+
+use paracosm::algos::AlgoKind;
+use paracosm::core::{Counter, EventKind, ParaCosm, ParaCosmConfig, TraceLevel};
+use paracosm::graph::{
+    DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId,
+};
+
+fn triangle_query() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let u: Vec<_> = (0..3).map(|_| q.add_vertex(VLabel(0))).collect();
+    q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+    q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+    q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+    q
+}
+
+/// Single-label ring + chords: every streamed chord closes triangles, so
+/// the inner executor gets real multi-seed work on every update.
+fn dense_setup() -> (DataGraph, UpdateStream) {
+    let n = 24u32;
+    let mut g = DataGraph::new();
+    for _ in 0..n {
+        g.add_vertex(VLabel(0));
+    }
+    let mut ring = Vec::new();
+    let mut chords = Vec::new();
+    for i in 0..n {
+        ring.push((i, (i + 1) % n));
+        chords.push((i, (i + 2) % n));
+    }
+    for &(a, b) in &ring {
+        g.insert_edge(VertexId(a), VertexId(b), ELabel(0)).unwrap();
+    }
+    let stream: UpdateStream = chords
+        .iter()
+        .map(|&(a, b)| Update::InsertEdge(EdgeUpdate::new(VertexId(a), VertexId(b), ELabel(0))))
+        .collect();
+    (g, stream)
+}
+
+fn two_thread_inner_only() -> ParaCosmConfig {
+    // Inner-update executor only: the per-update stream path exercises the
+    // worker shards without the batch executor's bulk phases.
+    ParaCosmConfig {
+        inter_update: false,
+        ..ParaCosmConfig::parallel(2)
+    }
+}
+
+#[test]
+fn two_thread_event_log_is_well_formed() {
+    let (g, stream) = dense_setup();
+    let q = triangle_query();
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let cfg = two_thread_inner_only().tracing(TraceLevel::Full);
+    let mut e = ParaCosm::new(g, q, algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+    assert!(out.positives > 0, "setup must produce matches");
+
+    let snap = e.tracer().metrics();
+    let shards = e.tracer().drain_events();
+    assert_eq!(shards.len(), 3, "orchestrator + 2 worker shards");
+    assert!(
+        e.tracer().dropped_events().iter().all(|&d| d == 0),
+        "ring capacity must hold this run"
+    );
+
+    let mut pops = 0u64;
+    let mut dones = 0u64;
+    let mut splits = 0u64;
+    for (shard, evs) in shards.iter().enumerate() {
+        let mut last_ts = 0u64;
+        let mut open_pop = false;
+        for ev in evs {
+            assert!(
+                ev.ts_ns >= last_ts,
+                "shard {shard}: timestamps must be monotone"
+            );
+            last_ts = ev.ts_ns;
+            match ev.kind {
+                EventKind::TaskPop => {
+                    assert!(!open_pop, "shard {shard}: pop while a task is open");
+                    open_pop = true;
+                    pops += 1;
+                }
+                EventKind::TaskDone => {
+                    assert!(open_pop, "shard {shard}: done without a matching pop");
+                    open_pop = false;
+                    dones += 1;
+                }
+                EventKind::Split => splits += 1,
+                _ => {}
+            }
+        }
+        assert!(!open_pop, "shard {shard}: dangling pop at end of log");
+    }
+
+    // Event log and counter registry agree (no events were dropped).
+    assert_eq!(pops, snap.total(Counter::TasksPopped));
+    assert_eq!(dones, snap.total(Counter::TasksCompleted));
+    assert_eq!(pops, dones, "every popped task must complete");
+    assert_eq!(splits, snap.total(Counter::TasksSplit));
+
+    // Registry totals agree with the engine's ordinary RunStats accounting.
+    assert_eq!(snap.total(Counter::TasksCompleted), e.stats.tasks_executed);
+    assert_eq!(snap.total(Counter::TasksSplit), e.stats.tasks_split);
+    assert_eq!(snap.total(Counter::Nodes), e.stats.nodes);
+    assert_eq!(snap.total(Counter::Updates), e.stats.updates);
+    assert_eq!(snap.total(Counter::MatchesPos), e.stats.positives);
+    assert_eq!(snap.total(Counter::MatchesNeg), e.stats.negatives);
+    assert_eq!(snap.total(Counter::DeadlineFires), 0);
+}
+
+#[test]
+fn batched_run_keeps_classifier_consistent() {
+    let (g, stream) = dense_setup();
+    let q = triangle_query();
+    // Duplicate a prefix of the stream so the batch executor sees real
+    // structural no-ops alongside safe and unsafe updates.
+    let mut updates: Vec<Update> = stream.updates().to_vec();
+    let dup: Vec<Update> = updates.iter().take(4).copied().collect();
+    updates.extend(dup);
+    let stream: UpdateStream = updates.into_iter().collect();
+
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let cfg = ParaCosmConfig::parallel(2)
+        .with_batch_size(8)
+        .tracing(TraceLevel::Counters);
+    let mut e = ParaCosm::new(g, q, algo, cfg);
+    e.process_stream(&stream).unwrap();
+
+    let c = &e.stats.classifier;
+    assert!(c.is_consistent(), "stage counts must add up: {c:?}");
+    assert_eq!(
+        c.total, e.stats.updates,
+        "every update gets exactly one verdict in a batched run"
+    );
+    assert!(c.noops >= 4, "duplicated prefix must surface as no-ops");
+
+    let snap = e.tracer().metrics();
+    assert_eq!(
+        snap.total(Counter::ClassLabelSafe)
+            + snap.total(Counter::ClassDegreeSafe)
+            + snap.total(Counter::ClassAdsSafe)
+            + snap.total(Counter::ClassUnsafe)
+            + snap.total(Counter::ClassNoop),
+        c.total,
+        "registry mirrors ClassifierStats"
+    );
+    assert_eq!(snap.total(Counter::Updates), e.stats.updates);
+}
+
+#[test]
+fn exporters_emit_loadable_output() {
+    let (g, stream) = dense_setup();
+    let q = triangle_query();
+    let algo = AlgoKind::GraphFlow.build(&g, &q);
+    let cfg = ParaCosmConfig::parallel(2)
+        .with_batch_size(8)
+        .tracing(TraceLevel::Full)
+        .with_slow_k(3);
+    let mut e = ParaCosm::new(g, q, algo, cfg);
+    let out = e.process_stream(&stream).unwrap();
+
+    let trace = e.tracer().perfetto_json();
+    assert!(trace.contains("\"traceEvents\""));
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+
+    let prom = e.tracer().prometheus_text();
+    assert!(prom.contains("paracosm_updates_total"));
+    assert!(prom.contains("shard=\"w1\""));
+
+    let report = e.run_report(Some(out)).to_json();
+    for key in [
+        "\"schema_version\"",
+        "\"outcome\"",
+        "\"stats\"",
+        "\"classifier\"",
+        "\"latency\"",
+        "\"slowest\"",
+        "\"metrics\"",
+        "\"per_shard\"",
+        "\"dropped_events\"",
+    ] {
+        assert!(report.contains(key), "report missing {key}");
+    }
+    assert_eq!(report.matches('{').count(), report.matches('}').count());
+    assert!(!e.stats.slowest.is_empty(), "slow-K capture must engage");
+    assert!(
+        e.stats
+            .slowest
+            .windows(2)
+            .all(|w| w[0].latency >= w[1].latency),
+        "slowest list is latency-descending"
+    );
+}
