@@ -1,0 +1,22 @@
+//! # csm-check — the workspace's concurrency-checking layer
+//!
+//! Concurrent code elsewhere in the workspace (`paracosm_core::inner`,
+//! `paracosm_core::trace`, the `crossbeam-deque` shim) imports its
+//! synchronization primitives from [`sync`] instead of `std::sync`. In a
+//! normal build that facade is a verbatim `std` re-export; compiled with
+//! `RUSTFLAGS="--cfg paracosm_check"` it becomes a deterministic-scheduler
+//! shim (see [`sched`]) that explores seeded interleavings and replays
+//! failing seeds exactly (`PARACOSM_CHECK_SEED=<n>`).
+//!
+//! [`protocol`] is a faithful, side-effect-free port of the inner-update
+//! executor's injector/active-counter/abort protocol (paper §4.1,
+//! Algorithm 2) onto the facade, with the seed revision's idle-accounting
+//! bug preserved behind a runtime flag so the model tests can demonstrate
+//! the checker catching it.
+
+#![forbid(unsafe_code)]
+
+pub use checksched::sched;
+pub use checksched::sync;
+
+pub mod protocol;

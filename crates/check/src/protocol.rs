@@ -1,0 +1,282 @@
+//! A faithful port of the inner-update executor's coordination protocol
+//! (paper §4.1, Algorithm 2; `paracosm_core::inner`) onto the
+//! [`sync`](crate::sync) facade, stripped of the search itself: tasks are
+//! just node ids in a precomputed forest, and "executing" a task bumps
+//! counters and either donates or inlines its children exactly the way
+//! `parallel_find_matches` does.
+//!
+//! Two worker revisions are provided:
+//!
+//! * [`worker_fixed`] — the shipped protocol: `active` starts at the
+//!   worker count and a worker deregisters only while demonstrably idle,
+//!   re-registering *before* it steals again. A worker can only observe
+//!   `Empty && active == 0` when every task has been executed (quiescence).
+//! * [`worker_buggy`] — the seed revision's accounting, kept behind
+//!   [`ProtocolCfg::lost_wakeup_bug`]: `active` counts *currently
+//!   executing* workers, incremented only after a successful steal. In the
+//!   window between a peer's `Steal::Success` and its `fetch_add`, an idle
+//!   worker observes `Empty && active == 0` and exits while work remains —
+//!   the lost-wakeup/early-exit bug the model tests must catch.
+//!
+//! Every worker runs a god-view check at its exit point: leaving the pool
+//! while undelivered tasks remain is recorded as a quiescence violation in
+//! [`Outcome::quiescence_violations`].
+
+use crate::sync;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crossbeam_deque::{Injector, Steal};
+use std::sync::Arc;
+
+/// A static forest of task ids: roots are injected up front, children are
+/// produced by executing their parent (donated to the queue or inlined,
+/// mirroring the executor's adaptive splitting).
+#[derive(Clone, Debug)]
+pub struct TaskForest {
+    pub roots: Vec<usize>,
+    /// `children[id]` lists the tasks produced by executing `id`.
+    pub children: Vec<Vec<usize>>,
+}
+
+impl TaskForest {
+    /// The shape used by the model tests: three roots, one of which fans
+    /// out two levels, so schedules mix donation, inlining, and idling.
+    pub fn small() -> TaskForest {
+        TaskForest {
+            roots: vec![0, 1, 2],
+            children: vec![vec![3, 4], vec![], vec![], vec![5], vec![], vec![]],
+        }
+    }
+
+    /// A wider forest for the real-thread stress test.
+    pub fn wide(roots: usize, fanout: usize) -> TaskForest {
+        let mut children = vec![Vec::new(); roots];
+        for r in 0..roots {
+            let mut kids = Vec::new();
+            for _ in 0..fanout {
+                kids.push(children.len());
+                children.push(Vec::new());
+            }
+            children[r] = kids;
+        }
+        TaskForest {
+            roots: (0..roots).collect(),
+            children,
+        }
+    }
+
+    /// Total task count (every node in `children` is reachable).
+    pub fn total(&self) -> u64 {
+        self.children.len() as u64
+    }
+}
+
+/// One protocol run's configuration.
+#[derive(Clone, Debug)]
+pub struct ProtocolCfg {
+    pub workers: usize,
+    pub forest: TaskForest,
+    /// Run the seed revision's idle accounting instead of the fix.
+    pub lost_wakeup_bug: bool,
+    /// Port of the abort protocol: after this many tasks have executed,
+    /// set the shared abort flag; later deliveries skip execution. The
+    /// quiescence check is disabled (expected counts are schedule-
+    /// dependent under abort) — the asserted property becomes "all
+    /// workers exit and nothing is delivered twice".
+    pub abort_after: Option<u64>,
+}
+
+impl ProtocolCfg {
+    pub fn new(workers: usize, forest: TaskForest) -> ProtocolCfg {
+        ProtocolCfg {
+            workers,
+            forest,
+            lost_wakeup_bug: false,
+            abort_after: None,
+        }
+    }
+}
+
+/// What a run observed, read back after every worker has exited.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Per-task delivery count. Exactly-once delivery ⇔ every entry is 1
+    /// (without abort; with abort, entries are 0 or 1).
+    pub delivered: Vec<u64>,
+    /// Tasks whose body actually ran (≤ delivered under abort).
+    pub executed: u64,
+    /// Times a worker exited the pool while undelivered tasks remained.
+    pub quiescence_violations: u64,
+}
+
+struct Shared {
+    injector: Injector<usize>,
+    /// Fixed protocol: workers not (yet) proven idle, starts at `workers`.
+    /// Buggy protocol: workers currently executing a task, starts at 0.
+    active: AtomicUsize,
+    aborted: AtomicBool,
+    delivered: Vec<AtomicU64>,
+    executed_total: AtomicU64,
+    violations: AtomicU64,
+    forest: TaskForest,
+    workers: usize,
+    expected: u64,
+    abort_after: Option<u64>,
+}
+
+impl Shared {
+    /// God-view check at a worker's exit point: the protocol promises no
+    /// worker leaves while tasks remain (quiescence). Schedule-dependent
+    /// execution counts under abort make the check meaningless there.
+    fn note_exit(&self) {
+        if self.abort_after.is_none()
+            && self.executed_total.load(Ordering::Acquire) != self.expected
+        {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn has_idle_workers(&self) -> bool {
+        self.active.load(Ordering::Acquire) < self.workers
+    }
+}
+
+/// Execute task `id`: count it, then donate or inline each child exactly
+/// like `parallel_find_matches` (donate only when the queue looks empty
+/// and a peer looks idle).
+fn exec_task(sh: &Shared, id: usize) {
+    sh.delivered[id].fetch_add(1, Ordering::Relaxed);
+    if sh.aborted.load(Ordering::Relaxed) {
+        return;
+    }
+    let done = sh.executed_total.fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some(k) = sh.abort_after {
+        if done >= k {
+            sh.aborted.store(true, Ordering::Relaxed);
+        }
+    }
+    for i in 0..sh.forest.children[id].len() {
+        let child = sh.forest.children[id][i];
+        if sh.injector.is_empty() && sh.has_idle_workers() {
+            sh.injector.push(child);
+        } else {
+            exec_task(sh, child);
+        }
+    }
+}
+
+/// The shipped protocol (mirrors `paracosm_core::inner::worker_loop`).
+fn worker_fixed(sh: &Shared) {
+    loop {
+        match sh.injector.steal() {
+            Steal::Success(id) => exec_task(sh, id),
+            Steal::Retry => sync::thread::yield_now(),
+            Steal::Empty => {
+                // Deregister while idle; re-register *before* stealing
+                // again so a task is never in flight uncounted.
+                sh.active.fetch_sub(1, Ordering::AcqRel);
+                loop {
+                    if !sh.injector.is_empty() {
+                        sh.active.fetch_add(1, Ordering::AcqRel);
+                        break;
+                    }
+                    if sh.active.load(Ordering::Acquire) == 0 {
+                        sh.note_exit();
+                        return;
+                    }
+                    sync::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The seed revision's accounting: `active` tracks executing workers only,
+/// so a stolen-but-not-yet-counted task opens an early-exit window.
+fn worker_buggy(sh: &Shared) {
+    loop {
+        match sh.injector.steal() {
+            Steal::Success(id) => {
+                sh.active.fetch_add(1, Ordering::AcqRel);
+                exec_task(sh, id);
+                sh.active.fetch_sub(1, Ordering::AcqRel);
+            }
+            Steal::Retry => sync::thread::yield_now(),
+            Steal::Empty => {
+                if sh.active.load(Ordering::Acquire) == 0 {
+                    sh.note_exit();
+                    return;
+                }
+                sync::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Run the protocol to completion under the ambient scheduler (the model
+/// scheduler inside a `sched::model` run, plain OS threads otherwise) and
+/// return the god-view observations.
+pub fn run(cfg: &ProtocolCfg) -> Outcome {
+    let total = cfg.forest.total() as usize;
+    let shared = Arc::new(Shared {
+        injector: Injector::new(),
+        active: AtomicUsize::new(if cfg.lost_wakeup_bug { 0 } else { cfg.workers }),
+        aborted: AtomicBool::new(false),
+        delivered: (0..total).map(|_| AtomicU64::new(0)).collect(),
+        executed_total: AtomicU64::new(0),
+        violations: AtomicU64::new(0),
+        forest: cfg.forest.clone(),
+        workers: cfg.workers,
+        expected: cfg.forest.total(),
+        abort_after: cfg.abort_after,
+    });
+    for &r in &shared.forest.roots {
+        shared.injector.push(r);
+    }
+    let handles: Vec<_> = (0..cfg.workers)
+        .map(|_| {
+            let sh = Arc::clone(&shared);
+            let buggy = cfg.lost_wakeup_bug;
+            sync::thread::spawn(move || {
+                if buggy {
+                    worker_buggy(&sh)
+                } else {
+                    worker_fixed(&sh)
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("protocol worker panicked");
+    }
+    Outcome {
+        delivered: shared
+            .delivered
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .collect(),
+        executed: shared.executed_total.load(Ordering::Acquire),
+        quiescence_violations: shared.violations.load(Ordering::Acquire),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_protocol_delivers_exactly_once_single_worker() {
+        let out = run(&ProtocolCfg::new(1, TaskForest::small()));
+        assert!(out.delivered.iter().all(|&d| d == 1), "{out:?}");
+        assert_eq!(out.executed, TaskForest::small().total());
+        assert_eq!(out.quiescence_violations, 0);
+    }
+
+    #[test]
+    fn abort_stops_execution_without_double_delivery() {
+        let mut cfg = ProtocolCfg::new(2, TaskForest::wide(8, 4));
+        cfg.abort_after = Some(3);
+        let out = run(&cfg);
+        assert!(out.delivered.iter().all(|&d| d <= 1), "{out:?}");
+        assert!(out.executed >= 3.min(cfg.forest.total()));
+    }
+}

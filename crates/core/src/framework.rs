@@ -750,7 +750,8 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             let stage1_start = Instant::now();
             let label_flags: Vec<bool> = {
                 let (g, q) = (&self.g, &self.q);
-                csm_graph::par::map_slice(batch, |u| match u.edge() {
+                let nthreads = self.cfg.num_threads;
+                csm_graph::par::map_slice_with(batch, nthreads, |u| match u.edge() {
                     Some(e) => inter::label_safe(g, q, &e, ignore),
                     None => false,
                 })
@@ -866,10 +867,14 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             return;
         }
         let t0 = Instant::now();
+        // Pass the configured width through: the bulk apply must not
+        // oversubscribe past `num_threads` on wide hosts.
         if insert {
-            self.g.apply_inserts_parallel(buffer);
+            self.g
+                .apply_inserts_parallel_with(buffer, self.cfg.num_threads);
         } else {
-            self.g.apply_deletes_parallel(buffer);
+            self.g
+                .apply_deletes_parallel_with(buffer, self.cfg.num_threads);
         }
         let dt = t0.elapsed();
         self.stats.apply_time += dt;

@@ -26,8 +26,8 @@ use crate::order::MatchingOrders;
 use crate::trace::{Counter, EventKind, LocalTrace, Tracer};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
+use csm_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use csm_graph::{DataGraph, QueryGraph};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// A search-tree subtree: a partial embedding plus the order it extends.
@@ -116,6 +116,14 @@ struct RunCtx<'a> {
     algo: &'a dyn CsmAlgorithm,
     deadline: Option<Instant>,
     injector: Injector<SeedTask>,
+    /// Workers not (yet) proven idle. Starts at `num_threads`; a worker
+    /// decrements only after observing the queue empty and re-increments
+    /// *before* stealing again, so `Empty && active == 0` can only be
+    /// observed at quiescence — never while a stolen task is in flight.
+    /// (The seed revision counted *executing* workers instead, opening an
+    /// early-exit window between a peer's `Steal::Success` and its
+    /// `fetch_add`; `csm-check`'s model tests keep that bug reproducible
+    /// as `protocol::worker_buggy`.)
     active: AtomicUsize,
     aborted: AtomicBool,
     reported: AtomicU64,
@@ -133,6 +141,9 @@ impl<'a> RunCtx<'a> {
         }
     }
 
+    /// Donation heuristic: does some worker currently look idle? Relaxed
+    /// is deliberate — a stale answer only skews the donate-vs-recurse
+    /// choice, never correctness (see LINT.md ordering allowlist).
     #[inline]
     fn has_idle_threads(&self) -> bool {
         self.active.load(Ordering::Relaxed) < self.cfg.num_threads
@@ -153,6 +164,11 @@ impl MatchSink for WorkerSink<'_> {
         }
         self.local.report(emb, n);
         if let Some(cap) = self.shared.cfg.cap {
+            // Relaxed is sufficient for the cap: fetch_add is an atomic RMW,
+            // so the count is exact regardless of ordering; `aborted` is an
+            // advisory brake (workers may report a few extra matches past
+            // the cap, which the sink's own cap field truncates), so no
+            // happens-before edge is needed here either. See LINT.md.
             let total = self.shared.reported.fetch_add(1, Ordering::Relaxed) + 1;
             if total >= cap {
                 self.shared.aborted.store(true, Ordering::Relaxed);
@@ -205,7 +221,7 @@ pub fn run(
         algo,
         deadline,
         injector: Injector::new(),
-        active: AtomicUsize::new(0),
+        active: AtomicUsize::new(cfg.num_threads),
         aborted: AtomicBool::new(false),
         reported: AtomicU64::new(0),
         cfg,
@@ -376,11 +392,10 @@ fn worker_loop(
     let mut executed = 0u64;
     let mut split = 0u64;
     let backoff = Backoff::new();
-    loop {
+    'work: loop {
         match ctx.injector.steal() {
             Steal::Success(task) => {
                 backoff.reset();
-                ctx.active.fetch_add(1, Ordering::AcqRel);
                 let t0 = Instant::now();
                 if !ctx.aborted.load(Ordering::Relaxed) {
                     executed += 1;
@@ -398,17 +413,29 @@ fn worker_loop(
                     }
                 }
                 busy += t0.elapsed();
-                ctx.active.fetch_sub(1, Ordering::AcqRel);
             }
             Steal::Retry => {
                 lt.count(Counter::StealRetries, 1);
                 lt.event(EventKind::StealRetry, 0, 0);
             }
             Steal::Empty => {
-                if ctx.active.load(Ordering::Acquire) == 0 {
-                    break;
+                // Deregister while demonstrably idle; re-register *before*
+                // stealing again. A task is therefore never in flight
+                // uncounted, and `Empty && active == 0` implies quiescence
+                // — no worker can exit while work remains (checked under
+                // seeded schedules by `csm-check`'s model tests).
+                ctx.active.fetch_sub(1, Ordering::AcqRel);
+                loop {
+                    if !ctx.injector.is_empty() {
+                        ctx.active.fetch_add(1, Ordering::AcqRel);
+                        backoff.reset();
+                        break;
+                    }
+                    if ctx.active.load(Ordering::Acquire) == 0 {
+                        break 'work;
+                    }
+                    backoff.snooze();
                 }
-                backoff.snooze();
             }
         }
     }

@@ -31,8 +31,9 @@
 
 use crate::framework::RunStats;
 use crate::inter::{Classified, SafeStage};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use csm_check::sync::atomic::{AtomicU64, Ordering};
+use csm_check::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How much telemetry the engine records.
@@ -478,7 +479,13 @@ impl Tracer {
                     b,
                 };
                 let idx = shard.min(s.rings.len() - 1);
-                s.rings[idx].lock().unwrap().push(ev);
+                // Telemetry must never take the engine down: a ring whose
+                // writer panicked is still structurally valid, so poison is
+                // ignored here and below.
+                s.rings[idx]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(ev);
             }
         }
     }
@@ -516,7 +523,7 @@ impl Tracer {
         }
         if local.events_on && (!local.events.is_empty() || local.dropped > 0) {
             let idx = local.shard.min(s.rings.len() - 1);
-            let mut ring = s.rings[idx].lock().unwrap();
+            let mut ring = s.rings[idx].lock().unwrap_or_else(PoisonError::into_inner);
             ring.dropped += local.dropped;
             for ev in local.events {
                 ring.push(ev);
@@ -535,14 +542,20 @@ impl Tracer {
     /// off or below `Full`).
     pub fn events(&self) -> Vec<Vec<TraceEvent>> {
         self.shared.as_ref().map_or_else(Vec::new, |s| {
-            s.rings.iter().map(|r| r.lock().unwrap().to_vec()).collect()
+            s.rings
+                .iter()
+                .map(|r| r.lock().unwrap_or_else(PoisonError::into_inner).to_vec())
+                .collect()
         })
     }
 
     /// Drain every shard's ring, returning events oldest first.
     pub fn drain_events(&self) -> Vec<Vec<TraceEvent>> {
         self.shared.as_ref().map_or_else(Vec::new, |s| {
-            s.rings.iter().map(|r| r.lock().unwrap().drain()).collect()
+            s.rings
+                .iter()
+                .map(|r| r.lock().unwrap_or_else(PoisonError::into_inner).drain())
+                .collect()
         })
     }
 
@@ -551,7 +564,7 @@ impl Tracer {
         self.shared.as_ref().map_or_else(Vec::new, |s| {
             s.rings
                 .iter()
-                .map(|r| r.lock().unwrap().dropped())
+                .map(|r| r.lock().unwrap_or_else(PoisonError::into_inner).dropped())
                 .collect()
         })
     }

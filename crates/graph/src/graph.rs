@@ -559,19 +559,41 @@ impl DataGraph {
     ///
     /// Returns the number of edges inserted.
     pub fn apply_inserts_parallel(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
-        self.apply_ops_parallel(edges, true)
+        self.apply_ops_parallel(edges, true, par::threads())
+    }
+
+    /// As [`DataGraph::apply_inserts_parallel`] with an explicit worker
+    /// count (engines pass their configured width instead of
+    /// oversubscribing to `available_parallelism`).
+    pub fn apply_inserts_parallel_with(
+        &mut self,
+        edges: &[(VertexId, VertexId, ELabel)],
+        nthreads: usize,
+    ) -> usize {
+        self.apply_ops_parallel(edges, true, nthreads)
     }
 
     /// Parallel counterpart of [`DataGraph::apply_inserts_parallel`] for
     /// deletions. Same preconditions, except every edge must *exist*.
     pub fn apply_deletes_parallel(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
-        self.apply_ops_parallel(edges, false)
+        self.apply_ops_parallel(edges, false, par::threads())
+    }
+
+    /// As [`DataGraph::apply_deletes_parallel`] with an explicit worker
+    /// count.
+    pub fn apply_deletes_parallel_with(
+        &mut self,
+        edges: &[(VertexId, VertexId, ELabel)],
+        nthreads: usize,
+    ) -> usize {
+        self.apply_ops_parallel(edges, false, nthreads)
     }
 
     fn apply_ops_parallel(
         &mut self,
         edges: &[(VertexId, VertexId, ELabel)],
         insert: bool,
+        nthreads: usize,
     ) -> usize {
         if edges.is_empty() {
             return 0;
@@ -623,40 +645,37 @@ impl DataGraph {
         // Disjoint mutable access: chunk the run list contiguously, then
         // carve `adj` into per-chunk sub-slices at the chunk boundaries.
         // Runs within a chunk touch only indices inside its sub-slice.
-        let nthreads = par::threads().min(runs.len());
+        // Spawning is delegated to `par::run_jobs` (the linter confines
+        // raw thread::scope to par.rs/inner.rs).
+        let nthreads = nthreads.max(1).min(runs.len());
         let chunk_size = runs.len().div_ceil(nthreads);
-        let applied: usize = std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nthreads);
-            let mut rest: &mut [AdjList] = self.adj.as_mut_slice();
-            let mut offset = 0usize;
-            for chunk in runs.chunks(chunk_size) {
-                let first = chunk[0].0;
-                let last = chunk[chunk.len() - 1].0;
-                let tail = std::mem::take(&mut rest);
-                let (_skip, tail) = tail.split_at_mut(first - offset);
-                let (mine, tail) = tail.split_at_mut(last - first + 1);
-                rest = tail;
-                offset = last + 1;
-                handles.push(s.spawn(move || {
-                    let mut changed = 0usize;
-                    for &(idx, run) in chunk {
-                        let list = &mut mine[idx - first];
-                        for &(_, op) in run {
-                            let did = match op {
-                                AdjOp::Insert(n, l, nl) => list.insert(n, l, nl),
-                                AdjOp::Remove(n, nl) => list.remove(n, nl).is_some(),
-                            };
-                            changed += usize::from(did);
-                        }
+        let mut jobs = Vec::with_capacity(nthreads);
+        let mut rest: &mut [AdjList] = self.adj.as_mut_slice();
+        let mut offset = 0usize;
+        for chunk in runs.chunks(chunk_size) {
+            let first = chunk[0].0;
+            let last = chunk[chunk.len() - 1].0;
+            let tail = std::mem::take(&mut rest);
+            let (_skip, tail) = tail.split_at_mut(first - offset);
+            let (mine, tail) = tail.split_at_mut(last - first + 1);
+            rest = tail;
+            offset = last + 1;
+            jobs.push(move || {
+                let mut changed = 0usize;
+                for &(idx, run) in chunk {
+                    let list = &mut mine[idx - first];
+                    for &(_, op) in run {
+                        let did = match op {
+                            AdjOp::Insert(n, l, nl) => list.insert(n, l, nl),
+                            AdjOp::Remove(n, nl) => list.remove(n, nl).is_some(),
+                        };
+                        changed += usize::from(did);
                     }
-                    changed
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("bulk-apply worker panicked"))
-                .sum()
-        });
+                }
+                changed
+            });
+        }
+        let applied: usize = par::run_jobs(jobs).into_iter().sum();
 
         // Each undirected edge contributed two endpoint ops.
         debug_assert!(applied.is_multiple_of(2), "asymmetric parallel application");

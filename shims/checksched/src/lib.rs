@@ -1,0 +1,31 @@
+//! # checksched — deterministic concurrency checking for the workspace
+//!
+//! A vendored, no-dependency stand-in for a loom/shuttle-style model
+//! checker. It has two halves:
+//!
+//! * [`sched`] — a seeded, token-passing deterministic scheduler. Model
+//!   threads run on real OS threads, but exactly one holds the execution
+//!   token at any instant; every synchronization operation is a *yield
+//!   point* where a seeded RNG picks which runnable thread goes next.
+//!   Running the same seed replays the same interleaving exactly, so a
+//!   failure report is a one-line repro (`PARACOSM_CHECK_SEED=<n>`).
+//! * [`sync`] — the facade the workspace's concurrent code is written
+//!   against. In a normal build it re-exports `std::sync` types verbatim
+//!   (zero cost, zero behavior change). Under `--cfg paracosm_check` the
+//!   atomics and `Mutex` become scheduler-instrumented wrappers, turning
+//!   every test that drives the protocol into a schedule-exploration
+//!   harness.
+//!
+//! ## Scope and honesty
+//!
+//! The checker explores interleavings of synchronization *operations*
+//! under sequential consistency. It finds protocol races — lost wakeups,
+//! bad termination checks, double delivery, missed-counter merges — which
+//! is where streaming-matcher bugs live. It does **not** model weak-memory
+//! reordering; that is what the ThreadSanitizer CI job is for (see
+//! DESIGN.md §3.8).
+
+#![forbid(unsafe_code)]
+
+pub mod sched;
+pub mod sync;

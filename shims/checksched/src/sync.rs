@@ -1,0 +1,270 @@
+//! The cfg-gated synchronization facade.
+//!
+//! Concurrent code in the workspace imports atomics, `Mutex`, and thread
+//! primitives from here (usually via the `csm-check` re-export) instead of
+//! `std::sync`. In a normal build every name is a verbatim `std` re-export
+//! — zero cost, zero behavior change. Under `--cfg paracosm_check` the
+//! atomics and `Mutex` become wrappers that call
+//! [`sched::yield_point`](crate::sched::yield_point) before every
+//! operation, so a model run can permute the order in which threads hit
+//! them. `Ordering` arguments are accepted and ignored by the wrappers:
+//! the checker explores sequentially consistent interleavings only (weak
+//! memory is the ThreadSanitizer job's department).
+
+/// Atomic types and memory orderings.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(paracosm_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(paracosm_check)]
+    pub use shimmed::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(paracosm_check)]
+    mod shimmed {
+        use super::Ordering;
+        use crate::sched::yield_point;
+        use std::sync::{Mutex, PoisonError};
+
+        fn get<T: Copy>(m: &Mutex<T>) -> T {
+            *m.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        fn update<T: Copy, R>(m: &Mutex<T>, f: impl FnOnce(&mut T) -> R) -> R {
+            let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            f(&mut g)
+        }
+
+        macro_rules! shim_int_atomic {
+            ($name:ident, $ty:ty) => {
+                /// Scheduler-instrumented stand-in for the `std` atomic of
+                /// the same name. Every operation is a yield point.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: Mutex<$ty>,
+                }
+
+                impl $name {
+                    pub const fn new(v: $ty) -> Self {
+                        Self { v: Mutex::new(v) }
+                    }
+
+                    pub fn load(&self, _: Ordering) -> $ty {
+                        yield_point();
+                        get(&self.v)
+                    }
+
+                    pub fn store(&self, val: $ty, _: Ordering) {
+                        yield_point();
+                        update(&self.v, |v| *v = val);
+                    }
+
+                    pub fn swap(&self, val: $ty, _: Ordering) -> $ty {
+                        yield_point();
+                        update(&self.v, |v| std::mem::replace(v, val))
+                    }
+
+                    pub fn fetch_add(&self, val: $ty, _: Ordering) -> $ty {
+                        yield_point();
+                        update(&self.v, |v| {
+                            let old = *v;
+                            *v = v.wrapping_add(val);
+                            old
+                        })
+                    }
+
+                    pub fn fetch_sub(&self, val: $ty, _: Ordering) -> $ty {
+                        yield_point();
+                        update(&self.v, |v| {
+                            let old = *v;
+                            *v = v.wrapping_sub(val);
+                            old
+                        })
+                    }
+
+                    pub fn fetch_max(&self, val: $ty, _: Ordering) -> $ty {
+                        yield_point();
+                        update(&self.v, |v| {
+                            let old = *v;
+                            *v = old.max(val);
+                            old
+                        })
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        _: Ordering,
+                        _: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        yield_point();
+                        update(&self.v, |v| {
+                            if *v == current {
+                                *v = new;
+                                Ok(current)
+                            } else {
+                                Err(*v)
+                            }
+                        })
+                    }
+
+                    pub fn into_inner(self) -> $ty {
+                        self.v.into_inner().unwrap_or_else(PoisonError::into_inner)
+                    }
+
+                    pub fn get_mut(&mut self) -> &mut $ty {
+                        self.v.get_mut().unwrap_or_else(PoisonError::into_inner)
+                    }
+                }
+            };
+        }
+
+        shim_int_atomic!(AtomicU64, u64);
+        shim_int_atomic!(AtomicUsize, usize);
+
+        /// Scheduler-instrumented stand-in for `std::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            v: Mutex<bool>,
+        }
+
+        impl AtomicBool {
+            pub const fn new(v: bool) -> Self {
+                Self { v: Mutex::new(v) }
+            }
+
+            pub fn load(&self, _: Ordering) -> bool {
+                yield_point();
+                get(&self.v)
+            }
+
+            pub fn store(&self, val: bool, _: Ordering) {
+                yield_point();
+                update(&self.v, |v| *v = val);
+            }
+
+            pub fn swap(&self, val: bool, _: Ordering) -> bool {
+                yield_point();
+                update(&self.v, |v| std::mem::replace(v, val))
+            }
+
+            pub fn into_inner(self) -> bool {
+                self.v.into_inner().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+}
+
+// The guard and error types are always the `std` ones: the instrumented
+// `Mutex` below is a thin wrapper whose `lock` still hands out a real
+// `std::sync::MutexGuard`, so downstream poison handling is identical in
+// both build modes.
+pub use std::sync::{LockResult, MutexGuard, PoisonError, TryLockError, TryLockResult};
+
+#[cfg(not(paracosm_check))]
+pub use std::sync::Mutex;
+
+/// Scheduler-instrumented `Mutex`: acquisition spins on `try_lock` with a
+/// yield point per attempt, so the model scheduler controls who wins a
+/// contended lock. Outside a model run the `WouldBlock` branch falls back
+/// to `std::thread::yield_now`, preserving liveness for ordinary tests
+/// compiled under `--cfg paracosm_check`.
+#[cfg(paracosm_check)]
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+#[cfg(paracosm_check)]
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        loop {
+            crate::sched::yield_point();
+            match self.inner.try_lock() {
+                Ok(g) => return Ok(g),
+                Err(TryLockError::Poisoned(p)) => return Err(p),
+                Err(TryLockError::WouldBlock) => {
+                    if !crate::sched::in_model() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        crate::sched::yield_point();
+        self.inner.try_lock()
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+/// Thread spawning/joining for protocol models. Normal builds re-export
+/// `std::thread`; under `--cfg paracosm_check`, spawns that happen inside
+/// a model run create scheduler-controlled threads instead.
+pub mod thread {
+    #[cfg(not(paracosm_check))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(paracosm_check)]
+    pub use shimmed::{spawn, yield_now, JoinHandle};
+
+    #[cfg(paracosm_check)]
+    mod shimmed {
+        use crate::sched;
+        use std::any::Any;
+
+        /// Either a scheduler-controlled model thread or a plain OS thread,
+        /// depending on whether the spawn happened inside a model run.
+        pub enum JoinHandle<T> {
+            Model(sched::JoinHandle<T>),
+            Os(std::thread::JoinHandle<T>),
+        }
+
+        impl<T> JoinHandle<T> {
+            pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+                match self {
+                    JoinHandle::Model(h) => {
+                        sched::join(h).map_err(|msg| Box::new(msg) as Box<dyn Any + Send>)
+                    }
+                    JoinHandle::Os(h) => h.join(),
+                }
+            }
+        }
+
+        pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+        where
+            T: Send + 'static,
+            F: FnOnce() -> T + Send + 'static,
+        {
+            if sched::in_model() {
+                JoinHandle::Model(sched::spawn(f))
+            } else {
+                JoinHandle::Os(std::thread::spawn(f))
+            }
+        }
+
+        pub fn yield_now() {
+            if sched::in_model() {
+                sched::yield_point();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

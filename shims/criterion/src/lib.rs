@@ -15,6 +15,8 @@
 //!
 //! Supports `cargo bench -- <substring>` filtering like the original.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value laundering.

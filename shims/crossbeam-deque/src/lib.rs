@@ -7,9 +7,16 @@
 //! still returns each pushed task exactly once, and `Steal::Retry` is
 //! reported when the lock is contended so callers' backoff loops behave
 //! as written.
+//!
+//! The mutex comes from the `checksched::sync` facade: a plain
+//! `std::sync::Mutex` in normal builds, and a scheduler-instrumented one
+//! under `--cfg paracosm_check` so model runs can permute the order in
+//! which workers hit `push`/`steal`/`is_empty`.
 
+#![forbid(unsafe_code)]
+
+use checksched::sync::{Mutex, PoisonError, TryLockError};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// Result of a steal attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,7 +55,13 @@ impl<T> Injector<T> {
 
     /// Enqueue a task.
     pub fn push(&self, task: T) {
-        self.q.lock().unwrap().push_back(task);
+        // A worker that panicked mid-push leaves the queue structurally
+        // intact (VecDeque::push_back is atomic w.r.t. panics), so poison
+        // carries no information here.
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
     }
 
     /// Attempt to dequeue a task.
@@ -58,8 +71,8 @@ impl<T> Injector<T> {
                 Some(t) => Steal::Success(t),
                 None => Steal::Empty,
             },
-            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
-            Err(std::sync::TryLockError::Poisoned(e)) => {
+            Err(TryLockError::WouldBlock) => Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => {
                 let mut q = e.into_inner();
                 match q.pop_front() {
                     Some(t) => Steal::Success(t),

@@ -2,6 +2,8 @@
 //! exponential spin-then-yield helper the worker loops use while the
 //! shared injector is empty.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 
 const SPIN_LIMIT: u32 = 6;

@@ -16,6 +16,8 @@
 //! * Value generation draws from the workspace's vendored xoshiro
 //!   `StdRng`, so byte-for-byte case streams differ from upstream.
 
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 
 /// Test-case failure plumbing used by the generated test bodies.

@@ -13,6 +13,8 @@
 //! intentionally mirror rand 0.8 only in *contract* (uniformity,
 //! inclusivity), not bit-for-bit output.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface: everything derives from `next_u64`.

@@ -1,0 +1,102 @@
+//! Gate tests for the project invariant linter (`csm-lint`): the real
+//! tree must pass, and a seeded violation must fail with a `file:line`
+//! diagnostic and a nonzero exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_csm-lint")
+}
+
+#[test]
+fn linter_passes_on_the_repo() {
+    let out = Command::new(lint_bin())
+        .arg(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "csm-lint reported violations on the tree:\n{stdout}{stderr}"
+    );
+}
+
+/// Build a throwaway `crates/` tree containing one seeded violation and
+/// check the linter rejects it, pointing at the offending file and line.
+#[test]
+fn linter_fails_on_seeded_seqcst_violation() {
+    let root = scratch_dir("seqcst");
+    let src = root.join("crates/foo/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch crate");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         use std::sync::atomic::{AtomicUsize, Ordering};\n\
+         pub fn bump(c: &AtomicUsize) -> usize {\n\
+             c.fetch_add(1, Ordering::SeqCst)\n\
+         }\n",
+    )
+    .expect("write seeded violation");
+
+    let out = Command::new(lint_bin())
+        .arg(&root)
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "csm-lint accepted a seeded SeqCst violation:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/foo/src/lib.rs:4: [seqcst-denied]"),
+        "diagnostic should carry file:line and rule, got:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Comments and string literals must not trip rules, and a missing
+/// `#![forbid(unsafe_code)]` in a crate root must.
+#[test]
+fn linter_scrubs_comments_and_checks_forbid_unsafe() {
+    let root = scratch_dir("scrub");
+    let src = root.join("crates/bar/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch crate");
+    // No forbid(unsafe_code); the SeqCst mentions live only in a comment
+    // and a string literal, so the sole expected diagnostic is the
+    // missing attribute.
+    std::fs::write(
+        src.join("lib.rs"),
+        "// Ordering::SeqCst in a comment is fine\n\
+         pub const DOC: &str = \"Ordering::SeqCst in a string is fine\";\n",
+    )
+    .expect("write scratch crate");
+
+    let out = Command::new(lint_bin())
+        .arg(&root)
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "missing forbid(unsafe_code) not caught"
+    );
+    assert!(
+        stdout.contains("crates/bar/src/lib.rs:1: [forbid-unsafe-missing]"),
+        "expected only the forbid-unsafe diagnostic, got:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("seqcst"),
+        "commented/quoted SeqCst must not trip the linter:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csm-lint-gate-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
