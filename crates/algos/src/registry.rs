@@ -75,6 +75,20 @@ impl std::fmt::Display for AlgoKind {
     }
 }
 
+/// Registry-driven construction for harnesses and the serving layer: an
+/// [`AlgoKind`] *is* a factory for its baseline.
+impl paracosm_core::AlgorithmFactory for AlgoKind {
+    type Algo = AnyAlgorithm;
+
+    fn build(&self, g: &DataGraph, q: &QueryGraph) -> AnyAlgorithm {
+        AlgoKind::build(*self, g, q)
+    }
+
+    fn name(&self) -> &'static str {
+        AlgoKind::name(*self)
+    }
+}
+
 /// A type-erased baseline instance: `ParaCosm<AnyAlgorithm>` lets harnesses
 /// loop over algorithms without generics at every call site.
 #[derive(Clone, Debug)]

@@ -50,7 +50,7 @@ pub fn observe(opts: &ExpOptions, trace_out: Option<&str>, report_json: Option<&
     }
 
     let snap = engine.tracer().metrics();
-    let st = &engine.stats;
+    let st = engine.stats();
     let mut t = Table::new(
         format!(
             "observe: instrumented {threads}-thread run ({}, q{qsize})",

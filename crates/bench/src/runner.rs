@@ -137,7 +137,7 @@ pub fn run_query(
     let algo = kind.build(initial, q);
     let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(initial.clone(), q.clone(), algo, cfg);
     let out = engine.process_stream(stream).expect("well-formed stream");
-    let stats = &engine.stats;
+    let stats = engine.stats();
     QueryRun {
         elapsed: out.elapsed,
         projected: stats.projected_time(out.elapsed),

@@ -1,17 +1,17 @@
 //! A faithful port of the inner-update executor's coordination protocol
 //! (paper §4.1, Algorithm 2; `paracosm_core::inner`) onto the
-//! [`sync`](crate::sync) facade, stripped of the search itself: tasks are
+//! [`sync`] facade, stripped of the search itself: tasks are
 //! just node ids in a precomputed forest, and "executing" a task bumps
 //! counters and either donates or inlines its children exactly the way
 //! `parallel_find_matches` does.
 //!
 //! Two worker revisions are provided:
 //!
-//! * [`worker_fixed`] — the shipped protocol: `active` starts at the
+//! * `worker_fixed` — the shipped protocol: `active` starts at the
 //!   worker count and a worker deregisters only while demonstrably idle,
 //!   re-registering *before* it steals again. A worker can only observe
 //!   `Empty && active == 0` when every task has been executed (quiescence).
-//! * [`worker_buggy`] — the seed revision's accounting, kept behind
+//! * `worker_buggy` — the seed revision's accounting, kept behind
 //!   [`ProtocolCfg::lost_wakeup_bug`]: `active` counts *currently
 //!   executing* workers, incremented only after a successful steal. In the
 //!   window between a peer's `Steal::Success` and its `fetch_add`, an idle

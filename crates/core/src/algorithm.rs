@@ -114,6 +114,42 @@ pub trait CsmAlgorithm: Send + Sync {
     }
 }
 
+/// Boxed trait objects are algorithms too — the serving layer stores
+/// heterogeneous per-session algorithms as `Box<dyn CsmAlgorithm>`.
+impl CsmAlgorithm for Box<dyn CsmAlgorithm> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn ignore_edge_labels(&self) -> bool {
+        (**self).ignore_edge_labels()
+    }
+    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+        (**self).rebuild(g, q)
+    }
+    fn update_ads(
+        &mut self,
+        g: &DataGraph,
+        q: &QueryGraph,
+        e: EdgeUpdate,
+        is_insert: bool,
+    ) -> AdsChange {
+        (**self).update_ads(g, q, e, is_insert)
+    }
+    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+        (**self).is_candidate(g, q, u, v)
+    }
+    fn search(
+        &self,
+        ctx: &SearchCtx<'_>,
+        emb: &mut Embedding,
+        depth: usize,
+        sink: &mut dyn MatchSink,
+        stats: &mut SearchStats,
+    ) -> bool {
+        (**self).search(ctx, emb, depth, sink, stats)
+    }
+}
+
 /// Adapter exposing an algorithm's candidate test as a [`CandidateFilter`].
 pub struct AdsCandidates<'a, A: CsmAlgorithm + ?Sized>(pub &'a A);
 

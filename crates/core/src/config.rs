@@ -1,10 +1,37 @@
 //! Runtime configuration of the ParaCOSM framework.
 
+use crate::error::{CsmError, CsmResult};
 use crate::trace::TraceLevel;
 use std::time::Duration;
 
 /// Tunables for a ParaCOSM run (paper §4; Algorithm 2 globals).
+///
+/// The struct is `#[non_exhaustive]`: construct it through the presets
+/// ([`ParaCosmConfig::sequential`], [`ParaCosmConfig::parallel`],
+/// [`ParaCosmConfig::simulated`]) plus the builder-style setters, then
+/// adjust individual fields as needed. Builder output is always valid
+/// (setters clamp instead of storing zeros); direct field writes are
+/// checked by [`ParaCosmConfig::validate`] when an engine is built, so a
+/// zero thread count or batch size surfaces as
+/// [`CsmError::ConfigInvalid`] instead of a hang or a panic downstream.
+///
+/// # Examples
+///
+/// ```
+/// use paracosm_core::ParaCosmConfig;
+/// use std::time::Duration;
+///
+/// let cfg = ParaCosmConfig::parallel(4)
+///     .with_batch_size(256)
+///     .with_time_limit(Duration::from_secs(60));
+/// assert!(cfg.validate().is_ok());
+///
+/// let mut bad = ParaCosmConfig::sequential();
+/// bad.batch_size = 0; // raw field write: caught by validate()
+/// assert!(bad.validate().is_err());
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ParaCosmConfig {
     /// Worker threads for the inner-update executor. `1` selects the pure
     /// sequential path (the single-threaded baseline of the paper's
@@ -142,6 +169,60 @@ impl ParaCosmConfig {
             ..Self::default()
         }
     }
+
+    /// Builder-style setter for the worker-thread count (clamped to ≥ 1;
+    /// use [`ParaCosmConfig::parallel`] to also enable inter-update
+    /// batching).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Check the configuration for values that would misbehave downstream:
+    /// zero thread counts (the executor would have no workers), zero batch
+    /// sizes (the batch loop would never advance), zero time limits or
+    /// simulated-worker counts. Engine constructors
+    /// ([`crate::ParaCosm::try_new`], [`crate::Engine::new`]) call this, so
+    /// raw field writes are caught at build time with
+    /// [`CsmError::ConfigInvalid`] rather than hanging a run.
+    pub fn validate(&self) -> CsmResult<()> {
+        let invalid = |field: &'static str, reason: &str| {
+            Err(CsmError::ConfigInvalid {
+                field,
+                reason: reason.to_string(),
+            })
+        };
+        if self.num_threads == 0 {
+            return invalid(
+                "num_threads",
+                "must be >= 1 (1 selects the sequential path)",
+            );
+        }
+        if self.batch_size == 0 {
+            return invalid("batch_size", "must be >= 1 (the batch loop cannot advance)");
+        }
+        if self.time_limit == Some(Duration::ZERO) {
+            return invalid(
+                "time_limit",
+                "a zero budget times out before any work; use None",
+            );
+        }
+        if self.sim_threads == Some(0) {
+            return invalid(
+                "sim_threads",
+                "must be >= 1 virtual workers; use None to disable",
+            );
+        }
+        if self.seed_task_factor == 0 {
+            return invalid("seed_task_factor", "must be >= 1 (BFS init needs a target)");
+        }
+        Ok(())
+    }
+
+    /// Consume and return the configuration if valid ([`Self::validate`]).
+    pub fn validated(self) -> CsmResult<Self> {
+        self.validate().map(|()| self)
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +254,45 @@ mod tests {
         assert_eq!(c.time_limit, Some(Duration::from_millis(5)));
         assert_eq!(c.batch_size, 1); // clamped
         assert!(c.collect_matches);
+    }
+
+    #[test]
+    fn validate_rejects_zeros_with_field_context() {
+        use crate::error::CsmError;
+        let mut c = ParaCosmConfig::sequential();
+        assert!(c.validate().is_ok());
+        c.num_threads = 0;
+        match c.validate() {
+            Err(CsmError::ConfigInvalid { field, .. }) => assert_eq!(field, "num_threads"),
+            other => panic!("expected ConfigInvalid, got {other:?}"),
+        }
+        c.num_threads = 1;
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+        c.batch_size = 1;
+        c.time_limit = Some(Duration::ZERO);
+        assert!(c.validate().is_err());
+        c.time_limit = None;
+        c.sim_threads = Some(0);
+        assert!(c.validate().is_err());
+        c.sim_threads = None;
+        c.seed_task_factor = 0;
+        assert!(c.validate().is_err());
+        c.seed_task_factor = 4;
+        assert!(c.validated().is_ok());
+    }
+
+    #[test]
+    fn builders_always_produce_valid_configs() {
+        for n in [0usize, 1, 2, 64] {
+            assert!(ParaCosmConfig::parallel(n).validate().is_ok());
+            assert!(ParaCosmConfig::simulated(n).validate().is_ok());
+            assert!(ParaCosmConfig::sequential()
+                .with_threads(n)
+                .with_batch_size(n)
+                .validate()
+                .is_ok());
+        }
     }
 
     #[test]

@@ -1,140 +1,35 @@
-//! The ParaCOSM orchestrator (paper Fig. 5): owns the evolving data graph,
-//! the query, the hosted algorithm's ADS, and drives the two executors.
+//! The ParaCOSM orchestrator (paper Fig. 5): owns the evolving data graph
+//! and an update [`Engine`] (query + ADS + executors), and drives streams.
 //!
 //! * [`ParaCosm::process_update`] — the single-update pipeline of paper
 //!   Algorithm 1 (apply → maintain ADS → enumerate), using the inner-update
 //!   executor when configured with > 1 thread;
-//! * [`ParaCosm::process_stream`] — the online loop; with `inter_update`
-//!   enabled it runs the batch executor of §4.2 (parallel stage-1
-//!   classification, bulk application of label-safe updates, in-order
-//!   residual handling with first-unsafe deferral — paper Fig. 6).
+//! * [`ParaCosm::run_stream`] — the online loop (observer-parameterized;
+//!   [`ParaCosm::process_stream`] is the no-observer sugar); with
+//!   `inter_update` enabled it runs the batch executor of §4.2 (parallel
+//!   stage-1 classification, bulk application of label-safe updates,
+//!   in-order residual handling with first-unsafe deferral — paper Fig. 6).
+//!
+//! The per-query execution machinery lives in [`crate::engine`]; `ParaCosm`
+//! is the single-session composition of one graph with one engine. The
+//! `csm-service` serving layer composes many engines over one shared graph
+//! instead.
 
-use crate::algorithm::{AdsCandidates, AdsChange, CsmAlgorithm};
+use crate::algorithm::{AdsChange, CsmAlgorithm};
 use crate::config::ParaCosmConfig;
-use crate::embedding::{BufferSink, Embedding, Match, MAX_PATTERN_VERTICES};
-use crate::inner::{self, InnerConfig, SeedTask};
-use crate::inter::{self, Classified, ClassifierStats, SafeStage};
-use crate::kernel::{SearchCtx, SearchStats};
-use crate::order::MatchingOrders;
-use crate::static_match::{self, StaticResult};
-use crate::trace::{
-    self, Counter, EventKind, Gauge, RunReport, StreamObserver, Tracer, UpdateObservation,
-};
+use crate::embedding::Match;
+use crate::engine::Engine;
+use crate::error::{CsmError, CsmResult};
+use crate::inter::{self, Classified, SafeStage};
+use crate::static_match::StaticResult;
+use crate::trace::{Counter, NoopObserver, RunReport, StreamObserver, Tracer, UpdateObservation};
 use csm_graph::{DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-/// Cumulative run statistics (feeds paper Tables 3/4 and Figs. 10/12).
-#[derive(Clone, Debug, Default)]
-pub struct RunStats {
-    /// Time spent maintaining the ADS (`Update_ADS`).
-    pub ads_time: Duration,
-    /// Time spent enumerating matches (`Find_Matches`) — wall clock of the
-    /// work actually performed on this host.
-    pub find_time: Duration,
-    /// Parallel makespan of `Find_Matches`: equal to `find_time` for real
-    /// (sequential or threaded) runs; in virtual-scheduler mode
-    /// (`sim_threads`), the simulated N-worker critical path instead.
-    pub find_span: Duration,
-    /// Time spent applying updates to `G` (incl. parallel bulk phases).
-    pub apply_time: Duration,
-    /// Time spent in the batch executor's data-parallel phases (stage-1
-    /// classification + bulk application of label-safe updates). On the
-    /// paper's testbed this work is spread over `k` worker threads; the
-    /// harness projects it accordingly on smaller hosts.
-    pub bulk_time: Duration,
-    /// Edge/vertex updates processed.
-    pub updates: u64,
-    /// Positive (appearing) matches reported.
-    pub positives: u64,
-    /// Negative (disappearing) matches reported.
-    pub negatives: u64,
-    /// Classifier verdict counters (inter-update runs).
-    pub classifier: ClassifierStats,
-    /// Search-tree nodes visited.
-    pub nodes: u64,
-    /// Per-worker busy time accumulated over inner-update runs (Fig. 10).
-    pub thread_busy: Vec<Duration>,
-    /// Donation events in the inner executor.
-    pub tasks_split: u64,
-    /// Subtree tasks executed by the inner executor.
-    pub tasks_executed: u64,
-    /// A deadline fired during processing.
-    pub timed_out: bool,
-    /// Per-update latency distribution (only when
-    /// `ParaCosmConfig::track_latency` is set; batched runs record the
-    /// sequentially processed residual updates).
-    pub latency: crate::metrics::LatencyHistogram,
-    /// The `ParaCosmConfig::slow_k` slowest updates, latency-descending,
-    /// each with its stage breakdown. Bulk-applied label-safe updates are
-    /// not eligible (their per-update latency is ~zero by construction).
-    pub slowest: Vec<SlowUpdate>,
-}
-
-/// One entry of the top-K slowest-updates capture
-/// (`ParaCosmConfig::slow_k`): the update, its end-to-end latency, and
-/// where that time went.
-#[derive(Clone, Copy, Debug)]
-pub struct SlowUpdate {
-    /// Zero-based position in the stream.
-    pub index: u64,
-    /// The update itself.
-    pub update: Update,
-    /// End-to-end latency.
-    pub latency: Duration,
-    /// `Update_ADS` time within this update.
-    pub ads: Duration,
-    /// Graph-application time within this update.
-    pub apply: Duration,
-    /// `Find_Matches` time within this update.
-    pub find: Duration,
-    /// Search-tree nodes visited by this update.
-    pub nodes: u64,
-}
-
-impl SlowUpdate {
-    /// Compact human/JSON-friendly description of the update, e.g.
-    /// `+e 3-17 l0` (insert edge), `-v 12` (delete vertex).
-    pub fn describe(&self) -> String {
-        match self.update {
-            Update::InsertEdge(e) => format!("+e {}-{} l{}", e.src.0, e.dst.0, e.label.0),
-            Update::DeleteEdge(e) => format!("-e {}-{} l{}", e.src.0, e.dst.0, e.label.0),
-            Update::InsertVertex { id, label } => format!("+v {} l{}", id.0, label.0),
-            Update::DeleteVertex { id } => format!("-v {}", id.0),
-        }
-    }
-}
-
-impl RunStats {
-    /// Projected stream time had `Find_Matches` run at its parallel
-    /// makespan: `wall − find_time + find_span`. For non-simulated runs this
-    /// equals `wall`.
-    pub fn projected_time(&self, wall: Duration) -> Duration {
-        wall.saturating_sub(self.find_time) + self.find_span
-    }
-
-    fn absorb_busy(&mut self, busy: &[Duration]) {
-        if self.thread_busy.len() < busy.len() {
-            self.thread_busy.resize(busy.len(), Duration::ZERO);
-        }
-        for (acc, b) in self.thread_busy.iter_mut().zip(busy) {
-            *acc += *b;
-        }
-    }
-
-    /// Keep the `k` slowest updates, latency-descending.
-    fn note_slow(&mut self, k: usize, su: SlowUpdate) {
-        if k == 0 {
-            return;
-        }
-        let pos = self.slowest.partition_point(|s| s.latency >= su.latency);
-        if pos >= k {
-            return;
-        }
-        self.slowest.insert(pos, su);
-        self.slowest.truncate(k);
-    }
-}
+// Path compatibility: these types predate `crate::engine` and are widely
+// imported from here.
+pub use crate::engine::{FindOutcome, RunStats, SlowUpdate};
 
 /// Result of processing one update.
 #[derive(Clone, Debug, Default)]
@@ -170,19 +65,11 @@ pub struct StreamOutcome {
 /// A ParaCOSM instance hosting algorithm `A` over one `(G, Q)` pair.
 pub struct ParaCosm<A: CsmAlgorithm> {
     g: DataGraph,
-    q: QueryGraph,
-    algo: A,
-    orders: MatchingOrders,
-    cfg: ParaCosmConfig,
-    deadline: Option<Instant>,
+    eng: Engine<A>,
     run_start: Option<Instant>,
     /// `(find_time, find_span)` snapshot at stream start, so projected-time
     /// deadline checks use this run's deltas only.
     run_find_base: (Duration, Duration),
-    /// Telemetry handle (inert unless `ParaCosmConfig::tracing` is set).
-    tracer: Tracer,
-    /// Cumulative statistics; reset with [`ParaCosm::reset_stats`].
-    pub stats: RunStats,
 }
 
 /// Stages 2–3 verdict for one residual update of the batch executor.
@@ -206,49 +93,40 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
     /// orders, and (re)build the algorithm's ADS.
     ///
     /// # Panics
-    /// If the query exceeds [`MAX_PATTERN_VERTICES`] or is empty.
-    pub fn new(g: DataGraph, q: QueryGraph, mut algo: A, cfg: ParaCosmConfig) -> Self {
-        assert!(
-            q.num_vertices() >= 1 && q.num_vertices() <= MAX_PATTERN_VERTICES,
-            "query must have 1..={MAX_PATTERN_VERTICES} vertices"
-        );
-        algo.rebuild(&g, &q);
-        let orders = MatchingOrders::build(&q);
-        let tracer = Tracer::new(cfg.trace, cfg.num_threads);
-        tracer.gauge(Gauge::BatchSize, cfg.batch_size as u64);
-        ParaCosm {
+    /// If the configuration or query is invalid — see
+    /// [`ParaCosm::try_new`] for the non-panicking form.
+    pub fn new(g: DataGraph, q: QueryGraph, algo: A, cfg: ParaCosmConfig) -> Self {
+        match Self::try_new(g, q, algo, cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("ParaCosm::new: {e}"),
+        }
+    }
+
+    /// As [`ParaCosm::new`], but reporting an invalid configuration
+    /// ([`ParaCosmConfig::validate`]) or an empty/oversized query as
+    /// [`CsmError::ConfigInvalid`] instead of panicking.
+    pub fn try_new(g: DataGraph, q: QueryGraph, algo: A, cfg: ParaCosmConfig) -> CsmResult<Self> {
+        let eng = Engine::new(&g, q, algo, cfg)?;
+        Ok(ParaCosm {
             g,
-            q,
-            algo,
-            orders,
-            cfg,
-            deadline: None,
+            eng,
             run_start: None,
             run_find_base: (Duration::ZERO, Duration::ZERO),
-            tracer,
-            stats: RunStats::default(),
-        }
+        })
     }
 
     /// The telemetry handle (inert when tracing is off). Snapshot or export
     /// after a run: [`Tracer::metrics`], [`Tracer::perfetto_json`],
     /// [`Tracer::prometheus_text`].
     pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+        self.eng.tracer()
     }
 
     /// Build a machine-readable [`RunReport`] from the current statistics
     /// and registry snapshot; `outcome` is the stream result to embed, if
     /// the report follows a [`ParaCosm::process_stream`] run.
     pub fn run_report(&self, outcome: Option<StreamOutcome>) -> RunReport {
-        RunReport {
-            algo: self.algo.name().to_string(),
-            threads: self.cfg.num_threads,
-            outcome,
-            stats: self.stats.clone(),
-            metrics: self.tracer.metrics(),
-            dropped_events: self.tracer.dropped_events(),
-        }
+        self.eng.run_report(outcome, None)
     }
 
     /// The current data graph.
@@ -258,49 +136,46 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
 
     /// The query pattern.
     pub fn query(&self) -> &QueryGraph {
-        &self.q
+        self.eng.query()
     }
 
     /// The hosted algorithm (e.g. to inspect its ADS in tests).
     pub fn algorithm(&self) -> &A {
-        &self.algo
+        self.eng.algorithm()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ParaCosmConfig {
-        &self.cfg
+        self.eng.config()
+    }
+
+    /// Cumulative run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.eng.stats
     }
 
     /// Clear cumulative statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = RunStats::default();
+        self.eng.reset_stats();
     }
 
     /// `Find_Initial_Matches`: enumerate the matches already present in `G`
     /// (through the algorithm's candidate filter).
     pub fn initial_matches(&self, collect: bool) -> StaticResult {
-        static_match::enumerate_with_filter(
-            &self.g,
-            &self.q,
-            &AdsCandidates(&self.algo),
-            self.algo.ignore_edge_labels(),
-            collect,
-            self.deadline,
-        )
+        self.eng.initial_matches(&self.g, collect)
     }
 
     /// Set (or clear) the cooperative deadline used by subsequent calls.
     pub fn set_deadline(&mut self, d: Option<Instant>) {
-        self.deadline = d;
+        self.eng.set_deadline(d);
     }
 
     // ---------------------------------------------------------------- single update
 
     /// Process one update through the standard pipeline (paper Algorithm 1).
     /// Uses the inner-update executor when `num_threads > 1`.
-    pub fn process_update(&mut self, upd: Update) -> Result<UpdateOutcome, GraphError> {
-        self.stats.updates += 1;
-        self.tracer.count(0, Counter::Updates, 1);
+    pub fn process_update(&mut self, upd: Update) -> CsmResult<UpdateOutcome> {
+        self.eng.note_update();
         match upd {
             Update::InsertEdge(e) => self.process_insert(e),
             Update::DeleteEdge(e) => self.process_delete(e),
@@ -308,11 +183,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 let t0 = Instant::now();
                 let grew = !self.g.is_alive(id);
                 self.g.ensure_vertex(id, label);
-                self.stats.apply_time += t0.elapsed();
+                self.eng.note_apply(t0.elapsed());
                 if grew {
-                    let t1 = Instant::now();
-                    self.algo.rebuild(&self.g, &self.q);
-                    self.stats.ads_time += t1.elapsed();
+                    self.eng.rebuild(&self.g);
                 }
                 Ok(UpdateOutcome {
                     noop: !grew,
@@ -343,40 +216,39 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                 }
                 let t0 = Instant::now();
                 self.g.delete_vertex(id, false)?;
-                self.stats.apply_time += t0.elapsed();
-                let t1 = Instant::now();
-                self.algo.rebuild(&self.g, &self.q);
-                self.stats.ads_time += t1.elapsed();
+                self.eng.note_apply(t0.elapsed());
+                self.eng.rebuild(&self.g);
                 Ok(total)
             }
         }
     }
 
-    fn process_insert(&mut self, e: EdgeUpdate) -> Result<UpdateOutcome, GraphError> {
+    fn process_insert(&mut self, e: EdgeUpdate) -> CsmResult<UpdateOutcome> {
         let t0 = Instant::now();
         let inserted = self.g.insert_edge(e.src, e.dst, e.label)?;
-        self.stats.apply_time += t0.elapsed();
+        self.eng.note_apply(t0.elapsed());
         if !inserted {
             return Ok(UpdateOutcome {
                 noop: true,
                 ..Default::default()
             });
         }
-        self.ads_update(e, true);
+        self.eng.ads_update(&self.g, e, true);
 
-        let (count, matches, timed_out) = self.find_matches(&e);
-        self.stats.positives += count;
-        self.tracer.count(0, Counter::MatchesPos, count);
-        self.stats.timed_out |= timed_out;
+        let collect = self.eng.config().collect_matches;
+        let found = self.eng.find_matches(&self.g, &e, collect);
+        self.eng.stats.positives += found.count;
+        self.eng.tracer().count(0, Counter::MatchesPos, found.count);
+        self.eng.stats.timed_out |= found.timed_out;
         Ok(UpdateOutcome {
-            positives: count,
-            matches,
-            timed_out,
+            positives: found.count,
+            matches: found.matches,
+            timed_out: found.timed_out,
             ..Default::default()
         })
     }
 
-    fn process_delete(&mut self, e: EdgeUpdate) -> Result<UpdateOutcome, GraphError> {
+    fn process_delete(&mut self, e: EdgeUpdate) -> CsmResult<UpdateOutcome> {
         // Deletions enumerate first: negative matches exist only while the
         // edge is still present (paper Algorithm 1).
         let Some(actual_label) = self.g.edge_label(e.src, e.dst) else {
@@ -386,227 +258,22 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             });
         };
         let e = EdgeUpdate::new(e.src, e.dst, actual_label);
-        let (count, matches, timed_out) = self.find_matches(&e);
-        self.stats.negatives += count;
-        self.tracer.count(0, Counter::MatchesNeg, count);
-        self.stats.timed_out |= timed_out;
+        let collect = self.eng.config().collect_matches;
+        let found = self.eng.find_matches(&self.g, &e, collect);
+        self.eng.stats.negatives += found.count;
+        self.eng.tracer().count(0, Counter::MatchesNeg, found.count);
+        self.eng.stats.timed_out |= found.timed_out;
 
         let t0 = Instant::now();
         self.g.remove_edge(e.src, e.dst)?;
-        self.stats.apply_time += t0.elapsed();
-        self.ads_update(e, false);
+        self.eng.note_apply(t0.elapsed());
+        self.eng.ads_update(&self.g, e, false);
         Ok(UpdateOutcome {
-            negatives: count,
-            matches,
-            timed_out,
+            negatives: found.count,
+            matches: found.matches,
+            timed_out: found.timed_out,
             ..Default::default()
         })
-    }
-
-    /// `Update_ADS` wrapper: timed, with the resulting delta mirrored to
-    /// the tracer (event payload `b` is the running update ordinal).
-    fn ads_update(&mut self, e: EdgeUpdate, is_insert: bool) -> AdsChange {
-        let t = Instant::now();
-        let change = self.algo.update_ads(&self.g, &self.q, e, is_insert);
-        self.stats.ads_time += t.elapsed();
-        if change == AdsChange::Changed {
-            self.tracer.count(0, Counter::AdsChanged, 1);
-            self.tracer
-                .event(0, EventKind::AdsDelta, 1, self.stats.updates);
-        }
-        change
-    }
-
-    /// Record a classifier verdict in both `RunStats` and the tracer.
-    fn record_verdict(&mut self, c: Classified, idx: u64) {
-        self.stats.classifier.record(c);
-        self.tracer.count(0, trace::verdict_counter(c), 1);
-        self.tracer
-            .event(0, EventKind::Classify, trace::verdict_code(c), idx);
-    }
-
-    /// Record a structural no-op in both `RunStats` and the tracer.
-    fn record_noop_verdict(&mut self, idx: u64) {
-        self.stats.classifier.record_noop();
-        self.tracer.count(0, Counter::ClassNoop, 1);
-        self.tracer.event(0, EventKind::Classify, 4, idx);
-    }
-
-    /// `(ads_time, apply_time, find_time, nodes)` — diffed around one
-    /// update for the slowest-K stage breakdown.
-    fn stage_snapshot(&self) -> (Duration, Duration, Duration, u64) {
-        (
-            self.stats.ads_time,
-            self.stats.apply_time,
-            self.stats.find_time,
-            self.stats.nodes,
-        )
-    }
-
-    /// Per-update epilogue: slowest-K capture, `UpdateDone` event, and the
-    /// observer callback.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_update_obs(
-        &mut self,
-        index: u64,
-        upd: Update,
-        verdict: Option<Classified>,
-        noop: bool,
-        latency: Duration,
-        positives: u64,
-        negatives: u64,
-        pre: (Duration, Duration, Duration, u64),
-        observer: &mut Option<&mut dyn StreamObserver>,
-    ) {
-        if latency > Duration::ZERO {
-            let su = SlowUpdate {
-                index,
-                update: upd,
-                latency,
-                ads: self.stats.ads_time.saturating_sub(pre.0),
-                apply: self.stats.apply_time.saturating_sub(pre.1),
-                find: self.stats.find_time.saturating_sub(pre.2),
-                nodes: self.stats.nodes - pre.3,
-            };
-            let k = self.cfg.slow_k;
-            self.stats.note_slow(k, su);
-        }
-        self.tracer
-            .event(0, EventKind::UpdateDone, index, positives + negatives);
-        if let Some(obs) = observer.as_deref_mut() {
-            obs.on_update(&UpdateObservation {
-                index,
-                verdict,
-                noop,
-                latency,
-                positives,
-                negatives,
-            });
-        }
-    }
-
-    /// Root-level seed tasks for the update's search tree: one per
-    /// compatible oriented query edge whose endpoints pass the degree prune
-    /// and the algorithm's candidate test.
-    fn seeds_for(&self, e: &EdgeUpdate) -> Vec<SeedTask> {
-        let (la, lb) = (self.g.label(e.src), self.g.label(e.dst));
-        let ignore = self.algo.ignore_edge_labels();
-        self.q
-            .seed_edges(la, lb, e.label, ignore)
-            .filter(|&(u1, u2)| {
-                self.g.degree(e.src) >= self.q.degree(u1)
-                    && self.g.degree(e.dst) >= self.q.degree(u2)
-                    && self.algo.is_candidate(&self.g, &self.q, u1, e.src)
-                    && self.algo.is_candidate(&self.g, &self.q, u2, e.dst)
-            })
-            .map(|(u1, u2)| {
-                let mut emb = Embedding::empty();
-                emb.set(u1, e.src);
-                emb.set(u2, e.dst);
-                SeedTask {
-                    order_idx: self.orders.seed_index(u1, u2),
-                    depth: 2,
-                    emb,
-                }
-            })
-            .collect()
-    }
-
-    /// `Find_Matches`: enumerate all matches using the updated edge.
-    /// Returns `(count, matches, timed_out)`.
-    fn find_matches(&mut self, e: &EdgeUpdate) -> (u64, Vec<Match>, bool) {
-        let seeds = self.seeds_for(e);
-        if seeds.is_empty() {
-            return (0, Vec::new(), false);
-        }
-        let t0 = Instant::now();
-        let result = if let Some(sim) = self.cfg.sim_threads {
-            let out = inner::run_simulated(
-                &self.g,
-                &self.q,
-                &self.orders,
-                &self.algo,
-                self.deadline,
-                seeds,
-                InnerConfig {
-                    num_threads: sim,
-                    split_depth: self.cfg.split_depth,
-                    load_balance: self.cfg.load_balance,
-                    seed_task_factor: self.cfg.seed_task_factor,
-                    collect: self.cfg.collect_matches,
-                    cap: self.cfg.match_cap,
-                    decompose: true,
-                },
-                &self.tracer,
-            );
-            self.stats.nodes += out.nodes;
-            self.stats.absorb_busy(&out.worker_busy);
-            self.stats.tasks_executed += out.tasks;
-            self.stats.find_span += out.span;
-            self.stats.find_time += t0.elapsed();
-            return (out.sink.count, out.sink.matches, out.timed_out);
-        } else if self.cfg.is_parallel() {
-            let out = inner::run(
-                &self.g,
-                &self.q,
-                &self.orders,
-                &self.algo,
-                self.deadline,
-                seeds,
-                InnerConfig {
-                    num_threads: self.cfg.num_threads,
-                    split_depth: self.cfg.split_depth,
-                    load_balance: self.cfg.load_balance,
-                    seed_task_factor: self.cfg.seed_task_factor,
-                    collect: self.cfg.collect_matches,
-                    cap: self.cfg.match_cap,
-                    decompose: true,
-                },
-                &self.tracer,
-            );
-            self.stats.nodes += out.nodes;
-            self.stats.absorb_busy(&out.thread_busy);
-            self.stats.tasks_split += out.tasks_split;
-            self.stats.tasks_executed += out.tasks_executed;
-            (out.sink.count, out.sink.matches, out.timed_out)
-        } else {
-            let mut sink = if self.cfg.collect_matches {
-                BufferSink::collecting()
-            } else {
-                BufferSink::counting()
-            }
-            .with_cap(self.cfg.match_cap);
-            let mut stats = SearchStats::default();
-            for task in seeds {
-                let ctx = SearchCtx {
-                    g: &self.g,
-                    q: &self.q,
-                    order: self.orders.by_index(task.order_idx),
-                    ignore_elabels: self.algo.ignore_edge_labels(),
-                    deadline: self.deadline,
-                };
-                let mut emb = task.emb;
-                if !self
-                    .algo
-                    .search(&ctx, &mut emb, task.depth as usize, &mut sink, &mut stats)
-                {
-                    break;
-                }
-            }
-            self.stats.nodes += stats.nodes;
-            self.tracer.count(0, Counter::Nodes, stats.nodes);
-            if stats.deadline_hits > 0 {
-                self.tracer
-                    .count(0, Counter::DeadlineFires, stats.deadline_hits);
-                self.tracer
-                    .event(0, EventKind::DeadlineFired, stats.nodes, 0);
-            }
-            (sink.count, sink.matches, stats.timed_out)
-        };
-        let elapsed = t0.elapsed();
-        self.stats.find_time += elapsed;
-        self.stats.find_span += elapsed;
-        result
     }
 
     // ---------------------------------------------------------------- stream
@@ -615,26 +282,47 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
     /// batch executor when configured; otherwise processes updates one by
     /// one. A time limit (if configured) covers the *entire* stream run,
     /// matching the paper's per-query timeout metric.
-    pub fn process_stream(&mut self, stream: &UpdateStream) -> Result<StreamOutcome, GraphError> {
+    pub fn process_stream(&mut self, stream: &UpdateStream) -> CsmResult<StreamOutcome> {
         self.process_stream_impl(stream, None)
     }
 
-    /// As [`ParaCosm::process_stream`], additionally invoking `observer`
-    /// once per update — in stream order, on the orchestrator thread — with
-    /// the verdict, end-to-end latency and ΔM size of that update.
+    /// The canonical observer-parameterized stream entry point: as
+    /// [`ParaCosm::process_stream`], additionally invoking `observer` once
+    /// per update — in stream order, on the orchestrator thread — with the
+    /// verdict, end-to-end latency and ΔM size of that update. Pass
+    /// [`NoopObserver`] (or use `process_stream`) when no callback is
+    /// needed.
+    pub fn run_stream(
+        &mut self,
+        stream: &UpdateStream,
+        observer: &mut dyn StreamObserver,
+    ) -> CsmResult<StreamOutcome> {
+        self.process_stream_impl(stream, Some(observer))
+    }
+
+    /// Deprecated alias of [`ParaCosm::run_stream`].
+    #[deprecated(since = "0.2.0", note = "use `run_stream` (identical semantics)")]
     pub fn process_stream_observed(
         &mut self,
         stream: &UpdateStream,
         observer: &mut dyn StreamObserver,
-    ) -> Result<StreamOutcome, GraphError> {
-        self.process_stream_impl(stream, Some(observer))
+    ) -> CsmResult<StreamOutcome> {
+        self.run_stream(stream, observer)
     }
 
     fn process_stream_impl(
         &mut self,
         stream: &UpdateStream,
-        mut observer: Option<&mut dyn StreamObserver>,
-    ) -> Result<StreamOutcome, GraphError> {
+        observer: Option<&mut dyn StreamObserver>,
+    ) -> CsmResult<StreamOutcome> {
+        // Per-update timing is pay-for-use: a caller-supplied observer turns
+        // it on, the internal no-op stand-in does not.
+        let has_observer = observer.is_some();
+        let mut noop = NoopObserver;
+        let observer: &mut dyn StreamObserver = match observer {
+            Some(o) => o,
+            None => &mut noop,
+        };
         let start = Instant::now();
         // Virtual-scheduler runs execute all search work sequentially, so a
         // wall-clock deadline would misjudge them: give the kernel a relaxed
@@ -642,40 +330,44 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         // *projected* time (DESIGN.md substitutions). Real runs use the
         // wall-clock limit directly.
         self.run_start = Some(start);
-        self.run_find_base = (self.stats.find_time, self.stats.find_span);
-        self.deadline = match (self.cfg.time_limit, self.cfg.sim_threads) {
+        self.run_find_base = (self.eng.stats.find_time, self.eng.stats.find_span);
+        let deadline = match (self.eng.config().time_limit, self.eng.config().sim_threads) {
             (Some(d), Some(n)) => Some(start + d.saturating_mul(n.clamp(1, 64) as u32)),
             (Some(d), None) => Some(start + d),
             _ => None,
         };
+        self.eng.set_deadline(deadline);
         let mut out = StreamOutcome::default();
 
-        if self.cfg.use_batch_executor() {
-            self.run_batched(stream.updates(), &mut out, observer)?;
+        if self.eng.config().use_batch_executor() {
+            self.run_batched(stream.updates(), &mut out, has_observer, observer)?;
         } else {
-            let want_timing = self.per_update_timing(observer.is_some());
+            let want_timing = self.eng.per_update_timing(has_observer);
             for (i, &u) in stream.updates().iter().enumerate() {
                 if self.deadline_passed() {
                     out.timed_out = true;
                     break;
                 }
                 let t_upd = want_timing.then(Instant::now);
-                let pre = self.stage_snapshot();
+                let pre = self.eng.stage_snapshot();
                 let r = self.process_update(u)?;
                 let lat = t_upd.map_or(Duration::ZERO, |t| t.elapsed());
-                if self.cfg.track_latency {
-                    self.stats.latency.record(lat);
+                if self.eng.config().track_latency {
+                    self.eng.stats.latency.record(lat);
                 }
-                self.finish_update_obs(
-                    i as u64,
+                self.eng.finish_update(
                     u,
-                    None,
-                    r.noop,
-                    lat,
-                    r.positives,
-                    r.negatives,
+                    UpdateObservation {
+                        index: i as u64,
+                        verdict: None,
+                        noop: r.noop,
+                        latency: lat,
+                        positives: r.positives,
+                        negatives: r.negatives,
+                        skipped: false,
+                    },
                     pre,
-                    &mut observer,
+                    observer,
                 );
                 out.positives += r.positives;
                 out.negatives += r.negatives;
@@ -687,44 +379,44 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             }
         }
         out.elapsed = start.elapsed();
-        if self.cfg.sim_threads.is_some() {
-            if let Some(limit) = self.cfg.time_limit {
+        if self.eng.config().sim_threads.is_some() {
+            if let Some(limit) = self.eng.config().time_limit {
                 out.timed_out |= self.run_projected(out.elapsed) > limit;
             }
         }
-        self.deadline = None;
+        self.eng.set_deadline(None);
         self.run_start = None;
         debug_assert!(
-            self.stats.classifier.is_consistent(),
+            self.eng.stats.classifier.is_consistent(),
             "classifier verdict counters must add up to total"
         );
         Ok(out)
     }
 
-    /// Should each sequentially processed update be individually timed?
-    fn per_update_timing(&self, has_observer: bool) -> bool {
-        self.cfg.track_latency
-            || self.cfg.slow_k > 0
-            || has_observer
-            || self.tracer.events_enabled()
-    }
-
     fn deadline_passed(&self) -> bool {
-        if self.cfg.sim_threads.is_some() {
+        if self.eng.config().sim_threads.is_some() {
             // Judge against projected time so far.
-            if let (Some(limit), Some(start)) = (self.cfg.time_limit, self.run_start) {
+            if let (Some(limit), Some(start)) = (self.eng.config().time_limit, self.run_start) {
                 return self.run_projected(start.elapsed()) >= limit;
             }
             return false;
         }
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.eng.deadline().is_some_and(|d| Instant::now() >= d)
     }
 
     /// Projected time of the *current stream run*: wall minus this run's
     /// enumeration work plus its simulated makespan.
     fn run_projected(&self, wall: Duration) -> Duration {
-        let find = self.stats.find_time.saturating_sub(self.run_find_base.0);
-        let span = self.stats.find_span.saturating_sub(self.run_find_base.1);
+        let find = self
+            .eng
+            .stats
+            .find_time
+            .saturating_sub(self.run_find_base.0);
+        let span = self
+            .eng
+            .stats
+            .find_span
+            .saturating_sub(self.run_find_base.1);
         wall.saturating_sub(find) + span
     }
 
@@ -733,9 +425,10 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         &mut self,
         updates: &[Update],
         out: &mut StreamOutcome,
-        mut observer: Option<&mut dyn StreamObserver>,
-    ) -> Result<(), GraphError> {
-        let k = self.cfg.batch_size;
+        has_observer: bool,
+        observer: &mut dyn StreamObserver,
+    ) -> CsmResult<()> {
+        let k = self.eng.config().batch_size;
         let mut idx = 0;
         'outer: while idx < updates.len() {
             if self.deadline_passed() {
@@ -746,17 +439,17 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
 
             // Stage-1 classification of the whole batch in parallel: a pure
             // function of Q and endpoint labels, hence order-independent.
-            let ignore = self.algo.ignore_edge_labels();
+            let ignore = self.eng.algorithm().ignore_edge_labels();
             let stage1_start = Instant::now();
             let label_flags: Vec<bool> = {
-                let (g, q) = (&self.g, &self.q);
-                let nthreads = self.cfg.num_threads;
+                let (g, q) = (&self.g, self.eng.query());
+                let nthreads = self.eng.config().num_threads;
                 csm_graph::par::map_slice_with(batch, nthreads, |u| match u.edge() {
                     Some(e) => inter::label_safe(g, q, &e, ignore),
                     None => false,
                 })
             };
-            self.stats.bulk_time += stage1_start.elapsed();
+            self.eng.stats.bulk_time += stage1_start.elapsed();
 
             // Walk the batch in order; label-safe edge runs are buffered and
             // applied in parallel, everything else is handled sequentially.
@@ -782,31 +475,34 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     // Structural validation against the current graph.
                     let exists = self.g.has_edge(e.src, e.dst);
                     let noop = if is_edge_insert { exists } else { !exists };
-                    self.stats.updates += 1;
-                    self.tracer.count(0, Counter::Updates, 1);
+                    self.eng.note_update();
                     if !noop {
                         buffer.push((e.src, e.dst, e.label));
                         pending.insert(key);
                     }
                     let gidx = (idx + off) as u64;
                     if noop {
-                        self.record_noop_verdict(gidx);
+                        self.eng.record_noop(gidx);
                     } else {
-                        self.record_verdict(Classified::Safe(SafeStage::Label), gidx);
+                        self.eng
+                            .record_verdict(Classified::Safe(SafeStage::Label), gidx);
                     }
-                    if observer.is_some() || self.tracer.events_enabled() {
+                    if has_observer || self.eng.tracer().events_enabled() {
                         let verdict = (!noop).then_some(Classified::Safe(SafeStage::Label));
-                        let pre = self.stage_snapshot();
-                        self.finish_update_obs(
-                            gidx,
+                        let pre = self.eng.stage_snapshot();
+                        self.eng.finish_update(
                             *u,
-                            verdict,
-                            noop,
-                            Duration::ZERO,
-                            0,
-                            0,
+                            UpdateObservation {
+                                index: gidx,
+                                verdict,
+                                noop,
+                                latency: Duration::ZERO,
+                                positives: 0,
+                                negatives: 0,
+                                skipped: false,
+                            },
                             pre,
-                            &mut observer,
+                            observer,
                         );
                     }
                     out.updates_applied += 1;
@@ -819,25 +515,28 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                     out.timed_out = true;
                     break 'outer;
                 }
-                let want_timing = self.per_update_timing(observer.is_some());
+                let want_timing = self.eng.per_update_timing(has_observer);
                 let t_upd = want_timing.then(Instant::now);
-                let pre = self.stage_snapshot();
+                let pre = self.eng.stage_snapshot();
                 let gidx = (idx + off) as u64;
                 let r = self.process_residual(u, out, gidx)?;
                 let lat = t_upd.map_or(Duration::ZERO, |t| t.elapsed());
-                if self.cfg.track_latency {
-                    self.stats.latency.record(lat);
+                if self.eng.config().track_latency {
+                    self.eng.stats.latency.record(lat);
                 }
-                self.finish_update_obs(
-                    gidx,
+                self.eng.finish_update(
                     *u,
-                    r.verdict,
-                    r.noop,
-                    lat,
-                    r.positives,
-                    r.negatives,
+                    UpdateObservation {
+                        index: gidx,
+                        verdict: r.verdict,
+                        noop: r.noop,
+                        latency: lat,
+                        positives: r.positives,
+                        negatives: r.negatives,
+                        skipped: false,
+                    },
                     pre,
-                    &mut observer,
+                    observer,
                 );
                 out.updates_applied += 1;
                 if r.timed_out {
@@ -869,17 +568,16 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let t0 = Instant::now();
         // Pass the configured width through: the bulk apply must not
         // oversubscribe past `num_threads` on wide hosts.
+        let nthreads = self.eng.config().num_threads;
         if insert {
-            self.g
-                .apply_inserts_parallel_with(buffer, self.cfg.num_threads);
+            self.g.apply_inserts_parallel_with(buffer, nthreads);
         } else {
-            self.g
-                .apply_deletes_parallel_with(buffer, self.cfg.num_threads);
+            self.g.apply_deletes_parallel_with(buffer, nthreads);
         }
         let dt = t0.elapsed();
-        self.stats.apply_time += dt;
-        self.stats.bulk_time += dt;
-        self.tracer.count(0, Counter::BulkFlushes, 1);
+        self.eng.stats.apply_time += dt;
+        self.eng.stats.bulk_time += dt;
+        self.eng.tracer().count(0, Counter::BulkFlushes, 1);
         buffer.clear();
         pending.clear();
     }
@@ -892,7 +590,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         u: &Update,
         out: &mut StreamOutcome,
         idx: u64,
-    ) -> Result<ResidualOutcome, GraphError> {
+    ) -> CsmResult<ResidualOutcome> {
         let safe = |verdict: Classified| ResidualOutcome {
             verdict: Some(verdict),
             noop: false,
@@ -903,7 +601,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         let Some(e) = u.edge() else {
             // Vertex updates take the ordinary pipeline and conservatively
             // count as unsafe (they are rare structural events).
-            self.record_verdict(Classified::Unsafe, idx);
+            self.eng.record_verdict(Classified::Unsafe, idx);
             let r = self.process_update(*u)?;
             out.positives += r.positives;
             out.negatives += r.negatives;
@@ -916,21 +614,17 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
             });
         };
         let is_insert = u.is_insertion();
-        let ignore = self.algo.ignore_edge_labels();
 
         if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
-            return Err(GraphError::UnknownVertex(if self.g.is_alive(e.src) {
-                e.dst
-            } else {
-                e.src
-            }));
+            return Err(CsmError::Graph(GraphError::UnknownVertex(
+                if self.g.is_alive(e.src) { e.dst } else { e.src },
+            )));
         }
         // Structural no-ops are counted as such, not as a safety verdict.
         let exists = self.g.has_edge(e.src, e.dst);
         if is_insert == exists {
-            self.stats.updates += 1;
-            self.tracer.count(0, Counter::Updates, 1);
-            self.record_noop_verdict(idx);
+            self.eng.note_update();
+            self.eng.record_noop(idx);
             return Ok(ResidualOutcome {
                 verdict: None,
                 noop: true,
@@ -941,8 +635,9 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         }
 
         // Stage 2: degree filter (no match possible; ADS still maintained).
-        if inter::degree_safe(&self.g, &self.q, &e, is_insert, ignore) {
-            self.record_verdict(Classified::Safe(SafeStage::Degree), idx);
+        if self.eng.degree_safe(&self.g, &e, is_insert) {
+            self.eng
+                .record_verdict(Classified::Safe(SafeStage::Degree), idx);
             self.apply_and_maintain(e, is_insert)?;
             return Ok(safe(Classified::Safe(SafeStage::Degree)));
         }
@@ -951,67 +646,65 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
         if is_insert {
             let t0 = Instant::now();
             self.g.insert_edge(e.src, e.dst, e.label)?;
-            self.stats.apply_time += t0.elapsed();
-            let change = self.ads_update(e, true);
-            self.stats.updates += 1;
-            self.tracer.count(0, Counter::Updates, 1);
-            if change == AdsChange::Unchanged
-                && inter::candidates_safe(&self.g, &self.q, &self.algo, &e)
-            {
-                self.record_verdict(Classified::Safe(SafeStage::Ads), idx);
+            self.eng.note_apply(t0.elapsed());
+            let change = self.eng.ads_update(&self.g, e, true);
+            self.eng.note_update();
+            if change == AdsChange::Unchanged && self.eng.candidates_safe(&self.g, &e) {
+                self.eng
+                    .record_verdict(Classified::Safe(SafeStage::Ads), idx);
                 return Ok(safe(Classified::Safe(SafeStage::Ads)));
             }
-            self.record_verdict(Classified::Unsafe, idx);
-            let (count, _matches, timed_out) = self.find_matches(&e);
-            self.stats.positives += count;
-            self.tracer.count(0, Counter::MatchesPos, count);
-            self.stats.timed_out |= timed_out;
-            out.positives += count;
+            self.eng.record_verdict(Classified::Unsafe, idx);
+            let found = self.eng.find_matches(&self.g, &e, false);
+            self.eng.stats.positives += found.count;
+            self.eng.tracer().count(0, Counter::MatchesPos, found.count);
+            self.eng.stats.timed_out |= found.timed_out;
+            out.positives += found.count;
             Ok(ResidualOutcome {
                 verdict: Some(Classified::Unsafe),
                 noop: false,
-                timed_out,
-                positives: count,
+                timed_out: found.timed_out,
+                positives: found.count,
                 negatives: 0,
             })
         } else {
             // Deletion: negative matches are judged on the pre-deletion
             // state, so the candidate check comes first.
             let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
-            if inter::candidates_safe(&self.g, &self.q, &self.algo, &e) {
-                self.record_verdict(Classified::Safe(SafeStage::Ads), idx);
+            if self.eng.candidates_safe(&self.g, &e) {
+                self.eng
+                    .record_verdict(Classified::Safe(SafeStage::Ads), idx);
                 self.apply_and_maintain(e, false)?;
                 return Ok(safe(Classified::Safe(SafeStage::Ads)));
             }
-            self.record_verdict(Classified::Unsafe, idx);
-            let (count, _matches, timed_out) = self.find_matches(&e);
-            self.stats.negatives += count;
-            self.tracer.count(0, Counter::MatchesNeg, count);
-            self.stats.timed_out |= timed_out;
-            out.negatives += count;
+            self.eng.record_verdict(Classified::Unsafe, idx);
+            let found = self.eng.find_matches(&self.g, &e, false);
+            self.eng.stats.negatives += found.count;
+            self.eng.tracer().count(0, Counter::MatchesNeg, found.count);
+            self.eng.stats.timed_out |= found.timed_out;
+            out.negatives += found.count;
             self.apply_and_maintain(e, false)?;
             Ok(ResidualOutcome {
                 verdict: Some(Classified::Unsafe),
                 noop: false,
-                timed_out,
+                timed_out: found.timed_out,
                 positives: 0,
-                negatives: count,
+                negatives: found.count,
             })
         }
     }
 
     /// Apply an edge update to `G` and maintain the ADS without searching.
-    fn apply_and_maintain(&mut self, e: EdgeUpdate, is_insert: bool) -> Result<(), GraphError> {
+    fn apply_and_maintain(&mut self, e: EdgeUpdate, is_insert: bool) -> CsmResult<()> {
         let t0 = Instant::now();
         if is_insert {
             self.g.insert_edge(e.src, e.dst, e.label)?;
         } else {
             self.g.remove_edge(e.src, e.dst)?;
         }
-        self.stats.apply_time += t0.elapsed();
-        self.ads_update(e, is_insert);
-        self.stats.updates += 1;
-        self.tracer.count(0, Counter::Updates, 1);
+        self.eng.note_apply(t0.elapsed());
+        self.eng.ads_update(&self.g, e, is_insert);
+        self.eng.note_update();
         Ok(())
     }
 }
@@ -1070,9 +763,29 @@ mod tests {
             .process_update(Update::DeleteEdge(EdgeUpdate::new(v[0], v[2], ELabel(0))))
             .unwrap();
         assert_eq!(out.negatives, 6);
-        assert_eq!(e.stats.positives, 6);
-        assert_eq!(e.stats.negatives, 6);
-        assert_eq!(e.stats.updates, 2);
+        assert_eq!(e.stats().positives, 6);
+        assert_eq!(e.stats().negatives, 6);
+        assert_eq!(e.stats().updates, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs() {
+        let (g, q, _) = setup();
+        let mut cfg = ParaCosmConfig::sequential();
+        cfg.num_threads = 0;
+        match ParaCosm::try_new(g, q, Plain, cfg) {
+            Err(CsmError::ConfigInvalid { field, .. }) => assert_eq!(field, "num_threads"),
+            other => panic!("expected ConfigInvalid, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ParaCosm::new")]
+    fn new_panics_on_invalid_config() {
+        let (g, q, _) = setup();
+        let mut cfg = ParaCosmConfig::sequential();
+        cfg.batch_size = 0;
+        let _ = ParaCosm::new(g, q, Plain, cfg);
     }
 
     #[test]
@@ -1163,7 +876,37 @@ mod tests {
         let b = par.process_stream(&stream).unwrap();
         assert_eq!((a.positives, a.negatives), (b.positives, b.negatives));
         assert_eq!(b.updates_applied, 4);
-        assert!(par.stats.classifier.total > 0);
+        assert!(par.stats().classifier.total > 0);
+    }
+
+    #[test]
+    fn run_stream_with_noop_observer_matches_process_stream() {
+        let (g, q, v) = setup();
+        let stream: UpdateStream = vec![
+            ins(v[0], v[2]),
+            ins(v[2], v[3]),
+            Update::DeleteEdge(EdgeUpdate::new(v[0], v[2], ELabel(0))),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut plain = ParaCosm::new(g.clone(), q.clone(), Plain, ParaCosmConfig::sequential());
+        let a = plain.process_stream(&stream).unwrap();
+
+        let mut observed = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
+        let mut seen = 0u64;
+        struct CountObs<'a>(&'a mut u64);
+        impl StreamObserver for CountObs<'_> {
+            fn on_update(&mut self, obs: &UpdateObservation) {
+                *self.0 += 1;
+                assert!(!obs.skipped);
+            }
+        }
+        let b = observed
+            .run_stream(&stream, &mut CountObs(&mut seen))
+            .unwrap();
+        assert_eq!((a.positives, a.negatives), (b.positives, b.negatives));
+        assert_eq!(seen, 3);
     }
 
     #[test]
@@ -1171,8 +914,8 @@ mod tests {
         let (g, q, v) = setup();
         let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
         e.process_update(ins(v[0], v[2])).unwrap();
-        let wall = Duration::from_millis(10) + e.stats.find_time;
-        assert_eq!(e.stats.projected_time(wall), wall);
+        let wall = Duration::from_millis(10) + e.stats().find_time;
+        assert_eq!(e.stats().projected_time(wall), wall);
     }
 
     #[test]
@@ -1180,9 +923,9 @@ mod tests {
         let (g, q, v) = setup();
         let mut e = ParaCosm::new(g, q, Plain, ParaCosmConfig::sequential());
         e.process_update(ins(v[0], v[2])).unwrap();
-        assert!(e.stats.updates > 0);
+        assert!(e.stats().updates > 0);
         e.reset_stats();
-        assert_eq!(e.stats.updates, 0);
-        assert_eq!(e.stats.positives, 0);
+        assert_eq!(e.stats().updates, 0);
+        assert_eq!(e.stats().positives, 0);
     }
 }

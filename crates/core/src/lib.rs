@@ -62,6 +62,8 @@ pub mod algorithm;
 pub mod canonical;
 pub mod config;
 pub mod embedding;
+pub mod engine;
+pub mod error;
 pub mod framework;
 pub mod inner;
 pub mod inter;
@@ -77,7 +79,9 @@ pub use algorithm::{AdsCandidates, AdsChange, AlgorithmFactory, CsmAlgorithm};
 pub use canonical::{AutomorphismGroup, CanonicalSink};
 pub use config::ParaCosmConfig;
 pub use embedding::{BufferSink, Embedding, Match, MatchSink, MAX_PATTERN_VERTICES};
-pub use framework::{ParaCosm, RunStats, SlowUpdate, StreamOutcome, UpdateOutcome};
+pub use engine::{Engine, FindOutcome, RunStats, SlowUpdate, StageSnapshot};
+pub use error::{CsmError, CsmResult};
+pub use framework::{ParaCosm, StreamOutcome, UpdateOutcome};
 pub use inner::{InnerConfig, InnerOutcome, SeedTask, SimOutcome};
 pub use inter::{Classified, ClassifierStats, SafeStage};
 pub use kernel::{CandidateFilter, NoFilter, SearchCtx, SearchStats};
@@ -87,5 +91,6 @@ pub use order::{MatchingOrders, SeedOrder};
 pub use static_match::StaticResult;
 pub use trace::{
     Counter, EventKind, EventRing, Gauge, LocalTrace, MetricsRegistry, MetricsSnapshot,
-    NoopObserver, RunReport, StreamObserver, TraceEvent, TraceLevel, Tracer, UpdateObservation,
+    NoopObserver, RunReport, SessionDims, StreamObserver, TraceEvent, TraceLevel, Tracer,
+    UpdateObservation,
 };

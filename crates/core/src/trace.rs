@@ -29,7 +29,7 @@
 //! thread-local [`LocalTrace`] (plain `u64`s and a local buffer) and merge
 //! once per executor run.
 
-use crate::framework::RunStats;
+use crate::engine::RunStats;
 use crate::inter::{Classified, SafeStage};
 use csm_check::sync::atomic::{AtomicU64, Ordering};
 use csm_check::sync::{Mutex, PoisonError};
@@ -821,6 +821,10 @@ pub struct UpdateObservation {
     pub positives: u64,
     /// Negative matches this update produced.
     pub negatives: u64,
+    /// Enumeration was skipped by the serving layer's degradation ladder
+    /// (the session's time budget was exhausted); ΔM for this update is
+    /// unknown, not zero. Always `false` for standalone `ParaCosm` runs.
+    pub skipped: bool,
 }
 
 impl UpdateObservation {
@@ -830,8 +834,9 @@ impl UpdateObservation {
     }
 }
 
-/// Callback hook for [`crate::ParaCosm::process_stream_observed`]: invoked
-/// once per stream update, in stream order, on the orchestrator thread.
+/// Callback hook for [`crate::ParaCosm::run_stream`] (and per-session ΔM
+/// delivery in the `csm-service` serving layer): invoked once per stream
+/// update, in stream order, on the orchestrator thread.
 pub trait StreamObserver {
     /// One update was processed.
     fn on_update(&mut self, obs: &UpdateObservation);
@@ -845,6 +850,25 @@ impl StreamObserver for NoopObserver {
 }
 
 // --------------------------------------------------------------- RunReport
+
+/// Serving-layer dimensions attached to a per-session [`RunReport`]: which
+/// standing query produced it and how the session's time-budget
+/// degradation ladder behaved. `None` on standalone `ParaCosm` reports.
+#[derive(Clone, Debug, Default)]
+pub struct SessionDims {
+    /// Session id within the service.
+    pub session_id: u64,
+    /// Human-readable session label (query name / tenant).
+    pub label: String,
+    /// Updates whose `Find_Matches` overran the session's per-update
+    /// budget.
+    pub budget_overruns: u64,
+    /// Updates enumerated count-only (first rung of the degradation
+    /// ladder).
+    pub degraded: u64,
+    /// Updates skipped outright (second rung); ΔM for these is unknown.
+    pub skipped: u64,
+}
 
 /// Machine-readable summary of one run: `RunStats` + latency-histogram
 /// buckets + classifier verdicts + per-worker counters, rendered as JSON
@@ -865,6 +889,8 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Events overwritten per shard (ring saturation indicator).
     pub dropped_events: Vec<u64>,
+    /// Serving-layer session dimensions (`None` for standalone runs).
+    pub session: Option<SessionDims>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -895,6 +921,18 @@ impl RunReport {
         o.push_str("\"schema_version\":1");
         o.push_str(&format!(",\"algo\":\"{}\"", json_escape(&self.algo)));
         o.push_str(&format!(",\"threads\":{}", self.threads));
+
+        if let Some(sess) = &self.session {
+            o.push_str(&format!(
+                ",\"session\":{{\"id\":{},\"label\":\"{}\",\"budget_overruns\":{},\
+                 \"degraded\":{},\"skipped\":{}}}",
+                sess.session_id,
+                json_escape(&sess.label),
+                sess.budget_overruns,
+                sess.degraded,
+                sess.skipped
+            ));
+        }
 
         if let Some(out) = &self.outcome {
             o.push_str(&format!(

@@ -9,9 +9,11 @@
 //! `O(k · min|L| · log(max|L| / min|L|))` for `k` lists.
 //!
 //! Inputs **must** be strictly id-sorted; label-exact partition slices are,
-//! vlabel-range slices ([`DataGraph::neighbors_with_vlabel`]
-//! (crate::DataGraph::neighbors_with_vlabel)) are **not** — callers in
+//! vlabel-range slices ([`DataGraph::neighbors_with_vlabel`][nwv])
+//! are **not** — callers in
 //! ignore-edge-label mode must verify by probing instead of merging.
+//!
+//! [nwv]: crate::DataGraph::neighbors_with_vlabel
 
 use crate::ids::{ELabel, VertexId};
 

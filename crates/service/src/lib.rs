@@ -1,0 +1,36 @@
+//! # csm-service — the multi-session ParaCOSM serving layer
+//!
+//! A standalone [`paracosm_core::ParaCosm`] engine answers one query over
+//! one graph for the lifetime of one stream. This crate turns that into a
+//! *server*: a long-lived [`CsmService`] owns one evolving [`csm_graph::DataGraph`]
+//! and a registry of standing query **sessions** — each its own query,
+//! algorithm instance, configuration, time budget and observer — all fed by
+//! a single update stream through a bounded admission queue.
+//!
+//! The pieces:
+//!
+//! * [`AdmissionQueue`] / [`Backpressure`] — bounded ingestion with an
+//!   explicit full-queue policy (block, shed-oldest, or reject), plus an
+//!   [`IngestHandle`] for cross-thread producers;
+//! * [`SessionSpec`] / [`DegradeLevel`] — per-session registration and the
+//!   graceful-degradation ladder (full enumeration → count-only →
+//!   skipped-with-flag) driven by per-update time budgets;
+//! * [`CsmService`] — applies each admitted update to the shared graph
+//!   once, runs the inter-update safe-update classifier per session, and
+//!   fans `Find_Matches` across sessions; [`ServiceReport`] aggregates the
+//!   per-session [`paracosm_core::RunReport`]s with admission counters.
+//!
+//! Every session's ΔM is identical to a standalone run of the same query
+//! over the same stream (classifiers prune work, never results); the
+//! workspace's differential tests pin this down.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod queue;
+pub mod service;
+pub mod session;
+
+pub use queue::{AdmissionQueue, Backpressure, IngestHandle};
+pub use service::{CsmService, ServiceConfig, ServiceReport};
+pub use session::{DegradeLevel, SessionSpec};

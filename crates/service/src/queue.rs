@@ -1,0 +1,304 @@
+//! Bounded admission with explicit backpressure.
+//!
+//! All producers funnel through one [`AdmissionQueue`]: a capacity-bounded
+//! FIFO whose full-queue behavior is an explicit [`Backpressure`] policy
+//! rather than an accident of buffer growth. The queue is built on the
+//! `csm_check::sync` facade, so the same code is plain `std` primitives in
+//! a normal build and a scheduler-instrumented model under
+//! `--cfg paracosm_check` (see `tests/admission_model.rs`).
+
+use csm_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use csm_check::sync::{thread, Mutex, MutexGuard, PoisonError};
+use csm_graph::Update;
+use paracosm_core::{CsmError, CsmResult};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What happens when an update arrives and the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// The producer waits for space. The service owner drains inline on
+    /// [`crate::CsmService::submit`]; a cross-thread [`IngestHandle`]
+    /// spin-yields until the consumer makes room (or the service closes).
+    Block,
+    /// The oldest queued update is dropped to admit the new one
+    /// (freshness-first; sheds are counted in the [`crate::ServiceReport`]).
+    ShedOldest,
+    /// The new update is refused with [`CsmError::Backpressure`]
+    /// (loss-visible-to-producer; rejections are counted).
+    Reject,
+}
+
+impl Backpressure {
+    /// Parse `block|shed|shed-oldest|reject` (CLI surface).
+    pub fn parse(s: &str) -> Option<Backpressure> {
+        match s {
+            "block" => Some(Backpressure::Block),
+            "shed" | "shed-oldest" => Some(Backpressure::ShedOldest),
+            "reject" => Some(Backpressure::Reject),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (reports, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backpressure::Block => "block",
+            Backpressure::ShedOldest => "shed-oldest",
+            Backpressure::Reject => "reject",
+        }
+    }
+}
+
+/// The bounded admission queue in front of a [`crate::CsmService`].
+///
+/// Thread-safe: any number of producers may [`AdmissionQueue::offer`]
+/// concurrently with one consumer popping. Counters
+/// ([`AdmissionQueue::admitted`] / [`AdmissionQueue::shed`] /
+/// [`AdmissionQueue::rejected`]) satisfy the conservation invariant
+/// `admitted == popped + shed + len` at quiescence — model-checked under
+/// `--cfg paracosm_check`.
+pub struct AdmissionQueue {
+    q: Mutex<VecDeque<Update>>,
+    capacity: usize,
+    policy: Backpressure,
+    closed: AtomicBool,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AdmissionQueue {
+    /// Build a queue; `capacity == 0` is rejected with
+    /// [`CsmError::ConfigInvalid`].
+    pub fn new(capacity: usize, policy: Backpressure) -> CsmResult<AdmissionQueue> {
+        if capacity == 0 {
+            return Err(CsmError::ConfigInvalid {
+                field: "queue_capacity",
+                reason: "must be >= 1 (a zero-capacity queue admits nothing)".to_string(),
+            });
+        }
+        Ok(AdmissionQueue {
+            q: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            policy,
+            closed: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Update>> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Try to admit one update under the configured policy.
+    ///
+    /// On a full queue: `ShedOldest` drops the head and admits (Ok);
+    /// `Reject` counts and returns [`CsmError::Backpressure`]; `Block`
+    /// returns [`CsmError::Backpressure`] as a *would-block* signal without
+    /// counting — callers decide how to wait ([`AdmissionQueue::send_blocking`],
+    /// or the service owner's inline drain).
+    pub fn offer(&self, u: Update) -> CsmResult<()> {
+        if self.is_closed() {
+            return Err(CsmError::ServiceClosed);
+        }
+        let mut q = self.lock();
+        if q.len() < self.capacity {
+            q.push_back(u);
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match self.policy {
+            Backpressure::ShedOldest => {
+                q.pop_front();
+                q.push_back(u);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Backpressure::Reject => {
+                drop(q);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(CsmError::Backpressure {
+                    capacity: self.capacity,
+                })
+            }
+            Backpressure::Block => {
+                drop(q);
+                Err(CsmError::Backpressure {
+                    capacity: self.capacity,
+                })
+            }
+        }
+    }
+
+    /// As [`AdmissionQueue::offer`], but under the `Block` policy
+    /// spin-yield until space frees up or the queue closes
+    /// ([`CsmError::ServiceClosed`]). Identical to `offer` under the other
+    /// policies.
+    pub fn send_blocking(&self, u: Update) -> CsmResult<()> {
+        loop {
+            match self.offer(u) {
+                Err(CsmError::Backpressure { .. }) if self.policy == Backpressure::Block => {
+                    thread::yield_now();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Pop the oldest admitted update, if any.
+    pub fn pop(&self) -> Option<Update> {
+        self.lock().pop_front()
+    }
+
+    /// Updates currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: subsequent offers fail with
+    /// [`CsmError::ServiceClosed`]; already-admitted updates remain
+    /// poppable (shutdown drains them).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`AdmissionQueue::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured backpressure policy.
+    pub fn policy(&self) -> Backpressure {
+        self.policy
+    }
+
+    /// Updates successfully enqueued (including ones that later got shed).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Updates dropped by the `ShedOldest` policy.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Updates refused by the `Reject` policy.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable cross-thread producer handle onto a service's admission
+/// queue. [`IngestHandle::send`] applies the queue's policy: `Block`
+/// spin-yields for space, `ShedOldest`/`Reject` return immediately.
+#[derive(Clone)]
+pub struct IngestHandle {
+    q: Arc<AdmissionQueue>,
+}
+
+impl IngestHandle {
+    pub(crate) fn new(q: Arc<AdmissionQueue>) -> IngestHandle {
+        IngestHandle { q }
+    }
+
+    /// Submit one update under the queue's backpressure policy.
+    pub fn send(&self, u: Update) -> CsmResult<()> {
+        match self.q.policy() {
+            Backpressure::Block => self.q.send_blocking(u),
+            _ => self.q.offer(u),
+        }
+    }
+
+    /// Is the service still accepting updates?
+    pub fn is_open(&self) -> bool {
+        !self.q.is_closed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_graph::{ELabel, EdgeUpdate, VertexId};
+
+    fn upd(i: u32) -> Update {
+        Update::InsertEdge(EdgeUpdate::new(VertexId(i), VertexId(i + 1), ELabel(0)))
+    }
+
+    #[test]
+    fn zero_capacity_is_config_invalid() {
+        assert!(matches!(
+            AdmissionQueue::new(0, Backpressure::Block),
+            Err(CsmError::ConfigInvalid {
+                field: "queue_capacity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn shed_oldest_drops_head_and_counts() {
+        let q = AdmissionQueue::new(2, Backpressure::ShedOldest).unwrap();
+        for i in 0..4 {
+            q.offer(upd(i)).unwrap();
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.admitted(), 4);
+        assert_eq!(q.shed(), 2);
+        // The two freshest survive.
+        assert_eq!(q.pop(), Some(upd(2)));
+        assert_eq!(q.pop(), Some(upd(3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reject_refuses_with_capacity_context() {
+        let q = AdmissionQueue::new(1, Backpressure::Reject).unwrap();
+        q.offer(upd(0)).unwrap();
+        match q.offer(upd(1)) {
+            Err(CsmError::Backpressure { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected Backpressure, got {other:?}"),
+        }
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.admitted(), 1);
+    }
+
+    #[test]
+    fn closed_queue_refuses_offers_but_drains() {
+        let q = AdmissionQueue::new(4, Backpressure::Block).unwrap();
+        q.offer(upd(0)).unwrap();
+        q.close();
+        assert!(matches!(q.offer(upd(1)), Err(CsmError::ServiceClosed)));
+        assert!(matches!(
+            q.send_blocking(upd(1)),
+            Err(CsmError::ServiceClosed)
+        ));
+        assert_eq!(q.pop(), Some(upd(0)));
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [
+            Backpressure::Block,
+            Backpressure::ShedOldest,
+            Backpressure::Reject,
+        ] {
+            assert_eq!(Backpressure::parse(p.name()), Some(p));
+        }
+        assert_eq!(Backpressure::parse("shed"), Some(Backpressure::ShedOldest));
+        assert_eq!(Backpressure::parse("nope"), None);
+    }
+}

@@ -1,0 +1,601 @@
+//! The multi-session serving loop: one shared data graph, one admission
+//! queue, many standing query sessions.
+//!
+//! [`CsmService`] owns the [`DataGraph`] and applies each admitted update
+//! to it exactly once, then fans the inter-update classifier and
+//! `Find_Matches` out across every registered session. Safety is judged
+//! *per session* (each query has its own labels, degrees and candidate
+//! sets), so one update may be label-safe for one session and unsafe for
+//! another; the soundness contract of the classifier guarantees that every
+//! session's ΔM equals what a standalone [`paracosm_core::ParaCosm`] run
+//! of that query over the same stream would report — the workspace's
+//! differential tests enforce exactly this.
+//!
+//! Per-update call conventions mirror the standalone engine (paper
+//! Algorithm 1): inserts apply the edge, maintain each non-label-safe
+//! session's ADS, then enumerate; deletions classify and enumerate on the
+//! pre-removal graph, then remove and maintain.
+
+use crate::queue::{AdmissionQueue, Backpressure, IngestHandle};
+use crate::session::{Session, SessionFind, SessionSpec};
+use csm_graph::{DataGraph, EdgeUpdate, Update};
+use paracosm_core::{
+    Classified, CsmAlgorithm, CsmError, CsmResult, RunReport, SafeStage, StreamObserver,
+    UpdateObservation,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Construction parameters for a [`CsmService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Admission queue capacity (must be >= 1).
+    pub queue_capacity: usize,
+    /// Full-queue behavior.
+    pub policy: Backpressure,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 1024,
+            policy: Backpressure::Block,
+        }
+    }
+}
+
+/// Pre-removal disposition of one edge deletion for one session.
+enum DeleteStage {
+    /// Label-safe: no ADS maintenance, no enumeration.
+    LabelSafe,
+    /// Safe at stage 2 or 3: maintain the ADS after removal, no search.
+    Maintain(Classified),
+    /// Unsafe: matches were enumerated pre-removal.
+    Found(SessionFind),
+}
+
+/// Per-session accumulator for a vertex-deletion cascade.
+#[derive(Clone, Copy, Default)]
+struct VertexAcc {
+    negatives: u64,
+    skipped: bool,
+    elapsed: Duration,
+}
+
+/// A long-lived continuous-subgraph-matching server: one evolving data
+/// graph, a bounded admission queue, and a registry of standing query
+/// sessions that each receive their own ΔM.
+///
+/// ```
+/// use csm_service::{CsmService, ServiceConfig, SessionSpec};
+/// use paracosm_core::{NoopObserver, ParaCosmConfig};
+/// # use paracosm_core::{AdsChange, CsmAlgorithm};
+/// # use csm_graph::{DataGraph, QueryGraph, VLabel, ELabel, EdgeUpdate, Update, QVertexId, VertexId};
+/// # struct Plain;
+/// # impl CsmAlgorithm for Plain {
+/// #     fn name(&self) -> &'static str { "plain" }
+/// #     fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+/// #     fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool)
+/// #         -> AdsChange { AdsChange::Unchanged }
+/// #     fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId)
+/// #         -> bool { true }
+/// # }
+/// let mut g = DataGraph::new();
+/// let v: Vec<_> = (0..3).map(|_| g.add_vertex(VLabel(0))).collect();
+/// g.insert_edge(v[0], v[1], ELabel(0)).unwrap();
+/// g.insert_edge(v[1], v[2], ELabel(0)).unwrap();
+/// let mut q = QueryGraph::new();
+/// let u: Vec<_> = (0..3).map(|_| q.add_vertex(VLabel(0))).collect();
+/// q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+/// q.add_edge(u[1], u[2], ELabel(0)).unwrap();
+/// q.add_edge(u[0], u[2], ELabel(0)).unwrap();
+///
+/// let mut svc = CsmService::new(g, ServiceConfig::default()).unwrap();
+/// let spec = SessionSpec::new(q, ParaCosmConfig::sequential()).with_label("triangles");
+/// let id = svc.add_session(spec, Box::new(Plain), Box::new(NoopObserver)).unwrap();
+///
+/// svc.submit(Update::InsertEdge(EdgeUpdate::new(v[0], v[2], ELabel(0)))).unwrap();
+/// svc.drain().unwrap();
+/// let report = svc.shutdown().unwrap();
+/// assert_eq!(report.sessions[0].stats.positives, 6);
+/// # let _ = id;
+/// ```
+pub struct CsmService {
+    g: DataGraph,
+    sessions: Vec<Session>,
+    next_id: u64,
+    queue: Arc<AdmissionQueue>,
+    started: Instant,
+    update_idx: u64,
+    processed: u64,
+    noops: u64,
+    invalid: u64,
+}
+
+impl CsmService {
+    /// Stand up a service over `g` with an empty session registry.
+    pub fn new(g: DataGraph, cfg: ServiceConfig) -> CsmResult<CsmService> {
+        let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy)?);
+        Ok(CsmService {
+            g,
+            sessions: Vec::new(),
+            next_id: 0,
+            queue,
+            started: Instant::now(),
+            update_idx: 0,
+            processed: 0,
+            noops: 0,
+            invalid: 0,
+        })
+    }
+
+    /// Register a standing query. The algorithm's ADS is built against the
+    /// current graph (offline stage); from the next admitted update on, the
+    /// session's `observer` receives its per-update ΔM. Returns the session
+    /// id used by [`CsmService::remove_session`].
+    ///
+    /// Fails with [`CsmError::ConfigInvalid`] for invalid configs/queries
+    /// and [`CsmError::ServiceClosed`] after shutdown began.
+    pub fn add_session(
+        &mut self,
+        spec: SessionSpec,
+        algo: Box<dyn CsmAlgorithm>,
+        observer: Box<dyn StreamObserver>,
+    ) -> CsmResult<u64> {
+        if self.queue.is_closed() {
+            return Err(CsmError::ServiceClosed);
+        }
+        let id = self.next_id;
+        let session = Session::new(id, spec, algo, observer, &self.g)?;
+        self.next_id += 1;
+        self.sessions.push(session);
+        Ok(id)
+    }
+
+    /// Deregister a session, draining in-flight (admitted but unprocessed)
+    /// updates first so the departing session observes every update that
+    /// was admitted while it was live. Returns its final [`RunReport`],
+    /// tagged with [`paracosm_core::SessionDims`].
+    pub fn remove_session(&mut self, id: u64) -> CsmResult<RunReport> {
+        self.drain()?;
+        let pos = self
+            .sessions
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(CsmError::SessionNotFound(id))?;
+        let session = self.sessions.remove(pos);
+        Ok(session.report())
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Ids of the live sessions, in registration order.
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.sessions.iter().map(|s| s.id).collect()
+    }
+
+    /// Current degradation-ladder rung of a live session.
+    pub fn session_level(&self, id: u64) -> CsmResult<crate::session::DegradeLevel> {
+        self.sessions
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.level())
+            .ok_or(CsmError::SessionNotFound(id))
+    }
+
+    /// The shared data graph (current state).
+    pub fn graph(&self) -> &DataGraph {
+        &self.g
+    }
+
+    /// The admission queue (inspection: length, counters, policy).
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
+    /// A cloneable producer handle for feeding updates from other threads.
+    /// Under the `Block` policy the handle spin-yields while the owner
+    /// drains; under `ShedOldest`/`Reject` it never waits.
+    pub fn ingest(&self) -> IngestHandle {
+        IngestHandle::new(Arc::clone(&self.queue))
+    }
+
+    /// Enqueue one update from the owning thread. Under the `Block` policy
+    /// a full queue is resolved by draining inline (the owner *is* the
+    /// consumer, so blocking would deadlock); under `ShedOldest`/`Reject`
+    /// the queue's policy applies as usual.
+    pub fn submit(&mut self, u: Update) -> CsmResult<()> {
+        match self.queue.offer(u) {
+            Err(CsmError::Backpressure { .. }) if self.queue.policy() == Backpressure::Block => {
+                self.drain()?;
+                self.queue.offer(u)
+            }
+            other => other,
+        }
+    }
+
+    /// Process every currently admitted update through all sessions, in
+    /// admission order. Returns how many updates were processed.
+    pub fn drain(&mut self) -> CsmResult<u64> {
+        let mut n = 0;
+        while let Some(u) = self.queue.pop() {
+            self.process_one(u)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Shut down: close the queue to producers, drain everything already
+    /// admitted, and return the final [`ServiceReport`] (per-session
+    /// reports cover sessions still registered at shutdown; removed
+    /// sessions reported at removal).
+    pub fn shutdown(mut self) -> CsmResult<ServiceReport> {
+        self.queue.close();
+        self.drain()?;
+        Ok(ServiceReport {
+            policy: self.queue.policy(),
+            queue_capacity: self.queue.capacity(),
+            admitted: self.queue.admitted(),
+            processed: self.processed,
+            shed: self.queue.shed(),
+            rejected: self.queue.rejected(),
+            noops: self.noops,
+            invalid: self.invalid,
+            elapsed: self.started.elapsed(),
+            sessions: self.sessions.iter().map(|s| s.report()).collect(),
+        })
+    }
+
+    // ------------------------------------------------------------ pipeline
+
+    /// Apply one update to the shared graph and fan it out across every
+    /// session.
+    fn process_one(&mut self, u: Update) -> CsmResult<()> {
+        let idx = self.update_idx;
+        self.update_idx += 1;
+        self.processed += 1;
+        match u {
+            Update::InsertEdge(e) => self.process_edge(u, e, true, idx),
+            Update::DeleteEdge(e) => self.process_edge(u, e, false, idx),
+            Update::InsertVertex { id, label } => {
+                let t0 = Instant::now();
+                let grew = !self.g.is_alive(id);
+                self.g.ensure_vertex(id, label);
+                let apply = t0.elapsed();
+                if !grew {
+                    self.noops += 1;
+                }
+                let g = &self.g;
+                for s in self.sessions.iter_mut() {
+                    s.eng.note_update();
+                    s.eng.note_apply(apply);
+                    let t = Instant::now();
+                    let pre = s.eng.stage_snapshot();
+                    if grew {
+                        s.eng.rebuild(g);
+                        s.eng.record_verdict(Classified::Unsafe, idx);
+                    } else {
+                        s.eng.record_noop(idx);
+                    }
+                    s.finish(
+                        u,
+                        UpdateObservation {
+                            index: idx,
+                            verdict: grew.then_some(Classified::Unsafe),
+                            noop: !grew,
+                            latency: t.elapsed(),
+                            positives: 0,
+                            negatives: 0,
+                            skipped: false,
+                        },
+                        pre,
+                    );
+                }
+                Ok(())
+            }
+            Update::DeleteVertex { id } => {
+                if !self.g.is_alive(id) {
+                    self.noops += 1;
+                    self.fan_noop(u, idx);
+                    return Ok(());
+                }
+                // Cascade: each incident edge is classified and (where
+                // unsafe) enumerated per session, exactly as a standalone
+                // run reports negative matches per removed edge.
+                let incident: Vec<EdgeUpdate> = self
+                    .g
+                    .neighbors(id)
+                    .iter()
+                    .map(|&(v, l)| EdgeUpdate::new(id, v, l))
+                    .collect();
+                let mut acc = vec![VertexAcc::default(); self.sessions.len()];
+                for e in incident {
+                    self.cascade_edge_delete(e, &mut acc)?;
+                }
+                let t0 = Instant::now();
+                self.g.delete_vertex(id, false)?;
+                let apply = t0.elapsed();
+                let g = &self.g;
+                for (s, a) in self.sessions.iter_mut().zip(acc) {
+                    s.eng.note_update();
+                    s.eng.note_apply(apply);
+                    let pre = s.eng.stage_snapshot();
+                    let t = Instant::now();
+                    s.eng.rebuild(g);
+                    s.eng.record_verdict(Classified::Unsafe, idx);
+                    s.finish(
+                        u,
+                        UpdateObservation {
+                            index: idx,
+                            verdict: Some(Classified::Unsafe),
+                            noop: false,
+                            latency: a.elapsed + t.elapsed(),
+                            positives: 0,
+                            negatives: a.negatives,
+                            skipped: a.skipped,
+                        },
+                        pre,
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Fan a structural no-op (or invalid update) across all sessions.
+    fn fan_noop(&mut self, u: Update, idx: u64) {
+        for s in self.sessions.iter_mut() {
+            s.eng.note_update();
+            let pre = s.eng.stage_snapshot();
+            s.eng.record_noop(idx);
+            s.finish(
+                u,
+                UpdateObservation {
+                    index: idx,
+                    verdict: None,
+                    noop: true,
+                    latency: Duration::ZERO,
+                    positives: 0,
+                    negatives: 0,
+                    skipped: false,
+                },
+                pre,
+            );
+        }
+    }
+
+    /// One edge update through classification, single graph application,
+    /// and per-session ADS/enumeration fan-out.
+    fn process_edge(
+        &mut self,
+        u: Update,
+        e: EdgeUpdate,
+        is_insert: bool,
+        idx: u64,
+    ) -> CsmResult<()> {
+        // A server keeps running on malformed input: updates naming dead
+        // vertices (or self-loops) are counted as `invalid` and fanned out
+        // as no-ops instead of failing the stream like a standalone run.
+        if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
+            self.invalid += 1;
+            self.fan_noop(u, idx);
+            return Ok(());
+        }
+        let exists = self.g.has_edge(e.src, e.dst);
+        if is_insert == exists {
+            self.noops += 1;
+            self.fan_noop(u, idx);
+            return Ok(());
+        }
+
+        if is_insert {
+            // Stages 1-2 are judged on the pre-insertion graph, per session.
+            let g = &self.g;
+            let stages: Vec<Option<SafeStage>> = self
+                .sessions
+                .iter()
+                .map(|s| {
+                    if s.eng.label_safe(g, &e) {
+                        Some(SafeStage::Label)
+                    } else if s.eng.degree_safe(g, &e, true) {
+                        Some(SafeStage::Degree)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let t0 = Instant::now();
+            self.g.insert_edge(e.src, e.dst, e.label)?;
+            let apply = t0.elapsed();
+            let g = &self.g;
+            for (s, stage) in self.sessions.iter_mut().zip(stages) {
+                s.eng.note_update();
+                s.eng.note_apply(apply);
+                let pre = s.eng.stage_snapshot();
+                let t = Instant::now();
+                let (verdict, found) = match stage {
+                    // Label-safe updates skip both ADS maintenance and
+                    // search (batch-executor convention).
+                    Some(SafeStage::Label) => (Classified::Safe(SafeStage::Label), None),
+                    Some(stage) => {
+                        s.eng.ads_update(g, e, true);
+                        (Classified::Safe(stage), None)
+                    }
+                    None => {
+                        // Stage 3 is judged post-insertion, post-ADS.
+                        let change = s.eng.ads_update(g, e, true);
+                        if change == paracosm_core::AdsChange::Unchanged
+                            && s.eng.candidates_safe(g, &e)
+                        {
+                            (Classified::Safe(SafeStage::Ads), None)
+                        } else {
+                            let f = s.enumerate(g, &e, true);
+                            (Classified::Unsafe, Some(f))
+                        }
+                    }
+                };
+                s.eng.record_verdict(verdict, idx);
+                let f = found.unwrap_or_default();
+                s.finish(
+                    u,
+                    UpdateObservation {
+                        index: idx,
+                        verdict: Some(verdict),
+                        noop: false,
+                        latency: t.elapsed(),
+                        positives: f.count,
+                        negatives: 0,
+                        skipped: f.skipped,
+                    },
+                    pre,
+                );
+            }
+        } else {
+            // Deletions classify and enumerate on the pre-removal graph.
+            let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
+            let g = &self.g;
+            let mut pres = Vec::with_capacity(self.sessions.len());
+            for s in self.sessions.iter_mut() {
+                s.eng.note_update();
+                let pre = s.eng.stage_snapshot();
+                let t = Instant::now();
+                let stage = if s.eng.label_safe(g, &e) {
+                    DeleteStage::LabelSafe
+                } else if s.eng.degree_safe(g, &e, false) {
+                    DeleteStage::Maintain(Classified::Safe(SafeStage::Degree))
+                } else if s.eng.candidates_safe(g, &e) {
+                    DeleteStage::Maintain(Classified::Safe(SafeStage::Ads))
+                } else {
+                    DeleteStage::Found(s.enumerate(g, &e, false))
+                };
+                pres.push((pre, t.elapsed(), stage));
+            }
+            let t0 = Instant::now();
+            self.g.remove_edge(e.src, e.dst)?;
+            let apply = t0.elapsed();
+            let g = &self.g;
+            for (s, (pre, dt, stage)) in self.sessions.iter_mut().zip(pres) {
+                s.eng.note_apply(apply);
+                let t = Instant::now();
+                let (verdict, found) = match stage {
+                    DeleteStage::LabelSafe => (Classified::Safe(SafeStage::Label), None),
+                    DeleteStage::Maintain(v) => {
+                        s.eng.ads_update(g, e, false);
+                        (v, None)
+                    }
+                    DeleteStage::Found(f) => {
+                        s.eng.ads_update(g, e, false);
+                        (Classified::Unsafe, Some(f))
+                    }
+                };
+                s.eng.record_verdict(verdict, idx);
+                let f = found.unwrap_or_default();
+                s.finish(
+                    u,
+                    UpdateObservation {
+                        index: idx,
+                        verdict: Some(verdict),
+                        noop: false,
+                        latency: dt + t.elapsed(),
+                        positives: 0,
+                        negatives: f.count,
+                        skipped: f.skipped,
+                    },
+                    pre,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// One incident edge of a vertex-deletion cascade: per-session
+    /// classification and pre-removal enumeration, then a single removal
+    /// and per-session ADS maintenance. No per-edge verdicts or observer
+    /// callbacks — the enclosing vertex update reports once per session.
+    fn cascade_edge_delete(&mut self, e: EdgeUpdate, acc: &mut [VertexAcc]) -> CsmResult<()> {
+        let Some(label) = self.g.edge_label(e.src, e.dst) else {
+            return Ok(());
+        };
+        let e = EdgeUpdate::new(e.src, e.dst, label);
+        let g = &self.g;
+        let mut label_safe = Vec::with_capacity(self.sessions.len());
+        for (s, a) in self.sessions.iter_mut().zip(acc.iter_mut()) {
+            let t = Instant::now();
+            let is_label_safe = s.eng.label_safe(g, &e);
+            if !is_label_safe && !s.eng.degree_safe(g, &e, false) && !s.eng.candidates_safe(g, &e) {
+                let f = s.enumerate(g, &e, false);
+                a.negatives += f.count;
+                a.skipped |= f.skipped;
+            }
+            a.elapsed += t.elapsed();
+            label_safe.push(is_label_safe);
+        }
+        self.g.remove_edge(e.src, e.dst)?;
+        let g = &self.g;
+        for ((s, safe), a) in self.sessions.iter_mut().zip(label_safe).zip(acc.iter_mut()) {
+            if !safe {
+                let t = Instant::now();
+                s.eng.ads_update(g, e, false);
+                a.elapsed += t.elapsed();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The multi-session counterpart of [`RunReport`]: service-level admission
+/// and processing counters plus one per-session report.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// The configured backpressure policy.
+    pub policy: Backpressure,
+    /// The configured admission queue capacity.
+    pub queue_capacity: usize,
+    /// Updates admitted into the queue.
+    pub admitted: u64,
+    /// Updates processed through the sessions.
+    pub processed: u64,
+    /// Updates dropped by the `ShedOldest` policy.
+    pub shed: u64,
+    /// Updates refused by the `Reject` policy.
+    pub rejected: u64,
+    /// Structural no-ops among the processed updates.
+    pub noops: u64,
+    /// Invalid updates (dead endpoints / self-loops) among the processed.
+    pub invalid: u64,
+    /// Wall time since the service was constructed.
+    pub elapsed: Duration,
+    /// Final per-session reports (sessions live at shutdown), each tagged
+    /// with its [`paracosm_core::SessionDims`].
+    pub sessions: Vec<RunReport>,
+}
+
+impl ServiceReport {
+    /// Serialize as a self-contained JSON object (dependency-free writer,
+    /// same style as [`RunReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema_version\":1");
+        out.push_str(&format!(",\"policy\":\"{}\"", self.policy.name()));
+        out.push_str(&format!(",\"queue_capacity\":{}", self.queue_capacity));
+        out.push_str(&format!(",\"admitted\":{}", self.admitted));
+        out.push_str(&format!(",\"processed\":{}", self.processed));
+        out.push_str(&format!(",\"shed\":{}", self.shed));
+        out.push_str(&format!(",\"rejected\":{}", self.rejected));
+        out.push_str(&format!(",\"noops\":{}", self.noops));
+        out.push_str(&format!(",\"invalid\":{}", self.invalid));
+        out.push_str(&format!(",\"elapsed_ns\":{}", self.elapsed.as_nanos()));
+        out.push_str(",\"sessions\":[");
+        for (i, r) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}

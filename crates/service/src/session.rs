@@ -1,0 +1,285 @@
+//! Standing query sessions and the per-session degradation ladder.
+//!
+//! A session is one registered query: an [`Engine`] hosting a boxed
+//! algorithm, a per-session observer receiving that session's ΔM, an
+//! optional per-update time budget, and the [`DegradeLevel`] ladder that
+//! trades result fidelity for latency when the budget is repeatedly
+//! overrun.
+
+use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
+use paracosm_core::trace::Counter;
+use paracosm_core::{
+    CsmAlgorithm, CsmResult, Engine, ParaCosmConfig, RunReport, SessionDims, StageSnapshot,
+    StreamObserver, UpdateObservation,
+};
+use std::time::{Duration, Instant};
+
+/// Consecutive budget overruns before stepping one rung down the ladder.
+pub(crate) const ESCALATE_AFTER: u32 = 2;
+/// Consecutive on-budget enumerations before stepping one rung back up.
+pub(crate) const RECOVER_AFTER: u32 = 8;
+/// While `Skipped`, every this-many unsafe updates one count-only probe
+/// runs to test whether the session can afford enumeration again.
+pub(crate) const PROBE_EVERY: u32 = 16;
+
+/// How much enumeration work a session is currently doing per unsafe
+/// update. The ladder runs `Full → CountOnly → Skipped` under sustained
+/// budget overruns and recovers one rung at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Normal operation: full enumeration, matches materialized when the
+    /// session config asks for them.
+    Full,
+    /// ΔM is still counted exactly, but matches are never materialized.
+    CountOnly,
+    /// Enumeration is skipped entirely; the observer sees
+    /// `UpdateObservation::skipped == true` (ΔM *unknown*, not zero).
+    Skipped,
+}
+
+impl DegradeLevel {
+    fn down(self) -> DegradeLevel {
+        match self {
+            DegradeLevel::Full => DegradeLevel::CountOnly,
+            _ => DegradeLevel::Skipped,
+        }
+    }
+
+    fn up(self) -> DegradeLevel {
+        match self {
+            DegradeLevel::Skipped => DegradeLevel::CountOnly,
+            _ => DegradeLevel::Full,
+        }
+    }
+
+    /// Stable lowercase name (reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeLevel::Full => "full",
+            DegradeLevel::CountOnly => "count-only",
+            DegradeLevel::Skipped => "skipped",
+        }
+    }
+}
+
+/// Everything needed to register a standing query with
+/// [`crate::CsmService::add_session`].
+///
+/// ```
+/// use csm_service::SessionSpec;
+/// use paracosm_core::ParaCosmConfig;
+/// # use csm_graph::{QueryGraph, VLabel, ELabel};
+/// # let mut q = QueryGraph::new();
+/// # let a = q.add_vertex(VLabel(0));
+/// # let b = q.add_vertex(VLabel(0));
+/// # q.add_edge(a, b, ELabel(0)).unwrap();
+/// let spec = SessionSpec::new(q, ParaCosmConfig::sequential())
+///     .with_label("edge-watch")
+///     .with_budget(std::time::Duration::from_millis(5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// The standing query pattern.
+    pub query: QueryGraph,
+    /// Per-session engine configuration (threads, tracing, match
+    /// collection, ...). Validated at registration.
+    pub config: ParaCosmConfig,
+    /// Human-readable session label (reports; defaults to empty).
+    pub label: String,
+    /// Optional per-update `Find_Matches` budget driving the
+    /// [`DegradeLevel`] ladder. `None` never degrades.
+    pub budget: Option<Duration>,
+}
+
+impl SessionSpec {
+    /// A spec with no label and no budget.
+    pub fn new(query: QueryGraph, config: ParaCosmConfig) -> SessionSpec {
+        SessionSpec {
+            query,
+            config,
+            label: String::new(),
+            budget: None,
+        }
+    }
+
+    /// Attach a display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> SessionSpec {
+        self.label = label.into();
+        self
+    }
+
+    /// Attach a per-update enumeration budget.
+    pub fn with_budget(mut self, budget: Duration) -> SessionSpec {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Result of one budgeted per-session enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SessionFind {
+    /// Matches found (0 when skipped — and then it means *unknown*).
+    pub count: u64,
+    /// The enumeration was skipped by the degradation ladder.
+    pub skipped: bool,
+}
+
+/// One live standing query inside a [`crate::CsmService`].
+pub(crate) struct Session {
+    pub id: u64,
+    pub label: String,
+    pub eng: Engine<Box<dyn CsmAlgorithm>>,
+    observer: Box<dyn StreamObserver>,
+    budget: Option<Duration>,
+    level: DegradeLevel,
+    overrun_streak: u32,
+    ok_streak: u32,
+    since_probe: u32,
+    budget_overruns: u64,
+    degraded: u64,
+    skipped_updates: u64,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: u64,
+        spec: SessionSpec,
+        algo: Box<dyn CsmAlgorithm>,
+        observer: Box<dyn StreamObserver>,
+        g: &DataGraph,
+    ) -> CsmResult<Session> {
+        let eng = Engine::new(g, spec.query, algo, spec.config)?;
+        Ok(Session {
+            id,
+            label: spec.label,
+            eng,
+            observer,
+            budget: spec.budget,
+            level: DegradeLevel::Full,
+            overrun_streak: 0,
+            ok_streak: 0,
+            since_probe: 0,
+            budget_overruns: 0,
+            degraded: 0,
+            skipped_updates: 0,
+        })
+    }
+
+    /// Current rung of the degradation ladder.
+    pub(crate) fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Serving-layer dimensions for this session's reports.
+    pub(crate) fn dims(&self) -> SessionDims {
+        SessionDims {
+            session_id: self.id,
+            label: self.label.clone(),
+            budget_overruns: self.budget_overruns,
+            degraded: self.degraded,
+            skipped: self.skipped_updates,
+        }
+    }
+
+    /// The session's per-query [`RunReport`], tagged with its dimensions.
+    pub(crate) fn report(&self) -> RunReport {
+        self.eng.run_report(None, Some(self.dims()))
+    }
+
+    /// Budgeted `Find_Matches` for one unsafe update: enumerate at the
+    /// current [`DegradeLevel`], attribute ΔM to stats/telemetry
+    /// (`positive` selects appearing vs disappearing matches), and advance
+    /// the ladder from the observed enumeration time.
+    pub(crate) fn enumerate(
+        &mut self,
+        g: &DataGraph,
+        e: &EdgeUpdate,
+        positive: bool,
+    ) -> SessionFind {
+        let probing = if self.level == DegradeLevel::Skipped {
+            self.since_probe += 1;
+            if self.since_probe < PROBE_EVERY {
+                self.skipped_updates += 1;
+                return SessionFind {
+                    count: 0,
+                    skipped: true,
+                };
+            }
+            self.since_probe = 0;
+            true
+        } else {
+            false
+        };
+        let count_only = probing || self.level == DegradeLevel::CountOnly;
+        let collect = !count_only && self.eng.config().collect_matches;
+
+        let t0 = Instant::now();
+        let found = self.eng.find_matches(g, e, collect);
+        let dt = t0.elapsed();
+
+        if count_only {
+            self.degraded += 1;
+        }
+        if positive {
+            self.eng.stats.positives += found.count;
+            self.eng.tracer().count(0, Counter::MatchesPos, found.count);
+        } else {
+            self.eng.stats.negatives += found.count;
+            self.eng.tracer().count(0, Counter::MatchesNeg, found.count);
+        }
+        self.eng.stats.timed_out |= found.timed_out;
+
+        match self.budget {
+            Some(b) if dt > b => {
+                self.budget_overruns += 1;
+                self.ok_streak = 0;
+                self.overrun_streak += 1;
+                if self.overrun_streak >= ESCALATE_AFTER {
+                    self.overrun_streak = 0;
+                    self.level = self.level.down();
+                }
+            }
+            Some(_) => {
+                self.overrun_streak = 0;
+                self.ok_streak += 1;
+                // A successful probe recovers immediately (that is its
+                // point); otherwise recovery waits for a sustained streak.
+                if probing || self.ok_streak >= RECOVER_AFTER {
+                    self.ok_streak = 0;
+                    self.level = self.level.up();
+                }
+            }
+            None => {}
+        }
+        SessionFind {
+            count: found.count,
+            skipped: false,
+        }
+    }
+
+    /// Per-update epilogue: latency histogram (when configured), slow-K
+    /// capture, `UpdateDone` event, and this session's observer callback.
+    pub(crate) fn finish(&mut self, upd: Update, obs: UpdateObservation, pre: StageSnapshot) {
+        if self.eng.config().track_latency && obs.latency > Duration::ZERO {
+            self.eng.stats.latency.record(obs.latency);
+        }
+        self.eng
+            .finish_update(upd, obs, pre, self.observer.as_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_steps_are_bounded() {
+        use DegradeLevel::*;
+        assert_eq!(Full.down(), CountOnly);
+        assert_eq!(CountOnly.down(), Skipped);
+        assert_eq!(Skipped.down(), Skipped);
+        assert_eq!(Skipped.up(), CountOnly);
+        assert_eq!(CountOnly.up(), Full);
+        assert_eq!(Full.up(), Full);
+    }
+}

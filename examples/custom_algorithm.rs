@@ -12,9 +12,6 @@
 //!
 //! Run with: `cargo run --release --example custom_algorithm`
 
-use paracosm::core::kernel::{SearchCtx, SearchStats};
-use paracosm::core::{Embedding, MatchSink};
-use paracosm::datagen::{synth, SynthConfig};
 use paracosm::prelude::*;
 
 /// The custom ADS: `counts[v][label]` = number of v's neighbors per label.
@@ -176,7 +173,7 @@ fn main() {
     println!(
         "custom LabelCount: +{} matches   (classifier: {:.2}% safe)",
         custom_out.positives,
-        100.0 - custom.stats.classifier.unsafe_pct()
+        100.0 - custom.stats().classifier.unsafe_pct()
     );
     println!("built-in Symbi:    +{} matches", ref_out.positives);
     assert_eq!(

@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example fraud_detection`
 
-use paracosm::datagen::{synth, SynthConfig};
 use paracosm::prelude::*;
 use rand::prelude::*;
 
@@ -112,7 +111,7 @@ fn main() {
     }
     assert!(alerts > 0, "the staged mule ring must be detected");
 
-    let s = &engine.stats;
+    let s = engine.stats();
     println!(
         "\nprocessed {} transactions; {alerts} alerts; \
          ADS time {:.1?}, search time {:.1?}, {} search nodes",

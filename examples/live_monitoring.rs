@@ -5,8 +5,6 @@
 //!
 //! Run with: `cargo run --release --example live_monitoring`
 
-use paracosm::core::{Classified, LatencyHistogram, StreamObserver, TraceLevel, UpdateObservation};
-use paracosm::datagen::{synth, SynthConfig};
 use paracosm::prelude::*;
 use rand::prelude::*;
 use std::time::Instant;
@@ -123,9 +121,7 @@ fn main() {
     );
 
     let mut dash = Dashboard::new(500);
-    let out = engine
-        .process_stream_observed(&stream, &mut dash)
-        .expect("valid stream");
+    let out = engine.run_stream(&stream, &mut dash).expect("valid stream");
 
     println!(
         "\nstream done: +{} -{} in {:?} ({} updates)",
@@ -138,16 +134,16 @@ fn main() {
         dash.unsafe_seen,
         dash.noops
     );
-    println!("verdicts: {}", engine.stats.classifier.verdict_mix());
+    println!("verdicts: {}", engine.stats().classifier.verdict_mix());
 
     // Worker utilization: busy time per inner-executor worker against the
     // stream's wall clock (idle workers ⇒ the inner executor was rarely
     // engaged — most updates were classified safe).
-    for (w, busy) in engine.stats.thread_busy.iter().enumerate() {
+    for (w, busy) in engine.stats().thread_busy.iter().enumerate() {
         let pct = 100.0 * busy.as_secs_f64() / out.elapsed.as_secs_f64().max(1e-9);
         println!("worker {w}: busy {busy:?} ({pct:.1}% of wall)");
     }
-    for su in &engine.stats.slowest {
+    for su in &engine.stats().slowest {
         println!(
             "slowest #{}: {} latency={:?} nodes={}",
             su.index,

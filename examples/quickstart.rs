@@ -61,7 +61,7 @@ fn main() {
         .expect("valid update");
     println!("-e({alice},{bob}): {} matches disappeared", out.negatives);
 
-    let s = &engine.stats;
+    let s = engine.stats();
     println!(
         "\nstats: {} updates, {} positive / {} negative matches, {} search nodes",
         s.updates, s.positives, s.negatives, s.nodes

@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example social_stream`
 
-use paracosm::datagen::{self, DatasetKind, Scale, StreamConfig, WorkloadConfig};
 use paracosm::prelude::*;
 use std::time::Instant;
 
@@ -80,7 +79,7 @@ fn main() {
          inter-update speedup on the Orkut workload)"
     );
 
-    let c = para.stats.classifier;
+    let c = para.stats().classifier;
     println!(
         "\nclassifier: {} updates -> {:.2}% label-safe, {:.2}% degree-safe, \
          {:.2}% ADS-safe, {:.2}% unsafe",

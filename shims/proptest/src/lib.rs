@@ -3,7 +3,7 @@
 //! The build environment cannot reach a crates.io registry, so this
 //! crate vendors the slice of proptest the workspace's property tests
 //! use: the [`proptest!`] macro (with `proptest_config` header and
-//! multiple `pattern in strategy` bindings), [`Strategy`] with
+//! multiple `pattern in strategy` bindings), [`strategy::Strategy`] with
 //! `prop_map` / `prop_flat_map` / `prop_filter`, integer and float
 //! range strategies, tuple strategies, [`collection::vec`],
 //! [`prelude::Just`], `any::<T>()`, `prop_oneof!`, and the
@@ -293,7 +293,7 @@ pub mod collection {
     use rand::prelude::*;
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -32,6 +32,13 @@
 //! form to make budget authoring mechanical. With no `LINT.md` at the
 //! root, every budget is zero (which is what the seeded-violation gate
 //! test relies on).
+//!
+//! `--api-dump` switches to snapshot mode: a deterministic, lexical dump
+//! of the `pub` items under `crates/*/src` (same scrubber, test regions
+//! excluded, `pub(crate)`/`pub(super)` skipped) in the exact format of
+//! the committed `API.md`. The `api_snapshot_is_current` gate test fails
+//! CI whenever the tree's public surface drifts from that file, so
+//! surface changes are always a reviewed `API.md` diff.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -400,6 +407,84 @@ fn snippet(line: &str) -> String {
     }
 }
 
+/// Normalize one scrubbed code line into an API-snapshot entry, or
+/// `None` if it does not introduce a public item. Lexical on purpose:
+/// the first physical line of the item, cut before any body/initializer,
+/// whitespace-collapsed. Restricted visibility (`pub(crate)` etc.) is
+/// not public surface and is skipped.
+fn api_signature(line: &str) -> Option<String> {
+    const ITEM_STARTS: [&str; 12] = [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "use", "unsafe",
+        "async", "union",
+    ];
+    let t = line.trim();
+    let rest = t.strip_prefix("pub ")?;
+    let first = rest.split_whitespace().next()?;
+    if !ITEM_STARTS.contains(&first) {
+        return None;
+    }
+    let mut sig = t;
+    // `pub use` keeps its brace list (that IS the surface); everything
+    // else is cut before the body / initializer.
+    if first != "use" {
+        if let Some(i) = sig.find('{') {
+            sig = &sig[..i];
+        }
+        if !matches!(first, "fn" | "unsafe" | "async") {
+            if let Some(i) = sig.find('=') {
+                sig = &sig[..i];
+            }
+        }
+    }
+    let sig = sig.trim_end().trim_end_matches(';').trim_end();
+    Some(sig.split_whitespace().collect::<Vec<_>>().join(" "))
+}
+
+/// Render the public-API snapshot for `root` in `API.md` format.
+fn api_dump(root: &Path) -> Result<String, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!("{}: no crates/ directory here", root.display()));
+    }
+    let mut paths = Vec::new();
+    walk_rs(&crates_dir, &mut paths).map_err(|e| format!("walk failed: {e}"))?;
+    paths.sort();
+
+    let mut out = String::from(
+        "# Public API snapshot\n\n\
+         One line per `pub` item under `crates/*/src`, extracted lexically by\n\
+         `csm-lint --api-dump` (comments, strings and `#[cfg(test)]` regions\n\
+         scrubbed; `pub(crate)`/`pub(super)` excluded; multi-line signatures\n\
+         truncated to their first line). After a deliberate surface change,\n\
+         regenerate with:\n\n\
+         ```\n\
+         cargo run --bin csm-lint -- --api-dump > API.md\n\
+         ```\n\
+         \n\
+         The `api_snapshot_is_current` gate test (tests/lint_gate.rs) fails\n\
+         when this file drifts from the tree, so every surface change lands\n\
+         as a reviewed API.md diff.\n",
+    );
+    for path in &paths {
+        let file = scan_file(root, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !file.rel.contains("/src/") {
+            continue;
+        }
+        let items: Vec<String> = file
+            .code_lines()
+            .filter_map(|(_, l)| api_signature(l))
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n## {}\n\n", file.rel));
+        for item in items {
+            out.push_str(&format!("- `{item}`\n"));
+        }
+    }
+    Ok(out)
+}
+
 fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
@@ -609,17 +694,32 @@ fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut dump = false;
+    let mut api = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--dump" => dump = true,
+            "--api-dump" => api = true,
             "--help" | "-h" => {
-                println!("usage: csm-lint [ROOT] [--dump]");
+                println!("usage: csm-lint [ROOT] [--dump | --api-dump]");
                 println!("  checks project invariants over ROOT/crates/**/*.rs");
                 println!("  budgets and allowlists come from ROOT/LINT.md");
+                println!("  --api-dump prints the public-API snapshot (API.md format)");
                 return ExitCode::SUCCESS;
             }
             other => root = PathBuf::from(other),
         }
+    }
+    if api {
+        return match api_dump(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("csm-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     match run_lint(&root, dump) {
         Err(e) => {

@@ -16,11 +16,19 @@
 //!   --report-json PATH write a machine-readable run report (implies counters)
 //!   --slow-k N         capture the N slowest updates in the report
 //!   --quiet            suppress the end-of-run latency/verdict summary
+//!
+//! paracosm-cli serve --graph G.txt --stream S.txt --session Q.txt[:algo[:label]] ...
+//!
+//!   --session SPEC     standing query: path[:algo[:label]] (repeatable)
+//!   --threads N        worker threads per session              (default: 1)
+//!   --queue N          admission queue capacity                (default: 1024)
+//!   --policy P         block|shed-oldest|reject                (default: block)
+//!   --budget-ms N      per-update Find_Matches budget (degradation ladder)
+//!   --report-json PATH write the multi-session service report
+//!   --quiet            suppress the per-session summary
 //! ```
 
-use paracosm::algos::{AlgoKind, AnyAlgorithm};
-use paracosm::core::{ParaCosm, ParaCosmConfig, TraceLevel};
-use paracosm::graph::io;
+use paracosm::prelude::*;
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -28,7 +36,11 @@ fn usage() -> ! {
         "usage: paracosm-cli --graph G.txt --query Q.txt --stream S.txt \
          [--algo name] [--threads N] [--batch N] [--no-inter] \
          [--timeout-ms N] [--initial] [--per-update] [--trace off|counters|full] \
-         [--trace-out PATH] [--report-json PATH] [--slow-k N] [--quiet]"
+         [--trace-out PATH] [--report-json PATH] [--slow-k N] [--quiet]\n\
+         \x20      paracosm-cli serve --graph G.txt --stream S.txt \
+         --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
+         [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
+         [--report-json PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -41,7 +53,174 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
     eprintln!("{what} written to {path}");
 }
 
+/// One `--session` argument of the `serve` subcommand:
+/// `path[:algo[:label]]`.
+struct ServeSession {
+    query_path: String,
+    kind: AlgoKind,
+    label: String,
+}
+
+fn parse_session(spec: &str) -> Option<ServeSession> {
+    let mut parts = spec.splitn(3, ':');
+    let query_path = parts.next()?.to_string();
+    let kind = match parts.next() {
+        Some(name) => AlgoKind::parse(name)?,
+        None => AlgoKind::Symbi,
+    };
+    let label = parts
+        .next()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}@{query_path}", kind.name()));
+    Some(ServeSession {
+        query_path,
+        kind,
+        label,
+    })
+}
+
+fn serve_main(args: Vec<String>) {
+    let (mut graph, mut stream) = (None, None);
+    let mut sessions: Vec<ServeSession> = Vec::new();
+    let mut threads = 1usize;
+    let mut queue = 1024usize;
+    let mut policy = Backpressure::Block;
+    let mut budget = None;
+    let mut report_json: Option<String> = None;
+    let mut quiet = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--graph" => graph = Some(val()),
+            "--stream" => stream = Some(val()),
+            "--session" => {
+                sessions.push(parse_session(&val()).unwrap_or_else(|| usage()));
+            }
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" => queue = val().parse().unwrap_or_else(|_| usage()),
+            "--policy" => policy = Backpressure::parse(&val()).unwrap_or_else(|| usage()),
+            "--budget-ms" => {
+                budget = Some(Duration::from_millis(
+                    val().parse().unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--report-json" => report_json = Some(val()),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    let (Some(gp), Some(sp)) = (graph, stream) else {
+        usage()
+    };
+    if sessions.is_empty() {
+        eprintln!("serve: at least one --session is required");
+        usage();
+    }
+
+    let g = io::load_data_graph(&gp).unwrap_or_else(|e| {
+        eprintln!("failed to load graph {gp}: {e}");
+        std::process::exit(1);
+    });
+    let s = io::load_update_stream(&sp).unwrap_or_else(|e| {
+        eprintln!("failed to load stream {sp}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "paracosm-cli serve: |V|={} |E|={} stream={} sessions={} policy={} queue={queue}",
+        g.num_vertices(),
+        g.num_edges(),
+        s.len(),
+        sessions.len(),
+        policy.name(),
+    );
+
+    let mut svc = CsmService::new(
+        g,
+        ServiceConfig {
+            queue_capacity: queue,
+            policy,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
+    for sess in sessions {
+        let q = io::load_query_graph(&sess.query_path).unwrap_or_else(|e| {
+            eprintln!("failed to load query {}: {e}", sess.query_path);
+            std::process::exit(1);
+        });
+        let algo = Box::new(sess.kind.build(svc.graph(), &q));
+        let mut spec =
+            SessionSpec::new(q, ParaCosmConfig::parallel(threads)).with_label(sess.label.clone());
+        if let Some(b) = budget {
+            spec = spec.with_budget(b);
+        }
+        match svc.add_session(spec, algo, Box::new(NoopObserver)) {
+            Ok(id) => eprintln!("session {id}: {} ({})", sess.label, sess.kind.name()),
+            Err(e) => {
+                eprintln!("failed to register session {}: {e}", sess.label);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    for &u in s.updates() {
+        match svc.submit(u) {
+            Ok(()) => {}
+            // Reject policy: the queue counts the refusal; keep serving.
+            Err(CsmError::Backpressure { .. }) => {}
+            Err(e) => {
+                eprintln!("submit failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let report = svc.shutdown().unwrap_or_else(|e| {
+        eprintln!("shutdown failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "admitted={} processed={} shed={} rejected={} noops={} invalid={} elapsed={:?}",
+        report.admitted,
+        report.processed,
+        report.shed,
+        report.rejected,
+        report.noops,
+        report.invalid,
+        report.elapsed
+    );
+    if !quiet {
+        for r in &report.sessions {
+            let dims = r.session.as_ref().expect("service reports are tagged");
+            println!(
+                "session {} [{}] algo={}: +{} -{} updates={} overruns={} degraded={} skipped={}",
+                dims.session_id,
+                dims.label,
+                r.algo,
+                r.stats.positives,
+                r.stats.negatives,
+                r.stats.updates,
+                dims.budget_overruns,
+                dims.degraded,
+                dims.skipped
+            );
+        }
+    }
+    if let Some(path) = &report_json {
+        write_or_die(path, &report.to_json(), "service report");
+    }
+}
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        return serve_main(args);
+    }
     let (mut graph, mut query, mut stream) = (None, None, None);
     let mut kind = AlgoKind::Symbi;
     let mut threads = std::thread::available_parallelism()
@@ -58,7 +237,7 @@ fn main() {
     let mut slow_k = 0usize;
     let mut quiet = false;
 
-    let mut it = std::env::args().skip(1);
+    let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -170,7 +349,7 @@ fn main() {
     }
 
     if !quiet {
-        let st = &engine.stats;
+        let st = engine.stats();
         eprintln!(
             "stats: ads={:?} find={:?} apply={:?} nodes={}",
             st.ads_time, st.find_time, st.apply_time, st.nodes,

@@ -48,7 +48,7 @@ fn label_safe_updates_skip_everything() {
     let mut e = engine(&g, &q, AlgoKind::Symbi, 64);
     let out = e.process_stream(&stream).unwrap();
     assert_eq!(out.positives, 0);
-    let c = e.stats.classifier;
+    let c = e.stats().classifier;
     assert_eq!(c.total, 8);
     assert_eq!(c.safe_label, 8);
     assert_eq!(c.unsafe_count, 0);
@@ -71,7 +71,7 @@ fn match_creating_update_is_unsafe_and_counted() {
     let out = e.process_stream(&stream).unwrap();
     // Path has a reversal automorphism → 2 mappings.
     assert_eq!(out.positives, 2);
-    assert!(e.stats.classifier.unsafe_count >= 1);
+    assert!(e.stats().classifier.unsafe_count >= 1);
 }
 
 #[test]

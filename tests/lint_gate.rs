@@ -1,6 +1,8 @@
 //! Gate tests for the project invariant linter (`csm-lint`): the real
-//! tree must pass, and a seeded violation must fail with a `file:line`
-//! diagnostic and a nonzero exit code.
+//! tree must pass, a seeded violation must fail with a `file:line`
+//! diagnostic and a nonzero exit code, and the committed public-API
+//! snapshot (`API.md`) must match what `--api-dump` extracts from the
+//! tree.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -93,6 +95,52 @@ fn linter_scrubs_comments_and_checks_forbid_unsafe() {
     );
 
     std::fs::remove_dir_all(&root).ok();
+}
+
+/// The public surface under `crates/*/src` must match the committed
+/// `API.md` snapshot exactly: any `pub` item added, removed or re-signed
+/// without regenerating the snapshot is surface drift and fails here.
+#[test]
+fn api_snapshot_is_current() {
+    let out = Command::new(lint_bin())
+        .arg("--api-dump")
+        .arg(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run csm-lint --api-dump");
+    assert!(
+        out.status.success(),
+        "csm-lint --api-dump failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let current = String::from_utf8(out.stdout).expect("utf-8 dump");
+    let committed =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("API.md"))
+            .expect("read committed API.md");
+    if current != committed {
+        let diff: Vec<String> = {
+            let cur: Vec<&str> = current.lines().collect();
+            let com: Vec<&str> = committed.lines().collect();
+            let mut d = Vec::new();
+            for line in &cur {
+                if !com.contains(line) {
+                    d.push(format!("+ {line}"));
+                }
+            }
+            for line in &com {
+                if !cur.contains(line) {
+                    d.push(format!("- {line}"));
+                }
+            }
+            d
+        };
+        panic!(
+            "public API drifted from the committed API.md snapshot.\n\
+             If the change is deliberate, regenerate with:\n\
+             \n    cargo run --bin csm-lint -- --api-dump > API.md\n\n\
+             line-level drift:\n{}",
+            diff.join("\n")
+        );
+    }
 }
 
 fn scratch_dir(tag: &str) -> PathBuf {

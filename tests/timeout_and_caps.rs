@@ -42,12 +42,19 @@ fn explosive() -> (DataGraph, QueryGraph, UpdateStream) {
 }
 
 #[test]
-fn zero_time_limit_times_out_sequential_and_parallel() {
+fn tiny_time_limit_times_out_sequential_and_parallel() {
+    // A zero limit is rejected at construction since the config taxonomy
+    // landed ([`ParaCosmConfig::validate`]); 1 ns is the smallest budget
+    // that validates, and it still expires before any enumeration work.
+    assert!(ParaCosmConfig::sequential()
+        .with_time_limit(Duration::ZERO)
+        .validate()
+        .is_err());
     let (g, q, stream) = explosive();
     for cfg in [
-        ParaCosmConfig::sequential().with_time_limit(Duration::ZERO),
-        ParaCosmConfig::parallel(4).with_time_limit(Duration::ZERO),
-        ParaCosmConfig::simulated(8).with_time_limit(Duration::ZERO),
+        ParaCosmConfig::sequential().with_time_limit(Duration::from_nanos(1)),
+        ParaCosmConfig::parallel(4).with_time_limit(Duration::from_nanos(1)),
+        ParaCosmConfig::simulated(8).with_time_limit(Duration::from_nanos(1)),
     ] {
         let algo = AlgoKind::GraphFlow.build(&g, &q);
         let mut e: ParaCosm<AnyAlgorithm> = ParaCosm::new(g.clone(), q.clone(), algo, cfg);

@@ -48,10 +48,9 @@ fn dense_setup() -> (DataGraph, UpdateStream) {
 fn two_thread_inner_only() -> ParaCosmConfig {
     // Inner-update executor only: the per-update stream path exercises the
     // worker shards without the batch executor's bulk phases.
-    ParaCosmConfig {
-        inter_update: false,
-        ..ParaCosmConfig::parallel(2)
-    }
+    let mut cfg = ParaCosmConfig::parallel(2);
+    cfg.inter_update = false;
+    cfg
 }
 
 #[test]
@@ -109,12 +108,15 @@ fn two_thread_event_log_is_well_formed() {
     assert_eq!(splits, snap.total(Counter::TasksSplit));
 
     // Registry totals agree with the engine's ordinary RunStats accounting.
-    assert_eq!(snap.total(Counter::TasksCompleted), e.stats.tasks_executed);
-    assert_eq!(snap.total(Counter::TasksSplit), e.stats.tasks_split);
-    assert_eq!(snap.total(Counter::Nodes), e.stats.nodes);
-    assert_eq!(snap.total(Counter::Updates), e.stats.updates);
-    assert_eq!(snap.total(Counter::MatchesPos), e.stats.positives);
-    assert_eq!(snap.total(Counter::MatchesNeg), e.stats.negatives);
+    assert_eq!(
+        snap.total(Counter::TasksCompleted),
+        e.stats().tasks_executed
+    );
+    assert_eq!(snap.total(Counter::TasksSplit), e.stats().tasks_split);
+    assert_eq!(snap.total(Counter::Nodes), e.stats().nodes);
+    assert_eq!(snap.total(Counter::Updates), e.stats().updates);
+    assert_eq!(snap.total(Counter::MatchesPos), e.stats().positives);
+    assert_eq!(snap.total(Counter::MatchesNeg), e.stats().negatives);
     assert_eq!(snap.total(Counter::DeadlineFires), 0);
 }
 
@@ -136,10 +138,11 @@ fn batched_run_keeps_classifier_consistent() {
     let mut e = ParaCosm::new(g, q, algo, cfg);
     e.process_stream(&stream).unwrap();
 
-    let c = &e.stats.classifier;
+    let c = &e.stats().classifier;
     assert!(c.is_consistent(), "stage counts must add up: {c:?}");
     assert_eq!(
-        c.total, e.stats.updates,
+        c.total,
+        e.stats().updates,
         "every update gets exactly one verdict in a batched run"
     );
     assert!(c.noops >= 4, "duplicated prefix must surface as no-ops");
@@ -154,7 +157,7 @@ fn batched_run_keeps_classifier_consistent() {
         c.total,
         "registry mirrors ClassifierStats"
     );
-    assert_eq!(snap.total(Counter::Updates), e.stats.updates);
+    assert_eq!(snap.total(Counter::Updates), e.stats().updates);
 }
 
 #[test]
@@ -193,9 +196,9 @@ fn exporters_emit_loadable_output() {
         assert!(report.contains(key), "report missing {key}");
     }
     assert_eq!(report.matches('{').count(), report.matches('}').count());
-    assert!(!e.stats.slowest.is_empty(), "slow-K capture must engage");
+    assert!(!e.stats().slowest.is_empty(), "slow-K capture must engage");
     assert!(
-        e.stats
+        e.stats()
             .slowest
             .windows(2)
             .all(|w| w[0].latency >= w[1].latency),
