@@ -1,6 +1,7 @@
 //! Runtime configuration of the ParaCOSM framework.
 
 use crate::error::{CsmError, CsmResult};
+use crate::trace::window::WindowConfig;
 use crate::trace::TraceLevel;
 use std::time::Duration;
 
@@ -78,6 +79,11 @@ pub struct ParaCosmConfig {
     /// parallel makespan. Used for thread-scaling experiments on hosts with
     /// fewer cores than the paper's testbed (see DESIGN.md substitutions).
     pub sim_threads: Option<usize>,
+    /// Rolling-window telemetry (see [`crate::trace::window`]): when
+    /// `Some`, the engine feeds every update observation into a
+    /// [`crate::WindowRing`] for live scraping. `None` (the default) costs
+    /// a single branch per update, like [`TraceLevel::Off`].
+    pub window: Option<WindowConfig>,
 }
 
 impl Default for ParaCosmConfig {
@@ -96,6 +102,7 @@ impl Default for ParaCosmConfig {
             trace: TraceLevel::Off,
             slow_k: 0,
             sim_threads: None,
+            window: None,
         }
     }
 }
@@ -143,6 +150,12 @@ impl ParaCosmConfig {
     /// Builder-style setter for the slowest-updates capture depth.
     pub fn with_slow_k(mut self, k: usize) -> Self {
         self.slow_k = k;
+        self
+    }
+
+    /// Builder-style setter for rolling-window telemetry.
+    pub fn windowed(mut self, w: WindowConfig) -> Self {
+        self.window = Some(w);
         self
     }
 
@@ -215,6 +228,14 @@ impl ParaCosmConfig {
         }
         if self.seed_task_factor == 0 {
             return invalid("seed_task_factor", "must be >= 1 (BFS init needs a target)");
+        }
+        if let Some(w) = self.window {
+            if w.epoch_width == Duration::ZERO {
+                return invalid("window", "epoch_width must be non-zero");
+            }
+            if w.num_epochs == 0 {
+                return invalid("window", "num_epochs must be >= 1");
+            }
         }
         Ok(())
     }

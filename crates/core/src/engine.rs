@@ -30,11 +30,13 @@ use crate::kernel::{SearchCtx, SearchStats};
 use crate::metrics::LatencyHistogram;
 use crate::order::MatchingOrders;
 use crate::static_match::{self, StaticResult};
+use crate::trace::window::{WindowConfig, WindowRing};
 use crate::trace::{
     self, Counter, EventKind, Gauge, RunReport, SessionDims, StreamObserver, Tracer,
     UpdateObservation,
 };
 use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cumulative run statistics (feeds paper Tables 3/4 and Figs. 10/12).
@@ -216,6 +218,10 @@ pub struct Engine<A: CsmAlgorithm> {
     deadline: Option<Instant>,
     /// Telemetry handle (inert unless `ParaCosmConfig::tracing` is set).
     tracer: Tracer,
+    /// Rolling-window telemetry ring (inert — one branch per update —
+    /// unless `ParaCosmConfig::window` is set or
+    /// [`Engine::enable_window`] installed one).
+    window: Option<Arc<WindowRing>>,
     /// Cumulative statistics; reset with [`Engine::reset_stats`].
     pub stats: RunStats,
 }
@@ -242,6 +248,7 @@ impl<A: CsmAlgorithm> Engine<A> {
         let orders = MatchingOrders::build(&q);
         let tracer = Tracer::new(cfg.trace, cfg.num_threads);
         tracer.gauge(Gauge::BatchSize, cfg.batch_size as u64);
+        let window = cfg.window.map(|w| Arc::new(WindowRing::new(w)));
         Ok(Engine {
             q,
             algo,
@@ -249,6 +256,7 @@ impl<A: CsmAlgorithm> Engine<A> {
             cfg,
             deadline: None,
             tracer,
+            window,
             stats: RunStats::default(),
         })
     }
@@ -273,6 +281,27 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// [`Tracer::prometheus_text`].
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The rolling-window telemetry ring, when one is configured
+    /// ([`ParaCosmConfig::windowed`] or [`Engine::enable_window`]).
+    pub fn window(&self) -> Option<&Arc<WindowRing>> {
+        self.window.as_ref()
+    }
+
+    /// Install a rolling-window ring if none is configured yet and return
+    /// a shared handle to it. Used by the serving layer's telemetry plane
+    /// to windowize sessions that didn't opt in per-config; idempotent —
+    /// an existing ring (and its history) is kept.
+    pub fn enable_window(&mut self, cfg: WindowConfig) -> Arc<WindowRing> {
+        match &self.window {
+            Some(w) => Arc::clone(w),
+            None => {
+                let w = Arc::new(WindowRing::new(cfg));
+                self.window = Some(Arc::clone(&w));
+                w
+            }
+        }
     }
 
     /// Clear cumulative statistics.
@@ -588,6 +617,9 @@ impl<A: CsmAlgorithm> Engine<A> {
             obs.index,
             obs.positives + obs.negatives,
         );
+        if let Some(w) = &self.window {
+            w.record(&obs);
+        }
         observer.on_update(&obs);
     }
 }

@@ -38,7 +38,8 @@ use std::fmt;
 /// cfg.num_threads = 0; // invalid: caught at engine build time
 /// match ParaCosm::try_new(DataGraph::new(), q, Plain, cfg) {
 ///     Err(CsmError::ConfigInvalid { field, .. }) => assert_eq!(field, "num_threads"),
-///     other => panic!("expected ConfigInvalid, got {other:?}"),
+///     Err(other) => panic!("expected ConfigInvalid, got {other:?}"),
+///     Ok(_) => panic!("expected ConfigInvalid, got Ok"),
 /// }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]

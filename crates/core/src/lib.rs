@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, deny(deprecated))]
 
 pub mod algorithm;
 pub mod canonical;
@@ -89,6 +90,10 @@ pub use match_store::{MatchStore, StoreError};
 pub use metrics::LatencyHistogram;
 pub use order::{MatchingOrders, SeedOrder};
 pub use static_match::StaticResult;
+pub use trace::window::{
+    SharedWindow, WindowConfig, WindowCounter, WindowRing, WindowSnapshot, NUM_WINDOW_COUNTERS,
+    WINDOW_COUNTER_NAMES,
+};
 pub use trace::{
     Counter, EventKind, EventRing, Gauge, LocalTrace, MetricsRegistry, MetricsSnapshot,
     NoopObserver, RunReport, SessionDims, StreamObserver, TraceEvent, TraceLevel, Tracer,

@@ -9,9 +9,13 @@
 use std::time::Duration;
 
 /// Number of log₂ major buckets (covers 1 ns .. ~512 s).
-const MAJORS: usize = 40;
+pub(crate) const MAJORS: usize = 40;
 /// Linear sub-buckets per major (4 % resolution).
-const MINORS: usize = 16;
+pub(crate) const MINORS: usize = 16;
+/// While `count <= EXACT_CAP` the histogram also keeps the raw samples and
+/// answers quantiles exactly — a tail quantile over a handful of samples is
+/// dominated by bucket error otherwise (p999 of 30 samples *is* the max).
+pub(crate) const EXACT_CAP: usize = 64;
 
 /// A log-bucketed latency histogram.
 ///
@@ -32,6 +36,11 @@ pub struct LatencyHistogram {
     count: u64,
     max: Duration,
     sum: Duration,
+    /// Raw samples (nanoseconds) while `count <= EXACT_CAP`; once the count
+    /// outgrows the cap the vector stops tracking and quantiles fall back
+    /// to the bucketed path. Validity invariant: exact iff
+    /// `exact.len() == count`.
+    exact: Vec<u64>,
 }
 
 impl Default for LatencyHistogram {
@@ -41,6 +50,7 @@ impl Default for LatencyHistogram {
             count: 0,
             max: Duration::ZERO,
             sum: Duration::ZERO,
+            exact: Vec::new(),
         }
     }
 }
@@ -57,7 +67,7 @@ impl std::fmt::Debug for LatencyHistogram {
 }
 
 #[inline]
-fn bucket_of(nanos: u64) -> usize {
+pub(crate) fn bucket_of(nanos: u64) -> usize {
     if nanos < MINORS as u64 {
         return nanos as usize;
     }
@@ -69,7 +79,7 @@ fn bucket_of(nanos: u64) -> usize {
 }
 
 /// Representative (upper-bound) value of a bucket, inverse of [`bucket_of`].
-fn bucket_value(idx: usize) -> u64 {
+pub(crate) fn bucket_value(idx: usize) -> u64 {
     if idx < MINORS {
         return idx as u64;
     }
@@ -90,6 +100,9 @@ impl LatencyHistogram {
     pub fn record(&mut self, d: Duration) {
         let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
         self.buckets[bucket_of(nanos)] += 1;
+        if self.exact.len() as u64 == self.count && self.count < EXACT_CAP as u64 {
+            self.exact.push(nanos);
+        }
         self.count += 1;
         self.sum += d;
         if d > self.max {
@@ -118,7 +131,9 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `p`-th percentile (0–100), within bucket resolution.
+    /// The `p`-th percentile (0–100). Exact (nearest-rank over the raw
+    /// samples) while `count` is small enough that the raw samples are
+    /// still held; within bucket resolution (~4 %) beyond that.
     pub fn percentile(&self, p: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
@@ -126,6 +141,11 @@ impl LatencyHistogram {
         let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64)
             .ceil()
             .max(1.0) as u64;
+        if self.exact.len() as u64 == self.count {
+            let mut sorted = self.exact.clone();
+            sorted.sort_unstable();
+            return Duration::from_nanos(sorted[rank as usize - 1]);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -134,6 +154,12 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+
+    /// The 99.9th percentile — the paper's tail-latency lens on CSM
+    /// serving. Shorthand for `percentile(99.9)`.
+    pub fn p999(&self) -> Duration {
+        self.percentile(99.9)
     }
 
     /// Occupied buckets as `(upper_bound_ns, count)` pairs, ascending —
@@ -146,10 +172,20 @@ impl LatencyHistogram {
             .map(|(i, &c)| (bucket_value(i), c))
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. The merged histogram stays
+    /// on the exact-quantile path only when both sides are exact and the
+    /// combined count still fits the cap.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
+        }
+        let both_exact = self.exact.len() as u64 == self.count
+            && other.exact.len() as u64 == other.count
+            && self.count + other.count <= EXACT_CAP as u64;
+        if both_exact {
+            self.exact.extend_from_slice(&other.exact);
+        } else {
+            self.exact.clear();
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -158,15 +194,35 @@ impl LatencyHistogram {
         }
     }
 
+    /// Fold `n` pre-bucketed samples into bucket `idx` (scrape-side merge
+    /// of the rolling-window ring in [`crate::trace::window`]). Sum and max
+    /// are reconstructed from the bucket's representative value, so they
+    /// inherit the bucket error.
+    pub(crate) fn add_bucketed(&mut self, idx: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = idx.min(MAJORS * MINORS - 1);
+        self.buckets[idx] += n;
+        self.exact.clear();
+        self.count += n;
+        let rep = bucket_value(idx);
+        self.sum += Duration::from_nanos(rep.saturating_mul(n));
+        if Duration::from_nanos(rep) > self.max {
+            self.max = Duration::from_nanos(rep);
+        }
+    }
+
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
         format!(
-            "n={} mean={:?} p50={:?} p90={:?} p99={:?} max={:?}",
+            "n={} mean={:?} p50={:?} p90={:?} p99={:?} p999={:?} max={:?}",
             self.count,
             self.mean(),
             self.percentile(50.0),
             self.percentile(90.0),
             self.percentile(99.0),
+            self.p999(),
             self.max
         )
     }
@@ -251,6 +307,87 @@ mod tests {
         assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
         assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
         assert_eq!(buckets.len(), 3);
+    }
+
+    /// Sort-based nearest-rank reference: what `percentile` must return on
+    /// the exact path and approximate within bucket error on the bucketed
+    /// path.
+    fn reference_percentile(samples: &[u64], p: f64) -> u64 {
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * s.len() as f64)
+            .ceil()
+            .max(1.0) as usize;
+        s[rank - 1]
+    }
+
+    #[test]
+    fn small_counts_match_sorted_reference_exactly() {
+        // Irregular sample values well below EXACT_CAP: every quantile,
+        // including p999, must be nearest-rank exact, not bucket-rounded.
+        let samples: Vec<u64> = (0..40u64)
+            .map(|i| (i * i * 7919 + 13) % 1_000_000 + 1)
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                h.percentile(p).as_nanos() as u64,
+                reference_percentile(&samples, p),
+                "p={p}"
+            );
+        }
+        assert_eq!(h.p999(), h.percentile(99.9));
+        assert_eq!(h.p999(), h.max(), "p999 of 40 samples is the max");
+    }
+
+    #[test]
+    fn large_counts_stay_within_bucket_error_of_reference() {
+        let samples: Vec<u64> = (1..=5000u64).map(|i| i * 997 % 2_000_000 + 1).collect();
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let want = reference_percentile(&samples, p) as f64;
+            let got = h.percentile(p).as_nanos() as f64;
+            // Buckets keep 4 significant bits: ~7 % relative width.
+            assert!(
+                (got - want).abs() <= want * 0.08 + 1.0,
+                "p={p}: got {got}, reference {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_keeps_exact_path_only_under_cap() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = Vec::new();
+        for i in 0..20u64 {
+            let (x, y) = (i * 131 + 7, i * 977 + 3);
+            a.record(Duration::from_nanos(x));
+            b.record(Duration::from_nanos(y));
+            all.extend([x, y]);
+        }
+        a.merge(&b);
+        // 40 samples <= EXACT_CAP: still exact after the merge.
+        assert_eq!(
+            a.percentile(99.9).as_nanos() as u64,
+            reference_percentile(&all, 99.9)
+        );
+
+        // Push one side past the cap: merge must fall back to buckets
+        // (no panic, counts conserved) rather than report stale exacts.
+        let mut big = LatencyHistogram::new();
+        for i in 0..(EXACT_CAP as u64 + 10) {
+            big.record(Duration::from_nanos(i + 1));
+        }
+        a.merge(&big);
+        assert_eq!(a.count(), 40 + EXACT_CAP as u64 + 10);
+        assert!(a.percentile(50.0) > Duration::ZERO);
     }
 
     #[test]

@@ -36,6 +36,8 @@ use csm_check::sync::{Mutex, PoisonError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod window;
+
 /// How much telemetry the engine records.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TraceLevel {

@@ -1,0 +1,528 @@
+//! Rolling-window telemetry aggregation for live scraping.
+//!
+//! End-of-run artifacts (`RunReport`, `ServiceReport`) only exist after
+//! shutdown; a long-lived serving process needs *windowed* quantiles and
+//! rates while it runs. This module provides [`WindowRing`]: a fixed ring
+//! of N epoch buckets (configurable width), each holding a log-bucketed
+//! latency histogram, ΔM/verdict counters, and queue-depth gauges.
+//!
+//! The design mirrors the sharded [`MetricsRegistry`](crate::MetricsRegistry):
+//!
+//! * **hot path never locks** — the single writer (the engine's
+//!   orchestrator thread) bumps relaxed atomics in the bucket addressed by
+//!   the current epoch; rotating a bucket to a new epoch is a
+//!   store-Release of its epoch tag after the counters are zeroed;
+//! * **scrape side merges** — readers (the telemetry HTTP thread) walk
+//!   all buckets, keep those whose tag falls inside the live window, and
+//!   re-validate the tag after reading so a bucket recycled mid-read is
+//!   (best-effort) dropped; residual tearing is bounded to one epoch of a
+//!   single snapshot and never reaches the lifetime totals;
+//! * **Off is one branch** — an engine without a configured window holds
+//!   `None` and pays a single branch per update, exactly like
+//!   `TraceLevel::Off`.
+//!
+//! Tag protocol: a bucket's `epoch` atomic holds `absolute_epoch + 1`
+//! (`0` = never used). The writer invalidates (`0`), zeroes, then
+//! publishes the new tag; the reader's double-check of the tag brackets
+//! its reads. The counters themselves are relaxed: the Release/Acquire
+//! edge on the tag is only used to *discard* torn buckets, never to order
+//! counter values, so a stale read costs at most one epoch of telemetry.
+
+use crate::inter::{Classified, SafeStage};
+use crate::metrics::{bucket_of, bucket_value, LatencyHistogram, MAJORS, MINORS};
+use crate::trace::UpdateObservation;
+use csm_check::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency buckets per epoch (same resolution as [`LatencyHistogram`]).
+const LAT_BUCKETS: usize = MAJORS * MINORS;
+
+/// Shape of a [`WindowRing`]: how wide each epoch bucket is and how many
+/// the ring holds. The covered window is `epoch_width × num_epochs`.
+///
+/// ```
+/// use paracosm_core::WindowConfig;
+/// use std::time::Duration;
+/// let cfg = WindowConfig::default();
+/// assert_eq!(cfg.epoch_width, Duration::from_secs(1));
+/// assert_eq!(cfg.num_epochs, 60);
+/// assert_eq!(cfg.span(), Duration::from_secs(60));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one epoch bucket (clamped to ≥ 1 ms at ring construction).
+    pub epoch_width: Duration,
+    /// Number of epoch buckets in the ring (clamped to ≥ 2).
+    pub num_epochs: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig {
+            epoch_width: Duration::from_secs(1),
+            num_epochs: 60,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// The total window the ring covers once warm.
+    pub fn span(&self) -> Duration {
+        self.epoch_width * self.num_epochs as u32
+    }
+}
+
+/// Per-window counter slots (fixed, index-stable — exporters rely on the
+/// order matching [`WINDOW_COUNTER_NAMES`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum WindowCounter {
+    /// Observations delivered (one per stream update per session).
+    Updates,
+    /// Positive matches (ΔM appearing side).
+    Positives,
+    /// Negative matches (ΔM disappearing side).
+    Negatives,
+    /// Structural no-ops.
+    Noops,
+    /// Updates skipped by the degradation ladder (ΔM unknown).
+    Skipped,
+    /// Stage-1 label-safe verdicts.
+    VerdictLabelSafe,
+    /// Stage-2 degree-safe verdicts.
+    VerdictDegreeSafe,
+    /// Stage-3 ADS-safe verdicts.
+    VerdictAdsSafe,
+    /// Unsafe verdicts (full enumeration ran).
+    VerdictUnsafe,
+}
+
+/// Number of [`WindowCounter`] slots.
+pub const NUM_WINDOW_COUNTERS: usize = 9;
+
+/// Stable exporter names, indexed by `WindowCounter as usize`.
+pub const WINDOW_COUNTER_NAMES: [&str; NUM_WINDOW_COUNTERS] = [
+    "updates",
+    "delta_pos",
+    "delta_neg",
+    "noops",
+    "skipped",
+    "verdict_label_safe",
+    "verdict_degree_safe",
+    "verdict_ads_safe",
+    "verdict_unsafe",
+];
+
+/// The window counter a classifier verdict increments.
+fn verdict_slot(c: Classified) -> WindowCounter {
+    match c {
+        Classified::Safe(SafeStage::Label) => WindowCounter::VerdictLabelSafe,
+        Classified::Safe(SafeStage::Degree) => WindowCounter::VerdictDegreeSafe,
+        Classified::Safe(SafeStage::Ads) => WindowCounter::VerdictAdsSafe,
+        Classified::Unsafe => WindowCounter::VerdictUnsafe,
+    }
+}
+
+#[inline]
+fn ld(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn st(a: &AtomicU64, v: u64) {
+    a.store(v, Ordering::Relaxed)
+}
+
+#[inline]
+fn add(a: &AtomicU64, v: u64) {
+    a.fetch_add(v, Ordering::Relaxed);
+}
+
+/// One epoch's worth of telemetry. Cache-line padded like the registry's
+/// shards so the writer's bucket never false-shares with a reader walking
+/// its neighbours.
+#[repr(align(128))]
+struct EpochBucket {
+    /// `absolute_epoch + 1`; `0` = unused or mid-rotation.
+    epoch: AtomicU64,
+    counters: [AtomicU64; NUM_WINDOW_COUNTERS],
+    lat: Box<[AtomicU64]>,
+    depth_sum: AtomicU64,
+    depth_max: AtomicU64,
+    depth_samples: AtomicU64,
+}
+
+impl EpochBucket {
+    fn new() -> EpochBucket {
+        EpochBucket {
+            epoch: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            lat: (0..LAT_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            depth_sum: AtomicU64::new(0),
+            depth_max: AtomicU64::new(0),
+            depth_samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Zero every counter (writer-side, before republishing the tag).
+    fn reset(&self) {
+        for c in &self.counters {
+            st(c, 0);
+        }
+        for c in self.lat.iter() {
+            st(c, 0);
+        }
+        st(&self.depth_sum, 0);
+        st(&self.depth_max, 0);
+        st(&self.depth_samples, 0);
+    }
+}
+
+/// Lifetime totals (never rotate out): the exact counters `/metrics`
+/// `_total` series report and the shutdown `ServiceReport` reconciles
+/// against.
+struct Totals {
+    counters: [AtomicU64; NUM_WINDOW_COUNTERS],
+}
+
+/// A rolling ring of epoch buckets. Single writer (the thread driving the
+/// engine), any number of scrape-side readers.
+pub struct WindowRing {
+    cfg: WindowConfig,
+    width_ns: u64,
+    start: Instant,
+    epochs: Vec<EpochBucket>,
+    totals: Totals,
+}
+
+impl WindowRing {
+    /// Build a ring; `epoch_width` is clamped to ≥ 1 ms and `num_epochs`
+    /// to ≥ 2 (a one-bucket ring would be recycled under the reader
+    /// constantly).
+    pub fn new(cfg: WindowConfig) -> WindowRing {
+        let cfg = WindowConfig {
+            epoch_width: cfg.epoch_width.max(Duration::from_millis(1)),
+            num_epochs: cfg.num_epochs.max(2),
+        };
+        WindowRing {
+            cfg,
+            width_ns: cfg.epoch_width.as_nanos().min(u64::MAX as u128) as u64,
+            start: Instant::now(),
+            epochs: (0..cfg.num_epochs).map(|_| EpochBucket::new()).collect(),
+            totals: Totals {
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            },
+        }
+    }
+
+    /// The (sanitized) configuration the ring was built with.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Absolute epoch index of `now`.
+    fn epoch_now(&self) -> u64 {
+        (self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64) / self.width_ns
+    }
+
+    /// The bucket for the current epoch, rotated into place if the ring
+    /// has moved on since it was last written. Writer-side only.
+    fn bucket_now(&self) -> &EpochBucket {
+        let e = self.epoch_now();
+        let b = &self.epochs[(e % self.epochs.len() as u64) as usize];
+        let tag = e + 1;
+        if b.epoch.load(Ordering::Acquire) != tag {
+            // Invalidate, zero, republish: readers between the two tag
+            // stores see 0 and skip the bucket.
+            b.epoch.store(0, Ordering::Release);
+            b.reset();
+            b.epoch.store(tag, Ordering::Release);
+        }
+        b
+    }
+
+    /// Bump one counter in the current epoch and the lifetime totals.
+    #[inline]
+    pub fn count(&self, c: WindowCounter, n: u64) {
+        if n == 0 {
+            return;
+        }
+        add(&self.bucket_now().counters[c as usize], n);
+        add(&self.totals.counters[c as usize], n);
+    }
+
+    /// Record one per-update observation: counters, verdict mix, and (for
+    /// non-zero latencies, matching `RunStats::latency` conventions) the
+    /// windowed latency histogram.
+    #[inline]
+    pub fn record(&self, obs: &UpdateObservation) {
+        let b = self.bucket_now();
+        let bump = |slot: WindowCounter, n: u64| {
+            if n > 0 {
+                add(&b.counters[slot as usize], n);
+                add(&self.totals.counters[slot as usize], n);
+            }
+        };
+        bump(WindowCounter::Updates, 1);
+        bump(WindowCounter::Positives, obs.positives);
+        bump(WindowCounter::Negatives, obs.negatives);
+        bump(WindowCounter::Noops, obs.noop as u64);
+        bump(WindowCounter::Skipped, obs.skipped as u64);
+        if let Some(v) = obs.verdict {
+            bump(verdict_slot(v), 1);
+        }
+        if obs.latency > Duration::ZERO {
+            let nanos = obs.latency.as_nanos().min(u64::MAX as u128) as u64;
+            add(&b.lat[bucket_of(nanos)], 1);
+        }
+    }
+
+    /// Record an instantaneous queue-depth sample into the current epoch
+    /// (the serving layer samples once per processed update).
+    #[inline]
+    pub fn record_queue_depth(&self, depth: u64) {
+        let b = self.bucket_now();
+        add(&b.depth_sum, depth);
+        add(&b.depth_samples, 1);
+        // Single-writer max: a load/store pair is race-free here and keeps
+        // the facade's atomic surface minimal.
+        if depth > ld(&b.depth_max) {
+            st(&b.depth_max, depth);
+        }
+    }
+
+    /// Lifetime (since ring construction) value of one counter — exact,
+    /// never rotates out.
+    pub fn total(&self, c: WindowCounter) -> u64 {
+        ld(&self.totals.counters[c as usize])
+    }
+
+    /// Merge every epoch bucket still inside the window into one
+    /// [`WindowSnapshot`]. Buckets observed mid-recycle are dropped via
+    /// tag re-validation (best-effort — see the module docs for the
+    /// residual tearing bound).
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let now_e = self.epoch_now();
+        let lo = (now_e + 1).saturating_sub(self.epochs.len() as u64);
+        let mut counters = [0u64; NUM_WINDOW_COUNTERS];
+        let mut lat = [0u64; LAT_BUCKETS];
+        let (mut depth_sum, mut depth_max, mut depth_samples) = (0u64, 0u64, 0u64);
+        for b in &self.epochs {
+            let t1 = b.epoch.load(Ordering::Acquire);
+            if t1 == 0 || t1 - 1 < lo || t1 - 1 > now_e {
+                continue;
+            }
+            let mut tmp_counters = [0u64; NUM_WINDOW_COUNTERS];
+            for (dst, src) in tmp_counters.iter_mut().zip(b.counters.iter()) {
+                *dst = ld(src);
+            }
+            let mut tmp_lat = [0u64; LAT_BUCKETS];
+            for (dst, src) in tmp_lat.iter_mut().zip(b.lat.iter()) {
+                *dst = ld(src);
+            }
+            let (ds, dm, dn) = (ld(&b.depth_sum), ld(&b.depth_max), ld(&b.depth_samples));
+            if b.epoch.load(Ordering::Acquire) != t1 {
+                continue; // recycled mid-read
+            }
+            for (dst, src) in counters.iter_mut().zip(tmp_counters.iter()) {
+                *dst += src;
+            }
+            for (dst, src) in lat.iter_mut().zip(tmp_lat.iter()) {
+                *dst += src;
+            }
+            depth_sum += ds;
+            depth_samples += dn;
+            depth_max = depth_max.max(dm);
+        }
+        let mut hist = LatencyHistogram::new();
+        for (i, &n) in lat.iter().enumerate() {
+            hist.add_bucketed(i, n);
+        }
+        WindowSnapshot {
+            span: self.cfg.span().min(self.start.elapsed()),
+            counters,
+            latency: hist,
+            depth_sum,
+            depth_max,
+            depth_samples,
+        }
+    }
+}
+
+/// A merged, point-in-time view of the ring's live window: counters,
+/// latency quantiles, and queue-depth gauges over (at most) the last
+/// `epoch_width × num_epochs`.
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// Wall-clock span the snapshot covers (shorter than the configured
+    /// window until the ring warms up).
+    pub span: Duration,
+    /// Merged counter values, indexed by `WindowCounter as usize`.
+    pub counters: [u64; NUM_WINDOW_COUNTERS],
+    /// Merged latency histogram (bucket resolution; see
+    /// [`LatencyHistogram`]).
+    pub latency: LatencyHistogram,
+    /// Sum of sampled queue depths in the window.
+    pub depth_sum: u64,
+    /// Maximum sampled queue depth in the window.
+    pub depth_max: u64,
+    /// Number of queue-depth samples in the window.
+    pub depth_samples: u64,
+}
+
+impl WindowSnapshot {
+    /// Windowed value of one counter.
+    pub fn count(&self, c: WindowCounter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Windowed per-second rate of one counter.
+    pub fn rate(&self, c: WindowCounter) -> f64 {
+        let secs = self.span.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.count(c) as f64 / secs
+    }
+
+    /// Windowed latency quantiles `[p50, p95, p99, p999]`.
+    pub fn quantiles(&self) -> [Duration; 4] {
+        [
+            self.latency.percentile(50.0),
+            self.latency.percentile(95.0),
+            self.latency.percentile(99.0),
+            self.latency.p999(),
+        ]
+    }
+
+    /// Mean sampled queue depth in the window.
+    pub fn depth_avg(&self) -> f64 {
+        if self.depth_samples == 0 {
+            return 0.0;
+        }
+        self.depth_sum as f64 / self.depth_samples as f64
+    }
+}
+
+/// Shared handle type: the serving layer hands `Arc<WindowRing>`s to its
+/// telemetry thread.
+pub type SharedWindow = Arc<WindowRing>;
+
+// `bucket_value` is re-used by exporters that label histogram series with
+// their upper bounds.
+/// Upper-bound (representative) nanosecond value of latency bucket `idx`,
+/// as reported by [`LatencyHistogram::nonzero_buckets`].
+pub fn latency_bucket_upper_ns(idx: usize) -> u64 {
+    bucket_value(idx.min(LAT_BUCKETS - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(latency_us: u64, pos: u64, neg: u64) -> UpdateObservation {
+        UpdateObservation {
+            index: 0,
+            verdict: Some(Classified::Unsafe),
+            noop: false,
+            latency: Duration::from_micros(latency_us),
+            positives: pos,
+            negatives: neg,
+            skipped: false,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_within_one_epoch() {
+        let ring = WindowRing::new(WindowConfig {
+            epoch_width: Duration::from_secs(3600),
+            num_epochs: 4,
+        });
+        for i in 0..10 {
+            ring.record(&obs(100 + i, 2, 1));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.count(WindowCounter::Updates), 10);
+        assert_eq!(snap.count(WindowCounter::Positives), 20);
+        assert_eq!(snap.count(WindowCounter::Negatives), 10);
+        assert_eq!(snap.count(WindowCounter::VerdictUnsafe), 10);
+        assert_eq!(snap.latency.count(), 10);
+        assert_eq!(ring.total(WindowCounter::Updates), 10);
+        let [p50, p95, p99, p999] = snap.quantiles();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        assert!(p50 >= Duration::from_micros(90));
+    }
+
+    #[test]
+    fn totals_survive_rotation_windows_do_not() {
+        let ring = WindowRing::new(WindowConfig {
+            epoch_width: Duration::from_millis(1),
+            num_epochs: 2,
+        });
+        ring.record(&obs(50, 1, 0));
+        // Sleep past the whole window so the epoch rotates out.
+        std::thread::sleep(Duration::from_millis(10));
+        ring.record_queue_depth(3); // forces rotation of the current slot
+        let snap = ring.snapshot();
+        assert_eq!(
+            snap.count(WindowCounter::Updates),
+            0,
+            "rotated-out epoch still visible"
+        );
+        assert_eq!(ring.total(WindowCounter::Updates), 1, "totals are lifetime");
+    }
+
+    #[test]
+    fn queue_depth_gauges_average_and_max() {
+        let ring = WindowRing::new(WindowConfig {
+            epoch_width: Duration::from_secs(3600),
+            num_epochs: 2,
+        });
+        for d in [1u64, 2, 3, 10] {
+            ring.record_queue_depth(d);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.depth_samples, 4);
+        assert_eq!(snap.depth_max, 10);
+        assert!((snap.depth_avg() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_is_sanitized() {
+        let ring = WindowRing::new(WindowConfig {
+            epoch_width: Duration::ZERO,
+            num_epochs: 0,
+        });
+        assert!(ring.config().epoch_width >= Duration::from_millis(1));
+        assert!(ring.config().num_epochs >= 2);
+    }
+
+    #[test]
+    fn concurrent_scrapes_never_tear_or_panic() {
+        let ring = Arc::new(WindowRing::new(WindowConfig {
+            epoch_width: Duration::from_millis(1),
+            num_epochs: 4,
+        }));
+        let r2 = Arc::clone(&ring);
+        let reader = std::thread::spawn(move || {
+            let mut last_total = 0u64;
+            for _ in 0..2000 {
+                let snap = r2.snapshot();
+                // A windowed count can shrink (epochs rotate out) but the
+                // lifetime total is monotone.
+                let t = r2.total(WindowCounter::Updates);
+                assert!(t >= last_total, "lifetime totals must be monotone");
+                last_total = t;
+                // Windowed counts are bounded by the (later-read, hence
+                // larger) lifetime total.
+                assert!(snap.count(WindowCounter::Updates) <= t);
+            }
+        });
+        for i in 0..5000u64 {
+            ring.record(&obs(10 + (i % 100), 1, 0));
+        }
+        reader.join().unwrap();
+        assert_eq!(ring.total(WindowCounter::Updates), 5000);
+    }
+}

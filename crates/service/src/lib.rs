@@ -18,7 +18,11 @@
 //! * [`CsmService`] — applies each admitted update to the shared graph
 //!   once, runs the inter-update safe-update classifier per session, and
 //!   fans `Find_Matches` across sessions; [`ServiceReport`] aggregates the
-//!   per-session [`paracosm_core::RunReport`]s with admission counters.
+//!   per-session [`paracosm_core::RunReport`]s with admission counters;
+//! * [`telemetry`] — the live observability plane: an HTTP scrape
+//!   endpoint (`/metrics`, `/healthz`, `/readyz`, `/sessions`) backed by
+//!   per-session rolling windows, plus a stall watchdog. Started with
+//!   [`CsmService::start_telemetry`].
 //!
 //! Every session's ΔM is identical to a standalone run of the same query
 //! over the same stream (classifiers prune work, never results); the
@@ -26,11 +30,16 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, deny(deprecated))]
 
 pub mod queue;
 pub mod service;
 pub mod session;
+pub mod telemetry;
 
 pub use queue::{AdmissionQueue, Backpressure, IngestHandle};
 pub use service::{CsmService, ServiceConfig, ServiceReport};
 pub use session::{DegradeLevel, SessionSpec};
+pub use telemetry::{
+    StallDiagnostic, StallKind, TelemetryConfig, TelemetryHandle, MAX_DIAGNOSTICS,
+};

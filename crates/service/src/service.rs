@@ -18,6 +18,7 @@
 
 use crate::queue::{AdmissionQueue, Backpressure, IngestHandle};
 use crate::session::{Session, SessionFind, SessionSpec};
+use crate::telemetry::{ServiceTelemetry, TelemetryConfig, TelemetryHandle};
 use csm_graph::{DataGraph, EdgeUpdate, Update};
 use paracosm_core::{
     Classified, CsmAlgorithm, CsmError, CsmResult, RunReport, SafeStage, StreamObserver,
@@ -110,6 +111,7 @@ pub struct CsmService {
     processed: u64,
     noops: u64,
     invalid: u64,
+    telemetry: Option<ServiceTelemetry>,
 }
 
 impl CsmService {
@@ -126,7 +128,41 @@ impl CsmService {
             processed: 0,
             noops: 0,
             invalid: 0,
+            telemetry: None,
         })
+    }
+
+    /// Stand up the live telemetry plane (see [`crate::telemetry`]): bind
+    /// the HTTP scrape endpoint, start the watchdog, and attach a rolling
+    /// [`paracosm_core::WindowRing`] to every current and future session.
+    /// Returns a [`TelemetryHandle`] exposing the bound address (resolves
+    /// port `0`), health, and stall diagnostics.
+    ///
+    /// Fails with [`CsmError::ConfigInvalid`] when the address cannot be
+    /// bound or telemetry is already running; [`CsmError::ServiceClosed`]
+    /// after shutdown began.
+    pub fn start_telemetry(&mut self, cfg: TelemetryConfig) -> CsmResult<TelemetryHandle> {
+        if self.queue.is_closed() {
+            return Err(CsmError::ServiceClosed);
+        }
+        if self.telemetry.is_some() {
+            return Err(CsmError::ConfigInvalid {
+                field: "telemetry_addr",
+                reason: "telemetry is already running".to_string(),
+            });
+        }
+        let mut t = ServiceTelemetry::start(cfg, Arc::clone(&self.queue))?;
+        for s in self.sessions.iter_mut() {
+            t.register_session(s);
+        }
+        let handle = t.handle();
+        self.telemetry = Some(t);
+        Ok(handle)
+    }
+
+    /// A handle to the running telemetry plane, if any.
+    pub fn telemetry(&self) -> Option<TelemetryHandle> {
+        self.telemetry.as_ref().map(ServiceTelemetry::handle)
     }
 
     /// Register a standing query. The algorithm's ADS is built against the
@@ -146,7 +182,10 @@ impl CsmService {
             return Err(CsmError::ServiceClosed);
         }
         let id = self.next_id;
-        let session = Session::new(id, spec, algo, observer, &self.g)?;
+        let mut session = Session::new(id, spec, algo, observer, &self.g)?;
+        if let Some(t) = &mut self.telemetry {
+            t.register_session(&mut session);
+        }
         self.next_id += 1;
         self.sessions.push(session);
         Ok(id)
@@ -164,6 +203,9 @@ impl CsmService {
             .position(|s| s.id == id)
             .ok_or(CsmError::SessionNotFound(id))?;
         let session = self.sessions.remove(pos);
+        if let Some(t) = &mut self.telemetry {
+            t.unregister_session(id);
+        }
         Ok(session.report())
     }
 
@@ -235,7 +277,20 @@ impl CsmService {
     pub fn shutdown(mut self) -> CsmResult<ServiceReport> {
         self.queue.close();
         self.drain()?;
+        // Elapsed covers serving work only: captured before the telemetry
+        // threads are joined so the report is identical with or without
+        // the scrape plane running.
+        let elapsed = self.started.elapsed();
+        let stalls = match self.telemetry.take() {
+            Some(mut t) => {
+                let s = t.stalls();
+                t.stop();
+                s
+            }
+            None => 0,
+        };
         Ok(ServiceReport {
+            stalls,
             policy: self.queue.policy(),
             queue_capacity: self.queue.capacity(),
             admitted: self.queue.admitted(),
@@ -244,7 +299,7 @@ impl CsmService {
             rejected: self.queue.rejected(),
             noops: self.noops,
             invalid: self.invalid,
-            elapsed: self.started.elapsed(),
+            elapsed,
             sessions: self.sessions.iter().map(|s| s.report()).collect(),
         })
     }
@@ -252,11 +307,25 @@ impl CsmService {
     // ------------------------------------------------------------ pipeline
 
     /// Apply one update to the shared graph and fan it out across every
-    /// session.
+    /// session, bracketed by the telemetry hooks (one branch each when
+    /// telemetry is off): `begin_update` stamps the watchdog's in-flight
+    /// marker and samples the queue depth, `end_update` stamps progress
+    /// and refreshes the scrape-side mirrors.
     fn process_one(&mut self, u: Update) -> CsmResult<()> {
         let idx = self.update_idx;
         self.update_idx += 1;
         self.processed += 1;
+        if let Some(t) = &self.telemetry {
+            t.begin_update(idx, self.queue.len() as u64);
+        }
+        let result = self.process_one_inner(u, idx);
+        if let Some(t) = &self.telemetry {
+            t.end_update(self.processed, self.noops, self.invalid, &self.sessions);
+        }
+        result
+    }
+
+    fn process_one_inner(&mut self, u: Update, idx: u64) -> CsmResult<()> {
         match u {
             Update::InsertEdge(e) => self.process_edge(u, e, true, idx),
             Update::DeleteEdge(e) => self.process_edge(u, e, false, idx),
@@ -566,6 +635,9 @@ pub struct ServiceReport {
     pub noops: u64,
     /// Invalid updates (dead endpoints / self-loops) among the processed.
     pub invalid: u64,
+    /// Watchdog-flagged stalls over the service lifetime (always 0 when
+    /// telemetry was never started).
+    pub stalls: u64,
     /// Wall time since the service was constructed.
     pub elapsed: Duration,
     /// Final per-session reports (sessions live at shutdown), each tagged
@@ -587,6 +659,7 @@ impl ServiceReport {
         out.push_str(&format!(",\"rejected\":{}", self.rejected));
         out.push_str(&format!(",\"noops\":{}", self.noops));
         out.push_str(&format!(",\"invalid\":{}", self.invalid));
+        out.push_str(&format!(",\"stalls\":{}", self.stalls));
         out.push_str(&format!(",\"elapsed_ns\":{}", self.elapsed.as_nanos()));
         out.push_str(",\"sessions\":[");
         for (i, r) in self.sessions.iter().enumerate() {

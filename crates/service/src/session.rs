@@ -257,6 +257,17 @@ impl Session {
         }
     }
 
+    /// Ladder counters mirrored into the live telemetry plane after every
+    /// update: (level, budget_overruns, degraded, skipped_updates).
+    pub(crate) fn telemetry_counters(&self) -> (DegradeLevel, u64, u64, u64) {
+        (
+            self.level,
+            self.budget_overruns,
+            self.degraded,
+            self.skipped_updates,
+        )
+    }
+
     /// Per-update epilogue: latency histogram (when configured), slow-K
     /// capture, `UpdateDone` event, and this session's observer callback.
     pub(crate) fn finish(&mut self, upd: Update, obs: UpdateObservation, pre: StageSnapshot) {

@@ -1,5 +1,5 @@
 //! Live pattern monitoring: drive a churn stream through the engine with a
-//! [`StreamObserver`] hooked into `process_stream_observed`, printing a
+//! [`StreamObserver`] hooked into `run_stream`, printing a
 //! rolling dashboard — windowed p50/p99 latency, ΔM throughput, verdict
 //! mix — and a final per-worker utilization breakdown from `RunStats`.
 //!

@@ -1,0 +1,146 @@
+//! Live telemetry plane end-to-end: stand up a [`CsmService`] with two
+//! standing queries, start the HTTP scrape endpoint on a loopback port,
+//! stream churn through the service while scraping `/metrics`, `/healthz`
+//! and `/sessions` over plain TCP, and finally reconcile the scraped
+//! per-session `_total` counters against the shutdown [`ServiceReport`].
+//!
+//! Run with: `cargo run --release --example telemetry_scrape`
+
+use paracosm::prelude::*;
+use rand::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One blocking HTTP/1.1 GET against the telemetry endpoint; returns the
+/// response body (curl in ten lines — the endpoint speaks to anything).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("telemetry endpoint is up");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: paracosm\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    match resp.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => resp,
+    }
+}
+
+fn main() {
+    // A labeled graph, a triangle session and an edge-watch session.
+    let g = synth::generate(&SynthConfig {
+        n_vertices: 1_500,
+        n_edges: 6_000,
+        n_vlabels: 2,
+        n_elabels: 1,
+        alpha: 0.7,
+        seed: 17,
+    });
+    let mut tri = QueryGraph::new();
+    let a = tri.add_vertex(VLabel(0));
+    let b = tri.add_vertex(VLabel(0));
+    let c = tri.add_vertex(VLabel(1));
+    tri.add_edge(a, b, ELabel(0)).unwrap();
+    tri.add_edge(b, c, ELabel(0)).unwrap();
+    tri.add_edge(a, c, ELabel(0)).unwrap();
+    let mut edge = QueryGraph::new();
+    let x = edge.add_vertex(VLabel(0));
+    let y = edge.add_vertex(VLabel(1));
+    edge.add_edge(x, y, ELabel(0)).unwrap();
+
+    let mut svc = CsmService::new(g, ServiceConfig::default()).unwrap();
+    let mut cfg = ParaCosmConfig::sequential();
+    cfg.track_latency = true;
+    let tri_algo = Box::new(Symbi::new());
+    svc.add_session(
+        SessionSpec::new(tri, cfg.clone()).with_label("triangles"),
+        tri_algo,
+        Box::new(NoopObserver),
+    )
+    .unwrap();
+    let edge_algo = Box::new(GraphFlow::new());
+    svc.add_session(
+        SessionSpec::new(edge, cfg).with_label("edge-watch"),
+        edge_algo,
+        Box::new(NoopObserver),
+    )
+    .unwrap();
+
+    // Port 0: the OS picks a free port; the handle reports what was bound.
+    let telemetry = svc
+        .start_telemetry(
+            TelemetryConfig::new("127.0.0.1:0")
+                .with_window(WindowConfig {
+                    epoch_width: Duration::from_millis(250),
+                    num_epochs: 40,
+                })
+                .with_stall_deadline(Duration::from_secs(2)),
+        )
+        .unwrap();
+    let addr = telemetry.local_addr();
+    println!("telemetry: http://{addr}/metrics");
+    println!("healthz:   {}", http_get(addr, "/healthz").trim());
+
+    // Churn: inserts of fresh edges, deletions of stream-created ones.
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = svc.graph().vertex_slots() as u32;
+    let mut present: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut submitted = 0u64;
+    while submitted < 4_000 {
+        let u = if !present.is_empty() && rng.gen_bool(0.4) {
+            let (x, y) = present.swap_remove(rng.gen_range(0..present.len()));
+            Update::DeleteEdge(EdgeUpdate::new(x, y, ELabel(0)))
+        } else {
+            let x = VertexId(rng.gen_range(0..n));
+            let y = VertexId(rng.gen_range(0..n));
+            if x == y || svc.graph().has_edge(x, y) {
+                continue;
+            }
+            present.push((x, y));
+            Update::InsertEdge(EdgeUpdate::new(x, y, ELabel(0)))
+        };
+        svc.submit(u).unwrap();
+        submitted += 1;
+        if submitted.is_multiple_of(1_000) {
+            svc.drain().unwrap();
+            // Scrape mid-stream: pick out this session's windowed p99.
+            let metrics = http_get(addr, "/metrics");
+            let p99 = metrics
+                .lines()
+                .find(|l| {
+                    l.starts_with("paracosm_session_window_latency_seconds")
+                        && l.contains("triangles")
+                        && l.contains("quantile=\"0.99\"")
+                })
+                .unwrap_or("(no samples yet)");
+            println!("[{submitted:>5}] {p99}");
+        }
+    }
+    svc.drain().unwrap();
+
+    // The JSON snapshot carries per-session ladder state and window rates.
+    let sessions = http_get(addr, "/sessions");
+    println!("sessions snapshot: {} bytes of JSON", sessions.len());
+
+    // Reconciliation: scraped lifetime totals equal the shutdown report.
+    let metrics = http_get(addr, "/metrics");
+    let scraped_updates: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("paracosm_session_updates_total") && l.contains("triangles"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("triangles session is exported");
+    let report = svc.shutdown().unwrap();
+    assert_eq!(report.processed, submitted);
+    assert_eq!(scraped_updates, report.sessions[0].stats.updates);
+    println!(
+        "reconciled: scraped updates_total={} == report updates={} (+{} -{})",
+        scraped_updates,
+        report.sessions[0].stats.updates,
+        report.sessions[0].stats.positives,
+        report.sessions[0].stats.negatives,
+    );
+}

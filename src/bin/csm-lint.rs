@@ -12,10 +12,14 @@
 //!   allowlist (the project's protocols are designed for AcqRel/Acquire;
 //!   SeqCst usually papers over a missing design).
 //! * **thread-spawn-confined** — raw `thread::spawn`/`thread::scope` only
-//!   in `crates/graph/src/par.rs` and `crates/core/src/inner.rs`; all
+//!   in `crates/graph/src/par.rs`, `crates/core/src/inner.rs` and
+//!   `crates/service/src/telemetry.rs` (the scrape/watchdog threads); all
 //!   other fork-join goes through `par::run_jobs`/`par::map_slice` (calls
 //!   through the `sync::thread` facade are exempt — they are what the
 //!   model checker instruments).
+//! * **std-net-confined** — `std::net` only in
+//!   `crates/service/src/telemetry.rs`: sockets stay out of the matching
+//!   kernel, the executors, and every other library path.
 //! * **kernel-hot-loop** — no `Instant::now()` and no allocation patterns
 //!   in `kernel.rs` outside the `LINT.md` hot-path exception table.
 //! * **trace-local-only** — no shared-`Tracer` `count`/`event` calls in
@@ -47,7 +51,14 @@ use std::process::ExitCode;
 const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Files allowed to spawn raw threads.
-const SPAWN_ALLOWED: [&str; 2] = ["crates/graph/src/par.rs", "crates/core/src/inner.rs"];
+const SPAWN_ALLOWED: [&str; 3] = [
+    "crates/graph/src/par.rs",
+    "crates/core/src/inner.rs",
+    "crates/service/src/telemetry.rs",
+];
+
+/// The only library file allowed to touch `std::net`.
+const NET_ALLOWED: &str = "crates/service/src/telemetry.rs";
 
 /// Hot-path files for the trace rule.
 const TRACE_HOT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/inner.rs"];
@@ -560,6 +571,20 @@ fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
                         ),
                     });
                 }
+            }
+
+            // std-net-confined
+            if rel != NET_ALLOWED && line.contains("std::net") {
+                diags.push(Diagnostic {
+                    path: rel.clone(),
+                    line: lineno,
+                    rule: "std-net-confined",
+                    msg: format!(
+                        "std::net outside {NET_ALLOWED} — the telemetry plane is \
+                         the only sanctioned socket surface ({})",
+                        snippet(line)
+                    ),
+                });
             }
 
             // kernel-hot-loop

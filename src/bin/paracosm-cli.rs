@@ -26,6 +26,12 @@
 //!   --budget-ms N      per-update Find_Matches budget (degradation ladder)
 //!   --report-json PATH write the multi-session service report
 //!   --quiet            suppress the per-session summary
+//!   --telemetry-addr A serve GET /metrics, /healthz, /readyz, /sessions on
+//!                      A (e.g. 127.0.0.1:9184; port 0 picks a free port —
+//!                      the bound address is printed on startup)
+//!   --stall-deadline-ms N  watchdog no-progress deadline  (default: 5000)
+//!   --linger-ms N      after draining the stream, keep serving (and the
+//!                      telemetry endpoint up) for N ms before shutdown
 //! ```
 
 use paracosm::prelude::*;
@@ -40,7 +46,8 @@ fn usage() -> ! {
          \x20      paracosm-cli serve --graph G.txt --stream S.txt \
          --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
          [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
-         [--report-json PATH] [--quiet]"
+         [--report-json PATH] [--quiet] [--telemetry-addr ADDR] \
+         [--stall-deadline-ms N] [--linger-ms N]"
     );
     std::process::exit(2);
 }
@@ -88,6 +95,9 @@ fn serve_main(args: Vec<String>) {
     let mut budget = None;
     let mut report_json: Option<String> = None;
     let mut quiet = false;
+    let mut telemetry_addr: Option<String> = None;
+    let mut stall_deadline = Duration::from_secs(5);
+    let mut linger = Duration::ZERO;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -108,6 +118,13 @@ fn serve_main(args: Vec<String>) {
             }
             "--report-json" => report_json = Some(val()),
             "--quiet" => quiet = true,
+            "--telemetry-addr" => telemetry_addr = Some(val()),
+            "--stall-deadline-ms" => {
+                stall_deadline = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--linger-ms" => {
+                linger = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
@@ -167,6 +184,17 @@ fn serve_main(args: Vec<String>) {
         }
     }
 
+    if let Some(addr) = &telemetry_addr {
+        let cfg = TelemetryConfig::new(addr.clone()).with_stall_deadline(stall_deadline);
+        match svc.start_telemetry(cfg) {
+            Ok(h) => eprintln!("telemetry: listening on http://{}", h.local_addr()),
+            Err(e) => {
+                eprintln!("telemetry failed to start: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     for &u in s.updates() {
         match svc.submit(u) {
             Ok(()) => {}
@@ -178,19 +206,29 @@ fn serve_main(args: Vec<String>) {
             }
         }
     }
+    if linger > Duration::ZERO {
+        // Process everything, then hold the telemetry endpoint open for
+        // scrapers (CI curls the endpoints during this window).
+        if let Err(e) = svc.drain() {
+            eprintln!("drain failed: {e}");
+            std::process::exit(1);
+        }
+        std::thread::sleep(linger);
+    }
     let report = svc.shutdown().unwrap_or_else(|e| {
         eprintln!("shutdown failed: {e}");
         std::process::exit(1);
     });
 
     println!(
-        "admitted={} processed={} shed={} rejected={} noops={} invalid={} elapsed={:?}",
+        "admitted={} processed={} shed={} rejected={} noops={} invalid={} stalls={} elapsed={:?}",
         report.admitted,
         report.processed,
         report.shed,
         report.rejected,
         report.noops,
         report.invalid,
+        report.stalls,
         report.elapsed
     );
     if !quiet {

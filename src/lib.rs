@@ -84,13 +84,13 @@ pub mod prelude {
     };
     pub use csm_service::{
         AdmissionQueue, Backpressure, CsmService, DegradeLevel, IngestHandle, ServiceConfig,
-        ServiceReport, SessionSpec,
+        ServiceReport, SessionSpec, StallDiagnostic, StallKind, TelemetryConfig, TelemetryHandle,
     };
     pub use paracosm_core::{
         AdsChange, AlgorithmFactory, Classified, CsmAlgorithm, CsmError, CsmResult, Embedding,
         Engine, LatencyHistogram, Match, MatchSink, NoopObserver, ParaCosm, ParaCosmConfig,
         RunReport, RunStats, SearchCtx, SearchStats, SessionDims, StreamObserver, StreamOutcome,
-        TraceLevel, UpdateObservation, UpdateOutcome,
+        TraceLevel, UpdateObservation, UpdateOutcome, WindowConfig, WindowRing, WindowSnapshot,
     };
 
     /// The facade's datagen crate under its blessed name (dataset loading

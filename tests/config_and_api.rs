@@ -3,6 +3,11 @@
 //! field, and [`ParaCosm::run_stream`] is a drop-in replacement for the
 //! deprecated `process_stream_observed` wrapper.
 
+// The only sanctioned use of the deprecated wrapper is the scoped
+// differential assertion below; everything else in test builds is held to
+// the non-deprecated surface.
+#![deny(deprecated)]
+
 use paracosm::algos::testing;
 use paracosm::prelude::*;
 use proptest::prelude::*;

@@ -97,6 +97,55 @@ fn linter_scrubs_comments_and_checks_forbid_unsafe() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// `std::net` is confined to the telemetry plane: a seeded socket use in
+/// any other library file must fail with the `std-net-confined` rule,
+/// while the sanctioned file path stays clean.
+#[test]
+fn linter_fails_on_seeded_std_net_violation() {
+    let root = scratch_dir("stdnet");
+    let src = root.join("crates/foo/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch crate");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn leak() -> std::io::Result<std::net::TcpListener> {\n\
+             std::net::TcpListener::bind(\"127.0.0.1:0\")\n\
+         }\n",
+    )
+    .expect("write seeded violation");
+    // The sanctioned file: same token, must not be flagged.
+    let tele = root.join("crates/service/src");
+    std::fs::create_dir_all(&tele).expect("mkdir scratch service crate");
+    std::fs::write(tele.join("lib.rs"), "#![forbid(unsafe_code)]\n").expect("write lib");
+    std::fs::write(
+        tele.join("telemetry.rs"),
+        "pub fn ok() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }\n",
+    )
+    .expect("write telemetry scratch");
+
+    let out = Command::new(lint_bin())
+        .arg(&root)
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "csm-lint accepted a seeded std::net violation:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/foo/src/lib.rs:2: [std-net-confined]"),
+        "diagnostic should carry file:line and rule, got:\n{stdout}"
+    );
+    // The rule's message text names the sanctioned path; what must not
+    // appear is a diagnostic *located* there (path:line prefix).
+    assert!(
+        !stdout.contains("telemetry.rs:"),
+        "the sanctioned telemetry file must not be flagged:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The public surface under `crates/*/src` must match the committed
 /// `API.md` snapshot exactly: any `pub` item added, removed or re-signed
 /// without regenerating the snapshot is surface drift and fails here.
