@@ -5,7 +5,7 @@
 //! repro <experiment ...> [options]
 //!
 //! experiments: table3 table4 table5 table6 fig4 fig7 fig8 fig9 fig10 fig11 fig12 analysis
-//!              observe all
+//!              observe shared all
 //!
 //! options:
 //!   --scale xs|s|m       dataset scale                  (default: xs)
@@ -20,14 +20,16 @@
 //! ```
 
 use csm_datagen::Scale;
-use paracosm_bench::experiments::{breakdown, observe, singlethread, speedups, tables};
+use paracosm_bench::experiments::{
+    breakdown, observe, shared_sessions, singlethread, speedups, tables,
+};
 use paracosm_bench::report::Table;
 use paracosm_bench::runner::ExpOptions;
 use std::time::Duration;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table3", "table4", "table5", "table6", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "analysis", "observe",
+    "fig12", "analysis", "observe", "shared",
 ];
 
 fn usage() -> ! {
@@ -137,6 +139,7 @@ fn main() {
                 trace_out.as_deref(),
                 report_json.as_deref(),
             )),
+            "shared" => outputs.push(shared_sessions::shared_sessions(&opts)),
             _ => unreachable!(),
         }
     }

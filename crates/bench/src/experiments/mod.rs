@@ -4,6 +4,7 @@
 
 pub mod breakdown;
 pub mod observe;
+pub mod shared_sessions;
 pub mod singlethread;
 pub mod speedups;
 pub mod tables;

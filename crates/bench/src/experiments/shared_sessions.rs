@@ -1,0 +1,192 @@
+//! `shared` — the multi-session serving benchmark: session count × query
+//! overlap × shared-index on/off, measuring the cross-session shared-work
+//! multiplexer (DESIGN.md §3.11).
+//!
+//! Each cell registers `n` standing queries drawn from a pool of
+//! `max(1, n·(1−overlap))` distinct patterns (so `overlap` is the fraction
+//! of sessions whose query duplicates another session's), feeds one shared
+//! update stream through the service, and reports wall-clock throughput
+//! with the index off and on. Sessions are unbudgeted with noop observers —
+//! the configuration where the index may exchange ΔM deltas — and every
+//! cell cross-checks that per-session totals are bit-identical between the
+//! two runs before reporting a speedup.
+//!
+//! Methodology notes:
+//! * the update stream is label-diverse (8 vertex / 4 edge labels) while
+//!   each query touches only a handful of label triples, so most
+//!   (update, session) pairs are label-safe — the serving regime the union
+//!   stage-1 lookup is built for;
+//! * every cell is run `REPS` times alternating off/on and the fastest
+//!   repetition of each mode is kept; the spread `(max−min)/min` across
+//!   repetitions of the *off* runs is printed as the noise floor.
+
+use crate::report::{fmt_dur, fmt_speedup, Table};
+use crate::runner::ExpOptions;
+use csm_algos::{testing, AlgoKind};
+use csm_graph::{DataGraph, QueryGraph, UpdateStream};
+use csm_service::{Backpressure, CsmService, ServiceConfig, ServiceReport, SessionSpec};
+use paracosm_core::{NoopObserver, ParaCosmConfig};
+use std::time::{Duration, Instant};
+
+/// Repetitions per (cell, mode); fastest wins.
+const REPS: usize = 5;
+
+/// Session counts swept (the ISSUE's headline cell is 64 × 0.5).
+const SESSION_COUNTS: [usize; 3] = [4, 16, 64];
+
+/// Query-overlap fractions swept.
+const OVERLAPS: [f64; 3] = [0.0, 0.5, 0.9];
+
+/// One measured service run.
+struct ServiceRun {
+    elapsed: Duration,
+    report: ServiceReport,
+}
+
+/// Register `n` sessions drawn round-robin from `pool` and push the whole
+/// stream through the service.
+fn run_service(
+    g: &DataGraph,
+    stream: &UpdateStream,
+    pool: &[QueryGraph],
+    n: usize,
+    shared_index: bool,
+) -> ServiceRun {
+    let mut svc = CsmService::new(
+        g.clone(),
+        ServiceConfig {
+            queue_capacity: 1024,
+            policy: Backpressure::Block,
+            shared_index,
+        },
+    )
+    .expect("service config is valid");
+    for i in 0..n {
+        let q = pool[i % pool.len()].clone();
+        let algo = Box::new(AlgoKind::GraphFlow.build(g, &q));
+        let spec = SessionSpec::new(q, ParaCosmConfig::sequential()).with_label(format!("s{i}"));
+        svc.add_session(spec, algo, Box::new(NoopObserver))
+            .expect("session spec is valid");
+    }
+    let t0 = Instant::now();
+    for &u in stream.updates() {
+        svc.submit(u).expect("well-formed stream");
+    }
+    svc.drain().expect("well-formed stream");
+    let elapsed = t0.elapsed();
+    let report = svc.shutdown().expect("clean shutdown");
+    ServiceRun { elapsed, report }
+}
+
+/// Distinct queries for a given session count and overlap fraction.
+fn pool_size(n: usize, overlap: f64) -> usize {
+    (((n as f64) * (1.0 - overlap)).round() as usize).clamp(1, n)
+}
+
+/// The shared-index serving sweep (see the module docs for methodology).
+pub fn shared_sessions(opts: &ExpOptions) -> Table {
+    // A label-diverse base graph and stream: 8 vertex labels × 4 edge
+    // labels keeps any single small query label-safe for most updates.
+    let stream_len = if opts.stream_cap > 0 {
+        opts.stream_cap
+    } else {
+        250
+    };
+    let (g, stream) = testing::random_workload(opts.seed, 400, 8, 4, 900, stream_len, 0.25);
+    // Mid-range paper query size (§5.1 sweeps 6-10): stage-1 label scans
+    // are linear in query edges, the union lookup is not, so this sets the
+    // honest per-session classification cost the index amortizes.
+    let qsize = 8;
+
+    // One generous pool of distinct patterns; each cell uses a prefix, so
+    // cells are comparable (session i always runs the same query whenever
+    // the pool is at least i+1 deep).
+    let max_pool = SESSION_COUNTS
+        .iter()
+        .flat_map(|&n| OVERLAPS.iter().map(move |&o| pool_size(n, o)))
+        .max()
+        .unwrap_or(1);
+    let mut pool: Vec<QueryGraph> = Vec::new();
+    let mut qseed = opts.seed.wrapping_mul(7919);
+    while pool.len() < max_pool {
+        qseed = qseed.wrapping_add(1);
+        if let Some(q) = testing::random_walk_query(&g, qseed, qsize) {
+            pool.push(q);
+        }
+    }
+
+    let mut t = Table::new(
+        "shared: multi-session serving, shared-work index off vs on",
+        &[
+            "sessions", "overlap", "distinct", "off", "on", "speedup", "hits", "misses", "subpats",
+        ],
+    );
+    t.note(format!(
+        "stream: {} updates over |V|={} |E|={} (8 vlabels, 4 elabels); \
+         query size {qsize}; GraphFlow; unbudgeted sessions; best of {REPS} reps",
+        stream.len(),
+        g.num_vertices(),
+        g.num_edges(),
+    ));
+
+    let mut worst_noise = 0.0f64;
+    for &n in &SESSION_COUNTS {
+        for &overlap in &OVERLAPS {
+            let distinct = pool_size(n, overlap);
+            let cell_pool = &pool[..distinct];
+            // Untimed warmup: touches the graph clone, session setup, and
+            // both code paths so the first timed rep is not a cold start.
+            let _ = run_service(&g, &stream, cell_pool, n, false);
+            let _ = run_service(&g, &stream, cell_pool, n, true);
+            let mut best_off: Option<ServiceRun> = None;
+            let mut best_on: Option<ServiceRun> = None;
+            let mut off_times: Vec<Duration> = Vec::new();
+            for _ in 0..REPS {
+                let off = run_service(&g, &stream, cell_pool, n, false);
+                let on = run_service(&g, &stream, cell_pool, n, true);
+                off_times.push(off.elapsed);
+                if best_off.as_ref().is_none_or(|b| off.elapsed < b.elapsed) {
+                    best_off = Some(off);
+                }
+                if best_on.as_ref().is_none_or(|b| on.elapsed < b.elapsed) {
+                    best_on = Some(on);
+                }
+            }
+            let off = best_off.expect("REPS >= 1");
+            let on = best_on.expect("REPS >= 1");
+
+            // The correctness oracle, inside the bench too: identical
+            // per-session ΔM totals with the index off and on.
+            for (a, b) in off.report.sessions.iter().zip(&on.report.sessions) {
+                assert_eq!(
+                    (a.stats.positives, a.stats.negatives),
+                    (b.stats.positives, b.stats.negatives),
+                    "shared-index ΔM divergence at {n} sessions, overlap {overlap}"
+                );
+            }
+
+            let lo = off_times.iter().min().copied().unwrap_or_default();
+            let hi = off_times.iter().max().copied().unwrap_or_default();
+            if !lo.is_zero() {
+                worst_noise = worst_noise.max((hi - lo).as_secs_f64() / lo.as_secs_f64() * 100.0);
+            }
+            let speedup = off.elapsed.as_secs_f64() / on.elapsed.as_secs_f64().max(1e-12);
+            let sh = on.report.shared.unwrap_or_default();
+            t.row(vec![
+                n.to_string(),
+                format!("{overlap:.1}"),
+                distinct.to_string(),
+                fmt_dur(off.elapsed),
+                fmt_dur(on.elapsed),
+                fmt_speedup(speedup),
+                sh.hits.to_string(),
+                sh.misses.to_string(),
+                sh.subpatterns.to_string(),
+            ]);
+        }
+    }
+    t.note(format!(
+        "noise floor: worst off-mode spread (max-min)/min across reps = {worst_noise:.1}%"
+    ));
+    t
+}

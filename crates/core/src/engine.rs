@@ -165,7 +165,7 @@ pub struct FindOutcome {
 /// Opaque `(ads, apply, find, nodes)` marker diffed around one update for
 /// the slowest-K stage breakdown ([`Engine::stage_snapshot`] /
 /// [`Engine::finish_update`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StageSnapshot {
     ads: Duration,
     apply: Duration,
@@ -342,12 +342,14 @@ impl<A: CsmAlgorithm> Engine<A> {
 
     /// Count one stream update into stats and telemetry (the caller owns
     /// stream order and graph application).
+    #[inline]
     pub fn note_update(&mut self) {
         self.stats.updates += 1;
         self.tracer.count(0, Counter::Updates, 1);
     }
 
     /// Attribute graph-application wall time to this engine's stats.
+    #[inline]
     pub fn note_apply(&mut self, dt: Duration) {
         self.stats.apply_time += dt;
     }
@@ -392,6 +394,7 @@ impl<A: CsmAlgorithm> Engine<A> {
 
     /// Stage-1 verdict for this engine's query: the edge's label triple
     /// matches no query edge (pure in `(Q, labels)` — see [`inter`]).
+    #[inline]
     pub fn label_safe(&self, g: &DataGraph, e: &EdgeUpdate) -> bool {
         inter::label_safe(g, &self.q, e, self.algo.ignore_edge_labels())
     }
@@ -399,6 +402,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// Stage-2 verdict: endpoint degrees cannot support any compatible
     /// query edge. Call *before* applying an insert (prospective degrees)
     /// and *before* removing a delete.
+    #[inline]
     pub fn degree_safe(&self, g: &DataGraph, e: &EdgeUpdate, is_insert: bool) -> bool {
         inter::degree_safe(g, &self.q, e, is_insert, self.algo.ignore_edge_labels())
     }
@@ -407,11 +411,56 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// endpoints structurally feasible and in the algorithm's candidate
     /// sets. For inserts call *after* [`Engine::ads_update`]; for deletes
     /// call while the edge is still present.
+    #[inline]
     pub fn candidates_safe(&self, g: &DataGraph, e: &EdgeUpdate) -> bool {
         inter::candidates_safe(g, &self.q, &self.algo, e)
     }
 
+    /// [`Engine::candidates_safe`] with the structural endpoint probes
+    /// served from a cross-session [`inter::ProbeMemo`] (bit-identical
+    /// verdicts; the serving layer's shared index passes one memo across
+    /// all sessions of an update).
+    pub fn candidates_safe_memo(
+        &self,
+        g: &DataGraph,
+        e: &EdgeUpdate,
+        memo: &mut inter::ProbeMemo,
+    ) -> bool {
+        inter::candidates_safe_memo(g, &self.q, &self.algo, e, memo)
+    }
+
+    /// Does the hosted algorithm ignore edge labels (CaLiG mode)? Exposed
+    /// so a multi-query host can stage classification against a pattern
+    /// union: the flag selects wildcard sub-pattern keys.
+    #[inline]
+    pub fn ignores_edge_labels(&self) -> bool {
+        self.algo.ignore_edge_labels()
+    }
+
+    /// Absorb a match delta computed by another engine over the same
+    /// `(graph, query, update)` triple — the serving layer's shared-index
+    /// fan-out. Attributes the counts exactly as [`Engine::find_matches`]
+    /// would (stats plus tracer counters) and tallies the reuse under
+    /// [`Counter::SharedHit`]; no search runs.
+    pub fn absorb_delta(&mut self, count: u64, positive: bool) {
+        if positive {
+            self.stats.positives += count;
+            self.tracer.count(0, Counter::MatchesPos, count);
+        } else {
+            self.stats.negatives += count;
+            self.tracer.count(0, Counter::MatchesNeg, count);
+        }
+        self.tracer.count(0, Counter::SharedHit, 1);
+    }
+
+    /// Note that this engine enumerated a delta that was published for
+    /// same-group sessions to reuse ([`Counter::SharedMiss`]).
+    pub fn note_shared_publish(&mut self) {
+        self.tracer.count(0, Counter::SharedMiss, 1);
+    }
+
     /// Record a classifier verdict in both `RunStats` and the tracer.
+    #[inline]
     pub fn record_verdict(&mut self, c: Classified, idx: u64) {
         self.stats.classifier.record(c);
         self.tracer.count(0, trace::verdict_counter(c), 1);
@@ -419,7 +468,36 @@ impl<A: CsmAlgorithm> Engine<A> {
             .event(0, EventKind::Classify, trace::verdict_code(c), idx);
     }
 
+    /// True when nothing observes this engine's bookkeeping per update:
+    /// no rolling window is installed and the tracer records no events.
+    /// In that regime label-safe fan-out bookkeeping is a set of
+    /// commutative totals, so a multi-session host may accumulate it
+    /// outside the engine and fold it in later with
+    /// [`Engine::flush_label_safe`] — final stats and counters are
+    /// bit-identical, only the moment they become visible moves.
+    #[inline]
+    pub fn defers_fan_bookkeeping(&self) -> bool {
+        self.window.is_none() && self.tracer.level() < trace::TraceLevel::Full
+    }
+
+    /// Fold `n` deferred label-safe fan-outs (and their accumulated share
+    /// of graph-apply wall time) into stats and counters, exactly as `n`
+    /// interleaved [`Engine::note_update`] + [`Engine::note_apply`] +
+    /// label-safe [`Engine::record_verdict`] calls would have. Only valid
+    /// under [`Engine::defers_fan_bookkeeping`], where no per-update
+    /// consumer can see the intermediate states.
+    pub fn flush_label_safe(&mut self, n: u64, apply: Duration) {
+        debug_assert!(self.defers_fan_bookkeeping());
+        self.stats.updates += n;
+        self.stats.apply_time += apply;
+        self.stats.classifier.total += n;
+        self.stats.classifier.safe_label += n;
+        self.tracer.count(0, Counter::Updates, n);
+        self.tracer.count(0, Counter::ClassLabelSafe, n);
+    }
+
     /// Record a structural no-op in both `RunStats` and the tracer.
+    #[inline]
     pub fn record_noop(&mut self, idx: u64) {
         self.stats.classifier.record_noop();
         self.tracer.count(0, Counter::ClassNoop, 1);
@@ -579,6 +657,7 @@ impl<A: CsmAlgorithm> Engine<A> {
 
     /// `(ads_time, apply_time, find_time, nodes)` marker — take before an
     /// update, pass to [`Engine::finish_update`] after.
+    #[inline]
     pub fn stage_snapshot(&self) -> StageSnapshot {
         StageSnapshot {
             ads: self.stats.ads_time,

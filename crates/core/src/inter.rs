@@ -25,7 +25,7 @@
 //! is what makes parallel classification sound (see DESIGN.md §3.2).
 
 use crate::algorithm::CsmAlgorithm;
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, VLabel, VertexId};
 
 /// Which filtering stage classified an update as safe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -222,6 +222,72 @@ pub fn endpoint_feasible(
     })
 }
 
+/// Per-update memo for the endpoint-feasibility probes of
+/// [`candidates_safe`]. Within one update phase the data graph is fixed and
+/// every session probes the *same two vertices* (the update edge's
+/// endpoints), so the answer to "does `v` have a `(label, elabel)`
+/// neighbor?" is identical across sessions — the serving layer's shared
+/// index reuses it instead of re-walking the partition index per session.
+///
+/// The memo is keyed on `(endpoint is dst, neighbor label, edge label)`;
+/// the `Option<ELabel>` already folds in each algorithm's
+/// ignore-edge-labels mode, so one memo is sound across algorithms. It
+/// must be [`ProbeMemo::reset`] whenever the graph mutates or the probed
+/// edge changes.
+#[derive(Debug, Default)]
+pub struct ProbeMemo {
+    entries: Vec<(bool, VLabel, Option<ELabel>, bool)>,
+}
+
+impl ProbeMemo {
+    /// Fresh, empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invalidate every cached probe (graph changed or new update edge).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Memoized `count_neighbors_with(v, label, elabel) > 0`. Queries are
+    /// tiny, so a linear scan over the few cached probes beats hashing.
+    fn probe(
+        &mut self,
+        g: &DataGraph,
+        v: VertexId,
+        is_dst: bool,
+        label: VLabel,
+        el: Option<ELabel>,
+    ) -> bool {
+        for &(d, l, e, r) in &self.entries {
+            if d == is_dst && l == label && e == el {
+                return r;
+            }
+        }
+        let r = g.count_neighbors_with(v, label, el) > 0;
+        self.entries.push((is_dst, label, el, r));
+        r
+    }
+}
+
+/// [`endpoint_feasible`] with the probes served from a cross-session
+/// [`ProbeMemo`]. `is_dst` tags which update endpoint `v` is, keeping the
+/// memo sound when both endpoints carry the same vertex label.
+pub fn endpoint_feasible_memo(
+    g: &DataGraph,
+    q: &QueryGraph,
+    u: QVertexId,
+    v: VertexId,
+    is_dst: bool,
+    ignore_elabels: bool,
+    memo: &mut ProbeMemo,
+) -> bool {
+    q.neighbors(u)
+        .iter()
+        .all(|&(nb, el)| memo.probe(g, v, is_dst, q.label(nb), (!ignore_elabels).then_some(el)))
+}
+
 /// **Stage 3** — candidate filtering against the current ADS state: no
 /// compatible oriented query edge has both endpoints structurally feasible
 /// ([`endpoint_feasible`], a partition-index lookup) *and* in the
@@ -240,6 +306,31 @@ pub fn candidates_safe(
     for (u1, u2) in q.seed_edges(la, lb, e.label, ignore) {
         if endpoint_feasible(g, q, u1, e.src, ignore)
             && endpoint_feasible(g, q, u2, e.dst, ignore)
+            && algo.is_candidate(g, q, u1, e.src)
+            && algo.is_candidate(g, q, u2, e.dst)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`candidates_safe`] with the structural endpoint probes served from a
+/// cross-session [`ProbeMemo`]. Bit-identical verdicts to the unmemoized
+/// form (the memo only caches pure graph probes); the candidate checks
+/// still consult this algorithm's own ADS.
+pub fn candidates_safe_memo(
+    g: &DataGraph,
+    q: &QueryGraph,
+    algo: &dyn CsmAlgorithm,
+    e: &EdgeUpdate,
+    memo: &mut ProbeMemo,
+) -> bool {
+    let ignore = algo.ignore_edge_labels();
+    let (la, lb) = (g.label(e.src), g.label(e.dst));
+    for (u1, u2) in q.seed_edges(la, lb, e.label, ignore) {
+        if endpoint_feasible_memo(g, q, u1, e.src, false, ignore, memo)
+            && endpoint_feasible_memo(g, q, u2, e.dst, true, ignore, memo)
             && algo.is_candidate(g, q, u1, e.src)
             && algo.is_candidate(g, q, u2, e.dst)
         {
@@ -389,6 +480,31 @@ mod tests {
         // Adding the missing L1-L1 edge flips the verdict to unsafe.
         g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
         assert!(!candidates_safe(&g, &q, &Plain, &e));
+    }
+
+    #[test]
+    fn memoized_candidates_safe_matches_unmemoized() {
+        let (mut g, q) = setup();
+        g.insert_edge(VertexId(0), VertexId(1), ELabel(0)).unwrap();
+        let e1 = EdgeUpdate::new(VertexId(0), VertexId(1), ELabel(0));
+        let mut memo = ProbeMemo::new();
+        assert_eq!(
+            candidates_safe(&g, &q, &Plain, &e1),
+            candidates_safe_memo(&g, &q, &Plain, &e1, &mut memo)
+        );
+        // Re-answering from the memo (second "session") stays identical.
+        assert_eq!(
+            candidates_safe(&g, &q, &Plain, &e1),
+            candidates_safe_memo(&g, &q, &Plain, &e1, &mut memo)
+        );
+        // A graph mutation requires a reset; after it the memoized verdict
+        // tracks the new state.
+        g.insert_edge(VertexId(1), VertexId(2), ELabel(0)).unwrap();
+        memo.reset();
+        assert_eq!(
+            candidates_safe(&g, &q, &Plain, &e1),
+            candidates_safe_memo(&g, &q, &Plain, &e1, &mut memo)
+        );
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use engine::{Engine, FindOutcome, RunStats, SlowUpdate, StageSnapshot};
 pub use error::{CsmError, CsmResult};
 pub use framework::{ParaCosm, StreamOutcome, UpdateOutcome};
 pub use inner::{InnerConfig, InnerOutcome, SeedTask, SimOutcome};
-pub use inter::{Classified, ClassifierStats, SafeStage};
+pub use inter::{Classified, ClassifierStats, ProbeMemo, SafeStage};
 pub use kernel::{CandidateFilter, NoFilter, SearchCtx, SearchStats};
 pub use match_store::{MatchStore, StoreError};
 pub use metrics::LatencyHistogram;

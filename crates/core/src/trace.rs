@@ -102,10 +102,16 @@ pub enum Counter {
     AdsChanged,
     /// Parallel bulk flushes of label-safe runs in the batch executor.
     BulkFlushes,
+    /// Shared-index delta reuses: this engine absorbed another session's
+    /// cached ΔM instead of enumerating (serving layer only).
+    SharedHit,
+    /// Shared-index delta computations: this engine enumerated a ΔM that
+    /// was published for same-group sessions to reuse (serving layer only).
+    SharedMiss,
 }
 
 /// Number of counter slots (keep in sync with [`Counter`]).
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 19;
 
 /// Snapshot/exporter names, indexed by [`Counter`] discriminant.
 pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
@@ -126,6 +132,8 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "class_noop",
     "ads_changed",
     "bulk_flushes",
+    "shared_hits",
+    "shared_misses",
 ];
 
 /// Gauge identifiers (registry-global, not sharded).
@@ -722,6 +730,8 @@ fn counter_from_index(i: usize) -> Counter {
         ClassNoop,
         AdsChanged,
         BulkFlushes,
+        SharedHit,
+        SharedMiss,
     ];
     ALL[i]
 }
@@ -870,6 +880,9 @@ pub struct SessionDims {
     pub degraded: u64,
     /// Updates skipped outright (second rung); ΔM for these is unknown.
     pub skipped: u64,
+    /// Updates whose ΔM was absorbed from the service's shared index
+    /// (another same-group session enumerated it first).
+    pub shared_reuses: u64,
 }
 
 /// Machine-readable summary of one run: `RunStats` + latency-histogram
@@ -927,12 +940,13 @@ impl RunReport {
         if let Some(sess) = &self.session {
             o.push_str(&format!(
                 ",\"session\":{{\"id\":{},\"label\":\"{}\",\"budget_overruns\":{},\
-                 \"degraded\":{},\"skipped\":{}}}",
+                 \"degraded\":{},\"skipped\":{},\"shared_reuses\":{}}}",
                 sess.session_id,
                 json_escape(&sess.label),
                 sess.budget_overruns,
                 sess.degraded,
-                sess.skipped
+                sess.skipped,
+                sess.shared_reuses
             ));
         }
 

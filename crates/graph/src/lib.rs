@@ -33,6 +33,6 @@ pub mod update;
 pub use error::{GraphError, Result};
 pub use graph::DataGraph;
 pub use ids::{ELabel, QVertexId, VLabel, VertexId};
-pub use query::{QEdge, QueryGraph, MAX_QUERY_VERTICES};
+pub use query::{EdgePatternKey, QEdge, QueryGraph, TwoPathKey, MAX_QUERY_VERTICES};
 pub use stats::GraphStats;
 pub use update::{EdgeUpdate, Update, UpdateStream};

@@ -22,6 +22,76 @@ pub struct QEdge {
     pub label: ELabel,
 }
 
+/// Canonical single-edge sub-pattern key: the label triple of one query
+/// edge with the (unordered) endpoint labels sorted. Two query edges from
+/// different standing queries that canonicalize to the same key are
+/// label-compatible with exactly the same set of data edges, which is what
+/// lets a multi-session service classify an update once against the union
+/// of all registered queries (see `csm-service`'s shared index).
+///
+/// `el == None` is the wildcard form used for algorithms that ignore edge
+/// labels (CaLiG mode): such a key subscribes to every edge label.
+///
+/// Construction is confined to this module and the service's `shared.rs`
+/// by the `subpattern-key-confined` lint rule, so the sorted-endpoint
+/// invariant cannot be violated elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgePatternKey {
+    /// Smaller endpoint label.
+    pub la: VLabel,
+    /// Larger endpoint label (`la <= lb` always holds).
+    pub lb: VLabel,
+    /// Edge label, or `None` for the ignore-edge-labels wildcard.
+    pub el: Option<ELabel>,
+}
+
+impl EdgePatternKey {
+    /// Canonicalize an (unordered) endpoint-label pair plus optional edge
+    /// label into a key. The endpoint labels are sorted so both
+    /// orientations of an undirected edge map to the same key.
+    pub fn canonical(a: VLabel, b: VLabel, el: Option<ELabel>) -> Self {
+        let (la, lb) = if a <= b { (a, b) } else { (b, a) };
+        Self { la, lb, el }
+    }
+
+    /// Does a data edge with endpoint labels `(a, b)` and label `el` fall
+    /// under this key? (Wildcard keys accept any edge label.)
+    pub fn covers(&self, a: VLabel, b: VLabel, el: ELabel) -> bool {
+        let (la, lb) = if a <= b { (a, b) } else { (b, a) };
+        la == self.la && lb == self.lb && self.el.is_none_or(|k| k == el)
+    }
+}
+
+/// Canonical 2-path (wedge) sub-pattern key: a center vertex label plus
+/// the two end labels with their incident edge labels, ordered so the two
+/// arms are interchangeable. Two standing queries sharing a 2-path key
+/// share every candidate-feasibility probe for the wedge's center — the
+/// shared index counts these to size the cross-session probe memo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TwoPathKey {
+    /// Label of the wedge's center vertex.
+    pub mid: VLabel,
+    /// The two arms as `(end label, edge label)`, lexicographically sorted;
+    /// `None` edge labels are the ignore-edge-labels wildcard.
+    pub ends: [(VLabel, Option<ELabel>); 2],
+}
+
+impl TwoPathKey {
+    /// Canonicalize a wedge: center label plus two unordered arms.
+    pub fn canonical(
+        mid: VLabel,
+        arm_a: (VLabel, Option<ELabel>),
+        arm_b: (VLabel, Option<ELabel>),
+    ) -> Self {
+        let ends = if arm_a <= arm_b {
+            [arm_a, arm_b]
+        } else {
+            [arm_b, arm_a]
+        };
+        Self { mid, ends }
+    }
+}
+
 /// The immutable query graph `Q` (paper Def. 2.1/2.2).
 ///
 /// ```
@@ -221,6 +291,53 @@ impl QueryGraph {
         self.seed_edges(la, lb, el, ignore_elabel).next().is_some()
     }
 
+    /// Canonical single-edge sub-pattern keys of this query, deduplicated
+    /// and sorted. With `ignore_elabels` every key takes the wildcard form
+    /// (`el == None`); a data edge `(la, lb, el)` is label-compatible with
+    /// this query (stage-1 unsafe, see [`Self::matches_any_edge`]) iff its
+    /// canonical triple matches one of these keys.
+    pub fn edge_pattern_keys(&self, ignore_elabels: bool) -> Vec<EdgePatternKey> {
+        let mut keys: Vec<EdgePatternKey> = self
+            .edges
+            .iter()
+            .map(|e| {
+                EdgePatternKey::canonical(
+                    self.label(e.u),
+                    self.label(e.v),
+                    (!ignore_elabels).then_some(e.label),
+                )
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Canonical 2-path (wedge) sub-pattern keys of this query: one key
+    /// per unordered pair of edges sharing a vertex, deduplicated and
+    /// sorted. Queries sharing a key share the center vertex's
+    /// neighborhood-feasibility probes.
+    pub fn two_path_keys(&self, ignore_elabels: bool) -> Vec<TwoPathKey> {
+        let mut keys = Vec::new();
+        for m in self.vertices() {
+            let nbrs = self.neighbors(m);
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    let (a, ea) = nbrs[i];
+                    let (b, eb) = nbrs[j];
+                    keys.push(TwoPathKey::canonical(
+                        self.label(m),
+                        (self.label(a), (!ignore_elabels).then_some(ea)),
+                        (self.label(b), (!ignore_elabels).then_some(eb)),
+                    ));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
     /// Count the automorphisms of `Q` by brute-force permutation search.
     /// Exponential — test/diagnostic use only (queries are ≤ 10 vertices in
     /// the evaluation, and automorphism counts explain match multiplicities).
@@ -364,6 +481,92 @@ mod tests {
         assert!(!q.matches_any_edge(VLabel(0), VLabel(1), ELabel(0), false));
         assert!(!q.matches_any_edge(VLabel(0), VLabel(0), ELabel(1), false));
         assert!(q.matches_any_edge(VLabel(0), VLabel(0), ELabel(1), true));
+    }
+
+    #[test]
+    fn edge_pattern_keys_canonicalize_and_dedup() {
+        // Triangle over one label/elabel: all three edges collapse to one key.
+        let q = triangle();
+        let keys = q.edge_pattern_keys(false);
+        assert_eq!(
+            keys,
+            vec![EdgePatternKey::canonical(
+                VLabel(0),
+                VLabel(0),
+                Some(ELabel(0))
+            )]
+        );
+
+        // Mixed labels: endpoint order must not matter.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(5));
+        let b = q.add_vertex(VLabel(2));
+        q.add_edge(a, b, ELabel(7)).unwrap();
+        let keys = q.edge_pattern_keys(false);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].la, VLabel(2));
+        assert_eq!(keys[0].lb, VLabel(5));
+        assert_eq!(keys[0].el, Some(ELabel(7)));
+        assert!(keys[0].covers(VLabel(5), VLabel(2), ELabel(7)));
+        assert!(!keys[0].covers(VLabel(5), VLabel(2), ELabel(8)));
+
+        // Wildcard form covers any edge label.
+        let wild = q.edge_pattern_keys(true);
+        assert_eq!(wild[0].el, None);
+        assert!(wild[0].covers(VLabel(2), VLabel(5), ELabel(99)));
+    }
+
+    #[test]
+    fn edge_pattern_keys_agree_with_stage1_filter() {
+        // Key membership must coincide with matches_any_edge for every
+        // label triple in a small universe — the shared index's union
+        // classification leans on exactly this equivalence.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VLabel(0));
+        let b = q.add_vertex(VLabel(1));
+        let c = q.add_vertex(VLabel(2));
+        q.add_edge(a, b, ELabel(0)).unwrap();
+        q.add_edge(b, c, ELabel(1)).unwrap();
+        for ignore in [false, true] {
+            let keys = q.edge_pattern_keys(ignore);
+            for la in 0..3u32 {
+                for lb in 0..3u32 {
+                    for el in 0..2u32 {
+                        let (va, vb, ve) = (VLabel(la), VLabel(lb), ELabel(el));
+                        let by_key = keys.iter().any(|k| k.covers(va, vb, ve));
+                        assert_eq!(
+                            by_key,
+                            q.matches_any_edge(va, vb, ve, ignore),
+                            "key/stage-1 divergence at ({la},{lb},{el}) ignore={ignore}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_path_keys_canonicalize_arms() {
+        // Wedge 1-0-2: the two arms must sort identically no matter the
+        // insertion order.
+        let mut q1 = QueryGraph::new();
+        let m = q1.add_vertex(VLabel(0));
+        let x = q1.add_vertex(VLabel(1));
+        let y = q1.add_vertex(VLabel(2));
+        q1.add_edge(m, x, ELabel(3)).unwrap();
+        q1.add_edge(m, y, ELabel(4)).unwrap();
+
+        let mut q2 = QueryGraph::new();
+        let m2 = q2.add_vertex(VLabel(0));
+        let y2 = q2.add_vertex(VLabel(2));
+        let x2 = q2.add_vertex(VLabel(1));
+        q2.add_edge(m2, y2, ELabel(4)).unwrap();
+        q2.add_edge(m2, x2, ELabel(3)).unwrap();
+
+        assert_eq!(q1.two_path_keys(false), q2.two_path_keys(false));
+        assert_eq!(q1.two_path_keys(false).len(), 1);
+        // Triangle: three wedges, all identical under one label → one key.
+        assert_eq!(triangle().two_path_keys(false).len(), 1);
     }
 
     #[test]

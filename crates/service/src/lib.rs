@@ -19,6 +19,11 @@
 //!   once, runs the inter-update safe-update classifier per session, and
 //!   fans `Find_Matches` across sessions; [`ServiceReport`] aggregates the
 //!   per-session [`paracosm_core::RunReport`]s with admission counters;
+//! * [`shared`] — the cross-session shared-work index: canonical
+//!   sub-pattern keys map each update to its label-compatible subscriber
+//!   sessions in one lookup, and duplicate queries exchange cached ΔM
+//!   deltas instead of enumerating N times ([`SharedIndexStats`] reports
+//!   its effectiveness);
 //! * [`telemetry`] — the live observability plane: an HTTP scrape
 //!   endpoint (`/metrics`, `/healthz`, `/readyz`, `/sessions`) backed by
 //!   per-session rolling windows, plus a stall watchdog. Started with
@@ -35,11 +40,13 @@
 pub mod queue;
 pub mod service;
 pub mod session;
+pub mod shared;
 pub mod telemetry;
 
 pub use queue::{AdmissionQueue, Backpressure, IngestHandle};
 pub use service::{CsmService, ServiceConfig, ServiceReport};
 pub use session::{DegradeLevel, SessionSpec};
+pub use shared::SharedIndexStats;
 pub use telemetry::{
     StallDiagnostic, StallKind, TelemetryConfig, TelemetryHandle, MAX_DIAGNOSTICS,
 };

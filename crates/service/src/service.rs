@@ -18,11 +18,12 @@
 
 use crate::queue::{AdmissionQueue, Backpressure, IngestHandle};
 use crate::session::{Session, SessionFind, SessionSpec};
+use crate::shared::{SharedIndex, SharedIndexStats};
 use crate::telemetry::{ServiceTelemetry, TelemetryConfig, TelemetryHandle};
 use csm_graph::{DataGraph, EdgeUpdate, Update};
 use paracosm_core::{
-    Classified, CsmAlgorithm, CsmError, CsmResult, RunReport, SafeStage, StreamObserver,
-    UpdateObservation,
+    Classified, CsmAlgorithm, CsmError, CsmResult, RunReport, SafeStage, StageSnapshot,
+    StreamObserver, UpdateObservation,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,6 +35,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Full-queue behavior.
     pub policy: Backpressure,
+    /// Cross-session shared-work index (see [`crate::shared`]): classify
+    /// each update once against the union of registered sub-patterns and
+    /// fan cached ΔM deltas out to duplicate queries. Per-session results
+    /// are bit-identical either way; `off` exists for differential testing
+    /// and as an escape hatch.
+    pub shared_index: bool,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +48,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             queue_capacity: 1024,
             policy: Backpressure::Block,
+            shared_index: true,
         }
     }
 }
@@ -49,6 +57,10 @@ impl Default for ServiceConfig {
 enum DeleteStage {
     /// Label-safe: no ADS maintenance, no enumeration.
     LabelSafe,
+    /// Label-safe on the deferred fast path (shared index on, session has
+    /// no per-update consumers): bookkeeping accumulates in the session
+    /// ([`Session::fan_label_safe`]) instead of running here.
+    Deferred,
     /// Safe at stage 2 or 3: maintain the ADS after removal, no search.
     Maintain(Classified),
     /// Unsafe: matches were enumerated pre-removal.
@@ -112,6 +124,7 @@ pub struct CsmService {
     noops: u64,
     invalid: u64,
     telemetry: Option<ServiceTelemetry>,
+    shared: Option<SharedIndex>,
 }
 
 impl CsmService {
@@ -129,6 +142,7 @@ impl CsmService {
             noops: 0,
             invalid: 0,
             telemetry: None,
+            shared: cfg.shared_index.then(SharedIndex::new),
         })
     }
 
@@ -187,6 +201,9 @@ impl CsmService {
             t.register_session(&mut session);
         }
         self.next_id += 1;
+        if let Some(ix) = &mut self.shared {
+            ix.register(&session);
+        }
         self.sessions.push(session);
         Ok(id)
     }
@@ -202,11 +219,22 @@ impl CsmService {
             .iter()
             .position(|s| s.id == id)
             .ok_or(CsmError::SessionNotFound(id))?;
-        let session = self.sessions.remove(pos);
+        let mut session = self.sessions.remove(pos);
+        if let Some(ix) = &mut self.shared {
+            ix.unregister(pos);
+            debug_assert_eq!(ix.len(), self.sessions.len());
+        }
         if let Some(t) = &mut self.telemetry {
             t.unregister_session(id);
         }
+        session.flush_deferred();
         Ok(session.report())
+    }
+
+    /// Lifetime effectiveness counters of the shared-work index (`None`
+    /// when the service runs with `shared_index: false`).
+    pub fn shared_stats(&self) -> Option<SharedIndexStats> {
+        self.shared.as_ref().map(SharedIndex::stats)
     }
 
     /// Live session count.
@@ -291,6 +319,7 @@ impl CsmService {
         };
         Ok(ServiceReport {
             stalls,
+            shared: self.shared.as_ref().map(SharedIndex::stats),
             policy: self.queue.policy(),
             queue_capacity: self.queue.capacity(),
             admitted: self.queue.admitted(),
@@ -300,7 +329,14 @@ impl CsmService {
             noops: self.noops,
             invalid: self.invalid,
             elapsed,
-            sessions: self.sessions.iter().map(|s| s.report()).collect(),
+            sessions: self
+                .sessions
+                .iter_mut()
+                .map(|s| {
+                    s.flush_deferred();
+                    s.report()
+                })
+                .collect(),
         })
     }
 
@@ -320,7 +356,14 @@ impl CsmService {
         }
         let result = self.process_one_inner(u, idx);
         if let Some(t) = &self.telemetry {
-            t.end_update(self.processed, self.noops, self.invalid, &self.sessions);
+            let shared_stats = self.shared.as_ref().map(SharedIndex::stats);
+            t.end_update(
+                self.processed,
+                self.noops,
+                self.invalid,
+                &self.sessions,
+                shared_stats,
+            );
         }
         result
     }
@@ -461,30 +504,66 @@ impl CsmService {
         }
 
         if is_insert {
-            // Stages 1-2 are judged on the pre-insertion graph, per session.
+            // Stages 1-2 are judged on the pre-insertion graph. With the
+            // shared index, stage 1 is one union lookup (two hash probes)
+            // instead of a per-session label scan and stage 2 runs once
+            // per share group; debug builds re-check both per session.
             let g = &self.g;
-            let stages: Vec<Option<SafeStage>> = self
-                .sessions
-                .iter()
-                .map(|s| {
-                    if s.eng.label_safe(g, &e) {
-                        Some(SafeStage::Label)
-                    } else if s.eng.degree_safe(g, &e, true) {
-                        Some(SafeStage::Degree)
-                    } else {
-                        None
-                    }
-                })
-                .collect();
+            let stages: Vec<Option<SafeStage>> = match &mut self.shared {
+                Some(ix) => {
+                    ix.begin_edge(g.label(e.src), g.label(e.dst), e.label);
+                    self.sessions
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, s)| {
+                            if !ix.involved(pos) {
+                                debug_assert!(s.eng.label_safe(g, &e));
+                                Some(SafeStage::Label)
+                            } else {
+                                debug_assert!(!s.eng.label_safe(g, &e));
+                                let safe =
+                                    ix.degree_safe_for(pos, || s.eng.degree_safe(g, &e, true));
+                                debug_assert_eq!(safe, s.eng.degree_safe(g, &e, true));
+                                safe.then_some(SafeStage::Degree)
+                            }
+                        })
+                        .collect()
+                }
+                None => self
+                    .sessions
+                    .iter()
+                    .map(|s| {
+                        if s.eng.label_safe(g, &e) {
+                            Some(SafeStage::Label)
+                        } else if s.eng.degree_safe(g, &e, true) {
+                            Some(SafeStage::Degree)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+            };
             let t0 = Instant::now();
             self.g.insert_edge(e.src, e.dst, e.label)?;
             let apply = t0.elapsed();
             let g = &self.g;
-            for (s, stage) in self.sessions.iter_mut().zip(stages) {
+            let shared_on = self.shared.is_some();
+            for (pos, (s, stage)) in self.sessions.iter_mut().zip(stages).enumerate() {
+                // With the index on and no per-update consumer (rolling
+                // window / event tracing), label-safe fan-out defers its
+                // bookkeeping: the observer fires now, the commutative
+                // stats/counter totals fold in at the next flush point.
+                if shared_on && stage == Some(SafeStage::Label) && s.defers() {
+                    s.fan_label_safe(idx, apply);
+                    continue;
+                }
                 s.eng.note_update();
                 s.eng.note_apply(apply);
                 let pre = s.eng.stage_snapshot();
-                let t = Instant::now();
+                // With the index on, label-safe fan-out is pure bookkeeping
+                // too cheap to meter per session — its latency reports as
+                // zero instead of paying two clock reads per session.
+                let t = (!(shared_on && stage == Some(SafeStage::Label))).then(Instant::now);
                 let (verdict, found) = match stage {
                     // Label-safe updates skip both ADS maintenance and
                     // search (batch-executor convention).
@@ -494,14 +573,36 @@ impl CsmService {
                         (Classified::Safe(stage), None)
                     }
                     None => {
-                        // Stage 3 is judged post-insertion, post-ADS.
+                        // Stage 3 is judged post-insertion, post-ADS; the
+                        // structural probes come from the cross-session
+                        // memo when the index is on (same verdicts).
                         let change = s.eng.ads_update(g, e, true);
-                        if change == paracosm_core::AdsChange::Unchanged
-                            && s.eng.candidates_safe(g, &e)
-                        {
+                        let safe3 = change == paracosm_core::AdsChange::Unchanged
+                            && match &mut self.shared {
+                                Some(ix) => {
+                                    let v = s.eng.candidates_safe_memo(g, &e, ix.memo());
+                                    debug_assert_eq!(v, s.eng.candidates_safe(g, &e));
+                                    v
+                                }
+                                None => s.eng.candidates_safe(g, &e),
+                            };
+                        if safe3 {
                             (Classified::Safe(SafeStage::Ads), None)
                         } else {
-                            let f = s.enumerate(g, &e, true);
+                            let f = match &mut self.shared {
+                                Some(ix) if ix.eligible(pos) => match ix.reuse(pos) {
+                                    Some(count) => s.absorb_shared(count, true),
+                                    None => {
+                                        let f = s.enumerate(g, &e, true);
+                                        if !f.skipped {
+                                            ix.publish(pos, f.count);
+                                            s.eng.note_shared_publish();
+                                        }
+                                        f
+                                    }
+                                },
+                                _ => s.enumerate(g, &e, true),
+                            };
                             (Classified::Unsafe, Some(f))
                         }
                     }
@@ -514,7 +615,7 @@ impl CsmService {
                         index: idx,
                         verdict: Some(verdict),
                         noop: false,
-                        latency: t.elapsed(),
+                        latency: t.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
                         positives: f.count,
                         negatives: 0,
                         skipped: f.skipped,
@@ -526,30 +627,96 @@ impl CsmService {
             // Deletions classify and enumerate on the pre-removal graph.
             let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
             let g = &self.g;
+            if let Some(ix) = &mut self.shared {
+                ix.begin_edge(g.label(e.src), g.label(e.dst), e.label);
+            }
             let mut pres = Vec::with_capacity(self.sessions.len());
-            for s in self.sessions.iter_mut() {
+            for (pos, s) in self.sessions.iter_mut().enumerate() {
+                // Deferred fast path, as on inserts: label-safe fan-out for
+                // a session with no per-update consumers skips the engine
+                // entirely until the next flush point.
+                if let Some(ix) = &self.shared {
+                    if !ix.involved(pos) && s.defers() {
+                        debug_assert!(s.eng.label_safe(g, &e));
+                        pres.push((
+                            StageSnapshot::default(),
+                            Duration::ZERO,
+                            DeleteStage::Deferred,
+                        ));
+                        continue;
+                    }
+                }
                 s.eng.note_update();
                 let pre = s.eng.stage_snapshot();
-                let t = Instant::now();
-                let stage = if s.eng.label_safe(g, &e) {
-                    DeleteStage::LabelSafe
-                } else if s.eng.degree_safe(g, &e, false) {
-                    DeleteStage::Maintain(Classified::Safe(SafeStage::Degree))
-                } else if s.eng.candidates_safe(g, &e) {
-                    DeleteStage::Maintain(Classified::Safe(SafeStage::Ads))
-                } else {
-                    DeleteStage::Found(s.enumerate(g, &e, false))
+                let (dt, stage) = match &mut self.shared {
+                    Some(ix) => {
+                        if !ix.involved(pos) {
+                            debug_assert!(s.eng.label_safe(g, &e));
+                            // Untimed fan-out bookkeeping, as on inserts.
+                            (Duration::ZERO, DeleteStage::LabelSafe)
+                        } else {
+                            debug_assert!(!s.eng.label_safe(g, &e));
+                            let t = Instant::now();
+                            let deg = ix.degree_safe_for(pos, || s.eng.degree_safe(g, &e, false));
+                            debug_assert_eq!(deg, s.eng.degree_safe(g, &e, false));
+                            let ads_safe = !deg && {
+                                let v = s.eng.candidates_safe_memo(g, &e, ix.memo());
+                                debug_assert_eq!(v, s.eng.candidates_safe(g, &e));
+                                v
+                            };
+                            let stage = if deg {
+                                DeleteStage::Maintain(Classified::Safe(SafeStage::Degree))
+                            } else if ads_safe {
+                                DeleteStage::Maintain(Classified::Safe(SafeStage::Ads))
+                            } else if ix.eligible(pos) {
+                                match ix.reuse(pos) {
+                                    Some(count) => {
+                                        DeleteStage::Found(s.absorb_shared(count, false))
+                                    }
+                                    None => {
+                                        let f = s.enumerate(g, &e, false);
+                                        if !f.skipped {
+                                            ix.publish(pos, f.count);
+                                            s.eng.note_shared_publish();
+                                        }
+                                        DeleteStage::Found(f)
+                                    }
+                                }
+                            } else {
+                                DeleteStage::Found(s.enumerate(g, &e, false))
+                            };
+                            (t.elapsed(), stage)
+                        }
+                    }
+                    None => {
+                        let t = Instant::now();
+                        let stage = if s.eng.label_safe(g, &e) {
+                            DeleteStage::LabelSafe
+                        } else if s.eng.degree_safe(g, &e, false) {
+                            DeleteStage::Maintain(Classified::Safe(SafeStage::Degree))
+                        } else if s.eng.candidates_safe(g, &e) {
+                            DeleteStage::Maintain(Classified::Safe(SafeStage::Ads))
+                        } else {
+                            DeleteStage::Found(s.enumerate(g, &e, false))
+                        };
+                        (t.elapsed(), stage)
+                    }
                 };
-                pres.push((pre, t.elapsed(), stage));
+                pres.push((pre, dt, stage));
             }
             let t0 = Instant::now();
             self.g.remove_edge(e.src, e.dst)?;
             let apply = t0.elapsed();
             let g = &self.g;
             for (s, (pre, dt, stage)) in self.sessions.iter_mut().zip(pres) {
+                if matches!(stage, DeleteStage::Deferred) {
+                    s.fan_label_safe(idx, apply);
+                    continue;
+                }
                 s.eng.note_apply(apply);
                 let t = Instant::now();
                 let (verdict, found) = match stage {
+                    DeleteStage::Deferred => unreachable!("deferred fan-out handled above"),
                     DeleteStage::LabelSafe => (Classified::Safe(SafeStage::Label), None),
                     DeleteStage::Maintain(v) => {
                         s.eng.ads_update(g, e, false);
@@ -590,17 +757,59 @@ impl CsmService {
         };
         let e = EdgeUpdate::new(e.src, e.dst, label);
         let g = &self.g;
+        if let Some(ix) = &mut self.shared {
+            // Each cascaded edge is its own phase: fresh stage-1 flags,
+            // fresh probe memo, fresh delta cache.
+            ix.begin_edge(g.label(e.src), g.label(e.dst), e.label);
+        }
         let mut label_safe = Vec::with_capacity(self.sessions.len());
-        for (s, a) in self.sessions.iter_mut().zip(acc.iter_mut()) {
-            let t = Instant::now();
-            let is_label_safe = s.eng.label_safe(g, &e);
-            if !is_label_safe && !s.eng.degree_safe(g, &e, false) && !s.eng.candidates_safe(g, &e) {
-                let f = s.enumerate(g, &e, false);
-                a.negatives += f.count;
-                a.skipped |= f.skipped;
+        for (pos, (s, a)) in self.sessions.iter_mut().zip(acc.iter_mut()).enumerate() {
+            match &mut self.shared {
+                Some(ix) => {
+                    let is_label_safe = !ix.involved(pos);
+                    debug_assert_eq!(is_label_safe, s.eng.label_safe(g, &e));
+                    if !is_label_safe {
+                        let t = Instant::now();
+                        let deg = ix.degree_safe_for(pos, || s.eng.degree_safe(g, &e, false));
+                        debug_assert_eq!(deg, s.eng.degree_safe(g, &e, false));
+                        if !deg && !s.eng.candidates_safe_memo(g, &e, ix.memo()) {
+                            let f = if ix.eligible(pos) {
+                                match ix.reuse(pos) {
+                                    Some(count) => s.absorb_shared(count, false),
+                                    None => {
+                                        let f = s.enumerate(g, &e, false);
+                                        if !f.skipped {
+                                            ix.publish(pos, f.count);
+                                            s.eng.note_shared_publish();
+                                        }
+                                        f
+                                    }
+                                }
+                            } else {
+                                s.enumerate(g, &e, false)
+                            };
+                            a.negatives += f.count;
+                            a.skipped |= f.skipped;
+                        }
+                        a.elapsed += t.elapsed();
+                    }
+                    label_safe.push(is_label_safe);
+                }
+                None => {
+                    let t = Instant::now();
+                    let is_label_safe = s.eng.label_safe(g, &e);
+                    if !is_label_safe
+                        && !s.eng.degree_safe(g, &e, false)
+                        && !s.eng.candidates_safe(g, &e)
+                    {
+                        let f = s.enumerate(g, &e, false);
+                        a.negatives += f.count;
+                        a.skipped |= f.skipped;
+                    }
+                    a.elapsed += t.elapsed();
+                    label_safe.push(is_label_safe);
+                }
             }
-            a.elapsed += t.elapsed();
-            label_safe.push(is_label_safe);
         }
         self.g.remove_edge(e.src, e.dst)?;
         let g = &self.g;
@@ -638,6 +847,9 @@ pub struct ServiceReport {
     /// Watchdog-flagged stalls over the service lifetime (always 0 when
     /// telemetry was never started).
     pub stalls: u64,
+    /// Shared-index effectiveness counters (`None` when the index was
+    /// disabled).
+    pub shared: Option<SharedIndexStats>,
     /// Wall time since the service was constructed.
     pub elapsed: Duration,
     /// Final per-session reports (sessions live at shutdown), each tagged
@@ -660,6 +872,13 @@ impl ServiceReport {
         out.push_str(&format!(",\"noops\":{}", self.noops));
         out.push_str(&format!(",\"invalid\":{}", self.invalid));
         out.push_str(&format!(",\"stalls\":{}", self.stalls));
+        match &self.shared {
+            Some(sh) => out.push_str(&format!(
+                ",\"shared\":{{\"subpatterns\":{},\"hits\":{},\"misses\":{}}}",
+                sh.subpatterns, sh.hits, sh.misses
+            )),
+            None => out.push_str(",\"shared\":null"),
+        }
         out.push_str(&format!(",\"elapsed_ns\":{}", self.elapsed.as_nanos()));
         out.push_str(",\"sessions\":[");
         for (i, r) in self.sessions.iter().enumerate() {

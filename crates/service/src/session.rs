@@ -9,8 +9,8 @@
 use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
 use paracosm_core::trace::Counter;
 use paracosm_core::{
-    CsmAlgorithm, CsmResult, Engine, ParaCosmConfig, RunReport, SessionDims, StageSnapshot,
-    StreamObserver, UpdateObservation,
+    Classified, CsmAlgorithm, CsmResult, Engine, ParaCosmConfig, RunReport, SafeStage, SessionDims,
+    StageSnapshot, StreamObserver, UpdateObservation,
 };
 use std::time::{Duration, Instant};
 
@@ -138,6 +138,12 @@ pub(crate) struct Session {
     budget_overruns: u64,
     degraded: u64,
     skipped_updates: u64,
+    shared_reuses: u64,
+    /// Label-safe fan-outs taken on the deferred fast path and not yet
+    /// folded into the engine ([`Session::flush_deferred`]).
+    pending_label_safe: u64,
+    /// Graph-apply wall time attributed to those deferred fan-outs.
+    pending_apply: Duration,
 }
 
 impl Session {
@@ -162,6 +168,9 @@ impl Session {
             budget_overruns: 0,
             degraded: 0,
             skipped_updates: 0,
+            shared_reuses: 0,
+            pending_label_safe: 0,
+            pending_apply: Duration::ZERO,
         })
     }
 
@@ -178,12 +187,56 @@ impl Session {
             budget_overruns: self.budget_overruns,
             degraded: self.degraded,
             skipped: self.skipped_updates,
+            shared_reuses: self.shared_reuses,
         }
     }
 
     /// The session's per-query [`RunReport`], tagged with its dimensions.
+    /// Callers with `&mut` access flush deferred fan-out bookkeeping first
+    /// ([`Session::flush_deferred`]); the assert keeps them honest.
     pub(crate) fn report(&self) -> RunReport {
+        debug_assert_eq!(self.pending_label_safe, 0, "report before flush_deferred");
         self.eng.run_report(None, Some(self.dims()))
+    }
+
+    /// May label-safe fan-outs to this session defer their bookkeeping
+    /// ([`Session::fan_label_safe`])? Mirrors the engine's gate: no rolling
+    /// window (so no live telemetry mirror) and no event-level tracing.
+    #[inline]
+    pub(crate) fn defers(&self) -> bool {
+        self.eng.defers_fan_bookkeeping()
+    }
+
+    /// Label-safe fan-out on the deferred fast path: the observer sees the
+    /// exact same [`UpdateObservation`] as the slow path (verdict
+    /// label-safe, zero latency, empty ΔM), while stats/counter bookkeeping
+    /// accumulates in the session until [`Session::flush_deferred`].
+    #[inline]
+    pub(crate) fn fan_label_safe(&mut self, idx: u64, apply: Duration) {
+        debug_assert!(self.defers());
+        self.pending_label_safe += 1;
+        self.pending_apply += apply;
+        self.observer.on_update(&UpdateObservation {
+            index: idx,
+            verdict: Some(Classified::Safe(SafeStage::Label)),
+            noop: false,
+            latency: Duration::ZERO,
+            positives: 0,
+            negatives: 0,
+            skipped: false,
+        });
+    }
+
+    /// Fold deferred label-safe bookkeeping into the engine. Must run
+    /// before the engine's stats or counters are read externally; no-op
+    /// when nothing is pending.
+    pub(crate) fn flush_deferred(&mut self) {
+        if self.pending_label_safe > 0 {
+            self.eng
+                .flush_label_safe(self.pending_label_safe, self.pending_apply);
+            self.pending_label_safe = 0;
+            self.pending_apply = Duration::ZERO;
+        }
     }
 
     /// Budgeted `Find_Matches` for one unsafe update: enumerate at the
@@ -257,14 +310,40 @@ impl Session {
         }
     }
 
+    /// May this session exchange ΔM deltas through the service's shared
+    /// index? Only sessions with no per-update budget and no deadline
+    /// qualify: a budgeted session must run its own enumeration so the
+    /// degradation ladder observes the same timings as an index-off run,
+    /// and a deadline could truncate a count mid-search.
+    pub(crate) fn shared_eligible(&self) -> bool {
+        self.budget.is_none() && self.eng.deadline().is_none()
+    }
+
+    /// Absorb a ΔM computed by a same-group session for this exact update:
+    /// identical attribution to [`Session::enumerate`] (stats + tracer
+    /// counters) with no search. Only sound for
+    /// [`Session::shared_eligible`] sessions, which never degrade and never
+    /// skip — so the returned find is never `skipped`.
+    pub(crate) fn absorb_shared(&mut self, count: u64, positive: bool) -> SessionFind {
+        debug_assert!(self.shared_eligible() && self.level == DegradeLevel::Full);
+        self.eng.absorb_delta(count, positive);
+        self.shared_reuses += 1;
+        SessionFind {
+            count,
+            skipped: false,
+        }
+    }
+
     /// Ladder counters mirrored into the live telemetry plane after every
-    /// update: (level, budget_overruns, degraded, skipped_updates).
-    pub(crate) fn telemetry_counters(&self) -> (DegradeLevel, u64, u64, u64) {
+    /// update: (level, budget_overruns, degraded, skipped_updates,
+    /// shared_reuses).
+    pub(crate) fn telemetry_counters(&self) -> (DegradeLevel, u64, u64, u64, u64) {
         (
             self.level,
             self.budget_overruns,
             self.degraded,
             self.skipped_updates,
+            self.shared_reuses,
         )
     }
 

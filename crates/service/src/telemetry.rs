@@ -36,6 +36,7 @@
 
 use crate::queue::AdmissionQueue;
 use crate::session::{DegradeLevel, Session};
+use crate::shared::SharedIndexStats;
 use csm_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use csm_check::sync::{Mutex, PoisonError};
 use paracosm_core::{CsmError, CsmResult, WindowConfig, WindowCounter, WindowRing};
@@ -177,6 +178,7 @@ struct SessionTelemetry {
     budget_overruns: AtomicU64,
     degraded: AtomicU64,
     skipped: AtomicU64,
+    shared_reuses: AtomicU64,
 }
 
 fn level_code(l: DegradeLevel) -> u64 {
@@ -213,6 +215,11 @@ struct TelemetryShared {
     /// ns-since-start when the in-flight update began (0 = idle).
     inflight_since_ns: AtomicU64,
     inflight_index: AtomicU64,
+    /// Shared-index mirror (zero / absent when the index is off):
+    /// distinct sub-patterns, delta-cache hits, delta-cache misses.
+    shared_subpatterns: AtomicU64,
+    shared_hits: AtomicU64,
+    shared_misses: AtomicU64,
     stalled: AtomicBool,
     stalls_total: AtomicU64,
     diagnostics: Mutex<Vec<StallDiagnostic>>,
@@ -324,6 +331,9 @@ impl ServiceTelemetry {
             last_progress_ns: AtomicU64::new(0),
             inflight_since_ns: AtomicU64::new(0),
             inflight_index: AtomicU64::new(0),
+            shared_subpatterns: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            shared_misses: AtomicU64::new(0),
             stalled: AtomicBool::new(false),
             stalls_total: AtomicU64::new(0),
             diagnostics: Mutex::new(Vec::new()),
@@ -375,6 +385,7 @@ impl ServiceTelemetry {
             budget_overruns: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            shared_reuses: AtomicU64::new(0),
         });
         self.mirror.push(Arc::clone(&st_entry));
         lock(&self.shared.sessions).push(st_entry);
@@ -405,18 +416,25 @@ impl ServiceTelemetry {
         noops: u64,
         invalid: u64,
         sessions: &[Session],
+        shared_stats: Option<SharedIndexStats>,
     ) {
         st(&self.shared.last_progress_ns, self.shared.now_ns().max(1));
         st(&self.shared.inflight_since_ns, 0);
         st(&self.shared.processed, processed);
         st(&self.shared.noops, noops);
         st(&self.shared.invalid, invalid);
+        if let Some(sh) = shared_stats {
+            st(&self.shared.shared_subpatterns, sh.subpatterns);
+            st(&self.shared.shared_hits, sh.hits);
+            st(&self.shared.shared_misses, sh.misses);
+        }
         for (s, m) in sessions.iter().zip(self.mirror.iter()) {
-            let (level, overruns, degraded, skipped) = s.telemetry_counters();
+            let (level, overruns, degraded, skipped, reuses) = s.telemetry_counters();
             st(&m.level, level_code(level));
             st(&m.budget_overruns, overruns);
             st(&m.degraded, degraded);
             st(&m.skipped, skipped);
+            st(&m.shared_reuses, reuses);
         }
     }
 
@@ -663,6 +681,26 @@ fn render_prometheus(shared: &TelemetryShared) -> String {
         o.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
     }
 
+    o.push_str(
+        "# HELP paracosm_shared_subpatterns Distinct canonical sub-patterns across \
+         registered sessions (0 when the shared index is off).\n",
+    );
+    o.push_str("# TYPE paracosm_shared_subpatterns gauge\n");
+    o.push_str(&format!(
+        "paracosm_shared_subpatterns {}\n",
+        ld(&shared.shared_subpatterns)
+    ));
+    o.push_str(
+        "# HELP paracosm_shared_hits_total \u{394}M deltas absorbed from the cross-session \
+         cache instead of enumerated.\n",
+    );
+    for (name, v) in [
+        ("paracosm_shared_hits_total", ld(&shared.shared_hits)),
+        ("paracosm_shared_misses_total", ld(&shared.shared_misses)),
+    ] {
+        o.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+
     let sessions = lock(&shared.sessions).clone();
     for s in &sessions {
         let labels = format!("session=\"{}\",label=\"{}\"", s.id, escape_label(&s.label));
@@ -698,6 +736,10 @@ fn render_prometheus(shared: &TelemetryShared) -> String {
         o.push_str(&format!(
             "paracosm_session_degraded_total{{{labels}}} {}\n",
             ld(&s.degraded)
+        ));
+        o.push_str(&format!(
+            "paracosm_session_shared_reuses_total{{{labels}}} {}\n",
+            ld(&s.shared_reuses)
         ));
 
         let snap = w.snapshot();
@@ -763,6 +805,12 @@ fn render_sessions_json(shared: &TelemetryShared) -> String {
     o.push_str(&format!(",\"noops\":{}", ld(&shared.noops)));
     o.push_str(&format!(",\"invalid\":{}", ld(&shared.invalid)));
     o.push_str(&format!(
+        ",\"shared\":{{\"subpatterns\":{},\"hits\":{},\"misses\":{}}}",
+        ld(&shared.shared_subpatterns),
+        ld(&shared.shared_hits),
+        ld(&shared.shared_misses)
+    ));
+    o.push_str(&format!(
         ",\"queue\":{{\"depth\":{},\"capacity\":{},\"policy\":\"{}\",\"admitted\":{},\
          \"shed\":{},\"rejected\":{},\"closed\":{}}}",
         q.len(),
@@ -785,7 +833,7 @@ fn render_sessions_json(shared: &TelemetryShared) -> String {
         o.push_str(&format!(
             "{{\"id\":{},\"label\":\"{}\",\"algo\":\"{}\",\"level\":\"{}\",\
              \"updates\":{},\"delta_pos\":{},\"delta_neg\":{},\"noops\":{},\"skipped\":{},\
-             \"budget_overruns\":{},\"degraded\":{},\
+             \"budget_overruns\":{},\"degraded\":{},\"shared_reuses\":{},\
              \"window\":{{\"span_ns\":{},\"updates\":{},\"rate_per_sec\":{},\
              \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}}}",
             s.id,
@@ -799,6 +847,7 @@ fn render_sessions_json(shared: &TelemetryShared) -> String {
             w.total(WindowCounter::Skipped),
             ld(&s.budget_overruns),
             ld(&s.degraded),
+            ld(&s.shared_reuses),
             snap.span.as_nanos(),
             snap.count(WindowCounter::Updates),
             snap.rate(WindowCounter::Updates),

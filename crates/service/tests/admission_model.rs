@@ -187,6 +187,95 @@ fn edge_query() -> QueryGraph {
     q
 }
 
+/// Concurrent registration vs. update admission: a producer races the
+/// owner, who registers a duplicate-query session mid-stream. On every
+/// schedule the shared index must absorb the joiner without perturbing
+/// the veteran — the veteran observes every processed update, the joiner
+/// observes no more than the veteran (only updates processed after it
+/// joined), both classifier tallies stay internally consistent, and the
+/// index's lifetime hit counter reconciles exactly with the per-session
+/// reuse dimensions.
+#[test]
+fn registration_races_admission_under_schedules() {
+    for seed in 0..iters(100) {
+        sched::model(seed, || {
+            let mut g = DataGraph::new();
+            for _ in 0..6 {
+                g.add_vertex(VLabel(0));
+            }
+            let mut svc = CsmService::new(
+                g,
+                ServiceConfig {
+                    queue_capacity: 2,
+                    policy: Backpressure::ShedOldest,
+                    shared_index: true,
+                },
+            )
+            .unwrap();
+            let veteran = svc
+                .add_session(
+                    SessionSpec::new(edge_query(), ParaCosmConfig::sequential()),
+                    Box::new(Plain),
+                    Box::new(NoopObserver),
+                )
+                .unwrap();
+
+            let handle = svc.ingest();
+            let producer = thread::spawn(move || {
+                for i in 0..4u32 {
+                    handle.send(upd(i)).unwrap();
+                }
+            });
+            svc.drain().unwrap();
+            // Registration races the producer's still-in-flight sends; the
+            // index must pick the new share group up exactly here.
+            let joiner = svc
+                .add_session(
+                    SessionSpec::new(edge_query(), ParaCosmConfig::sequential()),
+                    Box::new(Plain),
+                    Box::new(NoopObserver),
+                )
+                .unwrap();
+            producer.join().unwrap();
+
+            let report = svc.shutdown().unwrap();
+            assert_eq!(report.admitted, 4, "shed-oldest admits every send");
+            assert_eq!(
+                report.processed + report.shed,
+                report.admitted,
+                "every admitted update processes or sheds"
+            );
+            let find = |id: u64| {
+                report
+                    .sessions
+                    .iter()
+                    .find(|s| s.session.as_ref().unwrap().session_id == id)
+                    .unwrap()
+            };
+            let vet = find(veteran);
+            let joined = find(joiner);
+            assert_eq!(
+                vet.stats.updates, report.processed,
+                "the veteran observes every processed update"
+            );
+            assert!(
+                joined.stats.updates <= vet.stats.updates,
+                "the joiner observes only updates processed after it joined"
+            );
+            assert!(vet.stats.classifier.is_consistent());
+            assert!(joined.stats.classifier.is_consistent());
+            let sh = report.shared.expect("index on");
+            let reuses: u64 = report
+                .sessions
+                .iter()
+                .map(|s| s.session.as_ref().unwrap().shared_reuses)
+                .sum();
+            assert_eq!(sh.hits, reuses, "index hits must equal Σ session reuses");
+        })
+        .unwrap_or_else(|f| panic!("{f}"));
+    }
+}
+
 /// Live removal and shutdown drain cleanly while a producer races the
 /// owner: on every schedule the service processes exactly the admitted
 /// minus shed updates, each live session observes all of them, and the
@@ -204,6 +293,7 @@ fn service_remove_and_shutdown_drain_under_schedules() {
                 ServiceConfig {
                     queue_capacity: 2,
                     policy: Backpressure::ShedOldest,
+                    shared_index: true,
                 },
             )
             .unwrap();

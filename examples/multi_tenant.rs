@@ -90,6 +90,7 @@ fn main() {
         ServiceConfig {
             queue_capacity: 256,
             policy: Backpressure::Block,
+            shared_index: true,
         },
     )
     .expect("valid service config");

@@ -20,6 +20,11 @@
 //! * **std-net-confined** — `std::net` only in
 //!   `crates/service/src/telemetry.rs`: sockets stay out of the matching
 //!   kernel, the executors, and every other library path.
+//! * **subpattern-key-confined** — canonical sub-pattern key construction
+//!   (`EdgePatternKey`/`TwoPathKey` literals and `::canonical` calls) only
+//!   in `crates/graph/src/query.rs` (the decomposition that defines the
+//!   scheme) and `crates/service/src/shared.rs` (the index that probes
+//!   it); every other path consumes keys opaquely.
 //! * **kernel-hot-loop** — no `Instant::now()` and no allocation patterns
 //!   in `kernel.rs` outside the `LINT.md` hot-path exception table.
 //! * **trace-local-only** — no shared-`Tracer` `count`/`event` calls in
@@ -59,6 +64,21 @@ const SPAWN_ALLOWED: [&str; 3] = [
 
 /// The only library file allowed to touch `std::net`.
 const NET_ALLOWED: &str = "crates/service/src/telemetry.rs";
+
+/// The only files allowed to *construct* canonical sub-pattern keys: the
+/// query decomposition that defines the scheme, and the shared index that
+/// probes it. Everywhere else consumes keys opaquely, so the
+/// canonicalization rules (endpoint ordering, wildcard labels) have
+/// exactly two authors and cannot silently fork.
+const SUBPATTERN_ALLOWED: [&str; 2] = ["crates/graph/src/query.rs", "crates/service/src/shared.rs"];
+
+/// Key-construction tokens confined by `subpattern-key-confined`.
+const SUBPATTERN_PATTERNS: [&str; 4] = [
+    "EdgePatternKey::canonical(",
+    "TwoPathKey::canonical(",
+    "EdgePatternKey {",
+    "TwoPathKey {",
+];
 
 /// Hot-path files for the trace rule.
 const TRACE_HOT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/inner.rs"];
@@ -570,6 +590,25 @@ fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
                             snippet(line)
                         ),
                     });
+                }
+            }
+
+            // subpattern-key-confined
+            if !SUBPATTERN_ALLOWED.contains(&rel.as_str()) {
+                for pat in SUBPATTERN_PATTERNS {
+                    if line.contains(pat) {
+                        diags.push(Diagnostic {
+                            path: rel.clone(),
+                            line: lineno,
+                            rule: "subpattern-key-confined",
+                            msg: format!(
+                                "sub-pattern key construction outside query.rs/shared.rs \
+                                 — consume keys opaquely; canonicalization lives in \
+                                 QueryGraph::edge_pattern_keys and the shared index ({})",
+                                snippet(line)
+                            ),
+                        });
+                    }
                 }
             }
 

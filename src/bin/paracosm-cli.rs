@@ -32,6 +32,7 @@
 //!   --stall-deadline-ms N  watchdog no-progress deadline  (default: 5000)
 //!   --linger-ms N      after draining the stream, keep serving (and the
 //!                      telemetry endpoint up) for N ms before shutdown
+//!   --shared-index on|off  cross-session shared-work index (default: on)
 //! ```
 
 use paracosm::prelude::*;
@@ -47,7 +48,7 @@ fn usage() -> ! {
          --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
          [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
          [--report-json PATH] [--quiet] [--telemetry-addr ADDR] \
-         [--stall-deadline-ms N] [--linger-ms N]"
+         [--stall-deadline-ms N] [--linger-ms N] [--shared-index on|off]"
     );
     std::process::exit(2);
 }
@@ -98,6 +99,7 @@ fn serve_main(args: Vec<String>) {
     let mut telemetry_addr: Option<String> = None;
     let mut stall_deadline = Duration::from_secs(5);
     let mut linger = Duration::ZERO;
+    let mut shared_index = true;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -124,6 +126,13 @@ fn serve_main(args: Vec<String>) {
             }
             "--linger-ms" => {
                 linger = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--shared-index" => {
+                shared_index = match val().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
             }
             _ => usage(),
         }
@@ -158,6 +167,7 @@ fn serve_main(args: Vec<String>) {
         ServiceConfig {
             queue_capacity: queue,
             policy,
+            shared_index,
         },
     )
     .unwrap_or_else(|e| {

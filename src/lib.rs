@@ -84,7 +84,8 @@ pub mod prelude {
     };
     pub use csm_service::{
         AdmissionQueue, Backpressure, CsmService, DegradeLevel, IngestHandle, ServiceConfig,
-        ServiceReport, SessionSpec, StallDiagnostic, StallKind, TelemetryConfig, TelemetryHandle,
+        ServiceReport, SessionSpec, SharedIndexStats, StallDiagnostic, StallKind, TelemetryConfig,
+        TelemetryHandle,
     };
     pub use paracosm_core::{
         AdsChange, AlgorithmFactory, Classified, CsmAlgorithm, CsmError, CsmResult, Embedding,

@@ -146,6 +146,60 @@ fn linter_fails_on_seeded_std_net_violation() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Canonical sub-pattern key construction is confined to the query
+/// decomposition and the shared index: a seeded `EdgePatternKey` literal
+/// in any other library file must fail with `subpattern-key-confined`,
+/// while the two sanctioned paths stay clean.
+#[test]
+fn linter_fails_on_seeded_subpattern_key_violation() {
+    let root = scratch_dir("subpattern");
+    let src = root.join("crates/foo/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch crate");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn fork_the_scheme(a: u32, b: u32) -> (u32, u32) {\n\
+             let k = EdgePatternKey::canonical(a, b, None);\n\
+             k\n\
+         }\n",
+    )
+    .expect("write seeded violation");
+    // The sanctioned files: same tokens, must not be flagged.
+    for (dir, name) in [
+        ("crates/graph/src", "query.rs"),
+        ("crates/service/src", "shared.rs"),
+    ] {
+        let d = root.join(dir);
+        std::fs::create_dir_all(&d).expect("mkdir sanctioned dir");
+        std::fs::write(d.join("lib.rs"), "#![forbid(unsafe_code)]\n").expect("write lib");
+        std::fs::write(
+            d.join(name),
+            "pub fn ok(a: u32, b: u32) { let _ = EdgePatternKey::canonical(a, b, None); }\n",
+        )
+        .expect("write sanctioned scratch");
+    }
+
+    let out = Command::new(lint_bin())
+        .arg(&root)
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "csm-lint accepted a seeded sub-pattern key violation:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/foo/src/lib.rs:3: [subpattern-key-confined]"),
+        "diagnostic should carry file:line and rule, got:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("query.rs:") && !stdout.contains("shared.rs:"),
+        "the sanctioned files must not be flagged:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The public surface under `crates/*/src` must match the committed
 /// `API.md` snapshot exactly: any `pub` item added, removed or re-signed
 /// without regenerating the snapshot is surface drift and fails here.

@@ -139,6 +139,7 @@ fn shed_oldest_policy_is_observable_in_report() {
         ServiceConfig {
             queue_capacity: 4,
             policy: Backpressure::ShedOldest,
+            shared_index: true,
         },
     )
     .unwrap();
@@ -176,6 +177,7 @@ fn reject_policy_is_observable_and_survivable() {
         ServiceConfig {
             queue_capacity: 4,
             policy: Backpressure::Reject,
+            shared_index: true,
         },
     )
     .unwrap();
@@ -363,6 +365,166 @@ fn shutdown_closes_ingest() {
         handle.send(stream.updates()[1]),
         Err(CsmError::ServiceClosed)
     ));
+}
+
+/// The shared-index differential: the same five-tenant service — including
+/// a duplicate-query session under a *different* algorithm, so the delta
+/// cache is actually exercised — produces bit-identical per-session ΔM,
+/// classifier verdicts, and update counts with the index off and on; and
+/// the index's lifetime hit counter reconciles exactly with the sum of
+/// per-session reuse dimensions.
+#[test]
+fn shared_index_on_off_differential() {
+    let (g, stream) = dense_workload(97);
+    let tenants: Vec<(QueryGraph, AlgoKind, &str)> = vec![
+        (triangle(), AlgoKind::GraphFlow, "triangles"),
+        (path3(0, 1, 0), AlgoKind::Symbi, "wedge-010"),
+        (path3(1, 0, 1), AlgoKind::TurboFlux, "wedge-101"),
+        (path3(0, 0, 1), AlgoKind::NewSP, "path-001"),
+        // Same pattern as "triangles" hosted by a different algorithm:
+        // ΔM is a pure function of (graph, query, update), so with the
+        // index on this session absorbs the cached delta instead of
+        // enumerating a second time.
+        (triangle(), AlgoKind::Symbi, "triangles-dup"),
+    ];
+    let run = |shared_index: bool| -> ServiceReport {
+        let mut svc = CsmService::new(
+            g.clone(),
+            ServiceConfig {
+                queue_capacity: 64,
+                policy: Backpressure::Block,
+                shared_index,
+            },
+        )
+        .unwrap();
+        for (q, kind, label) in &tenants {
+            svc.add_session(
+                SessionSpec::new(q.clone(), ParaCosmConfig::sequential()).with_label(*label),
+                Box::new(kind.build(&g, q)),
+                Box::new(NoopObserver),
+            )
+            .unwrap();
+        }
+        for &u in stream.updates() {
+            svc.submit(u).unwrap();
+        }
+        svc.shutdown().unwrap()
+    };
+
+    let off = run(false);
+    let on = run(true);
+    assert!(
+        off.shared.is_none(),
+        "index off must report no shared stats"
+    );
+    let sh = on.shared.expect("index on must report shared stats");
+    assert!(
+        sh.subpatterns > 0,
+        "five queries must register sub-patterns"
+    );
+    assert!(
+        sh.hits > 0,
+        "the duplicate-query session must absorb cached deltas"
+    );
+    let reuses: u64 = on
+        .sessions
+        .iter()
+        .map(|s| s.session.as_ref().unwrap().shared_reuses)
+        .sum();
+    assert_eq!(sh.hits, reuses, "index hits must equal Σ session reuses");
+
+    assert_eq!(off.sessions.len(), on.sessions.len());
+    for (a, b) in off.sessions.iter().zip(&on.sessions) {
+        let label = &a.session.as_ref().unwrap().label;
+        assert_eq!(
+            (a.stats.positives, a.stats.negatives),
+            (b.stats.positives, b.stats.negatives),
+            "session {label}: ΔM diverges between index off and on"
+        );
+        assert_eq!(
+            a.stats.classifier, b.stats.classifier,
+            "session {label}: classifier verdicts diverge"
+        );
+        assert_eq!(a.stats.updates, b.stats.updates);
+        assert_eq!(
+            a.session.as_ref().unwrap().shared_reuses,
+            0,
+            "session {label}: index-off runs must never reuse"
+        );
+    }
+}
+
+/// Live registration and removal invalidate the shared index correctly:
+/// a session removed mid-stream gets the same tagged report with the
+/// index on as off, a session added mid-stream (duplicating a live
+/// query) still reuses cached deltas, and the survivors' final ΔM stays
+/// bit-identical across both modes.
+#[test]
+fn shared_index_survives_live_add_and_remove() {
+    let (g, stream) = dense_workload(103);
+    let half = stream.len() / 2;
+    let run = |shared_index: bool| -> (RunReport, ServiceReport) {
+        let mut svc = CsmService::new(
+            g.clone(),
+            ServiceConfig {
+                queue_capacity: 64,
+                policy: Backpressure::Block,
+                shared_index,
+            },
+        )
+        .unwrap();
+        let add = |svc: &mut CsmService, q: QueryGraph, kind: AlgoKind, label: &str| {
+            svc.add_session(
+                SessionSpec::new(q.clone(), ParaCosmConfig::sequential()).with_label(label),
+                Box::new(kind.build(&g, &q)),
+                Box::new(NoopObserver),
+            )
+            .unwrap()
+        };
+        add(&mut svc, triangle(), AlgoKind::GraphFlow, "stay");
+        let leaver = add(&mut svc, triangle(), AlgoKind::Symbi, "leave");
+        add(&mut svc, path3(0, 1, 0), AlgoKind::TurboFlux, "wedge");
+        for &u in &stream.updates()[..half] {
+            svc.submit(u).unwrap();
+        }
+        let left = svc.remove_session(leaver).unwrap();
+        // A mid-stream joiner duplicating a live query: the index must
+        // pick the new share group up without a rebuild.
+        add(&mut svc, path3(0, 1, 0), AlgoKind::NewSP, "wedge-dup");
+        for &u in &stream.updates()[half..] {
+            svc.submit(u).unwrap();
+        }
+        (left, svc.shutdown().unwrap())
+    };
+
+    let (left_off, off) = run(false);
+    let (left_on, on) = run(true);
+    assert_eq!(left_off.stats.updates, half as u64);
+    assert_eq!(
+        (left_off.stats.positives, left_off.stats.negatives),
+        (left_on.stats.positives, left_on.stats.negatives),
+        "removed session: ΔM diverges between index off and on"
+    );
+    assert_eq!(left_off.stats.classifier, left_on.stats.classifier);
+    for (a, b) in off.sessions.iter().zip(&on.sessions) {
+        let label = &a.session.as_ref().unwrap().label;
+        assert_eq!(
+            (a.stats.positives, a.stats.negatives),
+            (b.stats.positives, b.stats.negatives),
+            "session {label}: ΔM diverges between index off and on"
+        );
+        assert_eq!(a.stats.classifier, b.stats.classifier);
+    }
+    // The mid-stream duplicate still exchanged deltas with its group.
+    let dup = on
+        .sessions
+        .iter()
+        .find(|s| s.session.as_ref().unwrap().label == "wedge-dup")
+        .unwrap();
+    assert!(
+        dup.session.as_ref().unwrap().shared_reuses > 0,
+        "mid-stream duplicate must reuse cached deltas"
+    );
 }
 
 /// Registration validates the per-session config and query through the

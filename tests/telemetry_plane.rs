@@ -243,6 +243,133 @@ fn scrape_endpoints_reconcile_with_service_report() {
     }
 }
 
+/// Shared-index observability: `/metrics` exposes the index's lifetime
+/// counters and per-session reuse totals, `/sessions` mirrors them in
+/// JSON, and every number reconciles exactly with the shutdown
+/// [`ServiceReport`].
+#[test]
+fn shared_index_metrics_reconcile_with_report() {
+    let (g, stream) = testing::random_workload(23, 24, 1, 1, 40, 200, 0.3);
+    let mut svc = CsmService::new(g.clone(), ServiceConfig::default()).unwrap();
+    // Two sessions over the same pattern under different algorithms: the
+    // second absorbs cached deltas, so the hit counter actually moves.
+    for (kind, label) in [(AlgoKind::GraphFlow, "a"), (AlgoKind::Symbi, "b")] {
+        svc.add_session(
+            SessionSpec::new(triangle(), ParaCosmConfig::sequential()).with_label(label),
+            Box::new(kind.build(&g, &triangle())),
+            Box::new(NoopObserver),
+        )
+        .unwrap();
+    }
+    let t = svc
+        .start_telemetry(wide_window(Duration::from_secs(60)))
+        .unwrap();
+    let addr = t.local_addr();
+
+    for &u in stream.updates() {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+
+    let (code, metrics) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert_prometheus_syntax(&metrics);
+    let m_subpats = sample(&metrics, "paracosm_shared_subpatterns", &[]) as u64;
+    let m_hits = sample(&metrics, "paracosm_shared_hits_total", &[]) as u64;
+    let m_misses = sample(&metrics, "paracosm_shared_misses_total", &[]) as u64;
+    let m_reuses_b = sample(
+        &metrics,
+        "paracosm_session_shared_reuses_total",
+        &["label=\"b\""],
+    ) as u64;
+
+    let (code, sessions) = http_get(addr, "/sessions");
+    assert_eq!(code, 200);
+    assert!(sessions.contains("\"shared\":{\"subpatterns\":"));
+    let j_hits = json_u64(&sessions, "hits");
+    let j_misses = json_u64(&sessions, "misses");
+
+    let report = svc.shutdown().unwrap();
+    let sh = report.shared.expect("index on by default");
+    assert!(sh.hits > 0, "duplicate-query session must produce hits");
+    assert_eq!(m_subpats, sh.subpatterns);
+    assert_eq!(m_hits, sh.hits);
+    assert_eq!(m_misses, sh.misses);
+    assert_eq!(j_hits, sh.hits);
+    assert_eq!(j_misses, sh.misses);
+    let dims_b = report.sessions[1].session.as_ref().unwrap();
+    assert_eq!(dims_b.label, "b");
+    assert_eq!(m_reuses_b, dims_b.shared_reuses);
+    let reuses: u64 = report
+        .sessions
+        .iter()
+        .map(|s| s.session.as_ref().unwrap().shared_reuses)
+        .sum();
+    assert_eq!(sh.hits, reuses, "index hits must equal Σ session reuses");
+}
+
+/// Ghost-session regression: removing a session mid-run tears down its
+/// window ring and index subscription, so later `/metrics` and
+/// `/sessions` scrapes never mention it and the survivors keep serving.
+#[test]
+fn removed_session_leaves_no_ghosts_in_scrapes() {
+    let (g, stream) = testing::random_workload(31, 24, 1, 1, 40, 60, 0.3);
+    let mut svc = CsmService::new(g.clone(), ServiceConfig::default()).unwrap();
+    let add = |svc: &mut CsmService, label: &str| {
+        svc.add_session(
+            SessionSpec::new(triangle(), ParaCosmConfig::sequential()).with_label(label),
+            Box::new(AlgoKind::GraphFlow.build(&g, &triangle())),
+            Box::new(NoopObserver),
+        )
+        .unwrap()
+    };
+    add(&mut svc, "stay");
+    let ghost = add(&mut svc, "ghost");
+    let t = svc
+        .start_telemetry(wide_window(Duration::from_secs(60)))
+        .unwrap();
+    let addr = t.local_addr();
+
+    let half = stream.len() / 2;
+    for &u in &stream.updates()[..half] {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+    let (_, sessions) = http_get(addr, "/sessions");
+    assert!(sessions.contains("\"label\":\"ghost\""));
+
+    svc.remove_session(ghost).unwrap();
+    for &u in &stream.updates()[half..] {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+
+    let (code, sessions) = http_get(addr, "/sessions");
+    assert_eq!(code, 200);
+    assert!(
+        !sessions.contains("\"label\":\"ghost\""),
+        "/sessions still reports the removed session: {sessions}"
+    );
+    assert!(sessions.contains("\"label\":\"stay\""));
+    let (code, metrics) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert_prometheus_syntax(&metrics);
+    assert!(
+        !metrics.contains("label=\"ghost\""),
+        "/metrics still exposes series for the removed session"
+    );
+    let m_updates = sample(
+        &metrics,
+        "paracosm_session_updates_total",
+        &["label=\"stay\""],
+    ) as u64;
+
+    let report = svc.shutdown().unwrap();
+    assert_eq!(report.sessions.len(), 1);
+    assert_eq!(report.sessions[0].stats.updates, stream.len() as u64);
+    assert_eq!(m_updates, stream.len() as u64);
+}
+
 /// The watchdog state machine: a wedged admission queue (admitted updates,
 /// owner not draining) flips `/healthz` to 503 and records a diagnostic;
 /// draining recovers to 200. `ServiceReport` carries the stall count.
@@ -254,6 +381,7 @@ fn watchdog_flags_wedged_queue_then_recovers() {
         ServiceConfig {
             queue_capacity: 64,
             policy: Backpressure::Reject,
+            shared_index: true,
         },
     )
     .unwrap();
