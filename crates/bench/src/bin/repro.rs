@@ -17,6 +17,10 @@
 //!   --seed N             base RNG seed                  (default: 1)
 //!   --trace-out PATH     observe: write Chrome/Perfetto trace JSON
 //!   --report-json PATH   observe: write machine-readable run report
+//!   --json-out PATH      write the machine-readable bench artifact
+//!                        (schema_version 1) for experiments that
+//!                        produce one — the CI regression gate diffs
+//!                        this against the committed BENCH_*.json
 //! ```
 
 use csm_datagen::Scale;
@@ -36,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment ...> [--scale xs|s|m] [--threads N] [--queries N] \
          [--stream N] [--timeout-ms N] [--sizes a,b,c] [--seed N] \
-         [--trace-out PATH] [--report-json PATH]\n\
+         [--trace-out PATH] [--report-json PATH] [--json-out PATH]\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -52,6 +56,7 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
     let mut report_json: Option<String> = None;
+    let mut json_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
@@ -86,6 +91,7 @@ fn main() {
             "--seed" => opts.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--trace-out" => trace_out = Some(val("--trace-out")),
             "--report-json" => report_json = Some(val("--report-json")),
+            "--json-out" => json_out = Some(val("--json-out")),
             "all" => selected = EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
             e if EXPERIMENTS.contains(&e) => selected.push(e.to_string()),
             other => {
@@ -146,5 +152,29 @@ fn main() {
     println!();
     for t in &outputs {
         t.print();
+    }
+
+    if let Some(path) = json_out {
+        let artifacts: Vec<String> = outputs
+            .iter()
+            .filter_map(|t| t.artifact.as_ref())
+            .map(|a| a.to_json())
+            .collect();
+        if artifacts.is_empty() {
+            eprintln!(
+                "repro: --json-out given but no selected experiment produces an artifact \
+                 (currently: shared)"
+            );
+            std::process::exit(2);
+        }
+        let body = format!(
+            "{{\"schema_version\":1,\"artifacts\":[{}]}}\n",
+            artifacts.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("repro: wrote bench artifact to {path}");
     }
 }

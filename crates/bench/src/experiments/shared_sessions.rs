@@ -20,7 +20,7 @@
 //!   repetition of each mode is kept; the spread `(max−min)/min` across
 //!   repetitions of the *off* runs is printed as the noise floor.
 
-use crate::report::{fmt_dur, fmt_speedup, Table};
+use crate::report::{fmt_dur, fmt_speedup, BenchArtifact, BenchCell, Table};
 use crate::runner::ExpOptions;
 use csm_algos::{testing, AlgoKind};
 use csm_graph::{DataGraph, QueryGraph, UpdateStream};
@@ -58,6 +58,7 @@ fn run_service(
             queue_capacity: 1024,
             policy: Backpressure::Block,
             shared_index,
+            flight_capacity: 1024,
         },
     )
     .expect("service config is valid");
@@ -130,6 +131,7 @@ pub fn shared_sessions(opts: &ExpOptions) -> Table {
     ));
 
     let mut worst_noise = 0.0f64;
+    let mut cells: Vec<BenchCell> = Vec::new();
     for &n in &SESSION_COUNTS {
         for &overlap in &OVERLAPS {
             let distinct = pool_size(n, overlap);
@@ -167,11 +169,26 @@ pub fn shared_sessions(opts: &ExpOptions) -> Table {
 
             let lo = off_times.iter().min().copied().unwrap_or_default();
             let hi = off_times.iter().max().copied().unwrap_or_default();
-            if !lo.is_zero() {
-                worst_noise = worst_noise.max((hi - lo).as_secs_f64() / lo.as_secs_f64() * 100.0);
-            }
+            let cell_noise = if lo.is_zero() {
+                0.0
+            } else {
+                (hi - lo).as_secs_f64() / lo.as_secs_f64() * 100.0
+            };
+            worst_noise = worst_noise.max(cell_noise);
             let speedup = off.elapsed.as_secs_f64() / on.elapsed.as_secs_f64().max(1e-12);
             let sh = on.report.shared.unwrap_or_default();
+            cells.push(BenchCell {
+                sessions: n,
+                overlap,
+                distinct,
+                off_ns: off.elapsed.as_nanos() as u64,
+                on_ns: on.elapsed.as_nanos() as u64,
+                speedup,
+                noise_pct: cell_noise,
+                hits: sh.hits,
+                misses: sh.misses,
+                subpatterns: sh.subpatterns,
+            });
             t.row(vec![
                 n.to_string(),
                 format!("{overlap:.1}"),
@@ -188,5 +205,14 @@ pub fn shared_sessions(opts: &ExpOptions) -> Table {
     t.note(format!(
         "noise floor: worst off-mode spread (max-min)/min across reps = {worst_noise:.1}%"
     ));
+    t.artifact = Some(BenchArtifact {
+        experiment: "shared".to_string(),
+        seed: opts.seed,
+        threads: opts.threads,
+        stream_len: stream.len(),
+        reps: REPS,
+        noise_pct: worst_noise,
+        cells,
+    });
     t
 }

@@ -22,7 +22,9 @@ use crate::engine::Engine;
 use crate::error::{CsmError, CsmResult};
 use crate::inter::{self, Classified, SafeStage};
 use crate::static_match::StaticResult;
-use crate::trace::{Counter, NoopObserver, RunReport, StreamObserver, Tracer, UpdateObservation};
+use crate::trace::{
+    self, Counter, NoopObserver, RunReport, StreamObserver, Tracer, UpdateObservation,
+};
 use csm_graph::{DataGraph, EdgeUpdate, GraphError, QueryGraph, Update, UpdateStream, VertexId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -365,6 +367,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                         positives: r.positives,
                         negatives: r.negatives,
                         skipped: false,
+                        span: trace::flight::SpanId::NONE,
                     },
                     pre,
                     observer,
@@ -500,6 +503,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                                 positives: 0,
                                 negatives: 0,
                                 skipped: false,
+                                span: trace::flight::SpanId::NONE,
                             },
                             pre,
                             observer,
@@ -534,6 +538,7 @@ impl<A: CsmAlgorithm> ParaCosm<A> {
                         positives: r.positives,
                         negatives: r.negatives,
                         skipped: false,
+                        span: trace::flight::SpanId::NONE,
                     },
                     pre,
                     observer,

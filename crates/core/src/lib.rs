@@ -90,6 +90,8 @@ pub use match_store::{MatchStore, StoreError};
 pub use metrics::LatencyHistogram;
 pub use order::{MatchingOrders, SeedOrder};
 pub use static_match::StaticResult;
+pub use trace::flight::cold::{FlightConfig, FlightEvent, FlightSnapshot};
+pub use trace::flight::{FanKind, FlightRecorder, FlightStage, SpanId, SESSION_AGGREGATE};
 pub use trace::window::{
     SharedWindow, WindowConfig, WindowCounter, WindowRing, WindowSnapshot, NUM_WINDOW_COUNTERS,
     WINDOW_COUNTER_NAMES,

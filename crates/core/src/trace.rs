@@ -36,6 +36,7 @@ use csm_check::sync::{Mutex, PoisonError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod flight;
 pub mod window;
 
 /// How much telemetry the engine records.
@@ -837,6 +838,10 @@ pub struct UpdateObservation {
     /// (the session's time budget was exhausted); ΔM for this update is
     /// unknown, not zero. Always `false` for standalone `ParaCosm` runs.
     pub skipped: bool,
+    /// Flight-recorder causal span of this update
+    /// ([`flight::SpanId::NONE`] outside the serving layer, which is the
+    /// only place spans are minted today).
+    pub span: flight::SpanId,
 }
 
 impl UpdateObservation {

@@ -430,6 +430,7 @@ mod tests {
             positives: pos,
             negatives: neg,
             skipped: false,
+            span: crate::trace::flight::SpanId::NONE,
         }
     }
 

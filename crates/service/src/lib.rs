@@ -48,5 +48,6 @@ pub use service::{CsmService, ServiceConfig, ServiceReport};
 pub use session::{DegradeLevel, SessionSpec};
 pub use shared::SharedIndexStats;
 pub use telemetry::{
-    StallDiagnostic, StallKind, TelemetryConfig, TelemetryHandle, MAX_DIAGNOSTICS,
+    StallDiagnostic, StallDossier, StallKind, TelemetryConfig, TelemetryHandle, MAX_DIAGNOSTICS,
+    MAX_DOSSIERS,
 };

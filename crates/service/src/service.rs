@@ -22,8 +22,8 @@ use crate::shared::{SharedIndex, SharedIndexStats};
 use crate::telemetry::{ServiceTelemetry, TelemetryConfig, TelemetryHandle};
 use csm_graph::{DataGraph, EdgeUpdate, Update};
 use paracosm_core::{
-    Classified, CsmAlgorithm, CsmError, CsmResult, RunReport, SafeStage, StageSnapshot,
-    StreamObserver, UpdateObservation,
+    Classified, CsmAlgorithm, CsmError, CsmResult, FanKind, FlightConfig, FlightRecorder,
+    FlightStage, RunReport, SafeStage, SpanId, StageSnapshot, StreamObserver, UpdateObservation,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +41,11 @@ pub struct ServiceConfig {
     /// are bit-identical either way; `off` exists for differential testing
     /// and as an escape hatch.
     pub shared_index: bool,
+    /// Per-shard slot capacity of the always-on flight recorder (see
+    /// [`paracosm_core::FlightRecorder`]); the recorder keeps the last
+    /// `capacity` span events per shard for stall forensics and the
+    /// `/debug/flight` endpoint. Values below 2 are clamped.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +54,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             policy: Backpressure::Block,
             shared_index: true,
+            flight_capacity: 1024,
         }
     }
 }
@@ -125,6 +131,7 @@ pub struct CsmService {
     invalid: u64,
     telemetry: Option<ServiceTelemetry>,
     shared: Option<SharedIndex>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl CsmService {
@@ -143,6 +150,9 @@ impl CsmService {
             invalid: 0,
             telemetry: None,
             shared: cfg.shared_index.then(SharedIndex::new),
+            flight: Arc::new(FlightRecorder::new(FlightConfig::with_capacity(
+                cfg.flight_capacity,
+            ))),
         })
     }
 
@@ -165,7 +175,8 @@ impl CsmService {
                 reason: "telemetry is already running".to_string(),
             });
         }
-        let mut t = ServiceTelemetry::start(cfg, Arc::clone(&self.queue))?;
+        let mut t =
+            ServiceTelemetry::start(cfg, Arc::clone(&self.queue), Arc::clone(&self.flight))?;
         for s in self.sessions.iter_mut() {
             t.register_session(s);
         }
@@ -177,6 +188,12 @@ impl CsmService {
     /// A handle to the running telemetry plane, if any.
     pub fn telemetry(&self) -> Option<TelemetryHandle> {
         self.telemetry.as_ref().map(ServiceTelemetry::handle)
+    }
+
+    /// The always-on flight recorder: per-update causal span rings, shared
+    /// with the telemetry plane for stall dossiers and `/debug/flight`.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// Register a standing query. The algorithm's ADS is built against the
@@ -227,7 +244,10 @@ impl CsmService {
         if let Some(t) = &mut self.telemetry {
             t.unregister_session(id);
         }
-        session.flush_deferred();
+        let fspan = self.flight.begin_span();
+        self.flight.flush_begin(fspan, session.id as u32, 0);
+        let flushed = session.flush_deferred();
+        self.flight.flush_end(fspan, session.id as u32, flushed);
         Ok(session.report())
     }
 
@@ -329,14 +349,19 @@ impl CsmService {
             noops: self.noops,
             invalid: self.invalid,
             elapsed,
-            sessions: self
-                .sessions
-                .iter_mut()
-                .map(|s| {
-                    s.flush_deferred();
-                    s.report()
-                })
-                .collect(),
+            sessions: {
+                let flight = &self.flight;
+                self.sessions
+                    .iter_mut()
+                    .map(|s| {
+                        let fspan = flight.begin_span();
+                        flight.flush_begin(fspan, s.id as u32, 0);
+                        let flushed = s.flush_deferred();
+                        flight.flush_end(fspan, s.id as u32, flushed);
+                        s.report()
+                    })
+                    .collect()
+            },
         })
     }
 
@@ -351,10 +376,13 @@ impl CsmService {
         let idx = self.update_idx;
         self.update_idx += 1;
         self.processed += 1;
+        let span = self.flight.begin_span();
+        self.flight.begin(0, span, FlightStage::Admit, idx);
         if let Some(t) = &self.telemetry {
-            t.begin_update(idx, self.queue.len() as u64);
+            t.begin_update(idx, self.queue.len() as u64, span);
         }
-        let result = self.process_one_inner(u, idx);
+        let result = self.process_one_inner(u, idx, span);
+        self.flight.end(0, span, FlightStage::Admit, idx);
         if let Some(t) = &self.telemetry {
             let shared_stats = self.shared.as_ref().map(SharedIndex::stats);
             t.end_update(
@@ -368,20 +396,24 @@ impl CsmService {
         result
     }
 
-    fn process_one_inner(&mut self, u: Update, idx: u64) -> CsmResult<()> {
+    fn process_one_inner(&mut self, u: Update, idx: u64, span: SpanId) -> CsmResult<()> {
         match u {
-            Update::InsertEdge(e) => self.process_edge(u, e, true, idx),
-            Update::DeleteEdge(e) => self.process_edge(u, e, false, idx),
+            Update::InsertEdge(e) => self.process_edge(u, e, true, idx, span),
+            Update::DeleteEdge(e) => self.process_edge(u, e, false, idx, span),
             Update::InsertVertex { id, label } => {
                 let t0 = Instant::now();
+                self.flight.begin(0, span, FlightStage::Apply, 0);
                 let grew = !self.g.is_alive(id);
                 self.g.ensure_vertex(id, label);
+                self.flight.end(0, span, FlightStage::Apply, 0);
                 let apply = t0.elapsed();
                 if !grew {
                     self.noops += 1;
                 }
                 let g = &self.g;
                 for s in self.sessions.iter_mut() {
+                    self.flight
+                        .fan_begin(span, FanKind::Engine, s.id as u32, idx);
                     s.eng.note_update();
                     s.eng.note_apply(apply);
                     let t = Instant::now();
@@ -392,6 +424,7 @@ impl CsmService {
                     } else {
                         s.eng.record_noop(idx);
                     }
+                    let sid = s.id as u32;
                     s.finish(
                         u,
                         UpdateObservation {
@@ -402,16 +435,18 @@ impl CsmService {
                             positives: 0,
                             negatives: 0,
                             skipped: false,
+                            span,
                         },
                         pre,
                     );
+                    self.flight.fan_end(span, FanKind::Engine, sid, 0);
                 }
                 Ok(())
             }
             Update::DeleteVertex { id } => {
                 if !self.g.is_alive(id) {
                     self.noops += 1;
-                    self.fan_noop(u, idx);
+                    self.fan_noop(u, idx, span);
                     return Ok(());
                 }
                 // Cascade: each incident edge is classified and (where
@@ -424,20 +459,28 @@ impl CsmService {
                     .map(|&(v, l)| EdgeUpdate::new(id, v, l))
                     .collect();
                 let mut acc = vec![VertexAcc::default(); self.sessions.len()];
+                self.flight
+                    .begin(0, span, FlightStage::Classify, incident.len() as u64);
                 for e in incident {
                     self.cascade_edge_delete(e, &mut acc)?;
                 }
+                self.flight.end(0, span, FlightStage::Classify, 0);
                 let t0 = Instant::now();
+                self.flight.begin(0, span, FlightStage::Apply, 0);
                 self.g.delete_vertex(id, false)?;
+                self.flight.end(0, span, FlightStage::Apply, 0);
                 let apply = t0.elapsed();
                 let g = &self.g;
                 for (s, a) in self.sessions.iter_mut().zip(acc) {
+                    self.flight
+                        .fan_begin(span, FanKind::Engine, s.id as u32, idx);
                     s.eng.note_update();
                     s.eng.note_apply(apply);
                     let pre = s.eng.stage_snapshot();
                     let t = Instant::now();
                     s.eng.rebuild(g);
                     s.eng.record_verdict(Classified::Unsafe, idx);
+                    let sid = s.id as u32;
                     s.finish(
                         u,
                         UpdateObservation {
@@ -448,9 +491,11 @@ impl CsmService {
                             positives: 0,
                             negatives: a.negatives,
                             skipped: a.skipped,
+                            span,
                         },
                         pre,
                     );
+                    self.flight.fan_end(span, FanKind::Engine, sid, a.negatives);
                 }
                 Ok(())
             }
@@ -458,11 +503,14 @@ impl CsmService {
     }
 
     /// Fan a structural no-op (or invalid update) across all sessions.
-    fn fan_noop(&mut self, u: Update, idx: u64) {
+    fn fan_noop(&mut self, u: Update, idx: u64, span: SpanId) {
         for s in self.sessions.iter_mut() {
+            self.flight
+                .fan_begin(span, FanKind::Engine, s.id as u32, idx);
             s.eng.note_update();
             let pre = s.eng.stage_snapshot();
             s.eng.record_noop(idx);
+            let sid = s.id as u32;
             s.finish(
                 u,
                 UpdateObservation {
@@ -473,9 +521,11 @@ impl CsmService {
                     positives: 0,
                     negatives: 0,
                     skipped: false,
+                    span,
                 },
                 pre,
             );
+            self.flight.fan_end(span, FanKind::Engine, sid, 0);
         }
     }
 
@@ -487,19 +537,20 @@ impl CsmService {
         e: EdgeUpdate,
         is_insert: bool,
         idx: u64,
+        span: SpanId,
     ) -> CsmResult<()> {
         // A server keeps running on malformed input: updates naming dead
         // vertices (or self-loops) are counted as `invalid` and fanned out
         // as no-ops instead of failing the stream like a standalone run.
         if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
             self.invalid += 1;
-            self.fan_noop(u, idx);
+            self.fan_noop(u, idx, span);
             return Ok(());
         }
         let exists = self.g.has_edge(e.src, e.dst);
         if is_insert == exists {
             self.noops += 1;
-            self.fan_noop(u, idx);
+            self.fan_noop(u, idx, span);
             return Ok(());
         }
 
@@ -509,9 +560,12 @@ impl CsmService {
             // instead of a per-session label scan and stage 2 runs once
             // per share group; debug builds re-check both per session.
             let g = &self.g;
+            self.flight.begin(0, span, FlightStage::Classify, idx);
             let stages: Vec<Option<SafeStage>> = match &mut self.shared {
                 Some(ix) => {
+                    self.flight.begin(0, span, FlightStage::SharedProbe, idx);
                     ix.begin_edge(g.label(e.src), g.label(e.dst), e.label);
+                    self.flight.end(0, span, FlightStage::SharedProbe, 0);
                     self.sessions
                         .iter()
                         .enumerate()
@@ -543,20 +597,40 @@ impl CsmService {
                     })
                     .collect(),
             };
+            self.flight.end(0, span, FlightStage::Classify, 0);
             let t0 = Instant::now();
+            self.flight.begin(0, span, FlightStage::Apply, 0);
             self.g.insert_edge(e.src, e.dst, e.label)?;
+            self.flight.end(0, span, FlightStage::Apply, 0);
             let apply = t0.elapsed();
             let g = &self.g;
             let shared_on = self.shared.is_some();
+            let mut agg = 0u64;
             for (pos, (s, stage)) in self.sessions.iter_mut().zip(stages).enumerate() {
                 // With the index on and no per-update consumer (rolling
                 // window / event tracing), label-safe fan-out defers its
                 // bookkeeping: the observer fires now, the commutative
                 // stats/counter totals fold in at the next flush point.
                 if shared_on && stage == Some(SafeStage::Label) && s.defers() {
-                    s.fan_label_safe(idx, apply);
+                    agg += 1;
+                    s.fan_label_safe(idx, apply, span);
                     continue;
                 }
+                // Label-safe fan-out for a deferring session shares ONE
+                // aggregate flight record per update (written after the
+                // loop): nothing consumes its per-update state, and
+                // per-session pairs here would reintroduce the
+                // per-session metering cost the deferred fast path
+                // exists to avoid. With a window or tracer installed
+                // (`!defers()`) every session keeps its own pair.
+                let metered = !(stage == Some(SafeStage::Label) && s.defers());
+                if metered {
+                    self.flight
+                        .fan_begin(span, FanKind::Engine, s.id as u32, idx);
+                } else {
+                    agg += 1;
+                }
+                let mut fan_kind = FanKind::Engine;
                 s.eng.note_update();
                 s.eng.note_apply(apply);
                 let pre = s.eng.stage_snapshot();
@@ -591,10 +665,14 @@ impl CsmService {
                         } else {
                             let f = match &mut self.shared {
                                 Some(ix) if ix.eligible(pos) => match ix.reuse(pos) {
-                                    Some(count) => s.absorb_shared(count, true),
+                                    Some(count) => {
+                                        fan_kind = FanKind::SharedHit;
+                                        s.absorb_shared(count, true)
+                                    }
                                     None => {
                                         let f = s.enumerate(g, &e, true);
                                         if !f.skipped {
+                                            fan_kind = FanKind::SharedMiss;
                                             ix.publish(pos, f.count);
                                             s.eng.note_shared_publish();
                                         }
@@ -609,6 +687,7 @@ impl CsmService {
                 };
                 s.eng.record_verdict(verdict, idx);
                 let f = found.unwrap_or_default();
+                let sid = s.id as u32;
                 s.finish(
                     u,
                     UpdateObservation {
@@ -619,17 +698,30 @@ impl CsmService {
                         positives: f.count,
                         negatives: 0,
                         skipped: f.skipped,
+                        span,
                     },
                     pre,
                 );
+                if metered {
+                    self.flight.fan_end(span, fan_kind, sid, f.count);
+                }
             }
+            let agg_kind = if shared_on {
+                FanKind::Deferred
+            } else {
+                FanKind::Engine
+            };
+            self.flight.fan_aggregate(span, agg_kind, agg, idx);
         } else {
             // Deletions classify and enumerate on the pre-removal graph.
             let e = EdgeUpdate::new(e.src, e.dst, self.g.edge_label(e.src, e.dst).unwrap());
             let g = &self.g;
             if let Some(ix) = &mut self.shared {
+                self.flight.begin(0, span, FlightStage::SharedProbe, idx);
                 ix.begin_edge(g.label(e.src), g.label(e.dst), e.label);
+                self.flight.end(0, span, FlightStage::SharedProbe, 0);
             }
+            self.flight.begin(0, span, FlightStage::Classify, idx);
             let mut pres = Vec::with_capacity(self.sessions.len());
             for (pos, s) in self.sessions.iter_mut().enumerate() {
                 // Deferred fast path, as on inserts: label-safe fan-out for
@@ -642,10 +734,25 @@ impl CsmService {
                             StageSnapshot::default(),
                             Duration::ZERO,
                             DeleteStage::Deferred,
+                            FanKind::Deferred,
+                            false,
                         ));
                         continue;
                     }
                 }
+                // Index-off mirror of the deferred rule (see the insert
+                // path): a label-safe fan-out for a deferring session
+                // joins the per-update aggregate flight record instead
+                // of paying a per-session pair. The label probe runs
+                // ahead of the span so the metering decision can
+                // precede it; the classification arm below reuses the
+                // verdict instead of re-scanning.
+                let metered = self.shared.is_some() || !s.defers() || !s.eng.label_safe(g, &e);
+                if metered {
+                    self.flight
+                        .fan_begin(span, FanKind::Engine, s.id as u32, idx);
+                }
+                let mut fan_kind = FanKind::Engine;
                 s.eng.note_update();
                 let pre = s.eng.stage_snapshot();
                 let (dt, stage) = match &mut self.shared {
@@ -671,11 +778,13 @@ impl CsmService {
                             } else if ix.eligible(pos) {
                                 match ix.reuse(pos) {
                                     Some(count) => {
+                                        fan_kind = FanKind::SharedHit;
                                         DeleteStage::Found(s.absorb_shared(count, false))
                                     }
                                     None => {
                                         let f = s.enumerate(g, &e, false);
                                         if !f.skipped {
+                                            fan_kind = FanKind::SharedMiss;
                                             ix.publish(pos, f.count);
                                             s.eng.note_shared_publish();
                                         }
@@ -690,7 +799,7 @@ impl CsmService {
                     }
                     None => {
                         let t = Instant::now();
-                        let stage = if s.eng.label_safe(g, &e) {
+                        let stage = if !metered || s.eng.label_safe(g, &e) {
                             DeleteStage::LabelSafe
                         } else if s.eng.degree_safe(g, &e, false) {
                             DeleteStage::Maintain(Classified::Safe(SafeStage::Degree))
@@ -702,16 +811,26 @@ impl CsmService {
                         (t.elapsed(), stage)
                     }
                 };
-                pres.push((pre, dt, stage));
+                pres.push((pre, dt, stage, fan_kind, metered));
             }
+            self.flight.end(0, span, FlightStage::Classify, 0);
             let t0 = Instant::now();
+            self.flight.begin(0, span, FlightStage::Apply, 0);
             self.g.remove_edge(e.src, e.dst)?;
+            self.flight.end(0, span, FlightStage::Apply, 0);
             let apply = t0.elapsed();
             let g = &self.g;
-            for (s, (pre, dt, stage)) in self.sessions.iter_mut().zip(pres) {
+            let mut agg = 0u64;
+            for (s, (pre, dt, stage, fan_kind, metered)) in self.sessions.iter_mut().zip(pres) {
+                // One aggregate flight record per update for the deferred
+                // fast path, as on inserts.
                 if matches!(stage, DeleteStage::Deferred) {
-                    s.fan_label_safe(idx, apply);
+                    agg += 1;
+                    s.fan_label_safe(idx, apply, span);
                     continue;
+                }
+                if !metered {
+                    agg += 1;
                 }
                 s.eng.note_apply(apply);
                 let t = Instant::now();
@@ -729,6 +848,7 @@ impl CsmService {
                 };
                 s.eng.record_verdict(verdict, idx);
                 let f = found.unwrap_or_default();
+                let sid = s.id as u32;
                 s.finish(
                     u,
                     UpdateObservation {
@@ -739,10 +859,20 @@ impl CsmService {
                         positives: 0,
                         negatives: f.count,
                         skipped: f.skipped,
+                        span,
                     },
                     pre,
                 );
+                if metered {
+                    self.flight.fan_end(span, fan_kind, sid, f.count);
+                }
             }
+            let agg_kind = if self.shared.is_some() {
+                FanKind::Deferred
+            } else {
+                FanKind::Engine
+            };
+            self.flight.fan_aggregate(span, agg_kind, agg, idx);
         }
         Ok(())
     }

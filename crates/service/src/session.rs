@@ -10,7 +10,7 @@ use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
 use paracosm_core::trace::Counter;
 use paracosm_core::{
     Classified, CsmAlgorithm, CsmResult, Engine, ParaCosmConfig, RunReport, SafeStage, SessionDims,
-    StageSnapshot, StreamObserver, UpdateObservation,
+    SpanId, StageSnapshot, StreamObserver, UpdateObservation,
 };
 use std::time::{Duration, Instant};
 
@@ -212,7 +212,7 @@ impl Session {
     /// label-safe, zero latency, empty ΔM), while stats/counter bookkeeping
     /// accumulates in the session until [`Session::flush_deferred`].
     #[inline]
-    pub(crate) fn fan_label_safe(&mut self, idx: u64, apply: Duration) {
+    pub(crate) fn fan_label_safe(&mut self, idx: u64, apply: Duration, span: SpanId) {
         debug_assert!(self.defers());
         self.pending_label_safe += 1;
         self.pending_apply += apply;
@@ -224,19 +224,22 @@ impl Session {
             positives: 0,
             negatives: 0,
             skipped: false,
+            span,
         });
     }
 
-    /// Fold deferred label-safe bookkeeping into the engine. Must run
-    /// before the engine's stats or counters are read externally; no-op
-    /// when nothing is pending.
-    pub(crate) fn flush_deferred(&mut self) {
-        if self.pending_label_safe > 0 {
-            self.eng
-                .flush_label_safe(self.pending_label_safe, self.pending_apply);
+    /// Fold deferred label-safe bookkeeping into the engine and return how
+    /// many fan-outs were flushed (the flight recorder's `flush` span arg).
+    /// Must run before the engine's stats or counters are read externally;
+    /// no-op when nothing is pending.
+    pub(crate) fn flush_deferred(&mut self) -> u64 {
+        let flushed = self.pending_label_safe;
+        if flushed > 0 {
+            self.eng.flush_label_safe(flushed, self.pending_apply);
             self.pending_label_safe = 0;
             self.pending_apply = Duration::ZERO;
         }
+        flushed
     }
 
     /// Budgeted `Find_Matches` for one unsafe update: enumerate at the

@@ -15,7 +15,11 @@
 //!   - `GET /readyz` — `200` only when the queue is open, not full, and
 //!     no stall is flagged,
 //!   - `GET /sessions` — a JSON snapshot of per-session dimensions,
-//!     degradation-ladder state, and windowed quantiles;
+//!     degradation-ladder state, and windowed quantiles,
+//!   - `GET /debug/flight` — an on-demand JSON dump of the always-on
+//!     flight recorder (every retained causal-span event, per shard),
+//!   - `GET /debug/stalls` — the last [`MAX_DOSSIERS`] stall dossiers,
+//!     each carrying the implicated update's full span path;
 //! * a watchdog thread that detects a *stuck update* (an update started
 //!   but not finished within the stall deadline) and a *wedged queue*
 //!   (admitted updates sitting unprocessed with no progress for a full
@@ -39,7 +43,10 @@ use crate::session::{DegradeLevel, Session};
 use crate::shared::SharedIndexStats;
 use csm_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use csm_check::sync::{Mutex, PoisonError};
-use paracosm_core::{CsmError, CsmResult, WindowConfig, WindowCounter, WindowRing};
+use paracosm_core::{
+    CsmError, CsmResult, FlightEvent, FlightRecorder, SpanId, WindowConfig, WindowCounter,
+    WindowRing,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -166,6 +173,32 @@ impl StallDiagnostic {
 /// Retained stall diagnostics.
 pub const MAX_DIAGNOSTICS: usize = 32;
 
+/// Retained stall dossiers (`GET /debug/stalls` serves the last this-many;
+/// older dossiers roll off oldest-first).
+pub const MAX_DOSSIERS: usize = 8;
+
+/// A schema-versioned forensic snapshot built by the watchdog at the
+/// moment a stall is flagged: the triggering [`StallDiagnostic`], the
+/// implicated update's full causal-span path pulled from the flight
+/// rings, and per-session ladder state at capture. Served as JSON by
+/// `GET /debug/stalls` (schema in DESIGN.md §3.12).
+#[derive(Clone, Debug)]
+pub struct StallDossier {
+    /// What the watchdog caught (kind, index, wait, queue depth, time).
+    pub diagnostic: StallDiagnostic,
+    /// The implicated span: the in-flight update's span for a stuck
+    /// update, the last *completed* update's span for a wedged queue
+    /// (nothing is in flight when the owner thread stops draining).
+    pub span: SpanId,
+    /// The span's stage path — every retained flight event carrying
+    /// [`StallDossier::span`], timestamp-ascending across shards.
+    pub path: Vec<FlightEvent>,
+    /// Spans minted by the recorder up to capture (admission counter).
+    pub spans_minted: u64,
+    /// Per-session `(id, label, degrade-level name)` at capture.
+    pub sessions: Vec<(u64, String, &'static str)>,
+}
+
 /// Per-session mirror readable by the scrape thread: identity, the shared
 /// window ring, and the ladder counters the owner thread refreshes after
 /// every update (relaxed stores — the scrape is telemetry, not a fence).
@@ -203,6 +236,9 @@ struct TelemetryShared {
     start: Instant,
     stall_deadline: Duration,
     queue: Arc<AdmissionQueue>,
+    /// The service's always-on flight recorder (owner thread writes; the
+    /// watchdog and HTTP threads only snapshot).
+    flight: Arc<FlightRecorder>,
     /// Scrape-side session registry (locked only on add/remove/scrape).
     sessions: Mutex<Vec<Arc<SessionTelemetry>>>,
     /// Service-level window: queue-depth gauges sampled once per update.
@@ -215,6 +251,10 @@ struct TelemetryShared {
     /// ns-since-start when the in-flight update began (0 = idle).
     inflight_since_ns: AtomicU64,
     inflight_index: AtomicU64,
+    /// Flight span of the in-flight update (0 = none).
+    inflight_span: AtomicU64,
+    /// Flight span of the last completed update (0 = none yet).
+    last_done_span: AtomicU64,
     /// Shared-index mirror (zero / absent when the index is off):
     /// distinct sub-patterns, delta-cache hits, delta-cache misses.
     shared_subpatterns: AtomicU64,
@@ -223,6 +263,7 @@ struct TelemetryShared {
     stalled: AtomicBool,
     stalls_total: AtomicU64,
     diagnostics: Mutex<Vec<StallDiagnostic>>,
+    dossiers: Mutex<Vec<StallDossier>>,
     shutdown: AtomicBool,
 }
 
@@ -250,10 +291,43 @@ impl TelemetryShared {
     fn note_stall(&self, d: StallDiagnostic) {
         self.stalls_total.fetch_add(1, Ordering::Relaxed);
         stb(&self.stalled, true);
+        self.capture_dossier(&d);
         let mut diags = lock(&self.diagnostics);
         if diags.len() < MAX_DIAGNOSTICS {
             diags.push(d);
         }
+    }
+
+    /// Build the forensic dossier for a freshly flagged stall: resolve
+    /// the implicated span, pull its stage path out of the flight rings,
+    /// and record per-session ladder state. Watchdog-thread only — the
+    /// full-ring snapshot and allocations here are off the hot path by
+    /// design.
+    fn capture_dossier(&self, d: &StallDiagnostic) {
+        let span = match d.kind {
+            StallKind::StuckUpdate => SpanId(ld(&self.inflight_span)),
+            StallKind::WedgedQueue => SpanId(ld(&self.last_done_span)),
+        };
+        let path = if span.is_some() {
+            self.flight.span_path(span)
+        } else {
+            Vec::new()
+        };
+        let sessions = lock(&self.sessions)
+            .iter()
+            .map(|s| (s.id, s.label.clone(), level_name(ld(&s.level))))
+            .collect();
+        let mut dossiers = lock(&self.dossiers);
+        if dossiers.len() >= MAX_DOSSIERS {
+            dossiers.remove(0);
+        }
+        dossiers.push(StallDossier {
+            diagnostic: d.clone(),
+            span,
+            path,
+            spans_minted: self.flight.spans_minted(),
+            sessions,
+        });
     }
 }
 
@@ -309,6 +383,12 @@ impl TelemetryHandle {
     pub fn diagnostics(&self) -> Vec<StallDiagnostic> {
         lock(&self.shared.diagnostics).clone()
     }
+
+    /// Stall dossiers captured so far (the last [`MAX_DOSSIERS`], oldest
+    /// first) — the same payload `GET /debug/stalls` serves.
+    pub fn dossiers(&self) -> Vec<StallDossier> {
+        lock(&self.shared.dossiers).clone()
+    }
 }
 
 impl ServiceTelemetry {
@@ -316,6 +396,7 @@ impl ServiceTelemetry {
     pub(crate) fn start(
         cfg: TelemetryConfig,
         queue: Arc<AdmissionQueue>,
+        flight: Arc<FlightRecorder>,
     ) -> CsmResult<ServiceTelemetry> {
         let listener = TcpListener::bind(cfg.addr.as_str()).map_err(|e| bind_err(&cfg.addr, e))?;
         let addr = listener.local_addr().map_err(|e| bind_err(&cfg.addr, e))?;
@@ -323,6 +404,7 @@ impl ServiceTelemetry {
             start: Instant::now(),
             stall_deadline: cfg.stall_deadline.max(Duration::from_millis(1)),
             queue,
+            flight,
             sessions: Mutex::new(Vec::new()),
             service_window: WindowRing::new(cfg.window),
             processed: AtomicU64::new(0),
@@ -331,12 +413,15 @@ impl ServiceTelemetry {
             last_progress_ns: AtomicU64::new(0),
             inflight_since_ns: AtomicU64::new(0),
             inflight_index: AtomicU64::new(0),
+            inflight_span: AtomicU64::new(0),
+            last_done_span: AtomicU64::new(0),
             shared_subpatterns: AtomicU64::new(0),
             shared_hits: AtomicU64::new(0),
             shared_misses: AtomicU64::new(0),
             stalled: AtomicBool::new(false),
             stalls_total: AtomicU64::new(0),
             diagnostics: Mutex::new(Vec::new()),
+            dossiers: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
         });
 
@@ -401,8 +486,9 @@ impl ServiceTelemetry {
     /// Owner-thread hook: an update is about to fan out. Stamps the
     /// in-flight marker (watchdog input) and samples the queue depth into
     /// the service window.
-    pub(crate) fn begin_update(&self, index: u64, queue_depth: u64) {
+    pub(crate) fn begin_update(&self, index: u64, queue_depth: u64, span: SpanId) {
         st(&self.shared.inflight_index, index);
+        st(&self.shared.inflight_span, span.0);
         st(&self.shared.inflight_since_ns, self.shared.now_ns().max(1));
         self.shared.service_window.record_queue_depth(queue_depth);
     }
@@ -419,6 +505,8 @@ impl ServiceTelemetry {
         shared_stats: Option<SharedIndexStats>,
     ) {
         st(&self.shared.last_progress_ns, self.shared.now_ns().max(1));
+        st(&self.shared.last_done_span, ld(&self.shared.inflight_span));
+        st(&self.shared.inflight_span, 0);
         st(&self.shared.inflight_since_ns, 0);
         st(&self.shared.processed, processed);
         st(&self.shared.noops, noops);
@@ -605,6 +693,14 @@ fn handle_conn(mut stream: TcpStream, shared: &TelemetryShared) -> std::io::Resu
         }
         "/sessions" => {
             let body = render_sessions_json(shared);
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/debug/flight" => {
+            let body = render_flight_json(shared);
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/debug/stalls" => {
+            let body = render_stalls_json(shared);
             respond(&mut stream, 200, "OK", "application/json", &body)
         }
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
@@ -874,6 +970,113 @@ fn render_sessions_json(shared: &TelemetryShared) -> String {
             d.queue_depth,
             d.at.as_nanos()
         ));
+    }
+    o.push_str("]}");
+    o
+}
+
+/// One flight event as JSON (shared by `/debug/flight` and the dossier
+/// span paths in `/debug/stalls`).
+fn flight_event_json(e: &FlightEvent) -> String {
+    format!(
+        "{{\"seq\":{},\"shard\":{},\"span\":{},\"stage\":\"{}\",\"phase\":\"{}\",\
+         \"kind\":\"{}\",\"session\":{},\"ts_ns\":{},\"arg\":{}}}",
+        e.seq,
+        e.shard,
+        e.span.0,
+        e.stage.name(),
+        if e.begin { "begin" } else { "end" },
+        e.kind.name(),
+        e.session,
+        e.ts_ns,
+        e.arg
+    )
+}
+
+/// Render the `/debug/flight` JSON dump: recorder shape plus every
+/// retained event per shard (schema documented in DESIGN.md §3.12;
+/// `schema_version` 1).
+fn render_flight_json(shared: &TelemetryShared) -> String {
+    let snap = shared.flight.snapshot();
+    let mut o = String::with_capacity(4096);
+    o.push_str("{\"schema_version\":1");
+    o.push_str(&format!(",\"uptime_ns\":{}", shared.now_ns()));
+    o.push_str(&format!(",\"capacity\":{}", shared.flight.capacity()));
+    o.push_str(&format!(
+        ",\"spans_minted\":{}",
+        shared.flight.spans_minted()
+    ));
+    o.push_str(&format!(",\"inflight_span\":{}", ld(&shared.inflight_span)));
+    o.push_str(&format!(
+        ",\"last_done_span\":{}",
+        ld(&shared.last_done_span)
+    ));
+    o.push_str(",\"shards\":[");
+    for (i, (events, dropped)) in snap.shards.iter().zip(snap.dropped.iter()).enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "{{\"shard\":{i},\"dropped\":{dropped},\"events\":["
+        ));
+        for (j, e) in events.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str(&flight_event_json(e));
+        }
+        o.push_str("]}");
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Render the `/debug/stalls` JSON: the last-[`MAX_DOSSIERS`] stall
+/// dossiers, oldest first (schema documented in DESIGN.md §3.12;
+/// `schema_version` 1).
+fn render_stalls_json(shared: &TelemetryShared) -> String {
+    let dossiers = lock(&shared.dossiers).clone();
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"schema_version\":1");
+    o.push_str(&format!(",\"stalls_total\":{}", ld(&shared.stalls_total)));
+    o.push_str(&format!(",\"healthy\":{}", shared.healthy()));
+    o.push_str(",\"dossiers\":[");
+    for (i, d) in dossiers.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "{{\"kind\":\"{}\",\"update_index\":{},\"waited_ns\":{},\
+             \"queue_depth\":{},\"at_ns\":{},\"span\":{},\"spans_minted\":{},\
+             \"path\":[",
+            d.diagnostic.kind.name(),
+            d.diagnostic
+                .update_index
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            d.diagnostic.waited.as_nanos(),
+            d.diagnostic.queue_depth,
+            d.diagnostic.at.as_nanos(),
+            d.span.0,
+            d.spans_minted,
+        ));
+        for (j, e) in d.path.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str(&flight_event_json(e));
+        }
+        o.push_str("],\"sessions\":[");
+        for (j, (id, label, level)) in d.sessions.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!(
+                "{{\"id\":{id},\"label\":\"{}\",\"level\":\"{level}\"}}",
+                json_escape(label)
+            ));
+        }
+        o.push_str("]}");
     }
     o.push_str("]}");
     o

@@ -91,6 +91,7 @@ fn main() {
             queue_capacity: 256,
             policy: Backpressure::Block,
             shared_index: true,
+            flight_capacity: 1024,
         },
     )
     .expect("valid service config");

@@ -1,7 +1,8 @@
 //! Live telemetry plane end-to-end: stand up a [`CsmService`] with two
 //! standing queries, start the HTTP scrape endpoint on a loopback port,
 //! stream churn through the service while scraping `/metrics`, `/healthz`
-//! and `/sessions` over plain TCP, and finally reconcile the scraped
+//! and `/sessions` over plain TCP, peek at the flight recorder's causal
+//! spans via `/debug/flight`, and finally reconcile the scraped
 //! per-session `_total` counters against the shutdown [`ServiceReport`].
 //!
 //! Run with: `cargo run --release --example telemetry_scrape`
@@ -124,6 +125,26 @@ fn main() {
     // The JSON snapshot carries per-session ladder state and window rates.
     let sessions = http_get(addr, "/sessions");
     println!("sessions snapshot: {} bytes of JSON", sessions.len());
+
+    // The flight recorder is always on: every processed update minted a
+    // causal span, and /debug/flight dumps the retained stage events.
+    let flight = http_get(addr, "/debug/flight");
+    let minted = flight
+        .split_once("\"spans_minted\":")
+        .and_then(|(_, rest)| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .ok()
+        })
+        .expect("flight dump carries spans_minted");
+    assert_eq!(minted, submitted, "one causal span per processed update");
+    println!(
+        "flight recorder: {} spans minted, {} bytes of /debug/flight",
+        minted,
+        flight.len()
+    );
 
     // Reconciliation: scraped lifetime totals equal the shutdown report.
     let metrics = http_get(addr, "/metrics");

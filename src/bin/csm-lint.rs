@@ -27,6 +27,13 @@
 //!   it); every other path consumes keys opaquely.
 //! * **kernel-hot-loop** — no `Instant::now()` and no allocation patterns
 //!   in `kernel.rs` outside the `LINT.md` hot-path exception table.
+//! * **flight-hot-path** — the flight-recorder record path
+//!   (`crates/core/src/trace/flight.rs`) is denied every allocation
+//!   pattern and `Instant::now(` outright (zero budget, no exception
+//!   table: cold paths belong in `trace/flight/cold.rs`), and the ring
+//!   internals (`FlightShard`/`FlightSlot`) may not be named outside
+//!   `crates/core/src/trace/` — everyone else records through
+//!   `FlightRecorder`.
 //! * **trace-local-only** — no shared-`Tracer` `count`/`event` calls in
 //!   `kernel.rs`/`inner.rs`; hot paths accumulate into a `LocalTrace` and
 //!   merge once per run.
@@ -84,6 +91,19 @@ const SUBPATTERN_PATTERNS: [&str; 4] = [
 const TRACE_HOT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/inner.rs"];
 
 const KERNEL_FILE: &str = "crates/core/src/kernel.rs";
+
+/// The flight-recorder record path: span recording only. Allocation and
+/// `Instant::now(` are denied here outright (no budget table) — the
+/// recorder is always on in `serve`, so every byte of this file is hot.
+const FLIGHT_HOT_FILE: &str = "crates/core/src/trace/flight.rs";
+
+/// Directory whose files may name the flight-ring internals.
+const FLIGHT_RING_DIR: &str = "crates/core/src/trace/";
+
+/// Ring-internal tokens confined by `flight-hot-path`: the seqlock shard
+/// and slot types stay private to the trace module so the single-writer
+/// protocol has exactly one author.
+const FLIGHT_RING_PATTERNS: [&str; 2] = ["FlightShard", "FlightSlot"];
 
 /// Allocation / timing patterns denied in kernel hot loops.
 const KERNEL_PATTERNS: [&str; 10] = [
@@ -631,6 +651,43 @@ fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
                 for pat in KERNEL_PATTERNS {
                     if line.contains(pat) {
                         kernel_uses.entry(pat.to_string()).or_default().push(lineno);
+                    }
+                }
+            }
+
+            // flight-hot-path: zero-budget denial of allocation/timing
+            // patterns in the record path, and ring-internal confinement
+            // everywhere outside the trace module.
+            if rel == FLIGHT_HOT_FILE {
+                for pat in KERNEL_PATTERNS {
+                    if line.contains(pat) {
+                        diags.push(Diagnostic {
+                            path: rel.clone(),
+                            line: lineno,
+                            rule: "flight-hot-path",
+                            msg: format!(
+                                "`{pat}` in the flight-recorder record path — span \
+                                 recording is allocation-free by contract; move cold \
+                                 work into trace/flight/cold.rs ({})",
+                                snippet(line)
+                            ),
+                        });
+                    }
+                }
+            } else if !rel.starts_with(FLIGHT_RING_DIR) {
+                for pat in FLIGHT_RING_PATTERNS {
+                    if line.contains(pat) {
+                        diags.push(Diagnostic {
+                            path: rel.clone(),
+                            line: lineno,
+                            rule: "flight-hot-path",
+                            msg: format!(
+                                "{pat} outside crates/core/src/trace/ — the flight \
+                                 ring's seqlock internals have one author; record \
+                                 through FlightRecorder instead ({})",
+                                snippet(line)
+                            ),
+                        });
                     }
                 }
             }

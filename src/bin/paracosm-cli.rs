@@ -33,6 +33,13 @@
 //!   --linger-ms N      after draining the stream, keep serving (and the
 //!                      telemetry endpoint up) for N ms before shutdown
 //!   --shared-index on|off  cross-session shared-work index (default: on)
+//!   --flight-capacity N  flight-recorder events retained per shard
+//!                      (default: 1024; the recorder is always on)
+//!   --dump-flight-on-stall PATH  if any stall was flagged, write the
+//!                      flight recorder as Perfetto trace JSON at shutdown
+//!   --wedge-ms N       after submitting the stream, hold the queue
+//!                      unprocessed for N ms (forces a wedged-queue stall
+//!                      when N exceeds the stall deadline; CI/forensics)
 //! ```
 
 use paracosm::prelude::*;
@@ -48,7 +55,8 @@ fn usage() -> ! {
          --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
          [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
          [--report-json PATH] [--quiet] [--telemetry-addr ADDR] \
-         [--stall-deadline-ms N] [--linger-ms N] [--shared-index on|off]"
+         [--stall-deadline-ms N] [--linger-ms N] [--shared-index on|off] \
+         [--flight-capacity N] [--dump-flight-on-stall PATH] [--wedge-ms N]"
     );
     std::process::exit(2);
 }
@@ -100,6 +108,9 @@ fn serve_main(args: Vec<String>) {
     let mut stall_deadline = Duration::from_secs(5);
     let mut linger = Duration::ZERO;
     let mut shared_index = true;
+    let mut flight_capacity = 1024usize;
+    let mut dump_flight: Option<String> = None;
+    let mut wedge = Duration::ZERO;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -133,6 +144,11 @@ fn serve_main(args: Vec<String>) {
                     "off" => false,
                     _ => usage(),
                 }
+            }
+            "--flight-capacity" => flight_capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--dump-flight-on-stall" => dump_flight = Some(val()),
+            "--wedge-ms" => {
+                wedge = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -168,6 +184,7 @@ fn serve_main(args: Vec<String>) {
             queue_capacity: queue,
             policy,
             shared_index,
+            flight_capacity,
         },
     )
     .unwrap_or_else(|e| {
@@ -205,6 +222,9 @@ fn serve_main(args: Vec<String>) {
         }
     }
 
+    // Clone before shutdown so the recorder outlives the service for the
+    // optional post-mortem dump.
+    let flight = std::sync::Arc::clone(svc.flight());
     for &u in s.updates() {
         match svc.submit(u) {
             Ok(()) => {}
@@ -215,6 +235,13 @@ fn serve_main(args: Vec<String>) {
                 std::process::exit(1);
             }
         }
+    }
+    if wedge > Duration::ZERO {
+        // Artificial wedge (CI / stall-forensics demos): hold the admitted
+        // updates unprocessed long enough for the watchdog to flag a
+        // wedged-queue stall, then drain normally.
+        eprintln!("wedging queue for {wedge:?} before draining");
+        std::thread::sleep(wedge);
     }
     if linger > Duration::ZERO {
         // Process everything, then hold the telemetry endpoint open for
@@ -260,6 +287,13 @@ fn serve_main(args: Vec<String>) {
     }
     if let Some(path) = &report_json {
         write_or_die(path, &report.to_json(), "service report");
+    }
+    if let Some(path) = &dump_flight {
+        if report.stalls > 0 {
+            write_or_die(path, &flight.perfetto_json(), "flight trace");
+        } else {
+            eprintln!("no stalls flagged; flight trace not written to {path}");
+        }
     }
 }
 

@@ -84,14 +84,16 @@ pub mod prelude {
     };
     pub use csm_service::{
         AdmissionQueue, Backpressure, CsmService, DegradeLevel, IngestHandle, ServiceConfig,
-        ServiceReport, SessionSpec, SharedIndexStats, StallDiagnostic, StallKind, TelemetryConfig,
-        TelemetryHandle,
+        ServiceReport, SessionSpec, SharedIndexStats, StallDiagnostic, StallDossier, StallKind,
+        TelemetryConfig, TelemetryHandle,
     };
     pub use paracosm_core::{
         AdsChange, AlgorithmFactory, Classified, CsmAlgorithm, CsmError, CsmResult, Embedding,
-        Engine, LatencyHistogram, Match, MatchSink, NoopObserver, ParaCosm, ParaCosmConfig,
-        RunReport, RunStats, SearchCtx, SearchStats, SessionDims, StreamObserver, StreamOutcome,
+        Engine, FanKind, FlightConfig, FlightEvent, FlightRecorder, FlightSnapshot, FlightStage,
+        LatencyHistogram, Match, MatchSink, NoopObserver, ParaCosm, ParaCosmConfig, RunReport,
+        RunStats, SearchCtx, SearchStats, SessionDims, SpanId, StreamObserver, StreamOutcome,
         TraceLevel, UpdateObservation, UpdateOutcome, WindowConfig, WindowRing, WindowSnapshot,
+        SESSION_AGGREGATE,
     };
 
     /// The facade's datagen crate under its blessed name (dataset loading

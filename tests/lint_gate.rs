@@ -200,6 +200,74 @@ fn linter_fails_on_seeded_subpattern_key_violation() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// The flight-recorder record path is allocation-free by contract and
+/// its ring internals are confined to the trace module: a seeded
+/// allocation in a scratch `trace/flight.rs` and a seeded `FlightShard`
+/// mention outside `crates/core/src/trace/` must both fail with
+/// `flight-hot-path`, while cold-module allocation stays clean.
+#[test]
+fn linter_fails_on_seeded_flight_hot_path_violation() {
+    let root = scratch_dir("flight");
+    let trace = root.join("crates/core/src/trace");
+    std::fs::create_dir_all(trace.join("flight")).expect("mkdir scratch trace module");
+    std::fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n",
+    )
+    .expect("write lib");
+    // Seeded violation 1: an allocation in the record path.
+    std::fs::write(
+        trace.join("flight.rs"),
+        "pub fn record_all(spans: &[u64]) -> Vec<u64> {\n\
+             spans.to_vec()\n\
+         }\n",
+    )
+    .expect("write seeded hot-path violation");
+    // Sanctioned: the cold module allocates freely.
+    std::fs::write(
+        trace.join("flight/cold.rs"),
+        "pub fn snapshot() -> Vec<u64> {\n\
+             Vec::with_capacity(8)\n\
+         }\n",
+    )
+    .expect("write cold scratch");
+    // Seeded violation 2: ring internals named outside the trace module.
+    let svc = root.join("crates/service/src");
+    std::fs::create_dir_all(&svc).expect("mkdir scratch service crate");
+    std::fs::write(svc.join("lib.rs"), "#![forbid(unsafe_code)]\n").expect("write lib");
+    std::fs::write(
+        svc.join("rogue.rs"),
+        "pub fn poke(shard: &FlightShard) -> u64 {\n\
+             shard.seq()\n\
+         }\n",
+    )
+    .expect("write seeded confinement violation");
+
+    let out = Command::new(lint_bin())
+        .arg(&root)
+        .output()
+        .expect("run csm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "csm-lint accepted seeded flight-hot-path violations:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/trace/flight.rs:2: [flight-hot-path]"),
+        "allocation in the record path should be flagged at file:line, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/service/src/rogue.rs:1: [flight-hot-path]"),
+        "ring internals outside trace/ should be flagged, got:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("cold.rs:"),
+        "the cold module must not be flagged:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The public surface under `crates/*/src` must match the committed
 /// `API.md` snapshot exactly: any `pub` item added, removed or re-signed
 /// without regenerating the snapshot is surface drift and fails here.

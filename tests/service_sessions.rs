@@ -140,6 +140,7 @@ fn shed_oldest_policy_is_observable_in_report() {
             queue_capacity: 4,
             policy: Backpressure::ShedOldest,
             shared_index: true,
+            flight_capacity: 1024,
         },
     )
     .unwrap();
@@ -178,6 +179,7 @@ fn reject_policy_is_observable_and_survivable() {
             queue_capacity: 4,
             policy: Backpressure::Reject,
             shared_index: true,
+            flight_capacity: 1024,
         },
     )
     .unwrap();
@@ -394,6 +396,7 @@ fn shared_index_on_off_differential() {
                 queue_capacity: 64,
                 policy: Backpressure::Block,
                 shared_index,
+                flight_capacity: 1024,
             },
         )
         .unwrap();
@@ -470,6 +473,7 @@ fn shared_index_survives_live_add_and_remove() {
                 queue_capacity: 64,
                 policy: Backpressure::Block,
                 shared_index,
+                flight_capacity: 1024,
             },
         )
         .unwrap();

@@ -382,6 +382,7 @@ fn watchdog_flags_wedged_queue_then_recovers() {
             queue_capacity: 64,
             policy: Backpressure::Reject,
             shared_index: true,
+            flight_capacity: 1024,
         },
     )
     .unwrap();
@@ -421,6 +422,30 @@ fn watchdog_flags_wedged_queue_then_recovers() {
     let (_, sessions) = http_get(addr, "/sessions");
     assert!(sessions.contains("\"kind\":\"wedged-queue\""));
 
+    // The stall also produced a forensic dossier on /debug/stalls. No
+    // update was ever processed, so the implicated span is NONE and the
+    // path is empty — but the dossier itself must exist and carry the
+    // diagnostic.
+    let (code, stalls) = http_get(addr, "/debug/stalls");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&stalls, "schema_version"), 1);
+    assert!(json_u64(&stalls, "stalls_total") >= 1);
+    assert!(stalls.contains("\"healthy\":false"));
+    assert!(stalls.contains("\"kind\":\"wedged-queue\""));
+    assert!(stalls.contains("\"sessions\":[{\"id\":"));
+    let dossiers = t.dossiers();
+    assert!(dossiers
+        .iter()
+        .any(|d| d.diagnostic.kind == StallKind::WedgedQueue));
+
+    // /debug/flight always answers, even with nothing recorded yet.
+    let (code, flight) = http_get(addr, "/debug/flight");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&flight, "schema_version"), 1);
+    assert_eq!(json_u64(&flight, "capacity"), 1024);
+    assert_eq!(json_u64(&flight, "spans_minted"), 0);
+    assert!(flight.contains("\"shards\":[{\"shard\":0,"));
+
     // Recovery: drain and wait for the flag to clear.
     svc.drain().unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -438,6 +463,116 @@ fn watchdog_flags_wedged_queue_then_recovers() {
     assert_eq!(report.stalls, stalls);
     assert!(report.stalls >= 1);
     assert!(report.to_json().contains(&format!("\"stalls\":{stalls}")));
+}
+
+/// Observer that naps well past the stall deadline on its first few
+/// updates — the service's owner thread wedges *inside* an update, which
+/// is exactly the `StuckUpdate` shape the watchdog forensics target.
+struct Molasses {
+    naps: u32,
+    nap: Duration,
+}
+
+impl StreamObserver for Molasses {
+    fn on_update(&mut self, _obs: &UpdateObservation) {
+        if self.naps > 0 {
+            self.naps -= 1;
+            std::thread::sleep(self.nap);
+        }
+    }
+}
+
+/// A forced `StuckUpdate` stall produces a dossier containing the
+/// offending update's complete span path: the watchdog resolves the
+/// in-flight span, and `/debug/stalls` names the stuck update, its span,
+/// and the stages it got through — ending at the open `fanout` of the
+/// session whose observer is asleep.
+#[test]
+fn stuck_update_dossier_names_span_and_stage_path() {
+    let (g, stream) = testing::random_workload(13, 16, 1, 1, 20, 4, 0.2);
+    let mut svc = CsmService::new(g.clone(), ServiceConfig::default()).unwrap();
+    svc.add_session(
+        SessionSpec::new(triangle(), ParaCosmConfig::sequential()).with_label("slowpoke"),
+        Box::new(AlgoKind::GraphFlow.build(&g, &triangle())),
+        Box::new(Molasses {
+            naps: 1,
+            nap: Duration::from_millis(600),
+        }),
+    )
+    .unwrap();
+    let t = svc
+        .start_telemetry(wide_window(Duration::from_millis(40)))
+        .unwrap();
+    let addr = t.local_addr();
+
+    for &u in stream.updates() {
+        svc.submit(u).unwrap();
+    }
+    // drain() blocks in update #0 while the observer naps; the watchdog
+    // flags the stuck update and captures the dossier mid-flight.
+    svc.drain().unwrap();
+
+    assert!(t.stalls() >= 1, "the watchdog must have caught the nap");
+    let dossiers = t.dossiers();
+    let d = dossiers
+        .iter()
+        .find(|d| d.diagnostic.kind == StallKind::StuckUpdate)
+        .expect("a stuck-update dossier");
+    assert_eq!(d.diagnostic.update_index, Some(0));
+    assert!(d.span.is_some(), "the in-flight span must be resolved");
+    assert!(!d.path.is_empty(), "the span path must be captured");
+    // The path walks the pipeline: the admit umbrella opened (never
+    // closed at capture time), and the slow session's fanout was open.
+    let admit_open = d
+        .path
+        .iter()
+        .find(|e| e.stage == FlightStage::Admit && e.begin)
+        .expect("admit begin in the dossier path");
+    assert_eq!(admit_open.span, d.span);
+    assert_eq!(admit_open.arg, 0, "admit arg is the stuck update's index");
+    assert!(
+        !d.path
+            .iter()
+            .any(|e| e.stage == FlightStage::Admit && !e.begin),
+        "the stuck update cannot have closed its admit span yet"
+    );
+    assert!(
+        d.path
+            .iter()
+            .any(|e| e.stage == FlightStage::Fanout && e.begin),
+        "the stuck session's fanout must be open in the path"
+    );
+    assert!(d.sessions.iter().any(|(_, label, _)| label == "slowpoke"));
+
+    // The HTTP rendering of the same dossier.
+    let (code, stalls) = http_get(addr, "/debug/stalls");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&stalls, "schema_version"), 1);
+    assert!(stalls.contains("\"kind\":\"stuck-update\""));
+    assert!(stalls.contains("\"update_index\":0"));
+    assert!(stalls.contains("\"stage\":\"admit\""));
+    assert!(stalls.contains("\"phase\":\"begin\""));
+    assert!(stalls.contains("\"label\":\"slowpoke\""));
+
+    // /debug/flight now reflects the full run: every submitted update
+    // minted a span, and the stuck one eventually completed.
+    let (code, flight) = http_get(addr, "/debug/flight");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&flight, "spans_minted"), stream.len() as u64);
+    assert_eq!(json_u64(&flight, "inflight_span"), 0);
+    assert_eq!(json_u64(&flight, "last_done_span"), stream.len() as u64);
+
+    // Recovery: the nap is over, progress resumed, health returns.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if http_get(addr, "/healthz").0 == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "stall flag never cleared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = svc.shutdown().unwrap();
+    assert!(report.stalls >= 1);
 }
 
 /// Config plumbing: bad addresses surface as `ConfigInvalid` naming
