@@ -1,0 +1,148 @@
+//! `LINT.md` parsing: per-field ordering allowlist + unwrap budgets.
+//!
+//! The ordering allowlist is keyed by `(file, field, ordering)` — a row
+//! covers `max` accesses of one atomic field with one ordering, so a new
+//! `Relaxed` on a *different* field of the same file no longer hides
+//! under a per-file count. The field cell holds the Rust field (or
+//! binding) name the access resolves to; the special field `-` covers
+//! free-standing `Ordering::X` tokens that are not an argument of an
+//! atomic method call (helper fns that take an `Ordering` parameter,
+//! `match` arms over orderings).
+//!
+//! With no `LINT.md` at the root every budget is zero, which is what the
+//! seeded-violation fixtures rely on.
+
+use std::collections::BTreeMap;
+
+/// Budgets and allowlists parsed out of `LINT.md`.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// `(file, field, ordering) -> budget` from "Ordering allowlist".
+    pub ordering: BTreeMap<(String, String, String), usize>,
+    /// `file -> budget` from "Unwrap/expect budgets".
+    pub unwrap: BTreeMap<String, usize>,
+}
+
+impl Config {
+    /// Parse the markdown tables. Sections are recognized by `##`
+    /// heading substring ("Ordering allowlist", "Unwrap/expect
+    /// budgets"); rows are `| a | b | … |` with header and `---`
+    /// separator rows skipped.
+    pub fn parse(text: &str) -> Config {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Section {
+            None,
+            Ordering,
+            Unwrap,
+        }
+        let mut section = Section::None;
+        let mut out = Config::default();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("##") {
+                section = if t.contains("Ordering allowlist") {
+                    Section::Ordering
+                } else if t.contains("Unwrap/expect budgets") {
+                    Section::Unwrap
+                } else {
+                    Section::None
+                };
+                continue;
+            }
+            if section == Section::None || !t.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.is_empty()
+                || cells[0].is_empty()
+                || cells[0] == "file"
+                || cells
+                    .iter()
+                    .all(|c| c.chars().all(|ch| ch == '-' || ch == ':'))
+            {
+                continue;
+            }
+            match section {
+                Section::Ordering if cells.len() >= 4 => {
+                    if let Ok(n) = cells[3].parse() {
+                        out.ordering.insert(
+                            (
+                                cells[0].to_string(),
+                                cells[1].trim_matches('`').to_string(),
+                                cells[2].to_string(),
+                            ),
+                            n,
+                        );
+                    }
+                }
+                Section::Unwrap if cells.len() >= 2 => {
+                    if let Ok(n) = cells[1].parse() {
+                        out.unwrap.insert(cells[0].to_string(), n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Budget for one `(file, field, ordering)` access site, 0 when no
+    /// row exists.
+    pub fn ordering_budget(&self, file: &str, field: &str, ordering: &str) -> usize {
+        self.ordering
+            .get(&(file.to_string(), field.to_string(), ordering.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Is there *any* allowlist row for this `(file, field, ordering)`?
+    pub fn has_ordering_row(&self, file: &str, field: &str, ordering: &str) -> bool {
+        self.ordering
+            .contains_key(&(file.to_string(), field.to_string(), ordering.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_per_field_ordering_rows() {
+        let md = "\
+## Ordering allowlist
+
+| file | field | ordering | max | rationale |
+|---|---|---|---|---|
+| crates/core/src/inner.rs | `aborted` | Relaxed | 3 | advisory brake |
+| crates/core/src/inner.rs | - | Acquire | 1 | helper default |
+
+## Unwrap/expect budgets
+
+| file | max | rationale |
+|---|---|---|
+| crates/core/src/kernel.rs | 3 | order invariants |
+";
+        let c = Config::parse(md);
+        assert_eq!(
+            c.ordering_budget("crates/core/src/inner.rs", "aborted", "Relaxed"),
+            3
+        );
+        assert_eq!(
+            c.ordering_budget("crates/core/src/inner.rs", "-", "Acquire"),
+            1
+        );
+        assert_eq!(
+            c.ordering_budget("crates/core/src/inner.rs", "aborted", "Acquire"),
+            0
+        );
+        assert!(!c.has_ordering_row("crates/core/src/inner.rs", "aborted", "SeqCst"));
+        assert_eq!(c.unwrap.get("crates/core/src/kernel.rs"), Some(&3));
+    }
+
+    #[test]
+    fn missing_file_means_zero_budgets() {
+        let c = Config::default();
+        assert_eq!(c.ordering_budget("a.rs", "x", "Relaxed"), 0);
+        assert!(c.unwrap.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Diagnostics: the `path:line: [rule] message` records every pass
+//! emits, plus the text and JSON renderers the binaries print.
+
+/// One finding. Rendered as `path:line: [rule] message`.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        path: impl Into<String>,
+        line: u32,
+        rule: &'static str,
+        msg: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            path: path.into(),
+            line,
+            rule,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Sort diagnostics into report order: `(path, line, rule)`.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+}
+
+/// Render diagnostics as a machine-readable JSON artifact (the CI
+/// `--json` upload). Hand-rolled — the crate is dependency-free.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"csm-analyze\",\n");
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&d.path),
+            d.line,
+            d.rule,
+            escape(&d.msg)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_json() {
+        let mut ds = vec![
+            Diagnostic::new("b.rs", 2, "seqcst-denied", "no"),
+            Diagnostic::new("a.rs", 9, "unwrap-denied", "say \"why\""),
+        ];
+        sort(&mut ds);
+        assert_eq!(ds[0].to_string(), "a.rs:9: [unwrap-denied] say \"why\"");
+        let json = to_json(&ds);
+        assert!(json.contains("\"violations\": 2"));
+        assert!(json.contains("\\\"why\\\""));
+        assert!(json.contains("\"rule\": \"seqcst-denied\""));
+    }
+
+    #[test]
+    fn empty_json_is_well_formed() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+}

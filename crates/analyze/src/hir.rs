@@ -1,0 +1,843 @@
+//! HIR-lite: an item/scope parser over the token stream.
+//!
+//! This is not a grammar-complete Rust parser — it recovers exactly the
+//! structure the passes need, and keeps going on anything it does not
+//! understand:
+//!
+//! * the item tree (modules, fns, impls, traits, structs, enums, consts,
+//!   uses), each with its visibility, line span, and signature byte span;
+//! * item-level `#[cfg(test)]` regions (inherited by nested items) — the
+//!   exact attr shape only, so `#[cfg_attr(test, …)]` stays code;
+//! * struct fields, with `@protocol:` comment annotations resolved to the
+//!   field they precede;
+//! * enum variants (the drift passes check exporter exhaustiveness);
+//! * loop nesting inside fn bodies: every token knows how many `for` /
+//!   `while` / `loop` bodies enclose it, which is what makes the
+//!   hot-path rules scope-aware instead of per-file.
+
+use crate::lexer::{Annotation, Lexed, Tok, TokKind};
+
+/// What kind of item a [`Item`] record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Mod,
+    Fn,
+    Struct,
+    Enum,
+    Union,
+    Trait,
+    Impl,
+    Const,
+    Static,
+    TypeAlias,
+    Use,
+    ExternBlock,
+    MacroDef,
+}
+
+/// One parsed item. Token indices index the file's token vector.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name (`""` for impls/extern blocks).
+    pub name: String,
+    /// Carries plain `pub` visibility (restricted `pub(…)` is `false`).
+    pub vis_pub: bool,
+    /// Inside a `#[cfg(test)]` item (directly or inherited).
+    pub cfg_test: bool,
+    /// Token index of the signature start (`pub` or the item keyword —
+    /// attributes and doc comments excluded).
+    pub sig_start: usize,
+    /// Token index where the signature is cut for snapshots: the body
+    /// `{`, the initializer `=`, or the terminating `;`.
+    pub sig_end: usize,
+    /// Token index of the body-opening `{`, when the item has one.
+    pub body_open: Option<usize>,
+    /// One past the item's last token.
+    pub end: usize,
+    pub line: u32,
+}
+
+/// One struct field, with any `@protocol:` annotation resolved.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Owning struct name.
+    pub owner: String,
+    pub name: String,
+    pub line: u32,
+    /// `Some("seqlock-tag")`-style protocol annotation, if declared.
+    pub protocol: Option<String>,
+    pub cfg_test: bool,
+}
+
+/// One enum with its variant names.
+#[derive(Clone, Debug)]
+pub struct EnumDecl {
+    pub name: String,
+    pub variants: Vec<String>,
+    pub line: u32,
+    pub cfg_test: bool,
+}
+
+/// One fn with its body token range.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    pub name: String,
+    /// Token range of the body: `(open_brace_idx, close_brace_idx)`
+    /// inclusive of both braces. `None` for bodiless (trait/extern) fns.
+    pub body: Option<(usize, usize)>,
+    pub line: u32,
+    pub cfg_test: bool,
+}
+
+/// The parsed file.
+#[derive(Debug, Default)]
+pub struct FileHir {
+    pub toks: Vec<Tok>,
+    /// All items, flattened, in source order.
+    pub items: Vec<Item>,
+    pub fields: Vec<Field>,
+    pub enums: Vec<EnumDecl>,
+    pub fns: Vec<FnDecl>,
+    /// Per-token: enclosed by a `#[cfg(test)]` item?
+    pub test_tok: Vec<bool>,
+    /// Per-token: number of enclosing loop bodies (within fn bodies).
+    pub loop_depth: Vec<u16>,
+}
+
+impl FileHir {
+    /// The innermost fn whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnDecl> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(o, c)| idx > o && idx < c))
+            .max_by_key(|f| f.body.map(|(o, _)| o))
+    }
+
+    /// The fn named `name` (first match).
+    pub fn fn_named(&self, name: &str) -> Option<&FnDecl> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+
+    /// Does fn `f`'s body contain identifier `ident`?
+    pub fn body_has_ident(&self, f: &FnDecl, ident: &str) -> bool {
+        f.body
+            .is_some_and(|(o, c)| self.toks[o..=c].iter().any(|t| t.is_ident(ident)))
+    }
+}
+
+/// Parse a lexed file into HIR-lite.
+pub fn parse(lexed: Lexed) -> FileHir {
+    let Lexed { toks, annotations } = lexed;
+    let n = toks.len();
+    let mut hir = FileHir {
+        test_tok: vec![false; n],
+        loop_depth: vec![0; n],
+        ..FileHir::default()
+    };
+    let mut p = Parser {
+        toks: &toks,
+        annotations: &annotations,
+        out: &mut hir,
+    };
+    p.items(0, n, false, "");
+    hir.toks = toks;
+    hir
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    annotations: &'a [Annotation],
+    out: &'a mut FileHir,
+}
+
+const ITEM_KEYWORDS: [&str; 13] = [
+    "mod",
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "impl",
+    "const",
+    "static",
+    "type",
+    "use",
+    "extern",
+    "macro_rules",
+];
+
+impl<'a> Parser<'a> {
+    fn t(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// Skip one balanced group opened at `i` (which must be `(`, `[` or
+    /// `{`); returns the index one past the closer.
+    fn skip_group(&self, i: usize) -> usize {
+        let (open, close) = match self.t(i).map(|t| t.text.as_str()) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            Some("{") => ("{", "}"),
+            _ => return i + 1,
+        };
+        let mut depth = 0usize;
+        let mut j = i;
+        while let Some(t) = self.t(j) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parse items in `lo..hi`, inheriting `in_test`. `owner` names the
+    /// enclosing struct/impl for nested contexts (informational only).
+    fn items(&mut self, lo: usize, hi: usize, in_test: bool, owner: &str) {
+        let mut i = lo;
+        while i < hi {
+            i = self.item(i, hi, in_test, owner);
+        }
+    }
+
+    /// Parse one item starting at `i`; returns the index past it.
+    fn item(&mut self, i: usize, hi: usize, in_test: bool, owner: &str) -> usize {
+        let mut j = i;
+        let mut cfg_test = in_test;
+
+        // Attributes (and inner attributes / stray semicolons).
+        loop {
+            match self.t(j) {
+                Some(t) if t.is_punct(";") => j += 1,
+                Some(t) if t.is_punct("#") => {
+                    let mut k = j + 1;
+                    if self.t(k).is_some_and(|t| t.is_punct("!")) {
+                        k += 1; // inner attr: #![…]
+                    }
+                    if self.t(k).is_some_and(|t| t.is_punct("[")) {
+                        // `#[cfg(test)]` exactly: cfg ( test )
+                        let inner = &self.toks[k + 1..self.skip_group(k).saturating_sub(1)];
+                        if inner.len() == 4
+                            && inner[0].is_ident("cfg")
+                            && inner[1].is_punct("(")
+                            && inner[2].is_ident("test")
+                            && inner[3].is_punct(")")
+                        {
+                            cfg_test = true;
+                        }
+                        j = self.skip_group(k);
+                    } else {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if j >= hi {
+            return hi;
+        }
+
+        let sig_start = j;
+
+        // Visibility.
+        let mut vis_pub = false;
+        if self.t(j).is_some_and(|t| t.is_ident("pub")) {
+            j += 1;
+            if self.t(j).is_some_and(|t| t.is_punct("(")) {
+                j = self.skip_group(j); // pub(crate) etc: restricted
+            } else {
+                vis_pub = true;
+            }
+        }
+
+        // Modifiers before the item keyword: `default`, `unsafe`,
+        // `async`, `const fn`, `extern "C" fn`.
+        loop {
+            match self.t(j) {
+                Some(t) if t.is_ident("default") || t.is_ident("unsafe") || t.is_ident("async") => {
+                    j += 1
+                }
+                Some(t)
+                    if t.is_ident("const") && self.t(j + 1).is_some_and(|t| t.is_ident("fn")) =>
+                {
+                    j += 1
+                }
+                Some(t)
+                    if t.is_ident("extern")
+                        && self.t(j + 1).is_some_and(|t| t.kind == TokKind::Str)
+                        && self.t(j + 2).is_some_and(|t| t.is_ident("fn")) =>
+                {
+                    j += 2
+                }
+                _ => break,
+            }
+        }
+
+        let Some(kw) = self.t(j) else { return hi };
+        if kw.kind != TokKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            // Not an item head we model (macro invocation, stray tokens):
+            // resynchronize past one balanced group or token.
+            return if self
+                .t(j)
+                .is_some_and(|t| t.is_punct("{") || t.is_punct("(") || t.is_punct("["))
+            {
+                self.skip_group(j)
+            } else {
+                j + 1
+            };
+        }
+        let kw_text = kw.text.clone();
+        let line = kw.line;
+
+        match kw_text.as_str() {
+            "mod" => {
+                let name = self.ident_text(j + 1);
+                let (sig_end, body_open, end) = self.find_body_or_semi(j + 1, hi);
+                self.push_item(
+                    ItemKind::Mod,
+                    &name,
+                    vis_pub,
+                    cfg_test,
+                    sig_start,
+                    sig_end,
+                    body_open,
+                    end,
+                    line,
+                );
+                if let Some(open) = body_open {
+                    self.mark_test(open, end, cfg_test);
+                    self.items(open + 1, end.saturating_sub(1), cfg_test, &name);
+                }
+                end
+            }
+            "fn" => {
+                let name = self.ident_text(j + 1);
+                let (sig_end, body_open, end) = self.find_body_or_semi(j + 1, hi);
+                self.push_item(
+                    ItemKind::Fn,
+                    &name,
+                    vis_pub,
+                    cfg_test,
+                    sig_start,
+                    sig_end,
+                    body_open,
+                    end,
+                    line,
+                );
+                self.mark_test(sig_start, end, cfg_test);
+                let body = body_open.map(|o| (o, end.saturating_sub(1)));
+                if let Some((o, c)) = body {
+                    self.scan_loops(o, c);
+                }
+                self.out.fns.push(FnDecl {
+                    name,
+                    body,
+                    line,
+                    cfg_test,
+                });
+                end
+            }
+            "struct" | "union" => {
+                let name = self.ident_text(j + 1);
+                let (sig_end, body_open, end) = self.find_body_or_semi(j + 1, hi);
+                self.push_item(
+                    if kw_text == "struct" {
+                        ItemKind::Struct
+                    } else {
+                        ItemKind::Union
+                    },
+                    &name,
+                    vis_pub,
+                    cfg_test,
+                    sig_start,
+                    sig_end,
+                    body_open,
+                    end,
+                    line,
+                );
+                self.mark_test(sig_start, end, cfg_test);
+                if let Some(open) = body_open {
+                    self.fields(&name, open, end.saturating_sub(1), cfg_test);
+                }
+                end
+            }
+            "enum" => {
+                let name = self.ident_text(j + 1);
+                let (sig_end, body_open, end) = self.find_body_or_semi(j + 1, hi);
+                self.push_item(
+                    ItemKind::Enum,
+                    &name,
+                    vis_pub,
+                    cfg_test,
+                    sig_start,
+                    sig_end,
+                    body_open,
+                    end,
+                    line,
+                );
+                self.mark_test(sig_start, end, cfg_test);
+                if let Some(open) = body_open {
+                    let variants = self.variants(open, end.saturating_sub(1));
+                    self.out.enums.push(EnumDecl {
+                        name,
+                        variants,
+                        line,
+                        cfg_test,
+                    });
+                }
+                end
+            }
+            "trait" | "impl" | "extern" => {
+                let kind = match kw_text.as_str() {
+                    "trait" => ItemKind::Trait,
+                    "impl" => ItemKind::Impl,
+                    _ => ItemKind::ExternBlock,
+                };
+                let name = if kind == ItemKind::Trait {
+                    self.ident_text(j + 1)
+                } else {
+                    String::new()
+                };
+                let (sig_end, body_open, end) = self.find_body_or_semi(j + 1, hi);
+                self.push_item(
+                    kind, &name, vis_pub, cfg_test, sig_start, sig_end, body_open, end, line,
+                );
+                if let Some(open) = body_open {
+                    self.mark_test(sig_start, end, cfg_test);
+                    self.items(open + 1, end.saturating_sub(1), cfg_test, &name);
+                }
+                end
+            }
+            "const" | "static" | "type" | "use" => {
+                let name_at = j + 1 + usize::from(self.t(j + 1).is_some_and(|t| t.is_ident("mut")));
+                let name = self.ident_text(name_at);
+                let (sig_end, end) = self.find_semi(j + 1, hi, &kw_text);
+                let kind = match kw_text.as_str() {
+                    "const" => ItemKind::Const,
+                    "static" => ItemKind::Static,
+                    "type" => ItemKind::TypeAlias,
+                    _ => ItemKind::Use,
+                };
+                self.push_item(
+                    kind, &name, vis_pub, cfg_test, sig_start, sig_end, None, end, line,
+                );
+                self.mark_test(sig_start, end, cfg_test);
+                end
+            }
+            "macro_rules" => {
+                // macro_rules! name { … }
+                let name = self.ident_text(j + 2);
+                let mut k = j + 2;
+                while k < hi
+                    && !self
+                        .t(k)
+                        .is_some_and(|t| t.is_punct("{") || t.is_punct("(") || t.is_punct("["))
+                {
+                    k += 1;
+                }
+                let end = self.skip_group(k);
+                self.push_item(
+                    ItemKind::MacroDef,
+                    &name,
+                    vis_pub,
+                    cfg_test,
+                    sig_start,
+                    k,
+                    Some(k),
+                    end,
+                    line,
+                );
+                self.mark_test(sig_start, end, cfg_test);
+                end
+            }
+            _ => {
+                let _ = owner;
+                j + 1
+            }
+        }
+    }
+
+    fn ident_text(&self, i: usize) -> String {
+        self.t(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_item(
+        &mut self,
+        kind: ItemKind,
+        name: &str,
+        vis_pub: bool,
+        cfg_test: bool,
+        sig_start: usize,
+        sig_end: usize,
+        body_open: Option<usize>,
+        end: usize,
+        line: u32,
+    ) {
+        self.out.items.push(Item {
+            kind,
+            name: name.to_string(),
+            vis_pub,
+            cfg_test,
+            sig_start,
+            sig_end,
+            body_open,
+            end,
+            line,
+        });
+    }
+
+    fn mark_test(&mut self, lo: usize, hi: usize, cfg_test: bool) {
+        if cfg_test {
+            for f in &mut self.out.test_tok[lo.min(self.toks.len())..hi.min(self.toks.len())] {
+                *f = true;
+            }
+        }
+    }
+
+    /// From an item header at `i`, find the body-opening `{` at
+    /// paren/bracket depth 0 or the terminating `;`. Returns
+    /// `(sig_end, body_open, end)` where `end` is one past the item.
+    fn find_body_or_semi(&self, i: usize, hi: usize) -> (usize, Option<usize>, usize) {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < hi {
+            let t = &self.toks[j];
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" if t.kind == TokKind::Punct => depth = depth.saturating_sub(1),
+                "{" if t.kind == TokKind::Punct && depth == 0 => {
+                    return (j, Some(j), self.skip_group(j));
+                }
+                ";" if t.kind == TokKind::Punct && depth == 0 => {
+                    return (j, None, j + 1);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        (hi, None, hi)
+    }
+
+    /// From a const/static/type/use header, find the terminating `;`
+    /// (skipping balanced braces — `use a::{…};`, initializer blocks).
+    /// Returns `(sig_end, end)`: for const/static/type the signature is
+    /// cut at the (depth-0) `=`; `use` keeps everything up to the `;`.
+    fn find_semi(&self, i: usize, hi: usize, kw: &str) -> (usize, usize) {
+        let mut depth = 0usize;
+        let mut j = i;
+        let mut eq: Option<usize> = None;
+        while j < hi {
+            let t = &self.toks[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => depth = depth.saturating_sub(1),
+                "=" if t.kind == TokKind::Punct && depth == 0 => {
+                    // Not `==`, `=>`, `<=`… — punct tokens are single
+                    // chars so peek at the neighbour.
+                    let next_eq = self
+                        .t(j + 1)
+                        .is_some_and(|t| t.is_punct("=") || t.is_punct(">"));
+                    if eq.is_none() && !next_eq {
+                        eq = Some(j);
+                    }
+                }
+                ";" if t.kind == TokKind::Punct && depth == 0 => {
+                    let sig_end = if kw == "use" { j } else { eq.unwrap_or(j) };
+                    return (sig_end, j + 1);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        (hi, hi)
+    }
+
+    /// Parse struct fields between `open` (`{`) and `close` (`}`).
+    fn fields(&mut self, owner: &str, open: usize, close: usize, cfg_test: bool) {
+        let mut j = open + 1;
+        while j < close {
+            let t = &self.toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        j = self.skip_group(j);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.is_punct("#") {
+                // Field attribute.
+                if self.t(j + 1).is_some_and(|t| t.is_punct("[")) {
+                    j = self.skip_group(j + 1);
+                    continue;
+                }
+            }
+            if t.kind == TokKind::Ident
+                && !t.is_ident("pub")
+                && self.t(j + 1).is_some_and(|t| t.is_punct(":"))
+            {
+                let field_line = t.line;
+                let protocol =
+                    self.annotations
+                        .iter()
+                        .filter(|a| a.line <= field_line && a.line + 4 >= field_line)
+                        .filter(|a| {
+                            // The annotation must precede this field and no
+                            // other field between them.
+                            !self.out.fields.iter().any(|f| {
+                                f.owner == owner && f.line >= a.line && f.line < field_line
+                            })
+                        })
+                        .map(|a| a.protocol.clone())
+                        .next_back();
+                self.out.fields.push(Field {
+                    owner: owner.to_string(),
+                    name: t.text.clone(),
+                    line: field_line,
+                    protocol,
+                    cfg_test,
+                });
+                // Skip the type up to the `,` at this depth.
+                let mut k = j + 2;
+                while k < close {
+                    let tk = &self.toks[k];
+                    if tk.kind == TokKind::Punct {
+                        match tk.text.as_str() {
+                            "(" | "[" | "{" => {
+                                k = self.skip_group(k);
+                                continue;
+                            }
+                            "," => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+            j += 1;
+        }
+    }
+
+    /// Collect variant names between an enum body's braces.
+    fn variants(&self, open: usize, close: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut j = open + 1;
+        let mut expect_variant = true;
+        while j < close {
+            let t = &self.toks[j];
+            if t.is_punct("#") && self.t(j + 1).is_some_and(|t| t.is_punct("[")) {
+                j = self.skip_group(j + 1);
+                continue;
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        j = self.skip_group(j);
+                        continue;
+                    }
+                    "," => {
+                        expect_variant = true;
+                        j += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if expect_variant && t.kind == TokKind::Ident {
+                out.push(t.text.clone());
+                expect_variant = false;
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Record loop nesting for every token of a fn body
+    /// (`open..=close`). A pending `for`/`while`/`loop` keyword claims
+    /// the next `{` at paren/bracket depth 0 as its body.
+    fn scan_loops(&mut self, open: usize, close: usize) {
+        let mut brace_depth = 0i32;
+        let mut loop_stack: Vec<i32> = Vec::new(); // brace depth of each loop body
+        let mut pending = false;
+        let mut pending_pb = 0i32; // paren/bracket depth since the keyword
+        for j in open..=close.min(self.toks.len().saturating_sub(1)) {
+            let t = &self.toks[j];
+            self.out.loop_depth[j] = loop_stack.len() as u16;
+            if t.kind == TokKind::Ident {
+                if matches!(t.text.as_str(), "for" | "while" | "loop") {
+                    pending = true;
+                    pending_pb = 0;
+                }
+                continue;
+            }
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" if pending => pending_pb += 1,
+                ")" | "]" if pending => pending_pb -= 1,
+                "{" => {
+                    brace_depth += 1;
+                    if pending && pending_pb == 0 {
+                        loop_stack.push(brace_depth);
+                        pending = false;
+                        // The opening brace itself counts as inside.
+                        self.out.loop_depth[j] = loop_stack.len() as u16;
+                    }
+                }
+                "}" => {
+                    if loop_stack.last() == Some(&brace_depth) {
+                        loop_stack.pop();
+                    }
+                    brace_depth -= 1;
+                }
+                // `for` in a macro arm etc.
+                ";" if pending && pending_pb == 0 => pending = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hir(src: &str) -> FileHir {
+        parse(lex(src))
+    }
+
+    #[test]
+    fn items_fields_and_enums_parse() {
+        let h = hir("pub struct S { pub a: u64, b: Vec<(u32, u32)>, }\n\
+             pub enum E { X, Y(u8), Z { w: u8 }, }\n\
+             pub fn f(x: usize) -> usize { x + 1 }\n");
+        assert_eq!(h.fields.len(), 2);
+        assert_eq!(h.fields[0].name, "a");
+        assert_eq!(h.fields[1].name, "b");
+        assert_eq!(h.enums.len(), 1);
+        assert_eq!(h.enums[0].variants, vec!["X", "Y", "Z"]);
+        assert_eq!(h.fns.len(), 1);
+        assert_eq!(h.fns[0].name, "f");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_item_scoped() {
+        let h = hir("pub fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() { std::thread::spawn(|| {}); }\n\
+             }\n\
+             pub fn also_live() {}\n");
+        let spawn = h
+            .toks
+            .iter()
+            .position(|t| t.is_ident("spawn"))
+            .expect("spawn tok");
+        assert!(h.test_tok[spawn], "test mod body must be marked test");
+        let also = h
+            .toks
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .expect("also_live tok");
+        assert!(!h.test_tok[also], "items after a test mod are live code");
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_test_region() {
+        let h = hir("#[cfg_attr(test, allow(dead_code))]\npub fn live() { let x = 1; }\n");
+        assert!(h.test_tok.iter().all(|t| !t));
+    }
+
+    #[test]
+    fn loop_depth_tracks_nesting() {
+        let h = hir("fn f(n: usize) {\n\
+                 let a = 0;\n\
+                 for i in 0..n {\n\
+                     while i < n {\n\
+                         let b = 1;\n\
+                     }\n\
+                 }\n\
+                 let c = 2;\n\
+             }\n");
+        let at = |name: &str| h.toks.iter().position(|t| t.is_ident(name)).expect("ident");
+        assert_eq!(h.loop_depth[at("a")], 0);
+        assert_eq!(h.loop_depth[at("b")], 2);
+        assert_eq!(h.loop_depth[at("c")], 0);
+    }
+
+    #[test]
+    fn loop_condition_groups_do_not_misclaim_braces() {
+        // The closure brace in the iterator chain belongs to the `for`
+        // *body* search only after the parens close.
+        let h = hir("fn f(v: &[u64]) { while v.iter().any(|x| *x > 0) { step(v); } done(); }");
+        let at = |name: &str| h.toks.iter().position(|t| t.is_ident(name)).expect("ident");
+        assert_eq!(h.loop_depth[at("step")], 1);
+        assert_eq!(h.loop_depth[at("done")], 0);
+    }
+
+    #[test]
+    fn protocol_annotations_attach_to_next_field() {
+        let h = hir("struct Ring {\n\
+                 // @protocol: seqlock-tag\n\
+                 epoch: AtomicU64,\n\
+                 counters: [AtomicU64; 4],\n\
+             }\n");
+        assert_eq!(h.fields[0].protocol.as_deref(), Some("seqlock-tag"));
+        assert_eq!(h.fields[1].protocol, None);
+    }
+
+    #[test]
+    fn pub_visibility_and_restricted() {
+        let h = hir("pub fn a() {}\npub(crate) fn b() {}\nfn c() {}\n");
+        let vis: Vec<(String, bool)> = h
+            .items
+            .iter()
+            .map(|i| (i.name.clone(), i.vis_pub))
+            .collect();
+        assert_eq!(
+            vis,
+            vec![
+                ("a".to_string(), true),
+                ("b".to_string(), false),
+                ("c".to_string(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_recurse() {
+        let h = hir("struct S;\n\
+             impl S {\n\
+                 pub fn m(&self) -> u32 { for _ in 0..3 { self.n(); } 0 }\n\
+                 fn n(&self) {}\n\
+             }\n");
+        assert!(h.fn_named("m").is_some());
+        assert!(h.fn_named("n").is_some());
+        let call = h.toks.iter().position(|t| t.is_ident("n")).map(|_| ());
+        assert!(call.is_some());
+    }
+
+    #[test]
+    fn const_signature_cut_at_eq() {
+        let h = hir("pub const N: usize = 19;\npub use a::b::{c, d};\n");
+        let n = &h.items[0];
+        assert_eq!(n.kind, ItemKind::Const);
+        let u = &h.items[1];
+        assert_eq!(u.kind, ItemKind::Use);
+    }
+}

@@ -1,0 +1,596 @@
+//! A hand-rolled Rust lexer, built for analysis rather than compilation:
+//! every token carries its line and byte span, string literals keep their
+//! content (the drift passes read them), and comments are scanned for
+//! `@protocol:` annotations instead of being discarded.
+//!
+//! The cases the old line-oriented scrubber got wrong are first-class
+//! here: raw strings with arbitrary `#` delimiter runs (`r##"…"##`,
+//! `br#"…"#`), *nested* block comments, byte/char literals vs. lifetimes
+//! (`'a'` is a char, `'a` is a lifetime, `'\n'` escapes), and raw
+//! identifiers (`r#type` lexes as the identifier `type`).
+
+/// Token classification. Deliberately coarse: the passes match on
+/// identifier text and punctuation shape, not on a full grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are normalized: `r#type`
+    /// yields `type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`); text excludes the quote.
+    Lifetime,
+    /// Char or byte literal (`'x'`, `b'\n'`); text is the inner content.
+    Char,
+    /// Any string literal form (`"…"`, `r#"…"#`, `b"…"`, `br##"…"##`);
+    /// text is the raw inner content (escapes unprocessed).
+    Str,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Punctuation. Single characters, except `::` which is fused so the
+    /// passes can match paths without lookahead.
+    Punct,
+}
+
+/// One token: kind, text, and position (1-based line, byte span into the
+/// original source so callers can slice exact signatures back out).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    #[inline]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment annotation: `// @protocol: seqlock-tag` attaches the
+/// protocol name to the next field declaration (see the atomics pass).
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    pub line: u32,
+    pub protocol: String,
+}
+
+/// Lexer output: the token stream plus any comment annotations.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub annotations: Vec<Annotation>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extract `@protocol: <name>` from a comment's text. The marker must
+/// lead the comment (after doc sigils/whitespace) — prose that merely
+/// *mentions* the marker, like this sentence, is not a declaration.
+fn scan_annotation(comment: &str, line: u32, out: &mut Vec<Annotation>) {
+    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    if !lead.starts_with("@protocol:") {
+        return;
+    }
+    let rest = lead["@protocol:".len()..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    if !name.is_empty() {
+        out.push(Annotation {
+            line,
+            protocol: name,
+        });
+    }
+}
+
+/// Lex `src` into tokens + annotations. Never fails: malformed input
+/// degrades to whatever tokens can be recovered (an analyzer must keep
+/// going on code rustc would reject).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<(usize, char)> = src.char_indices().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut annotations = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    // Byte offset one past character index `j`.
+    let end_of = |j: usize| if j < n { b[j].0 } else { src.len() };
+
+    while i < n {
+        let (start, c) = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1].1 == '/' => {
+                let mut j = i + 2;
+                while j < n && b[j].1 != '\n' {
+                    j += 1;
+                }
+                scan_annotation(&src[end_of(i + 2)..end_of(j)], line, &mut annotations);
+                i = j; // the '\n' itself is handled next round
+            }
+            '/' if i + 1 < n && b[i + 1].1 == '*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let body_start = end_of(j);
+                let start_line = line;
+                while j < n && depth > 0 {
+                    match b[j].1 {
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '/' if j + 1 < n && b[j + 1].1 == '*' => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        '*' if j + 1 < n && b[j + 1].1 == '/' => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let body_end = end_of(j.saturating_sub(2).max(i + 2));
+                scan_annotation(&src[body_start..body_end], start_line, &mut annotations);
+                i = j;
+            }
+            '"' => {
+                let (tok, j, nl) = lex_cooked_string(src, &b, i, line);
+                toks.push(tok);
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if raw_string_shape(&b, i).is_some() => {
+                let (prefix, hashes) = raw_string_shape(&b, i).unwrap_or((1, 0));
+                let (tok, j, nl) = lex_raw_string(src, &b, i, prefix + hashes + 1, hashes, line);
+                toks.push(tok);
+                line += nl;
+                i = j;
+            }
+            'b' if i + 1 < n && b[i + 1].1 == '"' => {
+                let (tok, j, nl) = lex_cooked_string(src, &b, i + 1, line);
+                let tok = Tok { start, ..tok };
+                toks.push(tok);
+                line += nl;
+                i = j;
+            }
+            'b' if i + 1 < n && b[i + 1].1 == '\'' => {
+                let (tok, j) = lex_char_like(src, &b, i + 1, line);
+                toks.push(Tok { start, ..tok });
+                i = j;
+            }
+            'r' if i + 2 < n && b[i + 1].1 == '#' && is_ident_start(b[i + 2].1) => {
+                // Raw identifier r#type: token text is the bare name.
+                let mut j = i + 2;
+                while j < n && is_ident_continue(b[j].1) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[end_of(i + 2)..end_of(j)].to_string(),
+                    line,
+                    start,
+                    end: end_of(j),
+                });
+                i = j;
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\…'` is always a char; `'x`
+                // followed by ident chars but no closing quote is a
+                // lifetime; `'x'` (any single char, then quote) is a char.
+                if i + 1 < n && b[i + 1].1 == '\\' {
+                    let (tok, j) = lex_char_like(src, &b, i, line);
+                    toks.push(tok);
+                    i = j;
+                } else if i + 1 < n
+                    && is_ident_start(b[i + 1].1)
+                    && !(i + 2 < n && b[i + 2].1 == '\'')
+                {
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(b[j].1) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[end_of(i + 1)..end_of(j)].to_string(),
+                        line,
+                        start,
+                        end: end_of(j),
+                    });
+                    i = j;
+                } else {
+                    let (tok, j) = lex_char_like(src, &b, i, line);
+                    toks.push(tok);
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j].1) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..end_of(j)].to_string(),
+                    line,
+                    start,
+                    end: end_of(j),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (is_ident_continue(b[j].1)) {
+                    j += 1;
+                }
+                // One fractional / exponent hop: `1.5`, `1.5e-3` keeps the
+                // mantissa together (`0..n` stays three tokens).
+                if j + 1 < n && b[j].1 == '.' && b[j + 1].1.is_ascii_digit() {
+                    j += 1;
+                    while j < n && is_ident_continue(b[j].1) {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..end_of(j)].to_string(),
+                    line,
+                    start,
+                    end: end_of(j),
+                });
+                i = j;
+            }
+            ':' if i + 1 < n && b[i + 1].1 == ':' => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                    start,
+                    end: end_of(i + 2),
+                });
+                i += 2;
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    start,
+                    end: end_of(i + 1),
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, annotations }
+}
+
+/// Does a raw string start at `i`? Returns `(prefix_len, hashes)` where
+/// `prefix_len` is 1 for `r`, 2 for `br`.
+fn raw_string_shape(b: &[(usize, char)], i: usize) -> Option<(usize, usize)> {
+    let prefix = match b[i].1 {
+        'r' => 1,
+        'b' if b.get(i + 1).map(|p| p.1) == Some('r') => 2,
+        _ => return None,
+    };
+    let mut j = i + prefix;
+    let mut hashes = 0;
+    while b.get(j).map(|p| p.1) == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j).map(|p| p.1) == Some('"') {
+        Some((prefix, hashes))
+    } else {
+        None
+    }
+}
+
+/// Lex a raw string whose opening delimiter (`prefix + #… + "`) spans
+/// `open_len` characters, with `hashes` closing hashes required. Returns
+/// (token, next index, newlines consumed).
+fn lex_raw_string(
+    src: &str,
+    b: &[(usize, char)],
+    i: usize,
+    open_len: usize,
+    hashes: usize,
+    line: u32,
+) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut j = i + open_len;
+    let body_start = if j < n { b[j].0 } else { src.len() };
+    let mut nl = 0u32;
+    while j < n {
+        if b[j].1 == '\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if b[j].1 == '"' {
+            let mut k = 0;
+            while k < hashes && b.get(j + 1 + k).map(|p| p.1) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                let body_end = b[j].0;
+                let end = if j + 1 + hashes < n {
+                    b[j + 1 + hashes].0
+                } else {
+                    src.len()
+                };
+                return (
+                    Tok {
+                        kind: TokKind::Str,
+                        text: src[body_start..body_end].to_string(),
+                        line,
+                        start: b[i].0,
+                        end,
+                    },
+                    j + 1 + hashes,
+                    nl,
+                );
+            }
+        }
+        j += 1;
+    }
+    // Unterminated: consume to EOF.
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[body_start..].to_string(),
+            line,
+            start: b[i].0,
+            end: src.len(),
+        },
+        n,
+        nl,
+    )
+}
+
+/// Lex a cooked (`"…"`) string starting at the quote at `i`. Handles
+/// escapes and multi-line strings. Returns (token, next index, newlines).
+fn lex_cooked_string(src: &str, b: &[(usize, char)], i: usize, line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut j = i + 1;
+    let body_start = if j < n { b[j].0 } else { src.len() };
+    let mut nl = 0u32;
+    while j < n {
+        match b[j].1 {
+            '\\' => {
+                // A `\␤` line continuation still advances the line count.
+                if b.get(j + 1).map(|p| p.1) == Some('\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => {
+                let body_end = b[j].0;
+                let end = if j + 1 < n { b[j + 1].0 } else { src.len() };
+                return (
+                    Tok {
+                        kind: TokKind::Str,
+                        text: src[body_start..body_end].to_string(),
+                        line,
+                        start: b[i].0,
+                        end,
+                    },
+                    j + 1,
+                    nl,
+                );
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[body_start..].to_string(),
+            line,
+            start: b[i].0,
+            end: src.len(),
+        },
+        n,
+        nl,
+    )
+}
+
+/// Lex a char/byte literal starting at the quote at `i` (escaped or
+/// plain). Returns (token, next index).
+fn lex_char_like(src: &str, b: &[(usize, char)], i: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    let mut j = i + 1;
+    if j < n && b[j].1 == '\\' {
+        j += 2; // the escape head ('\n', '\u{…}' continues below)
+        while j < n && b[j].1 != '\'' {
+            j += 1;
+        }
+    } else if j < n {
+        j += 1; // the single (possibly multi-byte) char
+    }
+    let body_start = if i + 1 < n { b[i + 1].0 } else { src.len() };
+    let body_end = if j < n { b[j].0 } else { src.len() };
+    let end_idx = if j < n && b[j].1 == '\'' { j + 1 } else { j };
+    let end = if end_idx < n { b[end_idx].0 } else { src.len() };
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: src[body_start..body_end].to_string(),
+            line,
+            start: b[i].0,
+            end,
+        },
+        end_idx,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hash_delimiters() {
+        // The old scrubber lost track inside `r#"…"#` when the body held
+        // quotes; the lexer must treat the whole thing as one Str token.
+        let toks = kinds(r###"let s = r#"quote " inside"#; let x = 1;"###);
+        let strs: Vec<&(TokKind, String)> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, "quote \" inside");
+        // Tokens after the raw string still lex (the `1`).
+        assert!(toks.iter().any(|t| t.0 == TokKind::Num && t.1 == "1"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes_and_byte_prefix() {
+        let src = "let a = br##\"has \"# inside\"##; Ordering::SeqCst";
+        let toks = kinds(src);
+        let s = toks.iter().find(|t| t.0 == TokKind::Str).expect("str tok");
+        assert_eq!(s.1, "has \"# inside");
+        // The SeqCst *identifier* after the literal is still visible.
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "SeqCst"));
+        // …and nothing inside the literal leaked out as an ident.
+        assert!(!toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "has"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        // Rust block comments nest; a naive scanner resurfaces too early
+        // and leaks `Ordering::SeqCst` as code.
+        let src = "/* outer /* inner */ Ordering::SeqCst */ fn f() {}";
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|t| t.1 == "SeqCst"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "fn"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let u = '\\u{1F600}'; }";
+        let toks = lex(src).toks;
+        let lifetimes: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "two uses of 'a as a lifetime");
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0].text, "a");
+        assert_eq!(chars[1].text, "\\n");
+        assert_eq!(chars[2].text, "\\u{1F600}");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = lex("&'static str; &'_ u8; let q = '_';").toks;
+        let lt: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lt.len(), 2);
+        assert_eq!(lt[0].text, "static");
+        assert_eq!(lt[1].text, "_");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "_"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex("let a = b'x'; let s = b\"bytes\";").toks;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "bytes"));
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        let toks = kinds("let r#type = 1; r#match();");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "type"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "match"));
+    }
+
+    #[test]
+    fn path_separator_fuses_and_lines_track() {
+        let lexed = lex("a::b\nc::d");
+        let seps: Vec<&Tok> = lexed.toks.iter().filter(|t| t.is_punct("::")).collect();
+        assert_eq!(seps.len(), 2);
+        assert_eq!(seps[0].line, 1);
+        assert_eq!(seps[1].line, 2);
+        let d = lexed.toks.iter().find(|t| t.is_ident("d")).expect("d");
+        assert_eq!(d.line, 2);
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let lexed = lex("let s = \"a\nb\";\nlet t = 1;");
+        let t = lexed.toks.iter().find(|t| t.is_ident("t")).expect("t");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn annotations_extracted_from_comments() {
+        let lexed = lex("struct S {\n    // @protocol: seqlock-tag\n    tag: AtomicU64,\n}\n");
+        assert_eq!(lexed.annotations.len(), 1);
+        assert_eq!(lexed.annotations[0].protocol, "seqlock-tag");
+        assert_eq!(lexed.annotations[0].line, 2);
+        // The comment produced no tokens.
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("protocol")));
+    }
+
+    #[test]
+    fn identifier_adjacent_r_is_not_a_raw_string() {
+        // `for`, `attr"…"` style: an `r` inside an identifier must not
+        // open a raw string.
+        let toks = kinds("for x in car() { r(); }");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "for"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "car"));
+        assert!(!toks.iter().any(|t| t.0 == TokKind::Str));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let toks = lex(r#"let s = "has \" escape"; let x = 2;"#).toks;
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert_eq!(s.text, r#"has \" escape"#);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "2"));
+    }
+}

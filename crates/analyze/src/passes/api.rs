@@ -1,0 +1,75 @@
+//! Parser-backed public-API snapshot (`--api-dump`, the committed
+//! `API.md`). Items come from the HIR — full multi-line signatures,
+//! impl-nested `pub fn`s included, `pub(crate)`/`pub(super)` and
+//! `#[cfg(test)]` items excluded — instead of the old first-line
+//! regex cut.
+
+use crate::engine::SourceFile;
+use crate::hir::ItemKind;
+
+pub const HEADER: &str = "\
+# Public API snapshot
+
+One line per `pub` item under `crates/*/src`, extracted by
+`csm-analyze --api-dump` from the parsed item tree (multi-line
+signatures collapsed to one line; `pub(crate)`/`pub(super)` and
+`#[cfg(test)]` items excluded). After a deliberate surface change,
+regenerate with:
+
+```
+cargo run --bin csm-analyze -- --api-dump > API.md
+```
+
+The `api_snapshot_is_current` gate test (tests/lint_gate.rs) fails
+when this file drifts from the tree, so every surface change lands
+as a reviewed API.md diff.
+";
+
+/// Render the snapshot for the already-parsed file set.
+pub fn render(files: &[SourceFile]) -> String {
+    let mut out = String::from(HEADER);
+    for file in files {
+        if !file.rel.contains("/src/") {
+            continue;
+        }
+        let mut items: Vec<(u32, String)> = file
+            .hir
+            .items
+            .iter()
+            .filter(|i| i.vis_pub && !i.cfg_test)
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    ItemKind::Mod
+                        | ItemKind::Fn
+                        | ItemKind::Struct
+                        | ItemKind::Enum
+                        | ItemKind::Union
+                        | ItemKind::Trait
+                        | ItemKind::Const
+                        | ItemKind::Static
+                        | ItemKind::TypeAlias
+                        | ItemKind::Use
+                )
+            })
+            .filter_map(|i| {
+                let sig = file.sig_text(i.sig_start, i.sig_end);
+                let sig = sig.trim_end().trim_end_matches(';').trim_end();
+                if sig.is_empty() {
+                    None
+                } else {
+                    Some((i.line, sig.split_whitespace().collect::<Vec<_>>().join(" ")))
+                }
+            })
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        items.sort_by_key(|(line, _)| *line);
+        out.push_str(&format!("\n## {}\n\n", file.rel));
+        for (_, sig) in items {
+            out.push_str(&format!("- `{sig}`\n"));
+        }
+    }
+    out
+}

@@ -1,0 +1,540 @@
+//! Atomic-protocol checker.
+//!
+//! Resolves every atomic access in the workspace to a
+//! `(file, field, ordering)` row: the receiver of a `.load(…)` /
+//! `.store(…)` / RMW call is walked back over balanced index/call
+//! groups to the field (or binding) it names, and each `Ordering::X`
+//! argument inside the call parens is attributed to that field.
+//! Free-standing `Ordering::X` tokens (helper parameters, match arms)
+//! key to the pseudo-field `-`.
+//!
+//! Two rule families run over the table:
+//!
+//! * **Budgets** (`ordering-allowlist`, `seqcst-denied`): each
+//!   `(file, field, ordering)` group must fit its `LINT.md` row; SeqCst
+//!   with no row is denied outright.
+//! * **Declared protocols** (`seqlock-protocol`): a field annotated
+//!   `// @protocol: seqlock-tag` or `seqlock-guard` is checked
+//!   *structurally* — tag loads must be Acquire, tag stores Release
+//!   with the store-0/store-tag writer shape, readers need a
+//!   validate/re-validate pair, RMW is forbidden; guard stores are
+//!   Release and only the single-writer owner fn (one that also stores
+//!   the guard) may load it Relaxed. Protocol fields are exempt from
+//!   the budget table on purpose: a wrong ordering there is a hard
+//!   error that no allowlist row can excuse.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::engine::SourceFile;
+use crate::lexer::{Tok, TokKind};
+
+pub const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic method receivers we resolve. An identifier in this set only
+/// counts as an atomic access when an `Ordering::X` appears among its
+/// top-level call arguments.
+const ATOMIC_METHODS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Files that must declare a seqlock tag field when present: the two
+/// seqlock-lite rings.
+const SEQLOCK_FILES: [&str; 2] = [
+    "crates/core/src/trace/window.rs",
+    "crates/core/src/trace/flight.rs",
+];
+
+/// One resolved atomic access (or free-standing ordering token).
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Receiver field/binding name; `-` when free-standing.
+    pub field: String,
+    /// Atomic method name; `-` when free-standing.
+    pub method: String,
+    pub ordering: String,
+    pub line: u32,
+    /// Token index of the method ident (ordering token when
+    /// free-standing) — used for intra-fn happens-before ordering.
+    pub tok: usize,
+    /// `store` whose first argument is the literal `0`.
+    pub stores_zero: bool,
+}
+
+impl Access {
+    fn is_load(&self) -> bool {
+        self.method == "load"
+    }
+    fn is_store(&self) -> bool {
+        self.method == "store"
+    }
+    fn is_rmw(&self) -> bool {
+        self.method != "load" && self.method != "store" && self.method != "-"
+    }
+}
+
+/// A field carrying a `@protocol:` annotation.
+#[derive(Clone, Debug)]
+pub struct ProtocolField {
+    pub file: String,
+    pub field: String,
+    pub protocol: String,
+    pub line: u32,
+}
+
+/// Per-file access tables plus declared protocol fields — the engine
+/// renders these in `--dump`, the checks below consume them.
+#[derive(Debug, Default)]
+pub struct AtomicTable {
+    /// file -> accesses (non-test only), in token order.
+    pub accesses: BTreeMap<String, Vec<Access>>,
+    pub protocols: Vec<ProtocolField>,
+}
+
+/// Walk back from the `.` before an atomic method over balanced
+/// `[…]` / `(…)` groups to the identifier the receiver chain ends in.
+fn receiver_field(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut k = dot.checked_sub(1)?;
+    loop {
+        let t = &toks[k];
+        if t.is_punct("]") || t.is_punct(")") {
+            let close = t.text.clone();
+            let open = if close == "]" { "[" } else { "(" };
+            let mut depth = 0usize;
+            loop {
+                let t = &toks[k];
+                if t.kind == TokKind::Punct && t.text == close {
+                    depth += 1;
+                } else if t.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            k = k.checked_sub(1)?;
+            continue;
+        }
+        return if t.kind == TokKind::Ident {
+            Some(t.text.clone())
+        } else {
+            None
+        };
+    }
+}
+
+/// Collect the access table over all non-test tokens.
+pub fn collect(files: &[SourceFile]) -> AtomicTable {
+    let mut table = AtomicTable::default();
+
+    for file in files {
+        let toks = &file.hir.toks;
+        let mut accesses: Vec<Access> = Vec::new();
+        let mut attributed = vec![false; toks.len()];
+
+        for i in 0..toks.len() {
+            if file.is_test_tok(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !ATOMIC_METHODS.contains(&t.text.as_str())
+                || i == 0
+                || !toks[i - 1].is_punct(".")
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            {
+                continue;
+            }
+            // Scan the call's top-level arguments for Ordering::X.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut ords: Vec<usize> = Vec::new();
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.kind == TokKind::Punct {
+                    match tj.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if depth == 1
+                    && tj.is_ident("Ordering")
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                    && toks
+                        .get(j + 2)
+                        .is_some_and(|t| ATOMIC_ORDERINGS.contains(&t.text.as_str()))
+                {
+                    ords.push(j + 2);
+                }
+                j += 1;
+            }
+            if ords.is_empty() {
+                continue; // `.load(…)` on something that isn't an atomic
+            }
+            let field = receiver_field(toks, i - 1).unwrap_or_else(|| "-".to_string());
+            let stores_zero = t.is_ident("store")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.kind == TokKind::Num && t.text == "0")
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(","));
+            for oj in ords {
+                attributed[oj] = true;
+                accesses.push(Access {
+                    field: field.clone(),
+                    method: t.text.clone(),
+                    ordering: toks[oj].text.clone(),
+                    line: t.line,
+                    tok: i,
+                    stores_zero,
+                });
+            }
+        }
+
+        // Free-standing Ordering tokens: not an argument of a resolved
+        // atomic call.
+        for j in 0..toks.len() {
+            if file.is_test_tok(j) {
+                continue;
+            }
+            if toks[j].is_ident("Ordering")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|t| ATOMIC_ORDERINGS.contains(&t.text.as_str()))
+                && !attributed[j + 2]
+            {
+                accesses.push(Access {
+                    field: "-".to_string(),
+                    method: "-".to_string(),
+                    ordering: toks[j + 2].text.clone(),
+                    line: toks[j + 2].line,
+                    tok: j + 2,
+                    stores_zero: false,
+                });
+            }
+        }
+
+        if !accesses.is_empty() {
+            accesses.sort_by_key(|a| a.tok);
+            table.accesses.insert(file.rel.clone(), accesses);
+        }
+
+        for f in &file.hir.fields {
+            if let Some(p) = &f.protocol {
+                if !f.cfg_test {
+                    table.protocols.push(ProtocolField {
+                        file: file.rel.clone(),
+                        field: f.name.clone(),
+                        protocol: p.clone(),
+                        line: f.line,
+                    });
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Is `candidate` in the protocol scope of a field declared in
+/// `declaring`? The scope is the declaring file plus its child module
+/// directory (`…/flight.rs` → `…/flight/`).
+fn in_scope(declaring: &str, candidate: &str) -> bool {
+    if declaring == candidate {
+        return true;
+    }
+    declaring
+        .strip_suffix(".rs")
+        .is_some_and(|stem| candidate.starts_with(&format!("{stem}/")))
+}
+
+/// Is this access governed by a declared protocol field?
+fn protocol_for<'a>(table: &'a AtomicTable, file: &str, field: &str) -> Option<&'a ProtocolField> {
+    table
+        .protocols
+        .iter()
+        .find(|p| p.field == field && in_scope(&p.file, file))
+}
+
+pub fn check(files: &[SourceFile], table: &AtomicTable, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    check_budgets(table, cfg, diags);
+    check_protocols(files, table, diags);
+
+    // The two seqlock rings must declare their tag field so the
+    // structural checks above have something to verify.
+    for file in files {
+        if SEQLOCK_FILES.contains(&file.rel.as_str())
+            && !table
+                .protocols
+                .iter()
+                .any(|p| p.file == file.rel && p.protocol == "seqlock-tag")
+        {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                1,
+                "seqlock-protocol",
+                "no `@protocol: seqlock-tag` field declared — annotate the \
+                 epoch/tag field so the analyzer can verify the rotation \
+                 protocol structurally",
+            ));
+        }
+    }
+}
+
+/// Budget-relevant accesses grouped by `(file, field, ordering)` —
+/// declared protocol fields excluded (they are structurally checked,
+/// not budgeted). This is also what `--dump` renders as table rows.
+pub fn grouped(table: &AtomicTable) -> BTreeMap<(String, String, String), Vec<u32>> {
+    let mut groups: BTreeMap<(String, String, String), Vec<u32>> = BTreeMap::new();
+    for (file, accesses) in &table.accesses {
+        for a in accesses {
+            if protocol_for(table, file, &a.field).is_some() {
+                continue;
+            }
+            groups
+                .entry((file.clone(), a.field.clone(), a.ordering.clone()))
+                .or_default()
+                .push(a.line);
+        }
+    }
+    groups
+}
+
+fn check_budgets(table: &AtomicTable, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    {
+        for ((file, field, ordering), lines) in grouped(table) {
+            let file = &file;
+            let has_row = cfg.has_ordering_row(file, &field, &ordering);
+            let max = cfg.ordering_budget(file, &field, &ordering);
+            if ordering == "SeqCst" && !has_row {
+                for &line in &lines {
+                    diags.push(Diagnostic::new(
+                        file,
+                        line,
+                        "seqcst-denied",
+                        "Ordering::SeqCst is denied outside the LINT.md allowlist — \
+                         design for AcqRel/Acquire or add a justified row",
+                    ));
+                }
+                continue;
+            }
+            for &line in lines.iter().skip(max) {
+                let msg = if max == 0 {
+                    format!(
+                        "Ordering::{ordering} on `{field}` not in the LINT.md ordering \
+                         allowlist for {file} — add a (file, field, ordering) row with \
+                         a one-line rationale"
+                    )
+                } else {
+                    format!(
+                        "Ordering::{ordering} on `{field}` exceeds the LINT.md budget \
+                         for {file} ({} uses > max {max}) — raise the budget with a \
+                         rationale or drop the atomic",
+                        lines.len()
+                    )
+                };
+                diags.push(Diagnostic::new(file, line, "ordering-allowlist", msg));
+            }
+        }
+    }
+}
+
+fn check_protocols(files: &[SourceFile], table: &AtomicTable, diags: &mut Vec<Diagnostic>) {
+    for p in &table.protocols {
+        for file in files {
+            if !in_scope(&p.file, &file.rel) {
+                continue;
+            }
+            let Some(accesses) = table.accesses.get(&file.rel) else {
+                continue;
+            };
+            let on_field: Vec<&Access> = accesses.iter().filter(|a| a.field == p.field).collect();
+            if on_field.is_empty() {
+                continue;
+            }
+            match p.protocol.as_str() {
+                "seqlock-tag" => check_tag(file, &p.field, &on_field, diags),
+                "seqlock-guard" => check_guard(file, &p.field, &on_field, diags),
+                other => diags.push(Diagnostic::new(
+                    &p.file,
+                    p.line,
+                    "seqlock-protocol",
+                    format!(
+                        "unknown protocol `{other}` on field `{}` — supported: \
+                         seqlock-tag, seqlock-guard",
+                        p.field
+                    ),
+                )),
+            }
+        }
+    }
+}
+
+/// Group accesses by the enclosing fn's body-open token (fn-less
+/// accesses — consts, statics — group under `usize::MAX`).
+fn by_fn<'a>(
+    file: &SourceFile,
+    accesses: &[&'a Access],
+) -> BTreeMap<usize, (String, Vec<&'a Access>)> {
+    let mut out: BTreeMap<usize, (String, Vec<&'a Access>)> = BTreeMap::new();
+    for a in accesses {
+        let (key, name) = file
+            .hir
+            .enclosing_fn(a.tok)
+            .map(|f| (f.body.map_or(usize::MAX, |(o, _)| o), f.name.clone()))
+            .unwrap_or((usize::MAX, String::new()));
+        out.entry(key)
+            .or_insert_with(|| (name, Vec::new()))
+            .1
+            .push(a);
+    }
+    out
+}
+
+fn check_tag(file: &SourceFile, field: &str, accesses: &[&Access], diags: &mut Vec<Diagnostic>) {
+    for a in accesses {
+        if a.is_load() && a.ordering != "Acquire" {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                a.line,
+                "seqlock-protocol",
+                format!(
+                    "Ordering::{} load of seqlock tag `{field}` — tag reads must be \
+                     Acquire to pair with the writer's Release stores (hard error: \
+                     LINT.md budgets do not apply to declared protocol fields)",
+                    a.ordering
+                ),
+            ));
+        }
+        if a.is_store() && a.ordering != "Release" {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                a.line,
+                "seqlock-protocol",
+                format!(
+                    "Ordering::{} store of seqlock tag `{field}` — tag writes must be \
+                     Release so readers that acquire the tag see the payload (hard \
+                     error: LINT.md budgets do not apply to declared protocol fields)",
+                    a.ordering
+                ),
+            ));
+        }
+        if a.is_rmw() {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                a.line,
+                "seqlock-protocol",
+                format!(
+                    "atomic RMW `{}` on seqlock tag `{field}` — the tag is written \
+                     only via the store-0 / store-tag rotation",
+                    a.method
+                ),
+            ));
+        }
+    }
+
+    for (_, (fn_name, fn_accesses)) in by_fn(file, accesses) {
+        let stores: Vec<&&Access> = fn_accesses.iter().filter(|a| a.is_store()).collect();
+        let loads: Vec<&&Access> = fn_accesses.iter().filter(|a| a.is_load()).collect();
+
+        // Writer shape: a non-zero tag store needs an earlier literal-0
+        // store in the same fn (store-0, payload, store-tag).
+        for s in stores.iter().filter(|s| !s.stores_zero) {
+            if !stores.iter().any(|z| z.stores_zero && z.tok < s.tok) {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    s.line,
+                    "seqlock-protocol",
+                    format!(
+                        "tag store on `{field}` in `{fn_name}` without a preceding \
+                         store of literal 0 — the seqlock write shape is store-0, \
+                         payload, store-tag"
+                    ),
+                ));
+            }
+        }
+
+        // Reader shape: a fn that only reads the tag must read it at
+        // least twice (validate / re-validate around the payload copy).
+        if stores.is_empty() && !loads.is_empty() && loads.len() < 2 {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                loads[0].line,
+                "seqlock-protocol",
+                format!(
+                    "`{fn_name}` reads seqlock tag `{field}` only once — readers \
+                     need an Acquire validate / re-validate pair around the payload \
+                     copy to detect a racing overwrite"
+                ),
+            ));
+        }
+    }
+}
+
+fn check_guard(file: &SourceFile, field: &str, accesses: &[&Access], diags: &mut Vec<Diagnostic>) {
+    let fns = by_fn(file, accesses);
+    for (fn_name, fn_accesses) in fns.values() {
+        let fn_stores = fn_accesses.iter().any(|a| a.is_store());
+        for a in fn_accesses {
+            if a.is_store() && a.ordering != "Release" {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    a.line,
+                    "seqlock-protocol",
+                    format!(
+                        "Ordering::{} store of seqlock guard `{field}` — guard \
+                         publishes must be Release (hard error: LINT.md budgets do \
+                         not apply to declared protocol fields)",
+                        a.ordering
+                    ),
+                ));
+            }
+            if a.is_load() && a.ordering != "Acquire" && !fn_stores {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    a.line,
+                    "seqlock-protocol",
+                    format!(
+                        "Ordering::{} load of seqlock guard `{field}` in `{fn_name}` \
+                         — only the single-writer owner fn (one that also stores the \
+                         guard) may read it Relaxed; cross-thread readers must \
+                         Acquire",
+                        a.ordering
+                    ),
+                ));
+            }
+            if a.is_rmw() {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    a.line,
+                    "seqlock-protocol",
+                    format!(
+                        "atomic RMW `{}` on seqlock guard `{field}` — the guard is a \
+                         single-writer cursor, written only by plain stores",
+                        a.method
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The semantic pass families. Every pass consumes the parsed
+//! [`SourceFile`](crate::engine::SourceFile) set and appends
+//! [`Diagnostic`](crate::diag::Diagnostic)s; none of them re-reads
+//! source text token-blind, which is what structurally eliminates the
+//! old scrubber's string/comment false-positive class.
+
+pub mod api;
+pub mod atomics;
+pub mod confine;
+pub mod drift;
+pub mod hotpath;
+
+use crate::lexer::{Tok, TokKind};
+
+/// One element of a token pattern: `(kind, exact text)`.
+pub(crate) type Pat = (TokKind, &'static str);
+
+/// Does the token sequence at `i` match `pat` exactly?
+pub(crate) fn match_at(toks: &[Tok], i: usize, pat: &[Pat]) -> bool {
+    pat.iter().enumerate().all(|(k, (kind, text))| {
+        toks.get(i + k)
+            .is_some_and(|t| t.kind == *kind && t.text == *text)
+    })
+}
+
+use TokKind::{Ident as I, Punct as P};
+
+/// Allocation / timing patterns denied on hot paths, with the display
+/// name used in diagnostics.
+pub(crate) const ALLOC_PATTERNS: [(&str, &[Pat]); 10] = [
+    (
+        "Instant::now(",
+        &[(I, "Instant"), (P, "::"), (I, "now"), (P, "(")],
+    ),
+    ("Vec::new(", &[(I, "Vec"), (P, "::"), (I, "new"), (P, "(")]),
+    (
+        "Vec::with_capacity(",
+        &[(I, "Vec"), (P, "::"), (I, "with_capacity"), (P, "(")],
+    ),
+    ("vec![", &[(I, "vec"), (P, "!"), (P, "[")]),
+    (
+        "String::new(",
+        &[(I, "String"), (P, "::"), (I, "new"), (P, "(")],
+    ),
+    (
+        "String::from(",
+        &[(I, "String"), (P, "::"), (I, "from"), (P, "(")],
+    ),
+    ("format!(", &[(I, "format"), (P, "!"), (P, "(")]),
+    (".to_vec(", &[(P, "."), (I, "to_vec"), (P, "(")]),
+    ("Box::new(", &[(I, "Box"), (P, "::"), (I, "new"), (P, "(")]),
+    (".collect(", &[(P, "."), (I, "collect"), (P, "(")]),
+];

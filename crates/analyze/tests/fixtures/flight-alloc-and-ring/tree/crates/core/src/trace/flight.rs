@@ -1,0 +1,8 @@
+use std::sync::atomic::AtomicU64;
+pub struct FlightSlot {
+    // @protocol: seqlock-tag
+    tag: AtomicU64,
+}
+pub fn describe(slots: &[u64]) -> String {
+    format!("{} slots", slots.len())
+}

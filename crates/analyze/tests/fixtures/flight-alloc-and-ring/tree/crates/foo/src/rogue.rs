@@ -1,0 +1,3 @@
+pub fn peek(s: &FlightSlot) -> u64 {
+    s.probe()
+}

@@ -1,0 +1,3 @@
+pub fn id(x: u32) -> u32 {
+    x
+}

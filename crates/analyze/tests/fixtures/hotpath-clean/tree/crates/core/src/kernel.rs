@@ -1,0 +1,19 @@
+//! Doc prose mentioning Vec::new( and format!( must never fire.
+pub fn setup(n: usize) -> Vec<usize> {
+    let mut v = Vec::with_capacity(n);
+    v.push(n);
+    v
+}
+pub fn describe() -> &'static str {
+    "calls Vec::new( in a loop - not really"
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_loop_is_fine_in_tests() {
+        for i in 0..3 {
+            let v = vec![i];
+            assert_eq!(v.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+pub fn search(n: usize) -> usize {
+    let mut scratch = Vec::new();
+    for i in 0..n {
+        let mut tmp = Vec::new();
+        tmp.push(i);
+        scratch.push(tmp.len());
+    }
+    scratch.len()
+}

@@ -1,0 +1,12 @@
+pub enum Counter {
+    Alpha,
+    Beta,
+}
+pub const NUM_COUNTERS: usize = 1;
+pub const COUNTER_NAMES: [&str; 1] = ["alpha"];
+pub fn counter_from_index(i: usize) -> Counter {
+    match i {
+        0 => Counter::Alpha,
+        _ => Counter::Alpha,
+    }
+}

@@ -1,0 +1,3 @@
+pub fn render() -> String {
+    String::from("paracosm_foo_total 1\n")
+}

@@ -1,0 +1,4 @@
+#[test]
+fn asserts() {
+    assert!("x".contains("paracosm_baz_total"));
+}

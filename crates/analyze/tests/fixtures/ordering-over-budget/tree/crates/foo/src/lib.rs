@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct S { pub hits: AtomicU64 }
+pub fn bump(s: &S) {
+    s.hits.store(1, Ordering::Relaxed);
+    s.hits.store(2, Ordering::Relaxed);
+}

@@ -1,0 +1,10 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct FlightShard {
+    // @protocol: seqlock-tag
+    tag: AtomicU64,
+    // @protocol: seqlock-guard
+    seq: AtomicU64,
+}
+pub fn outside_reader(s: &FlightShard) -> u64 {
+    s.seq.load(Ordering::Relaxed)
+}

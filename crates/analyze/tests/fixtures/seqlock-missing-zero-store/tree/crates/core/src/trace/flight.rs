@@ -1,0 +1,8 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct FlightSlot {
+    // @protocol: seqlock-tag
+    tag: AtomicU64,
+}
+pub fn publish(s: &FlightSlot, seq: u64) {
+    s.tag.store(seq, Ordering::Release);
+}

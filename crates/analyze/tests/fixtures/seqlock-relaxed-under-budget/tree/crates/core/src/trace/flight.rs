@@ -1,0 +1,10 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct FlightSlot {
+    // @protocol: seqlock-tag
+    tag: AtomicU64,
+}
+pub fn peek(s: &FlightSlot) -> u64 {
+    let a = s.tag.load(Ordering::Relaxed);
+    let b = s.tag.load(Ordering::Relaxed);
+    a ^ b
+}

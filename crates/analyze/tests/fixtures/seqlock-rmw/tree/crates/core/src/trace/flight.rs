@@ -1,0 +1,8 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct FlightSlot {
+    // @protocol: seqlock-tag
+    tag: AtomicU64,
+}
+pub fn mint(s: &FlightSlot) -> u64 {
+    s.tag.fetch_add(1, Ordering::AcqRel)
+}

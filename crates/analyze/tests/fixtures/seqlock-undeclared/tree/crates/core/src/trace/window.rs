@@ -1,0 +1,8 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct Bucket {
+    epoch: AtomicU64,
+}
+pub fn rotate(b: &Bucket) {
+    b.epoch.store(0, Ordering::Release);
+    b.epoch.store(7, Ordering::Release);
+}

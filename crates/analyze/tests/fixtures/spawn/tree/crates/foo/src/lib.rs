@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::thread;
+pub fn fork() {
+    thread::spawn(|| {});
+    sync::thread::spawn(|| {});
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn listen() -> std::io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+}

@@ -1,0 +1,3 @@
+pub fn bind() -> std::io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+}

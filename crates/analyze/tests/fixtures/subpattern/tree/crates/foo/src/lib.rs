@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+pub fn probe() -> u64 {
+    let k = EdgePatternKey::canonical(1, 2, None);
+    k.0
+}

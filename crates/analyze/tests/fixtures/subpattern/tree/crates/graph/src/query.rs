@@ -1,0 +1,4 @@
+pub fn make() -> (u32, u32) {
+    let k = TwoPathKey::canonical(1, 2, 3);
+    (k.0, k.1)
+}

@@ -1,0 +1,3 @@
+pub fn drive(tracer: &Tracer) {
+    tracer.count(1);
+}

@@ -1,0 +1,5 @@
+pub fn first(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().unwrap();
+    *a + *b
+}

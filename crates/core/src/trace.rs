@@ -1046,6 +1046,13 @@ impl RunReport {
                 self.metrics.total(counter_from_index(i))
             ));
         }
+        o.push_str("},\"gauges\":{");
+        for (i, name) in GAUGE_NAMES.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!("\"{name}\":{}", self.metrics.gauges[i]));
+        }
         o.push_str("},\"per_shard\":[");
         for (i, shard) in self.metrics.per_shard.iter().enumerate() {
             if i > 0 {

@@ -184,6 +184,7 @@ fn unpack_meta(meta: u64) -> Option<(FlightStage, bool, FanKind, u32)> {
 /// One ring slot: tag + four payload words. The tag holds the slot's
 /// absolute write sequence + 1; `0` marks mid-write (and unused slots).
 struct FlightSlot {
+    // @protocol: seqlock-tag
     tag: AtomicU64,
     span: AtomicU64,
     meta: AtomicU64,
@@ -196,6 +197,7 @@ struct FlightSlot {
 #[repr(align(128))]
 struct FlightShard {
     /// Events ever written to this shard (the next slot's sequence).
+    // @protocol: seqlock-guard
     seq: AtomicU64,
     slots: Box<[FlightSlot]>,
 }

@@ -268,14 +268,9 @@ impl FlightRecorder {
         // Still-open begins (in-flight or torn) surface as instants so a
         // stalled update's last stage is visible in the trace.
         for ((tid, span, stage), (ts, arg)) in open {
-            let stage = match stage {
-                0 => FlightStage::Admit,
-                1 => FlightStage::Apply,
-                2 => FlightStage::Classify,
-                3 => FlightStage::SharedProbe,
-                4 => FlightStage::Fanout,
-                _ => FlightStage::Flush,
-            };
+            // Decode through the one authoritative map so a new stage
+            // can never silently alias another exporter's hardcoded arm.
+            let stage = FlightStage::from_code(u64::from(stage)).unwrap_or(FlightStage::Flush);
             push(
                 &mut out,
                 format!(

@@ -145,6 +145,7 @@ fn add(a: &AtomicU64, v: u64) {
 #[repr(align(128))]
 struct EpochBucket {
     /// `absolute_epoch + 1`; `0` = unused or mid-rotation.
+    // @protocol: seqlock-tag
     epoch: AtomicU64,
     counters: [AtomicU64; NUM_WINDOW_COUNTERS],
     lat: Box<[AtomicU64]>,

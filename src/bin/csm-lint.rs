@@ -1,864 +1,21 @@
-//! `csm-lint` — the project invariant linter (CI-gated).
+//! `csm-lint` — compatibility wrapper over the `csm-analyze` engine.
 //!
-//! A hand-rolled, text/token-level static-analysis pass (deliberately no
-//! `syn`: the rules below are lexical, and a zero-dependency binary keeps
-//! the offline build trivial). It walks `crates/**/*.rs`, scrubs comments
-//! and string literals, splits off test regions, and enforces:
+//! The original lexical linter that lived here has been superseded by
+//! the semantic analyzer in `crates/analyze` (hand-rolled lexer →
+//! HIR-lite item/scope parser → atomic-protocol / hot-path / drift
+//! passes). This binary keeps the historical name, flags, and output
+//! conventions working for scripts and muscle memory:
 //!
-//! * **ordering-allowlist** — every atomic `Ordering::*` use must fit the
-//!   per-file budget in `LINT.md`, where each row carries a one-line
-//!   rationale. New atomics require a reviewed table edit.
-//! * **seqcst-denied** — `Ordering::SeqCst` is denied outside the
-//!   allowlist (the project's protocols are designed for AcqRel/Acquire;
-//!   SeqCst usually papers over a missing design).
-//! * **thread-spawn-confined** — raw `thread::spawn`/`thread::scope` only
-//!   in `crates/graph/src/par.rs`, `crates/core/src/inner.rs` and
-//!   `crates/service/src/telemetry.rs` (the scrape/watchdog threads); all
-//!   other fork-join goes through `par::run_jobs`/`par::map_slice` (calls
-//!   through the `sync::thread` facade are exempt — they are what the
-//!   model checker instruments).
-//! * **std-net-confined** — `std::net` only in
-//!   `crates/service/src/telemetry.rs`: sockets stay out of the matching
-//!   kernel, the executors, and every other library path.
-//! * **subpattern-key-confined** — canonical sub-pattern key construction
-//!   (`EdgePatternKey`/`TwoPathKey` literals and `::canonical` calls) only
-//!   in `crates/graph/src/query.rs` (the decomposition that defines the
-//!   scheme) and `crates/service/src/shared.rs` (the index that probes
-//!   it); every other path consumes keys opaquely.
-//! * **kernel-hot-loop** — no `Instant::now()` and no allocation patterns
-//!   in `kernel.rs` outside the `LINT.md` hot-path exception table.
-//! * **flight-hot-path** — the flight-recorder record path
-//!   (`crates/core/src/trace/flight.rs`) is denied every allocation
-//!   pattern and `Instant::now(` outright (zero budget, no exception
-//!   table: cold paths belong in `trace/flight/cold.rs`), and the ring
-//!   internals (`FlightShard`/`FlightSlot`) may not be named outside
-//!   `crates/core/src/trace/` — everyone else records through
-//!   `FlightRecorder`.
-//! * **trace-local-only** — no shared-`Tracer` `count`/`event` calls in
-//!   `kernel.rs`/`inner.rs`; hot paths accumulate into a `LocalTrace` and
-//!   merge once per run.
-//! * **unwrap-denied** — `.unwrap()`/`.expect(` in `crates/core` and
-//!   `crates/graph` library paths ratcheted by per-file budgets (tests
-//!   exempt).
-//! * **forbid-unsafe-missing** — every `crates/*/src/lib.rs` must carry
-//!   `#![forbid(unsafe_code)]`.
+//! ```text
+//! csm-lint [ROOT] [--dump | --api-dump] [--json PATH]
+//! ```
 //!
-//! Diagnostics are `path:line: [rule] message`, exit code 1 on any
-//! violation. `--dump` prints current per-file counts in `LINT.md` row
-//! form to make budget authoring mechanical. With no `LINT.md` at the
-//! root, every budget is zero (which is what the seeded-violation gate
-//! test relies on).
-//!
-//! `--api-dump` switches to snapshot mode: a deterministic, lexical dump
-//! of the `pub` items under `crates/*/src` (same scrubber, test regions
-//! excluded, `pub(crate)`/`pub(super)` skipped) in the exact format of
-//! the committed `API.md`. The `api_snapshot_is_current` gate test fails
-//! CI whenever the tree's public surface drifts from that file, so
-//! surface changes are always a reviewed `API.md` diff.
+//! Diagnostics, exit codes, and the `--dump`/`--api-dump` formats are
+//! those of `csm-analyze`; see `crates/analyze/src/lib.rs` for the rule
+//! inventory and `LINT.md` for the budget tables.
 
-use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
-
-/// Files allowed to spawn raw threads.
-const SPAWN_ALLOWED: [&str; 3] = [
-    "crates/graph/src/par.rs",
-    "crates/core/src/inner.rs",
-    "crates/service/src/telemetry.rs",
-];
-
-/// The only library file allowed to touch `std::net`.
-const NET_ALLOWED: &str = "crates/service/src/telemetry.rs";
-
-/// The only files allowed to *construct* canonical sub-pattern keys: the
-/// query decomposition that defines the scheme, and the shared index that
-/// probes it. Everywhere else consumes keys opaquely, so the
-/// canonicalization rules (endpoint ordering, wildcard labels) have
-/// exactly two authors and cannot silently fork.
-const SUBPATTERN_ALLOWED: [&str; 2] = ["crates/graph/src/query.rs", "crates/service/src/shared.rs"];
-
-/// Key-construction tokens confined by `subpattern-key-confined`.
-const SUBPATTERN_PATTERNS: [&str; 4] = [
-    "EdgePatternKey::canonical(",
-    "TwoPathKey::canonical(",
-    "EdgePatternKey {",
-    "TwoPathKey {",
-];
-
-/// Hot-path files for the trace rule.
-const TRACE_HOT_FILES: [&str; 2] = ["crates/core/src/kernel.rs", "crates/core/src/inner.rs"];
-
-const KERNEL_FILE: &str = "crates/core/src/kernel.rs";
-
-/// The flight-recorder record path: span recording only. Allocation and
-/// `Instant::now(` are denied here outright (no budget table) — the
-/// recorder is always on in `serve`, so every byte of this file is hot.
-const FLIGHT_HOT_FILE: &str = "crates/core/src/trace/flight.rs";
-
-/// Directory whose files may name the flight-ring internals.
-const FLIGHT_RING_DIR: &str = "crates/core/src/trace/";
-
-/// Ring-internal tokens confined by `flight-hot-path`: the seqlock shard
-/// and slot types stay private to the trace module so the single-writer
-/// protocol has exactly one author.
-const FLIGHT_RING_PATTERNS: [&str; 2] = ["FlightShard", "FlightSlot"];
-
-/// Allocation / timing patterns denied in kernel hot loops.
-const KERNEL_PATTERNS: [&str; 10] = [
-    "Instant::now(",
-    "Vec::new(",
-    "Vec::with_capacity(",
-    "vec![",
-    "String::new(",
-    "String::from(",
-    "format!(",
-    ".to_vec(",
-    "Box::new(",
-    ".collect(",
-];
-
-struct Diagnostic {
-    path: String,
-    line: usize,
-    rule: &'static str,
-    msg: String,
-}
-
-#[derive(Default)]
-struct Allowlists {
-    /// `(file, ordering) -> budget` from the "Ordering allowlist" table.
-    ordering: BTreeMap<(String, String), usize>,
-    /// `pattern -> budget` from the kernel hot-path exception table.
-    kernel: BTreeMap<String, usize>,
-    /// `file -> budget` from the unwrap/expect table.
-    unwrap: BTreeMap<String, usize>,
-}
-
-/// Parse the markdown tables out of LINT.md. Recognized sections (by
-/// `##` heading substring): "Ordering allowlist", "Kernel hot-path
-/// exceptions", "Unwrap/expect budgets". Rows are `| a | b | ... |`;
-/// header and `---` separator rows are skipped.
-fn parse_lint_md(text: &str) -> Allowlists {
-    #[derive(PartialEq, Clone, Copy)]
-    enum Section {
-        None,
-        Ordering,
-        Kernel,
-        Unwrap,
-    }
-    let mut section = Section::None;
-    let mut out = Allowlists::default();
-    for line in text.lines() {
-        let t = line.trim();
-        if t.starts_with("##") {
-            section = if t.contains("Ordering allowlist") {
-                Section::Ordering
-            } else if t.contains("Kernel hot-path exceptions") {
-                Section::Kernel
-            } else if t.contains("Unwrap/expect budgets") {
-                Section::Unwrap
-            } else {
-                Section::None
-            };
-            continue;
-        }
-        if section == Section::None || !t.starts_with('|') {
-            continue;
-        }
-        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
-        if cells.is_empty()
-            || cells[0].is_empty()
-            || cells[0] == "file"
-            || cells[0] == "pattern"
-            || cells
-                .iter()
-                .all(|c| c.chars().all(|ch| ch == '-' || ch == ':'))
-        {
-            continue;
-        }
-        match section {
-            Section::Ordering if cells.len() >= 3 => {
-                if let Ok(n) = cells[2].parse() {
-                    out.ordering
-                        .insert((cells[0].to_string(), cells[1].to_string()), n);
-                }
-            }
-            Section::Kernel if cells.len() >= 2 => {
-                if let Ok(n) = cells[1].parse() {
-                    out.kernel.insert(cells[0].trim_matches('`').to_string(), n);
-                }
-            }
-            Section::Unwrap if cells.len() >= 2 => {
-                if let Ok(n) = cells[1].parse() {
-                    out.unwrap.insert(cells[0].to_string(), n);
-                }
-            }
-            _ => {}
-        }
-    }
-    out
-}
-
-/// Streaming comment/string scrubber. Stripped bytes become spaces so
-/// column positions (and thus substring offsets) survive.
-#[derive(Default)]
-struct Scrubber {
-    /// Block-comment nesting depth (Rust block comments nest).
-    block_depth: usize,
-    /// Inside a normal `"` string.
-    in_str: bool,
-    /// Inside a raw string, with this many `#`s in its delimiter.
-    in_raw: Option<usize>,
-}
-
-impl Scrubber {
-    fn scrub_line(&mut self, line: &str) -> String {
-        let b: Vec<char> = line.chars().collect();
-        let mut out: Vec<char> = Vec::with_capacity(b.len());
-        let mut i = 0;
-        while i < b.len() {
-            if self.block_depth > 0 {
-                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    self.block_depth -= 1;
-                    out.extend([' ', ' ']);
-                    i += 2;
-                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    self.block_depth += 1;
-                    out.extend([' ', ' ']);
-                    i += 2;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if self.in_str {
-                if b[i] == '\\' {
-                    out.extend([' ', ' ']);
-                    i += 2;
-                } else {
-                    if b[i] == '"' {
-                        self.in_str = false;
-                    }
-                    out.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if let Some(hashes) = self.in_raw {
-                if b[i] == '"'
-                    && b[i + 1..]
-                        .iter()
-                        .take(hashes)
-                        .filter(|&&c| c == '#')
-                        .count()
-                        == hashes
-                {
-                    self.in_raw = None;
-                    out.extend(std::iter::repeat_n(' ', hashes + 1));
-                    i += hashes + 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            match b[i] {
-                '/' if b.get(i + 1) == Some(&'/') => {
-                    // Line comment: blank the rest of the line.
-                    out.extend(std::iter::repeat_n(' ', b.len() - i));
-                    i = b.len();
-                }
-                '/' if b.get(i + 1) == Some(&'*') => {
-                    self.block_depth = 1;
-                    out.extend([' ', ' ']);
-                    i += 2;
-                }
-                '"' => {
-                    self.in_str = true;
-                    out.push(' ');
-                    i += 1;
-                }
-                'r' | 'b' if is_raw_string_start(&b, i) => {
-                    let (hashes, consumed) = raw_string_delim(&b, i);
-                    self.in_raw = Some(hashes);
-                    out.extend(std::iter::repeat_n(' ', consumed));
-                    i += consumed;
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a char literal closes
-                    // within a few chars; a lifetime never closes.
-                    if b.get(i + 1) == Some(&'\\') {
-                        // Escaped char literal: skip to the closing quote.
-                        let mut j = i + 2;
-                        while j < b.len() && b[j] != '\'' {
-                            j += 1;
-                        }
-                        let end = (j + 1).min(b.len());
-                        out.extend(std::iter::repeat_n(' ', end - i));
-                        i = end;
-                    } else if b.get(i + 2) == Some(&'\'') {
-                        out.extend([' ', ' ', ' ']);
-                        i += 3;
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-        }
-        // Unterminated normal string at EOL without continuation: strings
-        // can span lines in Rust only via `\` (already consumed above) or
-        // raw strings; keep `in_str` as-is — multi-line literals stay
-        // scrubbed either way.
-        out.into_iter().collect()
-    }
-}
-
-fn is_raw_string_start(b: &[char], i: usize) -> bool {
-    // r"..."  r#"..."#  br"..."  b"..." is a plain byte string (the '"'
-    // arm handles it next round), so only treat 'b' as raw when followed
-    // by 'r'.
-    let start = if b[i] == 'b' {
-        if b.get(i + 1) != Some(&'r') {
-            return false;
-        }
-        i + 2
-    } else {
-        i + 1
-    };
-    // Identifier char before 'r' means this is part of a name, not a
-    // literal prefix (e.g. `for`, `attr"`... ).
-    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
-        return false;
-    }
-    let mut j = start;
-    while b.get(j) == Some(&'#') {
-        j += 1;
-    }
-    b.get(j) == Some(&'"')
-}
-
-fn raw_string_delim(b: &[char], i: usize) -> (usize, usize) {
-    let start = if b[i] == 'b' { i + 2 } else { i + 1 };
-    let mut hashes = 0;
-    let mut j = start;
-    while b.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    // consumed = prefix + hashes + opening quote
-    (hashes, j + 1 - i)
-}
-
-struct ScannedFile {
-    rel: String,
-    /// Scrubbed lines (comments/strings blanked), 0-indexed.
-    lines: Vec<String>,
-    /// First line (0-indexed) of the trailing `#[cfg(test)]` region, if any.
-    test_start: Option<usize>,
-    /// Whole file is test/bench/example code by path.
-    all_test: bool,
-}
-
-impl ScannedFile {
-    fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
-        let cutoff = if self.all_test {
-            0
-        } else {
-            self.test_start.unwrap_or(self.lines.len())
-        };
-        self.lines
-            .iter()
-            .take(cutoff)
-            .enumerate()
-            .map(|(i, l)| (i + 1, l.as_str()))
-    }
-}
-
-fn scan_file(root: &Path, path: &Path) -> std::io::Result<ScannedFile> {
-    let text = std::fs::read_to_string(path)?;
-    let rel = path
-        .strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/");
-    let mut scrub = Scrubber::default();
-    let lines: Vec<String> = text.lines().map(|l| scrub.scrub_line(l)).collect();
-    let test_start = lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"));
-    let all_test = rel
-        .split('/')
-        .any(|c| c == "tests" || c == "benches" || c == "examples");
-    Ok(ScannedFile {
-        rel,
-        lines,
-        test_start,
-        all_test,
-    })
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let p = entry.path();
-        if p.is_dir() {
-            let name = entry.file_name();
-            if name == "target" || name == ".git" {
-                continue;
-            }
-            walk_rs(&p, out)?;
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-    Ok(())
-}
-
-/// All match offsets of `pat` in `line`.
-fn find_all<'a>(line: &'a str, pat: &str) -> impl Iterator<Item = usize> + 'a {
-    let pat = pat.to_string();
-    let mut from = 0;
-    std::iter::from_fn(move || {
-        let off = line[from..].find(&pat)?;
-        let at = from + off;
-        from = at + pat.len();
-        Some(at)
-    })
-}
-
-fn ident_at(line: &str, at: usize) -> &str {
-    let rest = &line[at..];
-    let end = rest
-        .find(|c: char| !c.is_alphanumeric() && c != '_')
-        .unwrap_or(rest.len());
-    &rest[..end]
-}
-
-fn snippet(line: &str) -> String {
-    let t = line.trim();
-    if t.len() > 60 {
-        format!(
-            "{}…",
-            &t[..t
-                .char_indices()
-                .take(57)
-                .last()
-                .map_or(0, |(i, c)| i + c.len_utf8())]
-        )
-    } else {
-        t.to_string()
-    }
-}
-
-/// Normalize one scrubbed code line into an API-snapshot entry, or
-/// `None` if it does not introduce a public item. Lexical on purpose:
-/// the first physical line of the item, cut before any body/initializer,
-/// whitespace-collapsed. Restricted visibility (`pub(crate)` etc.) is
-/// not public surface and is skipped.
-fn api_signature(line: &str) -> Option<String> {
-    const ITEM_STARTS: [&str; 12] = [
-        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "use", "unsafe",
-        "async", "union",
-    ];
-    let t = line.trim();
-    let rest = t.strip_prefix("pub ")?;
-    let first = rest.split_whitespace().next()?;
-    if !ITEM_STARTS.contains(&first) {
-        return None;
-    }
-    let mut sig = t;
-    // `pub use` keeps its brace list (that IS the surface); everything
-    // else is cut before the body / initializer.
-    if first != "use" {
-        if let Some(i) = sig.find('{') {
-            sig = &sig[..i];
-        }
-        if !matches!(first, "fn" | "unsafe" | "async") {
-            if let Some(i) = sig.find('=') {
-                sig = &sig[..i];
-            }
-        }
-    }
-    let sig = sig.trim_end().trim_end_matches(';').trim_end();
-    Some(sig.split_whitespace().collect::<Vec<_>>().join(" "))
-}
-
-/// Render the public-API snapshot for `root` in `API.md` format.
-fn api_dump(root: &Path) -> Result<String, String> {
-    let crates_dir = root.join("crates");
-    if !crates_dir.is_dir() {
-        return Err(format!("{}: no crates/ directory here", root.display()));
-    }
-    let mut paths = Vec::new();
-    walk_rs(&crates_dir, &mut paths).map_err(|e| format!("walk failed: {e}"))?;
-    paths.sort();
-
-    let mut out = String::from(
-        "# Public API snapshot\n\n\
-         One line per `pub` item under `crates/*/src`, extracted lexically by\n\
-         `csm-lint --api-dump` (comments, strings and `#[cfg(test)]` regions\n\
-         scrubbed; `pub(crate)`/`pub(super)` excluded; multi-line signatures\n\
-         truncated to their first line). After a deliberate surface change,\n\
-         regenerate with:\n\n\
-         ```\n\
-         cargo run --bin csm-lint -- --api-dump > API.md\n\
-         ```\n\
-         \n\
-         The `api_snapshot_is_current` gate test (tests/lint_gate.rs) fails\n\
-         when this file drifts from the tree, so every surface change lands\n\
-         as a reviewed API.md diff.\n",
-    );
-    for path in &paths {
-        let file = scan_file(root, path).map_err(|e| format!("{}: {e}", path.display()))?;
-        if !file.rel.contains("/src/") {
-            continue;
-        }
-        let items: Vec<String> = file
-            .code_lines()
-            .filter_map(|(_, l)| api_signature(l))
-            .collect();
-        if items.is_empty() {
-            continue;
-        }
-        out.push_str(&format!("\n## {}\n\n", file.rel));
-        for item in items {
-            out.push_str(&format!("- `{item}`\n"));
-        }
-    }
-    Ok(out)
-}
-
-fn run_lint(root: &Path, dump: bool) -> Result<Vec<Diagnostic>, String> {
-    let crates_dir = root.join("crates");
-    if !crates_dir.is_dir() {
-        return Err(format!("{}: no crates/ directory here", root.display()));
-    }
-    let allow = match std::fs::read_to_string(root.join("LINT.md")) {
-        Ok(text) => parse_lint_md(&text),
-        Err(_) => Allowlists::default(),
-    };
-    let mut paths = Vec::new();
-    walk_rs(&crates_dir, &mut paths).map_err(|e| format!("walk failed: {e}"))?;
-    paths.sort();
-
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    // (file, ordering) -> occurrences (line numbers)
-    let mut ordering_uses: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-    let mut kernel_uses: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    let mut unwrap_uses: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-
-    for path in &paths {
-        let file = scan_file(root, path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let rel = file.rel.clone();
-
-        // forbid-unsafe-missing: crates/*/src/lib.rs must carry the attr.
-        if rel.starts_with("crates/") && rel.ends_with("/src/lib.rs") {
-            let has = file
-                .lines
-                .iter()
-                .any(|l| l.contains("#![forbid(unsafe_code)]"));
-            if !has {
-                diags.push(Diagnostic {
-                    path: rel.clone(),
-                    line: 1,
-                    rule: "forbid-unsafe-missing",
-                    msg: "crate root lacks #![forbid(unsafe_code)] (document any \
-                          exception in LINT.md and downgrade deliberately)"
-                        .into(),
-                });
-            }
-        }
-
-        for (lineno, line) in file.code_lines() {
-            // ordering-allowlist / seqcst-denied
-            for at in find_all(line, "Ordering::") {
-                let ord = ident_at(line, at + "Ordering::".len());
-                if ATOMIC_ORDERINGS.contains(&ord) {
-                    ordering_uses
-                        .entry((rel.clone(), ord.to_string()))
-                        .or_default()
-                        .push(lineno);
-                }
-            }
-
-            // thread-spawn-confined
-            for pat in ["thread::spawn(", "thread::scope("] {
-                for at in find_all(line, pat) {
-                    let before = &line[..at];
-                    if before.ends_with("sync::") {
-                        continue; // the model-checkable facade
-                    }
-                    if SPAWN_ALLOWED.contains(&rel.as_str()) {
-                        continue;
-                    }
-                    diags.push(Diagnostic {
-                        path: rel.clone(),
-                        line: lineno,
-                        rule: "thread-spawn-confined",
-                        msg: format!(
-                            "raw {} outside par.rs/inner.rs — use \
-                             csm_graph::par::run_jobs or map_slice ({})",
-                            pat.trim_end_matches('('),
-                            snippet(line)
-                        ),
-                    });
-                }
-            }
-
-            // subpattern-key-confined
-            if !SUBPATTERN_ALLOWED.contains(&rel.as_str()) {
-                for pat in SUBPATTERN_PATTERNS {
-                    if line.contains(pat) {
-                        diags.push(Diagnostic {
-                            path: rel.clone(),
-                            line: lineno,
-                            rule: "subpattern-key-confined",
-                            msg: format!(
-                                "sub-pattern key construction outside query.rs/shared.rs \
-                                 — consume keys opaquely; canonicalization lives in \
-                                 QueryGraph::edge_pattern_keys and the shared index ({})",
-                                snippet(line)
-                            ),
-                        });
-                    }
-                }
-            }
-
-            // std-net-confined
-            if rel != NET_ALLOWED && line.contains("std::net") {
-                diags.push(Diagnostic {
-                    path: rel.clone(),
-                    line: lineno,
-                    rule: "std-net-confined",
-                    msg: format!(
-                        "std::net outside {NET_ALLOWED} — the telemetry plane is \
-                         the only sanctioned socket surface ({})",
-                        snippet(line)
-                    ),
-                });
-            }
-
-            // kernel-hot-loop
-            if rel == KERNEL_FILE {
-                for pat in KERNEL_PATTERNS {
-                    if line.contains(pat) {
-                        kernel_uses.entry(pat.to_string()).or_default().push(lineno);
-                    }
-                }
-            }
-
-            // flight-hot-path: zero-budget denial of allocation/timing
-            // patterns in the record path, and ring-internal confinement
-            // everywhere outside the trace module.
-            if rel == FLIGHT_HOT_FILE {
-                for pat in KERNEL_PATTERNS {
-                    if line.contains(pat) {
-                        diags.push(Diagnostic {
-                            path: rel.clone(),
-                            line: lineno,
-                            rule: "flight-hot-path",
-                            msg: format!(
-                                "`{pat}` in the flight-recorder record path — span \
-                                 recording is allocation-free by contract; move cold \
-                                 work into trace/flight/cold.rs ({})",
-                                snippet(line)
-                            ),
-                        });
-                    }
-                }
-            } else if !rel.starts_with(FLIGHT_RING_DIR) {
-                for pat in FLIGHT_RING_PATTERNS {
-                    if line.contains(pat) {
-                        diags.push(Diagnostic {
-                            path: rel.clone(),
-                            line: lineno,
-                            rule: "flight-hot-path",
-                            msg: format!(
-                                "{pat} outside crates/core/src/trace/ — the flight \
-                                 ring's seqlock internals have one author; record \
-                                 through FlightRecorder instead ({})",
-                                snippet(line)
-                            ),
-                        });
-                    }
-                }
-            }
-
-            // trace-local-only
-            if TRACE_HOT_FILES.contains(&rel.as_str()) {
-                for pat in ["tracer.count(", "tracer.event(", "tracer.gauge("] {
-                    if line.contains(pat) {
-                        diags.push(Diagnostic {
-                            path: rel.clone(),
-                            line: lineno,
-                            rule: "trace-local-only",
-                            msg: format!(
-                                "shared Tracer call on a hot path — accumulate in a \
-                                 LocalTrace and merge once per run ({})",
-                                snippet(line)
-                            ),
-                        });
-                    }
-                }
-            }
-
-            // unwrap-denied (library paths of core + graph)
-            if rel.starts_with("crates/core/src/") || rel.starts_with("crates/graph/src/") {
-                let n = find_all(line, ".unwrap()").count() + find_all(line, ".expect(").count();
-                for _ in 0..n {
-                    unwrap_uses.entry(rel.clone()).or_default().push(lineno);
-                }
-            }
-        }
-    }
-
-    if dump {
-        println!("## Ordering allowlist (current counts)\n");
-        println!("| file | ordering | max | rationale |");
-        println!("|---|---|---|---|");
-        for ((f, o), lines) in &ordering_uses {
-            println!("| {f} | {o} | {} | TODO |", lines.len());
-        }
-        println!("\n## Kernel hot-path exceptions (current counts)\n");
-        println!("| pattern | max | rationale |");
-        println!("|---|---|---|");
-        for (p, lines) in &kernel_uses {
-            println!("| `{p}` | {} | TODO |", lines.len());
-        }
-        println!("\n## Unwrap/expect budgets (current counts)\n");
-        println!("| file | max | rationale |");
-        println!("|---|---|---|");
-        for (f, lines) in &unwrap_uses {
-            println!("| {f} | {} | TODO |", lines.len());
-        }
-    }
-
-    // Budget enforcement: the first `max` occurrences are covered by the
-    // table row; everything beyond it is reported at its own line.
-    for ((f, o), lines) in &ordering_uses {
-        let budget = allow.ordering.get(&(f.clone(), o.clone())).copied();
-        let (rule, max): (&'static str, usize) = match (o.as_str(), budget) {
-            (_, Some(max)) => ("ordering-allowlist", max),
-            ("SeqCst", None) => ("seqcst-denied", 0),
-            (_, None) => ("ordering-allowlist", 0),
-        };
-        for &lineno in lines.iter().skip(max) {
-            let msg = if rule == "seqcst-denied" {
-                "Ordering::SeqCst is denied outside the LINT.md allowlist — \
-                 design for AcqRel/Acquire or add a justified row"
-                    .to_string()
-            } else if max == 0 {
-                format!(
-                    "Ordering::{o} not in the LINT.md ordering allowlist for {f} \
-                     — add a row with a one-line rationale"
-                )
-            } else {
-                format!(
-                    "Ordering::{o} exceeds the LINT.md budget for {f} ({} uses > max {max}) \
-                     — raise the budget with a rationale or drop the atomic",
-                    lines.len()
-                )
-            };
-            diags.push(Diagnostic {
-                path: f.clone(),
-                line: lineno,
-                rule,
-                msg,
-            });
-        }
-    }
-
-    for (pat, lines) in &kernel_uses {
-        let max = allow.kernel.get(pat).copied().unwrap_or(0);
-        for &lineno in lines.iter().skip(max) {
-            diags.push(Diagnostic {
-                path: KERNEL_FILE.to_string(),
-                line: lineno,
-                rule: "kernel-hot-loop",
-                msg: format!(
-                    "`{pat}` in the search kernel hot path (budget {max}) — hoist it \
-                     out of the loop or add a LINT.md hot-path exception"
-                ),
-            });
-        }
-    }
-
-    for (f, lines) in &unwrap_uses {
-        let max = allow.unwrap.get(f).copied().unwrap_or(0);
-        for &lineno in lines.iter().skip(max) {
-            diags.push(Diagnostic {
-                path: f.clone(),
-                line: lineno,
-                rule: "unwrap-denied",
-                msg: format!(
-                    "unwrap()/expect() in a library path ({} uses > budget {max}) — \
-                     return a Result or document the invariant and bump the \
-                     LINT.md budget",
-                    lines.len()
-                ),
-            });
-        }
-    }
-
-    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    Ok(diags)
-}
-
 fn main() -> ExitCode {
-    let mut root = PathBuf::from(".");
-    let mut dump = false;
-    let mut api = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--dump" => dump = true,
-            "--api-dump" => api = true,
-            "--help" | "-h" => {
-                println!("usage: csm-lint [ROOT] [--dump | --api-dump]");
-                println!("  checks project invariants over ROOT/crates/**/*.rs");
-                println!("  budgets and allowlists come from ROOT/LINT.md");
-                println!("  --api-dump prints the public-API snapshot (API.md format)");
-                return ExitCode::SUCCESS;
-            }
-            other => root = PathBuf::from(other),
-        }
-    }
-    if api {
-        return match api_dump(&root) {
-            Ok(text) => {
-                print!("{text}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("csm-lint: {e}");
-                ExitCode::from(2)
-            }
-        };
-    }
-    match run_lint(&root, dump) {
-        Err(e) => {
-            eprintln!("csm-lint: {e}");
-            ExitCode::from(2)
-        }
-        Ok(diags) if diags.is_empty() => {
-            if !dump {
-                println!("csm-lint: OK");
-            }
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.msg);
-            }
-            eprintln!("csm-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
-    }
+    csm_analyze::cli_main("csm-lint")
 }

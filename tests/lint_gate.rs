@@ -1,14 +1,23 @@
-//! Gate tests for the project invariant linter (`csm-lint`): the real
-//! tree must pass, a seeded violation must fail with a `file:line`
-//! diagnostic and a nonzero exit code, and the committed public-API
-//! snapshot (`API.md`) must match what `--api-dump` extracts from the
-//! tree.
+//! Gate tests for the project static analyzer: the real tree must
+//! pass, a seeded violation must fail with a `file:line` diagnostic
+//! and a nonzero exit code, and the committed public-API snapshot
+//! (`API.md`) must match what `--api-dump` extracts from the tree.
+//!
+//! `csm-analyze` is the engine; `csm-lint` is a compatibility alias
+//! for the same driver, so both binaries are exercised here (the
+//! scratch-tree tests drive the alias, the artifact/parity tests the
+//! primary name). The analyzer's own fixture corpus lives in
+//! `crates/analyze/tests/fixtures.rs`.
 
 use std::path::PathBuf;
 use std::process::Command;
 
 fn lint_bin() -> &'static str {
     env!("CARGO_BIN_EXE_csm-lint")
+}
+
+fn analyze_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_csm-analyze")
 }
 
 #[test]
@@ -22,6 +31,55 @@ fn linter_passes_on_the_repo() {
     assert!(
         out.status.success(),
         "csm-lint reported violations on the tree:\n{stdout}{stderr}"
+    );
+}
+
+/// The primary binary must also pass on the tree, and its `--json`
+/// artifact (what CI uploads) must be well-formed and agree with the
+/// exit status.
+#[test]
+fn analyzer_passes_and_writes_json_artifact() {
+    let artifact = scratch_dir("json").with_extension("json");
+    let out = Command::new(analyze_bin())
+        .arg(env!("CARGO_MANIFEST_DIR"))
+        .arg("--json")
+        .arg(&artifact)
+        .output()
+        .expect("run csm-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "csm-analyze reported violations on the tree:\n{stdout}{stderr}"
+    );
+    let json = std::fs::read_to_string(&artifact).expect("read --json artifact");
+    let compact: String = json.split_whitespace().collect();
+    assert!(
+        compact.contains("\"tool\":\"csm-analyze\"") && compact.contains("\"violations\":0"),
+        "artifact should carry the tool name and a zero violation count:\n{json}"
+    );
+    std::fs::remove_file(&artifact).ok();
+}
+
+/// Both binary names are the same engine: their API dumps must be
+/// byte-identical.
+#[test]
+fn lint_alias_matches_analyzer_api_dump() {
+    let a = Command::new(analyze_bin())
+        .arg("--api-dump")
+        .arg(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run csm-analyze --api-dump");
+    let b = Command::new(lint_bin())
+        .arg("--api-dump")
+        .arg(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run csm-lint --api-dump");
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "csm-lint must stay a byte-identical alias of csm-analyze"
     );
 }
 
@@ -307,7 +365,7 @@ fn api_snapshot_is_current() {
         panic!(
             "public API drifted from the committed API.md snapshot.\n\
              If the change is deliberate, regenerate with:\n\
-             \n    cargo run --bin csm-lint -- --api-dump > API.md\n\n\
+             \n    cargo run --bin csm-analyze -- --api-dump > API.md\n\n\
              line-level drift:\n{}",
             diff.join("\n")
         );
