@@ -23,7 +23,7 @@
 //! (DESIGN.md §3.2); degree pruning instead happens live during search.
 
 use crate::common::{for_each_candidate_dyn, NlfProfile};
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::kernel::{SearchCtx, SearchStats};
 use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 
@@ -62,13 +62,13 @@ impl CaLiG {
         &self.shells
     }
 
-    fn eval_lit(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn eval_lit<G: GraphShard>(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         g.is_alive(v) && g.label(v) == q.label(u) && self.profiles[u.index()].feasible(g, v)
     }
 
     /// Recompute the lighting state of one data vertex for all query
     /// vertices with a matching label. Returns whether anything flipped.
-    fn relight_vertex(&mut self, g: &DataGraph, q: &QueryGraph, v: VertexId) -> bool {
+    fn relight_vertex<G: GraphShard>(&mut self, g: &G, q: &QueryGraph, v: VertexId) -> bool {
         let mut changed = false;
         for u in q.vertices() {
             if q.label(u) != g.label(v) {
@@ -85,9 +85,9 @@ impl CaLiG {
 
     /// Recursive kernel-first enumeration; once the kernel is exhausted the
     /// shells are materialized by intersection.
-    fn kernel_search(
+    fn kernel_search<G: GraphShard>(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         sink: &mut dyn MatchSink,
         stats: &mut SearchStats,
@@ -132,9 +132,9 @@ impl CaLiG {
     /// degree-1 query vertices. Each shell's single neighbor is a mapped
     /// kernel vertex, so candidates come from one adjacency list — no
     /// backtracking over kernel choices ever happens here.
-    fn shell_search(
+    fn shell_search<G: GraphShard>(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         idx: usize,
         sink: &mut dyn MatchSink,
@@ -165,7 +165,7 @@ impl CaLiG {
     }
 }
 
-impl CsmAlgorithm for CaLiG {
+impl<G: GraphShard> CsmAlgorithm<G> for CaLiG {
     fn name(&self) -> &'static str {
         "CaLiG"
     }
@@ -174,7 +174,7 @@ impl CsmAlgorithm for CaLiG {
         true
     }
 
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, g: &G, q: &QueryGraph) {
         let n = q.num_vertices();
         self.profiles = q.vertices().map(|u| NlfProfile::of(q, u, true)).collect();
         self.kernel.clear();
@@ -196,13 +196,7 @@ impl CsmAlgorithm for CaLiG {
         }
     }
 
-    fn update_ads(
-        &mut self,
-        g: &DataGraph,
-        q: &QueryGraph,
-        e: EdgeUpdate,
-        _is_insert: bool,
-    ) -> AdsChange {
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
         if self.lit.first().is_some_and(|s| s.len() < g.vertex_slots()) {
             self.rebuild(g, q);
             return AdsChange::Changed;
@@ -220,7 +214,7 @@ impl CsmAlgorithm for CaLiG {
         AdsChange::from_changed(changed)
     }
 
-    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, _: &G, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.lit[u.index()][v.index()]
     }
 
@@ -229,7 +223,7 @@ impl CsmAlgorithm for CaLiG {
     /// mapped prefix — CaLiG chooses its own kernel order at runtime.
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         _depth: usize,
         sink: &mut dyn MatchSink,
@@ -242,7 +236,13 @@ impl CsmAlgorithm for CaLiG {
 impl CaLiG {
     /// Can edge `{v, w}` influence `lit(·, v)`? Only if some query vertex
     /// matches `v`'s label and has a requirement for `w`'s label.
-    fn edge_relevant(&self, g: &DataGraph, q: &QueryGraph, v: VertexId, w: VertexId) -> bool {
+    fn edge_relevant<G: GraphShard>(
+        &self,
+        g: &G,
+        q: &QueryGraph,
+        v: VertexId,
+        w: VertexId,
+    ) -> bool {
         q.vertices().any(|u| {
             q.label(u) == g.label(v)
                 && q.neighbors(u)
@@ -255,7 +255,7 @@ impl CaLiG {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::{ELabel, VLabel};
+    use csm_graph::{DataGraph, ELabel, VLabel};
     use paracosm_core::order::SeedOrder;
     use paracosm_core::{static_match, BufferSink};
 

@@ -1,6 +1,6 @@
 //! Helpers shared by the algorithm implementations.
 
-use csm_graph::{DataGraph, ELabel, QVertexId, QueryGraph, VLabel, VertexId};
+use csm_graph::{ELabel, GraphShard, QVertexId, QueryGraph, VLabel, VertexId};
 use paracosm_core::Embedding;
 
 /// A query vertex's neighborhood label-frequency (NLF) requirements:
@@ -42,7 +42,7 @@ impl NlfProfile {
     /// Each requirement maps to one partition-index lookup: the count of
     /// `(vertex label, edge label)` neighbors is the length of the
     /// corresponding adjacency group, `O(log #groups)` with no scan.
-    pub fn feasible(&self, g: &DataGraph, v: VertexId) -> bool {
+    pub fn feasible<G: GraphShard>(&self, g: &G, v: VertexId) -> bool {
         self.reqs.iter().all(|&(vl, el, need)| {
             let el = (!self.ignore_elabels).then_some(el);
             g.count_neighbors_with(v, vl, el) >= need as usize
@@ -75,8 +75,8 @@ impl NlfProfile {
 /// `f` returns `false` to stop early; the function returns `false` iff
 /// stopped. If `u` has no mapped neighbors, candidates come from the label
 /// bucket (rare — only for disconnected remainders).
-pub fn for_each_candidate_dyn<F>(
-    g: &DataGraph,
+pub fn for_each_candidate_dyn<G: GraphShard, F>(
+    g: &G,
     q: &QueryGraph,
     emb: Embedding,
     u: QVertexId,
@@ -160,6 +160,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csm_graph::DataGraph;
 
     fn star() -> (DataGraph, QueryGraph) {
         // v0(L0) with neighbors: two L1 (elabel 0), one L2 (elabel 1).

@@ -20,7 +20,7 @@
 //! back to depth-first enumeration (the same hybrid real join systems use
 //! for final, high-multiplicity attributes).
 
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::kernel::{self, NoFilter, SearchCtx, SearchStats};
 use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 
@@ -33,7 +33,12 @@ use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 /// (attribute-at-a-time) frontier in [`GraphFlow::search`], not the
 /// per-level candidate computation. The standalone labeled-operand
 /// primitive survives in [`crate::multiway`].
-fn wco_candidates<F>(ctx: &SearchCtx<'_>, emb: Embedding, depth: usize, f: F) -> bool
+fn wco_candidates<G: GraphShard, F>(
+    ctx: &SearchCtx<'_, G>,
+    emb: Embedding,
+    depth: usize,
+    f: F,
+) -> bool
 where
     F: FnMut(VertexId) -> bool,
 {
@@ -63,25 +68,25 @@ impl GraphFlow {
     }
 }
 
-impl CsmAlgorithm for GraphFlow {
+impl<G: GraphShard> CsmAlgorithm<G> for GraphFlow {
     fn name(&self) -> &'static str {
         "GraphFlow"
     }
 
-    fn rebuild(&mut self, _: &DataGraph, _: &QueryGraph) {}
+    fn rebuild(&mut self, _: &G, _: &QueryGraph) {}
 
-    fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+    fn update_ads(&mut self, _: &G, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
         AdsChange::Unchanged
     }
 
-    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+    fn is_candidate(&self, _: &G, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
         true
     }
 
     /// Level-synchronous join: materialize each order level breadth-first.
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -140,7 +145,7 @@ impl CsmAlgorithm for GraphFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::{ELabel, VLabel};
+    use csm_graph::{DataGraph, ELabel, VLabel};
     use paracosm_core::order::SeedOrder;
     use paracosm_core::BufferSink;
 

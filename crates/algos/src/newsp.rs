@@ -21,7 +21,7 @@
 //! stays stateless and its `update_ads` is a true no-op.
 
 use crate::common::NlfProfile;
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::kernel::{self, CandidateFilter, SearchCtx, SearchStats};
 use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 
@@ -42,18 +42,18 @@ impl NewSP {
 
 struct NlfFilter<'a>(&'a [NlfProfile]);
 
-impl CandidateFilter for NlfFilter<'_> {
+impl<G: GraphShard> CandidateFilter<G> for NlfFilter<'_> {
     #[inline]
-    fn is_candidate(&self, g: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, g: &G, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.0[u.index()].feasible(g, v)
     }
 }
 
 impl NewSP {
     /// CPT/EXP recursion. Invariant: `depth < n`.
-    fn cpt_exp(
+    fn cpt_exp<G: GraphShard>(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -111,26 +111,26 @@ impl NewSP {
     }
 }
 
-impl CsmAlgorithm for NewSP {
+impl<G: GraphShard> CsmAlgorithm<G> for NewSP {
     fn name(&self) -> &'static str {
         "NewSP"
     }
 
-    fn rebuild(&mut self, _: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, _: &G, q: &QueryGraph) {
         self.profiles = q.vertices().map(|u| NlfProfile::of(q, u, false)).collect();
     }
 
-    fn update_ads(&mut self, _: &DataGraph, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
+    fn update_ads(&mut self, _: &G, _: &QueryGraph, _: EdgeUpdate, _: bool) -> AdsChange {
         AdsChange::Unchanged
     }
 
-    fn is_candidate(&self, g: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, g: &G, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.profiles[u.index()].feasible(g, v)
     }
 
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -147,7 +147,7 @@ impl CsmAlgorithm for NewSP {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::{ELabel, VLabel};
+    use csm_graph::{DataGraph, ELabel, VLabel};
     use paracosm_core::order::SeedOrder;
     use paracosm_core::{static_match, BufferSink};
     use rand::prelude::*;

@@ -3,7 +3,7 @@
 //! algorithm" the way the paper's evaluation does.
 
 use crate::{CaLiG, GraphFlow, NewSP, Symbi, TurboFlux};
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{DataGraph, EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::kernel::{SearchCtx, SearchStats};
 use paracosm_core::{AdsChange, CsmAlgorithm, Embedding, MatchSink};
 
@@ -50,8 +50,9 @@ impl AlgoKind {
             .find(|k| k.name().eq_ignore_ascii_case(s))
     }
 
-    /// Build (offline stage) an instance for `(g, q)`.
-    pub fn build(self, g: &DataGraph, q: &QueryGraph) -> AnyAlgorithm {
+    /// Build (offline stage) an instance for `(g, q)` — any
+    /// [`GraphShard`] backend, monolithic or sharded.
+    pub fn build<G: GraphShard>(self, g: &G, q: &QueryGraph) -> AnyAlgorithm {
         let mut a = match self {
             AlgoKind::GraphFlow => AnyAlgorithm::GraphFlow(GraphFlow::new()),
             AlgoKind::TurboFlux => AnyAlgorithm::TurboFlux(TurboFlux::new()),
@@ -113,30 +114,30 @@ macro_rules! dispatch {
     };
 }
 
-impl CsmAlgorithm for AnyAlgorithm {
+impl<G: GraphShard> CsmAlgorithm<G> for AnyAlgorithm {
     fn name(&self) -> &'static str {
-        dispatch!(self, a => a.name())
+        dispatch!(self, a => CsmAlgorithm::<G>::name(a))
     }
 
     fn ignore_edge_labels(&self) -> bool {
-        dispatch!(self, a => a.ignore_edge_labels())
+        dispatch!(self, a => CsmAlgorithm::<G>::ignore_edge_labels(a))
     }
 
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, g: &G, q: &QueryGraph) {
         dispatch!(self, a => a.rebuild(g, q))
     }
 
-    fn update_ads(&mut self, g: &DataGraph, q: &QueryGraph, e: EdgeUpdate, ins: bool) -> AdsChange {
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, ins: bool) -> AdsChange {
         dispatch!(self, a => a.update_ads(g, q, e, ins))
     }
 
-    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         dispatch!(self, a => a.is_candidate(g, q, u, v))
     }
 
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -168,6 +169,7 @@ mod tests {
         q.add_edge(a, b, csm_graph::ELabel(0)).unwrap();
         for k in AlgoKind::ALL {
             let alg = k.build(&g, &q);
+            let alg = &alg as &dyn CsmAlgorithm<DataGraph>;
             assert_eq!(alg.name(), k.name());
             assert_eq!(alg.ignore_edge_labels(), k.ignores_edge_labels());
         }

@@ -17,7 +17,7 @@
 //! Like the other indices, states are **label-gated**: label-safe updates
 //! cannot flip any state (DESIGN.md §3.2).
 
-use csm_graph::{DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{ELabel, EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::{AdsChange, CsmAlgorithm};
 
 /// The Symbi algorithm with its DCS index.
@@ -98,7 +98,7 @@ impl Symbi {
         self.topo = order;
     }
 
-    fn eval_d1(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn eval_d1<G: GraphShard>(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         if !g.is_alive(v) || g.label(v) != q.label(u) {
             return false;
         }
@@ -111,7 +111,7 @@ impl Symbi {
         })
     }
 
-    fn eval_d2(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn eval_d2<G: GraphShard>(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         if !self.d1[u.index()][v.index()] {
             return false;
         }
@@ -125,7 +125,13 @@ impl Symbi {
     /// Re-evaluate `D1(u, v)` and propagate: D1 changes flow to DAG parents
     /// (their D1 depends on children) and trigger a D2 re-evaluation of the
     /// same pair (D2 has a D1 conjunct).
-    fn refresh_d1(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn refresh_d1<G: GraphShard>(
+        &mut self,
+        g: &G,
+        q: &QueryGraph,
+        u: QVertexId,
+        v: VertexId,
+    ) -> bool {
         let new = self.eval_d1(g, q, u, v);
         if self.d1[u.index()][v.index()] == new {
             return false;
@@ -147,7 +153,13 @@ impl Symbi {
     }
 
     /// Re-evaluate `D2(u, v)` and propagate to DAG children.
-    fn refresh_d2(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn refresh_d2<G: GraphShard>(
+        &mut self,
+        g: &G,
+        q: &QueryGraph,
+        u: QVertexId,
+        v: VertexId,
+    ) -> bool {
         let new = self.eval_d2(g, q, u, v);
         if self.d2[u.index()][v.index()] == new {
             return false;
@@ -168,12 +180,12 @@ impl Symbi {
     }
 }
 
-impl CsmAlgorithm for Symbi {
+impl<G: GraphShard> CsmAlgorithm<G> for Symbi {
     fn name(&self) -> &'static str {
         "Symbi"
     }
 
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, g: &G, q: &QueryGraph) {
         self.build_dag(q);
         let slots = g.vertex_slots();
         let n = q.num_vertices();
@@ -195,13 +207,7 @@ impl CsmAlgorithm for Symbi {
         }
     }
 
-    fn update_ads(
-        &mut self,
-        g: &DataGraph,
-        q: &QueryGraph,
-        e: EdgeUpdate,
-        _is_insert: bool,
-    ) -> AdsChange {
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
         if self.d1.first().is_some_and(|s| s.len() < g.vertex_slots()) {
             self.rebuild(g, q);
             return AdsChange::Changed;
@@ -232,7 +238,7 @@ impl CsmAlgorithm for Symbi {
         AdsChange::from_changed(changed)
     }
 
-    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, _: &G, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.d2[u.index()][v.index()]
     }
 }
@@ -240,7 +246,7 @@ impl CsmAlgorithm for Symbi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::VLabel;
+    use csm_graph::{DataGraph, VLabel};
 
     /// Query: triangle u0(L0), u1(L1), u2(L2).
     fn tri_query() -> QueryGraph {

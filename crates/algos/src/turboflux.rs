@@ -13,7 +13,7 @@
 //! edge whose label triple matches no query edge can never flip a state, so
 //! label-safe updates may skip `update_ads` entirely.
 
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 use paracosm_core::{AdsChange, CsmAlgorithm};
 
 const NULL: u8 = 0;
@@ -87,7 +87,7 @@ impl TurboFlux {
     }
 
     /// Evaluate the state of `(u, v)` from current child states.
-    fn eval(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> u8 {
+    fn eval<G: GraphShard>(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> u8 {
         if !g.is_alive(v) || g.label(v) != q.label(u) {
             return NULL;
         }
@@ -106,7 +106,7 @@ impl TurboFlux {
     }
 
     /// Re-evaluate `(u, v)`; on change, propagate to the parent level.
-    fn refresh(&mut self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn refresh<G: GraphShard>(&mut self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         let new = self.eval(g, q, u, v);
         let slot = &mut self.states[u.index()][v.index()];
         if *slot == new {
@@ -128,12 +128,12 @@ impl TurboFlux {
     }
 }
 
-impl CsmAlgorithm for TurboFlux {
+impl<G: GraphShard> CsmAlgorithm<G> for TurboFlux {
     fn name(&self) -> &'static str {
         "TurboFlux"
     }
 
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, g: &G, q: &QueryGraph) {
         self.build_tree(q);
         let slots = g.vertex_slots();
         self.states = vec![vec![NULL; slots]; q.num_vertices()];
@@ -148,13 +148,7 @@ impl CsmAlgorithm for TurboFlux {
         }
     }
 
-    fn update_ads(
-        &mut self,
-        g: &DataGraph,
-        q: &QueryGraph,
-        e: EdgeUpdate,
-        _is_insert: bool,
-    ) -> AdsChange {
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, _is_insert: bool) -> AdsChange {
         if self
             .states
             .first()
@@ -183,7 +177,7 @@ impl CsmAlgorithm for TurboFlux {
         AdsChange::from_changed(changed)
     }
 
-    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, _: &G, _: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.states[u.index()][v.index()] == EXPLICIT
     }
 }
@@ -191,7 +185,7 @@ impl CsmAlgorithm for TurboFlux {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::{ELabel, VLabel};
+    use csm_graph::{DataGraph, ELabel, VLabel};
 
     /// Query: path u0(L0) - u1(L1) - u2(L2).
     fn path_query() -> QueryGraph {

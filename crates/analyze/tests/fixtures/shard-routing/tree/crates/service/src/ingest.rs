@@ -1,0 +1,3 @@
+pub fn route(cfg: &ShardConfig, v: VertexId) -> usize {
+    cfg.shard_index_for(v)
+}

@@ -5,7 +5,7 @@
 //! repro <experiment ...> [options]
 //!
 //! experiments: table3 table4 table5 table6 fig4 fig7 fig8 fig9 fig10 fig11 fig12 analysis
-//!              observe shared all
+//!              observe shared shards all
 //!
 //! options:
 //!   --scale xs|s|m       dataset scale                  (default: xs)
@@ -25,15 +25,15 @@
 
 use csm_datagen::Scale;
 use paracosm_bench::experiments::{
-    breakdown, observe, shared_sessions, singlethread, speedups, tables,
+    breakdown, observe, shards, shared_sessions, singlethread, speedups, tables,
 };
 use paracosm_bench::report::Table;
 use paracosm_bench::runner::ExpOptions;
 use std::time::Duration;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table3", "table4", "table5", "table6", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "analysis", "observe", "shared",
+    "fig12", "analysis", "observe", "shared", "shards",
 ];
 
 fn usage() -> ! {
@@ -146,6 +146,7 @@ fn main() {
                 report_json.as_deref(),
             )),
             "shared" => outputs.push(shared_sessions::shared_sessions(&opts)),
+            "shards" => outputs.push(shards::shards(&opts)),
             _ => unreachable!(),
         }
     }
@@ -163,7 +164,7 @@ fn main() {
         if artifacts.is_empty() {
             eprintln!(
                 "repro: --json-out given but no selected experiment produces an artifact \
-                 (currently: shared)"
+                 (currently: shared, shards)"
             );
             std::process::exit(2);
         }

@@ -20,7 +20,7 @@
 //!   repetition of each mode is kept; the spread `(max−min)/min` across
 //!   repetitions of the *off* runs is printed as the noise floor.
 
-use crate::report::{fmt_dur, fmt_speedup, BenchArtifact, BenchCell, Table};
+use crate::report::{fmt_dur, fmt_speedup, Artifact, BenchArtifact, BenchCell, Table};
 use crate::runner::ExpOptions;
 use csm_algos::{testing, AlgoKind};
 use csm_graph::{DataGraph, QueryGraph, UpdateStream};
@@ -205,7 +205,7 @@ pub fn shared_sessions(opts: &ExpOptions) -> Table {
     t.note(format!(
         "noise floor: worst off-mode spread (max-min)/min across reps = {worst_noise:.1}%"
     ));
-    t.artifact = Some(BenchArtifact {
+    t.artifact = Some(Artifact::Shared(BenchArtifact {
         experiment: "shared".to_string(),
         seed: opts.seed,
         threads: opts.threads,
@@ -213,6 +213,6 @@ pub fn shared_sessions(opts: &ExpOptions) -> Table {
         reps: REPS,
         noise_pct: worst_noise,
         cells,
-    });
+    }));
     t
 }

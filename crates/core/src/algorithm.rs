@@ -24,7 +24,7 @@
 
 use crate::embedding::{Embedding, MatchSink};
 use crate::kernel::{self, CandidateFilter, SearchCtx, SearchStats};
-use csm_graph::{DataGraph, EdgeUpdate, QVertexId, QueryGraph, VertexId};
+use csm_graph::{DataGraph, EdgeUpdate, GraphShard, QVertexId, QueryGraph, VertexId};
 
 /// Did an ADS update mutate any internal state?
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +62,7 @@ impl AdsChange {
 /// The framework owns the data graph and the processing loop; the algorithm
 /// owns its ADS and candidate semantics. See the module docs for the
 /// soundness contract.
-pub trait CsmAlgorithm: Send + Sync {
+pub trait CsmAlgorithm<G: GraphShard = DataGraph>: Send + Sync {
     /// Human-readable algorithm name (used in reports and benchmarks).
     fn name(&self) -> &'static str;
 
@@ -74,26 +74,20 @@ pub trait CsmAlgorithm: Send + Sync {
 
     /// Rebuild the ADS from scratch for the current graph (offline stage,
     /// and fallback after structural events like vertex-table growth).
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph);
+    fn rebuild(&mut self, g: &G, q: &QueryGraph);
 
     /// Maintain the ADS for one edge update (online stage).
     ///
     /// Call convention (mirrors paper Algorithm 1): for an **insertion**,
     /// `g` already contains the edge; for a **deletion**, `g` no longer
     /// contains it. Must report whether any internal state changed.
-    fn update_ads(
-        &mut self,
-        g: &DataGraph,
-        q: &QueryGraph,
-        e: EdgeUpdate,
-        is_insert: bool,
-    ) -> AdsChange;
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, is_insert: bool) -> AdsChange;
 
     /// The ADS candidate test: may `v` be matched to `u` given the current
     /// index state? The kernel additionally enforces label equality, the
     /// degree prune, backward-edge checks and injectivity, so this only
     /// needs to express the algorithm's *extra* pruning.
-    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
+    fn is_candidate(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
 
     /// The algorithm's sequential enumeration from a partial embedding at
     /// `depth` along `ctx.order`. The default is the shared backtracking
@@ -104,7 +98,7 @@ pub trait CsmAlgorithm: Send + Sync {
     /// Returns `false` iff enumeration was stopped early (deadline or sink).
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -115,32 +109,26 @@ pub trait CsmAlgorithm: Send + Sync {
 }
 
 /// Boxed trait objects are algorithms too — the serving layer stores
-/// heterogeneous per-session algorithms as `Box<dyn CsmAlgorithm>`.
-impl CsmAlgorithm for Box<dyn CsmAlgorithm> {
+/// heterogeneous per-session algorithms as `Box<dyn CsmAlgorithm<G>>`.
+impl<G: GraphShard> CsmAlgorithm<G> for Box<dyn CsmAlgorithm<G>> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
     fn ignore_edge_labels(&self) -> bool {
         (**self).ignore_edge_labels()
     }
-    fn rebuild(&mut self, g: &DataGraph, q: &QueryGraph) {
+    fn rebuild(&mut self, g: &G, q: &QueryGraph) {
         (**self).rebuild(g, q)
     }
-    fn update_ads(
-        &mut self,
-        g: &DataGraph,
-        q: &QueryGraph,
-        e: EdgeUpdate,
-        is_insert: bool,
-    ) -> AdsChange {
+    fn update_ads(&mut self, g: &G, q: &QueryGraph, e: EdgeUpdate, is_insert: bool) -> AdsChange {
         (**self).update_ads(g, q, e, is_insert)
     }
-    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         (**self).is_candidate(g, q, u, v)
     }
     fn search(
         &self,
-        ctx: &SearchCtx<'_>,
+        ctx: &SearchCtx<'_, G>,
         emb: &mut Embedding,
         depth: usize,
         sink: &mut dyn MatchSink,
@@ -151,11 +139,11 @@ impl CsmAlgorithm for Box<dyn CsmAlgorithm> {
 }
 
 /// Adapter exposing an algorithm's candidate test as a [`CandidateFilter`].
-pub struct AdsCandidates<'a, A: CsmAlgorithm + ?Sized>(pub &'a A);
+pub struct AdsCandidates<'a, A: ?Sized>(pub &'a A);
 
-impl<A: CsmAlgorithm + ?Sized> CandidateFilter for AdsCandidates<'_, A> {
+impl<G: GraphShard, A: CsmAlgorithm<G> + ?Sized> CandidateFilter<G> for AdsCandidates<'_, A> {
     #[inline]
-    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    fn is_candidate(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
         self.0.is_candidate(g, q, u, v)
     }
 }

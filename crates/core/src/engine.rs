@@ -35,7 +35,8 @@ use crate::trace::{
     self, Counter, EventKind, Gauge, RunReport, SessionDims, StreamObserver, Tracer,
     UpdateObservation,
 };
-use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
+use csm_graph::{DataGraph, EdgeUpdate, GraphShard, QueryGraph, Update};
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -210,7 +211,7 @@ pub struct StageSnapshot {
 /// let out = eng.find_matches(&g, &e, false);
 /// assert_eq!(out.count, 6); // one triangle × 6 automorphic mappings
 /// ```
-pub struct Engine<A: CsmAlgorithm> {
+pub struct Engine<A: CsmAlgorithm<G>, G: GraphShard = DataGraph> {
     q: QueryGraph,
     algo: A,
     orders: MatchingOrders,
@@ -224,16 +225,17 @@ pub struct Engine<A: CsmAlgorithm> {
     window: Option<Arc<WindowRing>>,
     /// Cumulative statistics; reset with [`Engine::reset_stats`].
     pub stats: RunStats,
+    _g: PhantomData<fn() -> G>,
 }
 
-impl<A: CsmAlgorithm> Engine<A> {
+impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
     /// Offline stage: validate the configuration, build matching orders,
     /// and (re)build the algorithm's ADS for `g`.
     ///
     /// Errors with [`CsmError::ConfigInvalid`] when the configuration fails
     /// [`ParaCosmConfig::validate`] or the query is empty / exceeds
     /// [`MAX_PATTERN_VERTICES`].
-    pub fn new(g: &DataGraph, q: QueryGraph, mut algo: A, cfg: ParaCosmConfig) -> CsmResult<Self> {
+    pub fn new(g: &G, q: QueryGraph, mut algo: A, cfg: ParaCosmConfig) -> CsmResult<Self> {
         cfg.validate()?;
         if q.num_vertices() < 1 || q.num_vertices() > MAX_PATTERN_VERTICES {
             return Err(CsmError::ConfigInvalid {
@@ -258,6 +260,7 @@ impl<A: CsmAlgorithm> Engine<A> {
             tracer,
             window,
             stats: RunStats::default(),
+            _g: PhantomData,
         })
     }
 
@@ -357,7 +360,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// Rebuild the algorithm's ADS from scratch (offline stage, and
     /// fallback after structural events like vertex-table growth); timed as
     /// ADS maintenance.
-    pub fn rebuild(&mut self, g: &DataGraph) {
+    pub fn rebuild(&mut self, g: &G) {
         let t = Instant::now();
         self.algo.rebuild(g, &self.q);
         self.stats.ads_time += t.elapsed();
@@ -365,7 +368,7 @@ impl<A: CsmAlgorithm> Engine<A> {
 
     /// `Update_ADS` wrapper: timed, with the resulting delta mirrored to
     /// the tracer (event payload `b` is the running update ordinal).
-    pub fn ads_update(&mut self, g: &DataGraph, e: EdgeUpdate, is_insert: bool) -> AdsChange {
+    pub fn ads_update(&mut self, g: &G, e: EdgeUpdate, is_insert: bool) -> AdsChange {
         let t = Instant::now();
         let change = self.algo.update_ads(g, &self.q, e, is_insert);
         self.stats.ads_time += t.elapsed();
@@ -379,7 +382,7 @@ impl<A: CsmAlgorithm> Engine<A> {
 
     /// `Find_Initial_Matches`: enumerate the matches already present in `g`
     /// (through the algorithm's candidate filter).
-    pub fn initial_matches(&self, g: &DataGraph, collect: bool) -> StaticResult {
+    pub fn initial_matches(&self, g: &G, collect: bool) -> StaticResult {
         static_match::enumerate_with_filter(
             g,
             &self.q,
@@ -395,7 +398,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// Stage-1 verdict for this engine's query: the edge's label triple
     /// matches no query edge (pure in `(Q, labels)` — see [`inter`]).
     #[inline]
-    pub fn label_safe(&self, g: &DataGraph, e: &EdgeUpdate) -> bool {
+    pub fn label_safe(&self, g: &G, e: &EdgeUpdate) -> bool {
         inter::label_safe(g, &self.q, e, self.algo.ignore_edge_labels())
     }
 
@@ -403,7 +406,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// query edge. Call *before* applying an insert (prospective degrees)
     /// and *before* removing a delete.
     #[inline]
-    pub fn degree_safe(&self, g: &DataGraph, e: &EdgeUpdate, is_insert: bool) -> bool {
+    pub fn degree_safe(&self, g: &G, e: &EdgeUpdate, is_insert: bool) -> bool {
         inter::degree_safe(g, &self.q, e, is_insert, self.algo.ignore_edge_labels())
     }
 
@@ -412,7 +415,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// sets. For inserts call *after* [`Engine::ads_update`]; for deletes
     /// call while the edge is still present.
     #[inline]
-    pub fn candidates_safe(&self, g: &DataGraph, e: &EdgeUpdate) -> bool {
+    pub fn candidates_safe(&self, g: &G, e: &EdgeUpdate) -> bool {
         inter::candidates_safe(g, &self.q, &self.algo, e)
     }
 
@@ -420,12 +423,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// served from a cross-session [`inter::ProbeMemo`] (bit-identical
     /// verdicts; the serving layer's shared index passes one memo across
     /// all sessions of an update).
-    pub fn candidates_safe_memo(
-        &self,
-        g: &DataGraph,
-        e: &EdgeUpdate,
-        memo: &mut inter::ProbeMemo,
-    ) -> bool {
+    pub fn candidates_safe_memo(&self, g: &G, e: &EdgeUpdate, memo: &mut inter::ProbeMemo) -> bool {
         inter::candidates_safe_memo(g, &self.q, &self.algo, e, memo)
     }
 
@@ -509,7 +507,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// Root-level seed tasks for the update's search tree: one per
     /// compatible oriented query edge whose endpoints pass the degree prune
     /// and the algorithm's candidate test.
-    fn seeds_for(&self, g: &DataGraph, e: &EdgeUpdate) -> Vec<SeedTask> {
+    fn seeds_for(&self, g: &G, e: &EdgeUpdate) -> Vec<SeedTask> {
         let (la, lb) = (g.label(e.src), g.label(e.dst));
         let ignore = self.algo.ignore_edge_labels();
         self.q
@@ -538,7 +536,7 @@ impl<A: CsmAlgorithm> Engine<A> {
     /// insert/delete call conventions). `collect` materializes embeddings
     /// into [`FindOutcome::matches`]; pass `cfg.collect_matches` for the
     /// classic behaviour or `false` for count-only (degraded) enumeration.
-    pub fn find_matches(&mut self, g: &DataGraph, e: &EdgeUpdate, collect: bool) -> FindOutcome {
+    pub fn find_matches(&mut self, g: &G, e: &EdgeUpdate, collect: bool) -> FindOutcome {
         let seeds = self.seeds_for(g, e);
         if seeds.is_empty() {
             return FindOutcome::default();

@@ -27,7 +27,7 @@ use crate::trace::{Counter, EventKind, LocalTrace, Tracer};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
 use csm_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use csm_graph::{DataGraph, QueryGraph};
+use csm_graph::{GraphShard, QueryGraph};
 use std::time::{Duration, Instant};
 
 /// A search-tree subtree: a partial embedding plus the order it extends.
@@ -109,11 +109,11 @@ pub struct InnerOutcome {
 }
 
 /// Shared read-only state for one run.
-struct RunCtx<'a> {
-    g: &'a DataGraph,
+struct RunCtx<'a, G: GraphShard> {
+    g: &'a G,
     q: &'a QueryGraph,
     orders: &'a MatchingOrders,
-    algo: &'a dyn CsmAlgorithm,
+    algo: &'a dyn CsmAlgorithm<G>,
     deadline: Option<Instant>,
     injector: Injector<SeedTask>,
     /// Workers not (yet) proven idle. Starts at `num_threads`; a worker
@@ -130,8 +130,8 @@ struct RunCtx<'a> {
     cfg: InnerConfig,
 }
 
-impl<'a> RunCtx<'a> {
-    fn search_ctx(&self, order_idx: u16) -> SearchCtx<'a> {
+impl<'a, G: GraphShard> RunCtx<'a, G> {
+    fn search_ctx(&self, order_idx: u16) -> SearchCtx<'a, G> {
         SearchCtx {
             g: self.g,
             q: self.q,
@@ -151,12 +151,12 @@ impl<'a> RunCtx<'a> {
 }
 
 /// Per-worker sink enforcing the *global* cap and abort flag.
-struct WorkerSink<'a> {
+struct WorkerSink<'a, G: GraphShard> {
     local: BufferSink,
-    shared: &'a RunCtx<'a>,
+    shared: &'a RunCtx<'a, G>,
 }
 
-impl MatchSink for WorkerSink<'_> {
+impl<G: GraphShard> MatchSink for WorkerSink<'_, G> {
     #[inline]
     fn report(&mut self, emb: &Embedding, n: usize) -> bool {
         if self.shared.aborted.load(Ordering::Relaxed) {
@@ -191,11 +191,11 @@ impl MatchSink for WorkerSink<'_> {
 /// untraced run. Workers accumulate into [`LocalTrace`]s and merge once
 /// before joining, so tracing adds no shared-state traffic to the search.
 #[allow(clippy::too_many_arguments)]
-pub fn run(
-    g: &DataGraph,
+pub fn run<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
     orders: &MatchingOrders,
-    algo: &dyn CsmAlgorithm,
+    algo: &dyn CsmAlgorithm<G>,
     deadline: Option<Instant>,
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
@@ -373,8 +373,8 @@ fn finish_trace(mut lt: LocalTrace, stats: &SearchStats, tracer: &Tracer) {
     tracer.merge(lt);
 }
 
-fn worker_loop(
-    ctx: &RunCtx<'_>,
+fn worker_loop<G: GraphShard>(
+    ctx: &RunCtx<'_, G>,
     wid: usize,
     tracer: &Tracer,
 ) -> (BufferSink, SearchStats, Duration, u64, u64) {
@@ -448,11 +448,11 @@ fn worker_loop(
 /// expand one layer at a time and donate children when idle peers are
 /// observed with an empty queue; otherwise recurse. At or below
 /// `SPLIT_DEPTH`, hand the subtree to the algorithm's own sequential search.
-fn parallel_find_matches(
-    ctx: &RunCtx<'_>,
-    sctx: &SearchCtx<'_>,
+fn parallel_find_matches<G: GraphShard>(
+    ctx: &RunCtx<'_, G>,
+    sctx: &SearchCtx<'_, G>,
     task: SeedTask,
-    sink: &mut WorkerSink<'_>,
+    sink: &mut WorkerSink<'_, G>,
     stats: &mut SearchStats,
     split: &mut u64,
     lt: &mut LocalTrace,
@@ -549,11 +549,11 @@ pub struct SimOutcome {
 /// policy, so speedup *shape* and load-balance distributions reproduce
 /// deterministically on any machine. See DESIGN.md (substitutions).
 #[allow(clippy::too_many_arguments)]
-pub fn run_simulated(
-    g: &DataGraph,
+pub fn run_simulated<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
     orders: &MatchingOrders,
-    algo: &dyn CsmAlgorithm,
+    algo: &dyn CsmAlgorithm<G>,
     deadline: Option<Instant>,
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
@@ -695,11 +695,11 @@ pub fn run_simulated(
     out
 }
 
-fn run_task_sequential(
-    sctx: &SearchCtx<'_>,
-    algo: &dyn CsmAlgorithm,
+fn run_task_sequential<G: GraphShard>(
+    sctx: &SearchCtx<'_, G>,
+    algo: &dyn CsmAlgorithm<G>,
     task: SeedTask,
-    sink: &mut WorkerSink<'_>,
+    sink: &mut WorkerSink<'_, G>,
     stats: &mut SearchStats,
 ) -> bool {
     let n = sctx.order.len();
@@ -715,7 +715,7 @@ mod tests {
     use super::*;
     use crate::algorithm::AdsChange;
     use crate::static_match;
-    use csm_graph::{ELabel, EdgeUpdate, QVertexId, VLabel, VertexId};
+    use csm_graph::{DataGraph, ELabel, EdgeUpdate, QVertexId, VLabel, VertexId};
 
     /// A no-ADS algorithm for exercising the executor.
     struct Plain;

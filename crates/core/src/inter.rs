@@ -25,7 +25,7 @@
 //! is what makes parallel classification sound (see DESIGN.md §3.2).
 
 use crate::algorithm::CsmAlgorithm;
-use csm_graph::{DataGraph, ELabel, EdgeUpdate, QVertexId, QueryGraph, VLabel, VertexId};
+use csm_graph::{ELabel, EdgeUpdate, GraphShard, QVertexId, QueryGraph, VLabel, VertexId};
 
 /// Which filtering stage classified an update as safe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,7 +174,12 @@ impl ClassifierStats {
 /// edge is invisible to both matching and the ADS, regardless of any other
 /// concurrent update. Requires both endpoints alive (unknown endpoints are
 /// conservatively not label-safe and fall through to sequential handling).
-pub fn label_safe(g: &DataGraph, q: &QueryGraph, e: &EdgeUpdate, ignore_elabels: bool) -> bool {
+pub fn label_safe<G: GraphShard>(
+    g: &G,
+    q: &QueryGraph,
+    e: &EdgeUpdate,
+    ignore_elabels: bool,
+) -> bool {
     if !g.is_alive(e.src) || !g.is_alive(e.dst) {
         return false;
     }
@@ -186,8 +191,8 @@ pub fn label_safe(g: &DataGraph, q: &QueryGraph, e: &EdgeUpdate, ignore_elabels:
 /// been applied, so prospective degrees are `d(v)+1`; for deletes the edge
 /// is still present, so current degrees are the degrees any existing
 /// (negative) match would see.
-pub fn degree_safe(
-    g: &DataGraph,
+pub fn degree_safe<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
     e: &EdgeUpdate,
     is_insert: bool,
@@ -210,8 +215,8 @@ pub fn degree_safe(
 /// compatible data edge at `v`. This is a *necessary* condition for `v` to
 /// appear in any match at position `u` and is answered straight off the
 /// partition index in `O(deg_Q(u) · log)` — no adjacency scan.
-pub fn endpoint_feasible(
-    g: &DataGraph,
+pub fn endpoint_feasible<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
     u: QVertexId,
     v: VertexId,
@@ -252,9 +257,9 @@ impl ProbeMemo {
 
     /// Memoized `count_neighbors_with(v, label, elabel) > 0`. Queries are
     /// tiny, so a linear scan over the few cached probes beats hashing.
-    fn probe(
+    fn probe<G: GraphShard>(
         &mut self,
-        g: &DataGraph,
+        g: &G,
         v: VertexId,
         is_dst: bool,
         label: VLabel,
@@ -274,8 +279,8 @@ impl ProbeMemo {
 /// [`endpoint_feasible`] with the probes served from a cross-session
 /// [`ProbeMemo`]. `is_dst` tags which update endpoint `v` is, keeping the
 /// memo sound when both endpoints carry the same vertex label.
-pub fn endpoint_feasible_memo(
-    g: &DataGraph,
+pub fn endpoint_feasible_memo<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
     u: QVertexId,
     v: VertexId,
@@ -295,10 +300,10 @@ pub fn endpoint_feasible_memo(
 /// (post-state, edge applied); for deletes call *before* (negative matches
 /// live in the pre-deletion state) — in both cases the evaluated graph
 /// contains the edge, which is what makes the structural check sound.
-pub fn candidates_safe(
-    g: &DataGraph,
+pub fn candidates_safe<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
-    algo: &dyn CsmAlgorithm,
+    algo: &dyn CsmAlgorithm<G>,
     e: &EdgeUpdate,
 ) -> bool {
     let ignore = algo.ignore_edge_labels();
@@ -319,10 +324,10 @@ pub fn candidates_safe(
 /// cross-session [`ProbeMemo`]. Bit-identical verdicts to the unmemoized
 /// form (the memo only caches pure graph probes); the candidate checks
 /// still consult this algorithm's own ADS.
-pub fn candidates_safe_memo(
-    g: &DataGraph,
+pub fn candidates_safe_memo<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
-    algo: &dyn CsmAlgorithm,
+    algo: &dyn CsmAlgorithm<G>,
     e: &EdgeUpdate,
     memo: &mut ProbeMemo,
 ) -> bool {
@@ -344,7 +349,7 @@ pub fn candidates_safe_memo(
 mod tests {
     use super::*;
     use crate::algorithm::AdsChange;
-    use csm_graph::{ELabel, QVertexId, VLabel, VertexId};
+    use csm_graph::{DataGraph, ELabel, QVertexId, VLabel, VertexId};
 
     struct Plain;
     impl CsmAlgorithm for Plain {

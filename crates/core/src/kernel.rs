@@ -15,32 +15,32 @@
 
 use crate::embedding::{Embedding, MatchSink, MAX_PATTERN_VERTICES};
 use crate::order::SeedOrder;
-use csm_graph::{intersect, DataGraph, ELabel, QVertexId, QueryGraph, VertexId};
+use csm_graph::{intersect, DataGraph, ELabel, GraphShard, QVertexId, QueryGraph, VertexId};
 use std::time::Instant;
 
 /// Pluggable candidate test (the ADS hook). Must be conservative: returning
 /// `false` for a vertex that participates in a genuine match loses results;
 /// returning `true` only costs search effort.
-pub trait CandidateFilter: Sync {
+pub trait CandidateFilter<G: GraphShard = DataGraph>: Sync {
     /// May data vertex `v` be matched to query vertex `u`?
-    fn is_candidate(&self, g: &DataGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
+    fn is_candidate(&self, g: &G, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool;
 }
 
 /// The trivial filter: every label/degree-feasible vertex is a candidate.
 pub struct NoFilter;
 
-impl CandidateFilter for NoFilter {
+impl<G: GraphShard> CandidateFilter<G> for NoFilter {
     #[inline]
-    fn is_candidate(&self, _: &DataGraph, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
+    fn is_candidate(&self, _: &G, _: &QueryGraph, _: QVertexId, _: VertexId) -> bool {
         true
     }
 }
 
 /// Immutable context shared by one enumeration (one update × one seed order,
 /// or one static run).
-pub struct SearchCtx<'a> {
+pub struct SearchCtx<'a, G: GraphShard = DataGraph> {
     /// The data graph (post-insertion / pre-deletion state).
-    pub g: &'a DataGraph,
+    pub g: &'a G,
     /// The query pattern.
     pub q: &'a QueryGraph,
     /// The matching order being followed.
@@ -121,9 +121,9 @@ pub const PROBE_THRESHOLD: usize = 8;
 ///   streamed and the remaining backward edges verified by adjacency
 ///   probes.
 #[inline]
-pub fn for_each_candidate<F>(
-    ctx: &SearchCtx<'_>,
-    filter: &(impl CandidateFilter + ?Sized),
+pub fn for_each_candidate<G: GraphShard, F>(
+    ctx: &SearchCtx<'_, G>,
+    filter: &(impl CandidateFilter<G> + ?Sized),
     emb: Embedding,
     depth: usize,
     mut f: F,
@@ -247,9 +247,9 @@ where
 /// *full* adjacency with per-neighbor label checks, and verify the other
 /// backward edges by edge probes. Semantically identical candidate sets to
 /// [`for_each_candidate`] (and, in exact-label mode, the same order).
-pub fn for_each_candidate_naive<F>(
-    ctx: &SearchCtx<'_>,
-    filter: &(impl CandidateFilter + ?Sized),
+pub fn for_each_candidate_naive<G: GraphShard, F>(
+    ctx: &SearchCtx<'_, G>,
+    filter: &(impl CandidateFilter<G> + ?Sized),
     emb: Embedding,
     depth: usize,
     mut f: F,
@@ -314,9 +314,9 @@ where
 /// Returns `false` iff the search was stopped (deadline or sink); a `false`
 /// propagates all the way out so callers can distinguish complete from
 /// truncated enumerations via [`SearchStats::timed_out`] and the sink state.
-pub fn extend(
-    ctx: &SearchCtx<'_>,
-    filter: &(impl CandidateFilter + ?Sized),
+pub fn extend<G: GraphShard>(
+    ctx: &SearchCtx<'_, G>,
+    filter: &(impl CandidateFilter<G> + ?Sized),
     emb: &mut Embedding,
     depth: usize,
     sink: &mut dyn MatchSink,
@@ -349,9 +349,9 @@ pub fn extend(
 /// Returns `false` iff aborted by the deadline; `out` then holds the
 /// children materialized so far (fine to discard — the run is over).
 #[must_use]
-pub fn expand_one_layer(
-    ctx: &SearchCtx<'_>,
-    filter: &(impl CandidateFilter + ?Sized),
+pub fn expand_one_layer<G: GraphShard>(
+    ctx: &SearchCtx<'_, G>,
+    filter: &(impl CandidateFilter<G> + ?Sized),
     emb: &Embedding,
     depth: usize,
     out: &mut Vec<Embedding>,

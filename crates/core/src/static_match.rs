@@ -5,7 +5,7 @@
 use crate::embedding::{BufferSink, Embedding, Match};
 use crate::kernel::{self, CandidateFilter, NoFilter, SearchCtx, SearchStats};
 use crate::order::SeedOrder;
-use csm_graph::{DataGraph, QVertexId, QueryGraph};
+use csm_graph::{GraphShard, QVertexId, QueryGraph};
 use std::time::Instant;
 
 /// Outcome of a static enumeration.
@@ -21,7 +21,7 @@ pub struct StaticResult {
 
 /// Pick the start query vertex minimizing the initial candidate frontier:
 /// fewest same-labeled data vertices, ties broken by higher query degree.
-fn pick_start(g: &DataGraph, q: &QueryGraph) -> QVertexId {
+fn pick_start<G: GraphShard>(g: &G, q: &QueryGraph) -> QVertexId {
     q.vertices()
         .min_by_key(|&u| {
             (
@@ -34,10 +34,10 @@ fn pick_start(g: &DataGraph, q: &QueryGraph) -> QVertexId {
 
 /// Enumerate all matches of `q` in `g` through an arbitrary candidate
 /// filter. Core of both initial-match computation and the test oracle.
-pub fn enumerate_with_filter(
-    g: &DataGraph,
+pub fn enumerate_with_filter<G: GraphShard>(
+    g: &G,
     q: &QueryGraph,
-    filter: &(impl CandidateFilter + ?Sized),
+    filter: &(impl CandidateFilter<G> + ?Sized),
     ignore_elabels: bool,
     collect: bool,
     deadline: Option<Instant>,
@@ -79,24 +79,24 @@ pub fn enumerate_with_filter(
 }
 
 /// Enumerate all matches of `q` in `g` (no ADS filtering).
-pub fn enumerate_all(g: &DataGraph, q: &QueryGraph, collect: bool) -> StaticResult {
+pub fn enumerate_all<G: GraphShard>(g: &G, q: &QueryGraph, collect: bool) -> StaticResult {
     enumerate_with_filter(g, q, &NoFilter, false, collect, None)
 }
 
 /// Count all matches of `q` in `g`.
-pub fn count_all(g: &DataGraph, q: &QueryGraph) -> u64 {
+pub fn count_all<G: GraphShard>(g: &G, q: &QueryGraph) -> u64 {
     enumerate_all(g, q, false).count
 }
 
 /// Count all matches ignoring edge labels (CaLiG-mode oracle).
-pub fn count_all_ignoring_elabels(g: &DataGraph, q: &QueryGraph) -> u64 {
+pub fn count_all_ignoring_elabels<G: GraphShard>(g: &G, q: &QueryGraph) -> u64 {
     enumerate_with_filter(g, q, &NoFilter, true, false, None).count
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csm_graph::{ELabel, VLabel, VertexId};
+    use csm_graph::{DataGraph, ELabel, VLabel, VertexId};
 
     fn clique(n: usize, label: u32) -> DataGraph {
         let mut g = DataGraph::new();

@@ -27,6 +27,7 @@ pub mod intersect;
 pub mod io;
 pub mod par;
 pub mod query;
+pub mod shard;
 pub mod stats;
 pub mod update;
 
@@ -34,5 +35,6 @@ pub use error::{GraphError, Result};
 pub use graph::DataGraph;
 pub use ids::{ELabel, QVertexId, VLabel, VertexId};
 pub use query::{EdgePatternKey, QEdge, QueryGraph, TwoPathKey, MAX_QUERY_VERTICES};
+pub use shard::{GraphShard, MemShard, Partition, ShardConfig, ShardStats, ShardedGraph};
 pub use stats::GraphStats;
 pub use update::{EdgeUpdate, Update, UpdateStream};

@@ -64,7 +64,7 @@ proptest! {
             prop_assert!(seq.insert_edge(a, b, l).unwrap());
         }
         let mut par = g0.clone();
-        let applied = par.apply_inserts_parallel(&batch);
+        let applied = par.apply_inserts_parallel_with(&batch, 2);
         prop_assert_eq!(applied, batch.len());
         prop_assert_eq!(par.num_edges(), seq.num_edges());
         for (a, b, l) in seq.edges() {
@@ -89,8 +89,49 @@ proptest! {
             prop_assert!(seq.remove_edge(a, b).unwrap().is_some());
         }
         let mut par = g0.clone();
-        let applied = par.apply_deletes_parallel(&doomed);
+        let applied = par.apply_deletes_parallel_with(&doomed, 2);
         prop_assert_eq!(applied, doomed.len());
+        prop_assert_eq!(par.num_edges(), seq.num_edges());
+        for (a, b, l) in seq.edges() {
+            prop_assert_eq!(par.edge_label(a, b), Some(l));
+        }
+        par.check_invariants().unwrap();
+    }
+
+    /// Regression: the grouped parallel path must not assume dense or
+    /// contiguous vertex ids. Vertices live in gapped slots (stride 7 via
+    /// `ensure_vertex`) and the batch is large enough (>= 64) to take the
+    /// parallel path rather than the small-batch serial fallback.
+    #[test]
+    fn parallel_insert_handles_sparse_ids(seed in any::<u64>()) {
+        let mut g0 = DataGraph::new();
+        let ids: Vec<VertexId> = (0..48u32).map(|i| VertexId(3 + i * 7)).collect();
+        for (i, &v) in ids.iter().enumerate() {
+            g0.ensure_vertex(v, VLabel(i as u32 % 5));
+        }
+        // >= 64 distinct pairs over the sparse id set, pseudo-randomly
+        // spread so endpoint groups land on many different slots.
+        let mut batch = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = seed | 1;
+        while batch.len() < 80 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ids[(x >> 33) as usize % ids.len()];
+            let b = ids[(x >> 13) as usize % ids.len()];
+            let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+            if a == b || !seen.insert((lo, hi)) {
+                continue;
+            }
+            batch.push((a, b, ELabel((x % 4) as u32)));
+        }
+
+        let mut seq = g0.clone();
+        for &(a, b, l) in &batch {
+            prop_assert!(seq.insert_edge(a, b, l).unwrap());
+        }
+        let mut par = g0.clone();
+        let applied = par.apply_inserts_parallel_with(&batch, 2);
+        prop_assert_eq!(applied, batch.len());
         prop_assert_eq!(par.num_edges(), seq.num_edges());
         for (a, b, l) in seq.edges() {
             prop_assert_eq!(par.edge_label(a, b), Some(l));

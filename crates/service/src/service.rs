@@ -20,11 +20,12 @@ use crate::queue::{AdmissionQueue, Backpressure, IngestHandle};
 use crate::session::{Session, SessionFind, SessionSpec};
 use crate::shared::{SharedIndex, SharedIndexStats};
 use crate::telemetry::{ServiceTelemetry, TelemetryConfig, TelemetryHandle};
-use csm_graph::{DataGraph, EdgeUpdate, Update};
+use csm_graph::{DataGraph, EdgeUpdate, GraphShard, ShardStats, Update, VertexId};
 use paracosm_core::{
     Classified, CsmAlgorithm, CsmError, CsmResult, FanKind, FlightConfig, FlightRecorder,
     FlightStage, RunReport, SafeStage, SpanId, StageSnapshot, StreamObserver, UpdateObservation,
 };
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -81,6 +82,20 @@ struct VertexAcc {
     elapsed: Duration,
 }
 
+/// One admitted update held in the sharded drain's current run (see
+/// [`CsmService::drain`]): the original update for observer callbacks,
+/// plus its slot in the run's graph-apply ops vector.
+struct RunEntry {
+    u: Update,
+    /// Invalid at admission (dead endpoint / self-loop): fans out as a
+    /// no-op without ever reaching the graph. Sound to judge at admission
+    /// because liveness cannot change during an edge-only run.
+    invalid: bool,
+    /// Index into the ops vector handed to
+    /// [`GraphShard::apply_edge_batch`] (`None` when `invalid`).
+    op: Option<usize>,
+}
+
 /// A long-lived continuous-subgraph-matching server: one evolving data
 /// graph, a bounded admission queue, and a registry of standing query
 /// sessions that each receive their own ΔM.
@@ -119,9 +134,9 @@ struct VertexAcc {
 /// assert_eq!(report.sessions[0].stats.positives, 6);
 /// # let _ = id;
 /// ```
-pub struct CsmService {
-    g: DataGraph,
-    sessions: Vec<Session>,
+pub struct CsmService<G: GraphShard = DataGraph> {
+    g: G,
+    sessions: Vec<Session<G>>,
     next_id: u64,
     queue: Arc<AdmissionQueue>,
     started: Instant,
@@ -134,9 +149,12 @@ pub struct CsmService {
     flight: Arc<FlightRecorder>,
 }
 
-impl CsmService {
-    /// Stand up a service over `g` with an empty session registry.
-    pub fn new(g: DataGraph, cfg: ServiceConfig) -> CsmResult<CsmService> {
+impl<G: GraphShard> CsmService<G> {
+    /// Stand up a service over `g` with an empty session registry — any
+    /// [`GraphShard`] backend: a [`DataGraph`] serves updates exactly as
+    /// before, a [`csm_graph::ShardedGraph`] additionally unlocks the
+    /// multi-writer batched drain (see [`CsmService::drain`]).
+    pub fn new(g: G, cfg: ServiceConfig) -> CsmResult<CsmService<G>> {
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy)?);
         Ok(CsmService {
             g,
@@ -206,7 +224,7 @@ impl CsmService {
     pub fn add_session(
         &mut self,
         spec: SessionSpec,
-        algo: Box<dyn CsmAlgorithm>,
+        algo: Box<dyn CsmAlgorithm<G>>,
         observer: Box<dyn StreamObserver>,
     ) -> CsmResult<u64> {
         if self.queue.is_closed() {
@@ -277,7 +295,7 @@ impl CsmService {
     }
 
     /// The shared data graph (current state).
-    pub fn graph(&self) -> &DataGraph {
+    pub fn graph(&self) -> &G {
         &self.g
     }
 
@@ -309,13 +327,238 @@ impl CsmService {
 
     /// Process every currently admitted update through all sessions, in
     /// admission order. Returns how many updates were processed.
+    ///
+    /// On a sharded backend (`num_shards() > 1`) the drain runs in
+    /// *batched multi-writer* mode: maximal runs of edge updates that are
+    /// label-safe for every session are applied as one
+    /// [`GraphShard::apply_edge_batch`] call — one single-writer applier
+    /// per shard, no shard locks — and then fanned out per update in
+    /// admission order. Updates that cannot join a run (vertex updates, a
+    /// non-label-safe session, a deletion on a pair the run already
+    /// touched) flush the run and take the serial path. Per-session
+    /// results are bit-identical to the serial drain either way; the
+    /// sharded differential tests assert exactly this.
     pub fn drain(&mut self) -> CsmResult<u64> {
+        if self.g.num_shards() > 1 {
+            return self.drain_sharded();
+        }
         let mut n = 0;
         while let Some(u) = self.queue.pop() {
             self.process_one(u)?;
             n += 1;
         }
         Ok(n)
+    }
+
+    /// The batched drain behind [`CsmService::drain`] for sharded
+    /// backends.
+    fn drain_sharded(&mut self) -> CsmResult<u64> {
+        let mut n = 0u64;
+        let mut run: Vec<RunEntry> = Vec::new();
+        let mut ops: Vec<(EdgeUpdate, bool)> = Vec::new();
+        let mut touched: HashSet<(VertexId, VertexId)> = HashSet::new();
+        while let Some(u) = self.queue.pop() {
+            n += 1;
+            match self.admit_to_run(&u, &touched) {
+                Some((e, insert, invalid)) => {
+                    let op = (!invalid).then(|| {
+                        touched.insert((e.src.min(e.dst), e.src.max(e.dst)));
+                        ops.push((e, insert));
+                        ops.len() - 1
+                    });
+                    run.push(RunEntry { u, invalid, op });
+                }
+                None => {
+                    self.flush_run(&mut run, &mut ops, &mut touched);
+                    self.process_one(u)?;
+                }
+            }
+        }
+        self.flush_run(&mut run, &mut ops, &mut touched);
+        Ok(n)
+    }
+
+    /// May `u` join the current run of the sharded drain? Only edge
+    /// updates qualify, and only when label-safe for *every* session.
+    /// Stage 1 is state-independent within an edge-only run (it reads
+    /// endpoint vertex labels, which edge ops never change), so the
+    /// admission-time verdict still holds at fan-out time. Deletions must
+    /// name a pair the run has not touched, so the stored edge label
+    /// resolved here is still the label removed at apply time. Invalid
+    /// updates (dead endpoint / self-loop) always join: liveness is
+    /// constant during the run and they fan out as no-ops.
+    ///
+    /// Returns `(edge, is_insert, invalid)`, or `None` when the update
+    /// must flush the run and go through the serial path.
+    fn admit_to_run(
+        &self,
+        u: &Update,
+        touched: &HashSet<(VertexId, VertexId)>,
+    ) -> Option<(EdgeUpdate, bool, bool)> {
+        let (e, insert) = match *u {
+            Update::InsertEdge(e) => (e, true),
+            Update::DeleteEdge(e) => (e, false),
+            _ => return None,
+        };
+        if !self.g.is_alive(e.src) || !self.g.is_alive(e.dst) || e.src == e.dst {
+            return Some((e, insert, true));
+        }
+        let e = if insert {
+            e
+        } else {
+            if touched.contains(&(e.src.min(e.dst), e.src.max(e.dst))) {
+                return None;
+            }
+            match self.g.edge_label(e.src, e.dst) {
+                Some(l) => EdgeUpdate::new(e.src, e.dst, l),
+                // Absent pair: a structural no-op whatever the label
+                // claims, so the stage-1 probe below is immaterial —
+                // admit and let `changed` come back false.
+                None => return Some((e, insert, false)),
+            }
+        };
+        self.sessions
+            .iter()
+            .all(|s| s.eng.label_safe(&self.g, &e))
+            .then_some((e, insert, false))
+    }
+
+    /// Apply the collected run as one batch through the shard appliers
+    /// and fan out per update, in admission order. Clears `run`, `ops`
+    /// and `touched` for the next run.
+    fn flush_run(
+        &mut self,
+        run: &mut Vec<RunEntry>,
+        ops: &mut Vec<(EdgeUpdate, bool)>,
+        touched: &mut HashSet<(VertexId, VertexId)>,
+    ) {
+        touched.clear();
+        if run.is_empty() {
+            return;
+        }
+        let mut changed = Vec::with_capacity(ops.len());
+        let apply = if ops.is_empty() {
+            Duration::ZERO
+        } else {
+            // One real Apply span for the whole run (arg: op count), then
+            // one zero-width Apply tag pair per shard — arg on `begin` is
+            // the shard id, on `end` its routed half-op count. The cold
+            // reader pairs sequential same-stage records within one span,
+            // so the tag pairs stay well-formed.
+            let bspan = self.flight.begin_span();
+            let t0 = Instant::now();
+            self.flight
+                .begin(0, bspan, FlightStage::Apply, ops.len() as u64);
+            self.g.apply_edge_batch(ops, &mut changed);
+            self.flight
+                .end(0, bspan, FlightStage::Apply, ops.len() as u64);
+            let dt = t0.elapsed();
+            let mut per_shard = vec![0u64; self.g.num_shards()];
+            for &(e, _) in ops.iter() {
+                per_shard[self.g.shard_of(e.src)] += 1;
+                per_shard[self.g.shard_of(e.dst)] += 1;
+            }
+            for (shard, &half_ops) in per_shard.iter().enumerate() {
+                if half_ops > 0 {
+                    self.flight
+                        .begin(0, bspan, FlightStage::Apply, shard as u64);
+                    self.flight.end(0, bspan, FlightStage::Apply, half_ops);
+                }
+            }
+            // Each fan-out is attributed its per-op share of the batch
+            // apply, so engine apply totals stay comparable to a serial
+            // run's.
+            dt / ops.len() as u32
+        };
+        for entry in run.drain(..) {
+            let idx = self.update_idx;
+            self.update_idx += 1;
+            self.processed += 1;
+            let span = self.flight.begin_span();
+            self.flight.begin(0, span, FlightStage::Admit, idx);
+            if let Some(t) = &self.telemetry {
+                t.begin_update(idx, self.queue.len() as u64, span);
+            }
+            let did_change = entry.op.map(|i| changed[i]).unwrap_or(false);
+            if entry.invalid {
+                self.invalid += 1;
+                self.fan_noop(entry.u, idx, span);
+            } else if !did_change {
+                self.noops += 1;
+                self.fan_noop(entry.u, idx, span);
+            } else {
+                self.fan_label_safe_all(entry.u, idx, span, apply);
+            }
+            self.flight.end(0, span, FlightStage::Admit, idx);
+            if let Some(t) = &self.telemetry {
+                let shared_stats = self.shared.as_ref().map(SharedIndex::stats);
+                t.end_update(
+                    self.processed,
+                    self.noops,
+                    self.invalid,
+                    &self.sessions,
+                    shared_stats,
+                    self.g.shard_stats(),
+                );
+            }
+        }
+        ops.clear();
+    }
+
+    /// Fan one batched label-safe edge update across all sessions: the
+    /// observer-visible outcome is identical to the serial path's
+    /// label-safe arm (verdict `Safe(Label)`, no ΔM), with the run's
+    /// per-op apply share attributed to each engine.
+    fn fan_label_safe_all(&mut self, u: Update, idx: u64, span: SpanId, apply: Duration) {
+        let shared_on = self.shared.is_some();
+        let mut agg = 0u64;
+        for s in self.sessions.iter_mut() {
+            // Same fast-path split as the serial insert arm: with the
+            // shared index on, a deferring session skips the engine until
+            // the next flush point; index-off, it still books the update
+            // but joins the per-update aggregate flight record.
+            if shared_on && s.defers() {
+                agg += 1;
+                s.fan_label_safe(idx, apply, span);
+                continue;
+            }
+            let metered = !s.defers();
+            if metered {
+                self.flight
+                    .fan_begin(span, FanKind::Engine, s.id as u32, idx);
+            } else {
+                agg += 1;
+            }
+            s.eng.note_update();
+            s.eng.note_apply(apply);
+            let pre = s.eng.stage_snapshot();
+            s.eng
+                .record_verdict(Classified::Safe(SafeStage::Label), idx);
+            let sid = s.id as u32;
+            s.finish(
+                u,
+                UpdateObservation {
+                    index: idx,
+                    verdict: Some(Classified::Safe(SafeStage::Label)),
+                    noop: false,
+                    latency: Duration::ZERO,
+                    positives: 0,
+                    negatives: 0,
+                    skipped: false,
+                    span,
+                },
+                pre,
+            );
+            if metered {
+                self.flight.fan_end(span, FanKind::Engine, sid, 0);
+            }
+        }
+        let agg_kind = if shared_on {
+            FanKind::Deferred
+        } else {
+            FanKind::Engine
+        };
+        self.flight.fan_aggregate(span, agg_kind, agg, idx);
     }
 
     /// Shut down: close the queue to producers, drain everything already
@@ -339,6 +582,7 @@ impl CsmService {
         };
         Ok(ServiceReport {
             stalls,
+            shards: self.g.shard_stats(),
             shared: self.shared.as_ref().map(SharedIndex::stats),
             policy: self.queue.policy(),
             queue_capacity: self.queue.capacity(),
@@ -391,6 +635,7 @@ impl CsmService {
                 self.invalid,
                 &self.sessions,
                 shared_stats,
+                self.g.shard_stats(),
             );
         }
         result
@@ -598,10 +843,15 @@ impl CsmService {
                     .collect(),
             };
             self.flight.end(0, span, FlightStage::Classify, 0);
+            // Apply args carry the owning shard of each endpoint (both 0
+            // on monolithic backends), so flight forensics can attribute
+            // single-update applies to shards.
             let t0 = Instant::now();
-            self.flight.begin(0, span, FlightStage::Apply, 0);
+            self.flight
+                .begin(0, span, FlightStage::Apply, self.g.shard_of(e.src) as u64);
             self.g.insert_edge(e.src, e.dst, e.label)?;
-            self.flight.end(0, span, FlightStage::Apply, 0);
+            self.flight
+                .end(0, span, FlightStage::Apply, self.g.shard_of(e.dst) as u64);
             let apply = t0.elapsed();
             let g = &self.g;
             let shared_on = self.shared.is_some();
@@ -815,9 +1065,11 @@ impl CsmService {
             }
             self.flight.end(0, span, FlightStage::Classify, 0);
             let t0 = Instant::now();
-            self.flight.begin(0, span, FlightStage::Apply, 0);
+            self.flight
+                .begin(0, span, FlightStage::Apply, self.g.shard_of(e.src) as u64);
             self.g.remove_edge(e.src, e.dst)?;
-            self.flight.end(0, span, FlightStage::Apply, 0);
+            self.flight
+                .end(0, span, FlightStage::Apply, self.g.shard_of(e.dst) as u64);
             let apply = t0.elapsed();
             let g = &self.g;
             let mut agg = 0u64;
@@ -980,6 +1232,9 @@ pub struct ServiceReport {
     /// Shared-index effectiveness counters (`None` when the index was
     /// disabled).
     pub shared: Option<SharedIndexStats>,
+    /// Final per-shard occupancy and applier counters (one entry for
+    /// monolithic backends).
+    pub shards: Vec<ShardStats>,
     /// Wall time since the service was constructed.
     pub elapsed: Duration,
     /// Final per-session reports (sessions live at shutdown), each tagged
@@ -1009,6 +1264,17 @@ impl ServiceReport {
             )),
             None => out.push_str(",\"shared\":null"),
         }
+        out.push_str(",\"shards\":[");
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"owned_vertices\":{},\"half_edges\":{},\"applied_ops\":{}}}",
+                sh.shard, sh.owned_vertices, sh.half_edges, sh.applied_ops
+            ));
+        }
+        out.push(']');
         out.push_str(&format!(",\"elapsed_ns\":{}", self.elapsed.as_nanos()));
         out.push_str(",\"sessions\":[");
         for (i, r) in self.sessions.iter().enumerate() {

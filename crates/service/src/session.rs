@@ -6,7 +6,7 @@
 //! trades result fidelity for latency when the budget is repeatedly
 //! overrun.
 
-use csm_graph::{DataGraph, EdgeUpdate, QueryGraph, Update};
+use csm_graph::{DataGraph, EdgeUpdate, GraphShard, QueryGraph, Update};
 use paracosm_core::trace::Counter;
 use paracosm_core::{
     Classified, CsmAlgorithm, CsmResult, Engine, ParaCosmConfig, RunReport, SafeStage, SessionDims,
@@ -125,10 +125,10 @@ pub(crate) struct SessionFind {
 }
 
 /// One live standing query inside a [`crate::CsmService`].
-pub(crate) struct Session {
+pub(crate) struct Session<G: GraphShard = DataGraph> {
     pub id: u64,
     pub label: String,
-    pub eng: Engine<Box<dyn CsmAlgorithm>>,
+    pub eng: Engine<Box<dyn CsmAlgorithm<G>>, G>,
     observer: Box<dyn StreamObserver>,
     budget: Option<Duration>,
     level: DegradeLevel,
@@ -146,14 +146,14 @@ pub(crate) struct Session {
     pending_apply: Duration,
 }
 
-impl Session {
+impl<G: GraphShard> Session<G> {
     pub(crate) fn new(
         id: u64,
         spec: SessionSpec,
-        algo: Box<dyn CsmAlgorithm>,
+        algo: Box<dyn CsmAlgorithm<G>>,
         observer: Box<dyn StreamObserver>,
-        g: &DataGraph,
-    ) -> CsmResult<Session> {
+        g: &G,
+    ) -> CsmResult<Session<G>> {
         let eng = Engine::new(g, spec.query, algo, spec.config)?;
         Ok(Session {
             id,
@@ -246,12 +246,7 @@ impl Session {
     /// current [`DegradeLevel`], attribute ΔM to stats/telemetry
     /// (`positive` selects appearing vs disappearing matches), and advance
     /// the ladder from the observed enumeration time.
-    pub(crate) fn enumerate(
-        &mut self,
-        g: &DataGraph,
-        e: &EdgeUpdate,
-        positive: bool,
-    ) -> SessionFind {
+    pub(crate) fn enumerate(&mut self, g: &G, e: &EdgeUpdate, positive: bool) -> SessionFind {
         let probing = if self.level == DegradeLevel::Skipped {
             self.since_probe += 1;
             if self.since_probe < PROBE_EVERY {

@@ -115,7 +115,7 @@ impl SharedIndex {
     /// Register the session just pushed onto the service's session vector
     /// (its position is `metas.len()`): decompose its query into canonical
     /// keys, subscribe it, and assign its share group.
-    pub(crate) fn register(&mut self, s: &Session) {
+    pub(crate) fn register<G: csm_graph::GraphShard>(&mut self, s: &Session<G>) {
         let pos = self.metas.len();
         let q = s.eng.query();
         let ignore = s.eng.ignores_edge_labels();

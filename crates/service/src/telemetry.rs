@@ -43,6 +43,7 @@ use crate::session::{DegradeLevel, Session};
 use crate::shared::SharedIndexStats;
 use csm_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use csm_check::sync::{Mutex, PoisonError};
+use csm_graph::{GraphShard, ShardStats};
 use paracosm_core::{
     CsmError, CsmResult, FlightEvent, FlightRecorder, SpanId, WindowConfig, WindowCounter,
     WindowRing,
@@ -260,6 +261,9 @@ struct TelemetryShared {
     shared_subpatterns: AtomicU64,
     shared_hits: AtomicU64,
     shared_misses: AtomicU64,
+    /// Per-shard occupancy/applier mirror (one entry on monolithic
+    /// backends), refreshed by the owner thread after every update.
+    shards: Mutex<Vec<ShardStats>>,
     stalled: AtomicBool,
     stalls_total: AtomicU64,
     diagnostics: Mutex<Vec<StallDiagnostic>>,
@@ -418,6 +422,7 @@ impl ServiceTelemetry {
             shared_subpatterns: AtomicU64::new(0),
             shared_hits: AtomicU64::new(0),
             shared_misses: AtomicU64::new(0),
+            shards: Mutex::new(Vec::new()),
             stalled: AtomicBool::new(false),
             stalls_total: AtomicU64::new(0),
             diagnostics: Mutex::new(Vec::new()),
@@ -459,7 +464,7 @@ impl ServiceTelemetry {
     }
 
     /// Windowize a session's engine and add it to the registry.
-    pub(crate) fn register_session(&mut self, s: &mut Session) {
+    pub(crate) fn register_session<G: GraphShard>(&mut self, s: &mut Session<G>) {
         let window = s.eng.enable_window(self.window_cfg);
         let st_entry = Arc::new(SessionTelemetry {
             id: s.id,
@@ -496,13 +501,14 @@ impl ServiceTelemetry {
     /// Owner-thread hook: the update finished across all sessions.
     /// Clears the in-flight marker, stamps progress, and refreshes the
     /// service/session mirrors (a handful of relaxed stores).
-    pub(crate) fn end_update(
+    pub(crate) fn end_update<G: GraphShard>(
         &self,
         processed: u64,
         noops: u64,
         invalid: u64,
-        sessions: &[Session],
+        sessions: &[Session<G>],
         shared_stats: Option<SharedIndexStats>,
+        shard_stats: Vec<ShardStats>,
     ) {
         st(&self.shared.last_progress_ns, self.shared.now_ns().max(1));
         st(&self.shared.last_done_span, ld(&self.shared.inflight_span));
@@ -516,6 +522,7 @@ impl ServiceTelemetry {
             st(&self.shared.shared_hits, sh.hits);
             st(&self.shared.shared_misses, sh.misses);
         }
+        *lock(&self.shared.shards) = shard_stats;
         for (s, m) in sessions.iter().zip(self.mirror.iter()) {
             let (level, overruns, degraded, skipped, reuses) = s.telemetry_counters();
             st(&m.level, level_code(level));
@@ -795,6 +802,44 @@ fn render_prometheus(shared: &TelemetryShared) -> String {
         ("paracosm_shared_misses_total", ld(&shared.shared_misses)),
     ] {
         o.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+
+    // Per-graph-shard occupancy and applier depth (one `shard="0"` series
+    // per family on a monolithic backend).
+    let shards = lock(&shared.shards).clone();
+    if !shards.is_empty() {
+        o.push_str(
+            "# HELP paracosm_shard_owned_vertices Alive vertices owned by each graph shard.\n",
+        );
+        o.push_str("# TYPE paracosm_shard_owned_vertices gauge\n");
+        for sh in &shards {
+            o.push_str(&format!(
+                "paracosm_shard_owned_vertices{{shard=\"{}\"}} {}\n",
+                sh.shard, sh.owned_vertices
+            ));
+        }
+        o.push_str(
+            "# HELP paracosm_shard_half_edges Half-edges stored per shard (each undirected \
+             edge counts once per endpoint owner).\n",
+        );
+        o.push_str("# TYPE paracosm_shard_half_edges gauge\n");
+        for sh in &shards {
+            o.push_str(&format!(
+                "paracosm_shard_half_edges{{shard=\"{}\"}} {}\n",
+                sh.shard, sh.half_edges
+            ));
+        }
+        o.push_str(
+            "# HELP paracosm_shard_applied_ops_total Half-edge ops routed through each \
+             shard's single-writer applier.\n",
+        );
+        o.push_str("# TYPE paracosm_shard_applied_ops_total counter\n");
+        for sh in &shards {
+            o.push_str(&format!(
+                "paracosm_shard_applied_ops_total{{shard=\"{}\"}} {}\n",
+                sh.shard, sh.applied_ops
+            ));
+        }
     }
 
     let sessions = lock(&shared.sessions).clone();

@@ -32,6 +32,9 @@
 //!   --stall-deadline-ms N  watchdog no-progress deadline  (default: 5000)
 //!   --linger-ms N      after draining the stream, keep serving (and the
 //!                      telemetry endpoint up) for N ms before shutdown
+//!   --shards N         partition the data graph into N hash shards and
+//!                      run the multi-writer batched drain (default: 1 =
+//!                      monolithic; per-session ΔM is identical)
 //!   --shared-index on|off  cross-session shared-work index (default: on)
 //!   --flight-capacity N  flight-recorder events retained per shard
 //!                      (default: 1024; the recorder is always on)
@@ -55,8 +58,9 @@ fn usage() -> ! {
          --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
          [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
          [--report-json PATH] [--quiet] [--telemetry-addr ADDR] \
-         [--stall-deadline-ms N] [--linger-ms N] [--shared-index on|off] \
-         [--flight-capacity N] [--dump-flight-on-stall PATH] [--wedge-ms N]"
+         [--stall-deadline-ms N] [--linger-ms N] [--shards N] \
+         [--shared-index on|off] [--flight-capacity N] \
+         [--dump-flight-on-stall PATH] [--wedge-ms N]"
     );
     std::process::exit(2);
 }
@@ -95,6 +99,25 @@ fn parse_session(spec: &str) -> Option<ServeSession> {
     })
 }
 
+/// Parsed `serve` options that survive past graph loading (everything the
+/// graph-generic runner [`serve_with`] needs).
+struct ServeOpts {
+    sessions: Vec<ServeSession>,
+    threads: usize,
+    queue: usize,
+    policy: Backpressure,
+    budget: Option<Duration>,
+    report_json: Option<String>,
+    quiet: bool,
+    telemetry_addr: Option<String>,
+    stall_deadline: Duration,
+    linger: Duration,
+    shared_index: bool,
+    flight_capacity: usize,
+    dump_flight: Option<String>,
+    wedge: Duration,
+}
+
 fn serve_main(args: Vec<String>) {
     let (mut graph, mut stream) = (None, None);
     let mut sessions: Vec<ServeSession> = Vec::new();
@@ -107,6 +130,7 @@ fn serve_main(args: Vec<String>) {
     let mut telemetry_addr: Option<String> = None;
     let mut stall_deadline = Duration::from_secs(5);
     let mut linger = Duration::ZERO;
+    let mut shards = 1usize;
     let mut shared_index = true;
     let mut flight_capacity = 1024usize;
     let mut dump_flight: Option<String> = None;
@@ -138,6 +162,7 @@ fn serve_main(args: Vec<String>) {
             "--linger-ms" => {
                 linger = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
             "--shared-index" => {
                 shared_index = match val().as_str() {
                     "on" => true,
@@ -170,36 +195,66 @@ fn serve_main(args: Vec<String>) {
         std::process::exit(1);
     });
     eprintln!(
-        "paracosm-cli serve: |V|={} |E|={} stream={} sessions={} policy={} queue={queue}",
+        "paracosm-cli serve: |V|={} |E|={} stream={} sessions={} policy={} queue={queue} shards={shards}",
         g.num_vertices(),
         g.num_edges(),
         s.len(),
         sessions.len(),
         policy.name(),
     );
+    let opts = ServeOpts {
+        sessions,
+        threads,
+        queue,
+        policy,
+        budget,
+        report_json,
+        quiet,
+        telemetry_addr,
+        stall_deadline,
+        linger,
+        shared_index,
+        flight_capacity,
+        dump_flight,
+        wedge,
+    };
+    if shards > 1 {
+        let sg = ShardedGraph::from_graph(ShardConfig::hash(shards), &g).unwrap_or_else(|e| {
+            eprintln!("serve: invalid shard config: {e}");
+            std::process::exit(1);
+        });
+        serve_with(sg, &s, opts)
+    } else {
+        serve_with(g, &s, opts)
+    }
+}
 
+/// The graph-generic tail of `serve`: identical over a monolithic
+/// [`DataGraph`] and a [`ShardedGraph`] (where the service drains in
+/// batched multi-writer mode).
+fn serve_with<G: GraphShard>(g: G, s: &UpdateStream, opts: ServeOpts) {
     let mut svc = CsmService::new(
         g,
         ServiceConfig {
-            queue_capacity: queue,
-            policy,
-            shared_index,
-            flight_capacity,
+            queue_capacity: opts.queue,
+            policy: opts.policy,
+            shared_index: opts.shared_index,
+            flight_capacity: opts.flight_capacity,
         },
     )
     .unwrap_or_else(|e| {
         eprintln!("serve: {e}");
         std::process::exit(1);
     });
-    for sess in sessions {
+    for sess in opts.sessions {
         let q = io::load_query_graph(&sess.query_path).unwrap_or_else(|e| {
             eprintln!("failed to load query {}: {e}", sess.query_path);
             std::process::exit(1);
         });
         let algo = Box::new(sess.kind.build(svc.graph(), &q));
-        let mut spec =
-            SessionSpec::new(q, ParaCosmConfig::parallel(threads)).with_label(sess.label.clone());
-        if let Some(b) = budget {
+        let mut spec = SessionSpec::new(q, ParaCosmConfig::parallel(opts.threads))
+            .with_label(sess.label.clone());
+        if let Some(b) = opts.budget {
             spec = spec.with_budget(b);
         }
         match svc.add_session(spec, algo, Box::new(NoopObserver)) {
@@ -211,8 +266,8 @@ fn serve_main(args: Vec<String>) {
         }
     }
 
-    if let Some(addr) = &telemetry_addr {
-        let cfg = TelemetryConfig::new(addr.clone()).with_stall_deadline(stall_deadline);
+    if let Some(addr) = &opts.telemetry_addr {
+        let cfg = TelemetryConfig::new(addr.clone()).with_stall_deadline(opts.stall_deadline);
         match svc.start_telemetry(cfg) {
             Ok(h) => eprintln!("telemetry: listening on http://{}", h.local_addr()),
             Err(e) => {
@@ -236,21 +291,21 @@ fn serve_main(args: Vec<String>) {
             }
         }
     }
-    if wedge > Duration::ZERO {
+    if opts.wedge > Duration::ZERO {
         // Artificial wedge (CI / stall-forensics demos): hold the admitted
         // updates unprocessed long enough for the watchdog to flag a
         // wedged-queue stall, then drain normally.
-        eprintln!("wedging queue for {wedge:?} before draining");
-        std::thread::sleep(wedge);
+        eprintln!("wedging queue for {:?} before draining", opts.wedge);
+        std::thread::sleep(opts.wedge);
     }
-    if linger > Duration::ZERO {
+    if opts.linger > Duration::ZERO {
         // Process everything, then hold the telemetry endpoint open for
         // scrapers (CI curls the endpoints during this window).
         if let Err(e) = svc.drain() {
             eprintln!("drain failed: {e}");
             std::process::exit(1);
         }
-        std::thread::sleep(linger);
+        std::thread::sleep(opts.linger);
     }
     let report = svc.shutdown().unwrap_or_else(|e| {
         eprintln!("shutdown failed: {e}");
@@ -268,7 +323,7 @@ fn serve_main(args: Vec<String>) {
         report.stalls,
         report.elapsed
     );
-    if !quiet {
+    if !opts.quiet {
         for r in &report.sessions {
             let dims = r.session.as_ref().expect("service reports are tagged");
             println!(
@@ -285,10 +340,10 @@ fn serve_main(args: Vec<String>) {
             );
         }
     }
-    if let Some(path) = &report_json {
+    if let Some(path) = &opts.report_json {
         write_or_die(path, &report.to_json(), "service report");
     }
-    if let Some(path) = &dump_flight {
+    if let Some(path) = &opts.dump_flight {
         if report.stalls > 0 {
             write_or_die(path, &flight.perfetto_json(), "flight trace");
         } else {
