@@ -92,7 +92,7 @@ impl CaLiG {
         sink: &mut dyn MatchSink,
         stats: &mut SearchStats,
     ) -> bool {
-        if !stats.tick(ctx.deadline) {
+        if !stats.tick(ctx.deadline, emb.len()) {
             return false;
         }
         // Next kernel vertex: unmapped, preferring the one with the most
@@ -148,7 +148,7 @@ impl CaLiG {
         if idx == self.shells.len() {
             return sink.report(emb, ctx.order.len());
         }
-        if !stats.tick(ctx.deadline) {
+        if !stats.tick(ctx.deadline, idx) {
             return false;
         }
         let u = self.shells[idx];
@@ -328,6 +328,7 @@ mod tests {
             order: &order,
             ignore_elabels: true,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();

@@ -102,7 +102,7 @@ impl<G: GraphShard> CsmAlgorithm<G> for GraphFlow {
             let last_level = d + 1 == n;
             let mut next = Vec::new();
             for partial in &frontier {
-                if !stats.tick(ctx.deadline) {
+                if !stats.tick(ctx.deadline, d) {
                     return false;
                 }
                 let overflow = next.len() >= self.frontier_cap;
@@ -177,6 +177,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
@@ -223,6 +224,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting().with_cap(Some(5));
         let mut stats = SearchStats::default();

@@ -59,7 +59,7 @@ impl NewSP {
         sink: &mut dyn MatchSink,
         stats: &mut SearchStats,
     ) -> bool {
-        if !stats.tick(ctx.deadline) {
+        if !stats.tick(ctx.deadline, depth) {
             return false;
         }
         let n = ctx.order.len();
@@ -189,6 +189,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
@@ -256,6 +257,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting().with_cap(Some(2));
         let mut stats = SearchStats::default();

@@ -30,7 +30,7 @@ const README: &str = "README.md";
 const README_IGNORE: [&str; 2] = ["paracosm_check", "paracosm_core"];
 
 /// `(file, enum, NUM const, NAMES const)` triples kept in lock-step.
-const TRIPLES: [(&str, &str, &str, &str); 3] = [
+const TRIPLES: [(&str, &str, &str, &str); 4] = [
     (
         "crates/core/src/trace.rs",
         "Counter",
@@ -49,12 +49,23 @@ const TRIPLES: [(&str, &str, &str, &str); 3] = [
         "NUM_WINDOW_COUNTERS",
         "WINDOW_COUNTER_NAMES",
     ),
+    (
+        "crates/core/src/trace/profile.rs",
+        "ProfileCounter",
+        "NUM_PROFILE_COUNTERS",
+        "PROFILE_COUNTER_NAMES",
+    ),
 ];
 
 /// `(file, enum, exporter fn)` — the fn body must reference every
 /// variant of the enum.
-const COVERAGE: [(&str, &str, &str); 6] = [
+const COVERAGE: [(&str, &str, &str); 7] = [
     ("crates/core/src/trace.rs", "Counter", "counter_from_index"),
+    (
+        "crates/core/src/trace/profile.rs",
+        "ProfileCounter",
+        "profile_counter_from_index",
+    ),
     ("crates/core/src/trace.rs", "EventKind", "perfetto_json"),
     ("crates/core/src/trace/flight.rs", "FlightStage", "name"),
     (

@@ -9,9 +9,17 @@
 //!   on the per-update critical path by contract), and the ring
 //!   internals (`FlightShard`/`FlightSlot`) may not be named outside the
 //!   trace module.
+//! * `profile-hot-path` — the profiler's frame/absorb half
+//!   (`trace/profile.rs`) is allocation-free by the same contract
+//!   (`ProfileFrame::add` runs per extension attempt; exporters live in
+//!   `trace/profile/cold.rs`, which is exempt by path), and the
+//!   cardinality catalog's touch protocol (`begin_touch`/`commit_touch`)
+//!   may only be named in `catalog.rs` and the service apply path — a
+//!   third caller could interleave brackets and silently corrupt the
+//!   delta bookkeeping.
 //!
-//! Both run on tokens, so patterns inside strings, comments, or doc
-//! examples can never fire — the false-positive class the lexical
+//! All of these run on tokens, so patterns inside strings, comments, or
+//! doc examples can never fire — the false-positive class the lexical
 //! scrubber had to approximate away is structurally gone.
 
 use crate::diag::Diagnostic;
@@ -23,6 +31,12 @@ const KERNEL_FILE: &str = "crates/core/src/kernel.rs";
 const FLIGHT_HOT_FILE: &str = "crates/core/src/trace/flight.rs";
 const FLIGHT_RING_DIR: &str = "crates/core/src/trace/";
 const FLIGHT_RING_TYPES: [&str; 2] = ["FlightShard", "FlightSlot"];
+const PROFILE_HOT_FILE: &str = "crates/core/src/trace/profile.rs";
+const TOUCH_ALLOWED: [&str; 2] = [
+    "crates/graph/src/catalog.rs",
+    "crates/service/src/service.rs",
+];
+const TOUCH_FNS: [&str; 2] = ["begin_touch", "commit_touch"];
 
 pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
     for file in files {
@@ -48,6 +62,53 @@ pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                             ),
                         ));
                     }
+                }
+            }
+        }
+
+        if rel == PROFILE_HOT_FILE {
+            for i in 0..toks.len() {
+                if file.is_test_tok(i) {
+                    continue;
+                }
+                for (name, pat) in ALLOC_PATTERNS {
+                    if match_at(toks, i, pat) {
+                        diags.push(Diagnostic::new(
+                            rel,
+                            toks[i].line,
+                            "profile-hot-path",
+                            format!(
+                                "`{name}` in the profiler's frame/absorb path — \
+                                 attribution counting is allocation-free by \
+                                 contract; exporters belong in \
+                                 trace/profile/cold.rs ({})",
+                                file.snippet(toks[i].line)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        if !TOUCH_ALLOWED.contains(&rel) {
+            for (i, t) in toks.iter().enumerate() {
+                if file.is_test_tok(i) || t.kind != TokKind::Ident {
+                    continue;
+                }
+                if TOUCH_FNS.contains(&t.text.as_str()) {
+                    diags.push(Diagnostic::new(
+                        rel,
+                        t.line,
+                        "profile-hot-path",
+                        format!(
+                            "{} outside catalog.rs/service.rs — the catalog's \
+                             touch bracket has exactly two authors; a third \
+                             caller can interleave begin/commit and corrupt \
+                             the deltas ({})",
+                            t.text,
+                            file.snippet(t.line)
+                        ),
+                    ));
                 }
             }
         }

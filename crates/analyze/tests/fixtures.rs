@@ -19,7 +19,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Every rule id `csm-analyze` can emit.
-const ALL_RULES: [&str; 14] = [
+const ALL_RULES: [&str; 15] = [
     "ordering-allowlist",
     "seqcst-denied",
     "seqlock-protocol",
@@ -29,6 +29,7 @@ const ALL_RULES: [&str; 14] = [
     "shard-routing-confined",
     "kernel-hot-loop",
     "flight-hot-path",
+    "profile-hot-path",
     "trace-local-only",
     "unwrap-denied",
     "forbid-unsafe-missing",
@@ -94,7 +95,7 @@ fn run_case(case: &Path) {
 fn every_fixture_matches_its_expectations() {
     let cases = cases();
     assert!(
-        cases.len() >= 13,
+        cases.len() >= 14,
         "fixture corpus shrank to {} cases",
         cases.len()
     );

@@ -1,0 +1,17 @@
+//! Fixture: the profiler's frame/absorb half must stay allocation-free.
+
+pub struct ProfileFrame;
+
+impl ProfileFrame {
+    pub fn add(&self, d: usize) -> String {
+        format!("depth {d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_tests_is_fine() {
+        let _ = Vec::<u32>::new();
+    }
+}

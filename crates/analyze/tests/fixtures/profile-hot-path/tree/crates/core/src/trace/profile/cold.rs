@@ -1,0 +1,7 @@
+//! Exporters are cold by contract — allocation here is sanctioned.
+
+pub fn explain_json() -> String {
+    let mut out = String::new();
+    out.push_str("{}");
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: a third caller of the catalog's touch bracket.
+
+pub fn sneak(cat: &mut CardinalityCatalog, v: u32) {
+    cat.begin_touch(v);
+    cat.commit_touch();
+}

@@ -10,6 +10,7 @@ use csm_algos::GraphFlow;
 use csm_datagen::{synth, SynthConfig};
 use csm_graph::{QueryGraph, VLabel, VertexId};
 use paracosm_core::order::MatchingOrders;
+use paracosm_core::trace::profile::Profiler;
 use paracosm_core::{inner, CsmAlgorithm, Embedding, InnerConfig, SeedTask, Tracer};
 
 struct Setup {
@@ -83,6 +84,7 @@ fn bench_fine_vs_coarse(c: &mut Criterion) {
                 seeds(&s),
                 InnerConfig::fine(4),
                 &Tracer::off(),
+                &Profiler::off(),
             )
             .sink
             .count
@@ -99,6 +101,7 @@ fn bench_fine_vs_coarse(c: &mut Criterion) {
                 seeds(&s),
                 InnerConfig::coarse(4),
                 &Tracer::off(),
+                &Profiler::off(),
             )
             .sink
             .count
@@ -123,6 +126,7 @@ fn bench_threaded(c: &mut Criterion) {
                     seeds(&s),
                     cfg(t, 3, true),
                     &Tracer::off(),
+                    &Profiler::off(),
                 )
                 .sink
                 .count
@@ -148,6 +152,7 @@ fn bench_split_depth_ablation(c: &mut Criterion) {
                     seeds(&s),
                     cfg(4, d, true),
                     &Tracer::off(),
+                    &Profiler::off(),
                 )
                 .sink
                 .count
@@ -173,6 +178,7 @@ fn bench_simulated_overhead(c: &mut Criterion) {
                     seeds(&s),
                     cfg(w, 3, true),
                     &Tracer::off(),
+                    &Profiler::off(),
                 )
                 .sink
                 .count

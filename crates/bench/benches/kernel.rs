@@ -113,6 +113,7 @@ fn count_partitioned(g: &DataGraph, q: &QueryGraph, order: &SeedOrder) -> u64 {
         order,
         ignore_elabels: false,
         deadline: None,
+        profile: None,
     };
     let mut sink = BufferSink::counting();
     let mut stats = SearchStats::default();
@@ -134,6 +135,7 @@ fn count_naive(g: &DataGraph, q: &QueryGraph, order: &SeedOrder) -> u64 {
         order,
         ignore_elabels: false,
         deadline: None,
+        profile: None,
     };
     let mut sink = BufferSink::counting();
     naive_extend(&ctx, &mut Embedding::empty(), 0, &mut sink);

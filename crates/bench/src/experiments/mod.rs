@@ -4,6 +4,7 @@
 
 pub mod breakdown;
 pub mod observe;
+pub mod profile;
 pub mod shards;
 pub mod shared_sessions;
 pub mod singlethread;

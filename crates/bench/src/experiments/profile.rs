@@ -1,0 +1,295 @@
+//! `profile` — the query-profiler overhead benchmark (DESIGN.md §3.15):
+//! the same hub-skewed insert stream is enumerated under four arms,
+//!
+//! * `off_a`, `off_b` — two independent [`ProfileLevel::Off`] runs; their
+//!   mutual delta is the sweep's own noise floor (the Off arm is one
+//!   predicted branch on the hot path, so any spread here is machine
+//!   noise, not profiler cost);
+//! * `counters` — [`ProfileLevel::Counters`]: per-worker relaxed counter
+//!   flushes, the always-on production setting the CI gate holds to a
+//!   ≤ 5 % overhead budget (plus the measured noise floor);
+//! * `full` — [`ProfileLevel::Full`]: counters plus the live cardinality
+//!   catalog on the apply path; recorded for context, not gated.
+//!
+//! Correctness is asserted in-cell before any timing is recorded: every
+//! arm must report the same positive-match total, and the `full` arm's
+//! [`QueryProfile`] must reconcile (non-zero invocations attributed to
+//! the hub-heavy query edge, total cost consistent with its ranked
+//! per-order split).
+//!
+//! The workload is deliberately skewed: hub vertices carry long
+//! adjacency, so one query edge of the wedge dominates enumeration cost
+//! — the same shape `paracosm-cli explain` and `/debug/explain` are
+//! validated against.
+
+use crate::report::{fmt_dur, fmt_pct, Artifact, ProfileArm, ProfileArtifact, Table};
+use crate::runner::ExpOptions;
+use csm_algos::AlgoKind;
+use csm_graph::{
+    DataGraph, ELabel, EdgeUpdate, QueryGraph, Update, UpdateStream, VLabel, VertexId,
+};
+use paracosm_core::{ParaCosm, ParaCosmConfig, ProfileLevel};
+use std::time::{Duration, Instant};
+
+/// Repetitions per arm; fastest wins.
+const REPS: usize = 5;
+
+/// Vertices in the base graph.
+const NV: u32 = 20_000;
+
+/// Hub vertices (ids `0..HUBS`) anchoring the skew.
+const HUBS: u64 = 4;
+
+/// Pre-loaded neighbors per hub.
+const HUB_DEGREE: usize = 600;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Base graph: hubs are label 0, everything else label 1; hub adjacency
+/// is pre-loaded so the wedge's hub edge is expensive from the first
+/// update.
+fn base_graph(seed: u64) -> DataGraph {
+    let mut g = DataGraph::new();
+    let mut rng = Lcg(seed ^ 0x9E37_79B9_7F4A_7C15);
+    for i in 0..NV {
+        let label = if u64::from(i) < HUBS { 0 } else { 1 };
+        g.add_vertex(VLabel(label));
+    }
+    for h in 0..HUBS as u32 {
+        let mut added = 0;
+        while added < HUB_DEGREE {
+            let n = HUBS as u32 + rng.below(u64::from(NV) - HUBS) as u32;
+            let inserted = g.insert_edge(VertexId(h), VertexId(n), ELabel(0));
+            added += usize::from(matches!(inserted, Ok(true)));
+        }
+    }
+    g
+}
+
+/// Hub-anchored insert stream: every op attaches a fresh label-1 spoke
+/// to a hub, so each update re-enumerates the wedge through the hot hub
+/// edge.
+fn skewed_stream(seed: u64, len: usize) -> UpdateStream {
+    let mut rng = Lcg(seed ^ 0x0DDB_1A5E_5BAD_5EED);
+    let mut out: Vec<Update> = Vec::with_capacity(len);
+    let mut fresh = NV;
+    while out.len() < len {
+        let h = rng.below(HUBS) as u32;
+        out.push(Update::InsertVertex {
+            id: VertexId(fresh),
+            label: VLabel(1),
+        });
+        out.push(Update::InsertEdge(EdgeUpdate::new(
+            VertexId(h),
+            VertexId(fresh),
+            ELabel(0),
+        )));
+        fresh += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// The wedge `1 -0- 0 -0- 1`: both query edges share the hub, and the
+/// second extension fans out over the full hub adjacency — the edge the
+/// profiler must single out.
+fn wedge() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let a = q.add_vertex(VLabel(1));
+    let h = q.add_vertex(VLabel(0));
+    let b = q.add_vertex(VLabel(1));
+    q.add_edge(a, h, ELabel(0)).expect("valid query edge");
+    q.add_edge(h, b, ELabel(0)).expect("valid query edge");
+    q
+}
+
+/// One timed run at `level`: fresh engine over a clone of the base
+/// graph, whole stream enumerated. Returns wall clock, positives, and
+/// the run's profile total cost (0 when profiling is off).
+fn timed_run(
+    g: &DataGraph,
+    q: &QueryGraph,
+    stream: &UpdateStream,
+    threads: usize,
+    level: ProfileLevel,
+) -> (Duration, u64, u64) {
+    let g = g.clone();
+    let algo = AlgoKind::GraphFlow.build(&g, q);
+    let cfg = ParaCosmConfig::parallel(threads).profiled(level);
+    let mut engine = ParaCosm::new(g, q.clone(), algo, cfg);
+    let t0 = Instant::now();
+    let out = engine.process_stream(stream).expect("well-formed stream");
+    let dt = t0.elapsed();
+    let positives = out.positives;
+    let report = engine.run_report(Some(out));
+    let cost = report.profile.as_ref().map_or(0, |p| p.total_cost());
+    (dt, positives, cost)
+}
+
+/// The profiler-overhead sweep (see the module docs for methodology).
+pub fn profile(opts: &ExpOptions) -> Table {
+    let stream_len = if opts.stream_cap > 0 {
+        opts.stream_cap * 4
+    } else {
+        1000
+    };
+
+    let mut t = Table::new(
+        "profile: query-profiler overhead, Off branch vs counters vs full",
+        &[
+            "arm",
+            "level",
+            "enum",
+            "overhead",
+            "noise",
+            "positives",
+            "cost",
+        ],
+    );
+    t.note(format!(
+        "hub-skewed wedge over |V|={NV} ({HUBS} hubs, {HUB_DEGREE} base degree); \
+         {stream_len} ops; best of {REPS} reps (1 warmup); overhead vs best Off arm; \
+         match totals asserted identical across arms"
+    ));
+
+    let g = base_graph(opts.seed);
+    let q = wedge();
+    let stream = skewed_stream(opts.seed, stream_len);
+
+    let arms_spec: [(&str, ProfileLevel); 4] = [
+        ("off_a", ProfileLevel::Off),
+        ("off_b", ProfileLevel::Off),
+        ("counters", ProfileLevel::Counters),
+        ("full", ProfileLevel::Full),
+    ];
+
+    struct Measured {
+        arm: &'static str,
+        level: ProfileLevel,
+        best: Duration,
+        noise_pct: f64,
+        positives: u64,
+        cost: u64,
+    }
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for (arm, level) in arms_spec {
+        // Untimed warmup rep (page-in, allocator steady state).
+        let _ = timed_run(&g, &q, &stream, opts.threads, level);
+        let mut best: Option<(Duration, u64, u64)> = None;
+        let mut times: Vec<Duration> = Vec::new();
+        for _ in 0..REPS {
+            let (dt, positives, cost) = timed_run(&g, &q, &stream, opts.threads, level);
+            times.push(dt);
+            if best.as_ref().is_none_or(|b| dt < b.0) {
+                best = Some((dt, positives, cost));
+            }
+        }
+        let (best, positives, cost) = best.expect("REPS >= 1");
+        let lo = times.iter().min().copied().unwrap_or_default();
+        let hi = times.iter().max().copied().unwrap_or_default();
+        let noise_pct = if lo.is_zero() {
+            0.0
+        } else {
+            (hi - lo).as_secs_f64() / lo.as_secs_f64() * 100.0
+        };
+        measured.push(Measured {
+            arm,
+            level,
+            best,
+            noise_pct,
+            positives,
+            cost,
+        });
+    }
+
+    // In-cell correctness oracle: every arm saw the same matches, and the
+    // profiled arms actually attributed the work they claim to measure.
+    let reference = measured[0].positives;
+    for m in &measured {
+        assert_eq!(
+            m.positives, reference,
+            "profiler arm '{}' changed match results",
+            m.arm
+        );
+        if m.level != ProfileLevel::Off {
+            assert!(
+                m.cost > 0,
+                "profiled arm '{}' attributed no enumeration cost",
+                m.arm
+            );
+        }
+    }
+
+    let baseline_ns = measured
+        .iter()
+        .filter(|m| m.level == ProfileLevel::Off)
+        .map(|m| m.best.as_nanos() as u64)
+        .min()
+        .expect("two Off arms")
+        .max(1);
+    // The sweep's own noise floor: the worse of (a) the two Off arms'
+    // mutual delta and (b) the worst per-arm rep spread.
+    let off_delta_pct = measured
+        .iter()
+        .filter(|m| m.level == ProfileLevel::Off)
+        .map(|m| (m.best.as_nanos() as u64).saturating_sub(baseline_ns))
+        .max()
+        .unwrap_or(0) as f64
+        / baseline_ns as f64
+        * 100.0;
+    let noise_pct = measured
+        .iter()
+        .map(|m| m.noise_pct)
+        .fold(off_delta_pct, f64::max);
+
+    let mut arms: Vec<ProfileArm> = Vec::new();
+    for m in &measured {
+        let enum_ns = m.best.as_nanos() as u64;
+        let overhead_pct = (enum_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0;
+        arms.push(ProfileArm {
+            arm: m.arm.to_string(),
+            level: m.level.name().to_string(),
+            enum_ns,
+            overhead_pct,
+            noise_pct: m.noise_pct,
+            positives: m.positives,
+            total_cost: m.cost,
+        });
+        t.row(vec![
+            m.arm.to_string(),
+            m.level.name().to_string(),
+            fmt_dur(m.best),
+            fmt_pct(overhead_pct),
+            fmt_pct(m.noise_pct),
+            m.positives.to_string(),
+            m.cost.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "noise floor (off-arm delta \u{2228} worst rep spread): {noise_pct:.1}%; \
+         gate budget: counters \u{2264} 5% + floor, off_b within floor"
+    ));
+    t.artifact = Some(Artifact::Profile(ProfileArtifact {
+        seed: opts.seed,
+        threads: opts.threads,
+        stream_len,
+        reps: REPS,
+        noise_pct,
+        arms,
+    }));
+    t
+}

@@ -88,6 +88,8 @@ pub enum Artifact {
     Shared(BenchArtifact),
     /// The `shards` multi-writer ingest sweep (`BENCH_9.json`).
     Shards(ShardsArtifact),
+    /// The `profile` profiler-overhead sweep (`BENCH_10.json`).
+    Profile(ProfileArtifact),
 }
 
 impl Artifact {
@@ -96,6 +98,7 @@ impl Artifact {
         match self {
             Artifact::Shared(a) => a.to_json(),
             Artifact::Shards(a) => a.to_json(),
+            Artifact::Profile(a) => a.to_json(),
         }
     }
 }
@@ -267,6 +270,78 @@ impl ShardsArtifact {
     }
 }
 
+/// One measured arm of the `profile` overhead sweep. Absolute times are
+/// context; the gate compares `overhead_pct` (this arm's best wall clock
+/// over the best Off arm's) against the profiler budget, folded with the
+/// artifact's noise floor, and the deterministic `positives` count,
+/// which every arm must reproduce exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileArm {
+    /// Arm name (`off_a`, `off_b`, `counters`, `full`).
+    pub arm: String,
+    /// Profiler level the arm ran at (`off`, `counters`, `on`).
+    pub level: String,
+    /// Best-of-reps wall clock for the whole stream, nanoseconds.
+    pub enum_ns: u64,
+    /// `(enum_ns - baseline) / baseline`, percent, where the baseline is
+    /// the best Off arm (so one Off arm is always 0).
+    pub overhead_pct: f64,
+    /// This arm's spread `(max-min)/min` across reps, percent.
+    pub noise_pct: f64,
+    /// Positive matches over the stream (deterministic, equal across
+    /// arms — asserted in-cell before recording).
+    pub positives: u64,
+    /// The run's attributed profile cost (0 when profiling is off).
+    pub total_cost: u64,
+}
+
+/// The `profile` experiment's schema-versioned artifact
+/// (`BENCH_10.json`): profiler overhead per arm plus the sweep's own
+/// noise floor, which the CI gate folds into the ≤ 5 % counters budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileArtifact {
+    /// Base RNG seed the sweep ran with.
+    pub seed: u64,
+    /// Configured worker-thread count.
+    pub threads: usize,
+    /// Updates in the skewed stream.
+    pub stream_len: usize,
+    /// Repetitions per arm; best kept.
+    pub reps: usize,
+    /// Noise floor: the Off arms' mutual delta ∨ worst per-arm spread,
+    /// percent.
+    pub noise_pct: f64,
+    /// The measured arms.
+    pub arms: Vec<ProfileArm>,
+}
+
+impl ProfileArtifact {
+    /// Render as a single JSON object (`schema_version` 1), hand-rolled
+    /// like every other serializer in the workspace.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        let _ = write!(
+            o,
+            "{{\"schema_version\":1,\"experiment\":\"profile\",\"seed\":{},\"threads\":{},\
+             \"stream_len\":{},\"reps\":{},\"noise_pct\":{:.2},\"arms\":[",
+            self.seed, self.threads, self.stream_len, self.reps, self.noise_pct
+        );
+        for (i, a) in self.arms.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"arm\":\"{}\",\"level\":\"{}\",\"enum_ns\":{},\"overhead_pct\":{:.2},\
+                 \"noise_pct\":{:.2},\"positives\":{},\"total_cost\":{}}}",
+                a.arm, a.level, a.enum_ns, a.overhead_pct, a.noise_pct, a.positives, a.total_cost
+            );
+        }
+        o.push_str("]}");
+        o
+    }
+}
+
 /// Format a duration in adaptive units (µs/ms/s).
 pub fn fmt_dur(d: Duration) -> String {
     let us = d.as_micros();
@@ -344,6 +419,33 @@ mod tests {
         assert!(j.starts_with("{\"schema_version\":1,\"experiment\":\"shards\""));
         assert!(j.contains("\"workload\":\"dense\""));
         assert!(j.contains("\"speedup\":3.1250"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn profile_artifact_json_is_schema_versioned_and_balanced() {
+        let a = ProfileArtifact {
+            seed: 1,
+            threads: 8,
+            stream_len: 1000,
+            reps: 5,
+            noise_pct: 1.75,
+            arms: vec![ProfileArm {
+                arm: "counters".into(),
+                level: "counters".into(),
+                enum_ns: 2_100_000,
+                overhead_pct: 3.5,
+                noise_pct: 0.8,
+                positives: 12_345,
+                total_cost: 987_654,
+            }],
+        };
+        let j = Artifact::Profile(a).to_json();
+        assert!(j.starts_with("{\"schema_version\":1,\"experiment\":\"profile\""));
+        assert!(j.contains("\"arm\":\"counters\""));
+        assert!(j.contains("\"overhead_pct\":3.50"));
+        assert!(j.contains("\"total_cost\":987654"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

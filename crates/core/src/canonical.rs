@@ -183,6 +183,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
 
         let mut all = BufferSink::counting();

@@ -1,6 +1,7 @@
 //! Runtime configuration of the ParaCOSM framework.
 
 use crate::error::{CsmError, CsmResult};
+use crate::trace::profile::ProfileLevel;
 use crate::trace::window::WindowConfig;
 use crate::trace::TraceLevel;
 use std::time::Duration;
@@ -84,6 +85,11 @@ pub struct ParaCosmConfig {
     /// [`crate::WindowRing`] for live scraping. `None` (the default) costs
     /// a single branch per update, like [`TraceLevel::Off`].
     pub window: Option<WindowConfig>,
+    /// Query-profiler level (see [`crate::trace::profile`]): `Off` (the
+    /// default) costs one branch per instrumentation site; `Counters`
+    /// attributes enumeration cost per (query edge, order depth); `Full`
+    /// additionally keeps the serving layer's cardinality catalog live.
+    pub profile: ProfileLevel,
 }
 
 impl Default for ParaCosmConfig {
@@ -103,6 +109,7 @@ impl Default for ParaCosmConfig {
             slow_k: 0,
             sim_threads: None,
             window: None,
+            profile: ProfileLevel::Off,
         }
     }
 }
@@ -156,6 +163,12 @@ impl ParaCosmConfig {
     /// Builder-style setter for rolling-window telemetry.
     pub fn windowed(mut self, w: WindowConfig) -> Self {
         self.window = Some(w);
+        self
+    }
+
+    /// Builder-style setter for the query-profiler level.
+    pub fn profiled(mut self, level: ProfileLevel) -> Self {
+        self.profile = level;
         self
     }
 
@@ -324,5 +337,13 @@ mod tests {
         assert_eq!(c.trace, TraceLevel::Full);
         assert_eq!(c.slow_k, 5);
         assert_eq!(ParaCosmConfig::default().trace, TraceLevel::Off);
+    }
+
+    #[test]
+    fn profile_builder_sets_level_and_defaults_off() {
+        let c = ParaCosmConfig::parallel(2).profiled(ProfileLevel::Counters);
+        assert_eq!(c.profile, ProfileLevel::Counters);
+        assert!(c.validate().is_ok());
+        assert_eq!(ParaCosmConfig::default().profile, ProfileLevel::Off);
     }
 }

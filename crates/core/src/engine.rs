@@ -30,6 +30,8 @@ use crate::kernel::{SearchCtx, SearchStats};
 use crate::metrics::LatencyHistogram;
 use crate::order::MatchingOrders;
 use crate::static_match::{self, StaticResult};
+use crate::trace::flight::SpanId;
+use crate::trace::profile::Profiler;
 use crate::trace::window::{WindowConfig, WindowRing};
 use crate::trace::{
     self, Counter, EventKind, Gauge, RunReport, SessionDims, StreamObserver, Tracer,
@@ -106,6 +108,10 @@ pub struct SlowUpdate {
     pub find: Duration,
     /// Search-tree nodes visited by this update.
     pub nodes: u64,
+    /// Flight-recorder span of the update ([`SpanId::NONE`] when the
+    /// recorder was off), so slow-update reports and `/debug/flight`
+    /// snapshots cross-reference the same causal trace.
+    pub span: SpanId,
 }
 
 impl SlowUpdate {
@@ -223,6 +229,10 @@ pub struct Engine<A: CsmAlgorithm<G>, G: GraphShard = DataGraph> {
     /// unless `ParaCosmConfig::window` is set or
     /// [`Engine::enable_window`] installed one).
     window: Option<Arc<WindowRing>>,
+    /// Per-(order, depth) cost-attribution plane (inert — `frame()` is
+    /// `None`, one branch per site — unless `ParaCosmConfig::profile`
+    /// is set).
+    profiler: Profiler,
     /// Cumulative statistics; reset with [`Engine::reset_stats`].
     pub stats: RunStats,
     _g: PhantomData<fn() -> G>,
@@ -251,6 +261,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
         let tracer = Tracer::new(cfg.trace, cfg.num_threads);
         tracer.gauge(Gauge::BatchSize, cfg.batch_size as u64);
         let window = cfg.window.map(|w| Arc::new(WindowRing::new(w)));
+        let profiler = Profiler::new(cfg.profile, &q, &orders);
         Ok(Engine {
             q,
             algo,
@@ -259,6 +270,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
             deadline: None,
             tracer,
             window,
+            profiler,
             stats: RunStats::default(),
             _g: PhantomData,
         })
@@ -290,6 +302,13 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
     /// ([`ParaCosmConfig::windowed`] or [`Engine::enable_window`]).
     pub fn window(&self) -> Option<&Arc<WindowRing>> {
         self.window.as_ref()
+    }
+
+    /// The query profiler handle (inert when `ParaCosmConfig::profile`
+    /// is off). Snapshot with [`Profiler::snapshot`] for the per-edge
+    /// EXPLAIN surfaces.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Install a rolling-window ring if none is configured yet and return
@@ -338,6 +357,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
             metrics: self.tracer.metrics(),
             dropped_events: self.tracer.dropped_events(),
             session,
+            profile: self.profiler.snapshot(),
         }
     }
 
@@ -560,6 +580,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
                     decompose: true,
                 },
                 &self.tracer,
+                &self.profiler,
             );
             self.stats.nodes += out.nodes;
             self.stats.absorb_busy(&out.worker_busy);
@@ -589,6 +610,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
                     decompose: true,
                 },
                 &self.tracer,
+                &self.profiler,
             );
             self.stats.nodes += out.nodes;
             self.stats.absorb_busy(&out.thread_busy);
@@ -607,13 +629,18 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
             }
             .with_cap(self.cfg.match_cap);
             let mut stats = SearchStats::default();
+            let frame = self.profiler.frame();
             for task in seeds {
+                if let Some(fr) = &frame {
+                    fr.set_order(task.order_idx);
+                }
                 let ctx = SearchCtx {
                     g,
                     q: &self.q,
                     order: self.orders.by_index(task.order_idx),
                     ignore_elabels: self.algo.ignore_edge_labels(),
                     deadline: self.deadline,
+                    profile: frame.as_ref(),
                 };
                 let mut emb = task.emb;
                 if !self
@@ -684,6 +711,7 @@ impl<G: GraphShard, A: CsmAlgorithm<G>> Engine<A, G> {
                 apply: self.stats.apply_time.saturating_sub(pre.apply),
                 find: self.stats.find_time.saturating_sub(pre.find),
                 nodes: self.stats.nodes - pre.nodes,
+                span: obs.span,
             };
             let k = self.cfg.slow_k;
             self.stats.note_slow(k, su);

@@ -23,6 +23,7 @@ use crate::algorithm::{AdsCandidates, CsmAlgorithm};
 use crate::embedding::{BufferSink, Embedding, MatchSink};
 use crate::kernel::{self, SearchCtx, SearchStats};
 use crate::order::MatchingOrders;
+use crate::trace::profile::{ProfileFrame, Profiler};
 use crate::trace::{Counter, EventKind, LocalTrace, Tracer};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
@@ -128,16 +129,28 @@ struct RunCtx<'a, G: GraphShard> {
     aborted: AtomicBool,
     reported: AtomicU64,
     cfg: InnerConfig,
+    profiler: &'a Profiler,
 }
 
 impl<'a, G: GraphShard> RunCtx<'a, G> {
-    fn search_ctx(&self, order_idx: u16) -> SearchCtx<'a, G> {
+    /// Build the per-task search context. `profile` is the calling
+    /// worker's own frame (or `None`): the frame outlives the context but
+    /// not the run, so the context's lifetime shrinks to the borrow.
+    fn search_ctx<'b>(
+        &'b self,
+        order_idx: u16,
+        profile: Option<&'b ProfileFrame>,
+    ) -> SearchCtx<'b, G> {
+        if let Some(p) = profile {
+            p.set_order(order_idx);
+        }
         SearchCtx {
             g: self.g,
             q: self.q,
             order: self.orders.by_index(order_idx),
             ignore_elabels: self.algo.ignore_edge_labels(),
             deadline: self.deadline,
+            profile,
         }
     }
 
@@ -200,6 +213,7 @@ pub fn run<G: GraphShard>(
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
     tracer: &Tracer,
+    profiler: &Profiler,
 ) -> InnerOutcome {
     let mut outcome = InnerOutcome {
         sink: if cfg.collect {
@@ -225,7 +239,11 @@ pub fn run<G: GraphShard>(
         aborted: AtomicBool::new(false),
         reported: AtomicU64::new(0),
         cfg,
+        profiler,
     };
+    // One frame for everything this (the init/sequential) thread runs;
+    // `None` when profiling is off. Flushes residue on drop.
+    let init_frame = profiler.frame();
 
     // ---- Initialization phase (main thread): BFS-decompose until the queue
     // holds enough independent subtrees for the pool. The coarse baseline
@@ -245,7 +263,7 @@ pub fn run<G: GraphShard>(
             break;
         };
         expansions += 1;
-        let sctx = ctx.search_ctx(task.order_idx);
+        let sctx = ctx.search_ctx(task.order_idx, init_frame.as_ref());
         let n = sctx.order.len();
         if task.depth as usize == n {
             if !outcome.sink.report(&task.emb, n) {
@@ -299,7 +317,7 @@ pub fn run<G: GraphShard>(
             init_trace.count(Counter::TasksPopped, 1);
             init_trace.event(EventKind::TaskPop, task.order_idx as u64, task.depth as u64);
             let (n0, m0) = (stats.nodes, sink.local.count);
-            let sctx = ctx.search_ctx(task.order_idx);
+            let sctx = ctx.search_ctx(task.order_idx, init_frame.as_ref());
             let keep = run_task_sequential(&sctx, algo, task, &mut sink, &mut stats);
             init_trace.count(Counter::TasksCompleted, 1);
             init_trace.event(EventKind::TaskDone, stats.nodes - n0, sink.local.count - m0);
@@ -388,6 +406,9 @@ fn worker_loop<G: GraphShard>(
     };
     let mut stats = SearchStats::default();
     let mut lt = tracer.local(wid + 1);
+    // One frame per worker, merged into the shared grid on order switches
+    // and on drop — the profiler's `LocalTrace` analogue.
+    let frame = ctx.profiler.frame();
     let mut busy = Duration::ZERO;
     let mut executed = 0u64;
     let mut split = 0u64;
@@ -402,7 +423,7 @@ fn worker_loop<G: GraphShard>(
                     lt.count(Counter::TasksPopped, 1);
                     lt.event(EventKind::TaskPop, task.order_idx as u64, task.depth as u64);
                     let (n0, m0) = (stats.nodes, sink.local.count);
-                    let sctx = ctx.search_ctx(task.order_idx);
+                    let sctx = ctx.search_ctx(task.order_idx, frame.as_ref());
                     parallel_find_matches(
                         ctx, &sctx, task, &mut sink, &mut stats, &mut split, &mut lt,
                     );
@@ -558,6 +579,7 @@ pub fn run_simulated<G: GraphShard>(
     seeds: Vec<SeedTask>,
     cfg: InnerConfig,
     tracer: &Tracer,
+    profiler: &Profiler,
 ) -> SimOutcome {
     let mut out = SimOutcome {
         sink: if cfg.collect {
@@ -574,13 +596,31 @@ pub fn run_simulated<G: GraphShard>(
     let n_workers = cfg.num_threads.max(1);
     let decomp_start = Instant::now();
     let mut stats = SearchStats::default();
-    let mk_ctx = |order_idx: u16| SearchCtx {
-        g,
-        q,
-        order: orders.by_index(order_idx),
-        ignore_elabels: algo.ignore_edge_labels(),
-        deadline,
-    };
+    let frame = profiler.frame();
+    let ignore_elabels = algo.ignore_edge_labels();
+    // A plain fn (not a closure) so the returned ctx's lifetime is tied to
+    // the borrow arguments, letting the profile frame outlive each call.
+    fn mk_ctx<'b, G: GraphShard>(
+        g: &'b G,
+        q: &'b QueryGraph,
+        orders: &'b MatchingOrders,
+        ignore_elabels: bool,
+        deadline: Option<Instant>,
+        order_idx: u16,
+        profile: Option<&'b ProfileFrame>,
+    ) -> SearchCtx<'b, G> {
+        if let Some(p) = profile {
+            p.set_order(order_idx);
+        }
+        SearchCtx {
+            g,
+            q,
+            order: orders.by_index(order_idx),
+            ignore_elabels,
+            deadline,
+            profile,
+        }
+    }
 
     // Phase 1 — BFS decomposition, exactly as the threaded initializer.
     // With load balancing on, refinement continues (down to SPLIT_DEPTH) to
@@ -599,7 +639,15 @@ pub fn run_simulated<G: GraphShard>(
     let mut frontier: std::collections::VecDeque<SeedTask> = seeds.into();
     let mut ready: Vec<SeedTask> = Vec::new();
     while let Some(task) = frontier.pop_front() {
-        let sctx = mk_ctx(task.order_idx);
+        let sctx = mk_ctx(
+            g,
+            q,
+            orders,
+            ignore_elabels,
+            deadline,
+            task.order_idx,
+            frame.as_ref(),
+        );
         let n = sctx.order.len();
         if task.depth as usize == n {
             if !out.sink.report(&task.emb, n) {
@@ -641,7 +689,15 @@ pub fn run_simulated<G: GraphShard>(
     let mut durations: Vec<Duration> = Vec::with_capacity(ready.len());
     if !out.timed_out {
         for task in &ready {
-            let sctx = mk_ctx(task.order_idx);
+            let sctx = mk_ctx(
+                g,
+                q,
+                orders,
+                ignore_elabels,
+                deadline,
+                task.order_idx,
+                frame.as_ref(),
+            );
             let n = sctx.order.len();
             let t0 = Instant::now();
             let keep = if task.depth as usize == n {
@@ -819,6 +875,7 @@ mod tests {
                 seeds,
                 cfg(threads),
                 &Tracer::off(),
+                &Profiler::off(),
             );
             assert_eq!(out.sink.count, expected, "threads={threads}");
             assert!(!out.timed_out);
@@ -834,7 +891,17 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, a, b);
         let mut c = cfg(4);
         c.load_balance = false;
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            c,
+            &Tracer::off(),
+            &Profiler::off(),
+        );
         assert_eq!(out.sink.count, expected);
     }
 
@@ -851,6 +918,7 @@ mod tests {
             Vec::new(),
             cfg(4),
             &Tracer::off(),
+            &Profiler::off(),
         );
         assert_eq!(out.sink.count, 0);
         assert_eq!(out.nodes, 0);
@@ -863,7 +931,17 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let mut c = cfg(4);
         c.cap = Some(10);
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            c,
+            &Tracer::off(),
+            &Profiler::off(),
+        );
         // Worker-local pre-abort reports can slightly exceed the cap, but
         // never by more than one per worker.
         assert!(out.sink.count >= 10 && out.sink.count <= 10 + 4);
@@ -884,6 +962,7 @@ mod tests {
             seeds,
             cfg(2),
             &Tracer::off(),
+            &Profiler::off(),
         );
         assert!(out.timed_out);
     }
@@ -895,7 +974,17 @@ mod tests {
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
         let mut c = cfg(4);
         c.collect = true;
-        let out = run(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off());
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            c,
+            &Tracer::off(),
+            &Profiler::off(),
+        );
         assert_eq!(out.sink.matches.len() as u64, out.sink.count);
         for m in &out.sink.matches {
             // Every match must be a genuine embedding containing the edge.
@@ -931,6 +1020,7 @@ mod tests {
             seeds,
             InnerConfig::coarse(4),
             &Tracer::off(),
+            &Profiler::off(),
         );
         assert_eq!(out.sink.count, expected);
         // No decomposition: exactly one task per seed, no donations.
@@ -953,6 +1043,7 @@ mod tests {
             seeds,
             InnerConfig::coarse(8),
             &Tracer::off(),
+            &Profiler::off(),
         );
         assert_eq!(out.tasks, n_seeds);
     }
@@ -974,6 +1065,7 @@ mod tests {
                 seeds,
                 cfg(workers),
                 &Tracer::off(),
+                &Profiler::off(),
             );
             assert_eq!(out.sink.count, expected, "workers={workers}");
             assert!(!out.timed_out);
@@ -997,6 +1089,7 @@ mod tests {
                 seeds,
                 cfg(workers),
                 &Tracer::off(),
+                &Profiler::off(),
             )
             .span
         };
@@ -1016,7 +1109,18 @@ mod tests {
             let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
             let mut c = cfg(8);
             c.load_balance = lb;
-            run_simulated(&g, &q, &orders, &Plain, None, seeds, c, &Tracer::off()).tasks
+            run_simulated(
+                &g,
+                &q,
+                &orders,
+                &Plain,
+                None,
+                seeds,
+                c,
+                &Tracer::off(),
+                &Profiler::off(),
+            )
+            .tasks
         };
         assert!(tasks_of(true) > tasks_of(false));
     }
@@ -1026,7 +1130,17 @@ mod tests {
         let (g, q) = big_graph();
         let orders = MatchingOrders::build(&q);
         let seeds = seeds_for_edge(&q, &orders, &g, VertexId(0), VertexId(1));
-        let out = run(&g, &q, &orders, &Plain, None, seeds, cfg(4), &Tracer::off());
+        let out = run(
+            &g,
+            &q,
+            &orders,
+            &Plain,
+            None,
+            seeds,
+            cfg(4),
+            &Tracer::off(),
+            &Profiler::off(),
+        );
         assert_eq!(out.thread_busy.len(), 4);
         assert!(out.tasks_executed > 0);
     }

@@ -15,6 +15,7 @@
 
 use crate::embedding::{Embedding, MatchSink, MAX_PATTERN_VERTICES};
 use crate::order::SeedOrder;
+use crate::trace::profile::{ProfileCounter, ProfileFrame};
 use csm_graph::{intersect, DataGraph, ELabel, GraphShard, QVertexId, QueryGraph, VertexId};
 use std::time::Instant;
 
@@ -49,6 +50,10 @@ pub struct SearchCtx<'a, G: GraphShard = DataGraph> {
     pub ignore_elabels: bool,
     /// Cooperative wall-clock deadline; checked every few hundred nodes.
     pub deadline: Option<Instant>,
+    /// Worker-local profiler frame; `None` when profiling is off, so every
+    /// instrumentation site is one `Option` branch (same discipline as the
+    /// tracer's `LocalTrace`).
+    pub profile: Option<&'a ProfileFrame>,
 }
 
 /// Per-enumeration counters; `aborted` is sticky once the deadline passes or
@@ -63,21 +68,28 @@ pub struct SearchStats {
     /// across enumerations by [`SearchStats::absorb`] for the tracer's
     /// `deadline_fires` counter).
     pub deadline_hits: u64,
+    /// Order depth at which each deadline fire was observed
+    /// (`deadline_depth.iter().sum() == deadline_hits` — an invariant
+    /// [`SearchStats::absorb`] preserves, which is what lets multi-worker
+    /// runs attribute timeout pressure per depth without loss).
+    pub deadline_depth: [u64; MAX_PATTERN_VERTICES],
 }
 
 const DEADLINE_CHECK_MASK: u64 = 0x1FF;
 
 impl SearchStats {
     /// Returns `false` (abort) when the deadline has passed. Amortized: only
-    /// probes the clock every 512 nodes.
+    /// probes the clock every 512 nodes. `depth` is the order depth being
+    /// entered, recorded on the fire transition for per-depth attribution.
     #[inline]
-    pub fn tick(&mut self, deadline: Option<Instant>) -> bool {
+    pub fn tick(&mut self, deadline: Option<Instant>, depth: usize) -> bool {
         self.nodes += 1;
         if self.nodes & DEADLINE_CHECK_MASK == 0 {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     if !self.timed_out {
                         self.deadline_hits += 1;
+                        self.deadline_depth[depth.min(MAX_PATTERN_VERTICES - 1)] += 1;
                     }
                     self.timed_out = true;
                     return false;
@@ -92,6 +104,9 @@ impl SearchStats {
         self.nodes += o.nodes;
         self.timed_out |= o.timed_out;
         self.deadline_hits += o.deadline_hits;
+        for (a, b) in self.deadline_depth.iter_mut().zip(o.deadline_depth.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -135,11 +150,22 @@ where
     let ulabel = ctx.order.target_label[depth];
     let udeg = ctx.order.target_degree[depth];
     let backward = &ctx.order.backward[depth];
+    let prof = ctx.profile;
+    if let Some(p) = prof {
+        p.add(depth, ProfileCounter::Invocations, 1);
+    }
 
     if backward.is_empty() {
-        for &v in ctx.g.vertices_with_label(ulabel) {
+        let bucket = ctx.g.vertices_with_label(ulabel);
+        if let Some(p) = prof {
+            p.add(depth, ProfileCounter::SliceWidth, bucket.len() as u64);
+        }
+        for &v in bucket {
             if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
                 continue;
+            }
+            if let Some(p) = prof {
+                p.add(depth, ProfileCounter::Extensions, 1);
             }
             if !f(v) {
                 return false;
@@ -162,17 +188,29 @@ where
             })
             .expect("non-empty backward set");
         let pivot_v = emb.get_unchecked(backward[pivot_idx].0);
-        'wild: for &(v, _) in ctx.g.neighbors_with_vlabel(pivot_v, ulabel) {
+        let pivot_slice = ctx.g.neighbors_with_vlabel(pivot_v, ulabel);
+        if let Some(p) = prof {
+            p.add(depth, ProfileCounter::SliceWidth, pivot_slice.len() as u64);
+        }
+        'wild: for &(v, _) in pivot_slice {
             if ctx.g.degree(v) < udeg || emb.uses(v) {
                 continue;
             }
             for (i, &(nb, _)) in backward.iter().enumerate() {
-                if i != pivot_idx && ctx.g.edge_label(emb.get_unchecked(nb), v).is_none() {
-                    continue 'wild;
+                if i != pivot_idx {
+                    if let Some(p) = prof {
+                        p.add(depth, ProfileCounter::ProbeSteps, 1);
+                    }
+                    if ctx.g.edge_label(emb.get_unchecked(nb), v).is_none() {
+                        continue 'wild;
+                    }
                 }
             }
             if !filter.is_candidate(ctx.g, ctx.q, u, v) {
                 continue;
+            }
+            if let Some(p) = prof {
+                p.add(depth, ProfileCounter::Extensions, 1);
             }
             if !f(v) {
                 return false;
@@ -195,9 +233,15 @@ where
     if slices.len() == 1 {
         // Branch-free stream: every entry already has the right vertex and
         // edge label by construction.
+        if let Some(p) = prof {
+            p.add(depth, ProfileCounter::SliceWidth, slices[0].len() as u64);
+        }
         for &(v, _) in slices[0] {
             if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
                 continue;
+            }
+            if let Some(p) = prof {
+                p.add(depth, ProfileCounter::Extensions, 1);
             }
             if !f(v) {
                 return false;
@@ -211,6 +255,9 @@ where
         .enumerate()
         .min_by_key(|(_, s)| s.len())
         .expect("at least two slices");
+    if let Some(p) = prof {
+        p.add(depth, ProfileCounter::SliceWidth, min_slice.len() as u64);
+    }
     if min_slice.len() <= PROBE_THRESHOLD {
         // Tiny driver: probing each other slice directly is cheaper than
         // the galloping merge's setup.
@@ -219,12 +266,20 @@ where
                 continue;
             }
             for (j, s) in slices.iter().enumerate() {
-                if j != min_idx && s.binary_search_by_key(&v, |&(w, _)| w).is_err() {
-                    continue 'probe;
+                if j != min_idx {
+                    if let Some(p) = prof {
+                        p.add(depth, ProfileCounter::ProbeSteps, 1);
+                    }
+                    if s.binary_search_by_key(&v, |&(w, _)| w).is_err() {
+                        continue 'probe;
+                    }
                 }
             }
             if !filter.is_candidate(ctx.g, ctx.q, u, v) {
                 continue;
+            }
+            if let Some(p) = prof {
+                p.add(depth, ProfileCounter::Extensions, 1);
             }
             if !f(v) {
                 return false;
@@ -233,12 +288,26 @@ where
         return true;
     }
 
-    intersect::intersect_foreach(slices, |v| {
+    let mut body = |v: VertexId| {
         if ctx.g.degree(v) < udeg || emb.uses(v) || !filter.is_candidate(ctx.g, ctx.q, u, v) {
             return true;
         }
+        if let Some(p) = prof {
+            p.add(depth, ProfileCounter::Extensions, 1);
+        }
         f(v)
-    })
+    };
+    match prof {
+        None => intersect::intersect_foreach(slices, &mut body),
+        Some(p) => {
+            // Counted merge: identical traversal, plus a gallop-step tally
+            // folded into the frame once per candidate set.
+            let mut steps = 0u64;
+            let done = intersect::intersect_foreach_counted(slices, &mut steps, &mut body);
+            p.add(depth, ProfileCounter::GallopSteps, steps);
+            done
+        }
+    }
 }
 
 /// The pre-partition-index candidate generator, retained verbatim as the
@@ -322,7 +391,17 @@ pub fn extend<G: GraphShard>(
     sink: &mut dyn MatchSink,
     stats: &mut SearchStats,
 ) -> bool {
-    if !stats.tick(ctx.deadline) {
+    let hits_before = stats.deadline_hits;
+    if !stats.tick(ctx.deadline, depth) {
+        if stats.deadline_hits > hits_before {
+            if let Some(p) = ctx.profile {
+                p.add(
+                    depth.min(MAX_PATTERN_VERTICES - 1),
+                    ProfileCounter::DeadlineHits,
+                    1,
+                );
+            }
+        }
         return false;
     }
     let n = ctx.order.len();
@@ -358,7 +437,13 @@ pub fn expand_one_layer<G: GraphShard>(
     stats: &mut SearchStats,
 ) -> bool {
     debug_assert!(depth < ctx.order.len());
-    if !stats.tick(ctx.deadline) {
+    let hits_before = stats.deadline_hits;
+    if !stats.tick(ctx.deadline, depth) {
+        if stats.deadline_hits > hits_before {
+            if let Some(p) = ctx.profile {
+                p.add(depth, ProfileCounter::DeadlineHits, 1);
+            }
+        }
         return false;
     }
     let u = ctx.order.order[depth];
@@ -368,7 +453,14 @@ pub fn expand_one_layer<G: GraphShard>(
         out.push(child);
         // The only early stop in this closure is the deadline, so the
         // generator's return value is exactly "not timed out".
-        stats.tick(ctx.deadline)
+        let hb = stats.deadline_hits;
+        let alive = stats.tick(ctx.deadline, depth);
+        if !alive && stats.deadline_hits > hb {
+            if let Some(p) = ctx.profile {
+                p.add(depth, ProfileCounter::DeadlineHits, 1);
+            }
+        }
+        alive
     })
 }
 
@@ -403,6 +495,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
@@ -453,6 +546,7 @@ mod tests {
             order: &order,
             ignore_elabels: true,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
@@ -477,6 +571,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         // Seed u0→v0, u1→v1: completions are u2→v2 only.
         let mut emb = Embedding::empty();
@@ -499,6 +594,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
@@ -529,6 +625,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: Some(past),
+            profile: None,
         };
         let mut out = Vec::new();
         // Force a deadline probe on the first tick.
@@ -561,6 +658,7 @@ mod tests {
                     order: &order,
                     ignore_elabels: ignore,
                     deadline: None,
+                    profile: None,
                 };
                 let mut emb = Embedding::empty();
                 emb.set(QVertexId(0), VertexId(0));
@@ -607,6 +705,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         let mut stats = SearchStats::default();
@@ -632,6 +731,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: None,
+            profile: None,
         };
         let mut sink = BufferSink::counting().with_cap(Some(3));
         let mut stats = SearchStats::default();
@@ -659,6 +759,7 @@ mod tests {
             order: &order,
             ignore_elabels: false,
             deadline: Some(past),
+            profile: None,
         };
         let mut sink = BufferSink::counting();
         // Force a deadline probe on the first tick.
@@ -679,10 +780,17 @@ mod tests {
         // The transition is counted exactly once, even though subsequent
         // enumerations would keep observing the expired deadline.
         assert_eq!(stats.deadline_hits, 1);
+        // ...and attributed to the depth that observed it.
+        assert_eq!(stats.deadline_depth[0], 1);
+        assert_eq!(
+            stats.deadline_depth.iter().sum::<u64>(),
+            stats.deadline_hits
+        );
         let mut total = SearchStats::default();
         total.absorb(&stats);
         total.absorb(&stats);
         assert_eq!(total.deadline_hits, 2);
+        assert_eq!(total.deadline_depth[0], 2);
         assert!(total.timed_out);
     }
 }

@@ -92,6 +92,11 @@ pub use order::{MatchingOrders, SeedOrder};
 pub use static_match::StaticResult;
 pub use trace::flight::cold::{FlightConfig, FlightEvent, FlightSnapshot};
 pub use trace::flight::{FanKind, FlightRecorder, FlightStage, SpanId, SESSION_AGGREGATE};
+pub use trace::profile::cold::{DepthProfile, OrderProfile, QueryProfile};
+pub use trace::profile::{
+    profile_counter_from_index, BackwardMeta, ProfileCounter, ProfileLevel, Profiler,
+    NUM_PROFILE_COUNTERS, PROFILE_COUNTER_NAMES,
+};
 pub use trace::window::{
     SharedWindow, WindowConfig, WindowCounter, WindowRing, WindowSnapshot, NUM_WINDOW_COUNTERS,
     WINDOW_COUNTER_NAMES,

@@ -56,6 +56,7 @@ pub fn enumerate_with_filter<G: GraphShard>(
         order: &order,
         ignore_elabels,
         deadline,
+        profile: None,
     };
     let mut sink = if collect {
         BufferSink::collecting()

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod flight;
+pub mod profile;
 pub mod window;
 
 /// How much telemetry the engine records.
@@ -911,6 +912,8 @@ pub struct RunReport {
     pub dropped_events: Vec<u64>,
     /// Serving-layer session dimensions (`None` for standalone runs).
     pub session: Option<SessionDims>,
+    /// Per-query-edge profiler aggregate (`None` when profiling is off).
+    pub profile: Option<profile::cold::QueryProfile>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -1024,14 +1027,15 @@ impl RunReport {
             }
             o.push_str(&format!(
                 "{{\"index\":{},\"update\":\"{}\",\"latency_ns\":{},\"ads_ns\":{},\
-                 \"apply_ns\":{},\"find_ns\":{},\"nodes\":{}}}",
+                 \"apply_ns\":{},\"find_ns\":{},\"nodes\":{},\"span\":{}}}",
                 su.index,
                 json_escape(&su.describe()),
                 ns(su.latency),
                 ns(su.ads),
                 ns(su.apply),
                 ns(su.find),
-                su.nodes
+                su.nodes,
+                su.span.0
             ));
         }
         o.push(']');
@@ -1075,6 +1079,13 @@ impl RunReport {
                 .collect::<Vec<_>>()
                 .join(",")
         ));
+        match &self.profile {
+            Some(p) => {
+                o.push_str(",\"profile\":");
+                o.push_str(&p.to_json());
+            }
+            None => o.push_str(",\"profile\":null"),
+        }
         o.push('}');
         o
     }

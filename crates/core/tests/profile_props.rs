@@ -1,0 +1,186 @@
+//! Property tests for the profiler's frame-absorb protocol: however an
+//! attribution event stream is split across worker frames — arbitrary
+//! seeded assignment, arbitrary order switches, real threads — the
+//! shared grid must equal the sequential single-frame oracle cell for
+//! cell. Deadline attribution in particular must be loss-free: every
+//! injected `DeadlineHits` bump lands on exactly the `(order, depth)`
+//! it was charged to, because the stall-forensics plane sums these
+//! per-depth cells to explain where a budget died.
+
+use csm_graph::{ELabel, QueryGraph, VLabel};
+use paracosm_core::{
+    profile_counter_from_index, MatchingOrders, ProfileCounter, ProfileLevel, Profiler,
+    NUM_PROFILE_COUNTERS,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Triangle query: 6 oriented seed orders, 3 depths each — enough grid
+/// surface that split bugs cannot hide in a single row.
+fn triangle_profiler() -> Profiler {
+    let mut q = QueryGraph::new();
+    let u: Vec<_> = (0..3).map(|i| q.add_vertex(VLabel(i))).collect();
+    q.add_edge(u[0], u[1], ELabel(0)).unwrap();
+    q.add_edge(u[1], u[2], ELabel(1)).unwrap();
+    q.add_edge(u[0], u[2], ELabel(2)).unwrap();
+    let orders = MatchingOrders::build(&q);
+    Profiler::new(ProfileLevel::Counters, &q, &orders)
+}
+
+const NUM_ORDERS: u16 = 6;
+const NUM_DEPTHS: usize = 3;
+
+/// One attribution event: `(order, depth, counter index, amount)`.
+type Event = (u16, usize, usize, u64);
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) % n
+    }
+}
+
+/// The independent oracle: plain summation per `(order, depth, counter)`.
+fn oracle(events: &[Event]) -> HashMap<(u16, usize, usize), u64> {
+    let mut m = HashMap::new();
+    for &(o, d, c, n) in events {
+        *m.entry((o, d, c)).or_insert(0) += n;
+    }
+    m
+}
+
+/// Every grid cell must equal the oracle (including untouched cells).
+fn assert_grid_matches(p: &Profiler, events: &[Event]) {
+    let want = oracle(events);
+    let shared = p.shared().expect("profiler is on");
+    for o in 0..NUM_ORDERS {
+        for d in 0..NUM_DEPTHS {
+            for c in 0..NUM_PROFILE_COUNTERS {
+                let got = shared.get(o as usize, d, profile_counter_from_index(c));
+                let expect = want.get(&(o, d, c)).copied().unwrap_or(0);
+                assert_eq!(
+                    got, expect,
+                    "cell (order {o}, depth {d}, counter {c}) diverged"
+                );
+            }
+        }
+    }
+    // Loss-free deadline attribution, stated as its own invariant: the
+    // snapshot's DeadlineHits column total equals the injected total.
+    let injected: u64 = events
+        .iter()
+        .filter(|e| e.2 == ProfileCounter::DeadlineHits as usize)
+        .map(|e| e.3)
+        .sum();
+    let snap = p.snapshot().expect("profiler is on");
+    assert_eq!(
+        snap.totals()[ProfileCounter::DeadlineHits as usize],
+        injected,
+        "deadline hits were lost or duplicated across frame flushes"
+    );
+}
+
+fn event_strategy() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        (
+            0u16..NUM_ORDERS,
+            0usize..NUM_DEPTHS,
+            0usize..NUM_PROFILE_COUNTERS,
+            1u64..64,
+        ),
+        0..120,
+    )
+}
+
+proptest! {
+    /// Seeded interleaved split: each event lands on a seeded-random
+    /// frame, frames switch orders mid-stream (each switch flushes the
+    /// previous block), and drops flush the tails. The grid must equal
+    /// the sequential oracle regardless of the split or interleaving.
+    #[test]
+    fn absorb_is_loss_free_over_seeded_splits(
+        events in event_strategy(),
+        workers in 1usize..5,
+        split_seed in any::<u64>(),
+    ) {
+        let p = triangle_profiler();
+        {
+            let frames: Vec<_> = (0..workers)
+                .map(|_| p.frame().expect("profiler is on"))
+                .collect();
+            let mut rng = Lcg(split_seed | 1);
+            for &(o, d, c, n) in &events {
+                let f = &frames[rng.below(workers as u64) as usize];
+                f.set_order(o);
+                f.add(d, profile_counter_from_index(c), n);
+            }
+            // Interleave some redundant mid-stream flushes: flushing an
+            // already-flushed or empty block must never double-count.
+            for f in &frames {
+                f.flush();
+                f.flush();
+            }
+        } // drop flushes every tail block
+        assert_grid_matches(&p, &events);
+    }
+
+    /// Same invariant under real threads: each worker owns its frame and
+    /// a seeded chunk of the stream; relaxed commutative adds make the
+    /// result schedule-independent.
+    #[test]
+    fn absorb_is_loss_free_across_real_threads(
+        events in event_strategy(),
+        workers in 2usize..5,
+        split_seed in any::<u64>(),
+    ) {
+        let p = triangle_profiler();
+        let mut chunks: Vec<Vec<Event>> = vec![Vec::new(); workers];
+        let mut rng = Lcg(split_seed | 1);
+        for &e in &events {
+            chunks[rng.below(workers as u64) as usize].push(e);
+        }
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                let worker = p.clone();
+                s.spawn(move || {
+                    let f = worker.frame().expect("profiler is on");
+                    for &(o, d, c, n) in chunk {
+                        f.set_order(o);
+                        f.add(d, profile_counter_from_index(c), n);
+                    }
+                });
+            }
+        });
+        assert_grid_matches(&p, &events);
+    }
+}
+
+/// Deterministic regression case: per-depth deadline attribution across
+/// an adversarial split (every event on a different frame, orders
+/// revisited after flushes).
+#[test]
+fn deadline_attribution_survives_order_revisits() {
+    let p = triangle_profiler();
+    let f = p.frame().unwrap();
+    for round in 0..3u64 {
+        for o in 0..NUM_ORDERS {
+            f.set_order(o);
+            f.add(2, ProfileCounter::DeadlineHits, round + 1);
+        }
+    }
+    drop(f);
+    let shared = p.shared().unwrap();
+    for o in 0..NUM_ORDERS {
+        assert_eq!(shared.get(o as usize, 2, ProfileCounter::DeadlineHits), 6);
+    }
+    let snap = p.snapshot().unwrap();
+    assert_eq!(
+        snap.totals()[ProfileCounter::DeadlineHits as usize],
+        6 * u64::from(NUM_ORDERS)
+    );
+}

@@ -23,13 +23,33 @@ use crate::ids::{ELabel, VertexId};
 /// makes repeated forward seeks over one list linear overall.
 #[inline]
 pub fn gallop(list: &[(VertexId, ELabel)], from: usize, target: VertexId) -> usize {
+    let mut steps = 0u64;
+    gallop_counted(list, from, target, &mut steps)
+}
+
+/// [`gallop`] plus a step tally: adds one to `*steps` per exponential-probe
+/// iteration and one per binary-refinement level. The tally is the
+/// profiler's `gallop_steps` unit — proportional to actual seek work, not
+/// to candidates inspected. Monomorphizes identically to [`gallop`] when
+/// the counter is dead (the compiler strips the adds in the uncounted
+/// wrapper), so the uncounted path pays nothing.
+#[inline]
+pub fn gallop_counted(
+    list: &[(VertexId, ELabel)],
+    from: usize,
+    target: VertexId,
+    steps: &mut u64,
+) -> usize {
     let mut lo = from;
     let mut step = 1;
     while lo + step < list.len() && list[lo + step].0 < target {
         lo += step;
         step <<= 1;
+        *steps += 1;
     }
     let hi = (lo + step + 1).min(list.len());
+    let window = hi - lo;
+    *steps += (usize::BITS - window.leading_zeros()) as u64;
     lo + list[lo..hi].partition_point(|&(v, _)| v < target)
 }
 
@@ -39,7 +59,29 @@ pub fn gallop(list: &[(VertexId, ELabel)], from: usize, target: VertexId) -> usi
 ///
 /// The driver is the smallest slice (fewest candidate ids); each remaining
 /// slice keeps a monotone cursor advanced by [`gallop`].
-pub fn intersect_foreach<F>(slices: &[&[(VertexId, ELabel)]], mut f: F) -> bool
+pub fn intersect_foreach<F>(slices: &[&[(VertexId, ELabel)]], f: F) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    intersect_impl::<false, F>(slices, &mut 0, f)
+}
+
+/// [`intersect_foreach`] with a gallop-step tally accumulated into
+/// `*steps` (see [`gallop_counted`]). Identical traversal and identical
+/// candidate stream — the profiler's counted arm must never change what
+/// the kernel enumerates.
+pub fn intersect_foreach_counted<F>(slices: &[&[(VertexId, ELabel)]], steps: &mut u64, f: F) -> bool
+where
+    F: FnMut(VertexId) -> bool,
+{
+    intersect_impl::<true, F>(slices, steps, f)
+}
+
+fn intersect_impl<const COUNT: bool, F>(
+    slices: &[&[(VertexId, ELabel)]],
+    steps: &mut u64,
+    mut f: F,
+) -> bool
 where
     F: FnMut(VertexId) -> bool,
 {
@@ -59,7 +101,11 @@ where
             if j == smallest {
                 continue;
             }
-            let pos = gallop(s, cursors[j], v);
+            let pos = if COUNT {
+                gallop_counted(s, cursors[j], v, steps)
+            } else {
+                gallop(s, cursors[j], v)
+            };
             cursors[j] = pos;
             match s.get(pos) {
                 Some(&(w, _)) if w == v => {}
@@ -132,6 +178,31 @@ mod tests {
         assert_eq!(gallop(&a, 2, VertexId(7)), 3);
         assert_eq!(gallop(&a, 0, VertexId(14)), 6);
         assert_eq!(gallop(&a, 0, VertexId(99)), 7);
+    }
+
+    #[test]
+    fn counted_merge_streams_identically_and_tallies_work() {
+        let a = list(&[1, 3, 5, 9, 40, 41, 42]);
+        let b = list(&[2, 3, 9, 12, 40, 77]);
+        let c = list(&[3, 4, 9, 10, 40, 90, 91, 92]);
+        let plain = run(&[&a, &b, &c]);
+        let mut counted = Vec::new();
+        let mut steps = 0u64;
+        intersect_foreach_counted(&[&a, &b, &c], &mut steps, |v| {
+            counted.push(v);
+            true
+        });
+        assert_eq!(plain, counted);
+        assert!(steps > 0, "a multi-way merge must record seek work");
+        // gallop and gallop_counted land on the same positions.
+        let mut s2 = 0u64;
+        for t in [0u32, 7, 14, 99] {
+            assert_eq!(
+                gallop(&a, 0, VertexId(t)),
+                gallop_counted(&a, 0, VertexId(t), &mut s2)
+            );
+        }
+        assert!(s2 > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -31,6 +32,7 @@ pub mod shard;
 pub mod stats;
 pub mod update;
 
+pub use catalog::CardinalityCatalog;
 pub use error::{GraphError, Result};
 pub use graph::DataGraph;
 pub use ids::{ELabel, QVertexId, VLabel, VertexId};

@@ -88,6 +88,11 @@ pub trait GraphShard: Send + Sync {
     fn edge_label(&self, a: VertexId, b: VertexId) -> Option<ELabel>;
     /// Does `{v, n}` exist with elabel exactly `el`?
     fn has_edge_with(&self, v: VertexId, n: VertexId, el: ELabel) -> bool;
+    /// `v`'s adjacency partition as `(neighbor label, edge label, run
+    /// length)` triples in key order — `O(#groups)`, the cardinality
+    /// catalog's maintenance primitive
+    /// ([`crate::catalog::CardinalityCatalog`]).
+    fn neighbor_groups(&self, v: VertexId) -> impl Iterator<Item = (VLabel, ELabel, usize)> + '_;
 
     /// Count of neighbors of `v` with label `vl` (and elabel `el`, unless
     /// `None`).
@@ -281,6 +286,10 @@ impl GraphShard for DataGraph {
     #[inline]
     fn has_edge_with(&self, v: VertexId, n: VertexId, el: ELabel) -> bool {
         DataGraph::has_edge_with(self, v, n, el)
+    }
+    #[inline]
+    fn neighbor_groups(&self, v: VertexId) -> impl Iterator<Item = (VLabel, ELabel, usize)> + '_ {
+        DataGraph::neighbor_groups(self, v)
     }
     fn add_vertex(&mut self, label: VLabel) -> VertexId {
         DataGraph::add_vertex(self, label)
@@ -542,6 +551,10 @@ impl GraphShard for MemShard {
     #[inline]
     fn has_edge_with(&self, v: VertexId, n: VertexId, el: ELabel) -> bool {
         self.g.has_edge_with(v, n, el)
+    }
+    #[inline]
+    fn neighbor_groups(&self, v: VertexId) -> impl Iterator<Item = (VLabel, ELabel, usize)> + '_ {
+        self.g.neighbor_groups(v)
     }
     fn add_vertex(&mut self, label: VLabel) -> VertexId {
         self.g.add_vertex(label)
@@ -886,6 +899,13 @@ impl GraphShard for ShardedGraph {
         GraphShard::neighbors_with(self, v, nl, el)
             .binary_search_by_key(&n, |&(w, _)| w)
             .is_ok()
+    }
+
+    #[inline]
+    fn neighbor_groups(&self, v: VertexId) -> impl Iterator<Item = (VLabel, ELabel, usize)> + '_ {
+        self.shards[self.cfg.shard_index_for(v)]
+            .g
+            .neighbor_groups(v)
     }
 
     fn add_vertex(&mut self, label: VLabel) -> VertexId {

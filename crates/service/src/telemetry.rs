@@ -43,10 +43,10 @@ use crate::session::{DegradeLevel, Session};
 use crate::shared::SharedIndexStats;
 use csm_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use csm_check::sync::{Mutex, PoisonError};
-use csm_graph::{GraphShard, ShardStats};
+use csm_graph::{CardinalityCatalog, ELabel, GraphShard, ShardStats, VLabel};
 use paracosm_core::{
-    CsmError, CsmResult, FlightEvent, FlightRecorder, SpanId, WindowConfig, WindowCounter,
-    WindowRing,
+    CsmError, CsmResult, FlightEvent, FlightRecorder, Profiler, QueryProfile, SpanId, WindowConfig,
+    WindowCounter, WindowRing, NUM_PROFILE_COUNTERS,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -208,6 +208,10 @@ struct SessionTelemetry {
     label: String,
     algo: String,
     window: Arc<WindowRing>,
+    /// Cloned handle to the session engine's attribution grid — reads
+    /// the same relaxed cells the worker frames flush into, so `/profile`
+    /// reconciles exactly with the shutdown report's `profile` block.
+    profiler: Profiler,
     level: AtomicU64,
     budget_overruns: AtomicU64,
     degraded: AtomicU64,
@@ -264,6 +268,10 @@ struct TelemetryShared {
     /// Per-shard occupancy/applier mirror (one entry on monolithic
     /// backends), refreshed by the owner thread after every update.
     shards: Mutex<Vec<ShardStats>>,
+    /// The service's live cardinality catalog (`None` until a
+    /// `ProfileLevel::Full` session registers) — estimate source for
+    /// `/profile` and `/debug/explain`.
+    catalog: Mutex<Option<Arc<Mutex<CardinalityCatalog>>>>,
     stalled: AtomicBool,
     stalls_total: AtomicU64,
     diagnostics: Mutex<Vec<StallDiagnostic>>,
@@ -423,6 +431,7 @@ impl ServiceTelemetry {
             shared_hits: AtomicU64::new(0),
             shared_misses: AtomicU64::new(0),
             shards: Mutex::new(Vec::new()),
+            catalog: Mutex::new(None),
             stalled: AtomicBool::new(false),
             stalls_total: AtomicU64::new(0),
             diagnostics: Mutex::new(Vec::new()),
@@ -471,6 +480,7 @@ impl ServiceTelemetry {
             label: s.label.clone(),
             algo: s.eng.algorithm().name().to_string(),
             window,
+            profiler: s.eng.profiler().clone(),
             level: AtomicU64::new(level_code(s.level())),
             budget_overruns: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -479,6 +489,14 @@ impl ServiceTelemetry {
         });
         self.mirror.push(Arc::clone(&st_entry));
         lock(&self.shared.sessions).push(st_entry);
+    }
+
+    /// Hand the scrape side the service's live cardinality catalog so
+    /// `/profile` and `/debug/explain` can attach estimates. Called by
+    /// the owner thread when the first `Full`-profiled session registers
+    /// (in either order relative to `start_telemetry`).
+    pub(crate) fn set_catalog(&self, cat: Arc<Mutex<CardinalityCatalog>>) {
+        *lock(&self.shared.catalog) = Some(cat);
     }
 
     /// Drop a removed session from the registry (its final report already
@@ -710,7 +728,34 @@ fn handle_conn(mut stream: TcpStream, shared: &TelemetryShared) -> std::io::Resu
             let body = render_stalls_json(shared);
             respond(&mut stream, 200, "OK", "application/json", &body)
         }
-        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+        "/profile" => {
+            let body = render_profile_json(shared);
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        other => {
+            if let Some(rest) = other.strip_prefix("/debug/explain/") {
+                return match rest.parse::<u64>() {
+                    Ok(id) => match render_explain_json(shared, id) {
+                        Some(body) => respond(&mut stream, 200, "OK", "application/json", &body),
+                        None => respond(
+                            &mut stream,
+                            404,
+                            "Not Found",
+                            "text/plain",
+                            "no such session\n",
+                        ),
+                    },
+                    Err(_) => respond(
+                        &mut stream,
+                        400,
+                        "Bad Request",
+                        "text/plain",
+                        "bad session id\n",
+                    ),
+                };
+            }
+            respond(&mut stream, 404, "Not Found", "text/plain", "not found\n")
+        }
     }
 }
 
@@ -908,7 +953,147 @@ fn render_prometheus(shared: &TelemetryShared) -> String {
             snap.latency.count()
         ));
     }
+
+    // Profiler attribution grid, one series per live (order, depth) cell.
+    // Families are grouped so each `# TYPE` header appears exactly once
+    // per exposition regardless of how many sessions profile.
+    let profs: Vec<(String, QueryProfile)> = sessions
+        .iter()
+        .filter_map(|s| {
+            s.profiler.snapshot().map(|p| {
+                (
+                    format!("session=\"{}\",label=\"{}\"", s.id, escape_label(&s.label)),
+                    p,
+                )
+            })
+        })
+        .collect();
+    if !profs.is_empty() {
+        for (ci, family) in PROFILE_FAMILIES.iter().enumerate() {
+            o.push_str(&format!("# TYPE {family} counter\n"));
+            for (labels, p) in &profs {
+                for ord in &p.orders {
+                    for d in &ord.depths {
+                        let v = d.counters[ci];
+                        if v == 0 {
+                            continue;
+                        }
+                        o.push_str(&format!(
+                            "{family}{{{labels},order=\"{}\",seed=\"{}-{}\",depth=\"{}\"}} {v}\n",
+                            ord.index, ord.seed.0, ord.seed.1, d.depth
+                        ));
+                    }
+                }
+            }
+        }
+    }
     o
+}
+
+/// The `paracosm_profile_*` metric families, indexed by
+/// [`paracosm_core::ProfileCounter`] discriminant (same order as
+/// [`paracosm_core::PROFILE_COUNTER_NAMES`]).
+const PROFILE_FAMILIES: [&str; NUM_PROFILE_COUNTERS] = [
+    "paracosm_profile_slice_width",
+    "paracosm_profile_probe_steps",
+    "paracosm_profile_gallop_steps",
+    "paracosm_profile_extensions",
+    "paracosm_profile_deadline_hits",
+    "paracosm_profile_invocations",
+];
+
+/// Attach catalog estimates to a profile snapshot: each depth's expected
+/// candidate cardinality from its backward-arm labels (see
+/// [`CardinalityCatalog::estimate_extension`]).
+fn apply_catalog_estimates(p: &mut QueryProfile, cat: &Mutex<CardinalityCatalog>) {
+    let c = lock(cat);
+    p.apply_estimates(|d| {
+        let arms: Vec<(VLabel, ELabel)> = d
+            .backward
+            .iter()
+            .map(|b| (VLabel(b.src_vlabel), ELabel(b.elabel)))
+            .collect();
+        Some(c.estimate_extension(&arms, VLabel(d.vlabel)))
+    });
+}
+
+/// Render the `/profile` JSON aggregate: catalog shape plus one
+/// [`QueryProfile`] document per session (`null` for unprofiled
+/// sessions). Totals reconcile exactly with the shutdown
+/// `ServiceReport`'s per-session `profile` blocks — both read the same
+/// grid (schema documented in DESIGN.md §3.15; `schema_version` 1).
+fn render_profile_json(shared: &TelemetryShared) -> String {
+    let sessions = lock(&shared.sessions).clone();
+    let catalog = lock(&shared.catalog).clone();
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"schema_version\":1");
+    o.push_str(&format!(",\"uptime_ns\":{}", shared.now_ns()));
+    match &catalog {
+        Some(cat) => {
+            let c = lock(cat);
+            o.push_str(&format!(
+                ",\"catalog\":{{\"triples\":{},\"two_paths\":{}}}",
+                c.num_triples(),
+                c.num_two_paths()
+            ));
+        }
+        None => o.push_str(",\"catalog\":null"),
+    }
+    o.push_str(",\"sessions\":[");
+    for (i, s) in sessions.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "{{\"id\":{},\"label\":\"{}\",\"level\":\"{}\",\"profile\":",
+            s.id,
+            json_escape(&s.label),
+            s.profiler.level().name()
+        ));
+        match s.profiler.snapshot() {
+            Some(mut p) => {
+                if let Some(cat) = &catalog {
+                    apply_catalog_estimates(&mut p, cat);
+                }
+                o.push_str(&p.to_json());
+            }
+            None => o.push_str("null"),
+        }
+        o.push('}');
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Render the `/debug/explain/<session>` EXPLAIN document: the session's
+/// oriented query edges ranked by attributed enumeration cost, each depth
+/// carrying catalog-estimated vs observed cardinality side by side.
+/// `None` when no session has that id (schema documented in DESIGN.md
+/// §3.15; `schema_version` 1).
+fn render_explain_json(shared: &TelemetryShared, id: u64) -> Option<String> {
+    let s = lock(&shared.sessions)
+        .iter()
+        .find(|s| s.id == id)
+        .cloned()?;
+    let catalog = lock(&shared.catalog).clone();
+    let mut o = String::with_capacity(1024);
+    o.push_str(&format!(
+        "{{\"schema_version\":1,\"session\":{},\"label\":\"{}\",\"level\":\"{}\",\"explain\":",
+        s.id,
+        json_escape(&s.label),
+        s.profiler.level().name()
+    ));
+    match s.profiler.snapshot() {
+        Some(mut p) => {
+            if let Some(cat) = &catalog {
+                apply_catalog_estimates(&mut p, cat);
+            }
+            o.push_str(&p.explain_json());
+        }
+        None => o.push_str("null"),
+    }
+    o.push('}');
+    Some(o)
 }
 
 fn escape_label(s: &str) -> String {

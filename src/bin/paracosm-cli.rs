@@ -15,7 +15,21 @@
 //!   --trace-out PATH   write a Chrome/Perfetto trace JSON (implies --trace full)
 //!   --report-json PATH write a machine-readable run report (implies counters)
 //!   --slow-k N         capture the N slowest updates in the report
+//!   --profile LEVEL    off|counters|on — per-(order, depth) enumeration
+//!                      profiler (the report's "profile" block)
 //!   --quiet            suppress the end-of-run latency/verdict summary
+//!
+//! paracosm-cli explain --graph G.txt --query Q.txt --stream S.txt [options]
+//!
+//!   Replays the stream with the profiler at level `on`, rebuilds the
+//!   cardinality catalog over the final graph, and prints the query's
+//!   oriented seed edges ranked by attributed enumeration cost — each
+//!   depth showing catalog-estimated vs observed candidate cardinality.
+//!
+//!   --algo NAME        graphflow|turboflux|symbi|calig|newsp   (default: symbi)
+//!   --threads N        worker threads (1 = sequential)         (default: all cores)
+//!   --top N            print at most N edges                   (default: all)
+//!   --json PATH        also write the EXPLAIN document as JSON
 //!
 //! paracosm-cli serve --graph G.txt --stream S.txt --session Q.txt[:algo[:label]] ...
 //!
@@ -35,6 +49,10 @@
 //!   --shards N         partition the data graph into N hash shards and
 //!                      run the multi-writer batched drain (default: 1 =
 //!                      monolithic; per-session ΔM is identical)
+//!   --profile LEVEL    off|counters|on — per-session enumeration profiler;
+//!                      `on` additionally maintains the live cardinality
+//!                      catalog and serves GET /profile and
+//!                      GET /debug/explain/<session>      (default: off)
 //!   --shared-index on|off  cross-session shared-work index (default: on)
 //!   --flight-capacity N  flight-recorder events retained per shard
 //!                      (default: 1024; the recorder is always on)
@@ -53,14 +71,17 @@ fn usage() -> ! {
         "usage: paracosm-cli --graph G.txt --query Q.txt --stream S.txt \
          [--algo name] [--threads N] [--batch N] [--no-inter] \
          [--timeout-ms N] [--initial] [--per-update] [--trace off|counters|full] \
-         [--trace-out PATH] [--report-json PATH] [--slow-k N] [--quiet]\n\
+         [--trace-out PATH] [--report-json PATH] [--slow-k N] \
+         [--profile off|counters|on] [--quiet]\n\
+         \x20      paracosm-cli explain --graph G.txt --query Q.txt --stream S.txt \
+         [--algo name] [--threads N] [--top N] [--json PATH]\n\
          \x20      paracosm-cli serve --graph G.txt --stream S.txt \
          --session Q.txt[:algo[:label]] [--session ...] [--threads N] \
          [--queue N] [--policy block|shed-oldest|reject] [--budget-ms N] \
          [--report-json PATH] [--quiet] [--telemetry-addr ADDR] \
          [--stall-deadline-ms N] [--linger-ms N] [--shards N] \
-         [--shared-index on|off] [--flight-capacity N] \
-         [--dump-flight-on-stall PATH] [--wedge-ms N]"
+         [--profile off|counters|on] [--shared-index on|off] \
+         [--flight-capacity N] [--dump-flight-on-stall PATH] [--wedge-ms N]"
     );
     std::process::exit(2);
 }
@@ -116,6 +137,7 @@ struct ServeOpts {
     flight_capacity: usize,
     dump_flight: Option<String>,
     wedge: Duration,
+    profile: ProfileLevel,
 }
 
 fn serve_main(args: Vec<String>) {
@@ -135,6 +157,7 @@ fn serve_main(args: Vec<String>) {
     let mut flight_capacity = 1024usize;
     let mut dump_flight: Option<String> = None;
     let mut wedge = Duration::ZERO;
+    let mut profile = ProfileLevel::Off;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -175,6 +198,7 @@ fn serve_main(args: Vec<String>) {
             "--wedge-ms" => {
                 wedge = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--profile" => profile = ProfileLevel::parse(&val()).unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -217,6 +241,7 @@ fn serve_main(args: Vec<String>) {
         flight_capacity,
         dump_flight,
         wedge,
+        profile,
     };
     if shards > 1 {
         let sg = ShardedGraph::from_graph(ShardConfig::hash(shards), &g).unwrap_or_else(|e| {
@@ -252,8 +277,11 @@ fn serve_with<G: GraphShard>(g: G, s: &UpdateStream, opts: ServeOpts) {
             std::process::exit(1);
         });
         let algo = Box::new(sess.kind.build(svc.graph(), &q));
-        let mut spec = SessionSpec::new(q, ParaCosmConfig::parallel(opts.threads))
-            .with_label(sess.label.clone());
+        let mut spec = SessionSpec::new(
+            q,
+            ParaCosmConfig::parallel(opts.threads).profiled(opts.profile),
+        )
+        .with_label(sess.label.clone());
         if let Some(b) = opts.budget {
             spec = spec.with_budget(b);
         }
@@ -352,11 +380,133 @@ fn serve_with<G: GraphShard>(g: G, s: &UpdateStream, opts: ServeOpts) {
     }
 }
 
+/// Attach catalog estimates to a profile snapshot (the CLI twin of the
+/// telemetry plane's estimator: same arms, same catalog formulae).
+fn attach_estimates(p: &mut QueryProfile, cat: &CardinalityCatalog) {
+    p.apply_estimates(|d| {
+        let arms: Vec<(VLabel, ELabel)> = d
+            .backward
+            .iter()
+            .map(|b| (VLabel(b.src_vlabel), ELabel(b.elabel)))
+            .collect();
+        Some(cat.estimate_extension(&arms, VLabel(d.vlabel)))
+    });
+}
+
+/// `paracosm-cli explain`: replay the stream with the profiler fully on,
+/// rebuild the cardinality catalog over the final graph, and print the
+/// oriented query edges ranked by attributed enumeration cost.
+fn explain_main(args: Vec<String>) {
+    let (mut graph, mut query, mut stream) = (None, None, None);
+    let mut kind = AlgoKind::Symbi;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut top = usize::MAX;
+    let mut json_out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--graph" => graph = Some(val()),
+            "--query" => query = Some(val()),
+            "--stream" => stream = Some(val()),
+            "--algo" => kind = AlgoKind::parse(&val()).unwrap_or_else(|| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--top" => top = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_out = Some(val()),
+            _ => usage(),
+        }
+    }
+    let (Some(gp), Some(qp), Some(sp)) = (graph, query, stream) else {
+        usage()
+    };
+    let g = io::load_data_graph(&gp).unwrap_or_else(|e| {
+        eprintln!("failed to load graph {gp}: {e}");
+        std::process::exit(1);
+    });
+    let q = io::load_query_graph(&qp).unwrap_or_else(|e| {
+        eprintln!("failed to load query {qp}: {e}");
+        std::process::exit(1);
+    });
+    let s = io::load_update_stream(&sp).unwrap_or_else(|e| {
+        eprintln!("failed to load stream {sp}: {e}");
+        std::process::exit(1);
+    });
+
+    let cfg = ParaCosmConfig::parallel(threads).profiled(ProfileLevel::Full);
+    let algo = kind.build(&g, &q);
+    let mut engine: ParaCosm<AnyAlgorithm> = ParaCosm::new(g, q, algo, cfg);
+    let out = engine.process_stream(&s).unwrap_or_else(|e| {
+        eprintln!("stream failed: {e}");
+        std::process::exit(1);
+    });
+
+    let mut cat = CardinalityCatalog::new();
+    cat.rebuild(engine.graph());
+    let report = engine.run_report(Some(out));
+    let Some(mut profile) = report.profile else {
+        eprintln!("explain: profiler produced no profile (internal error)");
+        std::process::exit(1);
+    };
+    attach_estimates(&mut profile, &cat);
+
+    let total = profile.total_cost();
+    println!(
+        "explain: algo={} orders={} total_cost={total}",
+        kind.name(),
+        profile.orders.len()
+    );
+    for (rank, o) in profile.ranked().iter().take(top).enumerate() {
+        println!(
+            "rank {rank}: order {} seed ({}-{}) elabel {} cost {} ({:.1}%) deadline_hits={}",
+            o.index,
+            o.seed.0,
+            o.seed.1,
+            o.seed_elabel,
+            o.cost(),
+            100.0 * o.cost() as f64 / total.max(1) as f64,
+            o.deadline_hits()
+        );
+        for d in &o.depths {
+            let obs = d
+                .observed_card()
+                .map(|c| format!("{c:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            let est = d
+                .estimate
+                .map(|e| format!("{e:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  depth {}: q{} (vlabel {}) arms={} est={est} observed={obs} cost={}",
+                d.depth,
+                d.qvertex,
+                d.vlabel,
+                d.backward.len(),
+                d.cost()
+            );
+        }
+    }
+    if let Some(path) = &json_out {
+        let doc = format!(
+            "{{\"schema_version\":1,\"source\":\"cli\",\"algo\":\"{}\",\"explain\":{}}}",
+            kind.name(),
+            profile.explain_json()
+        );
+        write_or_die(path, &doc, "explain document");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         args.remove(0);
         return serve_main(args);
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        args.remove(0);
+        return explain_main(args);
     }
     let (mut graph, mut query, mut stream) = (None, None, None);
     let mut kind = AlgoKind::Symbi;
@@ -373,6 +523,7 @@ fn main() {
     let mut report_json: Option<String> = None;
     let mut slow_k = 0usize;
     let mut quiet = false;
+    let mut profile = ProfileLevel::Off;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -385,6 +536,7 @@ fn main() {
             "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = val().parse().unwrap_or_else(|_| usage()),
             "--no-inter" => inter = false,
+            "--profile" => profile = ProfileLevel::parse(&val()).unwrap_or_else(|| usage()),
             "--timeout-ms" => {
                 timeout = Some(Duration::from_millis(
                     val().parse().unwrap_or_else(|_| usage()),
@@ -429,7 +581,8 @@ fn main() {
     let mut cfg = ParaCosmConfig::parallel(threads)
         .with_batch_size(batch)
         .tracing(trace)
-        .with_slow_k(slow_k);
+        .with_slow_k(slow_k)
+        .profiled(profile);
     cfg.inter_update = inter && threads > 1;
     cfg.track_latency = !quiet;
     if let Some(t) = timeout {

@@ -79,8 +79,9 @@ pub mod prelude {
     pub use csm_algos::{AlgoKind, AnyAlgorithm, CaLiG, GraphFlow, NewSP, Symbi, TurboFlux};
     pub use csm_datagen::{synth, DatasetKind, Scale, StreamConfig, SynthConfig, WorkloadConfig};
     pub use csm_graph::{
-        io, DataGraph, ELabel, EdgeUpdate, GraphShard, MemShard, Partition, QVertexId, QueryGraph,
-        ShardConfig, ShardStats, ShardedGraph, Update, UpdateStream, VLabel, VertexId,
+        io, CardinalityCatalog, DataGraph, ELabel, EdgeUpdate, GraphShard, MemShard, Partition,
+        QVertexId, QueryGraph, ShardConfig, ShardStats, ShardedGraph, Update, UpdateStream, VLabel,
+        VertexId,
     };
     pub use csm_service::{
         AdmissionQueue, Backpressure, CsmService, DegradeLevel, IngestHandle, ServiceConfig,
@@ -90,10 +91,10 @@ pub mod prelude {
     pub use paracosm_core::{
         AdsChange, AlgorithmFactory, Classified, CsmAlgorithm, CsmError, CsmResult, Embedding,
         Engine, FanKind, FlightConfig, FlightEvent, FlightRecorder, FlightSnapshot, FlightStage,
-        LatencyHistogram, Match, MatchSink, NoopObserver, ParaCosm, ParaCosmConfig, RunReport,
-        RunStats, SearchCtx, SearchStats, SessionDims, SpanId, StreamObserver, StreamOutcome,
-        TraceLevel, UpdateObservation, UpdateOutcome, WindowConfig, WindowRing, WindowSnapshot,
-        SESSION_AGGREGATE,
+        LatencyHistogram, Match, MatchSink, NoopObserver, ParaCosm, ParaCosmConfig, ProfileLevel,
+        Profiler, QueryProfile, RunReport, RunStats, SearchCtx, SearchStats, SessionDims, SpanId,
+        StreamObserver, StreamOutcome, TraceLevel, UpdateObservation, UpdateOutcome, WindowConfig,
+        WindowRing, WindowSnapshot, SESSION_AGGREGATE,
     };
 
     /// The facade's datagen crate under its blessed name (dataset loading

@@ -64,6 +64,7 @@ fn check_workload(seed: u64, n: u32, vlabels: u32, elabels: u32, edges: usize, q
             order: &order,
             ignore_elabels: ignore,
             deadline: None,
+            profile: None,
         };
         let matches = walk_and_compare(&ctx, &mut Embedding::empty(), 0);
         let oracle = if ignore {
@@ -122,6 +123,7 @@ fn seeded_two_vertex_orders_agree() {
             order: &order,
             ignore_elabels: ignore,
             deadline: None,
+            profile: None,
         };
         // Try every label-compatible image of the seed edge.
         for (a, b, _) in g.edges() {
@@ -185,7 +187,7 @@ proptest! {
             let order = SeedOrder::build(&q, &[QVertexId(0)]);
             for ignore in [false, true] {
                 let ctx = SearchCtx {
-                    g: &g, q: &q, order: &order, ignore_elabels: ignore, deadline: None,
+                    g: &g, q: &q, order: &order, ignore_elabels: ignore, deadline: None, profile: None,
                 };
                 let mut fast_sink = BufferSink::counting();
                 let mut stats = SearchStats::default();

@@ -1,0 +1,311 @@
+//! Profiler-plane integration tests: the live cardinality catalog must
+//! stay *exact* — bit-identical to a from-scratch rebuild over the final
+//! graph — under every apply path the serving layer has (serial per-op,
+//! sharded batched multi-writer, vertex cascade deletes), and the
+//! `/profile` scrape must reconcile exactly with the shutdown
+//! [`ServiceReport`], because both read the same attribution grid.
+
+#![deny(deprecated)]
+
+use paracosm::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) % n
+    }
+}
+
+const NV: u32 = 50;
+
+fn base_graph(seed: u64) -> DataGraph {
+    let mut g = DataGraph::new();
+    let mut rng = Lcg(seed);
+    for i in 0..NV {
+        g.add_vertex(VLabel(i % 3));
+    }
+    for _ in 0..100 {
+        let (a, b) = (rng.below(NV as u64) as u32, rng.below(NV as u64) as u32);
+        if a != b {
+            let _ = g.insert_edge(VertexId(a), VertexId(b), ELabel((a + b) % 2));
+        }
+    }
+    g
+}
+
+/// Edge-only churn, hub-skewed: long label-safe runs so a sharded
+/// backend batches well past `MIN_SHARDED_BATCH` through
+/// `apply_edge_batch` (the multi-writer path the catalog's touch
+/// protocol must survive).
+fn edge_stream(seed: u64, len: usize) -> Vec<Update> {
+    let mut rng = Lcg(seed ^ 0x9E3779B97F4A7C15);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let pick = |rng: &mut Lcg| {
+            if rng.below(4) < 3 {
+                rng.below(8) as u32
+            } else {
+                rng.below(NV as u64) as u32
+            }
+        };
+        let (a, b) = (pick(&mut rng), pick(&mut rng));
+        let e = EdgeUpdate::new(VertexId(a), VertexId(b), ELabel(rng.below(2) as u32));
+        out.push(if rng.below(100) < 60 {
+            Update::InsertEdge(e)
+        } else {
+            Update::DeleteEdge(e)
+        });
+    }
+    out
+}
+
+/// Full churn: edge ops plus vertex inserts and cascading vertex
+/// deletes, which break batchable runs and exercise the serial apply
+/// path and the `v ∪ N(v)` cascade touch set.
+fn churn_stream(seed: u64, len: usize) -> Vec<Update> {
+    let mut rng = Lcg(seed ^ 0x0DDB1A5E5BAD5EED);
+    let mut out = Vec::with_capacity(len);
+    let mut next_vid = NV;
+    for _ in 0..len {
+        let roll = rng.below(100);
+        let a = rng.below(NV as u64 + 10) as u32;
+        let b = rng.below(NV as u64 + 10) as u32;
+        let e = EdgeUpdate::new(VertexId(a), VertexId(b), ELabel(rng.below(2) as u32));
+        out.push(match roll {
+            0..=49 => Update::InsertEdge(e),
+            50..=79 => Update::DeleteEdge(e),
+            80..=91 => {
+                next_vid += 1;
+                Update::InsertVertex {
+                    id: VertexId(next_vid),
+                    label: VLabel(next_vid % 3),
+                }
+            }
+            _ => Update::DeleteVertex {
+                id: VertexId(rng.below(next_vid as u64) as u32),
+            },
+        });
+    }
+    out
+}
+
+/// A query over labels the streams never carry: every edge update is
+/// label-safe for this session, so sharded drains batch whole runs.
+fn absent_label_query() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let a = q.add_vertex(VLabel(7));
+    let b = q.add_vertex(VLabel(8));
+    q.add_edge(a, b, ELabel(5)).unwrap();
+    q
+}
+
+/// A query over live labels: updates classify unsafe and enumerate, so
+/// the profiler grid fills while the catalog rides the serial path.
+fn live_label_query() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let a = q.add_vertex(VLabel(0));
+    let b = q.add_vertex(VLabel(1));
+    let c = q.add_vertex(VLabel(2));
+    q.add_edge(a, b, ELabel(0)).unwrap();
+    q.add_edge(b, c, ELabel(0)).unwrap();
+    q
+}
+
+/// Drive `stream` through a `Full`-profiled service over `g`; return
+/// the incrementally maintained catalog and a rebuild oracle over the
+/// final graph.
+fn catalog_differential<G: GraphShard>(
+    g: G,
+    q: QueryGraph,
+    stream: &[Update],
+) -> (CardinalityCatalog, CardinalityCatalog) {
+    let mut svc = CsmService::new(g, ServiceConfig::default()).unwrap();
+    let algo = Box::new(AlgoKind::GraphFlow.build(svc.graph(), &q));
+    let spec = SessionSpec::new(q, ParaCosmConfig::sequential().profiled(ProfileLevel::Full));
+    svc.add_session(spec, algo, Box::new(NoopObserver)).unwrap();
+    for &u in stream {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+    let live = svc
+        .catalog_snapshot()
+        .expect("a Full session activates the catalog");
+    let mut oracle = CardinalityCatalog::new();
+    oracle.rebuild(svc.graph());
+    svc.shutdown().unwrap();
+    (live, oracle)
+}
+
+/// Acceptance: the incrementally maintained catalog equals a rebuild
+/// oracle after a sharded, batched, multi-writer drain (runs well past
+/// `MIN_SHARDED_BATCH`, every shard count and partitioner).
+#[test]
+fn catalog_exact_under_sharded_batched_apply() {
+    for shards in [2usize, 4] {
+        for seed in [3u64, 17] {
+            let stream = edge_stream(seed, 300);
+            let sg =
+                ShardedGraph::from_graph(ShardConfig::hash(shards), &base_graph(seed)).unwrap();
+            let (live, oracle) = catalog_differential(sg, absent_label_query(), &stream);
+            assert_eq!(
+                live, oracle,
+                "sharded batched apply drifted the catalog (shards={shards}, seed={seed})"
+            );
+            assert!(oracle.num_triples() > 0, "workload must be non-trivial");
+        }
+    }
+    let stream = edge_stream(5, 300);
+    let sg = ShardedGraph::from_graph(ShardConfig::range_even(3, NV * 2), &base_graph(5)).unwrap();
+    let (live, oracle) = catalog_differential(sg, absent_label_query(), &stream);
+    assert_eq!(live, oracle, "range partitioner drifted the catalog");
+}
+
+/// Same differential on the monolithic serial path, with a session that
+/// actually enumerates and a stream full of vertex inserts and cascade
+/// deletes.
+#[test]
+fn catalog_exact_under_serial_path_and_cascades() {
+    for seed in [1u64, 9, 42] {
+        let stream = churn_stream(seed, 250);
+        let (live, oracle) = catalog_differential(base_graph(seed), live_label_query(), &stream);
+        assert_eq!(
+            live, oracle,
+            "serial/cascade path drifted the catalog (seed={seed})"
+        );
+    }
+}
+
+/// Mixed sessions (one profiled, one not) over a sharded backend: the
+/// catalog exists once, is maintained once, and stays exact while the
+/// unprofiled session rides along.
+#[test]
+fn catalog_exact_with_mixed_profiled_sessions() {
+    let stream = churn_stream(13, 250);
+    let sg = ShardedGraph::from_graph(ShardConfig::hash(2), &base_graph(13)).unwrap();
+    let mut svc = CsmService::new(sg, ServiceConfig::default()).unwrap();
+    let q0 = live_label_query();
+    let algo0 = Box::new(AlgoKind::GraphFlow.build(svc.graph(), &q0));
+    svc.add_session(
+        SessionSpec::new(q0, ParaCosmConfig::sequential()),
+        algo0,
+        Box::new(NoopObserver),
+    )
+    .unwrap();
+    assert!(
+        svc.catalog_snapshot().is_none(),
+        "no catalog before a Full session registers"
+    );
+    let q1 = absent_label_query();
+    let algo1 = Box::new(AlgoKind::GraphFlow.build(svc.graph(), &q1));
+    svc.add_session(
+        SessionSpec::new(
+            q1,
+            ParaCosmConfig::sequential().profiled(ProfileLevel::Full),
+        ),
+        algo1,
+        Box::new(NoopObserver),
+    )
+    .unwrap();
+    for &u in &stream {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+    let live = svc.catalog_snapshot().unwrap();
+    let mut oracle = CardinalityCatalog::new();
+    oracle.rebuild(svc.graph());
+    svc.shutdown().unwrap();
+    assert_eq!(live, oracle, "mixed-session drain drifted the catalog");
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("endpoint reachable");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    let status: u16 = resp
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {resp:?}"));
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Extract the `"totals":{...}` object after a `"profile":` key.
+fn totals_object(body: &str) -> String {
+    let at = body.find("\"totals\":{").expect("profile totals present");
+    let rest = &body[at..];
+    let end = rest.find('}').expect("balanced totals object");
+    rest[..=end].to_string()
+}
+
+/// Acceptance: `GET /profile` reconciles **exactly** with the shutdown
+/// report — same attribution grid, same totals — and
+/// `GET /debug/explain/<id>` ranks the session's query edges with
+/// catalog estimates attached.
+#[test]
+fn profile_scrape_reconciles_with_shutdown_report() {
+    let g = base_graph(21);
+    let mut svc = CsmService::new(g, ServiceConfig::default()).unwrap();
+    let q = live_label_query();
+    let algo = Box::new(AlgoKind::GraphFlow.build(svc.graph(), &q));
+    svc.add_session(
+        SessionSpec::new(q, ParaCosmConfig::sequential().profiled(ProfileLevel::Full))
+            .with_label("wedge"),
+        algo,
+        Box::new(NoopObserver),
+    )
+    .unwrap();
+    let t = svc
+        .start_telemetry(TelemetryConfig::new("127.0.0.1:0"))
+        .unwrap();
+    let addr = t.local_addr();
+
+    for &u in &edge_stream(21, 200) {
+        svc.submit(u).unwrap();
+    }
+    svc.drain().unwrap();
+
+    let (code, profile) = http_get(addr, "/profile");
+    assert_eq!(code, 200);
+    assert!(profile.contains("\"schema_version\":1"));
+    assert!(profile.contains("\"catalog\":{\"triples\":"));
+    assert!(profile.contains("\"label\":\"wedge\""));
+    assert!(profile.contains("\"level\":\"on\""));
+    let scraped_totals = totals_object(&profile);
+
+    let (code, explain) = http_get(addr, "/debug/explain/0");
+    assert_eq!(code, 200);
+    assert!(explain.contains("\"session\":0"));
+    assert!(explain.contains("\"edges\":["));
+    assert!(explain.contains("\"rank\":0"));
+    assert!(explain.contains("\"estimate\":"));
+    assert!(explain.contains("\"observed_card\":"));
+    assert_eq!(http_get(addr, "/debug/explain/99").0, 404);
+    assert_eq!(http_get(addr, "/debug/explain/bogus").0, 400);
+
+    let report = svc.shutdown().unwrap();
+    let report_totals = totals_object(&report.to_json());
+    assert_eq!(
+        scraped_totals, report_totals,
+        "/profile drifted from the shutdown report's attribution grid"
+    );
+    assert_ne!(
+        scraped_totals, "\"totals\":{}",
+        "profiled run must attribute some work"
+    );
+}
